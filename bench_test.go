@@ -1,0 +1,90 @@
+// Benchmarks regenerating the paper's evaluation: one benchmark per
+// figure and table. Each reports the figure's headline numbers as custom
+// benchmark metrics, so `go test -bench=.` reproduces the whole
+// evaluation section in one command (cmd/edenbench prints the full
+// tables). The simulated experiments use reduced run counts per
+// benchmark iteration; shapes are asserted by the integration tests in
+// internal/experiments.
+package eden_test
+
+import (
+	"testing"
+
+	"eden/internal/experiments"
+	"eden/internal/netsim"
+)
+
+// BenchmarkFigure9 regenerates Figure 9 (flow-scheduling FCT) and reports
+// the small-flow average FCT per scheme.
+func BenchmarkFigure9(b *testing.B) {
+	cfg := experiments.DefaultFig9Config()
+	cfg.Runs = 2
+	cfg.Duration = 100 * netsim.Millisecond
+	var res *experiments.Fig9Result
+	for i := 0; i < b.N; i++ {
+		res = experiments.RunFig9(cfg)
+	}
+	b.ReportMetric(res.Small[experiments.SchemeBaseline][experiments.ModeEden].AvgUsec, "baseline-small-avg-us")
+	b.ReportMetric(res.Small[experiments.SchemePIAS][experiments.ModeEden].AvgUsec, "pias-small-avg-us")
+	b.ReportMetric(res.Small[experiments.SchemeSFF][experiments.ModeEden].AvgUsec, "sff-small-avg-us")
+	b.ReportMetric(res.Small[experiments.SchemePIAS][experiments.ModeEden].P95Usec, "pias-small-p95-us")
+}
+
+// BenchmarkFigure10 regenerates Figure 10 (ECMP vs WCMP throughput).
+func BenchmarkFigure10(b *testing.B) {
+	cfg := experiments.DefaultFig10Config()
+	cfg.Runs = 2
+	cfg.Duration = 150 * netsim.Millisecond
+	var res *experiments.Fig10Result
+	for i := 0; i < b.N; i++ {
+		res = experiments.RunFig10(cfg)
+	}
+	b.ReportMetric(res.Cells[experiments.LBECMP][experiments.ModeEden].Mbps, "ecmp-mbps")
+	b.ReportMetric(res.Cells[experiments.LBWCMP][experiments.ModeEden].Mbps, "wcmp-mbps")
+}
+
+// BenchmarkFigure11 regenerates Figure 11 (Pulsar storage QoS).
+func BenchmarkFigure11(b *testing.B) {
+	cfg := experiments.DefaultFig11Config()
+	cfg.Runs = 1
+	cfg.Duration = 400 * netsim.Millisecond
+	var res *experiments.Fig11Result
+	for i := 0; i < b.N; i++ {
+		res = experiments.RunFig11(cfg)
+	}
+	b.ReportMetric(res.Writes[experiments.ScenarioIsolated].MBps, "writes-isolated-MBps")
+	b.ReportMetric(res.Writes[experiments.ScenarioSimultaneous].MBps, "writes-simultaneous-MBps")
+	b.ReportMetric(res.Writes[experiments.ScenarioRateControlled].MBps, "writes-ratecontrolled-MBps")
+	b.ReportMetric(res.Reads[experiments.ScenarioRateControlled].MBps, "reads-ratecontrolled-MBps")
+}
+
+// BenchmarkFigure12 regenerates Figure 12 (CPU overheads of the Eden
+// components, as % of the 10 Gbps per-packet budget).
+func BenchmarkFigure12(b *testing.B) {
+	cfg := experiments.DefaultFig12Config()
+	cfg.Batches = 100
+	var res *experiments.Fig12Result
+	for i := 0; i < b.N; i++ {
+		res = experiments.RunFig12(cfg)
+	}
+	b.ReportMetric(res.AvgPct["API"], "api-overhead-pct")
+	b.ReportMetric(res.AvgPct["enclave"], "enclave-overhead-pct")
+	b.ReportMetric(res.AvgPct["interpreter"], "interpreter-overhead-pct")
+}
+
+// BenchmarkTable1 runs every Table 1 capability demonstration.
+func BenchmarkTable1(b *testing.B) {
+	ok := 0.0
+	for i := 0; i < b.N; i++ {
+		ok = 0
+		for _, row := range experiments.Table1() {
+			if row.Demo != nil {
+				if err := row.Demo(); err != nil {
+					b.Fatalf("%s: %v", row.Function, err)
+				}
+				ok++
+			}
+		}
+	}
+	b.ReportMetric(ok, "functions-demonstrated")
+}

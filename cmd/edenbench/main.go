@@ -1,0 +1,94 @@
+// Edenbench regenerates the paper's evaluation figures and tables on the
+// simulator (and, for Figure 12, with real timers on this machine). Each
+// experiment prints the same rows/series the paper reports; see
+// EXPERIMENTS.md for the paper-vs-measured comparison.
+//
+// Usage:
+//
+//	edenbench -exp all          run everything
+//	edenbench -exp fig9         Figure 9  (flow scheduling FCT)
+//	edenbench -exp fig10        Figure 10 (ECMP vs WCMP throughput)
+//	edenbench -exp fig11        Figure 11 (Pulsar storage QoS)
+//	edenbench -exp fig12        Figure 12 (CPU overheads)
+//	edenbench -exp table1       Table 1   (function support matrix)
+//	edenbench -exp ablation     design ablations (LB granularity, attach point)
+//
+// Flags -runs and -ms scale the simulated experiments (0 = paper-scale
+// defaults).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"eden/internal/experiments"
+	"eden/internal/netsim"
+)
+
+func main() {
+	var (
+		exp  = flag.String("exp", "all", "experiment: fig9, fig10, fig11, fig12, table1, all")
+		runs = flag.Int("runs", 0, "override number of runs (0 = default)")
+		ms   = flag.Int("ms", 0, "override simulated milliseconds per run (0 = default)")
+	)
+	flag.Parse()
+
+	run := func(name string, fn func()) {
+		if *exp != "all" && *exp != name {
+			return
+		}
+		t0 := time.Now()
+		fn()
+		fmt.Printf("  [%s completed in %.1fs]\n\n", name, time.Since(t0).Seconds())
+	}
+
+	run("fig9", func() {
+		cfg := experiments.DefaultFig9Config()
+		applyScale(&cfg.Runs, &cfg.Duration, *runs, *ms)
+		fmt.Println(experiments.RunFig9(cfg))
+	})
+	run("fig10", func() {
+		cfg := experiments.DefaultFig10Config()
+		applyScale(&cfg.Runs, &cfg.Duration, *runs, *ms)
+		fmt.Println(experiments.RunFig10(cfg))
+	})
+	run("fig11", func() {
+		cfg := experiments.DefaultFig11Config()
+		applyScale(&cfg.Runs, &cfg.Duration, *runs, *ms)
+		fmt.Println(experiments.RunFig11(cfg))
+	})
+	run("fig12", func() {
+		fmt.Println(experiments.RunFig12(experiments.DefaultFig12Config()))
+	})
+	run("table1", func() {
+		out, err := experiments.RunTable1()
+		fmt.Println(out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "edenbench: table1: %v\n", err)
+			os.Exit(1)
+		}
+	})
+	run("ablation", func() {
+		r := 3
+		d := 200 * netsim.Millisecond
+		if *runs > 0 {
+			r = *runs
+		}
+		if *ms > 0 {
+			d = netsim.Time(*ms) * netsim.Millisecond
+		}
+		fmt.Println(experiments.RunAblationGranularity(r, d))
+		fmt.Println(experiments.RunAblationAttachPoint(d))
+	})
+}
+
+func applyScale(runs *int, dur *netsim.Time, overrideRuns, overrideMs int) {
+	if overrideRuns > 0 {
+		*runs = overrideRuns
+	}
+	if overrideMs > 0 {
+		*dur = netsim.Time(overrideMs) * netsim.Millisecond
+	}
+}

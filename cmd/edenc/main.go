@@ -1,0 +1,126 @@
+// Edenc is the Eden action-function compiler: it compiles action-function
+// source (the F#-like DSL of §3.4.2) to enclave bytecode, and can
+// disassemble, verify and summarize programs. It also carries the built-in
+// function library (internal/funcs) for inspection.
+//
+// Usage:
+//
+//	edenc [flags] file.eden        compile a source file
+//	edenc -builtin pias [flags]    compile a library function
+//	edenc -list                    list library functions
+//	edenc -src pias                print a library function's source
+//
+// Flags:
+//
+//	-d        disassemble the compiled program
+//	-o FILE   write the wire-format program to FILE
+//	-name N   program name (default: file base name)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"eden/internal/compiler"
+	"eden/internal/funcs"
+)
+
+func main() {
+	var (
+		disasm  = flag.Bool("d", false, "disassemble the compiled program")
+		out     = flag.String("o", "", "write wire-format bytecode to this file")
+		name    = flag.String("name", "", "program name")
+		list    = flag.Bool("list", false, "list built-in library functions")
+		builtin = flag.String("builtin", "", "compile the named library function")
+		src     = flag.String("src", "", "print the named library function's source")
+	)
+	flag.Parse()
+
+	switch {
+	case *list:
+		var names []string
+		for n := range funcs.Sources {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Println(n)
+		}
+		return
+
+	case *src != "":
+		text, ok := funcs.Sources[*src]
+		if !ok {
+			fatalf("no library function %q", *src)
+		}
+		fmt.Print(strings.TrimLeft(text, "\n"))
+		return
+	}
+
+	var f *compiler.Func
+	var err error
+	switch {
+	case *builtin != "":
+		f, err = funcs.Compile(*builtin)
+	case flag.NArg() == 1:
+		path := flag.Arg(0)
+		data, rerr := os.ReadFile(path)
+		if rerr != nil {
+			fatalf("%v", rerr)
+		}
+		n := *name
+		if n == "" {
+			n = strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+		}
+		f, err = compiler.Compile(n, string(data))
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	fmt.Printf("program %s: %d instructions, %d locals, stack %d\n",
+		f.Name, len(f.Prog.Code), f.Prog.NumLocals, f.Prog.MaxStack)
+	fmt.Printf("  state: pkt=%d msg=%d(%s) global=%d+%d arrays(%s)  concurrency=%s\n",
+		f.Prog.State.PacketFields, f.Prog.State.MsgFields, f.Prog.State.MsgAccess,
+		f.Prog.State.GlobalFields, len(f.GlobalArrays), f.Prog.State.GlobalAccess,
+		f.Concurrency())
+	if len(f.PktFields) > 0 {
+		var names []string
+		for _, fd := range f.PktFields {
+			names = append(names, fd.String())
+		}
+		fmt.Printf("  packet fields: %s\n", strings.Join(names, ", "))
+	}
+	if len(f.MsgFields) > 0 {
+		fmt.Printf("  msg state: %s\n", strings.Join(f.MsgFields, ", "))
+	}
+	if len(f.GlobalScalars) > 0 {
+		fmt.Printf("  global scalars: %s\n", strings.Join(f.GlobalScalars, ", "))
+	}
+	if len(f.GlobalArrays) > 0 {
+		fmt.Printf("  global arrays: %s\n", strings.Join(f.GlobalArrays, ", "))
+	}
+	wire := f.Prog.Encode()
+	fmt.Printf("  wire size: %d bytes\n", len(wire))
+
+	if *disasm {
+		fmt.Print(f.Prog.Disassemble())
+	}
+	if *out != "" {
+		if err := os.WriteFile(*out, wire, 0o644); err != nil {
+			fatalf("%v", err)
+		}
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "edenc: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,67 @@
+// Edenctl is the Eden controller (§3.2): it listens for enclave and stage
+// agents (edend processes, or simulated hosts) and programs them — stage
+// classification rules through the stage API (Table 3) and tables, rules,
+// action functions and global state through the enclave API (§3.4.5).
+//
+// Policy is expressed as a command script (see controller.RunScript for
+// the command set), read from -policy or from standard input:
+//
+//	edenctl -listen :6633 -policy pias.policy
+//
+//	# pias.policy
+//	wait 1
+//	enclave host1-os install-builtin pias
+//	enclave host1-os set-array pias priorities 10240,1048576
+//	enclave host1-os set-array pias priovals 7,5
+//	enclave host1-os create-table egress sched
+//	enclave host1-os add-rule egress sched * pias
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"eden/internal/controller"
+)
+
+func main() {
+	var (
+		listen = flag.String("listen", "127.0.0.1:6633", "address to listen for agents")
+		policy = flag.String("policy", "", "policy script file ('-' or empty: stdin)")
+		stay   = flag.Bool("stay", false, "keep serving agents after the script finishes")
+	)
+	flag.Parse()
+
+	ctl, err := controller.Listen(*listen)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer ctl.Close()
+	fmt.Printf("edenctl: listening on %s\n", ctl.Addr())
+
+	var script []byte
+	if *policy == "" || *policy == "-" {
+		script, err = io.ReadAll(os.Stdin)
+	} else {
+		script, err = os.ReadFile(*policy)
+	}
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	if err := ctl.RunScript(string(script), os.Stdout); err != nil {
+		fatalf("policy failed: %v", err)
+	}
+	fmt.Println("edenctl: policy applied")
+
+	if *stay {
+		select {}
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "edenctl: "+format+"\n", args...)
+	os.Exit(1)
+}

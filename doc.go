@@ -1,0 +1,37 @@
+// Package eden is a from-scratch Go reproduction of "Enabling End-host
+// Network Functions" (Ballani et al., SIGCOMM 2015) — the Eden
+// architecture for implementing network functions at end hosts.
+//
+// Eden comprises a logically centralized controller, an enclave on each
+// end host's data path, and Eden-compliant applications called stages.
+// Stages classify application data into messages and classes; enclaves
+// apply match-action rules where the action is a program — an "action
+// function" written in a small F#-like DSL, compiled to bytecode and
+// executed by an interpreter on the data path; and the controller
+// programs both through well-defined APIs.
+//
+// The implementation lives under internal/ (see DESIGN.md for the full
+// inventory and README.md for the architecture tour):
+//
+//	edenvm      bytecode ISA, verifier, stack-based interpreter
+//	lang        the action-function language (lexer, parser, AST)
+//	compiler    AST -> bytecode, state binding, access inference
+//	packet      layered packet model and the action-field registry
+//	classify    classification rules, rule-sets, classes (§3.3)
+//	stage       the stage runtime and stage API (Table 3)
+//	enclave     match-action tables, state manager, concurrency model
+//	controller  central controller, agents, policy script runner
+//	ctlproto    JSON-over-TCP control protocol
+//	qos         token buckets and rate-limited queues
+//	netsim      discrete-event datacenter network simulator
+//	transport   TCP-like reliable transport with message tagging
+//	apps        request-response, storage, and key-value applications
+//	funcs       the action-function library (WCMP, PIAS, Pulsar, ...)
+//	workload    traffic generators (search distribution, Poisson, IOs)
+//	stats       means, percentiles, confidence intervals
+//	experiments the evaluation harness (Figures 9-12, Table 1)
+//
+// The benchmarks in bench_test.go regenerate every figure; the binaries
+// under cmd/ (edenc, edend, edenctl, edenbench) expose the compiler, the
+// enclave daemon, the controller and the evaluation harness.
+package eden

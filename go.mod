@@ -1,0 +1,3 @@
+module eden
+
+go 1.22

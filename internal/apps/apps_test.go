@@ -1,0 +1,251 @@
+package apps
+
+import (
+	"testing"
+
+	"eden/internal/compiler"
+	"eden/internal/enclave"
+	"eden/internal/funcs"
+	"eden/internal/netsim"
+	"eden/internal/packet"
+	"eden/internal/stage"
+	"eden/internal/transport"
+	"eden/internal/workload"
+)
+
+// rig builds client and server hosts joined by a switch at the given rate.
+func rig(t *testing.T, rate int64) (*netsim.Sim, *netsim.Host, *netsim.Host) {
+	t.Helper()
+	s := netsim.New(11)
+	client := netsim.NewHost(s, "client", packet.MustParseIP("10.0.0.1"), transport.Options{})
+	server := netsim.NewHost(s, "server", packet.MustParseIP("10.0.0.2"), transport.Options{})
+	sw := netsim.NewSwitch(s, "sw")
+	pc := sw.AddPort(netsim.NewLink(s, "sw->c", rate, 5*netsim.Microsecond, 256*1024, client))
+	ps := sw.AddPort(netsim.NewLink(s, "sw->s", rate, 5*netsim.Microsecond, 256*1024, server))
+	sw.AddRoute(client.IP(), pc)
+	sw.AddRoute(server.IP(), ps)
+	client.SetUplink(netsim.NewLink(s, "c->sw", rate, 5*netsim.Microsecond, 256*1024, sw))
+	server.SetUplink(netsim.NewLink(s, "s->sw", rate, 5*netsim.Microsecond, 256*1024, sw))
+	return s, client, server
+}
+
+func TestRequestResponse(t *testing.T) {
+	s, client, server := rig(t, 10*netsim.Gbps)
+	srv := NewRRServer(server, 80)
+	cl := NewRRClient(client, server.IP(), 80)
+	for _, size := range []int64{2048, 100 * 1024, 1024 * 1024} {
+		cl.Request(size)
+	}
+	s.Run(netsim.Second)
+	if len(cl.Results) != 3 {
+		t.Fatalf("completed %d of 3 (server served %d)", len(cl.Results), srv.Served)
+	}
+	for _, r := range cl.Results {
+		if r.FCT <= 0 {
+			t.Errorf("bad FCT %d", r.FCT)
+		}
+	}
+	// Bigger responses should not be faster than much smaller ones.
+	if cl.Results[2].FCT < cl.Results[0].FCT {
+		t.Errorf("1MB faster than 2KB: %d vs %d", cl.Results[2].FCT, cl.Results[0].FCT)
+	}
+}
+
+func TestBackgroundFlow(t *testing.T) {
+	s, client, server := rig(t, netsim.Gbps)
+	sink := NewBackgroundSink(server, 9000)
+	StartBackgroundFlow(client, server.IP(), 9000, 4*1024*1024)
+	s.Run(netsim.Second)
+	if sink.Bytes != 4*1024*1024 {
+		t.Errorf("sink got %d bytes", sink.Bytes)
+	}
+}
+
+func TestStorageIsolatedRead(t *testing.T) {
+	s, client, server := rig(t, netsim.Gbps)
+	srv := NewStorageServer(server, 445, netsim.Gbps*105/100)
+	cl := NewStorageClient(client, server.IP(), 445, 0, workload.IOWorkload{
+		OpSize: 64 * 1024, Read: true, SubmitPerSec: 5000,
+	})
+	cl.Start()
+	s.Run(netsim.Second)
+	// Bounded by the 1G link carrying responses: ~1900 ops/s max.
+	mbps := float64(cl.CompletedBytes) * 8 / 1e9 * 1000 // Mb over 1s
+	if mbps < 700 || mbps > 1000 {
+		t.Errorf("isolated read throughput = %.0f Mbps, want ~900 (completed %d, served %d, maxQ %d)",
+			mbps, cl.Completed, srv.ReadsServed, srv.MaxQueueLen)
+	}
+}
+
+func TestStorageIsolatedWrite(t *testing.T) {
+	s, client, server := rig(t, netsim.Gbps)
+	srv := NewStorageServer(server, 445, netsim.Gbps*105/100)
+	cl := NewStorageClient(client, server.IP(), 445, 0, workload.IOWorkload{
+		OpSize: 64 * 1024, Read: false, SubmitPerSec: 5000, Count: 4000,
+	})
+	cl.Start()
+	s.Run(netsim.Second)
+	mbps := float64(cl.CompletedBytes) * 8 / 1e9 * 1000
+	if mbps < 700 || mbps > 1000 {
+		t.Errorf("isolated write throughput = %.0f Mbps, want ~900 (completed %d, served %d)",
+			mbps, cl.Completed, srv.WritesServed)
+	}
+}
+
+func TestStorageReadsStarveWrites(t *testing.T) {
+	// The §5.3 "Simultaneous" case: READ requests are cheap to submit and
+	// fill the server's service queue; WRITE throughput collapses.
+	s, client, server := rig(t, netsim.Gbps)
+	NewStorageServer(server, 445, netsim.Gbps*105/100)
+	reader := NewStorageClient(client, server.IP(), 445, 0, workload.IOWorkload{
+		OpSize: 64 * 1024, Read: true, SubmitPerSec: 5000,
+	})
+	writer := NewStorageClient(client, server.IP(), 445, 1, workload.IOWorkload{
+		OpSize: 64 * 1024, Read: false, SubmitPerSec: 5000, Count: 4000,
+	})
+	reader.Start()
+	writer.Start()
+	s.Run(netsim.Second)
+	if reader.Completed == 0 || writer.Completed == 0 {
+		t.Fatalf("reader=%d writer=%d", reader.Completed, writer.Completed)
+	}
+	ratio := float64(writer.CompletedBytes) / float64(reader.CompletedBytes)
+	if ratio > 0.6 {
+		t.Errorf("writes not starved: w/r = %.2f (reader %d, writer %d ops)",
+			ratio, reader.Completed, writer.Completed)
+	}
+}
+
+func TestKVStore(t *testing.T) {
+	s, client, server := rig(t, 10*netsim.Gbps)
+	srv := NewKVServer(server, 11211)
+	cl := NewKVClient(client, server.IP(), 11211)
+	var keys []int64
+	cl.OnResponse = func(k int64) { keys = append(keys, k) }
+	cl.Put("a", 4096)
+	cl.Put("b", 100)
+	cl.Get("a")
+	cl.Get("b")
+	cl.Get("missing")
+	s.Run(netsim.Second)
+	if srv.Puts != 2 || srv.Gets != 3 {
+		t.Errorf("server puts=%d gets=%d", srv.Puts, srv.Gets)
+	}
+	if cl.Responses != 5 {
+		t.Errorf("responses = %d, want 5", cl.Responses)
+	}
+	if len(keys) != 5 || keys[2] != KeyDigest("a") {
+		t.Errorf("keys = %v", keys)
+	}
+}
+
+func TestStagesClassifyKVMessages(t *testing.T) {
+	st := MemcachedStage()
+	tag, ok := st.Tag(stage.Message{
+		FieldValues: []string{"PUT", "a"},
+		Type:        MsgTypePut, Size: 100, Key: KeyDigest("a"),
+	})
+	if !ok {
+		t.Fatal("PUT for key a not classified")
+	}
+	// Figure 6: three classes, one per rule-set.
+	want := []string{"memcached.r1.PUT", "memcached.r2.DEFAULT", "memcached.r3.A"}
+	if len(tag.Classes) != 3 {
+		t.Fatalf("classes = %v", tag.Classes)
+	}
+	for i, w := range want {
+		if tag.Classes[i] != w {
+			t.Errorf("class %d = %q, want %q", i, tag.Classes[i], w)
+		}
+	}
+}
+
+func TestHTTPAppClassification(t *testing.T) {
+	st := HTTPStage()
+	tag, ok := st.Tag(stage.Message{FieldValues: []string{"GET", "/api"}, Type: MsgTypeHTTPGet, Size: 256})
+	if !ok || tag.Class != "http.r1.APIGET" {
+		t.Errorf("API GET class = %q ok=%v", tag.Class, ok)
+	}
+	tag, ok = st.Tag(stage.Message{FieldValues: []string{"GET", "/images"}, Type: MsgTypeHTTPGet, Size: 256})
+	if !ok || tag.Class != "http.r1.STATIC" {
+		t.Errorf("static GET class = %q", tag.Class)
+	}
+	tag, ok = st.Tag(stage.Message{FieldValues: []string{"DELETE", "/x"}, Type: 9})
+	if !ok || tag.Class != "http.r1.OTHER" {
+		t.Errorf("other class = %q", tag.Class)
+	}
+}
+
+func TestHTTPRequestResponse(t *testing.T) {
+	s, client, server := rig(t, 10*netsim.Gbps)
+	srv := NewHTTPServer(server, 8080)
+	srv.Resources[KeyDigest("/api/users")] = 2048
+	srv.Resources[KeyDigest("/images/big.png")] = 1 << 20
+
+	cl := NewHTTPClient(client, server.IP(), 8080)
+	var sizes []int64
+	cl.OnResponse = func(_ int64, size int64) { sizes = append(sizes, size) }
+	cl.Get("/api/users")
+	cl.Get("/images/big.png")
+	cl.Get("/missing")
+	cl.Post("/api/users", 4096)
+	s.Run(netsim.Second)
+
+	if srv.Served != 4 || cl.Responses != 4 {
+		t.Fatalf("served=%d responses=%d", srv.Served, cl.Responses)
+	}
+	if sizes[0] != 2048 || sizes[1] != 1<<20 || sizes[2] != 512 {
+		t.Errorf("sizes = %v", sizes)
+	}
+}
+
+func TestHTTPPrioritizedByEnclave(t *testing.T) {
+	// The motivating use: an enclave rule gives API traffic priority over
+	// static fetches, using only the stage's classification.
+	s, client, server := rig(t, netsim.Gbps)
+	enc := client.NewOSEnclave()
+	if err := funcs.InstallFixedPriority(enc, "qos", "http.r1.API*", 6); err != nil {
+		t.Fatal(err)
+	}
+	srv := NewHTTPServer(server, 8080)
+	srv.Resources[KeyDigest("/api/q")] = 128
+
+	// Snoop priorities at the server's enclave.
+	senc := server.NewOSEnclave()
+	snoop := compiler.MustCompile("snoop", `
+global api_prio : int
+fun (p, m, g) ->
+    if p.payload_len > 0 then g.api_prio <- p.priority
+`)
+	if err := senc.InstallFunc(snoop); err != nil {
+		t.Fatal(err)
+	}
+	senc.CreateTable(enclave.Ingress, "in")
+	senc.AddRule(enclave.Ingress, "in", enclave.Rule{Pattern: "http.r1.APIGET", Func: "snoop"})
+
+	cl := NewHTTPClient(client, server.IP(), 8080)
+	cl.Get("/api/q")
+	s.Run(netsim.Second)
+	got, err := senc.ReadGlobal("snoop", "api_prio")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 6 {
+		t.Errorf("API request priority = %d, want 6", got)
+	}
+}
+
+func TestURLPrefix(t *testing.T) {
+	cases := map[string]string{
+		"/api/users": "/api",
+		"/api":       "/api",
+		"/":          "/",
+		"plain":      "plain",
+		"":           "",
+	}
+	for in, want := range cases {
+		if got := urlPrefix(in); got != want {
+			t.Errorf("urlPrefix(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

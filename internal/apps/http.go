@@ -1,0 +1,128 @@
+package apps
+
+import (
+	"eden/internal/netsim"
+	"eden/internal/packet"
+	"eden/internal/stage"
+	"eden/internal/transport"
+)
+
+// HTTP message types.
+const (
+	MsgTypeHTTPGet  int64 = 1
+	MsgTypeHTTPPost int64 = 2
+	MsgTypeHTTPResp int64 = 3
+)
+
+// HTTPStage returns the HTTP-library stage of Table 2: classify on
+// <msg_type, url>, generate {msg_id, msg_type, url, msg_size}. The rules
+// single out API traffic (url "/api") from static content, so an enclave
+// function can, say, prioritize API requests over bulk static fetches.
+func HTTPStage() *stage.Stage {
+	s := stage.HTTPLibrary()
+	mustRule(s, "r1", `<GET, "/api" >  -> [APIGET, {msg_id, msg_type, url, msg_size}]`)
+	mustRule(s, "r1", `<POST, "/api" > -> [APIPOST, {msg_id, msg_type, url, msg_size}]`)
+	mustRule(s, "r1", `<GET, - >       -> [STATIC, {msg_id, msg_type, msg_size}]`)
+	mustRule(s, "r1", `<*, - >         -> [OTHER, {msg_id, msg_size}]`)
+	return s
+}
+
+// HTTPServer answers GET/POST requests; response sizes come from a
+// caller-provided resource table keyed by URL digest.
+type HTTPServer struct {
+	Host  *netsim.Host
+	Stage *stage.Stage
+	// Resources maps url digests (KeyDigest of the url) to body sizes.
+	Resources map[int64]int64
+	// Served counts responses.
+	Served int64
+}
+
+// NewHTTPServer creates an HTTP-like server listening on port.
+func NewHTTPServer(h *netsim.Host, port uint16) *HTTPServer {
+	s := &HTTPServer{Host: h, Stage: HTTPStage(), Resources: map[int64]int64{}}
+	h.Stack.Listen(port, func(c *transport.Conn) {
+		c.OnMessage = func(meta packet.Metadata) {
+			switch meta.MsgType {
+			case MsgTypeHTTPGet, MsgTypeHTTPPost:
+				size, ok := s.Resources[meta.Key]
+				if !ok {
+					size = 512 // 404 page
+				}
+				tag, _ := s.Stage.Tag(stage.Message{
+					FieldValues: []string{"RESP", ""},
+					Type:        MsgTypeHTTPResp,
+					Size:        size,
+				})
+				tag.MsgType = MsgTypeHTTPResp
+				tag.Key = meta.Key
+				c.SendMessage(size, tag)
+				s.Served++
+			}
+		}
+	})
+	return s
+}
+
+// HTTPClient issues classified HTTP requests over one connection.
+type HTTPClient struct {
+	Host  *netsim.Host
+	Stage *stage.Stage
+	conn  *transport.Conn
+	// OnResponse fires per response with the url digest and body size.
+	OnResponse func(urlKey int64, size int64)
+	// Responses counts received responses.
+	Responses int64
+}
+
+// NewHTTPClient connects to an HTTP server.
+func NewHTTPClient(h *netsim.Host, server uint32, port uint16) *HTTPClient {
+	c := &HTTPClient{Host: h, Stage: HTTPStage()}
+	c.conn = h.Stack.Dial(server, port)
+	c.conn.OnMessage = func(meta packet.Metadata) {
+		if meta.MsgType == MsgTypeHTTPResp {
+			c.Responses++
+			if c.OnResponse != nil {
+				c.OnResponse(meta.Key, meta.WireSize)
+			}
+		}
+	}
+	return c
+}
+
+// Get issues a GET for url. The stage classifies it (API vs static) and
+// the resulting class rides with every packet of the request.
+func (c *HTTPClient) Get(url string) {
+	tag, _ := c.Stage.Tag(stage.Message{
+		FieldValues: []string{"GET", urlPrefix(url)},
+		Type:        MsgTypeHTTPGet,
+		Size:        256,
+	})
+	tag.Key = KeyDigest(url)
+	c.conn.SendMessage(256, tag)
+}
+
+// Post issues a POST of bodySize bytes to url.
+func (c *HTTPClient) Post(url string, bodySize int64) {
+	tag, _ := c.Stage.Tag(stage.Message{
+		FieldValues: []string{"POST", urlPrefix(url)},
+		Type:        MsgTypeHTTPPost,
+		Size:        bodySize,
+	})
+	tag.Key = KeyDigest(url)
+	c.conn.SendMessage(256+bodySize, tag)
+}
+
+// urlPrefix reduces a url to its first path segment, the granularity the
+// classification rules match on.
+func urlPrefix(url string) string {
+	if len(url) == 0 || url[0] != '/' {
+		return url
+	}
+	for i := 1; i < len(url); i++ {
+		if url[i] == '/' {
+			return url[:i]
+		}
+	}
+	return url
+}

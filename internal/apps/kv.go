@@ -1,0 +1,140 @@
+package apps
+
+import (
+	"hash/fnv"
+
+	"eden/internal/netsim"
+	"eden/internal/packet"
+	"eden/internal/stage"
+	"eden/internal/transport"
+)
+
+// KV message types (distinct from the request/response codes so enclave
+// rules can tell them apart).
+const (
+	MsgTypeGet    int64 = 1
+	MsgTypePut    int64 = 2
+	MsgTypeKVResp int64 = 9
+)
+
+// KeyDigest hashes a key string to the numeric digest carried in message
+// metadata (stages expose application fields; the simulator carries no
+// payload bytes, so keys travel as digests).
+func KeyDigest(key string) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	return int64(h.Sum64() >> 1)
+}
+
+// MemcachedStage returns a memcached stage programmed with the rule-sets
+// of Figure 6: r1 splits GETs from PUTs, r2 is a catch-all, r3 singles
+// out the hot key "a".
+func MemcachedStage() *stage.Stage {
+	s := stage.Memcached()
+	mustRule(s, "r1", `<GET, - > -> [GET, {msg_id, msg_type, key, msg_size}]`)
+	mustRule(s, "r1", `<PUT, - > -> [PUT, {msg_id, msg_type, key, msg_size}]`)
+	mustRule(s, "r2", `<*, - >   -> [DEFAULT, {msg_id, msg_size}]`)
+	mustRule(s, "r3", `<GET, "a" > -> [GETA, {msg_id, msg_size}]`)
+	mustRule(s, "r3", `<*, "a" >   -> [A, {msg_id, msg_size}]`)
+	mustRule(s, "r3", `<*, * >     -> [OTHER, {msg_id, msg_size}]`)
+	return s
+}
+
+// KVServer is a memcached-like server: it stores value sizes by key
+// digest and answers GETs with a message of the stored size.
+type KVServer struct {
+	Host  *netsim.Host
+	Stage *stage.Stage
+	store map[int64]int64
+	// Gets and Puts count served operations.
+	Gets, Puts int64
+}
+
+// NewKVServer creates a key-value server listening on port.
+func NewKVServer(h *netsim.Host, port uint16) *KVServer {
+	s := &KVServer{Host: h, Stage: MemcachedStage(), store: map[int64]int64{}}
+	h.Stack.Listen(port, func(c *transport.Conn) {
+		c.OnMessage = func(meta packet.Metadata) {
+			switch meta.MsgType {
+			case MsgTypeGet:
+				s.Gets++
+				size, ok := s.store[meta.Key]
+				if !ok {
+					size = 16 // miss marker
+				}
+				tag, _ := s.Stage.Tag(stage.Message{
+					FieldValues: []string{"RESP", ""},
+					Type:        MsgTypeKVResp,
+					Size:        size,
+					Key:         meta.Key,
+				})
+				tag.MsgType = MsgTypeKVResp
+				tag.Key = meta.Key
+				c.SendMessage(size, tag)
+			case MsgTypePut:
+				s.Puts++
+				s.store[meta.Key] = meta.MsgSize
+				tag, _ := s.Stage.Tag(stage.Message{
+					FieldValues: []string{"RESP", ""},
+					Type:        MsgTypeKVResp,
+					Size:        32,
+					Key:         meta.Key,
+				})
+				tag.MsgType = MsgTypeKVResp
+				tag.Key = meta.Key
+				c.SendMessage(32, tag)
+			}
+		}
+	})
+	return s
+}
+
+// KVClient talks to a KVServer over one connection per client.
+type KVClient struct {
+	Host  *netsim.Host
+	Stage *stage.Stage
+	conn  *transport.Conn
+	// OnResponse fires for every server response (key digest).
+	OnResponse func(key int64)
+	// Responses counts completed operations.
+	Responses int64
+}
+
+// NewKVClient connects a client to the server.
+func NewKVClient(h *netsim.Host, server uint32, port uint16) *KVClient {
+	c := &KVClient{Host: h, Stage: MemcachedStage()}
+	c.conn = h.Stack.Dial(server, port)
+	c.conn.OnMessage = func(meta packet.Metadata) {
+		if meta.MsgType == MsgTypeKVResp {
+			c.Responses++
+			if c.OnResponse != nil {
+				c.OnResponse(meta.Key)
+			}
+		}
+	}
+	return c
+}
+
+// Get issues a GET for key.
+func (c *KVClient) Get(key string) {
+	tag, _ := c.Stage.Tag(stage.Message{
+		FieldValues: []string{"GET", key},
+		Type:        MsgTypeGet,
+		Size:        64,
+		Key:         KeyDigest(key),
+	})
+	tag.Key = KeyDigest(key) // ensure digest even if rule omits key meta
+	c.conn.SendMessage(64, tag)
+}
+
+// Put issues a PUT of valueSize bytes for key.
+func (c *KVClient) Put(key string, valueSize int64) {
+	tag, _ := c.Stage.Tag(stage.Message{
+		FieldValues: []string{"PUT", key},
+		Type:        MsgTypePut,
+		Size:        valueSize,
+		Key:         KeyDigest(key),
+	})
+	tag.Key = KeyDigest(key)
+	c.conn.SendMessage(valueSize, tag)
+}

@@ -1,0 +1,165 @@
+// Package apps contains Eden-compliant applications — stages in the
+// paper's terminology — built on the simulated transport: a
+// request-response "search" application (the workload of §5.1), a storage
+// client/server with READ/WRITE IOs (§5.3), background bulk senders, and
+// a memcached-like key-value store (§2's running example). Each
+// application classifies its messages through a stage and tags them with
+// metadata, which is what lets enclave functions operate on application
+// semantics.
+package apps
+
+import (
+	"fmt"
+
+	"eden/internal/netsim"
+	"eden/internal/packet"
+	"eden/internal/stage"
+	"eden/internal/transport"
+)
+
+// Message type codes shared by the applications in this package.
+const (
+	MsgTypeRequest    int64 = 1
+	MsgTypeResponse   int64 = 2
+	MsgTypeBackground int64 = 3
+	MsgTypeRead       int64 = 1 // storage: READ (Figure 3's policing case)
+	MsgTypeWrite      int64 = 2 // storage: WRITE
+)
+
+// SearchStage returns the stage used by the request-response application:
+// classify on message type, generate ids, types and sizes.
+func SearchStage() *stage.Stage {
+	s := stage.New("search",
+		[]string{"msg_type"},
+		[]string{"msg_id", "msg_type", "msg_size"})
+	mustRule(s, "r1", `<REQ>  -> [REQ,  {msg_id, msg_type, msg_size}]`)
+	mustRule(s, "r1", `<RESP> -> [RESP, {msg_id, msg_type, msg_size}]`)
+	mustRule(s, "r1", `<BG>   -> [BG,   {msg_id, msg_type, msg_size}]`)
+	return s
+}
+
+func mustRule(s *stage.Stage, rs, text string) {
+	if _, err := s.ParseAndCreateRule(rs, text); err != nil {
+		panic(fmt.Sprintf("apps: %s: %v", text, err))
+	}
+}
+
+// RRServer answers request-response traffic: every request message names
+// a response size (in its Key metadata), and the server replies with a
+// message of that size, classified through its stage.
+type RRServer struct {
+	Host  *netsim.Host
+	Stage *stage.Stage
+	// Served counts completed responses.
+	Served int64
+}
+
+// NewRRServer creates a server listening on port.
+func NewRRServer(h *netsim.Host, port uint16) *RRServer {
+	s := &RRServer{Host: h, Stage: SearchStage()}
+	h.Stack.Listen(port, func(c *transport.Conn) {
+		c.OnMessage = func(meta packet.Metadata) {
+			if meta.MsgType != MsgTypeRequest {
+				return
+			}
+			respSize := meta.Key
+			if respSize <= 0 {
+				respSize = 1024
+			}
+			tag, _ := s.Stage.Tag(stage.Message{
+				FieldValues: []string{"RESP"},
+				Type:        MsgTypeResponse,
+				Size:        respSize,
+			})
+			c.SendMessage(respSize, tag)
+			s.Served++
+		}
+	})
+	return s
+}
+
+// RRResult is one completed request-response exchange.
+type RRResult struct {
+	RespSize int64
+	// FCT is the flow completion time: request sent (connection opened)
+	// to last response byte received, in nanoseconds.
+	FCT int64
+}
+
+// RRClient issues request-response exchanges, one connection per request
+// (the search-application pattern: high rate of flows starting and
+// terminating, §5.1).
+type RRClient struct {
+	Host     *netsim.Host
+	Stage    *stage.Stage
+	Server   uint32
+	Port     uint16
+	ReqBytes int64
+	// OnComplete receives each finished exchange.
+	OnComplete func(RRResult)
+	// Results accumulates completed exchanges if OnComplete is nil.
+	Results []RRResult
+}
+
+// NewRRClient creates a client for the given server.
+func NewRRClient(h *netsim.Host, server uint32, port uint16) *RRClient {
+	return &RRClient{Host: h, Stage: SearchStage(), Server: server, Port: port, ReqBytes: 256}
+}
+
+// Request opens a connection, sends a request asking for respSize bytes,
+// and records the completion time when the full response has arrived.
+func (c *RRClient) Request(respSize int64) {
+	conn := c.Host.Stack.Dial(c.Server, c.Port)
+	t0 := c.Host.Sim().Now()
+	tag, _ := c.Stage.Tag(stage.Message{
+		FieldValues: []string{"REQ"},
+		Type:        MsgTypeRequest,
+		Size:        c.ReqBytes,
+	})
+	tag.Key = respSize // ask the server for respSize bytes back
+	conn.OnMessage = func(meta packet.Metadata) {
+		if meta.MsgType != MsgTypeResponse {
+			return
+		}
+		r := RRResult{RespSize: respSize, FCT: c.Host.Sim().Now() - t0}
+		if c.OnComplete != nil {
+			c.OnComplete(r)
+		} else {
+			c.Results = append(c.Results, r)
+		}
+		conn.Close()
+	}
+	conn.SendMessage(c.ReqBytes, tag)
+}
+
+// BackgroundSink accepts bulk background traffic on a port and counts the
+// received bytes.
+type BackgroundSink struct {
+	Host  *netsim.Host
+	Bytes int64
+}
+
+// NewBackgroundSink listens for background flows.
+func NewBackgroundSink(h *netsim.Host, port uint16) *BackgroundSink {
+	s := &BackgroundSink{Host: h}
+	h.Stack.Listen(port, func(c *transport.Conn) {
+		c.OnData = func(_ packet.Metadata, n int64) { s.Bytes += n }
+	})
+	return s
+}
+
+// StartBackgroundFlow opens one long-running background flow of the given
+// total size from h to dst:port, classified as search.r1.BG. Background
+// messages advertise their (large) size, so SFF maps them to the lowest
+// priority; under PIAS they demote themselves within a few packets.
+func StartBackgroundFlow(h *netsim.Host, dst uint32, port uint16, totalBytes int64) *transport.Conn {
+	st := SearchStage()
+	conn := h.Stack.Dial(dst, port)
+	tag, _ := st.Tag(stage.Message{
+		FieldValues: []string{"BG"},
+		Type:        MsgTypeBackground,
+		Size:        totalBytes,
+	})
+	conn.SendMessage(totalBytes, tag)
+	return conn
+}

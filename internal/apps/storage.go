@@ -1,0 +1,191 @@
+package apps
+
+import (
+	"eden/internal/netsim"
+	"eden/internal/packet"
+	"eden/internal/stage"
+	"eden/internal/transport"
+	"eden/internal/workload"
+)
+
+// StorageStage returns the stage a storage client classifies its IOs
+// through: READ and WRITE classes with operation size and tenant metadata
+// — exactly what Pulsar's rate-control function consumes (Figure 3).
+func StorageStage() *stage.Stage {
+	s := stage.Storage()
+	mustRule(s, "rs", `<READ, ->  -> [READ,  {msg_id, msg_type, msg_size, tenant}]`)
+	mustRule(s, "rs", `<WRITE, -> -> [WRITE, {msg_id, msg_type, msg_size, tenant}]`)
+	return s
+}
+
+// StorageServer models the storage server of §5.3: a RAM-disk-backed
+// service behind a network link. Request messages arrive over transport
+// connections and are admitted, in message-arrival order, to a single
+// FIFO service engine whose throughput is DiskBps of data moved (read or
+// written). READ completions send the operation's data back; WRITE
+// completions send a small acknowledgment.
+type StorageServer struct {
+	Host *netsim.Host
+	// DiskBps is the backend service rate in bits of IO data per second.
+	DiskBps int64
+	// OpOverhead is fixed per-operation service time (ns).
+	OpOverhead int64
+
+	stage *stage.Stage
+	queue []storageOp
+	busy  bool
+
+	// ReadsServed / WritesServed count completed operations.
+	ReadsServed, WritesServed int64
+	// ReadBytes / WriteBytes count completed IO bytes.
+	ReadBytes, WriteBytes int64
+	// MaxQueueLen tracks the service queue high-water mark — the "queue
+	// in the shared resource" that READs fill (§5.3).
+	MaxQueueLen int
+}
+
+type storageOp struct {
+	conn   *transport.Conn
+	isRead bool
+	size   int64
+	tenant int64
+}
+
+// NewStorageServer creates a storage server listening on port.
+func NewStorageServer(h *netsim.Host, port uint16, diskBps int64) *StorageServer {
+	s := &StorageServer{Host: h, DiskBps: diskBps, OpOverhead: 5_000, stage: StorageStage()}
+	h.Stack.Listen(port, func(c *transport.Conn) {
+		c.OnMessage = func(meta packet.Metadata) {
+			switch meta.MsgType {
+			case MsgTypeRead:
+				s.admit(storageOp{conn: c, isRead: true, size: meta.MsgSize, tenant: meta.Tenant})
+			case MsgTypeWrite:
+				s.admit(storageOp{conn: c, isRead: false, size: meta.MsgSize, tenant: meta.Tenant})
+			}
+		}
+	})
+	return s
+}
+
+func (s *StorageServer) admit(op storageOp) {
+	s.queue = append(s.queue, op)
+	if len(s.queue) > s.MaxQueueLen {
+		s.MaxQueueLen = len(s.queue)
+	}
+	if !s.busy {
+		s.serveNext()
+	}
+}
+
+func (s *StorageServer) serveNext() {
+	if len(s.queue) == 0 {
+		s.busy = false
+		return
+	}
+	s.busy = true
+	op := s.queue[0]
+	s.queue = s.queue[1:]
+	service := op.size*8*1e9/s.DiskBps + s.OpOverhead
+	s.Host.Sim().After(service, func() {
+		s.complete(op)
+		s.serveNext()
+	})
+}
+
+func (s *StorageServer) complete(op storageOp) {
+	if op.isRead {
+		s.ReadsServed++
+		s.ReadBytes += op.size
+		tag, _ := s.stage.Tag(stage.Message{
+			FieldValues: []string{"READ", ""},
+			Type:        MsgTypeResponse,
+			Size:        op.size,
+			Tenant:      op.tenant,
+		})
+		tag.MsgType = MsgTypeResponse
+		op.conn.SendMessage(op.size, tag)
+	} else {
+		s.WritesServed++
+		s.WriteBytes += op.size
+		tag, _ := s.stage.Tag(stage.Message{
+			FieldValues: []string{"WRITE", ""},
+			Type:        MsgTypeResponse,
+			Size:        64,
+			Tenant:      op.tenant,
+		})
+		tag.MsgType = MsgTypeResponse
+		op.conn.SendMessage(64, tag)
+	}
+}
+
+// StorageClient is one tenant's IO generator (§5.3: "two tenants running
+// our custom application that generates 64K IOs"). It submits operations
+// open-loop at the workload's submission rate: READ requests are tiny on
+// the wire, so nothing slows their submission; WRITE requests carry their
+// payload, so the network naturally paces them.
+type StorageClient struct {
+	Host   *netsim.Host
+	Server uint32
+	Port   uint16
+	Tenant int64
+	W      workload.IOWorkload
+
+	stage     *stage.Stage
+	conn      *transport.Conn
+	submitted int
+	// Completed counts fully acknowledged operations (data received for
+	// READs, ack received for WRITEs).
+	Completed int64
+	// CompletedBytes counts IO bytes of completed operations.
+	CompletedBytes int64
+}
+
+// NewStorageClient creates a tenant client.
+func NewStorageClient(h *netsim.Host, server uint32, port uint16, tenant int64, w workload.IOWorkload) *StorageClient {
+	return &StorageClient{Host: h, Server: server, Port: port, Tenant: tenant, W: w, stage: StorageStage()}
+}
+
+// Start opens the tenant's connection and begins submitting IOs.
+func (c *StorageClient) Start() {
+	c.conn = c.Host.Stack.Dial(c.Server, c.Port)
+	c.conn.OnMessage = func(meta packet.Metadata) {
+		if meta.MsgType == MsgTypeResponse {
+			c.Completed++
+			c.CompletedBytes += c.W.OpSize
+		}
+	}
+	c.submitLoop()
+}
+
+func (c *StorageClient) submitLoop() {
+	if c.W.Count > 0 && c.submitted >= c.W.Count {
+		return
+	}
+	c.submit()
+	gap := int64(1e9 / c.W.SubmitPerSec)
+	if gap < 1 {
+		gap = 1
+	}
+	c.Host.Sim().After(gap, func() { c.submitLoop() })
+}
+
+func (c *StorageClient) submit() {
+	c.submitted++
+	if c.W.Read {
+		tag, _ := c.stage.Tag(stage.Message{
+			FieldValues: []string{"READ", ""},
+			Type:        MsgTypeRead,
+			Size:        c.W.OpSize, // operation size: what Pulsar charges
+			Tenant:      c.Tenant,
+		})
+		c.conn.SendMessage(192, tag) // tiny on the wire
+	} else {
+		tag, _ := c.stage.Tag(stage.Message{
+			FieldValues: []string{"WRITE", ""},
+			Type:        MsgTypeWrite,
+			Size:        c.W.OpSize,
+			Tenant:      c.Tenant,
+		})
+		c.conn.SendMessage(c.W.OpSize, tag) // payload on the wire
+	}
+}

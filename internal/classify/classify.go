@@ -1,0 +1,236 @@
+// Package classify implements Eden's application-level traffic
+// classification (§3.3). Stages — applications, libraries or the enclave
+// itself — declare the fields they can classify messages on (Table 2) and
+// hold classification rules, organised into rule-sets, that map a message
+// to a class plus the metadata that should accompany it:
+//
+//	<classifier> -> [class_name, {meta-data}]
+//
+// A message matches at most one rule per rule-set (rules are ordered;
+// first match wins), and a message may belong to one class per rule-set.
+// Externally a class is referred to by its fully qualified name,
+// stage.ruleset.class — the name the enclave's match-action tables match
+// on.
+package classify
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Wildcard is the pattern that matches any field value. The paper writes
+// both "*" (match anything) and "-" (field not examined); they classify
+// identically.
+const Wildcard = "*"
+
+// NotExamined is the alternate wildcard spelling from Figure 6.
+const NotExamined = "-"
+
+// Pattern matches one classifier field of a message.
+type Pattern struct {
+	// Any matches every value.
+	Any bool
+	// Value is the exact value required when Any is false.
+	Value string
+}
+
+// Matches reports whether the pattern accepts the value.
+func (p Pattern) Matches(v string) bool { return p.Any || p.Value == v }
+
+// String renders the pattern in rule syntax.
+func (p Pattern) String() string {
+	if p.Any {
+		return Wildcard
+	}
+	return quoteIfNeeded(p.Value)
+}
+
+// Rule is one classification rule inside a rule-set.
+type Rule struct {
+	// ID is the stage-assigned rule identifier (returned by
+	// createStageRule, Table 3).
+	ID int
+	// Match holds one pattern per classifier field of the stage, in the
+	// stage's declared field order. Missing trailing patterns match any.
+	Match []Pattern
+	// Class is the class name messages matching this rule belong to
+	// (unqualified; qualification adds stage and rule-set).
+	Class string
+	// Meta lists the metadata field names to attach to matching messages.
+	Meta []string
+}
+
+// Matches reports whether the rule accepts a message with the given
+// classifier field values (aligned with the stage's field order).
+func (r *Rule) Matches(values []string) bool {
+	for i, p := range r.Match {
+		v := ""
+		if i < len(values) {
+			v = values[i]
+		}
+		if !p.Matches(v) {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the rule in the paper's syntax.
+func (r *Rule) String() string {
+	pats := make([]string, len(r.Match))
+	for i, p := range r.Match {
+		pats[i] = p.String()
+	}
+	return fmt.Sprintf("<%s> -> [%s, {%s}]",
+		strings.Join(pats, ", "), r.Class, strings.Join(r.Meta, ", "))
+}
+
+// RuleSet is an ordered list of rules; a message matches at most the first
+// rule that accepts it. Different network functions use different rule-sets
+// over the same traffic (§3.3: "Rule-sets are needed since different
+// network functions may require stages to classify their data differently").
+type RuleSet struct {
+	Name   string
+	Rules  []Rule
+	nextID int
+}
+
+// Add appends a rule and returns its assigned identifier.
+func (rs *RuleSet) Add(r Rule) int {
+	rs.nextID++
+	r.ID = rs.nextID
+	rs.Rules = append(rs.Rules, r)
+	return r.ID
+}
+
+// Remove deletes the rule with the given identifier. It reports whether a
+// rule was removed.
+func (rs *RuleSet) Remove(id int) bool {
+	for i := range rs.Rules {
+		if rs.Rules[i].ID == id {
+			rs.Rules = append(rs.Rules[:i], rs.Rules[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// Match returns the first rule accepting the values, or nil.
+func (rs *RuleSet) Match(values []string) *Rule {
+	for i := range rs.Rules {
+		if rs.Rules[i].Matches(values) {
+			return &rs.Rules[i]
+		}
+	}
+	return nil
+}
+
+// Classification is the outcome of classifying a message against one
+// rule-set.
+type Classification struct {
+	// Class is the fully qualified class name, stage.ruleset.class.
+	Class string
+	// Meta lists the metadata fields the stage should attach.
+	Meta []string
+}
+
+// Classifier is the classification machinery of one stage: its declared
+// classifier fields, the metadata it can generate, and its rule-sets.
+type Classifier struct {
+	// Stage is the stage name, e.g. "memcached".
+	Stage string
+	// Fields are the classifier field names, in match order (Table 2,
+	// "Classifiers" column).
+	Fields []string
+	// MetaFields are the metadata field names the stage can generate
+	// (Table 2, "Meta-data" column).
+	MetaFields []string
+
+	ruleSets []*RuleSet
+}
+
+// NewClassifier declares a stage's classification capabilities.
+func NewClassifier(stage string, fields, metaFields []string) *Classifier {
+	return &Classifier{Stage: stage, Fields: fields, MetaFields: metaFields}
+}
+
+// RuleSet returns the named rule-set, creating it if needed.
+func (c *Classifier) RuleSet(name string) *RuleSet {
+	for _, rs := range c.ruleSets {
+		if rs.Name == name {
+			return rs
+		}
+	}
+	rs := &RuleSet{Name: name}
+	c.ruleSets = append(c.ruleSets, rs)
+	return rs
+}
+
+// RuleSets returns the rule-sets in creation order.
+func (c *Classifier) RuleSets() []*RuleSet { return c.ruleSets }
+
+// Classify evaluates all rule-sets over the message's classifier field
+// values and returns one Classification per matching rule-set. A message
+// can belong to many classes, one per rule-set (§3.3).
+func (c *Classifier) Classify(values []string) []Classification {
+	var out []Classification
+	for _, rs := range c.ruleSets {
+		if r := rs.Match(values); r != nil {
+			out = append(out, Classification{
+				Class: QualifiedClass(c.Stage, rs.Name, r.Class),
+				Meta:  r.Meta,
+			})
+		}
+	}
+	return out
+}
+
+// AddRule validates and adds a rule to the named rule-set, returning the
+// rule identifier. The number of patterns must not exceed the stage's
+// classifier fields, and metadata names must be declared by the stage.
+func (c *Classifier) AddRule(ruleSet string, r Rule) (int, error) {
+	if len(r.Match) > len(c.Fields) {
+		return 0, fmt.Errorf("classify: rule has %d patterns, stage %q has %d classifier fields",
+			len(r.Match), c.Stage, len(c.Fields))
+	}
+	if r.Class == "" {
+		return 0, fmt.Errorf("classify: rule has empty class name")
+	}
+	for _, m := range r.Meta {
+		if !contains(c.MetaFields, m) {
+			return 0, fmt.Errorf("classify: stage %q cannot generate metadata %q", c.Stage, m)
+		}
+	}
+	return c.RuleSet(ruleSet).Add(r), nil
+}
+
+// QualifiedClass builds the fully qualified class name.
+func QualifiedClass(stage, ruleSet, class string) string {
+	return stage + "." + ruleSet + "." + class
+}
+
+// SplitClass splits a fully qualified class name into its parts. It
+// returns ok=false if the name does not have exactly three components.
+func SplitClass(qualified string) (stage, ruleSet, class string, ok bool) {
+	parts := strings.SplitN(qualified, ".", 3)
+	if len(parts) != 3 || parts[0] == "" || parts[1] == "" || parts[2] == "" {
+		return "", "", "", false
+	}
+	return parts[0], parts[1], parts[2], true
+}
+
+func contains(xs []string, x string) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+func quoteIfNeeded(s string) string {
+	if strings.ContainsAny(s, " ,<>[]{}\"") || s == "" {
+		return fmt.Sprintf("%q", s)
+	}
+	return s
+}

@@ -1,0 +1,281 @@
+package classify
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// memcachedClassifier builds the stage of Table 2 with Figure 6's rules.
+func memcachedClassifier(t *testing.T) *Classifier {
+	t.Helper()
+	c := NewClassifier("memcached",
+		[]string{"msg_type", "key"},
+		[]string{"msg_id", "msg_type", "key", "msg_size"})
+	err := c.ParseRules(`
+		# Figure 6 rule-sets
+		r1: <GET, - > -> [GET, {msg_id, msg_size}]
+		r1: <PUT, - > -> [PUT, {msg_id, msg_size}]
+		r2: <*, - >   -> [DEFAULT, {msg_id, msg_size}]
+		r3: <GET, "a" > -> [GETA, {msg_id, msg_size}]
+		r3: <*, "a" >   -> [A, {msg_id, msg_size}]
+		r3: <*, * >     -> [OTHER, {msg_id, msg_size}]
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestFigure6Classification(t *testing.T) {
+	c := memcachedClassifier(t)
+
+	// "a PUT request for key 'a' would be classified as belonging to three
+	// classes, memcached.r1.PUT, memcached.r2.DEFAULT, and memcached.r3.A."
+	got := c.Classify([]string{"PUT", "a"})
+	want := []string{"memcached.r1.PUT", "memcached.r2.DEFAULT", "memcached.r3.A"}
+	if len(got) != len(want) {
+		t.Fatalf("got %d classifications: %+v", len(got), got)
+	}
+	for i, w := range want {
+		if got[i].Class != w {
+			t.Errorf("class %d = %q, want %q", i, got[i].Class, w)
+		}
+	}
+
+	cases := []struct {
+		typ, key string
+		r1, r3   string
+	}{
+		{"GET", "a", "memcached.r1.GET", "memcached.r3.GETA"},
+		{"GET", "b", "memcached.r1.GET", "memcached.r3.OTHER"},
+		{"PUT", "b", "memcached.r1.PUT", "memcached.r3.OTHER"},
+	}
+	for _, cse := range cases {
+		got := c.Classify([]string{cse.typ, cse.key})
+		if len(got) != 3 {
+			t.Fatalf("%v: got %d classes", cse, len(got))
+		}
+		if got[0].Class != cse.r1 {
+			t.Errorf("%s/%s r1 = %q, want %q", cse.typ, cse.key, got[0].Class, cse.r1)
+		}
+		if got[2].Class != cse.r3 {
+			t.Errorf("%s/%s r3 = %q, want %q", cse.typ, cse.key, got[2].Class, cse.r3)
+		}
+	}
+}
+
+func TestFirstMatchWins(t *testing.T) {
+	c := NewClassifier("s", []string{"f"}, []string{"msg_id"})
+	rs := c.RuleSet("r")
+	rs.Add(Rule{Match: []Pattern{{Value: "x"}}, Class: "X"})
+	rs.Add(Rule{Match: []Pattern{{Any: true}}, Class: "ANY"})
+
+	if got := rs.Match([]string{"x"}); got == nil || got.Class != "X" {
+		t.Errorf("match x = %+v", got)
+	}
+	if got := rs.Match([]string{"y"}); got == nil || got.Class != "ANY" {
+		t.Errorf("match y = %+v", got)
+	}
+}
+
+func TestNoMatch(t *testing.T) {
+	c := NewClassifier("s", []string{"f"}, nil)
+	c.RuleSet("r").Add(Rule{Match: []Pattern{{Value: "only"}}, Class: "O"})
+	if got := c.Classify([]string{"other"}); len(got) != 0 {
+		t.Errorf("classify miss = %+v", got)
+	}
+}
+
+func TestRuleRemove(t *testing.T) {
+	c := NewClassifier("s", []string{"f"}, nil)
+	rs := c.RuleSet("r")
+	id1 := rs.Add(Rule{Match: []Pattern{{Value: "a"}}, Class: "A"})
+	id2 := rs.Add(Rule{Match: []Pattern{{Value: "b"}}, Class: "B"})
+	if id1 == id2 {
+		t.Fatal("rule ids not unique")
+	}
+	if !rs.Remove(id1) {
+		t.Fatal("remove failed")
+	}
+	if rs.Remove(id1) {
+		t.Fatal("double remove succeeded")
+	}
+	if got := rs.Match([]string{"a"}); got != nil {
+		t.Errorf("removed rule still matches: %+v", got)
+	}
+	if got := rs.Match([]string{"b"}); got == nil || got.ID != id2 {
+		t.Errorf("surviving rule broken: %+v", got)
+	}
+}
+
+func TestAddRuleValidation(t *testing.T) {
+	c := NewClassifier("s", []string{"f1", "f2"}, []string{"msg_id"})
+	if _, err := c.AddRule("r", Rule{Match: make([]Pattern, 3), Class: "X"}); err == nil {
+		t.Error("accepted too many patterns")
+	}
+	if _, err := c.AddRule("r", Rule{Class: ""}); err == nil {
+		t.Error("accepted empty class")
+	}
+	if _, err := c.AddRule("r", Rule{Class: "X", Meta: []string{"undeclared"}}); err == nil {
+		t.Error("accepted undeclared metadata")
+	}
+	if _, err := c.AddRule("r", Rule{Class: "X", Meta: []string{"msg_id"}}); err != nil {
+		t.Errorf("rejected valid rule: %v", err)
+	}
+}
+
+func TestParseRule(t *testing.T) {
+	r, err := ParseRule(`<GET, "a b"> -> [GETA, {msg_id, msg_size}]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Match) != 2 || r.Match[0].Any || r.Match[0].Value != "GET" {
+		t.Errorf("pattern 0: %+v", r.Match)
+	}
+	if r.Match[1].Value != "a b" {
+		t.Errorf("quoted pattern: %+v", r.Match[1])
+	}
+	if r.Class != "GETA" || len(r.Meta) != 2 || r.Meta[1] != "msg_size" {
+		t.Errorf("rule: %+v", r)
+	}
+
+	// No metadata block.
+	r, err = ParseRule(`<*> -> [ALL]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Match[0].Any || r.Class != "ALL" || len(r.Meta) != 0 {
+		t.Errorf("rule: %+v", r)
+	}
+
+	// Unicode arrow.
+	r, err = ParseRule(`<-> → [D, {}]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Class != "D" {
+		t.Errorf("rule: %+v", r)
+	}
+}
+
+func TestParseRuleErrors(t *testing.T) {
+	cases := []string{
+		``,
+		`GET -> [X]`,
+		`<GET> [X]`,
+		`<GET> -> X`,
+		`<GET> -> []`,
+		`<GET> -> [X, {a}`,
+		`<"unterminated> -> [X]`,
+		`<,> -> [X]`,
+	}
+	for _, s := range cases {
+		if _, err := ParseRule(s); err == nil {
+			t.Errorf("ParseRule(%q) succeeded", s)
+		}
+	}
+}
+
+func TestParseRulesErrors(t *testing.T) {
+	c := NewClassifier("s", []string{"f"}, nil)
+	if err := c.ParseRules("no colon here"); err == nil {
+		t.Error("accepted line without ruleset prefix")
+	}
+	if err := c.ParseRules("r: <bad"); err == nil {
+		t.Error("accepted malformed rule")
+	}
+	if err := c.ParseRules("r: <a, b> -> [X]"); err == nil {
+		t.Error("accepted too many patterns")
+	}
+}
+
+func TestQualifiedClassSplit(t *testing.T) {
+	q := QualifiedClass("memcached", "r1", "GET")
+	if q != "memcached.r1.GET" {
+		t.Errorf("QualifiedClass = %q", q)
+	}
+	s, rs, cl, ok := SplitClass(q)
+	if !ok || s != "memcached" || rs != "r1" || cl != "GET" {
+		t.Errorf("SplitClass = %q %q %q %v", s, rs, cl, ok)
+	}
+	for _, bad := range []string{"", "a", "a.b", "a.b.", ".b.c", "a..c"} {
+		if _, _, _, ok := SplitClass(bad); ok {
+			t.Errorf("SplitClass(%q) ok", bad)
+		}
+	}
+	// Class part may itself contain dots.
+	_, _, cl, ok = SplitClass("a.b.c.d")
+	if !ok || cl != "c.d" {
+		t.Errorf("SplitClass nested = %q %v", cl, ok)
+	}
+}
+
+func TestRuleString(t *testing.T) {
+	r := Rule{
+		Match: []Pattern{{Value: "GET"}, {Any: true}, {Value: "has space"}},
+		Class: "X", Meta: []string{"msg_id"},
+	}
+	s := r.String()
+	for _, want := range []string{"GET", "*", `"has space"`, "[X", "{msg_id}"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String %q missing %q", s, want)
+		}
+	}
+	// String output must re-parse to an equivalent rule.
+	r2, err := ParseRule(s)
+	if err != nil {
+		t.Fatalf("reparse: %v", err)
+	}
+	if len(r2.Match) != 3 || r2.Match[2].Value != "has space" || r2.Class != "X" {
+		t.Errorf("reparse mismatch: %+v", r2)
+	}
+}
+
+// Property: for any value set, each rule-set yields at most one class, and
+// adding a trailing catch-all makes classification total.
+func TestQuickClassifyTotality(t *testing.T) {
+	c := NewClassifier("s", []string{"f1", "f2"}, nil)
+	rs := c.RuleSet("r")
+	rs.Add(Rule{Match: []Pattern{{Value: "a"}, {Value: "b"}}, Class: "AB"})
+	rs.Add(Rule{Match: []Pattern{{Value: "a"}}, Class: "A"})
+	rs.Add(Rule{Match: []Pattern{{Any: true}, {Any: true}}, Class: "ALL"})
+
+	f := func(v1, v2 string) bool {
+		got := c.Classify([]string{v1, v2})
+		if len(got) != 1 {
+			return false
+		}
+		switch {
+		case v1 == "a" && v2 == "b":
+			return got[0].Class == "s.r.AB"
+		case v1 == "a":
+			return got[0].Class == "s.r.A"
+		default:
+			return got[0].Class == "s.r.ALL"
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkClassify(b *testing.B) {
+	c := NewClassifier("memcached",
+		[]string{"msg_type", "key"},
+		[]string{"msg_id", "msg_size"})
+	if err := c.ParseRules(`
+		r1: <GET, -> -> [GET, {msg_id, msg_size}]
+		r1: <PUT, -> -> [PUT, {msg_id, msg_size}]
+		r2: <*, ->   -> [DEFAULT, {msg_id}]
+	`); err != nil {
+		b.Fatal(err)
+	}
+	vals := []string{"PUT", "somekey"}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if got := c.Classify(vals); len(got) != 2 {
+			b.Fatal("bad classification")
+		}
+	}
+}

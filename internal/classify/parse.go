@@ -1,0 +1,140 @@
+package classify
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseRule parses one classification rule in the paper's syntax
+// (Figure 6):
+//
+//	<GET, - >        -> [GET, {msg_id, msg_size}]
+//	<*, "a">         -> [A, {msg_id}]
+//	<*, *>           -> [OTHER, {}]
+//
+// Patterns are comma-separated; "*" and "-" are wildcards; values may be
+// double-quoted. The metadata list may be empty or the braces omitted.
+func ParseRule(s string) (Rule, error) {
+	var r Rule
+	s = strings.TrimSpace(s)
+
+	open := strings.Index(s, "<")
+	clos := strings.Index(s, ">")
+	if open != 0 || clos < 0 {
+		return r, fmt.Errorf("classify: rule %q: missing <classifier>", s)
+	}
+	pats, err := parsePatterns(s[open+1 : clos])
+	if err != nil {
+		return r, fmt.Errorf("classify: rule %q: %v", s, err)
+	}
+	r.Match = pats
+
+	rest := strings.TrimSpace(s[clos+1:])
+	switch {
+	case strings.HasPrefix(rest, "->"):
+		rest = rest[2:]
+	case strings.HasPrefix(rest, "→"):
+		rest = rest[len("→"):]
+	default:
+		return r, fmt.Errorf("classify: rule %q: missing '->'", s)
+	}
+	rest = strings.TrimSpace(rest)
+	if !strings.HasPrefix(rest, "[") || !strings.HasSuffix(rest, "]") {
+		return r, fmt.Errorf("classify: rule %q: missing [class, {meta}]", s)
+	}
+	body := rest[1 : len(rest)-1]
+
+	// Split class name from the optional {meta} block.
+	if i := strings.Index(body, "{"); i >= 0 {
+		j := strings.LastIndex(body, "}")
+		if j < i {
+			return r, fmt.Errorf("classify: rule %q: unbalanced braces", s)
+		}
+		for _, m := range strings.Split(body[i+1:j], ",") {
+			m = strings.TrimSpace(m)
+			if m != "" {
+				r.Meta = append(r.Meta, m)
+			}
+		}
+		body = body[:i]
+	}
+	r.Class = strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(body), ","))
+	if r.Class == "" {
+		return r, fmt.Errorf("classify: rule %q: empty class name", s)
+	}
+	return r, nil
+}
+
+func parsePatterns(s string) ([]Pattern, error) {
+	var pats []Pattern
+	for _, tok := range splitTopLevel(s, ',') {
+		tok = strings.TrimSpace(tok)
+		switch {
+		case tok == "" && len(pats) == 0 && strings.TrimSpace(s) == "":
+			// empty classifier: matches everything
+		case tok == Wildcard || tok == NotExamined:
+			pats = append(pats, Pattern{Any: true})
+		case strings.HasPrefix(tok, "\""):
+			v, err := strconv.Unquote(tok)
+			if err != nil {
+				return nil, fmt.Errorf("bad quoted value %s: %v", tok, err)
+			}
+			pats = append(pats, Pattern{Value: v})
+		case tok == "":
+			return nil, fmt.Errorf("empty pattern")
+		default:
+			pats = append(pats, Pattern{Value: tok})
+		}
+	}
+	return pats, nil
+}
+
+// splitTopLevel splits on sep outside double quotes.
+func splitTopLevel(s string, sep byte) []string {
+	var out []string
+	depth := false
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			depth = !depth
+		case sep:
+			if !depth {
+				out = append(out, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	out = append(out, s[start:])
+	return out
+}
+
+// ParseRules parses a newline-separated list of "ruleset: rule" lines into
+// the classifier, e.g.:
+//
+//	r1: <GET, -> -> [GET, {msg_id, msg_size}]
+//	r1: <PUT, -> -> [PUT, {msg_id, msg_size}]
+//	r2: <*, ->   -> [DEFAULT, {msg_id}]
+//
+// Blank lines and lines starting with '#' or ';' are ignored.
+func (c *Classifier) ParseRules(src string) error {
+	for ln, line := range strings.Split(src, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || line[0] == '#' || line[0] == ';' {
+			continue
+		}
+		name, rest, ok := strings.Cut(line, ":")
+		if !ok {
+			return fmt.Errorf("classify: line %d: missing 'ruleset:' prefix", ln+1)
+		}
+		r, err := ParseRule(rest)
+		if err != nil {
+			return fmt.Errorf("classify: line %d: %v", ln+1, err)
+		}
+		if _, err := c.AddRule(strings.TrimSpace(name), r); err != nil {
+			return fmt.Errorf("classify: line %d: %v", ln+1, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,214 @@
+package compiler
+
+import (
+	"eden/internal/edenvm"
+	"eden/internal/lang"
+)
+
+// call compiles intrinsic calls and user function applications. User
+// functions are inlined at the call site; a recursive call in tail
+// position of its own function compiles to parameter reassignment plus a
+// jump (the tail-recursion-as-loop optimization of §3.4.4).
+func (c *compiler) call(e *lang.CallExpr, tail *inlineCtx) (lang.Type, error) {
+	// Intrinsics.
+	switch e.Name {
+	case "rand":
+		if len(e.Args) != 0 {
+			return lang.TypeUnknown, errf(e.Pos, "rand takes no arguments")
+		}
+		c.emit(edenvm.OpRand, 0)
+		return lang.TypeInt, nil
+
+	case "clock":
+		if len(e.Args) != 0 {
+			return lang.TypeUnknown, errf(e.Pos, "clock takes no arguments")
+		}
+		c.emit(edenvm.OpClock, 0)
+		return lang.TypeInt, nil
+
+	case "randrange":
+		if err := c.intArgs(e, 1); err != nil {
+			return lang.TypeUnknown, err
+		}
+		c.emit(edenvm.OpRandRange, 0)
+		return lang.TypeInt, nil
+
+	case "hash":
+		if err := c.intArgs(e, 2); err != nil {
+			return lang.TypeUnknown, err
+		}
+		c.emit(edenvm.OpHash, 0)
+		return lang.TypeInt, nil
+
+	case "min", "max":
+		if err := c.intArgs(e, 2); err != nil {
+			return lang.TypeUnknown, err
+		}
+		// Stack: [a, b]. Spill to temporaries and compare.
+		a := c.defineVar("$min_a", lang.TypeInt)
+		b := c.defineVar("$min_b", lang.TypeInt)
+		c.emit(edenvm.OpStore, int64(b))
+		c.emit(edenvm.OpStore, int64(a))
+		c.emit(edenvm.OpLoad, int64(a))
+		c.emit(edenvm.OpLoad, int64(b))
+		if e.Name == "min" {
+			c.emit(edenvm.OpLe, 0)
+		} else {
+			c.emit(edenvm.OpGe, 0)
+		}
+		jz := c.emit(edenvm.OpJz, 0)
+		c.emit(edenvm.OpLoad, int64(a))
+		jmp := c.emit(edenvm.OpJmp, 0)
+		c.patch(jz, c.here())
+		c.emit(edenvm.OpLoad, int64(b))
+		c.patch(jmp, c.here())
+		return lang.TypeInt, nil
+
+	case "abs":
+		if err := c.intArgs(e, 1); err != nil {
+			return lang.TypeUnknown, err
+		}
+		v := c.defineVar("$abs", lang.TypeInt)
+		c.emit(edenvm.OpStore, int64(v))
+		c.emit(edenvm.OpLoad, int64(v))
+		c.emit(edenvm.OpConst, 0)
+		c.emit(edenvm.OpGe, 0)
+		jz := c.emit(edenvm.OpJz, 0)
+		c.emit(edenvm.OpLoad, int64(v))
+		jmp := c.emit(edenvm.OpJmp, 0)
+		c.patch(jz, c.here())
+		c.emit(edenvm.OpLoad, int64(v))
+		c.emit(edenvm.OpNeg, 0)
+		c.patch(jmp, c.here())
+		return lang.TypeInt, nil
+	}
+
+	// User-defined function.
+	fd, ok := c.lookupFunc(e.Name)
+	if !ok {
+		return lang.TypeUnknown, errf(e.Pos, "undefined function %q", e.Name)
+	}
+	if len(e.Args) != len(fd.def.Params) {
+		return lang.TypeUnknown, errf(e.Pos, "%q takes %d arguments, got %d",
+			e.Name, len(fd.def.Params), len(e.Args))
+	}
+
+	// Tail call to the function currently being inlined: reassign its
+	// parameters and jump back to its start.
+	if tail != nil && tail.name == e.Name {
+		for _, a := range e.Args {
+			typ, err := c.expr(a, nil)
+			if err != nil {
+				return lang.TypeUnknown, err
+			}
+			if typ != lang.TypeInt {
+				return lang.TypeUnknown, errf(a.Position(), "function arguments must be int, got %s", typ)
+			}
+		}
+		// Arguments were pushed left to right; stores pop right to left.
+		for i := len(tail.paramSlots) - 1; i >= 0; i-- {
+			c.emit(edenvm.OpStore, int64(tail.paramSlots[i]))
+		}
+		c.emit(edenvm.OpJmp, int64(tail.startPC))
+		return typeTailCall, nil
+	}
+
+	// A recursive call NOT in tail position (or to a function that is not
+	// the innermost one being inlined while recursive) is rejected.
+	if fd.def.Rec && c.inlining(e.Name) {
+		return lang.TypeUnknown, errf(e.Pos,
+			"recursive call to %q is not in tail position; only tail recursion is supported", e.Name)
+	}
+	if !fd.def.Rec && c.inlining(e.Name) {
+		return lang.TypeUnknown, errf(e.Pos, "function %q calls itself but is not declared 'rec'", e.Name)
+	}
+
+	return c.inlineCall(e, fd)
+}
+
+func (c *compiler) inlining(name string) bool {
+	for ctx := c.inline; ctx != nil; ctx = ctx.parent {
+		if ctx.name == name {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *compiler) intArgs(e *lang.CallExpr, n int) error {
+	if len(e.Args) != n {
+		return errf(e.Pos, "%s takes %d argument(s), got %d", e.Name, n, len(e.Args))
+	}
+	for _, a := range e.Args {
+		typ, err := c.expr(a, nil)
+		if err != nil {
+			return err
+		}
+		if typ != lang.TypeInt {
+			return errf(a.Position(), "%s requires int arguments, got %s", e.Name, typ)
+		}
+	}
+	return nil
+}
+
+// inlineCall expands a function body at the call site. Parameters become
+// fresh local slots; the body is compiled in the function's captured
+// definition scope extended with the parameters. For 'rec' functions the
+// body start is recorded so tail calls can jump back.
+func (c *compiler) inlineCall(e *lang.CallExpr, fd *funcDef) (lang.Type, error) {
+	if c.depth >= maxInlineDepth {
+		return lang.TypeUnknown, errf(e.Pos, "function call nesting too deep (max %d)", maxInlineDepth)
+	}
+
+	// Evaluate arguments in the caller's scope, then store to fresh
+	// parameter slots (pop order is reversed).
+	slots := make([]int, len(e.Args))
+	for i, a := range e.Args {
+		typ, err := c.expr(a, nil)
+		if err != nil {
+			return lang.TypeUnknown, err
+		}
+		if typ != lang.TypeInt {
+			return lang.TypeUnknown, errf(a.Position(), "function arguments must be int, got %s", typ)
+		}
+		slots[i] = c.nextLocal
+		c.nextLocal++
+	}
+	for i := len(slots) - 1; i >= 0; i-- {
+		c.emit(edenvm.OpStore, int64(slots[i]))
+	}
+
+	// Switch to the definition-site scope chain plus a frame for params.
+	savedScopes := c.scopes
+	savedInline := c.inline
+	c.scopes = append(append([]*scopeFrame{}, fd.scope...), &scopeFrame{
+		vars:  map[string]localVar{},
+		funcs: map[string]*funcDef{},
+	})
+	frame := c.scopes[len(c.scopes)-1]
+	for i, name := range fd.def.Params {
+		frame.vars[name] = localVar{slot: slots[i], typ: lang.TypeInt}
+	}
+
+	ctx := &inlineCtx{name: fd.def.Name, startPC: -1, parent: savedInline}
+	var bodyTail *inlineCtx
+	if fd.def.Rec {
+		ctx.paramSlots = slots
+		ctx.startPC = c.here()
+		bodyTail = ctx
+	}
+	c.inline = ctx
+	c.depth++
+	typ, err := c.expr(fd.def.Body, bodyTail)
+
+	c.depth--
+	c.inline = savedInline
+	c.scopes = savedScopes
+	if err != nil {
+		return lang.TypeUnknown, err
+	}
+	if typ == typeTailCall {
+		return lang.TypeUnknown, errf(e.Pos, "function %q never terminates (all paths recurse)", e.Name)
+	}
+	return typ, nil
+}

@@ -1,0 +1,745 @@
+// Package compiler lowers Eden action-function source (internal/lang) to
+// enclave bytecode (internal/edenvm). Besides code generation, the
+// compiler performs the state-dependency resolution of §3.4.4: it
+// determines which packet fields the function reads and writes (the
+// HeaderMap bindings), lays out message and global state slots from the
+// declaration block, infers access levels (read-only vs read-write) from
+// use — which in turn fixes the enclave concurrency model — and rejects
+// unsafe programs (undeclared state, type errors, non-tail recursion).
+//
+// Local functions are inlined at each call site; recursive functions must
+// be tail-recursive and compile to loops (the paper's "recognizing tail
+// recursion and compiling it as a loop" optimization, §3.4.4). As a
+// consequence the generated code never uses the VM's call stack, and the
+// verifier's stack-depth analysis is exact.
+package compiler
+
+import (
+	"fmt"
+
+	"eden/internal/edenvm"
+	"eden/internal/lang"
+	"eden/internal/packet"
+)
+
+// Func is a compiled action function: the verified program plus the state
+// bindings the enclave needs to prepare invocations and the controller
+// needs to address global state by name.
+type Func struct {
+	// Name identifies the function.
+	Name string
+	// Prog is the verified bytecode program.
+	Prog *edenvm.Program
+	// PktFields maps packet state slot i to its packet field. The enclave
+	// copies these fields into the invocation's packet vector and writes
+	// back the writable ones after a successful run.
+	PktFields []packet.Field
+	// MsgFields names the message state slots, in slot order.
+	MsgFields []string
+	// MsgDefaults holds the initial value of each message slot (the
+	// paper's "default initializers", Figure 8).
+	MsgDefaults []int64
+	// GlobalScalars names the global scalar slots, in slot order.
+	GlobalScalars []string
+	// GlobalDefaults holds the initial value of each global scalar slot.
+	GlobalDefaults []int64
+	// GlobalArrays names the global arrays, in handle order: array k is
+	// env.Arrays[k].
+	GlobalArrays []string
+	// Source is the original program text (kept for diagnostics and for
+	// shipping to other platforms).
+	Source string
+}
+
+// Concurrency returns the enclave scheduling class for the function.
+func (f *Func) Concurrency() edenvm.Concurrency { return f.Prog.State.Concurrency() }
+
+// CompileError is a compilation failure with source position.
+type CompileError struct {
+	Pos lang.Pos
+	Msg string
+}
+
+// Error implements the error interface.
+func (e *CompileError) Error() string { return fmt.Sprintf("compile: %s: %s", e.Pos, e.Msg) }
+
+func errf(pos lang.Pos, format string, args ...any) error {
+	return &CompileError{pos, fmt.Sprintf(format, args...)}
+}
+
+// Compile parses and compiles an action-function source file.
+func Compile(name, src string) (*Func, error) {
+	prog, err := lang.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return CompileAST(name, src, prog)
+}
+
+// MustCompile is Compile that panics on error; for the built-in function
+// library and tests.
+func MustCompile(name, src string) *Func {
+	f, err := Compile(name, src)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// CompileAST compiles an already-parsed program.
+func CompileAST(name, src string, prog *lang.Program) (*Func, error) {
+	c := &compiler{
+		fn: &Func{Name: name, Source: src},
+		out: &edenvm.Program{
+			Name:       name,
+			FieldNames: map[string]string{},
+		},
+		pktSlots:   map[packet.Field]int{},
+		msgSlots:   map[string]int{},
+		glbScalars: map[string]int{},
+		glbArrays:  map[string]int{},
+	}
+	if err := c.layoutState(prog); err != nil {
+		return nil, err
+	}
+	for _, s := range prog.Body {
+		foldStmt(s)
+	}
+	c.pushScope()
+	c.params = prog.Params
+	for i, p := range prog.Params {
+		for j := 0; j < i; j++ {
+			if prog.Params[j] == p {
+				return nil, errf(lang.Pos{}, "duplicate parameter name %q", p)
+			}
+		}
+	}
+	if err := c.stmts(prog.Body); err != nil {
+		return nil, err
+	}
+	c.emit(edenvm.OpHalt, 0)
+
+	// Unused state vectors get AccessNone; the message/global access
+	// levels were raised during compilation as loads/stores were seen.
+	c.out.NumLocals = c.nextLocal
+	c.out.State.PacketFields = len(c.fn.PktFields)
+	c.out.State.MsgFields = len(c.fn.MsgFields)
+	c.out.State.GlobalFields = len(c.fn.GlobalScalars)
+	if err := edenvm.Verify(c.out); err != nil {
+		return nil, fmt.Errorf("compile: generated code failed verification: %w", err)
+	}
+	c.fn.Prog = c.out
+	return c.fn, nil
+}
+
+type funcDef struct {
+	def   *lang.FuncStmt
+	scope []*scopeFrame // scope chain captured at definition
+}
+
+type localVar struct {
+	slot int
+	typ  lang.Type
+}
+
+type scopeFrame struct {
+	vars  map[string]localVar
+	funcs map[string]*funcDef
+}
+
+// inlineCtx tracks the function currently being inlined, for tail-call
+// compilation.
+type inlineCtx struct {
+	name       string
+	paramSlots []int
+	startPC    int
+	parent     *inlineCtx
+}
+
+type compiler struct {
+	fn  *Func
+	out *edenvm.Program
+
+	params [3]string
+
+	pktSlots   map[packet.Field]int
+	msgSlots   map[string]int
+	glbScalars map[string]int
+	glbArrays  map[string]int
+	glbTypes   map[string]lang.Type
+
+	scopes    []*scopeFrame
+	nextLocal int
+	inline    *inlineCtx
+	depth     int // inline nesting depth, to bound pathological programs
+}
+
+const maxInlineDepth = 16
+
+func (c *compiler) layoutState(prog *lang.Program) error {
+	c.glbTypes = map[string]lang.Type{}
+	for _, d := range prog.Decls {
+		switch d.Kind {
+		case lang.StateMsg:
+			if _, dup := c.msgSlots[d.Name]; dup {
+				return errf(d.Pos, "duplicate msg declaration %q", d.Name)
+			}
+			c.msgSlots[d.Name] = len(c.fn.MsgFields)
+			c.fn.MsgFields = append(c.fn.MsgFields, d.Name)
+			c.fn.MsgDefaults = append(c.fn.MsgDefaults, d.Default)
+			c.out.FieldNames[fmt.Sprintf("msg.%d", c.msgSlots[d.Name])] = d.Name
+		case lang.StateGlobal:
+			if _, dup := c.glbScalars[d.Name]; dup {
+				return errf(d.Pos, "duplicate global declaration %q", d.Name)
+			}
+			if _, dup := c.glbArrays[d.Name]; dup {
+				return errf(d.Pos, "duplicate global declaration %q", d.Name)
+			}
+			c.glbTypes[d.Name] = d.Type
+			if d.Type == lang.TypeIntArray {
+				c.glbArrays[d.Name] = len(c.fn.GlobalArrays)
+				c.fn.GlobalArrays = append(c.fn.GlobalArrays, d.Name)
+			} else {
+				c.glbScalars[d.Name] = len(c.fn.GlobalScalars)
+				c.fn.GlobalScalars = append(c.fn.GlobalScalars, d.Name)
+				c.fn.GlobalDefaults = append(c.fn.GlobalDefaults, d.Default)
+				c.out.FieldNames[fmt.Sprintf("glb.%d", c.glbScalars[d.Name])] = d.Name
+			}
+		}
+	}
+	return nil
+}
+
+func (c *compiler) pushScope() {
+	c.scopes = append(c.scopes, &scopeFrame{vars: map[string]localVar{}, funcs: map[string]*funcDef{}})
+}
+
+func (c *compiler) popScope() { c.scopes = c.scopes[:len(c.scopes)-1] }
+
+func (c *compiler) lookupVar(name string) (localVar, bool) {
+	for i := len(c.scopes) - 1; i >= 0; i-- {
+		if v, ok := c.scopes[i].vars[name]; ok {
+			return v, true
+		}
+	}
+	return localVar{}, false
+}
+
+func (c *compiler) lookupFunc(name string) (*funcDef, bool) {
+	for i := len(c.scopes) - 1; i >= 0; i-- {
+		if f, ok := c.scopes[i].funcs[name]; ok {
+			return f, true
+		}
+	}
+	return nil, false
+}
+
+func (c *compiler) defineVar(name string, typ lang.Type) int {
+	slot := c.nextLocal
+	c.nextLocal++
+	c.scopes[len(c.scopes)-1].vars[name] = localVar{slot: slot, typ: typ}
+	return slot
+}
+
+func (c *compiler) emit(op edenvm.Opcode, a int64) int {
+	c.out.Code = append(c.out.Code, edenvm.Instr{Op: op, A: a})
+	return len(c.out.Code) - 1
+}
+
+// patch sets the operand of a previously emitted branch.
+func (c *compiler) patch(pc int, target int) { c.out.Code[pc].A = int64(target) }
+
+func (c *compiler) here() int { return len(c.out.Code) }
+
+// raise lifts an access level to at least lvl.
+func raise(a *edenvm.Access, lvl edenvm.Access) {
+	if *a < lvl {
+		*a = lvl
+	}
+}
+
+func (c *compiler) pktSlot(f packet.Field) int {
+	if s, ok := c.pktSlots[f]; ok {
+		return s
+	}
+	s := len(c.fn.PktFields)
+	c.pktSlots[f] = s
+	c.fn.PktFields = append(c.fn.PktFields, f)
+	c.out.FieldNames[fmt.Sprintf("pkt.%d", s)] = f.String()
+	return s
+}
+
+func (c *compiler) stmts(list []lang.Stmt) error {
+	for _, s := range list {
+		if err := c.stmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *compiler) stmt(s lang.Stmt) error {
+	switch s := s.(type) {
+	case *lang.LetStmt:
+		typ, err := c.expr(s.Init, nil)
+		if err != nil {
+			return err
+		}
+		if typ == lang.TypeUnit {
+			return errf(s.Pos, "cannot bind %q to a unit value", s.Name)
+		}
+		slot := c.defineVar(s.Name, typ)
+		c.emit(edenvm.OpStore, int64(slot))
+		return nil
+
+	case *lang.FuncStmt:
+		if len(s.Params) > edenvm.MaxLocals/4 {
+			return errf(s.Pos, "too many parameters")
+		}
+		// Capture the scope chain so the body resolves names as written
+		// at the definition site.
+		chain := make([]*scopeFrame, len(c.scopes))
+		copy(chain, c.scopes)
+		c.scopes[len(c.scopes)-1].funcs[s.Name] = &funcDef{def: s, scope: chain}
+		return nil
+
+	case *lang.AssignStmt:
+		return c.assign(s)
+
+	case *lang.ExprStmt:
+		typ, err := c.expr(s.X, nil)
+		if err != nil {
+			return err
+		}
+		if typ != lang.TypeUnit {
+			c.emit(edenvm.OpPop, 0)
+		}
+		return nil
+
+	default:
+		return errf(lang.Pos{}, "unknown statement %T", s)
+	}
+}
+
+func (c *compiler) assign(s *lang.AssignStmt) error {
+	switch t := s.Target.(type) {
+	case *lang.IdentExpr:
+		v, ok := c.lookupVar(t.Name)
+		if !ok {
+			return errf(t.Pos, "assignment to undefined variable %q", t.Name)
+		}
+		typ, err := c.expr(s.Value, nil)
+		if err != nil {
+			return err
+		}
+		if typ != v.typ {
+			return errf(s.Pos, "cannot assign %s to variable %q of type %s", typ, t.Name, v.typ)
+		}
+		c.emit(edenvm.OpStore, int64(v.slot))
+		return nil
+
+	case *lang.MemberExpr:
+		typ, err := c.expr(s.Value, nil)
+		if err != nil {
+			return err
+		}
+		if typ != lang.TypeInt {
+			return errf(s.Pos, "state fields hold int values, not %s", typ)
+		}
+		return c.storeMember(t)
+
+	case *lang.IndexExpr:
+		// arr.[i] <- v (global array element update).
+		atyp, err := c.expr(t.Arr, nil)
+		if err != nil {
+			return err
+		}
+		if atyp != lang.TypeIntArray {
+			return errf(t.Pos, "indexed assignment target is %s, not an array", atyp)
+		}
+		ityp, err := c.expr(t.Idx, nil)
+		if err != nil {
+			return err
+		}
+		if ityp != lang.TypeInt {
+			return errf(t.Pos, "array index must be int, not %s", ityp)
+		}
+		vtyp, err := c.expr(s.Value, nil)
+		if err != nil {
+			return err
+		}
+		if vtyp != lang.TypeInt {
+			return errf(s.Pos, "array elements hold int values, not %s", vtyp)
+		}
+		raise(&c.out.State.GlobalAccess, edenvm.AccessReadWrite)
+		c.emit(edenvm.OpAStore, 0)
+		return nil
+
+	default:
+		return errf(s.Pos, "invalid assignment target")
+	}
+}
+
+func (c *compiler) storeMember(m *lang.MemberExpr) error {
+	switch m.Base {
+	case c.params[0]: // packet
+		f, ok := packet.FieldByName(m.Name)
+		if !ok {
+			return errf(m.Pos, "unknown packet field %q", m.Name)
+		}
+		if !f.Writable() {
+			return errf(m.Pos, "packet field %q is read-only", m.Name)
+		}
+		c.emit(edenvm.OpStPkt, int64(c.pktSlot(f)))
+		return nil
+	case c.params[1]: // msg
+		slot, ok := c.msgSlots[m.Name]
+		if !ok {
+			return errf(m.Pos, "undeclared msg state %q (declare with 'msg %s : int')", m.Name, m.Name)
+		}
+		raise(&c.out.State.MsgAccess, edenvm.AccessReadWrite)
+		c.emit(edenvm.OpStMsg, int64(slot))
+		return nil
+	case c.params[2]: // global
+		slot, ok := c.glbScalars[m.Name]
+		if !ok {
+			if _, isArr := c.glbArrays[m.Name]; isArr {
+				return errf(m.Pos, "cannot assign whole array %q; assign elements", m.Name)
+			}
+			return errf(m.Pos, "undeclared global state %q (declare with 'global %s : int')", m.Name, m.Name)
+		}
+		raise(&c.out.State.GlobalAccess, edenvm.AccessReadWrite)
+		c.emit(edenvm.OpStGlb, int64(slot))
+		return nil
+	default:
+		return errf(m.Pos, "member assignment base %q is not a function parameter", m.Base)
+	}
+}
+
+// expr compiles an expression, leaving its value on the stack (except for
+// unit-typed expressions, which leave nothing) and returning its type.
+// tail, when non-nil, marks that the expression is in tail position of the
+// named function being inlined, enabling tail-call loops.
+func (c *compiler) expr(e lang.Expr, tail *inlineCtx) (lang.Type, error) {
+	switch e := e.(type) {
+	case *lang.IntExpr:
+		c.emit(edenvm.OpConst, e.Value)
+		return lang.TypeInt, nil
+
+	case *lang.BoolExpr:
+		v := int64(0)
+		if e.Value {
+			v = 1
+		}
+		c.emit(edenvm.OpConst, v)
+		return lang.TypeBool, nil
+
+	case *lang.UnitExpr:
+		return lang.TypeUnit, nil
+
+	case *lang.IdentExpr:
+		if v, ok := c.lookupVar(e.Name); ok {
+			c.emit(edenvm.OpLoad, int64(v.slot))
+			return v.typ, nil
+		}
+		if _, ok := c.lookupFunc(e.Name); ok {
+			return lang.TypeUnknown, errf(e.Pos, "function %q used as a value (apply it to arguments)", e.Name)
+		}
+		return lang.TypeUnknown, errf(e.Pos, "undefined variable %q", e.Name)
+
+	case *lang.MemberExpr:
+		return c.loadMember(e)
+
+	case *lang.IndexExpr:
+		atyp, err := c.expr(e.Arr, nil)
+		if err != nil {
+			return lang.TypeUnknown, err
+		}
+		if atyp != lang.TypeIntArray {
+			return lang.TypeUnknown, errf(e.Pos, "cannot index a %s", atyp)
+		}
+		ityp, err := c.expr(e.Idx, nil)
+		if err != nil {
+			return lang.TypeUnknown, err
+		}
+		if ityp != lang.TypeInt {
+			return lang.TypeUnknown, errf(e.Pos, "array index must be int, not %s", ityp)
+		}
+		c.emit(edenvm.OpALoad, 0)
+		return lang.TypeInt, nil
+
+	case *lang.LenExpr:
+		atyp, err := c.expr(e.Arr, nil)
+		if err != nil {
+			return lang.TypeUnknown, err
+		}
+		if atyp != lang.TypeIntArray {
+			return lang.TypeUnknown, errf(e.Pos, ".Length requires an array, not %s", atyp)
+		}
+		c.emit(edenvm.OpALen, 0)
+		return lang.TypeInt, nil
+
+	case *lang.UnaryExpr:
+		typ, err := c.expr(e.X, nil)
+		if err != nil {
+			return lang.TypeUnknown, err
+		}
+		switch e.Op {
+		case "-":
+			if typ != lang.TypeInt {
+				return lang.TypeUnknown, errf(e.Pos, "unary '-' requires int, not %s", typ)
+			}
+			c.emit(edenvm.OpNeg, 0)
+			return lang.TypeInt, nil
+		case "not":
+			if typ != lang.TypeBool {
+				return lang.TypeUnknown, errf(e.Pos, "'not' requires bool, not %s", typ)
+			}
+			c.emit(edenvm.OpConst, 0)
+			c.emit(edenvm.OpEq, 0)
+			return lang.TypeBool, nil
+		}
+		return lang.TypeUnknown, errf(e.Pos, "unknown unary operator %q", e.Op)
+
+	case *lang.BinaryExpr:
+		return c.binary(e)
+
+	case *lang.IfExpr:
+		return c.ifExpr(e, tail)
+
+	case *lang.CallExpr:
+		return c.call(e, tail)
+
+	case *lang.BlockExpr:
+		return c.block(e, tail)
+
+	default:
+		return lang.TypeUnknown, errf(e.Position(), "unknown expression %T", e)
+	}
+}
+
+func (c *compiler) loadMember(e *lang.MemberExpr) (lang.Type, error) {
+	switch e.Base {
+	case c.params[0]:
+		f, ok := packet.FieldByName(e.Name)
+		if !ok {
+			return lang.TypeUnknown, errf(e.Pos, "unknown packet field %q", e.Name)
+		}
+		c.emit(edenvm.OpLdPkt, int64(c.pktSlot(f)))
+		return lang.TypeInt, nil
+	case c.params[1]:
+		slot, ok := c.msgSlots[e.Name]
+		if !ok {
+			return lang.TypeUnknown, errf(e.Pos, "undeclared msg state %q", e.Name)
+		}
+		raise(&c.out.State.MsgAccess, edenvm.AccessReadOnly)
+		c.emit(edenvm.OpLdMsg, int64(slot))
+		return lang.TypeInt, nil
+	case c.params[2]:
+		if slot, ok := c.glbScalars[e.Name]; ok {
+			raise(&c.out.State.GlobalAccess, edenvm.AccessReadOnly)
+			c.emit(edenvm.OpLdGlb, int64(slot))
+			return lang.TypeInt, nil
+		}
+		if handle, ok := c.glbArrays[e.Name]; ok {
+			raise(&c.out.State.GlobalAccess, edenvm.AccessReadOnly)
+			c.emit(edenvm.OpConst, int64(handle))
+			return lang.TypeIntArray, nil
+		}
+		return lang.TypeUnknown, errf(e.Pos, "undeclared global state %q", e.Name)
+	default:
+		if v, ok := c.lookupVar(e.Base); ok && v.typ == lang.TypeIntArray {
+			return lang.TypeUnknown, errf(e.Pos, "array %q has no field %q (use .[i] or .Length)", e.Base, e.Name)
+		}
+		return lang.TypeUnknown, errf(e.Pos, "member access base %q is not a function parameter", e.Base)
+	}
+}
+
+func (c *compiler) binary(e *lang.BinaryExpr) (lang.Type, error) {
+	switch e.Op {
+	case "&&", "||":
+		lt, err := c.expr(e.L, nil)
+		if err != nil {
+			return lang.TypeUnknown, err
+		}
+		if lt != lang.TypeBool {
+			return lang.TypeUnknown, errf(e.Pos, "%q requires bool operands, got %s", e.Op, lt)
+		}
+		var short int
+		if e.Op == "&&" {
+			short = c.emit(edenvm.OpJz, 0) // on false, result is 0
+		} else {
+			short = c.emit(edenvm.OpJnz, 0) // on true, result is 1
+		}
+		rt, err := c.expr(e.R, nil)
+		if err != nil {
+			return lang.TypeUnknown, err
+		}
+		if rt != lang.TypeBool {
+			return lang.TypeUnknown, errf(e.Pos, "%q requires bool operands, got %s", e.Op, rt)
+		}
+		end := c.emit(edenvm.OpJmp, 0)
+		c.patch(short, c.here())
+		if e.Op == "&&" {
+			c.emit(edenvm.OpConst, 0)
+		} else {
+			c.emit(edenvm.OpConst, 1)
+		}
+		c.patch(end, c.here())
+		return lang.TypeBool, nil
+	}
+
+	lt, err := c.expr(e.L, nil)
+	if err != nil {
+		return lang.TypeUnknown, err
+	}
+	rt, err := c.expr(e.R, nil)
+	if err != nil {
+		return lang.TypeUnknown, err
+	}
+
+	switch e.Op {
+	case "+", "-", "*", "/", "%":
+		if lt != lang.TypeInt || rt != lang.TypeInt {
+			return lang.TypeUnknown, errf(e.Pos, "%q requires int operands, got %s and %s", e.Op, lt, rt)
+		}
+		ops := map[string]edenvm.Opcode{"+": edenvm.OpAdd, "-": edenvm.OpSub, "*": edenvm.OpMul, "/": edenvm.OpDiv, "%": edenvm.OpMod}
+		c.emit(ops[e.Op], 0)
+		return lang.TypeInt, nil
+	case "<", "<=", ">", ">=":
+		if lt != lang.TypeInt || rt != lang.TypeInt {
+			return lang.TypeUnknown, errf(e.Pos, "%q requires int operands, got %s and %s", e.Op, lt, rt)
+		}
+		ops := map[string]edenvm.Opcode{"<": edenvm.OpLt, "<=": edenvm.OpLe, ">": edenvm.OpGt, ">=": edenvm.OpGe}
+		c.emit(ops[e.Op], 0)
+		return lang.TypeBool, nil
+	case "=", "<>":
+		if lt != rt || lt == lang.TypeIntArray || lt == lang.TypeUnit {
+			return lang.TypeUnknown, errf(e.Pos, "%q requires matching int or bool operands, got %s and %s", e.Op, lt, rt)
+		}
+		if e.Op == "=" {
+			c.emit(edenvm.OpEq, 0)
+		} else {
+			c.emit(edenvm.OpNe, 0)
+		}
+		return lang.TypeBool, nil
+	}
+	return lang.TypeUnknown, errf(e.Pos, "unknown operator %q", e.Op)
+}
+
+// compileDead type-checks an unreachable branch and discards its code
+// (constant-condition dead-branch elimination; the branch must still be
+// valid, matching ahead-of-time compiler behaviour).
+func (c *compiler) compileDead(e lang.Expr, tail *inlineCtx) (lang.Type, error) {
+	mark := len(c.out.Code)
+	locals := c.nextLocal
+	typ, err := c.expr(e, tail)
+	c.out.Code = c.out.Code[:mark]
+	c.nextLocal = locals
+	return typ, err
+}
+
+func (c *compiler) ifExpr(e *lang.IfExpr, tail *inlineCtx) (lang.Type, error) {
+	// Constant condition: type-check both branches, emit only the live
+	// one.
+	if b, isConst := e.Cond.(*lang.BoolExpr); isConst {
+		live, dead := e.Then, e.Else
+		if !b.Value {
+			live, dead = e.Else, e.Then
+		}
+		var deadType lang.Type = lang.TypeUnit
+		if dead != nil {
+			t, err := c.compileDead(dead, tail)
+			if err != nil {
+				return lang.TypeUnknown, err
+			}
+			deadType = t
+		}
+		if live == nil {
+			// Statement-if whose condition is constant false.
+			if deadType != lang.TypeUnit && deadType != typeTailCall {
+				return lang.TypeUnknown, errf(e.Pos, "if without else must have unit branches, got %s", deadType)
+			}
+			return lang.TypeUnit, nil
+		}
+		liveType, err := c.expr(live, tail)
+		if err != nil {
+			return lang.TypeUnknown, err
+		}
+		if e.Else == nil {
+			if liveType != lang.TypeUnit {
+				return lang.TypeUnknown, errf(e.Pos, "if without else must have unit branches, got %s", liveType)
+			}
+			return lang.TypeUnit, nil
+		}
+		if liveType != deadType && liveType != typeTailCall && deadType != typeTailCall {
+			return lang.TypeUnknown, errf(e.Pos, "if branches disagree: %s vs %s", liveType, deadType)
+		}
+		if liveType == typeTailCall {
+			return deadType, nil
+		}
+		return liveType, nil
+	}
+
+	ct, err := c.expr(e.Cond, nil)
+	if err != nil {
+		return lang.TypeUnknown, err
+	}
+	if ct != lang.TypeBool {
+		return lang.TypeUnknown, errf(e.Pos, "if condition must be bool, not %s", ct)
+	}
+	jz := c.emit(edenvm.OpJz, 0)
+	thenType, err := c.expr(e.Then, tail)
+	if err != nil {
+		return lang.TypeUnknown, err
+	}
+
+	if e.Else == nil {
+		if thenType != lang.TypeUnit {
+			return lang.TypeUnknown, errf(e.Pos, "if without else must have unit branches, got %s", thenType)
+		}
+		c.patch(jz, c.here())
+		return lang.TypeUnit, nil
+	}
+
+	jmp := c.emit(edenvm.OpJmp, 0)
+	c.patch(jz, c.here())
+	elseType, err := c.expr(e.Else, tail)
+	if err != nil {
+		return lang.TypeUnknown, err
+	}
+	c.patch(jmp, c.here())
+	if thenType != elseType {
+		// A tail call "returns" the function's value; both branches being
+		// tail calls yields TypeUnknown markers that unify with anything.
+		if thenType == typeTailCall {
+			return elseType, nil
+		}
+		if elseType == typeTailCall {
+			return thenType, nil
+		}
+		return lang.TypeUnknown, errf(e.Pos, "if branches disagree: %s vs %s", thenType, elseType)
+	}
+	return thenType, nil
+}
+
+// typeTailCall is an internal marker: the "type" of an expression that
+// ends in a tail call (control transfers; no value is produced here).
+const typeTailCall = lang.Type(250)
+
+func (c *compiler) block(e *lang.BlockExpr, tail *inlineCtx) (lang.Type, error) {
+	c.pushScope()
+	defer c.popScope()
+	for i, s := range e.Stmts {
+		last := i == len(e.Stmts)-1
+		if last {
+			if es, ok := s.(*lang.ExprStmt); ok {
+				return c.expr(es.X, tail)
+			}
+		}
+		if err := c.stmt(s); err != nil {
+			return lang.TypeUnknown, err
+		}
+	}
+	return lang.TypeUnit, nil
+}

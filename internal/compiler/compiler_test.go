@@ -1,0 +1,566 @@
+package compiler
+
+import (
+	"strings"
+	"testing"
+
+	"eden/internal/edenvm"
+	"eden/internal/packet"
+)
+
+// run compiles src and executes it once against the given state. pkt maps
+// field names to values; returns the final packet vector as a name map.
+func run(t *testing.T, src string, pkt map[string]int64, msg []int64, glb []int64, arrays [][]int64) (map[string]int64, []int64, []int64) {
+	t.Helper()
+	f, err := Compile("test", src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return runFunc(t, f, pkt, msg, glb, arrays)
+}
+
+func runFunc(t *testing.T, f *Func, pkt map[string]int64, msg []int64, glb []int64, arrays [][]int64) (map[string]int64, []int64, []int64) {
+	t.Helper()
+	env := &edenvm.Env{
+		Packet: make([]int64, len(f.PktFields)),
+		Msg:    msg,
+		Global: glb,
+		Arrays: arrays,
+	}
+	for i, field := range f.PktFields {
+		if v, ok := pkt[field.String()]; ok {
+			env.Packet[i] = v
+		}
+	}
+	vm := edenvm.NewVM()
+	if _, err := vm.Run(f.Prog, env); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := map[string]int64{}
+	for i, field := range f.PktFields {
+		out[field.String()] = env.Packet[i]
+	}
+	return out, env.Msg, env.Global
+}
+
+const piasSrc = `
+// Figure 7: PIAS priority selection
+msg size : int
+msg priority : int
+global priorities : int array
+global priovals : int array
+
+fun (packet: Packet, msg: Message, _global: Global) ->
+    let msg_size = msg.size + packet.size
+    msg.size <- msg_size
+    let rec search index =
+        if index >= _global.priorities.Length then 0
+        elif msg_size <= _global.priorities.[index] then _global.priovals.[index]
+        else search (index + 1)
+    let desired = msg.priority
+    packet.priority <- (if desired < 1 then desired else search 0)
+`
+
+func TestCompilePIAS(t *testing.T) {
+	f, err := Compile("pias", piasSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Prog.State.MsgAccess != edenvm.AccessReadWrite {
+		t.Errorf("msg access = %v, want rw", f.Prog.State.MsgAccess)
+	}
+	if f.Prog.State.GlobalAccess != edenvm.AccessReadOnly {
+		t.Errorf("global access = %v, want ro", f.Prog.State.GlobalAccess)
+	}
+	if f.Concurrency() != edenvm.ConcurrencyPerMessage {
+		t.Errorf("concurrency = %v, want per-message", f.Concurrency())
+	}
+	if len(f.MsgFields) != 2 || f.MsgFields[0] != "size" || f.MsgFields[1] != "priority" {
+		t.Errorf("msg fields = %v", f.MsgFields)
+	}
+	if len(f.GlobalArrays) != 2 {
+		t.Errorf("global arrays = %v", f.GlobalArrays)
+	}
+	// Packet fields: size (read) and priority (written).
+	var hasSize, hasPrio bool
+	for _, fd := range f.PktFields {
+		hasSize = hasSize || fd == packet.FieldSize
+		hasPrio = hasPrio || fd == packet.FieldPriority
+	}
+	if !hasSize || !hasPrio {
+		t.Errorf("pkt fields = %v", f.PktFields)
+	}
+}
+
+func TestPIASSemantics(t *testing.T) {
+	// thresholds 10KB / 1MB -> priorities 7 / 5; beyond -> 0.
+	arrays := [][]int64{
+		{10 * 1024, 1024 * 1024}, // priorities (thresholds)
+		{7, 5},                   // priovals
+	}
+	cases := []struct {
+		already, pktSize, desired, want int64
+	}{
+		{0, 1460, 1, 7},               // small flow -> highest
+		{10 * 1024, 1460, 1, 5},       // crossed 10KB -> mid
+		{2 * 1024 * 1024, 1460, 1, 0}, // big -> lowest
+		{0, 1460, 0, 0},               // background opts into priority 0
+		{0, 1460, -3, -3},             // desired below 1 respected
+	}
+	for _, c := range cases {
+		pkt, msg, _ := run(t, piasSrc,
+			map[string]int64{"size": c.pktSize},
+			[]int64{c.already, c.desired},
+			nil, arrays)
+		if pkt["priority"] != c.want {
+			t.Errorf("already=%d desired=%d: priority = %d, want %d",
+				c.already, c.desired, pkt["priority"], c.want)
+		}
+		if msg[0] != c.already+c.pktSize {
+			t.Errorf("msg size not accumulated: %d", msg[0])
+		}
+	}
+}
+
+func TestTailRecursionIsALoop(t *testing.T) {
+	// A deep tail recursion must not exhaust the call stack (it compiles
+	// to a loop, so only fuel bounds it).
+	src := `
+fun (p, m, g) ->
+    let rec count n acc =
+        if n = 0 then acc
+        else count (n - 1) (acc + n)
+    p.priority <- count 1000 0 % 8
+`
+	f, err := Compile("count", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Prog.MaxCallDepth != 0 {
+		t.Errorf("tail recursion should not use the call stack (depth %d)", f.Prog.MaxCallDepth)
+	}
+	pkt, _, _ := runFunc(t, f, nil, nil, nil, nil)
+	if want := int64(1000 * 1001 / 2 % 8); pkt["priority"] != want {
+		t.Errorf("count = %d, want %d", pkt["priority"], want)
+	}
+}
+
+func TestNonTailRecursionRejected(t *testing.T) {
+	src := `
+fun (p, m, g) ->
+    let rec fact n =
+        if n <= 1 then 1
+        else n * fact (n - 1)
+    p.priority <- fact 5
+`
+	_, err := Compile("fact", src)
+	if err == nil || !strings.Contains(err.Error(), "tail") {
+		t.Errorf("non-tail recursion: err = %v", err)
+	}
+}
+
+func TestHelperInlining(t *testing.T) {
+	src := `
+fun (p, m, g) ->
+    let double x = x + x
+    let quad x = double (double x)
+    p.priority <- quad 1 + double 2
+`
+	pkt, _, _ := run(t, src, nil, nil, nil, nil)
+	if pkt["priority"] != 8 {
+		t.Errorf("quad 1 + double 2 = %d, want 8", pkt["priority"])
+	}
+}
+
+func TestMutableLocals(t *testing.T) {
+	src := `
+fun (p, m, g) ->
+    let mutable x = 1
+    x <- x + 10
+    x <- x * 2
+    p.priority <- x % 8
+`
+	pkt, _, _ := run(t, src, nil, nil, nil, nil)
+	if pkt["priority"] != 22%8 {
+		t.Errorf("x = %d", pkt["priority"])
+	}
+}
+
+func TestShortCircuit(t *testing.T) {
+	// Division by zero on the right of && must not execute when the left
+	// is false.
+	src := `
+fun (p, m, g) ->
+    if p.size > 0 && 100 / p.size > 1 then p.priority <- 1 else p.priority <- 2
+`
+	pkt, _, _ := run(t, src, map[string]int64{"size": 0}, nil, nil, nil)
+	if pkt["priority"] != 2 {
+		t.Errorf("short circuit && failed: %d", pkt["priority"])
+	}
+	pkt, _, _ = run(t, src, map[string]int64{"size": 10}, nil, nil, nil)
+	if pkt["priority"] != 1 {
+		t.Errorf("&& true case: %d", pkt["priority"])
+	}
+
+	orSrc := `
+fun (p, m, g) ->
+    if p.size = 0 || 100 / p.size > 1 then p.priority <- 1 else p.priority <- 2
+`
+	pkt, _, _ = run(t, orSrc, map[string]int64{"size": 0}, nil, nil, nil)
+	if pkt["priority"] != 1 {
+		t.Errorf("short circuit || failed: %d", pkt["priority"])
+	}
+}
+
+func TestGlobalScalarWriteMakesExclusive(t *testing.T) {
+	src := `
+global counter : int
+fun (p, m, g) ->
+    g.counter <- g.counter + 1
+`
+	f, err := Compile("ctr", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Concurrency() != edenvm.ConcurrencyExclusive {
+		t.Errorf("concurrency = %v, want exclusive", f.Concurrency())
+	}
+	_, _, glb := runFunc(t, f, nil, nil, []int64{41}, nil)
+	if glb[0] != 42 {
+		t.Errorf("counter = %d", glb[0])
+	}
+}
+
+func TestArrayElementWrite(t *testing.T) {
+	src := `
+global table : int array
+fun (p, m, g) ->
+    g.table.[p.tenant] <- g.table.[p.tenant] + p.size
+`
+	f, err := Compile("acc", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Concurrency() != edenvm.ConcurrencyExclusive {
+		t.Errorf("array write should be exclusive, got %v", f.Concurrency())
+	}
+	arr := []int64{0, 0, 5}
+	runFunc(t, f, map[string]int64{"tenant": 2, "size": 100}, nil, nil, [][]int64{arr})
+	if arr[2] != 105 {
+		t.Errorf("table[2] = %d", arr[2])
+	}
+}
+
+func TestReadOnlyPacketFieldRejected(t *testing.T) {
+	_, err := Compile("bad", "fun (p, m, g) ->\n p.size <- 1")
+	if err == nil || !strings.Contains(err.Error(), "read-only") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestIntrinsics(t *testing.T) {
+	src := `
+fun (p, m, g) ->
+    let r = randrange 8
+    let h = hash p.src_ip p.dst_ip
+    let lo = min 3 5
+    let hi = max 3 5
+    let a = abs (0 - 7)
+    p.priority <- (r + h + lo + hi + a) % 8
+    p.path <- min (max r 0) 7
+`
+	f, err := Compile("intr", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkt, _, _ := runFunc(t, f, map[string]int64{"src_ip": 1, "dst_ip": 2}, nil, nil, nil)
+	if pkt["path"] < 0 || pkt["path"] > 7 {
+		t.Errorf("path out of range: %d", pkt["path"])
+	}
+}
+
+func TestMinMaxAbsSemantics(t *testing.T) {
+	src := `
+fun (p, m, g) ->
+    p.priority <- min p.src_port p.dst_port
+    p.path <- max p.src_port p.dst_port
+    p.charge <- abs (p.src_port - p.dst_port)
+`
+	for _, c := range [][4]int64{{3, 9, 3, 9}, {9, 3, 3, 9}, {4, 4, 4, 4}} {
+		pkt, _, _ := run(t, src, map[string]int64{"src_port": c[0], "dst_port": c[1]}, nil, nil, nil)
+		if pkt["priority"] != c[2] || pkt["path"] != c[3] {
+			t.Errorf("min/max(%d,%d) = %d,%d", c[0], c[1], pkt["priority"], pkt["path"])
+		}
+		want := c[0] - c[1]
+		if want < 0 {
+			want = -want
+		}
+		if pkt["charge"] != want {
+			t.Errorf("abs(%d-%d) = %d", c[0], c[1], pkt["charge"])
+		}
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	cases := []struct{ name, src, want string }{
+		{"undefined var", "fun (p,m,g) ->\n p.priority <- x", "undefined variable"},
+		{"undefined func", "fun (p,m,g) ->\n p.priority <- f 1", "undefined function"},
+		{"undeclared msg", "fun (p,m,g) ->\n m.x <- 1", "undeclared msg state"},
+		{"undeclared global", "fun (p,m,g) ->\n g.x <- 1", "undeclared global"},
+		{"unknown pkt field", "fun (p,m,g) ->\n p.bogus <- 1", "unknown packet field"},
+		{"type mismatch add", "fun (p,m,g) ->\n p.priority <- 1 + (2 < 3)", "requires int operands"},
+		{"if cond not bool", "fun (p,m,g) ->\n p.priority <- (if 1 then 2 else 3)", "must be bool"},
+		{"branch mismatch", "fun (p,m,g) ->\n p.priority <- (if true then 1 else 2 < 3)", "branches disagree"},
+		{"if no else value", "fun (p,m,g) ->\n p.priority <- (if true then 1)", "unit branches"},
+		{"bind unit", "fun (p,m,g) ->\n let x = (if true then p.priority <- 1)\n p.path <- 0", "unit value"},
+		{"arity", "fun (p,m,g) ->\n let f a = a\n p.priority <- f 1 2", "takes 1 argument"},
+		{"func as value", "fun (p,m,g) ->\n let f a = a\n p.priority <- f", "used as a value"},
+		{"assign bool to field", "fun (p,m,g) ->\n p.priority <- (1 < 2)", "int values"},
+		{"index non-array", "fun (p,m,g) ->\n p.priority <- p.size.[0]", "cannot index"},
+		{"length non-array", "fun (p,m,g) ->\n let x = 3\n p.priority <- x.Length", ".Length requires an array"},
+		{"whole array assign", "global a : int array\nfun (p,m,g) ->\n g.a <- 1", "whole array"},
+		{"dup msg decl", "msg x : int\nmsg x : int\nfun (p,m,g) ->\n m.x <- 1", "duplicate"},
+		{"dup global decl", "global x : int\nglobal x : int\nfun (p,m,g) ->\n g.x <- 1", "duplicate"},
+		{"not on int", "fun (p,m,g) ->\n p.priority <- (if not 1 then 1 else 2)", "requires bool"},
+		{"neg on bool", "fun (p,m,g) ->\n p.priority <- -(1 < 2)", "requires int"},
+		{"non-rec self call", "fun (p,m,g) ->\n let f a = f a\n p.priority <- f 1", "not declared 'rec'"},
+		{"assign to undef", "fun (p,m,g) ->\n x <- 1", "undefined variable"},
+		{"rand with args", "fun (p,m,g) ->\n p.priority <- rand 1", "takes no arguments"},
+		{"randrange arity", "fun (p,m,g) ->\n p.priority <- randrange 1 2", "takes 1 argument"},
+		{"always recurse", "fun (p,m,g) ->\n let rec f a = f (a + 1)\n p.priority <- f 1", "never terminates"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Compile(c.name, c.src)
+			if err == nil {
+				t.Fatalf("compiled successfully")
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Errorf("err = %v, want contains %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestBlockScoping(t *testing.T) {
+	// Inner block bindings must not leak out.
+	src := `
+fun (p, m, g) ->
+    let x = 1
+    let y = (let x = 10; x + 1)
+    p.priority <- x + y
+`
+	pkt, _, _ := run(t, src, nil, nil, nil, nil)
+	if pkt["priority"] != 12 {
+		t.Errorf("scoping: %d, want 12", pkt["priority"])
+	}
+	// Reference to block-local after the block must fail.
+	bad := `
+fun (p, m, g) ->
+    let y = (let z = 10; z)
+    p.priority <- z
+`
+	if _, err := Compile("bad", bad); err == nil {
+		t.Error("block-local leaked")
+	}
+}
+
+func TestShadowing(t *testing.T) {
+	src := `
+fun (p, m, g) ->
+    let x = 1
+    let f a = a + x
+    let x = 100
+    p.priority <- f 1 + x
+`
+	// Captured-frame semantics: f sees the frame, and the frame's x was
+	// rebound to 100 before the call, so f 1 = 101, + 100 = 201.
+	pkt, _, _ := run(t, src, nil, nil, nil, nil)
+	if pkt["priority"] != 201 {
+		t.Errorf("shadowing: %d", pkt["priority"])
+	}
+}
+
+func TestWireRoundTripOfCompiled(t *testing.T) {
+	f, err := Compile("pias", piasSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wire := f.Prog.Encode()
+	p2, err := edenvm.Load(wire)
+	if err != nil {
+		t.Fatalf("compiled program failed wire round-trip: %v", err)
+	}
+	if p2.State != f.Prog.State {
+		t.Errorf("state spec mismatch: %+v vs %+v", p2.State, f.Prog.State)
+	}
+}
+
+func TestMustCompilePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustCompile did not panic on bad source")
+		}
+	}()
+	MustCompile("bad", "not a program")
+}
+
+func TestEmptyStateVectors(t *testing.T) {
+	f, err := Compile("pure", "fun (p, m, g) ->\n p.priority <- 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Prog.State.MsgAccess != edenvm.AccessNone || f.Prog.State.GlobalAccess != edenvm.AccessNone {
+		t.Errorf("unused state should be AccessNone: %+v", f.Prog.State)
+	}
+	if f.Concurrency() != edenvm.ConcurrencyParallel {
+		t.Errorf("concurrency = %v", f.Concurrency())
+	}
+}
+
+func TestCompileErrorPosition(t *testing.T) {
+	_, err := Compile("bad", "fun (p,m,g) ->\n p.priority <- zz")
+	ce, ok := err.(*CompileError)
+	if !ok {
+		t.Fatalf("err type %T", err)
+	}
+	if ce.Pos.Line != 2 {
+		t.Errorf("error line = %d, want 2", ce.Pos.Line)
+	}
+	if !strings.Contains(ce.Error(), "2:") {
+		t.Errorf("Error() = %q", ce.Error())
+	}
+}
+
+func TestDuplicateParamNames(t *testing.T) {
+	if _, err := Compile("dup", "fun (p, p, g) ->\n p.priority <- 1"); err == nil {
+		t.Error("duplicate parameter names accepted")
+	}
+}
+
+func TestStatementIfTailValue(t *testing.T) {
+	// if-without-else whose branch assigns state (common in Figure 2/3
+	// style programs).
+	src := `
+msg cached : int
+fun (p, m, g) ->
+    if p.new_msg = 1 then m.cached <- p.size
+    p.path <- m.cached % 8
+`
+	f, err := Compile("cache", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkt, msg, _ := runFunc(t, f, map[string]int64{"new_msg": 1, "size": 100}, []int64{0}, nil, nil)
+	if msg[0] != 100 || pkt["path"] != 100%8 {
+		t.Errorf("msg=%v pkt=%v", msg, pkt)
+	}
+	pkt, msg, _ = runFunc(t, f, map[string]int64{"new_msg": 0, "size": 999}, []int64{42}, nil, nil)
+	if msg[0] != 42 || pkt["path"] != 42%8 {
+		t.Errorf("cached case: msg=%v pkt=%v", msg, pkt)
+	}
+}
+
+func BenchmarkCompilePIAS(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Compile("pias", piasSrc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestDefaultsFlowToFunc(t *testing.T) {
+	f, err := Compile("def", `
+msg priority : int = 1
+msg size : int
+global threshold : int = 4096
+fun (p, m, g) ->
+    m.size <- m.size + p.size
+    if m.size > g.threshold then p.priority <- m.priority
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.MsgDefaults) != 2 || f.MsgDefaults[0] != 1 || f.MsgDefaults[1] != 0 {
+		t.Errorf("msg defaults = %v", f.MsgDefaults)
+	}
+	if len(f.GlobalDefaults) != 1 || f.GlobalDefaults[0] != 4096 {
+		t.Errorf("global defaults = %v", f.GlobalDefaults)
+	}
+}
+
+func TestConstantFolding(t *testing.T) {
+	// The whole expression folds to a literal: two instructions (const,
+	// store) plus the halt.
+	f, err := Compile("fold", "fun (p, m, g) ->\n p.priority <- 1 + 2 * 3 - 4 / 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Prog.Code) != 3 {
+		t.Errorf("folded program has %d instructions:\n%s", len(f.Prog.Code), f.Prog.Disassemble())
+	}
+	pkt, _, _ := runFunc(t, f, nil, nil, nil, nil)
+	if pkt["priority"] != 5 {
+		t.Errorf("folded value = %d", pkt["priority"])
+	}
+}
+
+func TestFoldDeadBranch(t *testing.T) {
+	f, err := Compile("dead", `
+fun (p, m, g) ->
+    if 1 < 2 then p.priority <- 3 else p.priority <- 100 / 0
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The dead else branch (with its trap) must be eliminated entirely.
+	for _, in := range f.Prog.Code {
+		if in.Op == edenvm.OpDiv {
+			t.Error("dead branch not eliminated")
+		}
+	}
+	pkt, _, _ := runFunc(t, f, nil, nil, nil, nil)
+	if pkt["priority"] != 3 {
+		t.Errorf("priority = %d", pkt["priority"])
+	}
+	// Constant-false statement-if disappears.
+	g, err := Compile("gone", "fun (p, m, g) ->\n if false then p.drop <- 1\n p.priority <- 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Prog.Code) != 3 {
+		t.Errorf("dead statement-if remains: %d instructions", len(g.Prog.Code))
+	}
+}
+
+func TestFoldPreservesTraps(t *testing.T) {
+	// Constant division by zero must still trap at run time, not at
+	// compile time and not be folded away.
+	f, err := Compile("trap", "fun (p, m, g) ->\n p.priority <- 1 / 0")
+	if err != nil {
+		t.Fatalf("compile should succeed (trap is a runtime event): %v", err)
+	}
+	env := &edenvm.Env{Packet: make([]int64, len(f.PktFields))}
+	if _, err := edenvm.NewVM().Run(f.Prog, env); err == nil {
+		t.Error("constant division by zero did not trap")
+	}
+}
+
+func TestFoldShortCircuitConstants(t *testing.T) {
+	cases := []struct {
+		src  string
+		want int64
+	}{
+		{"fun (p,m,g) ->\n p.priority <- (if true && 1 < 2 then 1 else 2)", 1},
+		{"fun (p,m,g) ->\n p.priority <- (if false && p.size / 0 > 1 then 1 else 2)", 2},
+		{"fun (p,m,g) ->\n p.priority <- (if true || p.size / 0 > 1 then 1 else 2)", 1},
+		{"fun (p,m,g) ->\n p.priority <- (if not (1 = 1) then 1 else 2)", 2},
+		{"fun (p,m,g) ->\n p.priority <- -(-3)", 3},
+	}
+	for _, c := range cases {
+		pkt, _, _ := run(t, c.src, nil, nil, nil, nil)
+		if pkt["priority"] != c.want {
+			t.Errorf("%q = %d, want %d", c.src, pkt["priority"], c.want)
+		}
+	}
+}

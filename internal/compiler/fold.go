@@ -1,0 +1,170 @@
+package compiler
+
+import "eden/internal/lang"
+
+// foldExpr performs constant folding and dead-branch elimination on the
+// AST before code generation: integer and boolean operations over
+// literals are evaluated at compile time, and ifs with constant
+// conditions keep only the live branch. Folding is semantics-preserving:
+// operations that would trap at run time (division or modulo by a
+// constant zero) are left in place so they still trap, and short-circuit
+// operands are only discarded when the left side decides the result.
+func foldExpr(e lang.Expr) lang.Expr {
+	switch e := e.(type) {
+	case *lang.UnaryExpr:
+		e.X = foldExpr(e.X)
+		switch e.Op {
+		case "-":
+			if v, ok := intConst(e.X); ok {
+				return &lang.IntExpr{Value: -v, Pos: e.Pos}
+			}
+		case "not":
+			if b, ok := boolConst(e.X); ok {
+				return &lang.BoolExpr{Value: !b, Pos: e.Pos}
+			}
+		}
+		return e
+
+	case *lang.BinaryExpr:
+		e.L = foldExpr(e.L)
+		e.R = foldExpr(e.R)
+		switch e.Op {
+		case "&&":
+			if b, ok := boolConst(e.L); ok {
+				if !b {
+					return &lang.BoolExpr{Value: false, Pos: e.Pos}
+				}
+				return e.R
+			}
+		case "||":
+			if b, ok := boolConst(e.L); ok {
+				if b {
+					return &lang.BoolExpr{Value: true, Pos: e.Pos}
+				}
+				return e.R
+			}
+		default:
+			l, lok := intConst(e.L)
+			r, rok := intConst(e.R)
+			if lok && rok {
+				if v, ok := foldIntOp(e.Op, l, r); ok {
+					return v.at(e.Pos)
+				}
+			}
+		}
+		return e
+
+	case *lang.IfExpr:
+		// Branches fold recursively; constant-condition branch
+		// elimination happens at code generation, *after* both branches
+		// type-check (dead code must still be valid code).
+		e.Cond = foldExpr(e.Cond)
+		e.Then = foldExpr(e.Then)
+		if e.Else != nil {
+			e.Else = foldExpr(e.Else)
+		}
+		return e
+
+	case *lang.IndexExpr:
+		e.Arr = foldExpr(e.Arr)
+		e.Idx = foldExpr(e.Idx)
+		return e
+
+	case *lang.LenExpr:
+		e.Arr = foldExpr(e.Arr)
+		return e
+
+	case *lang.CallExpr:
+		for i := range e.Args {
+			e.Args[i] = foldExpr(e.Args[i])
+		}
+		return e
+
+	case *lang.BlockExpr:
+		for _, s := range e.Stmts {
+			foldStmt(s)
+		}
+		return e
+
+	default:
+		return e
+	}
+}
+
+// foldStmt folds the expressions inside a statement in place.
+func foldStmt(s lang.Stmt) {
+	switch s := s.(type) {
+	case *lang.LetStmt:
+		s.Init = foldExpr(s.Init)
+	case *lang.FuncStmt:
+		s.Body = foldExpr(s.Body)
+	case *lang.AssignStmt:
+		s.Target = foldExpr(s.Target)
+		s.Value = foldExpr(s.Value)
+	case *lang.ExprStmt:
+		s.X = foldExpr(s.X)
+	}
+}
+
+// constValue is a folded literal, integer or boolean.
+type constValue struct {
+	isBool bool
+	i      int64
+	b      bool
+}
+
+func (c constValue) at(pos lang.Pos) lang.Expr {
+	if c.isBool {
+		return &lang.BoolExpr{Value: c.b, Pos: pos}
+	}
+	return &lang.IntExpr{Value: c.i, Pos: pos}
+}
+
+func intConst(e lang.Expr) (int64, bool) {
+	if v, ok := e.(*lang.IntExpr); ok {
+		return v.Value, true
+	}
+	return 0, false
+}
+
+func boolConst(e lang.Expr) (bool, bool) {
+	if v, ok := e.(*lang.BoolExpr); ok {
+		return v.Value, true
+	}
+	return false, false
+}
+
+func foldIntOp(op string, l, r int64) (constValue, bool) {
+	switch op {
+	case "+":
+		return constValue{i: l + r}, true
+	case "-":
+		return constValue{i: l - r}, true
+	case "*":
+		return constValue{i: l * r}, true
+	case "/":
+		if r == 0 {
+			return constValue{}, false // preserve the runtime trap
+		}
+		return constValue{i: l / r}, true
+	case "%":
+		if r == 0 {
+			return constValue{}, false
+		}
+		return constValue{i: l % r}, true
+	case "<":
+		return constValue{isBool: true, b: l < r}, true
+	case "<=":
+		return constValue{isBool: true, b: l <= r}, true
+	case ">":
+		return constValue{isBool: true, b: l > r}, true
+	case ">=":
+		return constValue{isBool: true, b: l >= r}, true
+	case "=":
+		return constValue{isBool: true, b: l == r}, true
+	case "<>":
+		return constValue{isBool: true, b: l != r}, true
+	default:
+		return constValue{}, false
+	}
+}

@@ -1,0 +1,48 @@
+package compiler
+
+import (
+	"testing"
+
+	"eden/internal/edenvm"
+)
+
+// FuzzCompile feeds arbitrary text through the lexer, parser, optimizer
+// and code generator: the pipeline must never panic, and anything that
+// compiles must pass the verifier and execute without panicking.
+func FuzzCompile(f *testing.F) {
+	f.Add(piasSrc)
+	f.Add("fun (p, m, g) ->\n p.priority <- 1")
+	f.Add(`
+msg x : int = -1
+global a : int array
+fun (p, m, g) ->
+    let rec go i = if i >= g.a.Length then 0 else go (i + 1)
+    if m.x < 0 then m.x <- go 0
+    p.path <- m.x % 8
+`)
+	f.Add("fun (p, m, g) ->\n p.priority <- (let t = rand (); t % 8)")
+	f.Add("msg a : int\nfun (x, y, z) ->\n y.a <- y.a + 1; if y.a > 3 then x.drop <- 1")
+
+	f.Fuzz(func(t *testing.T, src string) {
+		fn, err := Compile("fuzz", src)
+		if err != nil {
+			return
+		}
+		if err := edenvm.Verify(fn.Prog); err != nil {
+			t.Fatalf("compiled program failed verification: %v\nsource:\n%s", err, src)
+		}
+		env := &edenvm.Env{
+			Packet: make([]int64, fn.Prog.State.PacketFields),
+			Msg:    make([]int64, fn.Prog.State.MsgFields),
+			Global: make([]int64, fn.Prog.State.GlobalFields),
+		}
+		for range fn.GlobalArrays {
+			env.Arrays = append(env.Arrays, []int64{1, 2, 3})
+		}
+		copy(env.Msg, fn.MsgDefaults)
+		copy(env.Global, fn.GlobalDefaults)
+		vm := edenvm.NewVM()
+		vm.Fuel = 65536
+		_, _ = vm.Run(fn.Prog, env)
+	})
+}

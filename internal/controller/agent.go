@@ -1,0 +1,219 @@
+package controller
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+
+	"eden/internal/classify"
+	"eden/internal/ctlproto"
+	"eden/internal/enclave"
+	"eden/internal/stage"
+)
+
+// Agent is a data-plane element's connection to the controller. Close it
+// to deregister.
+type Agent struct {
+	peer *ctlproto.Peer
+	done chan error
+}
+
+// Close disconnects from the controller.
+func (a *Agent) Close() error { return a.peer.Close() }
+
+// Wait blocks until the control connection ends.
+func (a *Agent) Wait() error { return <-a.done }
+
+func dialAndServe(addr string, hello ctlproto.Hello, handler ctlproto.Handler) (*Agent, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	peer := ctlproto.NewPeer(conn, handler)
+	a := &Agent{peer: peer, done: make(chan error, 1)}
+	go func() { a.done <- peer.Serve() }()
+	if err := peer.Call(ctlproto.OpHello, hello, nil); err != nil {
+		peer.Close()
+		return nil, fmt.Errorf("controller: hello failed: %w", err)
+	}
+	return a, nil
+}
+
+// ServeEnclave connects a local enclave to the controller at addr and
+// serves the enclave API against it.
+func ServeEnclave(addr, host string, e *enclave.Enclave) (*Agent, error) {
+	return dialAndServe(addr, ctlproto.Hello{
+		Kind: "enclave", Name: e.Name(), Host: host, Platform: e.Platform(),
+	}, enclaveHandler(e))
+}
+
+func enclaveHandler(e *enclave.Enclave) ctlproto.Handler {
+	return func(op string, params json.RawMessage) (any, error) {
+		switch op {
+		case ctlproto.OpEnclaveCreateTable:
+			var p ctlproto.TableParams
+			if err := json.Unmarshal(params, &p); err != nil {
+				return nil, err
+			}
+			_, err := e.CreateTable(enclave.Direction(p.Dir), p.Table)
+			return nil, err
+
+		case ctlproto.OpEnclaveDeleteTable:
+			var p ctlproto.TableParams
+			if err := json.Unmarshal(params, &p); err != nil {
+				return nil, err
+			}
+			return nil, e.DeleteTable(enclave.Direction(p.Dir), p.Table)
+
+		case ctlproto.OpEnclaveAddRule:
+			var p ctlproto.RuleParams
+			if err := json.Unmarshal(params, &p); err != nil {
+				return nil, err
+			}
+			return nil, e.AddRule(enclave.Direction(p.Dir), p.Table,
+				enclave.Rule{Pattern: p.Pattern, Func: p.Func})
+
+		case ctlproto.OpEnclaveRemoveRule:
+			var p ctlproto.RuleParams
+			if err := json.Unmarshal(params, &p); err != nil {
+				return nil, err
+			}
+			return nil, e.RemoveRule(enclave.Direction(p.Dir), p.Table, p.Pattern)
+
+		case ctlproto.OpEnclaveInstall:
+			var spec ctlproto.FuncSpec
+			if err := json.Unmarshal(params, &spec); err != nil {
+				return nil, err
+			}
+			f, err := ctlproto.FromSpec(spec)
+			if err != nil {
+				return nil, err
+			}
+			return nil, e.InstallFunc(f)
+
+		case ctlproto.OpEnclaveUninstall:
+			var p ctlproto.GlobalParams
+			if err := json.Unmarshal(params, &p); err != nil {
+				return nil, err
+			}
+			return nil, e.UninstallFunc(p.Func)
+
+		case ctlproto.OpEnclaveUpdateGlobal:
+			var p ctlproto.GlobalParams
+			if err := json.Unmarshal(params, &p); err != nil {
+				return nil, err
+			}
+			return nil, e.UpdateGlobal(p.Func, p.Name, p.Value)
+
+		case ctlproto.OpEnclaveUpdateArray:
+			var p ctlproto.GlobalParams
+			if err := json.Unmarshal(params, &p); err != nil {
+				return nil, err
+			}
+			return nil, e.UpdateGlobalArray(p.Func, p.Name, p.Values)
+
+		case ctlproto.OpEnclaveReadGlobal:
+			var p ctlproto.GlobalParams
+			if err := json.Unmarshal(params, &p); err != nil {
+				return nil, err
+			}
+			v, err := e.ReadGlobal(p.Func, p.Name)
+			if err != nil {
+				return nil, err
+			}
+			return map[string]int64{"value": v}, nil
+
+		case ctlproto.OpEnclaveReadArray:
+			var p ctlproto.GlobalParams
+			if err := json.Unmarshal(params, &p); err != nil {
+				return nil, err
+			}
+			vs, err := e.ReadGlobalArray(p.Func, p.Name)
+			if err != nil {
+				return nil, err
+			}
+			return map[string][]int64{"values": vs}, nil
+
+		case ctlproto.OpEnclaveStats:
+			return e.Stats(), nil
+
+		case ctlproto.OpEnclaveAddQueue:
+			var p ctlproto.QueueParams
+			if err := json.Unmarshal(params, &p); err != nil {
+				return nil, err
+			}
+			idx := e.AddQueue(p.RateBps, p.CapBytes)
+			return map[string]int{"index": idx}, nil
+
+		case ctlproto.OpEnclaveSetQueueRate:
+			var p ctlproto.QueueParams
+			if err := json.Unmarshal(params, &p); err != nil {
+				return nil, err
+			}
+			return nil, e.SetQueueRate(p.Index, p.RateBps)
+
+		case ctlproto.OpEnclaveAddFlowRule:
+			var p ctlproto.FlowRuleParams
+			if err := json.Unmarshal(params, &p); err != nil {
+				return nil, err
+			}
+			e.FlowClassifier().Add(enclave.FlowRule{
+				SrcIP: p.SrcIP, DstIP: p.DstIP,
+				SrcPort: p.SrcPort, DstPort: p.DstPort,
+				Proto: p.Proto, Priority: p.Priority, Class: p.Class,
+			})
+			return nil, nil
+
+		default:
+			return nil, fmt.Errorf("controller: enclave agent: unknown op %q", op)
+		}
+	}
+}
+
+// ServeStage connects a local stage to the controller at addr and serves
+// the stage API against it.
+func ServeStage(addr, host string, s *stage.Stage) (*Agent, error) {
+	return dialAndServe(addr, ctlproto.Hello{
+		Kind: "stage", Name: s.Name(), Host: host,
+	}, stageHandler(s))
+}
+
+func stageHandler(s *stage.Stage) ctlproto.Handler {
+	return func(op string, params json.RawMessage) (any, error) {
+		switch op {
+		case ctlproto.OpStageInfo:
+			info := s.Info()
+			return StageInfo{
+				Name:        info.Name,
+				Classifiers: info.Classifiers,
+				MetaFields:  info.MetaFields,
+				RuleSets:    info.RuleSets,
+			}, nil
+
+		case ctlproto.OpStageCreateRule:
+			var p ctlproto.StageRuleParams
+			if err := json.Unmarshal(params, &p); err != nil {
+				return nil, err
+			}
+			r, err := classify.ParseRule(p.Rule)
+			if err != nil {
+				return nil, err
+			}
+			id, err := s.CreateRule(p.RuleSet, r)
+			if err != nil {
+				return nil, err
+			}
+			return map[string]int{"rule_id": id}, nil
+
+		case ctlproto.OpStageRemoveRule:
+			var p ctlproto.StageRuleParams
+			if err := json.Unmarshal(params, &p); err != nil {
+				return nil, err
+			}
+			return nil, s.RemoveRule(p.RuleSet, p.RuleID)
+
+		default:
+			return nil, fmt.Errorf("controller: stage agent: unknown op %q", op)
+		}
+	}
+}

@@ -1,0 +1,341 @@
+// Package controller implements Eden's logically centralized controller
+// (§3.2) and the agents that expose enclaves and stages to it. The
+// controller is "a coordination point where any part of the network
+// function logic requiring global visibility resides": control-plane
+// halves of network functions compute slowly changing state — WCMP path
+// weights from topology, PIAS priority thresholds from the traffic
+// distribution, Pulsar queue maps from tenant SLAs — and push it to the
+// data plane through the stage API (Table 3) and the enclave API
+// (§3.4.5), both carried over ctlproto.
+package controller
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"eden/internal/compiler"
+	"eden/internal/ctlproto"
+	"eden/internal/enclave"
+)
+
+// Controller is the central control-plane server. Agents (enclaves and
+// stages) dial in and register; the controller then programs them through
+// the returned proxies.
+type Controller struct {
+	ln net.Listener
+
+	mu       sync.Mutex
+	enclaves map[string]*RemoteEnclave
+	stages   map[string]*RemoteStage
+	arrived  chan struct{}
+
+	wg sync.WaitGroup
+}
+
+// Listen starts a controller on addr (e.g. "127.0.0.1:0").
+func Listen(addr string) (*Controller, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &Controller{
+		ln:       ln,
+		enclaves: map[string]*RemoteEnclave{},
+		stages:   map[string]*RemoteStage{},
+		arrived:  make(chan struct{}, 64),
+	}
+	c.wg.Add(1)
+	go c.acceptLoop()
+	return c, nil
+}
+
+// Addr returns the controller's listen address.
+func (c *Controller) Addr() string { return c.ln.Addr().String() }
+
+// Close shuts the controller down and disconnects all agents.
+func (c *Controller) Close() error {
+	err := c.ln.Close()
+	c.mu.Lock()
+	for _, e := range c.enclaves {
+		e.peer.Close()
+	}
+	for _, s := range c.stages {
+		s.peer.Close()
+	}
+	c.mu.Unlock()
+	c.wg.Wait()
+	return err
+}
+
+func (c *Controller) acceptLoop() {
+	defer c.wg.Done()
+	for {
+		conn, err := c.ln.Accept()
+		if err != nil {
+			return
+		}
+		c.wg.Add(1)
+		go func() {
+			defer c.wg.Done()
+			c.handleConn(conn)
+		}()
+	}
+}
+
+// handleConn waits for the agent's hello, then registers it.
+func (c *Controller) handleConn(conn net.Conn) {
+	hello := make(chan ctlproto.Hello, 1)
+	peer := ctlproto.NewPeer(conn, func(op string, params json.RawMessage) (any, error) {
+		if op != ctlproto.OpHello {
+			return nil, fmt.Errorf("controller: unexpected op %q before hello", op)
+		}
+		var h ctlproto.Hello
+		if err := json.Unmarshal(params, &h); err != nil {
+			return nil, err
+		}
+		select {
+		case hello <- h:
+		default:
+		}
+		return nil, nil
+	})
+	go func() {
+		h, ok := <-hello
+		if !ok {
+			return
+		}
+		c.register(h, peer)
+	}()
+	_ = peer.Serve()
+	close(hello)
+	c.unregister(peer)
+}
+
+func (c *Controller) register(h ctlproto.Hello, peer *ctlproto.Peer) {
+	c.mu.Lock()
+	switch h.Kind {
+	case "enclave":
+		c.enclaves[h.Name] = &RemoteEnclave{Name: h.Name, Host: h.Host, Platform: h.Platform, peer: peer}
+	case "stage":
+		c.stages[h.Name] = &RemoteStage{Name: h.Name, Host: h.Host, peer: peer}
+	}
+	c.mu.Unlock()
+	select {
+	case c.arrived <- struct{}{}:
+	default:
+	}
+}
+
+func (c *Controller) unregister(peer *ctlproto.Peer) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for n, e := range c.enclaves {
+		if e.peer == peer {
+			delete(c.enclaves, n)
+		}
+	}
+	for n, s := range c.stages {
+		if s.peer == peer {
+			delete(c.stages, n)
+		}
+	}
+}
+
+// Enclave returns the registered enclave with the given name.
+func (c *Controller) Enclave(name string) (*RemoteEnclave, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.enclaves[name]
+	return e, ok
+}
+
+// Stage returns the registered stage with the given name.
+func (c *Controller) Stage(name string) (*RemoteStage, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s, ok := c.stages[name]
+	return s, ok
+}
+
+// Enclaves lists registered enclave names.
+func (c *Controller) Enclaves() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var names []string
+	for n := range c.enclaves {
+		names = append(names, n)
+	}
+	return names
+}
+
+// Stages lists registered stage names.
+func (c *Controller) Stages() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var names []string
+	for n := range c.stages {
+		names = append(names, n)
+	}
+	return names
+}
+
+// WaitForAgents blocks until at least n agents (enclaves plus stages) are
+// registered, or the timeout elapses.
+func (c *Controller) WaitForAgents(n int, timeout time.Duration) error {
+	deadline := time.After(timeout)
+	for {
+		c.mu.Lock()
+		got := len(c.enclaves) + len(c.stages)
+		c.mu.Unlock()
+		if got >= n {
+			return nil
+		}
+		select {
+		case <-c.arrived:
+		case <-deadline:
+			return fmt.Errorf("controller: %d agents after %v, want %d", got, timeout, n)
+		}
+	}
+}
+
+// RemoteEnclave is the controller's proxy for one registered enclave,
+// exposing the enclave API (§3.4.5) over the control channel.
+type RemoteEnclave struct {
+	Name     string
+	Host     string
+	Platform string
+	peer     *ctlproto.Peer
+}
+
+// CreateTable creates a match-action table.
+func (e *RemoteEnclave) CreateTable(dir enclave.Direction, table string) error {
+	return e.peer.Call(ctlproto.OpEnclaveCreateTable, ctlproto.TableParams{Dir: int(dir), Table: table}, nil)
+}
+
+// DeleteTable removes a table.
+func (e *RemoteEnclave) DeleteTable(dir enclave.Direction, table string) error {
+	return e.peer.Call(ctlproto.OpEnclaveDeleteTable, ctlproto.TableParams{Dir: int(dir), Table: table}, nil)
+}
+
+// AddRule appends a match-action rule.
+func (e *RemoteEnclave) AddRule(dir enclave.Direction, table, pattern, fn string) error {
+	return e.peer.Call(ctlproto.OpEnclaveAddRule,
+		ctlproto.RuleParams{Dir: int(dir), Table: table, Pattern: pattern, Func: fn}, nil)
+}
+
+// RemoveRule removes a rule by pattern.
+func (e *RemoteEnclave) RemoveRule(dir enclave.Direction, table, pattern string) error {
+	return e.peer.Call(ctlproto.OpEnclaveRemoveRule,
+		ctlproto.RuleParams{Dir: int(dir), Table: table, Pattern: pattern}, nil)
+}
+
+// Install ships a compiled action function to the enclave.
+func (e *RemoteEnclave) Install(f *compiler.Func) error {
+	return e.peer.Call(ctlproto.OpEnclaveInstall, ctlproto.ToSpec(f), nil)
+}
+
+// Uninstall removes a function and its rules.
+func (e *RemoteEnclave) Uninstall(name string) error {
+	return e.peer.Call(ctlproto.OpEnclaveUninstall, ctlproto.GlobalParams{Func: name}, nil)
+}
+
+// UpdateGlobal pushes a global scalar.
+func (e *RemoteEnclave) UpdateGlobal(fn, name string, v int64) error {
+	return e.peer.Call(ctlproto.OpEnclaveUpdateGlobal,
+		ctlproto.GlobalParams{Func: fn, Name: name, Value: v}, nil)
+}
+
+// UpdateGlobalArray pushes a global array.
+func (e *RemoteEnclave) UpdateGlobalArray(fn, name string, vs []int64) error {
+	return e.peer.Call(ctlproto.OpEnclaveUpdateArray,
+		ctlproto.GlobalParams{Func: fn, Name: name, Values: vs}, nil)
+}
+
+// ReadGlobal reads a global scalar back.
+func (e *RemoteEnclave) ReadGlobal(fn, name string) (int64, error) {
+	var out struct {
+		Value int64 `json:"value"`
+	}
+	err := e.peer.Call(ctlproto.OpEnclaveReadGlobal, ctlproto.GlobalParams{Func: fn, Name: name}, &out)
+	return out.Value, err
+}
+
+// ReadGlobalArray reads a global array back.
+func (e *RemoteEnclave) ReadGlobalArray(fn, name string) ([]int64, error) {
+	var out struct {
+		Values []int64 `json:"values"`
+	}
+	err := e.peer.Call(ctlproto.OpEnclaveReadArray, ctlproto.GlobalParams{Func: fn, Name: name}, &out)
+	return out.Values, err
+}
+
+// Stats fetches the enclave's counters.
+func (e *RemoteEnclave) Stats() (enclave.Stats, error) {
+	var out enclave.Stats
+	err := e.peer.Call(ctlproto.OpEnclaveStats, nil, &out)
+	return out, err
+}
+
+// AddQueue creates a rate-limited queue, returning its index.
+func (e *RemoteEnclave) AddQueue(rateBps, capBytes int64) (int, error) {
+	var out struct {
+		Index int `json:"index"`
+	}
+	err := e.peer.Call(ctlproto.OpEnclaveAddQueue,
+		ctlproto.QueueParams{RateBps: rateBps, CapBytes: capBytes}, &out)
+	return out.Index, err
+}
+
+// SetQueueRate reconfigures a queue's drain rate.
+func (e *RemoteEnclave) SetQueueRate(idx int, rateBps int64) error {
+	return e.peer.Call(ctlproto.OpEnclaveSetQueueRate,
+		ctlproto.QueueParams{Index: idx, RateBps: rateBps}, nil)
+}
+
+// AddFlowRule installs a five-tuple classifier rule on the enclave.
+func (e *RemoteEnclave) AddFlowRule(r ctlproto.FlowRuleParams) error {
+	return e.peer.Call(ctlproto.OpEnclaveAddFlowRule, r, nil)
+}
+
+// RemoteStage is the controller's proxy for one registered stage,
+// exposing the stage API (Table 3).
+type RemoteStage struct {
+	Name string
+	Host string
+	peer *ctlproto.Peer
+}
+
+// StageInfo mirrors stage.Info for transport.
+type StageInfo struct {
+	Name        string   `json:"name"`
+	Classifiers []string `json:"classifiers"`
+	MetaFields  []string `json:"meta_fields"`
+	RuleSets    []string `json:"rule_sets"`
+}
+
+// Info implements getStageInfo (S0).
+func (s *RemoteStage) Info() (StageInfo, error) {
+	var out StageInfo
+	err := s.peer.Call(ctlproto.OpStageInfo, nil, &out)
+	return out, err
+}
+
+// CreateRule implements createStageRule (S1); rule text uses Figure 6's
+// syntax. It returns the rule identifier.
+func (s *RemoteStage) CreateRule(ruleSet, rule string) (int, error) {
+	var out struct {
+		RuleID int `json:"rule_id"`
+	}
+	err := s.peer.Call(ctlproto.OpStageCreateRule,
+		ctlproto.StageRuleParams{RuleSet: ruleSet, Rule: rule}, &out)
+	return out.RuleID, err
+}
+
+// RemoveRule implements removeStageRule (S2).
+func (s *RemoteStage) RemoveRule(ruleSet string, id int) error {
+	return s.peer.Call(ctlproto.OpStageRemoveRule,
+		ctlproto.StageRuleParams{RuleSet: ruleSet, RuleID: id}, nil)
+}

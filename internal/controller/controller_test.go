@@ -1,0 +1,282 @@
+package controller
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"eden/internal/compiler"
+	"eden/internal/ctlproto"
+	"eden/internal/enclave"
+	"eden/internal/packet"
+	"eden/internal/stage"
+)
+
+// testSetup brings up a controller, an enclave agent and a stage agent on
+// the loopback, all torn down with the test.
+func testSetup(t *testing.T) (*Controller, *enclave.Enclave, *stage.Stage) {
+	t.Helper()
+	ctl, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ctl.Close() })
+
+	var now int64
+	enc := enclave.New(enclave.Config{
+		Name: "host1-os", Platform: "os",
+		Clock: func() int64 { now++; return now },
+	})
+	ea, err := ServeEnclave(ctl.Addr(), "host1", enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ea.Close() })
+
+	st := stage.Memcached()
+	sa, err := ServeStage(ctl.Addr(), "host1", st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { sa.Close() })
+
+	if err := ctl.WaitForAgents(2, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	return ctl, enc, st
+}
+
+func TestRegistration(t *testing.T) {
+	ctl, _, _ := testSetup(t)
+	if _, ok := ctl.Enclave("host1-os"); !ok {
+		t.Errorf("enclave not registered: %v", ctl.Enclaves())
+	}
+	if _, ok := ctl.Stage("memcached"); !ok {
+		t.Errorf("stage not registered: %v", ctl.Stages())
+	}
+	if _, ok := ctl.Enclave("nope"); ok {
+		t.Error("phantom enclave")
+	}
+}
+
+func TestProgramStageRemotely(t *testing.T) {
+	ctl, _, st := testSetup(t)
+	rs, _ := ctl.Stage("memcached")
+
+	info, err := rs.Info()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Name != "memcached" || len(info.Classifiers) != 2 {
+		t.Errorf("info = %+v", info)
+	}
+
+	id, err := rs.CreateRule("r1", `<GET, -> -> [GET, {msg_id, msg_size}]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The local stage now classifies.
+	meta, ok := st.Tag(stage.Message{FieldValues: []string{"GET", "k"}, Size: 100})
+	if !ok || meta.Class != "memcached.r1.GET" {
+		t.Errorf("tag = %+v ok=%v", meta, ok)
+	}
+	if err := rs.RemoveRule("r1", id); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := st.Tag(stage.Message{FieldValues: []string{"GET", "k"}}); ok {
+		t.Error("rule survived removal")
+	}
+	// Errors propagate.
+	if _, err := rs.CreateRule("r1", "garbage"); err == nil {
+		t.Error("bad rule accepted remotely")
+	}
+	if err := rs.RemoveRule("r1", 999); err == nil {
+		t.Error("phantom rule removed")
+	}
+}
+
+func TestProgramEnclaveRemotely(t *testing.T) {
+	ctl, enc, _ := testSetup(t)
+	re, _ := ctl.Enclave("host1-os")
+
+	// Ship a compiled function end to end (encode -> wire -> verify).
+	f := compiler.MustCompile("pias", `
+msg size : int
+msg priority : int = 1
+global priorities : int array
+global priovals : int array
+fun (packet, msg, _global) ->
+    let msg_size = msg.size + packet.size
+    msg.size <- msg_size
+    let rec search index =
+        if index >= _global.priorities.Length then 0
+        elif msg_size <= _global.priorities.[index] then _global.priovals.[index]
+        else search (index + 1)
+    packet.priority <- (if msg.priority < 1 then msg.priority else search 0)
+`)
+	if err := re.Install(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := re.Install(f); err == nil {
+		t.Error("duplicate install accepted")
+	}
+	if err := re.UpdateGlobalArray("pias", "priorities", []int64{10240, 1048576}); err != nil {
+		t.Fatal(err)
+	}
+	if err := re.UpdateGlobalArray("pias", "priovals", []int64{7, 5}); err != nil {
+		t.Fatal(err)
+	}
+	if err := re.CreateTable(enclave.Egress, "sched"); err != nil {
+		t.Fatal(err)
+	}
+	if err := re.AddRule(enclave.Egress, "sched", "*", "pias"); err != nil {
+		t.Fatal(err)
+	}
+
+	// The local enclave now runs the shipped function.
+	p := packet.New(1, 2, 3, 4, 1000)
+	p.Meta.Class = "a.b.c"
+	p.Meta.MsgID = 5
+	enc.Process(enclave.Egress, p, 0)
+	if p.Get(packet.FieldPriority) != 7 {
+		t.Errorf("priority = %d, want 7", p.Get(packet.FieldPriority))
+	}
+
+	// Read state back through the controller.
+	arr, err := re.ReadGlobalArray("pias", "priorities")
+	if err != nil || len(arr) != 2 || arr[0] != 10240 {
+		t.Errorf("read array = %v, %v", arr, err)
+	}
+	stats, err := re.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Invocations != 1 {
+		t.Errorf("stats = %+v", stats)
+	}
+
+	// Queue management.
+	idx, err := re.AddQueue(1_000_000_000, 0)
+	if err != nil || idx != 0 {
+		t.Errorf("AddQueue = %d, %v", idx, err)
+	}
+	if err := re.SetQueueRate(idx, 2_000_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if err := re.SetQueueRate(99, 1); err == nil {
+		t.Error("bad queue index accepted")
+	}
+
+	// Scalar state.
+	if err := re.UpdateGlobal("pias", "nope", 1); err == nil {
+		t.Error("unknown global accepted")
+	}
+
+	// Flow classifier rule.
+	port := uint16(80)
+	if err := re.AddFlowRule(ctlproto.FlowRuleParams{DstPort: &port, Class: "enclave.flows.web"}); err != nil {
+		t.Fatal(err)
+	}
+	if enc.FlowClassifier().Len() != 1 {
+		t.Error("flow rule not installed")
+	}
+
+	// Rule and function removal.
+	if err := re.RemoveRule(enclave.Egress, "sched", "*"); err != nil {
+		t.Fatal(err)
+	}
+	if err := re.Uninstall("pias"); err != nil {
+		t.Fatal(err)
+	}
+	if err := re.DeleteTable(enclave.Egress, "sched"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpecRoundTrip(t *testing.T) {
+	f := compiler.MustCompile("wcmp", `
+global total_weight : int = 11
+global path_labels : int array
+global path_weights : int array
+fun (packet, msg, _global) ->
+    let r = randrange _global.total_weight
+    packet.path <- _global.path_labels.[r % _global.path_labels.Length]
+`)
+	spec := ctlproto.ToSpec(f)
+	g, err := ctlproto.FromSpec(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Name != f.Name || len(g.PktFields) != len(f.PktFields) ||
+		len(g.GlobalScalars) != 1 || g.GlobalDefaults[0] != 11 ||
+		len(g.GlobalArrays) != 2 {
+		t.Errorf("round trip mismatch: %+v", g)
+	}
+	// Corrupted program must be rejected.
+	bad := spec
+	bad.Program = append([]byte(nil), spec.Program...)
+	bad.Program[len(bad.Program)-1] ^= 0xff
+	if _, err := ctlproto.FromSpec(bad); err == nil {
+		t.Error("corrupted program accepted")
+	}
+	// Unknown packet field rejected.
+	bad2 := spec
+	bad2.PktFields = []string{"bogus_field"}
+	if _, err := ctlproto.FromSpec(bad2); err == nil {
+		t.Error("bogus field accepted")
+	}
+	// Mismatched field count rejected.
+	bad3 := spec
+	bad3.PktFields = nil
+	if _, err := ctlproto.FromSpec(bad3); err == nil {
+		t.Error("mismatched field count accepted")
+	}
+}
+
+func TestAgentDisconnectDeregisters(t *testing.T) {
+	ctl, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctl.Close()
+	var now int64
+	enc := enclave.New(enclave.Config{Name: "e1", Clock: func() int64 { now++; return now }})
+	a, err := ServeEnclave(ctl.Addr(), "h", enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ctl.WaitForAgents(1, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	a.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, ok := ctl.Enclave("e1"); !ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("enclave still registered after disconnect")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestWaitForAgentsTimeout(t *testing.T) {
+	ctl, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctl.Close()
+	err = ctl.WaitForAgents(1, 50*time.Millisecond)
+	if err == nil || !strings.Contains(err.Error(), "agents") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestDialFailure(t *testing.T) {
+	var now int64
+	enc := enclave.New(enclave.Config{Name: "e", Clock: func() int64 { now++; return now }})
+	if _, err := ServeEnclave("127.0.0.1:1", "h", enc); err == nil {
+		t.Error("dial to closed port succeeded")
+	}
+}

@@ -1,0 +1,345 @@
+package controller
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"eden/internal/compiler"
+	"eden/internal/enclave"
+	"eden/internal/funcs"
+)
+
+// RunScript executes a controller policy script against live agents: one
+// command per line, '#' comments. This is how an operator expresses a
+// network function's control-plane half without writing Go — compute the
+// state, push it to stages and enclaves (§3.2).
+//
+// Commands:
+//
+//	wait N [SECONDS]                    wait for N agents (default 30s)
+//	sleep SECONDS
+//	echo TEXT...
+//	enclaves | stages                   list registered agents
+//	stage S info
+//	stage S create-rule RS <rule...>    rule text in Figure 6 syntax
+//	stage S remove-rule RS ID
+//	enclave E install-builtin FUNC      install a library function
+//	enclave E install FILE [NAME]       compile and install a source file
+//	enclave E uninstall FUNC
+//	enclave E create-table DIR TABLE    DIR is egress or ingress
+//	enclave E delete-table DIR TABLE
+//	enclave E add-rule DIR TABLE PATTERN FUNC
+//	enclave E remove-rule DIR TABLE PATTERN
+//	enclave E set-global FUNC NAME VALUE
+//	enclave E set-array FUNC NAME V1,V2,...
+//	enclave E get-global FUNC NAME
+//	enclave E get-array FUNC NAME
+//	enclave E add-queue RATE_BPS [CAP_BYTES]
+//	enclave E set-queue-rate INDEX RATE_BPS
+//	enclave E stats
+func (c *Controller) RunScript(script string, out io.Writer) error {
+	for ln, raw := range strings.Split(script, "\n") {
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if err := c.runCommand(line, out); err != nil {
+			return fmt.Errorf("line %d (%q): %w", ln+1, line, err)
+		}
+	}
+	return nil
+}
+
+func (c *Controller) runCommand(line string, out io.Writer) error {
+	fields := strings.Fields(line)
+	switch fields[0] {
+	case "echo":
+		fmt.Fprintln(out, strings.TrimSpace(strings.TrimPrefix(line, "echo")))
+		return nil
+
+	case "sleep":
+		if len(fields) != 2 {
+			return fmt.Errorf("sleep SECONDS")
+		}
+		secs, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			return err
+		}
+		time.Sleep(time.Duration(secs * float64(time.Second)))
+		return nil
+
+	case "wait":
+		if len(fields) < 2 {
+			return fmt.Errorf("wait N [SECONDS]")
+		}
+		n, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return err
+		}
+		timeout := 30 * time.Second
+		if len(fields) == 3 {
+			secs, err := strconv.ParseFloat(fields[2], 64)
+			if err != nil {
+				return err
+			}
+			timeout = time.Duration(secs * float64(time.Second))
+		}
+		return c.WaitForAgents(n, timeout)
+
+	case "enclaves":
+		names := c.Enclaves()
+		sort.Strings(names)
+		fmt.Fprintln(out, strings.Join(names, " "))
+		return nil
+
+	case "stages":
+		names := c.Stages()
+		sort.Strings(names)
+		fmt.Fprintln(out, strings.Join(names, " "))
+		return nil
+
+	case "stage":
+		return c.stageCommand(fields, line, out)
+
+	case "enclave":
+		return c.enclaveCommand(fields, out)
+
+	default:
+		return fmt.Errorf("unknown command %q", fields[0])
+	}
+}
+
+func (c *Controller) stageCommand(fields []string, line string, out io.Writer) error {
+	if len(fields) < 3 {
+		return fmt.Errorf("stage NAME VERB ...")
+	}
+	st, ok := c.Stage(fields[1])
+	if !ok {
+		return fmt.Errorf("no stage %q registered", fields[1])
+	}
+	switch fields[2] {
+	case "info":
+		info, err := st.Info()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "stage %s: classifiers=%v meta=%v rulesets=%v\n",
+			info.Name, info.Classifiers, info.MetaFields, info.RuleSets)
+		return nil
+	case "create-rule":
+		if len(fields) < 5 {
+			return fmt.Errorf("stage S create-rule RULESET <rule>")
+		}
+		// Everything after the rule-set name is the rule text.
+		idx := strings.Index(line, fields[3])
+		ruleText := strings.TrimSpace(line[idx+len(fields[3]):])
+		id, err := st.CreateRule(fields[3], ruleText)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "rule %d\n", id)
+		return nil
+	case "remove-rule":
+		if len(fields) != 5 {
+			return fmt.Errorf("stage S remove-rule RULESET ID")
+		}
+		id, err := strconv.Atoi(fields[4])
+		if err != nil {
+			return err
+		}
+		return st.RemoveRule(fields[3], id)
+	default:
+		return fmt.Errorf("unknown stage verb %q", fields[2])
+	}
+}
+
+func parseDir(s string) (enclave.Direction, error) {
+	switch s {
+	case "egress":
+		return enclave.Egress, nil
+	case "ingress":
+		return enclave.Ingress, nil
+	default:
+		return 0, fmt.Errorf("direction must be egress or ingress, not %q", s)
+	}
+}
+
+func (c *Controller) enclaveCommand(fields []string, out io.Writer) error {
+	if len(fields) < 3 {
+		return fmt.Errorf("enclave NAME VERB ...")
+	}
+	enc, ok := c.Enclave(fields[1])
+	if !ok {
+		return fmt.Errorf("no enclave %q registered", fields[1])
+	}
+	verb, args := fields[2], fields[3:]
+	switch verb {
+	case "install-builtin":
+		if len(args) != 1 {
+			return fmt.Errorf("install-builtin FUNC")
+		}
+		f, err := funcs.Compile(args[0])
+		if err != nil {
+			return err
+		}
+		return enc.Install(f)
+
+	case "install":
+		if len(args) < 1 || len(args) > 2 {
+			return fmt.Errorf("install FILE [NAME]")
+		}
+		data, err := os.ReadFile(args[0])
+		if err != nil {
+			return err
+		}
+		name := strings.TrimSuffix(args[0], ".eden")
+		if i := strings.LastIndex(name, "/"); i >= 0 {
+			name = name[i+1:]
+		}
+		if len(args) == 2 {
+			name = args[1]
+		}
+		f, err := compiler.Compile(name, string(data))
+		if err != nil {
+			return err
+		}
+		return enc.Install(f)
+
+	case "uninstall":
+		if len(args) != 1 {
+			return fmt.Errorf("uninstall FUNC")
+		}
+		return enc.Uninstall(args[0])
+
+	case "create-table", "delete-table":
+		if len(args) != 2 {
+			return fmt.Errorf("%s DIR TABLE", verb)
+		}
+		dir, err := parseDir(args[0])
+		if err != nil {
+			return err
+		}
+		if verb == "create-table" {
+			return enc.CreateTable(dir, args[1])
+		}
+		return enc.DeleteTable(dir, args[1])
+
+	case "add-rule":
+		if len(args) != 4 {
+			return fmt.Errorf("add-rule DIR TABLE PATTERN FUNC")
+		}
+		dir, err := parseDir(args[0])
+		if err != nil {
+			return err
+		}
+		return enc.AddRule(dir, args[1], args[2], args[3])
+
+	case "remove-rule":
+		if len(args) != 3 {
+			return fmt.Errorf("remove-rule DIR TABLE PATTERN")
+		}
+		dir, err := parseDir(args[0])
+		if err != nil {
+			return err
+		}
+		return enc.RemoveRule(dir, args[1], args[2])
+
+	case "set-global":
+		if len(args) != 3 {
+			return fmt.Errorf("set-global FUNC NAME VALUE")
+		}
+		v, err := strconv.ParseInt(args[2], 0, 64)
+		if err != nil {
+			return err
+		}
+		return enc.UpdateGlobal(args[0], args[1], v)
+
+	case "set-array":
+		if len(args) != 3 {
+			return fmt.Errorf("set-array FUNC NAME V1,V2,...")
+		}
+		var vs []int64
+		for _, tok := range strings.Split(args[2], ",") {
+			v, err := strconv.ParseInt(strings.TrimSpace(tok), 0, 64)
+			if err != nil {
+				return err
+			}
+			vs = append(vs, v)
+		}
+		return enc.UpdateGlobalArray(args[0], args[1], vs)
+
+	case "get-global":
+		if len(args) != 2 {
+			return fmt.Errorf("get-global FUNC NAME")
+		}
+		v, err := enc.ReadGlobal(args[0], args[1])
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "%s.%s = %d\n", args[0], args[1], v)
+		return nil
+
+	case "get-array":
+		if len(args) != 2 {
+			return fmt.Errorf("get-array FUNC NAME")
+		}
+		vs, err := enc.ReadGlobalArray(args[0], args[1])
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "%s.%s = %v\n", args[0], args[1], vs)
+		return nil
+
+	case "add-queue":
+		if len(args) < 1 || len(args) > 2 {
+			return fmt.Errorf("add-queue RATE_BPS [CAP_BYTES]")
+		}
+		rate, err := strconv.ParseInt(args[0], 0, 64)
+		if err != nil {
+			return err
+		}
+		var capBytes int64
+		if len(args) == 2 {
+			capBytes, err = strconv.ParseInt(args[1], 0, 64)
+			if err != nil {
+				return err
+			}
+		}
+		idx, err := enc.AddQueue(rate, capBytes)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "queue %d\n", idx)
+		return nil
+
+	case "set-queue-rate":
+		if len(args) != 2 {
+			return fmt.Errorf("set-queue-rate INDEX RATE_BPS")
+		}
+		idx, err := strconv.Atoi(args[0])
+		if err != nil {
+			return err
+		}
+		rate, err := strconv.ParseInt(args[1], 0, 64)
+		if err != nil {
+			return err
+		}
+		return enc.SetQueueRate(idx, rate)
+
+	case "stats":
+		st, err := enc.Stats()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "%+v\n", st)
+		return nil
+
+	default:
+		return fmt.Errorf("unknown enclave verb %q", verb)
+	}
+}

@@ -1,0 +1,127 @@
+package controller
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"eden/internal/enclave"
+	"eden/internal/packet"
+	"eden/internal/stage"
+)
+
+func TestRunScriptEndToEnd(t *testing.T) {
+	ctl, enc, st := testSetup(t)
+	_ = st
+
+	// Write an action-function source to install from disk.
+	dir := t.TempDir()
+	src := filepath.Join(dir, "hiprio.eden")
+	if err := os.WriteFile(src, []byte("fun (p, m, g) ->\n p.priority <- 6\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var out strings.Builder
+	script := `
+# full control-plane exercise
+wait 2 5
+echo agents ready
+enclaves
+stages
+stage memcached info
+stage memcached create-rule r1 <GET, -> -> [GET, {msg_id, msg_size}]
+enclave host1-os install-builtin pias
+enclave host1-os set-array pias priorities 10240,1048576
+enclave host1-os set-array pias priovals 7,5
+enclave host1-os get-array pias priorities
+enclave host1-os install ` + src + `
+enclave host1-os create-table egress sched
+enclave host1-os add-rule egress sched search.* pias
+enclave host1-os add-rule egress sched * hiprio
+enclave host1-os add-queue 1000000000
+enclave host1-os set-queue-rate 0 2000000000
+enclave host1-os stats
+`
+	if err := ctl.RunScript(script, &out); err != nil {
+		t.Fatalf("script: %v\noutput:\n%s", err, out.String())
+	}
+	text := out.String()
+	for _, want := range []string{"agents ready", "host1-os", "memcached",
+		"classifiers=[msg_type key]", "rule 1", "priorities = [10240 1048576]", "queue 0"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q:\n%s", want, text)
+		}
+	}
+
+	// The data plane behaves per the pushed policy.
+	p := packet.New(1, 2, 3, 4, 1000)
+	p.Meta.Class = "search.r1.RESP"
+	p.Meta.MsgID = 1
+	enc.Process(enclave.Egress, p, 0)
+	if p.Get(packet.FieldPriority) != 7 {
+		t.Errorf("pias rule not effective: priority %d", p.Get(packet.FieldPriority))
+	}
+	q := packet.New(1, 2, 3, 4, 1000)
+	q.Meta.Class = "other.x.y"
+	q.Meta.MsgID = 2
+	enc.Process(enclave.Egress, q, 0)
+	if q.Get(packet.FieldPriority) != 6 {
+		t.Errorf("file-installed rule not effective: priority %d", q.Get(packet.FieldPriority))
+	}
+}
+
+func TestRunScriptErrors(t *testing.T) {
+	ctl, _, _ := testSetup(t)
+	cases := []string{
+		"bogus",
+		"wait",
+		"wait x",
+		"sleep",
+		"sleep x",
+		"stage nope info",
+		"stage memcached bogus",
+		"stage memcached create-rule r1 garbage",
+		"enclave nope stats",
+		"enclave host1-os bogus",
+		"enclave host1-os install /nonexistent.eden",
+		"enclave host1-os install-builtin nope",
+		"enclave host1-os create-table sideways t",
+		"enclave host1-os set-global pias x 1",
+		"enclave host1-os set-array nope x 1,2",
+		"enclave host1-os set-queue-rate 0 99",
+		"enclave host1-os add-rule egress missing * pias",
+	}
+	for _, script := range cases {
+		if err := ctl.RunScript(script, &strings.Builder{}); err == nil {
+			t.Errorf("script %q succeeded", script)
+		}
+	}
+	// Comments and blanks are fine.
+	if err := ctl.RunScript("\n# comment\n\n", &strings.Builder{}); err != nil {
+		t.Errorf("comment-only script failed: %v", err)
+	}
+}
+
+func TestScriptRemoveAndUninstall(t *testing.T) {
+	ctl, enc, _ := testSetup(t)
+	script := `
+enclave host1-os install-builtin tenant_meter
+enclave host1-os set-array tenant_meter usage 0,0
+enclave host1-os create-table egress t
+enclave host1-os add-rule egress t * tenant_meter
+enclave host1-os remove-rule egress t *
+enclave host1-os uninstall tenant_meter
+enclave host1-os delete-table egress t
+`
+	if err := ctl.RunScript(script, &strings.Builder{}); err != nil {
+		t.Fatal(err)
+	}
+	if got := enc.InstalledFunctions(); len(got) != 0 {
+		t.Errorf("functions remain: %v", got)
+	}
+	if got := enc.Tables(enclave.Egress); len(got) != 0 {
+		t.Errorf("tables remain: %v", got)
+	}
+	_ = stage.Memcached
+}

@@ -1,0 +1,283 @@
+// Package ctlproto is the wire protocol between the Eden controller and
+// the data-plane agents it programs — enclaves (via the enclave API,
+// §3.4.5) and stages (via the stage API, Table 3). The transport is
+// newline-delimited JSON over TCP: each line is either a request
+// (id, op, params) or a response (id, reply, ok/error, result). The
+// protocol is symmetric — agents register themselves with a "hello"
+// request to the controller, after which the controller issues requests
+// over the same connection — so a single dialled connection from each
+// agent suffices (agents may sit behind NATs; the controller never dials).
+package ctlproto
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+)
+
+// Op names.
+const (
+	OpHello = "hello"
+
+	OpStageInfo       = "stage.info"
+	OpStageCreateRule = "stage.create_rule"
+	OpStageRemoveRule = "stage.remove_rule"
+
+	OpEnclaveCreateTable  = "enclave.create_table"
+	OpEnclaveDeleteTable  = "enclave.delete_table"
+	OpEnclaveAddRule      = "enclave.add_rule"
+	OpEnclaveRemoveRule   = "enclave.remove_rule"
+	OpEnclaveInstall      = "enclave.install"
+	OpEnclaveUninstall    = "enclave.uninstall"
+	OpEnclaveUpdateGlobal = "enclave.update_global"
+	OpEnclaveUpdateArray  = "enclave.update_global_array"
+	OpEnclaveReadGlobal   = "enclave.read_global"
+	OpEnclaveReadArray    = "enclave.read_global_array"
+	OpEnclaveStats        = "enclave.stats"
+	OpEnclaveAddQueue     = "enclave.add_queue"
+	OpEnclaveSetQueueRate = "enclave.set_queue_rate"
+	OpEnclaveAddFlowRule  = "enclave.add_flow_rule"
+)
+
+// Message is one protocol frame.
+type Message struct {
+	ID     int64           `json:"id"`
+	Op     string          `json:"op,omitempty"`
+	Params json.RawMessage `json:"params,omitempty"`
+
+	Reply  bool            `json:"reply,omitempty"`
+	OK     bool            `json:"ok,omitempty"`
+	Error  string          `json:"error,omitempty"`
+	Result json.RawMessage `json:"result,omitempty"`
+}
+
+// Hello registers an agent with the controller.
+type Hello struct {
+	Kind     string `json:"kind"` // "enclave" or "stage"
+	Name     string `json:"name"`
+	Host     string `json:"host"`
+	Platform string `json:"platform,omitempty"`
+}
+
+// StageRuleParams carries createStageRule/removeStageRule arguments. Rule
+// text uses the paper's syntax (Figure 6).
+type StageRuleParams struct {
+	RuleSet string `json:"rule_set"`
+	Rule    string `json:"rule,omitempty"`
+	RuleID  int    `json:"rule_id,omitempty"`
+}
+
+// TableParams identifies a match-action table.
+type TableParams struct {
+	Dir   int    `json:"dir"` // 0 egress, 1 ingress
+	Table string `json:"table"`
+}
+
+// RuleParams carries enclave match-action rule arguments.
+type RuleParams struct {
+	Dir     int    `json:"dir"`
+	Table   string `json:"table"`
+	Pattern string `json:"pattern"`
+	Func    string `json:"func,omitempty"`
+}
+
+// FuncSpec is the shippable form of a compiled action function: the
+// bytecode program in wire format plus the state bindings the enclave
+// needs. See compiler.Func.
+type FuncSpec struct {
+	Name           string   `json:"name"`
+	Program        []byte   `json:"program"` // edenvm wire format
+	PktFields      []string `json:"pkt_fields"`
+	MsgFields      []string `json:"msg_fields,omitempty"`
+	MsgDefaults    []int64  `json:"msg_defaults,omitempty"`
+	GlobalScalars  []string `json:"global_scalars,omitempty"`
+	GlobalDefaults []int64  `json:"global_defaults,omitempty"`
+	GlobalArrays   []string `json:"global_arrays,omitempty"`
+	Source         string   `json:"source,omitempty"`
+}
+
+// GlobalParams addresses a function's global state by name.
+type GlobalParams struct {
+	Func   string  `json:"func"`
+	Name   string  `json:"name"`
+	Value  int64   `json:"value,omitempty"`
+	Values []int64 `json:"values,omitempty"`
+}
+
+// QueueParams configures enclave rate queues.
+type QueueParams struct {
+	Index    int   `json:"index,omitempty"`
+	RateBps  int64 `json:"rate_bps"`
+	CapBytes int64 `json:"cap_bytes,omitempty"`
+}
+
+// FlowRuleParams installs an enclave flow-classifier rule. Pointer fields
+// are wildcards when nil.
+type FlowRuleParams struct {
+	SrcIP    *uint32 `json:"src_ip,omitempty"`
+	DstIP    *uint32 `json:"dst_ip,omitempty"`
+	SrcPort  *uint16 `json:"src_port,omitempty"`
+	DstPort  *uint16 `json:"dst_port,omitempty"`
+	Proto    *uint8  `json:"proto,omitempty"`
+	Priority int     `json:"priority,omitempty"`
+	Class    string  `json:"class"`
+}
+
+// Handler processes one inbound request and returns a result value (to be
+// JSON-encoded) or an error.
+type Handler func(op string, params json.RawMessage) (any, error)
+
+// ErrClosed is returned by calls on a closed peer.
+var ErrClosed = errors.New("ctlproto: connection closed")
+
+// Peer is one end of a control connection. Both ends may issue requests
+// concurrently. Create with NewPeer, then run Serve (usually in its own
+// goroutine).
+type Peer struct {
+	conn    net.Conn
+	w       *bufio.Writer
+	wmu     sync.Mutex
+	nextID  atomic.Int64
+	mu      sync.Mutex
+	pending map[int64]chan Message
+	handler Handler
+	closed  atomic.Bool
+	done    chan struct{}
+}
+
+// NewPeer wraps a connection. handler serves inbound requests; it may be
+// nil if this end never receives requests.
+func NewPeer(conn net.Conn, handler Handler) *Peer {
+	return &Peer{
+		conn:    conn,
+		w:       bufio.NewWriter(conn),
+		pending: map[int64]chan Message{},
+		handler: handler,
+		done:    make(chan struct{}),
+	}
+}
+
+// Serve reads frames until the connection closes, dispatching requests to
+// the handler (each in its own goroutine) and responses to waiting calls.
+func (p *Peer) Serve() error {
+	defer p.Close()
+	sc := bufio.NewScanner(p.conn)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	for sc.Scan() {
+		var m Message
+		if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
+			return fmt.Errorf("ctlproto: bad frame: %w", err)
+		}
+		if m.Reply {
+			p.mu.Lock()
+			ch := p.pending[m.ID]
+			delete(p.pending, m.ID)
+			p.mu.Unlock()
+			if ch != nil {
+				ch <- m
+			}
+			continue
+		}
+		go p.serveRequest(m)
+	}
+	if err := sc.Err(); err != nil && !errors.Is(err, net.ErrClosed) {
+		return err
+	}
+	return io.EOF
+}
+
+func (p *Peer) serveRequest(m Message) {
+	resp := Message{ID: m.ID, Reply: true}
+	if p.handler == nil {
+		resp.Error = "no handler"
+	} else {
+		result, err := p.handler(m.Op, m.Params)
+		if err != nil {
+			resp.Error = err.Error()
+		} else {
+			resp.OK = true
+			if result != nil {
+				b, err := json.Marshal(result)
+				if err != nil {
+					resp.OK = false
+					resp.Error = "ctlproto: cannot encode result: " + err.Error()
+				} else {
+					resp.Result = b
+				}
+			}
+		}
+	}
+	_ = p.send(resp)
+}
+
+func (p *Peer) send(m Message) error {
+	b, err := json.Marshal(m)
+	if err != nil {
+		return err
+	}
+	p.wmu.Lock()
+	defer p.wmu.Unlock()
+	if p.closed.Load() {
+		return ErrClosed
+	}
+	if _, err := p.w.Write(append(b, '\n')); err != nil {
+		return err
+	}
+	return p.w.Flush()
+}
+
+// Call issues a request and decodes the response into result (which may
+// be nil). It blocks until the peer answers or the connection closes.
+func (p *Peer) Call(op string, params any, result any) error {
+	if p.closed.Load() {
+		return ErrClosed
+	}
+	id := p.nextID.Add(1)
+	var raw json.RawMessage
+	if params != nil {
+		b, err := json.Marshal(params)
+		if err != nil {
+			return err
+		}
+		raw = b
+	}
+	ch := make(chan Message, 1)
+	p.mu.Lock()
+	p.pending[id] = ch
+	p.mu.Unlock()
+	if err := p.send(Message{ID: id, Op: op, Params: raw}); err != nil {
+		p.mu.Lock()
+		delete(p.pending, id)
+		p.mu.Unlock()
+		return err
+	}
+	select {
+	case m := <-ch:
+		if !m.OK {
+			return fmt.Errorf("ctlproto: %s: %s", op, m.Error)
+		}
+		if result != nil && m.Result != nil {
+			return json.Unmarshal(m.Result, result)
+		}
+		return nil
+	case <-p.done:
+		return ErrClosed
+	}
+}
+
+// Close tears the connection down, failing outstanding calls.
+func (p *Peer) Close() error {
+	if p.closed.Swap(true) {
+		return nil
+	}
+	close(p.done)
+	return p.conn.Close()
+}
+
+// RemoteAddr returns the remote address, for diagnostics.
+func (p *Peer) RemoteAddr() string { return p.conn.RemoteAddr().String() }

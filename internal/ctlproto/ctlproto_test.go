@@ -1,0 +1,180 @@
+package ctlproto
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// pair returns two connected peers over a real loopback TCP connection,
+// each serving with the given handlers.
+func pair(t *testing.T, ha, hb Handler) (*Peer, *Peer) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	type accepted struct {
+		conn net.Conn
+		err  error
+	}
+	ch := make(chan accepted, 1)
+	go func() {
+		c, err := ln.Accept()
+		ch <- accepted{c, err}
+	}()
+	ca, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := <-ch
+	if acc.err != nil {
+		t.Fatal(acc.err)
+	}
+	pa := NewPeer(ca, ha)
+	pb := NewPeer(acc.conn, hb)
+	go pa.Serve()
+	go pb.Serve()
+	t.Cleanup(func() { pa.Close(); pb.Close() })
+	return pa, pb
+}
+
+func echoHandler(op string, params json.RawMessage) (any, error) {
+	switch op {
+	case "echo":
+		var v map[string]any
+		if err := json.Unmarshal(params, &v); err != nil {
+			return nil, err
+		}
+		return v, nil
+	case "fail":
+		return nil, errors.New("deliberate failure")
+	case "nilresult":
+		return nil, nil
+	default:
+		return nil, fmt.Errorf("unknown op %q", op)
+	}
+}
+
+func TestCallRoundTrip(t *testing.T) {
+	pa, _ := pair(t, nil, echoHandler)
+	var out map[string]any
+	if err := pa.Call("echo", map[string]any{"x": 42.0, "s": "hi"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out["x"] != 42.0 || out["s"] != "hi" {
+		t.Errorf("echo = %v", out)
+	}
+	if err := pa.Call("nilresult", nil, nil); err != nil {
+		t.Errorf("nil result: %v", err)
+	}
+}
+
+func TestCallErrorPropagates(t *testing.T) {
+	pa, _ := pair(t, nil, echoHandler)
+	err := pa.Call("fail", nil, nil)
+	if err == nil || !strings.Contains(err.Error(), "deliberate failure") {
+		t.Errorf("err = %v", err)
+	}
+	err = pa.Call("bogus", nil, nil)
+	if err == nil || !strings.Contains(err.Error(), "unknown op") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestNoHandler(t *testing.T) {
+	pa, _ := pair(t, nil, nil)
+	if err := pa.Call("anything", nil, nil); err == nil {
+		t.Error("call to handlerless peer succeeded")
+	}
+}
+
+func TestBidirectionalCalls(t *testing.T) {
+	pa, pb := pair(t, echoHandler, echoHandler)
+	var out map[string]any
+	if err := pa.Call("echo", map[string]any{"from": "a"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if err := pb.Call("echo", map[string]any{"from": "b"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out["from"] != "b" {
+		t.Errorf("out = %v", out)
+	}
+}
+
+func TestConcurrentCalls(t *testing.T) {
+	pa, _ := pair(t, nil, echoHandler)
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var out map[string]any
+			if err := pa.Call("echo", map[string]any{"i": float64(i)}, &out); err != nil {
+				errs <- err
+				return
+			}
+			if out["i"] != float64(i) {
+				errs <- fmt.Errorf("got %v want %d (response routed to wrong call)", out["i"], i)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+func TestLargeFrame(t *testing.T) {
+	pa, _ := pair(t, nil, echoHandler)
+	big := strings.Repeat("x", 1<<20)
+	var out map[string]any
+	if err := pa.Call("echo", map[string]any{"big": big}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out["big"] != big {
+		t.Error("large payload corrupted")
+	}
+}
+
+func TestCallAfterClose(t *testing.T) {
+	pa, _ := pair(t, nil, echoHandler)
+	pa.Close()
+	if err := pa.Call("echo", nil, nil); !errors.Is(err, ErrClosed) {
+		t.Errorf("err = %v, want ErrClosed", err)
+	}
+	// Double close is fine.
+	if err := pa.Close(); err != nil {
+		t.Errorf("double close: %v", err)
+	}
+}
+
+func TestPeerCloseFailsPendingCalls(t *testing.T) {
+	block := make(chan struct{})
+	pa, _ := pair(t, nil, func(op string, params json.RawMessage) (any, error) {
+		<-block
+		return nil, nil
+	})
+	done := make(chan error, 1)
+	go func() { done <- pa.Call("slow", nil, nil) }()
+	pa.Close()
+	if err := <-done; err == nil {
+		t.Error("pending call survived close")
+	}
+	close(block)
+}
+
+func TestRemoteAddr(t *testing.T) {
+	pa, _ := pair(t, nil, nil)
+	if pa.RemoteAddr() == "" {
+		t.Error("empty remote addr")
+	}
+}

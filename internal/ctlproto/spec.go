@@ -1,0 +1,67 @@
+package ctlproto
+
+import (
+	"fmt"
+
+	"eden/internal/compiler"
+	"eden/internal/edenvm"
+	"eden/internal/packet"
+)
+
+// ToSpec converts a compiled function into its shippable wire form.
+func ToSpec(f *compiler.Func) FuncSpec {
+	spec := FuncSpec{
+		Name:           f.Name,
+		Program:        f.Prog.Encode(),
+		MsgFields:      f.MsgFields,
+		MsgDefaults:    f.MsgDefaults,
+		GlobalScalars:  f.GlobalScalars,
+		GlobalDefaults: f.GlobalDefaults,
+		GlobalArrays:   f.GlobalArrays,
+		Source:         f.Source,
+	}
+	for _, fd := range f.PktFields {
+		spec.PktFields = append(spec.PktFields, fd.String())
+	}
+	return spec
+}
+
+// FromSpec validates a received function spec: the program is decoded and
+// re-verified (enclaves never trust shipped bytecode) and field names are
+// resolved against this build's packet field registry.
+func FromSpec(spec FuncSpec) (*compiler.Func, error) {
+	prog, err := edenvm.Load(spec.Program)
+	if err != nil {
+		return nil, fmt.Errorf("ctlproto: function %q: %w", spec.Name, err)
+	}
+	f := &compiler.Func{
+		Name:           spec.Name,
+		Prog:           prog,
+		MsgFields:      spec.MsgFields,
+		MsgDefaults:    spec.MsgDefaults,
+		GlobalScalars:  spec.GlobalScalars,
+		GlobalDefaults: spec.GlobalDefaults,
+		GlobalArrays:   spec.GlobalArrays,
+		Source:         spec.Source,
+	}
+	for _, name := range spec.PktFields {
+		fd, ok := packet.FieldByName(name)
+		if !ok {
+			return nil, fmt.Errorf("ctlproto: function %q uses unknown packet field %q", spec.Name, name)
+		}
+		f.PktFields = append(f.PktFields, fd)
+	}
+	if prog.State.PacketFields != len(f.PktFields) {
+		return nil, fmt.Errorf("ctlproto: function %q: program declares %d packet fields, spec has %d",
+			spec.Name, prog.State.PacketFields, len(f.PktFields))
+	}
+	if prog.State.MsgFields != len(f.MsgFields) {
+		return nil, fmt.Errorf("ctlproto: function %q: program declares %d msg fields, spec has %d",
+			spec.Name, prog.State.MsgFields, len(f.MsgFields))
+	}
+	if prog.State.GlobalFields != len(f.GlobalScalars) {
+		return nil, fmt.Errorf("ctlproto: function %q: program declares %d global scalars, spec has %d",
+			spec.Name, prog.State.GlobalFields, len(f.GlobalScalars))
+	}
+	return f, nil
+}

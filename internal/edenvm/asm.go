@@ -1,0 +1,216 @@
+package edenvm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Assemble parses assembler text into a Program. The syntax is one
+// instruction or directive per line; ';' and '#' start comments. Labels are
+// identifiers followed by ':' and may be used as branch/call operands.
+//
+// Directives:
+//
+//	.name NAME                     program name
+//	.locals N                      number of local slots
+//	.state pkt=N msg=N glb=N msg=ro|rw|none glbacc=ro|rw|none
+//	.calldepth N                   max call depth (default 16 if calls used)
+//
+// Example:
+//
+//	.name demo
+//	.state pkt=2 msgacc=none glbacc=none
+//	        ldpkt 0
+//	        const 10
+//	        lt
+//	        jz big
+//	        const 1
+//	        stpkt 1
+//	        halt
+//	big:    const 0
+//	        stpkt 1
+//	        halt
+//
+// The returned program is verified.
+func Assemble(src string) (*Program, error) {
+	p := &Program{Name: "anonymous"}
+	labels := map[string]int{}
+	type fixup struct {
+		instr int
+		label string
+		line  int
+	}
+	var fixups []fixup
+
+	lineNo := 0
+	for _, raw := range strings.Split(src, "\n") {
+		lineNo++
+		line := raw
+		if i := strings.IndexAny(line, ";#"); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+
+		// Labels (possibly several) may prefix an instruction.
+		for {
+			i := strings.Index(line, ":")
+			if i < 0 {
+				break
+			}
+			label := strings.TrimSpace(line[:i])
+			if !isIdent(label) {
+				return nil, fmt.Errorf("edenvm: asm line %d: bad label %q", lineNo, label)
+			}
+			if _, dup := labels[label]; dup {
+				return nil, fmt.Errorf("edenvm: asm line %d: duplicate label %q", lineNo, label)
+			}
+			labels[label] = len(p.Code)
+			line = strings.TrimSpace(line[i+1:])
+		}
+		if line == "" {
+			continue
+		}
+
+		fields := strings.Fields(line)
+		if strings.HasPrefix(fields[0], ".") {
+			if err := asmDirective(p, fields, lineNo); err != nil {
+				return nil, err
+			}
+			continue
+		}
+
+		op, ok := OpcodeByName(fields[0])
+		if !ok {
+			return nil, fmt.Errorf("edenvm: asm line %d: unknown opcode %q", lineNo, fields[0])
+		}
+		in := Instr{Op: op}
+		if op.HasOperand() {
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("edenvm: asm line %d: %s needs one operand", lineNo, op)
+			}
+			if v, err := strconv.ParseInt(fields[1], 0, 64); err == nil {
+				in.A = v
+			} else if isIdent(fields[1]) {
+				fixups = append(fixups, fixup{len(p.Code), fields[1], lineNo})
+			} else {
+				return nil, fmt.Errorf("edenvm: asm line %d: bad operand %q", lineNo, fields[1])
+			}
+		} else if len(fields) != 1 {
+			return nil, fmt.Errorf("edenvm: asm line %d: %s takes no operand", lineNo, op)
+		}
+		p.Code = append(p.Code, in)
+	}
+
+	for _, f := range fixups {
+		target, ok := labels[f.label]
+		if !ok {
+			return nil, fmt.Errorf("edenvm: asm line %d: undefined label %q", f.line, f.label)
+		}
+		p.Code[f.instr].A = int64(target)
+	}
+
+	if err := Verify(p); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func asmDirective(p *Program, fields []string, lineNo int) error {
+	switch fields[0] {
+	case ".name":
+		if len(fields) != 2 {
+			return fmt.Errorf("edenvm: asm line %d: .name needs one argument", lineNo)
+		}
+		p.Name = fields[1]
+	case ".locals":
+		if len(fields) != 2 {
+			return fmt.Errorf("edenvm: asm line %d: .locals needs one argument", lineNo)
+		}
+		n, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return fmt.Errorf("edenvm: asm line %d: bad .locals count: %v", lineNo, err)
+		}
+		p.NumLocals = n
+	case ".calldepth":
+		if len(fields) != 2 {
+			return fmt.Errorf("edenvm: asm line %d: .calldepth needs one argument", lineNo)
+		}
+		n, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return fmt.Errorf("edenvm: asm line %d: bad .calldepth: %v", lineNo, err)
+		}
+		p.MaxCallDepth = n
+	case ".state":
+		for _, kv := range fields[1:] {
+			k, v, ok := strings.Cut(kv, "=")
+			if !ok {
+				return fmt.Errorf("edenvm: asm line %d: bad .state field %q", lineNo, kv)
+			}
+			switch k {
+			case "pkt", "msg", "glb":
+				n, err := strconv.Atoi(v)
+				if err != nil {
+					return fmt.Errorf("edenvm: asm line %d: bad %s count: %v", lineNo, k, err)
+				}
+				switch k {
+				case "pkt":
+					p.State.PacketFields = n
+				case "msg":
+					p.State.MsgFields = n
+				case "glb":
+					p.State.GlobalFields = n
+				}
+			case "msgacc", "glbacc":
+				acc, err := parseAccess(v)
+				if err != nil {
+					return fmt.Errorf("edenvm: asm line %d: %v", lineNo, err)
+				}
+				if k == "msgacc" {
+					p.State.MsgAccess = acc
+				} else {
+					p.State.GlobalAccess = acc
+				}
+			default:
+				return fmt.Errorf("edenvm: asm line %d: unknown .state key %q", lineNo, k)
+			}
+		}
+	default:
+		return fmt.Errorf("edenvm: asm line %d: unknown directive %q", lineNo, fields[0])
+	}
+	return nil
+}
+
+func parseAccess(s string) (Access, error) {
+	switch s {
+	case "none":
+		return AccessNone, nil
+	case "ro", "readonly":
+		return AccessReadOnly, nil
+	case "rw", "readwrite":
+		return AccessReadWrite, nil
+	default:
+		return 0, fmt.Errorf("bad access level %q", s)
+	}
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,53 @@
+package edenvm
+
+import "testing"
+
+// FuzzLoad drives the wire decoder, verifier and interpreter with
+// arbitrary bytes: nothing the controller could ship — malicious or
+// corrupted — may panic the enclave, and anything that loads must run to
+// halt or trap within its fuel budget.
+func FuzzLoad(f *testing.F) {
+	seed, err := Assemble(`
+		.name seed
+		.locals 2
+		.state pkt=2 msg=2 glb=2 msgacc=rw glbacc=rw
+		ldpkt 0
+		store 0
+	loop:
+		load 0
+		jz done
+		load 0
+		const 1
+		sub
+		store 0
+		jmp loop
+	done:
+		const 3
+		randrange
+		stmsg 0
+		clock
+		stglb 0
+		halt`)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.Encode())
+	f.Add([]byte{})
+	f.Add([]byte{0x45, 0x44, 0x45, 0x4e, 1})
+
+	f.Fuzz(func(t *testing.T, wire []byte) {
+		p, err := Load(wire)
+		if err != nil {
+			return
+		}
+		vm := NewVM()
+		vm.Fuel = 4096
+		env := &Env{
+			Packet: make([]int64, p.State.PacketFields),
+			Msg:    make([]int64, p.State.MsgFields),
+			Global: make([]int64, p.State.GlobalFields),
+			Arrays: [][]int64{{1, 2, 3}, {}},
+		}
+		_, _ = vm.Run(p, env)
+	})
+}

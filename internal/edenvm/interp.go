@@ -1,0 +1,440 @@
+package edenvm
+
+import (
+	"fmt"
+)
+
+// Trap is the error produced when a program's execution is terminated by
+// the runtime. As §3.4.3 requires, "a faulty action function will result in
+// terminating the execution of that program, but will not affect the rest
+// of the system": traps abort one invocation without touching enclave state.
+type Trap struct {
+	PC     int
+	Op     Opcode
+	Reason string
+}
+
+// Error implements the error interface.
+func (t *Trap) Error() string {
+	return fmt.Sprintf("edenvm: trap at pc %d (%s): %s", t.PC, t.Op, t.Reason)
+}
+
+// Env carries the per-invocation state the enclave runtime prepares for a
+// program: consistent copies (or views) of the packet, message and global
+// state vectors, plus the array pool for table-like global state. The
+// interpreter mutates the slices in place; the enclave decides, per its
+// concurrency model, when those mutations become authoritative.
+type Env struct {
+	Packet []int64
+	Msg    []int64
+	Global []int64
+	// Arrays is the array pool. A value in any state slot may be used as
+	// an array handle; handle h refers to Arrays[h].
+	Arrays [][]int64
+	// Rand supplies pseudo-random values for OpRand/OpRandRange. If nil, a
+	// VM-local xorshift generator is used.
+	Rand func() uint64
+	// Clock supplies OpClock values (nanoseconds). If nil, a monotonic
+	// counter is used so simulations stay deterministic.
+	Clock func() int64
+}
+
+// DefaultFuel is the instruction budget an enclave grants an invocation
+// unless configured otherwise. The paper deliberately does not restrict the
+// cycle budget of action functions (§6); this backstop exists only to turn
+// accidental infinite loops into traps.
+const DefaultFuel = 1 << 20
+
+// VM executes verified programs. A VM is not safe for concurrent use; the
+// enclave keeps one per worker. Reusing a VM across invocations avoids
+// per-packet allocation — the operand stack is the "64 bytes of stack" the
+// paper reports, grown once to the largest program's requirement.
+type VM struct {
+	stack  []int64
+	calls  []int
+	locals []int64
+	// rngState backs the default RNG when Env.Rand is nil.
+	rngState uint64
+	// clockState backs the default clock when Env.Clock is nil.
+	clockState int64
+	// Fuel is the instruction budget applied to each Run. Zero or
+	// negative means DefaultFuel.
+	Fuel int
+}
+
+// NewVM returns a VM with the default fuel budget and a fixed RNG seed
+// (deterministic until the caller supplies Env.Rand).
+func NewVM() *VM {
+	return &VM{rngState: 0x9e3779b97f4a7c15}
+}
+
+func (vm *VM) nextRand() uint64 {
+	// xorshift64*; cheap and adequate for load-balancing decisions.
+	x := vm.rngState
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	vm.rngState = x
+	return x * 0x2545f4914f6cdd1d
+}
+
+// Seed reseeds the VM's built-in RNG (used only when Env.Rand is nil).
+func (vm *VM) Seed(seed uint64) {
+	if seed == 0 {
+		seed = 1
+	}
+	vm.rngState = seed
+}
+
+// Run interprets the program against env. It returns the number of
+// instructions executed, or a *Trap error if execution was terminated.
+func (vm *VM) Run(p *Program, env *Env) (int, error) {
+	if need := p.MaxStack + 2; cap(vm.stack) < need {
+		vm.stack = make([]int64, 0, need)
+	}
+	if need := p.MaxCallDepth; cap(vm.calls) < need {
+		vm.calls = make([]int, 0, need)
+	}
+	if len(vm.locals) < p.NumLocals {
+		vm.locals = make([]int64, p.NumLocals)
+	}
+	// Zero locals so one invocation cannot observe another's temporaries.
+	locals := vm.locals[:p.NumLocals]
+	for i := range locals {
+		locals[i] = 0
+	}
+	stack := vm.stack[:0]
+	calls := vm.calls[:0]
+	fuel := vm.Fuel
+	if fuel <= 0 {
+		fuel = DefaultFuel
+	}
+
+	code := p.Code
+	pc := 0
+	steps := 0
+
+	trap := func(reason string) (int, error) {
+		op := OpNop
+		tpc := pc
+		if tpc >= 0 && tpc < len(code) {
+			op = code[tpc].Op
+		}
+		return steps, &Trap{PC: tpc, Op: op, Reason: reason}
+	}
+
+	for {
+		if pc < 0 || pc >= len(code) {
+			return trap("program counter out of range")
+		}
+		if steps >= fuel {
+			return trap("fuel exhausted")
+		}
+		steps++
+		in := code[pc]
+		switch in.Op {
+		case OpNop:
+			// nothing
+
+		case OpConst:
+			if len(stack) >= cap(stack) {
+				return trap("operand stack overflow")
+			}
+			stack = append(stack, in.A)
+
+		case OpLoad:
+			if len(stack) >= cap(stack) {
+				return trap("operand stack overflow")
+			}
+			stack = append(stack, locals[in.A])
+
+		case OpStore:
+			if len(stack) == 0 {
+				return trap("operand stack underflow")
+			}
+			locals[in.A] = stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+
+		case OpAdd, OpSub, OpMul, OpDiv, OpMod, OpAnd, OpOr, OpXor, OpShl, OpShr,
+			OpEq, OpNe, OpLt, OpLe, OpGt, OpGe, OpHash:
+			if len(stack) < 2 {
+				return trap("operand stack underflow")
+			}
+			b := stack[len(stack)-1]
+			a := stack[len(stack)-2]
+			stack = stack[:len(stack)-1]
+			var v int64
+			switch in.Op {
+			case OpAdd:
+				v = a + b
+			case OpSub:
+				v = a - b
+			case OpMul:
+				v = a * b
+			case OpDiv:
+				if b == 0 {
+					return trap("division by zero")
+				}
+				v = a / b
+			case OpMod:
+				if b == 0 {
+					return trap("modulo by zero")
+				}
+				v = a % b
+			case OpAnd:
+				v = a & b
+			case OpOr:
+				v = a | b
+			case OpXor:
+				v = a ^ b
+			case OpShl:
+				v = a << (uint64(b) & 63)
+			case OpShr:
+				v = a >> (uint64(b) & 63)
+			case OpEq:
+				v = b2i(a == b)
+			case OpNe:
+				v = b2i(a != b)
+			case OpLt:
+				v = b2i(a < b)
+			case OpLe:
+				v = b2i(a <= b)
+			case OpGt:
+				v = b2i(a > b)
+			case OpGe:
+				v = b2i(a >= b)
+			case OpHash:
+				v = mix64(a, b)
+			}
+			stack[len(stack)-1] = v
+
+		case OpNeg:
+			if len(stack) == 0 {
+				return trap("operand stack underflow")
+			}
+			stack[len(stack)-1] = -stack[len(stack)-1]
+
+		case OpNot:
+			if len(stack) == 0 {
+				return trap("operand stack underflow")
+			}
+			stack[len(stack)-1] = ^stack[len(stack)-1]
+
+		case OpJmp:
+			pc = int(in.A)
+			continue
+
+		case OpJz:
+			if len(stack) == 0 {
+				return trap("operand stack underflow")
+			}
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if v == 0 {
+				pc = int(in.A)
+				continue
+			}
+
+		case OpJnz:
+			if len(stack) == 0 {
+				return trap("operand stack underflow")
+			}
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if v != 0 {
+				pc = int(in.A)
+				continue
+			}
+
+		case OpCall:
+			if len(calls) >= cap(calls) {
+				return trap("call stack overflow")
+			}
+			calls = append(calls, pc+1)
+			pc = int(in.A)
+			continue
+
+		case OpRet:
+			if len(calls) == 0 {
+				return trap("return with empty call stack")
+			}
+			pc = calls[len(calls)-1]
+			calls = calls[:len(calls)-1]
+			continue
+
+		case OpHalt:
+			vm.stack = stack[:0]
+			vm.calls = calls[:0]
+			return steps, nil
+
+		case OpPop:
+			if len(stack) == 0 {
+				return trap("operand stack underflow")
+			}
+			stack = stack[:len(stack)-1]
+
+		case OpDup:
+			if len(stack) == 0 {
+				return trap("operand stack underflow")
+			}
+			if len(stack) >= cap(stack) {
+				return trap("operand stack overflow")
+			}
+			stack = append(stack, stack[len(stack)-1])
+
+		case OpSwap:
+			if len(stack) < 2 {
+				return trap("operand stack underflow")
+			}
+			n := len(stack)
+			stack[n-1], stack[n-2] = stack[n-2], stack[n-1]
+
+		case OpLdPkt, OpLdMsg, OpLdGlb:
+			var src []int64
+			switch in.Op {
+			case OpLdPkt:
+				src = env.Packet
+			case OpLdMsg:
+				src = env.Msg
+			default:
+				src = env.Global
+			}
+			if int(in.A) >= len(src) {
+				return trap("state slot out of range for this invocation")
+			}
+			if len(stack) >= cap(stack) {
+				return trap("operand stack overflow")
+			}
+			stack = append(stack, src[in.A])
+
+		case OpStPkt, OpStMsg, OpStGlb:
+			var dst []int64
+			switch in.Op {
+			case OpStPkt:
+				dst = env.Packet
+			case OpStMsg:
+				dst = env.Msg
+			default:
+				dst = env.Global
+			}
+			if int(in.A) >= len(dst) {
+				return trap("state slot out of range for this invocation")
+			}
+			if len(stack) == 0 {
+				return trap("operand stack underflow")
+			}
+			dst[in.A] = stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+
+		case OpALoad:
+			if len(stack) < 2 {
+				return trap("operand stack underflow")
+			}
+			idx := stack[len(stack)-1]
+			h := stack[len(stack)-2]
+			stack = stack[:len(stack)-1]
+			arr, err := env.array(h)
+			if err != "" {
+				return trap(err)
+			}
+			if idx < 0 || idx >= int64(len(arr)) {
+				return trap("array index out of range")
+			}
+			stack[len(stack)-1] = arr[idx]
+
+		case OpAStore:
+			if len(stack) < 3 {
+				return trap("operand stack underflow")
+			}
+			v := stack[len(stack)-1]
+			idx := stack[len(stack)-2]
+			h := stack[len(stack)-3]
+			stack = stack[:len(stack)-3]
+			arr, err := env.array(h)
+			if err != "" {
+				return trap(err)
+			}
+			if idx < 0 || idx >= int64(len(arr)) {
+				return trap("array index out of range")
+			}
+			arr[idx] = v
+
+		case OpALen:
+			if len(stack) == 0 {
+				return trap("operand stack underflow")
+			}
+			arr, err := env.array(stack[len(stack)-1])
+			if err != "" {
+				return trap(err)
+			}
+			stack[len(stack)-1] = int64(len(arr))
+
+		case OpRand:
+			if len(stack) >= cap(stack) {
+				return trap("operand stack overflow")
+			}
+			stack = append(stack, int64(vm.rand(env)>>1))
+
+		case OpRandRange:
+			if len(stack) == 0 {
+				return trap("operand stack underflow")
+			}
+			bound := stack[len(stack)-1]
+			if bound <= 0 {
+				return trap("randrange bound must be positive")
+			}
+			stack[len(stack)-1] = int64(vm.rand(env) % uint64(bound))
+
+		case OpClock:
+			if len(stack) >= cap(stack) {
+				return trap("operand stack overflow")
+			}
+			stack = append(stack, vm.clock(env))
+
+		default:
+			return trap("invalid opcode")
+		}
+		pc++
+	}
+}
+
+func (env *Env) array(h int64) ([]int64, string) {
+	if h < 0 || h >= int64(len(env.Arrays)) {
+		return nil, "invalid array handle"
+	}
+	return env.Arrays[h], ""
+}
+
+func (vm *VM) rand(env *Env) uint64 {
+	if env.Rand != nil {
+		return env.Rand()
+	}
+	return vm.nextRand()
+}
+
+func (vm *VM) clock(env *Env) int64 {
+	if env.Clock != nil {
+		return env.Clock()
+	}
+	vm.clockState++
+	return vm.clockState
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// mix64 is a 64-bit finalizer-style mixer (splitmix64 finalizer) over the
+// xor of its inputs, used by OpHash for ECMP-style flow hashing.
+func mix64(a, b int64) int64 {
+	x := uint64(a) ^ (uint64(b) * 0x9e3779b97f4a7c15)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return int64(x >> 1) // non-negative
+}

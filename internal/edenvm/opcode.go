@@ -1,0 +1,197 @@
+// Package edenvm implements the Eden enclave virtual machine: a small
+// stack-based bytecode interpreter in the spirit of the JVM subset described
+// in the Eden paper (§3.4.3, §4.1). Action functions written in the Eden
+// action-function language are compiled to this bytecode, verified, and then
+// interpreted inside an enclave — in the host OS stack or on a programmable
+// NIC — so that the same program object runs unmodified on every platform.
+//
+// The machine operates exclusively on 64-bit signed integers (the language
+// has no floating point, objects or exceptions). Programs interact with the
+// outside world only through three typed state vectors prepared by the
+// enclave runtime for each invocation — packet, message and global state —
+// plus a read-mostly array pool for table-like global state (e.g. PIAS
+// priority thresholds or WCMP path weights).
+package edenvm
+
+import "fmt"
+
+// Opcode identifies a single virtual machine instruction.
+type Opcode uint8
+
+// Instruction opcodes. Opcodes marked "operand" carry a single signed
+// 64-bit immediate (encoded as a zigzag varint on the wire).
+const (
+	// OpNop does nothing.
+	OpNop Opcode = iota
+
+	// OpConst pushes its immediate operand.
+	OpConst // operand: value
+
+	// OpLoad pushes the local variable in slot A.
+	OpLoad // operand: local slot
+	// OpStore pops the stack into local slot A.
+	OpStore // operand: local slot
+
+	// Arithmetic. All pop two values (right popped first) and push one.
+	OpAdd
+	OpSub
+	OpMul
+	OpDiv // division by zero traps
+	OpMod // modulo by zero traps
+	OpNeg // pops one, pushes its negation
+
+	// Bitwise.
+	OpAnd
+	OpOr
+	OpXor
+	OpShl // shift counts are masked to [0,63]
+	OpShr // arithmetic shift right; count masked to [0,63]
+	OpNot // bitwise complement
+
+	// Comparisons pop two values and push 1 (true) or 0 (false).
+	OpEq
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+
+	// Control flow. Branch operands are absolute instruction indices.
+	OpJmp  // operand: target
+	OpJz   // operand: target; pops, jumps if zero
+	OpJnz  // operand: target; pops, jumps if non-zero
+	OpCall // operand: target; pushes return address on the call stack
+	OpRet  // returns to the address on top of the call stack
+	OpHalt // terminates the program successfully
+
+	// Stack manipulation.
+	OpPop
+	OpDup
+	OpSwap
+
+	// State access. The operand selects the field slot within the
+	// corresponding state vector. Stores to read-only vectors are
+	// rejected by the verifier using the program's access flags.
+	OpLdPkt // operand: packet field slot
+	OpStPkt // operand: packet field slot
+	OpLdMsg // operand: message field slot
+	OpStMsg // operand: message field slot
+	OpLdGlb // operand: global field slot
+	OpStGlb // operand: global field slot
+
+	// Array pool access. Arrays model table-like global state. An array
+	// handle is an ordinary integer (an index into the invocation's array
+	// pool); handles are produced by OpLdGlb on slots the compiler marked
+	// as array-typed, or by OpConst in hand-written programs.
+	OpALoad  // pops index, pops handle; pushes pool[handle][index]
+	OpAStore // pops value, pops index, pops handle; pool[handle][index] = value
+	OpALen   // pops handle; pushes len(pool[handle])
+
+	// Intrinsics (§4.1: "a limited set of basic functions, such as picking
+	// random numbers and accessing a high-frequency clock").
+	OpRand      // pushes a non-negative pseudo-random value
+	OpRandRange // pops bound, pushes uniform value in [0, bound); bound<=0 traps
+	OpClock     // pushes the platform high-frequency clock, in nanoseconds
+	OpHash      // pops two values, pushes a 64-bit mix (flow hashing for ECMP)
+
+	opCount // sentinel; not a real opcode
+)
+
+var opInfo = [opCount]struct {
+	name       string
+	hasOperand bool
+	pop, push  int
+}{
+	OpNop:       {"nop", false, 0, 0},
+	OpConst:     {"const", true, 0, 1},
+	OpLoad:      {"load", true, 0, 1},
+	OpStore:     {"store", true, 1, 0},
+	OpAdd:       {"add", false, 2, 1},
+	OpSub:       {"sub", false, 2, 1},
+	OpMul:       {"mul", false, 2, 1},
+	OpDiv:       {"div", false, 2, 1},
+	OpMod:       {"mod", false, 2, 1},
+	OpNeg:       {"neg", false, 1, 1},
+	OpAnd:       {"and", false, 2, 1},
+	OpOr:        {"or", false, 2, 1},
+	OpXor:       {"xor", false, 2, 1},
+	OpShl:       {"shl", false, 2, 1},
+	OpShr:       {"shr", false, 2, 1},
+	OpNot:       {"not", false, 1, 1},
+	OpEq:        {"eq", false, 2, 1},
+	OpNe:        {"ne", false, 2, 1},
+	OpLt:        {"lt", false, 2, 1},
+	OpLe:        {"le", false, 2, 1},
+	OpGt:        {"gt", false, 2, 1},
+	OpGe:        {"ge", false, 2, 1},
+	OpJmp:       {"jmp", true, 0, 0},
+	OpJz:        {"jz", true, 1, 0},
+	OpJnz:       {"jnz", true, 1, 0},
+	OpCall:      {"call", true, 0, 0},
+	OpRet:       {"ret", false, 0, 0},
+	OpHalt:      {"halt", false, 0, 0},
+	OpPop:       {"pop", false, 1, 0},
+	OpDup:       {"dup", false, 1, 2},
+	OpSwap:      {"swap", false, 2, 2},
+	OpLdPkt:     {"ldpkt", true, 0, 1},
+	OpStPkt:     {"stpkt", true, 1, 0},
+	OpLdMsg:     {"ldmsg", true, 0, 1},
+	OpStMsg:     {"stmsg", true, 1, 0},
+	OpLdGlb:     {"ldglb", true, 0, 1},
+	OpStGlb:     {"stglb", true, 1, 0},
+	OpALoad:     {"aload", false, 2, 1},
+	OpAStore:    {"astore", false, 3, 0},
+	OpALen:      {"alen", false, 1, 1},
+	OpRand:      {"rand", false, 0, 1},
+	OpRandRange: {"randrange", false, 1, 1},
+	OpClock:     {"clock", false, 0, 1},
+	OpHash:      {"hash", false, 2, 1},
+}
+
+// Valid reports whether op is a defined opcode.
+func (op Opcode) Valid() bool { return op < opCount }
+
+// HasOperand reports whether instructions with this opcode carry an
+// immediate operand.
+func (op Opcode) HasOperand() bool { return op.Valid() && opInfo[op].hasOperand }
+
+// StackEffect returns the number of operand-stack slots the opcode pops and
+// pushes. Branches report the effect on the fall-through path.
+func (op Opcode) StackEffect() (pop, push int) {
+	if !op.Valid() {
+		return 0, 0
+	}
+	return opInfo[op].pop, opInfo[op].push
+}
+
+// String returns the assembler mnemonic for the opcode.
+func (op Opcode) String() string {
+	if !op.Valid() {
+		return fmt.Sprintf("op(%d)", uint8(op))
+	}
+	return opInfo[op].name
+}
+
+// OpcodeByName returns the opcode with the given assembler mnemonic.
+func OpcodeByName(name string) (Opcode, bool) {
+	for op := Opcode(0); op < opCount; op++ {
+		if opInfo[op].name == name {
+			return op, true
+		}
+	}
+	return 0, false
+}
+
+// Instr is a single decoded instruction.
+type Instr struct {
+	Op Opcode
+	A  int64 // immediate operand; meaningful only if Op.HasOperand()
+}
+
+// String renders the instruction in assembler syntax.
+func (in Instr) String() string {
+	if in.Op.HasOperand() {
+		return fmt.Sprintf("%s %d", in.Op, in.A)
+	}
+	return in.Op.String()
+}

@@ -1,0 +1,292 @@
+package edenvm
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Access describes what a program may do to a state vector. The compiler
+// derives these flags from the programmer's access-control annotations
+// (§3.4.4); the enclave uses them to pick the concurrency model and the
+// verifier uses them to reject stores to read-only state.
+type Access uint8
+
+// Access levels for a state vector.
+const (
+	// AccessNone means the vector is not used at all.
+	AccessNone Access = iota
+	// AccessReadOnly permits loads only.
+	AccessReadOnly
+	// AccessReadWrite permits loads and stores.
+	AccessReadWrite
+)
+
+// String returns a human-readable access level.
+func (a Access) String() string {
+	switch a {
+	case AccessNone:
+		return "none"
+	case AccessReadOnly:
+		return "readonly"
+	case AccessReadWrite:
+		return "readwrite"
+	default:
+		return fmt.Sprintf("access(%d)", uint8(a))
+	}
+}
+
+// Concurrency is the enclave scheduling class for a program, derived from
+// its state access flags exactly as §3.4.4 prescribes.
+type Concurrency uint8
+
+// Concurrency classes.
+const (
+	// ConcurrencyParallel: message and global state are read-only, so any
+	// number of invocations may run in parallel (only packet state is
+	// written).
+	ConcurrencyParallel Concurrency = iota
+	// ConcurrencyPerMessage: the program writes message state, so at most
+	// one packet per message may be processed at a time.
+	ConcurrencyPerMessage
+	// ConcurrencyExclusive: the program writes global state, so only one
+	// invocation may run at a time.
+	ConcurrencyExclusive
+)
+
+// String returns a human-readable concurrency class.
+func (c Concurrency) String() string {
+	switch c {
+	case ConcurrencyParallel:
+		return "parallel"
+	case ConcurrencyPerMessage:
+		return "per-message"
+	case ConcurrencyExclusive:
+		return "exclusive"
+	default:
+		return fmt.Sprintf("concurrency(%d)", uint8(c))
+	}
+}
+
+// StateSpec declares the shape of the state a program touches: how many
+// field slots each vector has and the program's access level to each.
+// Packet state is always read-write (the function may rewrite headers).
+type StateSpec struct {
+	PacketFields int
+	MsgFields    int
+	GlobalFields int
+	MsgAccess    Access
+	GlobalAccess Access
+}
+
+// Concurrency returns the scheduling class implied by the access flags.
+func (s StateSpec) Concurrency() Concurrency {
+	switch {
+	case s.GlobalAccess == AccessReadWrite:
+		return ConcurrencyExclusive
+	case s.MsgAccess == AccessReadWrite:
+		return ConcurrencyPerMessage
+	default:
+		return ConcurrencyParallel
+	}
+}
+
+// Program is a verified-loadable unit of enclave computation: the compiled
+// form of one action function. A Program is immutable once built; the same
+// Program value may be shared by any number of enclaves and platforms.
+type Program struct {
+	// Name is the fully qualified function name, e.g. "pias" or "wcmp".
+	Name string
+	// Code is the decoded instruction stream. Instruction 0 is the entry
+	// point.
+	Code []Instr
+	// NumLocals is the number of local variable slots the program uses.
+	NumLocals int
+	// MaxStack is the operand stack high-water mark computed by the
+	// verifier (or declared by an assembler program and then checked).
+	MaxStack int
+	// MaxCallDepth bounds the call stack; 0 means "no calls".
+	MaxCallDepth int
+	// State declares the program's state shape and access levels.
+	State StateSpec
+	// FieldNames optionally maps state slots to source-level names for
+	// disassembly and debugging. Keys look like "pkt.0", "msg.1", "glb.2".
+	FieldNames map[string]string
+}
+
+// Wire format constants.
+const (
+	progMagic   = 0x4544454e // "EDEN"
+	progVersion = 1
+)
+
+// Errors returned by Decode.
+var (
+	ErrBadMagic   = errors.New("edenvm: bad program magic")
+	ErrBadVersion = errors.New("edenvm: unsupported program version")
+	ErrTruncated  = errors.New("edenvm: truncated program")
+)
+
+func appendUvarint(b []byte, v uint64) []byte {
+	return binary.AppendUvarint(b, v)
+}
+
+func appendVarint(b []byte, v int64) []byte {
+	return binary.AppendVarint(b, v)
+}
+
+// Encode serializes the program to the Eden wire format. This is the byte
+// string a controller ships to enclaves over the enclave API; enclaves call
+// Decode followed by Verify before installing it in a match-action table.
+func (p *Program) Encode() []byte {
+	b := make([]byte, 0, 16+len(p.Code)*3)
+	b = binary.BigEndian.AppendUint32(b, progMagic)
+	b = append(b, progVersion)
+	b = appendUvarint(b, uint64(len(p.Name)))
+	b = append(b, p.Name...)
+	b = appendUvarint(b, uint64(p.NumLocals))
+	b = appendUvarint(b, uint64(p.MaxStack))
+	b = appendUvarint(b, uint64(p.MaxCallDepth))
+	b = appendUvarint(b, uint64(p.State.PacketFields))
+	b = appendUvarint(b, uint64(p.State.MsgFields))
+	b = appendUvarint(b, uint64(p.State.GlobalFields))
+	b = append(b, byte(p.State.MsgAccess), byte(p.State.GlobalAccess))
+	b = appendUvarint(b, uint64(len(p.Code)))
+	for _, in := range p.Code {
+		b = append(b, byte(in.Op))
+		if in.Op.HasOperand() {
+			b = appendVarint(b, in.A)
+		}
+	}
+	return b
+}
+
+type byteReader struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *byteReader) ReadByte() (byte, error) {
+	if r.off >= len(r.b) {
+		return 0, ErrTruncated
+	}
+	c := r.b[r.off]
+	r.off++
+	return c, nil
+}
+
+func (r *byteReader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, err := binary.ReadUvarint(r)
+	if err != nil {
+		r.err = ErrTruncated
+	}
+	return v
+}
+
+func (r *byteReader) varint() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, err := binary.ReadVarint(r)
+	if err != nil {
+		r.err = ErrTruncated
+	}
+	return v
+}
+
+func (r *byteReader) bytes(n uint64) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n > uint64(len(r.b)-r.off) {
+		r.err = ErrTruncated
+		return nil
+	}
+	s := r.b[r.off : r.off+int(n)]
+	r.off += int(n)
+	return s
+}
+
+// maxProgramLen bounds decoded program size; enclave programs are small by
+// design (§6: "we expect small functions running in the enclave").
+const maxProgramLen = 1 << 16
+
+// Decode parses a wire-format program. The result is structurally valid but
+// not yet verified; callers must run Verify before execution.
+func Decode(b []byte) (*Program, error) {
+	if len(b) < 5 {
+		return nil, ErrTruncated
+	}
+	if binary.BigEndian.Uint32(b) != progMagic {
+		return nil, ErrBadMagic
+	}
+	if b[4] != progVersion {
+		return nil, ErrBadVersion
+	}
+	r := &byteReader{b: b, off: 5}
+	nameLen := r.uvarint()
+	if nameLen > 1024 {
+		return nil, fmt.Errorf("edenvm: program name too long (%d bytes)", nameLen)
+	}
+	name := string(r.bytes(nameLen))
+	p := &Program{Name: name}
+	p.NumLocals = int(r.uvarint())
+	p.MaxStack = int(r.uvarint())
+	p.MaxCallDepth = int(r.uvarint())
+	p.State.PacketFields = int(r.uvarint())
+	p.State.MsgFields = int(r.uvarint())
+	p.State.GlobalFields = int(r.uvarint())
+	acc := r.bytes(2)
+	if r.err != nil {
+		return nil, r.err
+	}
+	p.State.MsgAccess = Access(acc[0])
+	p.State.GlobalAccess = Access(acc[1])
+	if p.State.MsgAccess > AccessReadWrite || p.State.GlobalAccess > AccessReadWrite {
+		return nil, fmt.Errorf("edenvm: invalid access flags %d/%d", acc[0], acc[1])
+	}
+	n := r.uvarint()
+	if r.err != nil {
+		return nil, r.err
+	}
+	if n > maxProgramLen {
+		return nil, fmt.Errorf("edenvm: program too long (%d instructions, max %d)", n, maxProgramLen)
+	}
+	p.Code = make([]Instr, 0, n)
+	for i := uint64(0); i < n; i++ {
+		opb, err := r.ReadByte()
+		if err != nil {
+			return nil, err
+		}
+		op := Opcode(opb)
+		if !op.Valid() {
+			return nil, fmt.Errorf("edenvm: invalid opcode %d at instruction %d", opb, i)
+		}
+		var a int64
+		if op.HasOperand() {
+			a = r.varint()
+		}
+		p.Code = append(p.Code, Instr{Op: op, A: a})
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if r.off != len(b) {
+		return nil, fmt.Errorf("edenvm: %d trailing bytes after program", len(b)-r.off)
+	}
+	return p, nil
+}
+
+// Disassemble renders the program's instruction stream as assembler text,
+// one instruction per line, prefixed with the instruction index.
+func (p *Program) Disassemble() string {
+	var out []byte
+	for i, in := range p.Code {
+		out = append(out, fmt.Sprintf("%4d: %s\n", i, in)...)
+	}
+	return string(out)
+}

@@ -1,0 +1,242 @@
+package edenvm
+
+import (
+	"errors"
+	"fmt"
+)
+
+// VerifyError describes why a program failed verification.
+type VerifyError struct {
+	PC     int    // instruction index, or -1 for whole-program errors
+	Reason string // human-readable explanation
+}
+
+// Error implements the error interface.
+func (e *VerifyError) Error() string {
+	if e.PC < 0 {
+		return "edenvm: verify: " + e.Reason
+	}
+	return fmt.Sprintf("edenvm: verify: pc %d: %s", e.PC, e.Reason)
+}
+
+func verifyErrf(pc int, format string, args ...any) error {
+	return &VerifyError{PC: pc, Reason: fmt.Sprintf(format, args...)}
+}
+
+// Limits on program shape. Enclave programs are deliberately small (§6);
+// these bounds guarantee a tiny worst-case footprint for verification and
+// execution state.
+const (
+	// MaxLocals bounds the local variable slots of a program.
+	MaxLocals = 256
+	// MaxVerifiedStack bounds the operand stack depth.
+	MaxVerifiedStack = 256
+	// MaxCallDepthLimit bounds the declared call stack depth.
+	MaxCallDepthLimit = 64
+	// MaxStateFields bounds each state vector's declared slot count, so
+	// a hostile program header cannot make the enclave allocate huge
+	// invocation state.
+	MaxStateFields = 4096
+)
+
+// Verify statically checks that a program is safe to interpret:
+//
+//   - every opcode is defined and every branch/call target is in range;
+//   - local and state slot indices are within the declared counts;
+//   - stores respect the declared access levels (no writes to read-only
+//     message or global state — the property §3.4.4's annotations promise);
+//   - the operand stack depth is consistent at every instruction, never
+//     negative, and within MaxVerifiedStack;
+//   - execution cannot fall off the end of the code.
+//
+// On success, Verify fills in p.MaxStack with the computed operand-stack
+// high-water mark (if it was declared, the declaration must not be
+// exceeded) and defaults MaxCallDepth. Verification is a static guarantee;
+// the interpreter additionally enforces dynamic properties (fuel, division,
+// array bounds, call-stack depth) at run time.
+func Verify(p *Program) error {
+	if p == nil {
+		return errors.New("edenvm: verify: nil program")
+	}
+	if len(p.Code) == 0 {
+		return verifyErrf(-1, "empty program")
+	}
+	if len(p.Code) > maxProgramLen {
+		return verifyErrf(-1, "program too long: %d instructions", len(p.Code))
+	}
+	if p.NumLocals < 0 || p.NumLocals > MaxLocals {
+		return verifyErrf(-1, "invalid local count %d (max %d)", p.NumLocals, MaxLocals)
+	}
+	if p.MaxCallDepth < 0 || p.MaxCallDepth > MaxCallDepthLimit {
+		return verifyErrf(-1, "invalid call depth %d (max %d)", p.MaxCallDepth, MaxCallDepthLimit)
+	}
+	if p.MaxStack < 0 || p.MaxStack > MaxVerifiedStack {
+		return verifyErrf(-1, "invalid declared stack depth %d (max %d)", p.MaxStack, MaxVerifiedStack)
+	}
+	if p.State.PacketFields < 0 || p.State.MsgFields < 0 || p.State.GlobalFields < 0 {
+		return verifyErrf(-1, "negative state field count")
+	}
+	if p.State.PacketFields > MaxStateFields || p.State.MsgFields > MaxStateFields ||
+		p.State.GlobalFields > MaxStateFields {
+		return verifyErrf(-1, "state field count exceeds %d", MaxStateFields)
+	}
+
+	// depth[i] is the operand stack depth on entry to instruction i, or -1
+	// if not yet visited.
+	depth := make([]int, len(p.Code))
+	for i := range depth {
+		depth[i] = -1
+	}
+	maxDepth := 0
+	usesCall := false
+
+	type workItem struct{ pc, d int }
+	work := []workItem{{0, 0}}
+	push := func(pc, d int) error {
+		if pc < 0 || pc >= len(p.Code) {
+			return verifyErrf(pc, "branch target out of range")
+		}
+		if depth[pc] == -1 {
+			depth[pc] = d
+			work = append(work, workItem{pc, d})
+			return nil
+		}
+		if depth[pc] != d {
+			return verifyErrf(pc, "inconsistent stack depth: %d vs %d", depth[pc], d)
+		}
+		return nil
+	}
+	depth[0] = 0
+
+	checkSlot := func(pc int, slot int64, n int, what string) error {
+		if slot < 0 || slot >= int64(n) {
+			return verifyErrf(pc, "%s slot %d out of range [0,%d)", what, slot, n)
+		}
+		return nil
+	}
+
+	for len(work) > 0 {
+		item := work[len(work)-1]
+		work = work[:len(work)-1]
+		pc, d := item.pc, item.d
+
+		for {
+			in := p.Code[pc]
+			if !in.Op.Valid() {
+				return verifyErrf(pc, "invalid opcode %d", uint8(in.Op))
+			}
+			pop, pushN := in.Op.StackEffect()
+			if d < pop {
+				return verifyErrf(pc, "stack underflow: %s needs %d, have %d", in.Op, pop, d)
+			}
+			nd := d - pop + pushN
+			if nd > MaxVerifiedStack {
+				return verifyErrf(pc, "stack depth %d exceeds limit %d", nd, MaxVerifiedStack)
+			}
+			if nd > maxDepth {
+				maxDepth = nd
+			}
+
+			switch in.Op {
+			case OpLoad, OpStore:
+				if err := checkSlot(pc, in.A, p.NumLocals, "local"); err != nil {
+					return err
+				}
+			case OpLdPkt, OpStPkt:
+				if err := checkSlot(pc, in.A, p.State.PacketFields, "packet"); err != nil {
+					return err
+				}
+			case OpLdMsg:
+				if p.State.MsgAccess == AccessNone {
+					return verifyErrf(pc, "message state access not declared")
+				}
+				if err := checkSlot(pc, in.A, p.State.MsgFields, "message"); err != nil {
+					return err
+				}
+			case OpStMsg:
+				if p.State.MsgAccess != AccessReadWrite {
+					return verifyErrf(pc, "store to %s message state", p.State.MsgAccess)
+				}
+				if err := checkSlot(pc, in.A, p.State.MsgFields, "message"); err != nil {
+					return err
+				}
+			case OpLdGlb:
+				if p.State.GlobalAccess == AccessNone {
+					return verifyErrf(pc, "global state access not declared")
+				}
+				if err := checkSlot(pc, in.A, p.State.GlobalFields, "global"); err != nil {
+					return err
+				}
+			case OpStGlb:
+				if p.State.GlobalAccess != AccessReadWrite {
+					return verifyErrf(pc, "store to %s global state", p.State.GlobalAccess)
+				}
+				if err := checkSlot(pc, in.A, p.State.GlobalFields, "global"); err != nil {
+					return err
+				}
+			}
+
+			switch in.Op {
+			case OpJmp:
+				if err := push(int(in.A), nd); err != nil {
+					return err
+				}
+			case OpJz, OpJnz:
+				if err := push(int(in.A), nd); err != nil {
+					return err
+				}
+				// fall through continues below
+			case OpCall:
+				usesCall = true
+				if err := push(int(in.A), nd); err != nil {
+					return err
+				}
+				// The callee is assumed stack-neutral; the interpreter's
+				// dynamic stack bound backstops any violation.
+			case OpHalt, OpRet:
+				// terminator
+			}
+
+			// Advance to the fall-through successor.
+			if in.Op == OpJmp || in.Op == OpHalt || in.Op == OpRet {
+				break
+			}
+			next := pc + 1
+			if next >= len(p.Code) {
+				return verifyErrf(pc, "execution can fall off the end of the program")
+			}
+			if depth[next] == -1 {
+				depth[next] = nd
+				pc, d = next, nd
+				continue
+			}
+			if depth[next] != nd {
+				return verifyErrf(next, "inconsistent stack depth: %d vs %d", depth[next], nd)
+			}
+			break
+		}
+	}
+
+	if p.MaxStack == 0 {
+		p.MaxStack = maxDepth
+	} else if maxDepth > p.MaxStack {
+		return verifyErrf(-1, "computed stack depth %d exceeds declared %d", maxDepth, p.MaxStack)
+	}
+	if usesCall && p.MaxCallDepth == 0 {
+		p.MaxCallDepth = 16
+	}
+	return nil
+}
+
+// Load decodes and verifies a wire-format program in one step. It is the
+// entry point enclaves use when the controller ships them new bytecode.
+func Load(wire []byte) (*Program, error) {
+	p, err := Decode(wire)
+	if err != nil {
+		return nil, err
+	}
+	if err := Verify(p); err != nil {
+		return nil, err
+	}
+	return p, nil
+}

@@ -1,0 +1,516 @@
+// Package enclave implements the Eden enclave (§3.4): the programmable
+// data-plane element that sits on the end-host network stack (or on a
+// programmable NIC) and applies action functions to packets.
+//
+// An enclave holds:
+//
+//   - a set of match-action tables whose rules match on a packet's *class*
+//     (the fully qualified stage.ruleset.class name attached by stages, or
+//     produced by the enclave's own five-tuple classifier) and whose action
+//     is a compiled action function;
+//   - a runtime that executes the functions through the edenvm interpreter,
+//     preparing per-invocation packet/message/global state and enforcing
+//     the concurrency model that §3.4.4 derives from access annotations;
+//   - a set of rate-limited queues that functions steer packets into.
+//
+// The same Enclave type serves as both the "OS" enclave and the "NIC"
+// enclave of the paper's prototype: the attach point (host stack vs NIC
+// egress in the simulator) differs, the enclave logic does not. Functions
+// may also be installed with a native Go implementation alongside the
+// bytecode, enabling the paper's native-vs-interpreted comparisons.
+package enclave
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"eden/internal/compiler"
+	"eden/internal/packet"
+	"eden/internal/qos"
+)
+
+// Direction selects the processing pipeline.
+type Direction int
+
+// Pipeline directions.
+const (
+	Egress Direction = iota
+	Ingress
+)
+
+// Verdict is the outcome of enclave processing for one packet.
+type Verdict struct {
+	// Drop reports that the packet must be discarded.
+	Drop bool
+	// SendAt is the earliest transmission time. Equal to the processing
+	// time unless the packet was steered into a rate-limited queue.
+	SendAt int64
+	// Queued reports whether the packet passed through a rate queue.
+	Queued bool
+	// ToController reports that the packet should be mirrored to the
+	// controller.
+	ToController bool
+}
+
+// Mode selects how installed functions execute.
+type Mode int
+
+// Execution modes.
+const (
+	// ModeInterpreted runs the compiled bytecode in the edenvm
+	// interpreter (Eden's deployable configuration).
+	ModeInterpreted Mode = iota
+	// ModeNative runs the registered native Go implementation, the
+	// "hard-coded function within the Eden enclave" baseline of §5.1.
+	ModeNative
+)
+
+// Config configures an enclave.
+type Config struct {
+	// Name identifies the enclave (host name, typically).
+	Name string
+	// Platform is a free-form platform label ("os" or "nic").
+	Platform string
+	// Clock supplies the current time in nanoseconds. Required.
+	Clock func() int64
+	// Rand supplies randomness to action functions; nil seeds a
+	// deterministic generator.
+	Rand func() uint64
+	// Fuel bounds instructions per invocation; 0 means the interpreter
+	// default.
+	Fuel int
+	// MaxMessages caps tracked per-message state entries per function
+	// (oldest-insertion eviction). 0 means 65536.
+	MaxMessages int
+}
+
+// Stats counts enclave activity.
+type Stats struct {
+	Packets      int64 // packets processed
+	Matched      int64 // packets that matched at least one rule
+	Invocations  int64 // action function invocations
+	Traps        int64 // invocations terminated by the interpreter
+	Drops        int64 // packets dropped by functions
+	QueueDrops   int64 // packets dropped at full rate queues
+	Instructions int64 // total interpreted instructions
+}
+
+// counters is the lock-free internal form of Stats (the data path updates
+// these on every packet).
+type counters struct {
+	packets      atomic.Int64
+	matched      atomic.Int64
+	invocations  atomic.Int64
+	traps        atomic.Int64
+	drops        atomic.Int64
+	queueDrops   atomic.Int64
+	instructions atomic.Int64
+}
+
+// Enclave is an Eden data-plane element. Its exported methods are safe for
+// concurrent use.
+type Enclave struct {
+	cfg Config
+
+	mu       sync.RWMutex
+	tables   map[Direction][]*Table
+	funcs    map[string]*installedFunc
+	queues   []*qos.Queue
+	queueMu  sync.Mutex
+	flows    *FlowClassifier
+	mode     Mode
+	stats    counters
+	vmPool   sync.Pool
+	nextMsg  uint64
+	flowMsgs map[packet.FlowKey]uint64
+}
+
+// New creates an enclave.
+func New(cfg Config) *Enclave {
+	if cfg.Clock == nil {
+		panic("enclave: Config.Clock is required")
+	}
+	if cfg.MaxMessages == 0 {
+		cfg.MaxMessages = 65536
+	}
+	e := &Enclave{
+		cfg:      cfg,
+		tables:   map[Direction][]*Table{},
+		funcs:    map[string]*installedFunc{},
+		flows:    NewFlowClassifier(),
+		flowMsgs: map[packet.FlowKey]uint64{},
+	}
+	e.vmPool.New = func() any { return e.newVM() }
+	return e
+}
+
+// Name returns the enclave's name.
+func (e *Enclave) Name() string { return e.cfg.Name }
+
+// Platform returns the enclave's platform label.
+func (e *Enclave) Platform() string { return e.cfg.Platform }
+
+// SetMode switches between interpreted and native execution for functions
+// that have a native implementation registered. Functions without one
+// always run interpreted.
+func (e *Enclave) SetMode(m Mode) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.mode = m
+}
+
+// Stats returns a snapshot of the enclave's counters.
+func (e *Enclave) Stats() Stats {
+	return Stats{
+		Packets:      e.stats.packets.Load(),
+		Matched:      e.stats.matched.Load(),
+		Invocations:  e.stats.invocations.Load(),
+		Traps:        e.stats.traps.Load(),
+		Drops:        e.stats.drops.Load(),
+		QueueDrops:   e.stats.queueDrops.Load(),
+		Instructions: e.stats.instructions.Load(),
+	}
+}
+
+// Rule is one match-action entry: a class pattern and the name of the
+// installed function to run. Patterns match fully qualified class names
+// exactly, or by prefix when they end in "*" ("memcached.r1.*",
+// "http.r1.API*"); the bare "*" matches everything.
+type Rule struct {
+	Pattern string
+	Func    string
+}
+
+// MatchesPacket reports whether the rule accepts any of the packet's
+// classes (a message may belong to one class per rule-set, §3.3).
+func (r Rule) MatchesPacket(pkt *packet.Packet) bool {
+	if len(pkt.Meta.Classes) > 0 {
+		for _, c := range pkt.Meta.Classes {
+			if r.Matches(c) {
+				return true
+			}
+		}
+		return false
+	}
+	return r.Matches(pkt.Meta.Class)
+}
+
+// Matches reports whether the rule's pattern accepts a class name.
+func (r Rule) Matches(class string) bool {
+	switch {
+	case r.Pattern == "*":
+		return true
+	case strings.HasSuffix(r.Pattern, "*"):
+		return strings.HasPrefix(class, r.Pattern[:len(r.Pattern)-1])
+	default:
+		return r.Pattern == class
+	}
+}
+
+// Table is an ordered match-action table; the first matching rule fires.
+type Table struct {
+	Name  string
+	rules []Rule
+}
+
+// Rules returns a copy of the table's rules in match order.
+func (t *Table) Rules() []Rule { return append([]Rule(nil), t.rules...) }
+
+// CreateTable appends a table to the direction's pipeline (enclave API).
+func (e *Enclave) CreateTable(dir Direction, name string) (*Table, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, t := range e.tables[dir] {
+		if t.Name == name {
+			return nil, fmt.Errorf("enclave: table %q already exists", name)
+		}
+	}
+	t := &Table{Name: name}
+	e.tables[dir] = append(e.tables[dir], t)
+	return t, nil
+}
+
+// DeleteTable removes a table by name (enclave API).
+func (e *Enclave) DeleteTable(dir Direction, name string) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	ts := e.tables[dir]
+	for i, t := range ts {
+		if t.Name == name {
+			e.tables[dir] = append(ts[:i], ts[i+1:]...)
+			return nil
+		}
+	}
+	return fmt.Errorf("enclave: no table %q", name)
+}
+
+// Tables lists table names for a direction.
+func (e *Enclave) Tables(dir Direction) []string {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	var names []string
+	for _, t := range e.tables[dir] {
+		names = append(names, t.Name)
+	}
+	return names
+}
+
+// AddRule appends a match-action rule to a table (enclave API). The
+// referenced function must already be installed.
+func (e *Enclave) AddRule(dir Direction, table string, r Rule) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, ok := e.funcs[r.Func]; !ok {
+		return fmt.Errorf("enclave: rule references unknown function %q", r.Func)
+	}
+	for _, t := range e.tables[dir] {
+		if t.Name == table {
+			t.rules = append(t.rules, r)
+			return nil
+		}
+	}
+	return fmt.Errorf("enclave: no table %q", table)
+}
+
+// RemoveRule deletes the first rule with the given pattern from a table.
+func (e *Enclave) RemoveRule(dir Direction, table, pattern string) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, t := range e.tables[dir] {
+		if t.Name != table {
+			continue
+		}
+		for i, r := range t.rules {
+			if r.Pattern == pattern {
+				t.rules = append(t.rules[:i], t.rules[i+1:]...)
+				return nil
+			}
+		}
+		return fmt.Errorf("enclave: no rule %q in table %q", pattern, table)
+	}
+	return fmt.Errorf("enclave: no table %q", table)
+}
+
+// AddQueue creates a rate-limited queue and returns its index. Functions
+// select queues by index through the packet.queue control field.
+func (e *Enclave) AddQueue(rateBps, capBytes int64) int {
+	e.queueMu.Lock()
+	defer e.queueMu.Unlock()
+	e.queues = append(e.queues, qos.NewQueue(rateBps, capBytes))
+	return len(e.queues) - 1
+}
+
+// SetQueueRate updates a queue's drain rate (controller reconfiguration).
+func (e *Enclave) SetQueueRate(idx int, rateBps int64) error {
+	e.queueMu.Lock()
+	defer e.queueMu.Unlock()
+	if idx < 0 || idx >= len(e.queues) {
+		return fmt.Errorf("enclave: no queue %d", idx)
+	}
+	e.queues[idx].RateBps = rateBps
+	return nil
+}
+
+// NumQueues returns the number of configured queues.
+func (e *Enclave) NumQueues() int {
+	e.queueMu.Lock()
+	defer e.queueMu.Unlock()
+	return len(e.queues)
+}
+
+// FlowClassifier returns the enclave's built-in five-tuple classifier
+// (the enclave acting as a stage, Table 2's last row).
+func (e *Enclave) FlowClassifier() *FlowClassifier { return e.flows }
+
+// Process runs a packet through the direction's pipeline at the given
+// time. It classifies unclassified packets with the built-in flow
+// classifier, walks every table (first matching rule per table fires, as
+// packets can be subject to several functions), applies the action
+// functions, and resolves the control outputs into a verdict. The packet's
+// headers and metadata may be modified in place.
+func (e *Enclave) Process(dir Direction, pkt *packet.Packet, now int64) Verdict {
+	return e.processWith(dir, pkt, now, nil)
+}
+
+// ProcessBatch processes a batch of packets through the pipeline,
+// amortizing the interpreter checkout across the batch (§6: "techniques
+// like IO batching ... are often employed to reduce the processing
+// overhead"; Eden's per-packet functions apply unchanged to each packet
+// of the batch). Verdicts are returned in packet order.
+func (e *Enclave) ProcessBatch(dir Direction, pkts []*packet.Packet, now int64) []Verdict {
+	vs := e.vmPool.Get().(*vmState)
+	defer e.vmPool.Put(vs)
+	out := make([]Verdict, len(pkts))
+	for i, pkt := range pkts {
+		out[i] = e.processWith(dir, pkt, now, vs)
+	}
+	return out
+}
+
+func (e *Enclave) processWith(dir Direction, pkt *packet.Packet, now int64, vs *vmState) Verdict {
+	e.stats.packets.Add(1)
+
+	pkt.ResetControl()
+
+	// Enclave-as-stage: classify unmarked traffic by five-tuple.
+	if pkt.Meta.Class == "" {
+		if class, ok := e.flows.Classify(pkt); ok {
+			pkt.Meta.Class = class
+		}
+	}
+	if pkt.Meta.MsgID == 0 {
+		pkt.Meta.MsgID = e.flowMessageID(pkt)
+	}
+
+	// Walk the pipeline's tables in order; within each table the first
+	// matching rule fires (so a packet is subject to at most one function
+	// per table, and to every table unless redirected). Functions compose
+	// in table order (§6's fixed execution order); a function may skip
+	// ahead by writing packet.goto_table (forward-only, §3.4.2).
+	// The read lock is held across invocations; invocations take only
+	// per-function and per-message locks.
+	e.mu.RLock()
+	tables := e.tables[dir]
+	mode := e.mode
+	v := Verdict{SendAt: now}
+	anyMatch := false
+	for ti := 0; ti < len(tables); ti++ {
+		t := tables[ti]
+		var f *installedFunc
+		for _, r := range t.rules {
+			if r.MatchesPacket(pkt) {
+				f = e.funcs[r.Func]
+				break // first match per table
+			}
+		}
+		if f == nil {
+			continue
+		}
+		anyMatch = true
+		e.invokeWith(f, pkt, mode, vs)
+		if pkt.Meta.Control.Drop != 0 {
+			e.mu.RUnlock()
+			e.stats.matched.Add(1)
+			e.stats.drops.Add(1)
+			v.Drop = true
+			return v
+		}
+		if g := pkt.Meta.Control.GotoTable; g >= 0 {
+			pkt.Meta.Control.GotoTable = -1
+			if g > int64(ti) && g <= int64(len(tables)) {
+				ti = int(g) - 1 // loop increment lands on table g
+			} else {
+				ti = len(tables) // backward/out-of-range: stop processing
+			}
+		}
+	}
+	e.mu.RUnlock()
+
+	if !anyMatch {
+		return v
+	}
+	e.stats.matched.Add(1)
+
+	if pkt.Meta.Control.ToController != 0 {
+		v.ToController = true
+	}
+
+	// Path selection: the function wrote a source-route label.
+	if p := pkt.Meta.Control.Path; p >= 0 {
+		pkt.HasVLAN = true
+		pkt.VLAN.VID = uint16(p & 0x0fff)
+	}
+
+	// Queue steering.
+	if qi := pkt.Meta.Control.Queue; qi >= 0 {
+		charge := pkt.Meta.Control.Charge
+		if charge < 0 {
+			charge = int64(pkt.Size())
+		}
+		e.queueMu.Lock()
+		if qi >= int64(len(e.queues)) {
+			e.queueMu.Unlock()
+			// Misconfigured queue index: fail open (send immediately)
+			// but count it.
+			e.stats.queueDrops.Add(1)
+			return v
+		}
+		release, ok := e.queues[qi].Enqueue(now, nil, charge)
+		e.queueMu.Unlock()
+		if !ok {
+			e.stats.queueDrops.Add(1)
+			v.Drop = true
+			return v
+		}
+		v.Queued = true
+		v.SendAt = release
+	}
+	return v
+}
+
+// flowMessageID assigns stable message identifiers to flows the stages did
+// not classify: each transport connection is one message (§3.3).
+func (e *Enclave) flowMessageID(pkt *packet.Packet) uint64 {
+	key := pkt.Flow()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if id, ok := e.flowMsgs[key]; ok {
+		return id
+	}
+	e.nextMsg++
+	id := e.nextMsg | 1<<63 // distinguish enclave-assigned ids
+	e.flowMsgs[key] = id
+	if len(e.flowMsgs) > e.cfg.MaxMessages {
+		for k := range e.flowMsgs {
+			delete(e.flowMsgs, k)
+			break
+		}
+	}
+	return id
+}
+
+// EndMessage releases per-message state for the given message across all
+// installed functions (stages call this through the host stack when a
+// message completes; the enclave also calls it on flow termination).
+func (e *Enclave) EndMessage(msgID uint64) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	for _, f := range e.funcs {
+		f.endMessage(msgID)
+	}
+}
+
+// EndFlow releases the enclave-assigned message id and state for a flow.
+func (e *Enclave) EndFlow(key packet.FlowKey) {
+	e.mu.Lock()
+	id, ok := e.flowMsgs[key]
+	delete(e.flowMsgs, key)
+	e.mu.Unlock()
+	if ok {
+		e.EndMessage(id)
+	}
+}
+
+// InstalledFunctions lists installed function names.
+func (e *Enclave) InstalledFunctions() []string {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	var names []string
+	for n := range e.funcs {
+		names = append(names, n)
+	}
+	return names
+}
+
+// Func returns the compiled form of an installed function.
+func (e *Enclave) Func(name string) (*compiler.Func, bool) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	f, ok := e.funcs[name]
+	if !ok {
+		return nil, false
+	}
+	return f.fn, true
+}

@@ -1,0 +1,698 @@
+package enclave
+
+import (
+	"sync"
+	"testing"
+
+	"eden/internal/compiler"
+	"eden/internal/edenvm"
+	"eden/internal/packet"
+)
+
+func testEnclave(t *testing.T) *Enclave {
+	t.Helper()
+	var now int64
+	return New(Config{
+		Name:     "host0",
+		Platform: "os",
+		Clock:    func() int64 { now++; return now },
+	})
+}
+
+const piasSrc = `
+msg size : int
+msg priority : int = 1
+global priorities : int array
+global priovals : int array
+
+fun (packet, msg, _global) ->
+    let msg_size = msg.size + packet.size
+    msg.size <- msg_size
+    let rec search index =
+        if index >= _global.priorities.Length then 0
+        elif msg_size <= _global.priorities.[index] then _global.priovals.[index]
+        else search (index + 1)
+    let desired = msg.priority
+    packet.priority <- (if desired < 1 then desired else search 0)
+`
+
+// installPIAS installs the PIAS function with thresholds and a catch-all
+// rule on the egress pipeline.
+func installPIAS(t *testing.T, e *Enclave) {
+	t.Helper()
+	f, err := compiler.Compile("pias", piasSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.InstallFunc(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.UpdateGlobalArray("pias", "priorities", []int64{10 * 1024, 1024 * 1024}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.UpdateGlobalArray("pias", "priovals", []int64{7, 5}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.CreateTable(Egress, "sched"); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.AddRule(Egress, "sched", Rule{Pattern: "*", Func: "pias"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func mkPkt(payload int) *packet.Packet {
+	p := packet.New(0x0a000001, 0x0a000002, 1234, 80, payload)
+	return p
+}
+
+func TestPIASPriorityDemotion(t *testing.T) {
+	e := testEnclave(t)
+	installPIAS(t, e)
+
+	// Mark packets as one message via stage metadata; small flow starts
+	// at priority 7 and is demoted as bytes accumulate.
+	var prios []int64
+	for i := 0; i < 800; i++ {
+		p := mkPkt(1400)
+		p.Meta.Class = "app.r1.DATA"
+		p.Meta.MsgID = 7
+		p.Meta.MsgType = 1
+		v := e.Process(Egress, p, 0)
+		if v.Drop {
+			t.Fatal("unexpected drop")
+		}
+		prios = append(prios, p.Get(packet.FieldPriority))
+	}
+	if prios[0] != 7 {
+		t.Errorf("first packet priority = %d, want 7", prios[0])
+	}
+	// 10KB/1460B ≈ packet 8 crosses the first threshold.
+	if prios[20] != 5 {
+		t.Errorf("packet 20 priority = %d, want 5", prios[20])
+	}
+	if prios[790] != 0 {
+		t.Errorf("packet 790 priority = %d, want 0", prios[790])
+	}
+	// State visible through the management API.
+	ms, ok := e.MsgState("pias", 7)
+	if !ok || ms[0] == 0 {
+		t.Errorf("msg state = %v %v", ms, ok)
+	}
+
+	st := e.Stats()
+	if st.Invocations != 800 || st.Matched != 800 || st.Traps != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.Instructions == 0 {
+		t.Error("no instructions counted")
+	}
+}
+
+func TestSeparateMessagesSeparateState(t *testing.T) {
+	e := testEnclave(t)
+	installPIAS(t, e)
+	a := mkPkt(1400)
+	a.Meta.Class = "x.r.C"
+	a.Meta.MsgID = 1
+	b := mkPkt(1400)
+	b.Meta.Class = "x.r.C"
+	b.Meta.MsgID = 2
+	e.Process(Egress, a, 0)
+	e.Process(Egress, b, 0)
+	sa, _ := e.MsgState("pias", 1)
+	sb, _ := e.MsgState("pias", 2)
+	if sa[0] != sb[0] {
+		t.Errorf("independent messages diverged: %v vs %v", sa, sb)
+	}
+	e.EndMessage(1)
+	if _, ok := e.MsgState("pias", 1); ok {
+		t.Error("state survived EndMessage")
+	}
+	if _, ok := e.MsgState("pias", 2); !ok {
+		t.Error("wrong message state dropped")
+	}
+}
+
+func TestRulePatterns(t *testing.T) {
+	cases := []struct {
+		pattern, class string
+		want           bool
+	}{
+		{"*", "anything.r.c", true},
+		{"memcached.r1.GET", "memcached.r1.GET", true},
+		{"memcached.r1.GET", "memcached.r1.PUT", false},
+		{"memcached.r1.*", "memcached.r1.PUT", true},
+		{"memcached.r1.*", "memcached.r2.PUT", false},
+		{"memcached.*", "memcached.r2.PUT", true},
+		{"memcached.*", "http.r1.GET", false},
+		{"http.r1.API*", "http.r1.APIGET", true},
+		{"http.r1.API*", "http.r1.STATIC", false},
+	}
+	for _, c := range cases {
+		r := Rule{Pattern: c.pattern}
+		if got := r.Matches(c.class); got != c.want {
+			t.Errorf("pattern %q vs %q = %v, want %v", c.pattern, c.class, got, c.want)
+		}
+	}
+}
+
+func TestFirstMatchPerTableAllTablesApply(t *testing.T) {
+	e := testEnclave(t)
+	prio := compiler.MustCompile("setprio", "fun (p, m, g) ->\n p.priority <- 6")
+	path := compiler.MustCompile("setpath", "fun (p, m, g) ->\n p.path <- 3")
+	never := compiler.MustCompile("never", "fun (p, m, g) ->\n p.drop <- 1")
+	for _, f := range []*compiler.Func{prio, path, never} {
+		if err := e.InstallFunc(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.CreateTable(Egress, "t1")
+	e.CreateTable(Egress, "t2")
+	// t1: first match wins — "never" must not fire.
+	e.AddRule(Egress, "t1", Rule{Pattern: "app.*", Func: "setprio"})
+	e.AddRule(Egress, "t1", Rule{Pattern: "*", Func: "never"})
+	// t2 applies as well (one function per table).
+	e.AddRule(Egress, "t2", Rule{Pattern: "*", Func: "setpath"})
+
+	p := mkPkt(100)
+	p.Meta.Class = "app.r.C"
+	p.Meta.MsgID = 1
+	v := e.Process(Egress, p, 0)
+	if v.Drop {
+		t.Fatal("never-rule fired")
+	}
+	if p.Get(packet.FieldPriority) != 6 {
+		t.Errorf("priority = %d", p.Get(packet.FieldPriority))
+	}
+	if !p.HasVLAN || p.VLAN.VID != 3 {
+		t.Errorf("path not applied: %+v", p.VLAN)
+	}
+}
+
+func TestIngressEgressSeparation(t *testing.T) {
+	e := testEnclave(t)
+	f := compiler.MustCompile("mark", "fun (p, m, g) ->\n p.priority <- 1")
+	e.InstallFunc(f)
+	e.CreateTable(Ingress, "in")
+	e.AddRule(Ingress, "in", Rule{Pattern: "*", Func: "mark"})
+
+	p := mkPkt(10)
+	p.Meta.Class = "a.b.c"
+	p.Meta.MsgID = 1
+	e.Process(Egress, p, 0)
+	if p.HasVLAN {
+		t.Error("egress ran an ingress table")
+	}
+	e.Process(Ingress, p, 0)
+	if p.Get(packet.FieldPriority) != 1 {
+		t.Error("ingress table did not run")
+	}
+}
+
+func TestDropVerdict(t *testing.T) {
+	e := testEnclave(t)
+	f := compiler.MustCompile("dropper", "fun (p, m, g) ->\n if p.dst_port = 23 then p.drop <- 1")
+	e.InstallFunc(f)
+	e.CreateTable(Egress, "fw")
+	e.AddRule(Egress, "fw", Rule{Pattern: "*", Func: "dropper"})
+
+	telnet := packet.New(1, 2, 999, 23, 0)
+	telnet.Meta.Class = "x.y.z"
+	telnet.Meta.MsgID = 1
+	if v := e.Process(Egress, telnet, 0); !v.Drop {
+		t.Error("telnet not dropped")
+	}
+	web := packet.New(1, 2, 999, 80, 0)
+	web.Meta.Class = "x.y.z"
+	web.Meta.MsgID = 2
+	if v := e.Process(Egress, web, 0); v.Drop {
+		t.Error("web dropped")
+	}
+	if e.Stats().Drops != 1 {
+		t.Errorf("drops = %d", e.Stats().Drops)
+	}
+}
+
+func TestQueueSteeringAndCharge(t *testing.T) {
+	e := testEnclave(t)
+	q0 := e.AddQueue(8*1e9, 0) // 1 GB/s
+	if q0 != 0 {
+		t.Fatalf("queue idx = %d", q0)
+	}
+	// Pulsar-style: charge msg_size instead of packet size for type 1.
+	src := `
+fun (p, m, g) ->
+    p.queue <- 0
+    if p.msg_type = 1 then p.charge <- p.msg_size
+`
+	e.InstallFunc(compiler.MustCompile("pulsar", src))
+	e.CreateTable(Egress, "qos")
+	e.AddRule(Egress, "qos", Rule{Pattern: "*", Func: "pulsar"})
+
+	read := mkPkt(86) // small request...
+	read.Meta.Class = "stor.r.READ"
+	read.Meta.MsgID = 1
+	read.Meta.MsgType = 1
+	read.Meta.MsgSize = 64 * 1024 // ...charged as 64KB
+	v := e.Process(Egress, read, 0)
+	if !v.Queued {
+		t.Fatal("not queued")
+	}
+	if v.SendAt != 64*1024 { // 64KB at 1GB/s = 65536 ns
+		t.Errorf("SendAt = %d, want 65536", v.SendAt)
+	}
+
+	write := mkPkt(1400)
+	write.Meta.Class = "stor.r.WRITE"
+	write.Meta.MsgID = 2
+	write.Meta.MsgType = 2
+	v2 := e.Process(Egress, write, v.SendAt)
+	wantRelease := v.SendAt + int64(write.Size())
+	if v2.SendAt != wantRelease {
+		t.Errorf("write SendAt = %d, want %d", v2.SendAt, wantRelease)
+	}
+}
+
+func TestQueueFullDrops(t *testing.T) {
+	e := testEnclave(t)
+	e.AddQueue(8, 100) // 1 B/s, 100 B cap
+	e.InstallFunc(compiler.MustCompile("q", "fun (p,m,g) ->\n p.queue <- 0"))
+	e.CreateTable(Egress, "t")
+	e.AddRule(Egress, "t", Rule{Pattern: "*", Func: "q"})
+	ok, dropped := 0, 0
+	for i := 0; i < 5; i++ {
+		p := mkPkt(20)
+		p.Meta.Class = "a.b.c"
+		p.Meta.MsgID = uint64(i + 1)
+		if v := e.Process(Egress, p, 0); v.Drop {
+			dropped++
+		} else {
+			ok++
+		}
+	}
+	if dropped == 0 || ok == 0 {
+		t.Errorf("ok=%d dropped=%d, want both nonzero", ok, dropped)
+	}
+	if e.Stats().QueueDrops == 0 {
+		t.Error("queue drops not counted")
+	}
+}
+
+func TestBadQueueIndexFailsOpen(t *testing.T) {
+	e := testEnclave(t)
+	e.InstallFunc(compiler.MustCompile("q", "fun (p,m,g) ->\n p.queue <- 9"))
+	e.CreateTable(Egress, "t")
+	e.AddRule(Egress, "t", Rule{Pattern: "*", Func: "q"})
+	p := mkPkt(20)
+	p.Meta.Class = "a.b.c"
+	p.Meta.MsgID = 1
+	v := e.Process(Egress, p, 42)
+	if v.Drop || v.Queued || v.SendAt != 42 {
+		t.Errorf("verdict = %+v", v)
+	}
+}
+
+func TestTrapHasNoSideEffects(t *testing.T) {
+	e := testEnclave(t)
+	// Division by packet field that is zero -> trap after setting
+	// priority in the VM's copy; the packet must be unchanged.
+	src := `
+fun (p, m, g) ->
+    p.priority <- 5
+    p.path <- 100 / p.payload_len
+`
+	e.InstallFunc(compiler.MustCompile("trappy", src))
+	e.CreateTable(Egress, "t")
+	e.AddRule(Egress, "t", Rule{Pattern: "*", Func: "trappy"})
+	p := mkPkt(0)
+	p.Meta.Class = "a.b.c"
+	p.Meta.MsgID = 1
+	v := e.Process(Egress, p, 0)
+	if v.Drop {
+		t.Error("trap must not drop the packet")
+	}
+	if p.HasVLAN || p.Get(packet.FieldPriority) != 0 {
+		t.Error("trapped invocation leaked side effects")
+	}
+	if e.Stats().Traps != 1 {
+		t.Errorf("traps = %d", e.Stats().Traps)
+	}
+	// The enclave still works afterwards.
+	p2 := mkPkt(100)
+	p2.Meta.Class = "a.b.c"
+	p2.Meta.MsgID = 2
+	e.Process(Egress, p2, 0)
+	if p2.Get(packet.FieldPriority) != 5 {
+		t.Error("enclave broken after trap")
+	}
+}
+
+func TestExclusiveCounterNoLostUpdates(t *testing.T) {
+	e := testEnclave(t)
+	src := `
+global counter : int
+fun (p, m, g) ->
+    g.counter <- g.counter + 1
+`
+	e.InstallFunc(compiler.MustCompile("ctr", src))
+	e.CreateTable(Egress, "t")
+	e.AddRule(Egress, "t", Rule{Pattern: "*", Func: "ctr"})
+
+	const workers, perWorker = 8, 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				p := mkPkt(10)
+				p.Meta.Class = "a.b.c"
+				p.Meta.MsgID = uint64(w*perWorker + i + 1)
+				e.Process(Egress, p, 0)
+			}
+		}(w)
+	}
+	wg.Wait()
+	got, err := e.ReadGlobal("ctr", "counter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != workers*perWorker {
+		t.Errorf("counter = %d, want %d", got, workers*perWorker)
+	}
+}
+
+func TestPerMessageConcurrency(t *testing.T) {
+	e := testEnclave(t)
+	src := `
+msg bytes : int
+fun (p, m, g) ->
+    m.bytes <- m.bytes + p.size
+`
+	e.InstallFunc(compiler.MustCompile("acc", src))
+	e.CreateTable(Egress, "t")
+	e.AddRule(Egress, "t", Rule{Pattern: "*", Func: "acc"})
+
+	const workers, perWorker = 8, 300
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				p := mkPkt(100)
+				p.Meta.Class = "a.b.c"
+				p.Meta.MsgID = 42 // all same message
+				e.Process(Egress, p, 0)
+			}
+		}()
+	}
+	wg.Wait()
+	ms, ok := e.MsgState("acc", 42)
+	if !ok {
+		t.Fatal("no message state")
+	}
+	want := int64(workers * perWorker * mkPkt(100).Size())
+	if ms[0] != want {
+		t.Errorf("accumulated = %d, want %d", ms[0], want)
+	}
+}
+
+func TestNativeMatchesInterpreted(t *testing.T) {
+	run := func(mode Mode) []int64 {
+		e := testEnclave(t)
+		installPIAS(t, e)
+		// Native twin of the PIAS program.
+		e.AttachNative("pias", func(pkt *packet.Packet, msg, globals []int64, arrays [][]int64) {
+			msg[0] += int64(pkt.Size())
+			thresholds, vals := arrays[0], arrays[1]
+			prio := int64(0)
+			for i, th := range thresholds {
+				if msg[0] <= th {
+					prio = vals[i]
+					break
+				}
+			}
+			if msg[1] < 1 {
+				prio = msg[1]
+			}
+			pkt.Set(packet.FieldPriority, prio)
+		})
+		e.SetMode(mode)
+		var out []int64
+		for i := 0; i < 50; i++ {
+			p := mkPkt(1400)
+			p.Meta.Class = "a.b.c"
+			p.Meta.MsgID = 1
+			e.Process(Egress, p, 0)
+			out = append(out, p.Get(packet.FieldPriority))
+		}
+		return out
+	}
+	interp := run(ModeInterpreted)
+	native := run(ModeNative)
+	for i := range interp {
+		if interp[i] != native[i] {
+			t.Fatalf("packet %d: interpreted %d vs native %d", i, interp[i], native[i])
+		}
+	}
+}
+
+func TestFlowClassifierIntegration(t *testing.T) {
+	e := testEnclave(t)
+	e.FlowClassifier().Add(FlowRule{DstPort: U16(80), Class: "enclave.flows.web", Priority: 10})
+	e.FlowClassifier().Add(FlowRule{Class: "enclave.flows.other"})
+
+	e.InstallFunc(compiler.MustCompile("web", "fun (p,m,g) ->\n p.priority <- 6"))
+	e.CreateTable(Egress, "t")
+	e.AddRule(Egress, "t", Rule{Pattern: "enclave.flows.web", Func: "web"})
+
+	p := mkPkt(10) // dst port 80
+	v := e.Process(Egress, p, 0)
+	if v.Drop {
+		t.Fatal("dropped")
+	}
+	if p.Meta.Class != "enclave.flows.web" {
+		t.Errorf("class = %q", p.Meta.Class)
+	}
+	if p.Get(packet.FieldPriority) != 6 {
+		t.Error("rule did not fire on enclave-classified packet")
+	}
+	if p.Meta.MsgID == 0 {
+		t.Error("no message id assigned")
+	}
+	// Same flow, same message id; different flow, different id.
+	p2 := mkPkt(10)
+	e.Process(Egress, p2, 0)
+	if p2.Meta.MsgID != p.Meta.MsgID {
+		t.Error("same flow got different message ids")
+	}
+	q := packet.New(1, 2, 5555, 443, 10)
+	e.Process(Egress, q, 0)
+	if q.Meta.MsgID == p.Meta.MsgID {
+		t.Error("different flows share a message id")
+	}
+	if q.Meta.Class != "enclave.flows.other" {
+		t.Errorf("fallback class = %q", q.Meta.Class)
+	}
+	// Flow termination releases the id.
+	e.EndFlow(p.Flow())
+	p3 := mkPkt(10)
+	e.Process(Egress, p3, 0)
+	if p3.Meta.MsgID == p.Meta.MsgID {
+		t.Error("flow message id survived EndFlow")
+	}
+}
+
+func TestFlowClassifierPriorityAndRemove(t *testing.T) {
+	fc := NewFlowClassifier()
+	low := fc.Add(FlowRule{Class: "all", Priority: 0})
+	hi := fc.Add(FlowRule{DstPort: U16(80), Class: "web", Priority: 5})
+	p := mkPkt(1)
+	if cls, _ := fc.Classify(p); cls != "web" {
+		t.Errorf("class = %q, want web (priority order)", cls)
+	}
+	if !fc.Remove(hi) {
+		t.Error("remove failed")
+	}
+	if cls, _ := fc.Classify(p); cls != "all" {
+		t.Errorf("class after remove = %q", cls)
+	}
+	if fc.Remove(hi) {
+		t.Error("double remove")
+	}
+	if fc.Len() != 1 {
+		t.Errorf("len = %d", fc.Len())
+	}
+	_ = low
+}
+
+func TestTableAndFuncManagement(t *testing.T) {
+	e := testEnclave(t)
+	if _, err := e.CreateTable(Egress, "t"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.CreateTable(Egress, "t"); err == nil {
+		t.Error("duplicate table accepted")
+	}
+	f := compiler.MustCompile("f", "fun (p,m,g) ->\n p.priority <- 1")
+	if err := e.AddRule(Egress, "t", Rule{Pattern: "*", Func: "f"}); err == nil {
+		t.Error("rule with unknown function accepted")
+	}
+	if err := e.InstallFunc(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.InstallFunc(f); err == nil {
+		t.Error("duplicate install accepted")
+	}
+	if err := e.AddRule(Egress, "t", Rule{Pattern: "*", Func: "f"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.AddRule(Egress, "missing", Rule{Pattern: "*", Func: "f"}); err == nil {
+		t.Error("rule on missing table accepted")
+	}
+	if got := e.Tables(Egress); len(got) != 1 || got[0] != "t" {
+		t.Errorf("tables = %v", got)
+	}
+	if got := e.InstalledFunctions(); len(got) != 1 || got[0] != "f" {
+		t.Errorf("functions = %v", got)
+	}
+	if _, ok := e.Func("f"); !ok {
+		t.Error("Func lookup failed")
+	}
+	if err := e.RemoveRule(Egress, "t", "*"); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.RemoveRule(Egress, "t", "*"); err == nil {
+		t.Error("removing absent rule succeeded")
+	}
+	if err := e.UninstallFunc("f"); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.UninstallFunc("f"); err == nil {
+		t.Error("double uninstall succeeded")
+	}
+	if err := e.DeleteTable(Egress, "t"); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.DeleteTable(Egress, "t"); err == nil {
+		t.Error("double delete succeeded")
+	}
+}
+
+func TestUninstallRemovesRules(t *testing.T) {
+	e := testEnclave(t)
+	f := compiler.MustCompile("f", "fun (p,m,g) ->\n p.priority <- 1")
+	e.InstallFunc(f)
+	e.CreateTable(Egress, "t")
+	e.AddRule(Egress, "t", Rule{Pattern: "*", Func: "f"})
+	e.UninstallFunc("f")
+	p := mkPkt(1)
+	p.Meta.Class = "a.b.c"
+	p.Meta.MsgID = 1
+	e.Process(Egress, p, 0)
+	if p.HasVLAN {
+		t.Error("rule for uninstalled function fired")
+	}
+}
+
+func TestGlobalStateAPIErrors(t *testing.T) {
+	e := testEnclave(t)
+	src := `
+global x : int
+global arr : int array
+fun (p, m, g) ->
+    p.priority <- g.x + g.arr.[0]
+`
+	e.InstallFunc(compiler.MustCompile("f", src))
+	if err := e.UpdateGlobal("f", "x", 42); err != nil {
+		t.Fatal(err)
+	}
+	if v, err := e.ReadGlobal("f", "x"); err != nil || v != 42 {
+		t.Errorf("ReadGlobal = %d, %v", v, err)
+	}
+	if err := e.UpdateGlobal("f", "nope", 1); err == nil {
+		t.Error("unknown scalar accepted")
+	}
+	if err := e.UpdateGlobal("nope", "x", 1); err == nil {
+		t.Error("unknown function accepted")
+	}
+	if err := e.UpdateGlobalArray("f", "arr", []int64{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := e.ReadGlobalArray("f", "arr"); err != nil || len(got) != 2 {
+		t.Errorf("ReadGlobalArray = %v, %v", got, err)
+	}
+	if err := e.UpdateGlobalArray("f", "nope", nil); err == nil {
+		t.Error("unknown array accepted")
+	}
+	if _, err := e.ReadGlobalArray("f", "nope"); err == nil {
+		t.Error("read unknown array accepted")
+	}
+	if _, err := e.ReadGlobal("f", "arr"); err == nil {
+		t.Error("reading array as scalar accepted")
+	}
+}
+
+func TestMessageEviction(t *testing.T) {
+	var now int64
+	e := New(Config{Name: "x", Clock: func() int64 { now++; return now }, MaxMessages: 10})
+	src := `
+msg n : int
+fun (p, m, g) ->
+    m.n <- m.n + 1
+`
+	e.InstallFunc(compiler.MustCompile("f", src))
+	e.CreateTable(Egress, "t")
+	e.AddRule(Egress, "t", Rule{Pattern: "*", Func: "f"})
+	for i := 1; i <= 50; i++ {
+		p := mkPkt(1)
+		p.Meta.Class = "a.b.c"
+		p.Meta.MsgID = uint64(i)
+		e.Process(Egress, p, 0)
+	}
+	// Old messages evicted, newest retained.
+	if _, ok := e.MsgState("f", 1); ok {
+		t.Error("oldest message not evicted")
+	}
+	if _, ok := e.MsgState("f", 50); !ok {
+		t.Error("newest message missing")
+	}
+}
+
+func TestInstallRejectsUnverifiable(t *testing.T) {
+	e := testEnclave(t)
+	bad := &compiler.Func{
+		Name: "bad",
+		Prog: &edenvm.Program{Code: []edenvm.Instr{{Op: edenvm.OpAdd}}},
+	}
+	if err := e.InstallFunc(bad); err == nil {
+		t.Error("unverifiable program installed")
+	}
+	if err := e.InstallFunc(nil); err == nil {
+		t.Error("nil function installed")
+	}
+}
+
+func BenchmarkEnclaveProcessPIAS(b *testing.B) {
+	var now int64
+	e := New(Config{Name: "b", Clock: func() int64 { now++; return now }})
+	f, err := compiler.Compile("pias", piasSrc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	e.InstallFunc(f)
+	e.UpdateGlobalArray("pias", "priorities", []int64{10 * 1024, 1024 * 1024})
+	e.UpdateGlobalArray("pias", "priovals", []int64{7, 5})
+	e.CreateTable(Egress, "t")
+	e.AddRule(Egress, "t", Rule{Pattern: "*", Func: "pias"})
+	p := mkPkt(1400)
+	p.Meta.Class = "a.b.c"
+	p.Meta.MsgID = 1
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Process(Egress, p, int64(i))
+	}
+}

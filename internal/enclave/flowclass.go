@@ -1,0 +1,122 @@
+package enclave
+
+import (
+	"sync"
+
+	"eden/internal/packet"
+)
+
+// FlowRule matches packets on the IP five-tuple, Open vSwitch style. Nil
+// fields are wildcards. Rules are checked in priority order (higher first;
+// insertion order breaks ties).
+type FlowRule struct {
+	SrcIP, DstIP     *uint32
+	SrcPort, DstPort *uint16
+	Proto            *uint8
+	Priority         int
+	// Class is the fully qualified class name assigned on match.
+	Class string
+}
+
+func (r *FlowRule) matches(k packet.FlowKey) bool {
+	if r.SrcIP != nil && *r.SrcIP != k.Src {
+		return false
+	}
+	if r.DstIP != nil && *r.DstIP != k.Dst {
+		return false
+	}
+	if r.SrcPort != nil && *r.SrcPort != k.SrcPort {
+		return false
+	}
+	if r.DstPort != nil && *r.DstPort != k.DstPort {
+		return false
+	}
+	if r.Proto != nil && *r.Proto != k.Proto {
+		return false
+	}
+	return true
+}
+
+// FlowClassifier is the enclave's own classification stage: like Open
+// vSwitch it classifies packets on network headers, here the five-tuple
+// (Table 2, last row: stage "Eden enclave", classifiers
+// <src_ip, src_port, dst_ip, dst_port, proto>). When classification is
+// done at this granularity, each transport connection is a message (§3.3).
+type FlowClassifier struct {
+	mu     sync.RWMutex
+	rules  []FlowRule
+	nextID int
+	ids    []int
+}
+
+// NewFlowClassifier returns an empty classifier.
+func NewFlowClassifier() *FlowClassifier {
+	return &FlowClassifier{}
+}
+
+// Add installs a rule and returns its identifier.
+func (fc *FlowClassifier) Add(r FlowRule) int {
+	fc.mu.Lock()
+	defer fc.mu.Unlock()
+	fc.nextID++
+	id := fc.nextID
+	// Insert keeping priority order (stable).
+	idx := len(fc.rules)
+	for i := range fc.rules {
+		if r.Priority > fc.rules[i].Priority {
+			idx = i
+			break
+		}
+	}
+	fc.rules = append(fc.rules, FlowRule{})
+	copy(fc.rules[idx+1:], fc.rules[idx:])
+	fc.rules[idx] = r
+	fc.ids = append(fc.ids, 0)
+	copy(fc.ids[idx+1:], fc.ids[idx:])
+	fc.ids[idx] = id
+	return id
+}
+
+// Remove deletes a rule by identifier, reporting whether it existed.
+func (fc *FlowClassifier) Remove(id int) bool {
+	fc.mu.Lock()
+	defer fc.mu.Unlock()
+	for i, rid := range fc.ids {
+		if rid == id {
+			fc.rules = append(fc.rules[:i], fc.rules[i+1:]...)
+			fc.ids = append(fc.ids[:i], fc.ids[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// Len returns the number of installed rules.
+func (fc *FlowClassifier) Len() int {
+	fc.mu.RLock()
+	defer fc.mu.RUnlock()
+	return len(fc.rules)
+}
+
+// Classify returns the class of the first matching rule.
+func (fc *FlowClassifier) Classify(pkt *packet.Packet) (string, bool) {
+	k := pkt.Flow()
+	fc.mu.RLock()
+	defer fc.mu.RUnlock()
+	for i := range fc.rules {
+		if fc.rules[i].matches(k) {
+			return fc.rules[i].Class, true
+		}
+	}
+	return "", false
+}
+
+// U32, U16 and U8 are small helpers for building flow rules with pointer
+// fields.
+func U32(v uint32) *uint32 { return &v }
+
+// U16 returns a pointer to v.
+func U16(v uint16) *uint16 { return &v }
+
+// U8 returns a pointer to v.
+func U8(v uint8) *uint8 { return &v }

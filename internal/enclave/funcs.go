@@ -1,0 +1,409 @@
+package enclave
+
+import (
+	"fmt"
+	"sync"
+
+	"eden/internal/compiler"
+	"eden/internal/edenvm"
+	"eden/internal/packet"
+)
+
+// NativeFunc is a hard-coded Go implementation of an action function, used
+// for the paper's native-vs-interpreted comparisons (§5.1: "a hard-coded
+// function within the Eden enclave instead of using the interpreter"). It
+// receives the same three state views an interpreted invocation would:
+// the packet, the per-message state slots, and the global state (scalars
+// plus arrays). The enclave applies the same concurrency model either way.
+type NativeFunc func(pkt *packet.Packet, msg []int64, globals []int64, arrays [][]int64)
+
+// installedFunc is one action function resident in the enclave, together
+// with the authoritative state the runtime manages for it (§3.4.4: "the
+// authoritative state is maintained in the enclave").
+type installedFunc struct {
+	fn     *compiler.Func
+	native NativeFunc
+
+	// globalMu guards globals and arrays per the concurrency model.
+	globalMu sync.RWMutex
+	globals  []int64
+	arrays   [][]int64
+
+	// msgMu guards the message-state map; individual entries are guarded
+	// by their own locks for the per-message concurrency class.
+	msgMu    sync.Mutex
+	msgState map[uint64]*msgEntry
+	msgOrder []uint64 // insertion order for eviction
+	maxMsgs  int
+
+	concurrency edenvm.Concurrency
+	exclMu      sync.Mutex // serializes ConcurrencyExclusive invocations
+}
+
+type msgEntry struct {
+	mu    sync.Mutex
+	slots []int64
+}
+
+// InstallFunc installs a compiled action function (enclave API). Global
+// scalar slots start at zero and arrays empty until the controller pushes
+// state with UpdateGlobal/UpdateGlobalArray. An optional native
+// implementation may be attached with AttachNative.
+func (e *Enclave) InstallFunc(fn *compiler.Func) error {
+	if fn == nil || fn.Prog == nil {
+		return fmt.Errorf("enclave: nil function")
+	}
+	// Re-verify defensively: enclaves must never trust shipped bytecode.
+	if err := edenvm.Verify(fn.Prog); err != nil {
+		return fmt.Errorf("enclave: program rejected: %w", err)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, dup := e.funcs[fn.Name]; dup {
+		return fmt.Errorf("enclave: function %q already installed", fn.Name)
+	}
+	inst := &installedFunc{
+		fn:          fn,
+		globals:     make([]int64, len(fn.GlobalScalars)),
+		arrays:      make([][]int64, len(fn.GlobalArrays)),
+		msgState:    map[uint64]*msgEntry{},
+		maxMsgs:     e.cfg.MaxMessages,
+		concurrency: fn.Concurrency(),
+	}
+	copy(inst.globals, fn.GlobalDefaults)
+	e.funcs[fn.Name] = inst
+	return nil
+}
+
+// UninstallFunc removes a function and its state. Rules referencing it
+// stop firing (their table entries are removed too).
+func (e *Enclave) UninstallFunc(name string) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, ok := e.funcs[name]; !ok {
+		return fmt.Errorf("enclave: no function %q", name)
+	}
+	delete(e.funcs, name)
+	for dir, ts := range e.tables {
+		for _, t := range ts {
+			kept := t.rules[:0]
+			for _, r := range t.rules {
+				if r.Func != name {
+					kept = append(kept, r)
+				}
+			}
+			t.rules = kept
+		}
+		e.tables[dir] = ts
+	}
+	return nil
+}
+
+// AttachNative registers a native implementation for an installed
+// function.
+func (e *Enclave) AttachNative(name string, nf NativeFunc) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	f, ok := e.funcs[name]
+	if !ok {
+		return fmt.Errorf("enclave: no function %q", name)
+	}
+	f.native = nf
+	return nil
+}
+
+// UpdateGlobal sets a global scalar by name (enclave API; this is how the
+// controller pushes slowly changing state like priority thresholds).
+func (e *Enclave) UpdateGlobal(fn, name string, value int64) error {
+	f, slot, err := e.findGlobalScalar(fn, name)
+	if err != nil {
+		return err
+	}
+	f.globalMu.Lock()
+	defer f.globalMu.Unlock()
+	f.globals[slot] = value
+	return nil
+}
+
+// ReadGlobal reads a global scalar by name.
+func (e *Enclave) ReadGlobal(fn, name string) (int64, error) {
+	f, slot, err := e.findGlobalScalar(fn, name)
+	if err != nil {
+		return 0, err
+	}
+	f.globalMu.RLock()
+	defer f.globalMu.RUnlock()
+	return f.globals[slot], nil
+}
+
+func (e *Enclave) findGlobalScalar(fn, name string) (*installedFunc, int, error) {
+	e.mu.RLock()
+	f, ok := e.funcs[fn]
+	e.mu.RUnlock()
+	if !ok {
+		return nil, 0, fmt.Errorf("enclave: no function %q", fn)
+	}
+	for i, n := range f.fn.GlobalScalars {
+		if n == name {
+			return f, i, nil
+		}
+	}
+	return nil, 0, fmt.Errorf("enclave: function %q has no global scalar %q", fn, name)
+}
+
+// UpdateGlobalArray replaces a global array by name. The slice is copied.
+func (e *Enclave) UpdateGlobalArray(fn, name string, values []int64) error {
+	e.mu.RLock()
+	f, ok := e.funcs[fn]
+	e.mu.RUnlock()
+	if !ok {
+		return fmt.Errorf("enclave: no function %q", fn)
+	}
+	for i, n := range f.fn.GlobalArrays {
+		if n == name {
+			cp := append([]int64(nil), values...)
+			f.globalMu.Lock()
+			f.arrays[i] = cp
+			f.globalMu.Unlock()
+			return nil
+		}
+	}
+	return fmt.Errorf("enclave: function %q has no global array %q", fn, name)
+}
+
+// ReadGlobalArray returns a copy of a global array by name.
+func (e *Enclave) ReadGlobalArray(fn, name string) ([]int64, error) {
+	e.mu.RLock()
+	f, ok := e.funcs[fn]
+	e.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("enclave: no function %q", fn)
+	}
+	for i, n := range f.fn.GlobalArrays {
+		if n == name {
+			f.globalMu.RLock()
+			defer f.globalMu.RUnlock()
+			return append([]int64(nil), f.arrays[i]...), nil
+		}
+	}
+	return nil, fmt.Errorf("enclave: function %q has no global array %q", fn, name)
+}
+
+// MsgState returns a copy of the per-message state slots a function keeps
+// for a message, if any.
+func (e *Enclave) MsgState(fn string, msgID uint64) ([]int64, bool) {
+	e.mu.RLock()
+	f, ok := e.funcs[fn]
+	e.mu.RUnlock()
+	if !ok {
+		return nil, false
+	}
+	f.msgMu.Lock()
+	ent, ok := f.msgState[msgID]
+	f.msgMu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	ent.mu.Lock()
+	defer ent.mu.Unlock()
+	return append([]int64(nil), ent.slots...), true
+}
+
+func (f *installedFunc) entry(msgID uint64) *msgEntry {
+	f.msgMu.Lock()
+	defer f.msgMu.Unlock()
+	ent, ok := f.msgState[msgID]
+	if !ok {
+		slots := make([]int64, len(f.fn.MsgFields))
+		copy(slots, f.fn.MsgDefaults)
+		ent = &msgEntry{slots: slots}
+		f.msgState[msgID] = ent
+		f.msgOrder = append(f.msgOrder, msgID)
+		if len(f.msgState) > f.maxMsgs {
+			// Evict the oldest tracked message.
+			old := f.msgOrder[0]
+			f.msgOrder = f.msgOrder[1:]
+			delete(f.msgState, old)
+		}
+	}
+	return ent
+}
+
+func (f *installedFunc) endMessage(msgID uint64) {
+	f.msgMu.Lock()
+	delete(f.msgState, msgID)
+	f.msgMu.Unlock()
+}
+
+// vmState is the pooled interpreter plus its scratch environment.
+type vmState struct {
+	vm  *edenvm.VM
+	env edenvm.Env
+}
+
+func (e *Enclave) newVM() *vmState {
+	vm := edenvm.NewVM()
+	vm.Fuel = e.cfg.Fuel
+	if e.cfg.Rand != nil {
+		// The VM consults env.Rand when set; see invoke.
+		_ = vm
+	}
+	return &vmState{vm: vm}
+}
+
+// invoke executes one function against one packet under the function's
+// concurrency class:
+//
+//   - parallel: message and global state are read-only; global state is
+//     copied under RLock so the program sees a consistent snapshot even if
+//     the controller updates mid-run (§3.4.4);
+//   - per-message: one packet per message at a time (entry lock), global
+//     under RLock;
+//   - exclusive: one invocation at a time (exclMu + global write lock).
+//
+// Packet fields are copied in, and written back only if the program halts
+// normally — a trapped invocation has no side effects (§3.4.3).
+func (e *Enclave) invoke(f *installedFunc, pkt *packet.Packet, mode Mode) {
+	e.invokeWith(f, pkt, mode, nil)
+}
+
+// invokeWith runs one invocation, reusing the caller's interpreter state
+// when vs is non-nil (the batch path, §6: amortizing per-packet costs
+// over a batch).
+func (e *Enclave) invokeWith(f *installedFunc, pkt *packet.Packet, mode Mode, vs *vmState) {
+	e.stats.invocations.Add(1)
+
+	var ent *msgEntry
+	needMsg := len(f.fn.MsgFields) > 0 && f.fn.Prog.State.MsgAccess != edenvm.AccessNone
+	if needMsg {
+		ent = f.entry(pkt.Meta.MsgID)
+	}
+
+	if mode == ModeNative && f.native != nil {
+		e.invokeNative(f, pkt, ent)
+		return
+	}
+
+	if vs == nil {
+		vs = e.vmPool.Get().(*vmState)
+		defer e.vmPool.Put(vs)
+	}
+	env := &vs.env
+	env.Rand = e.cfg.Rand
+	env.Clock = e.cfg.Clock
+
+	// Packet vector: copy in.
+	if cap(env.Packet) < len(f.fn.PktFields) {
+		env.Packet = make([]int64, len(f.fn.PktFields))
+	}
+	env.Packet = env.Packet[:len(f.fn.PktFields)]
+	for i, fd := range f.fn.PktFields {
+		env.Packet[i] = pkt.Get(fd)
+	}
+
+	runAndWriteBack := func() {
+		steps, err := vs.vm.Run(f.fn.Prog, env)
+		e.stats.instructions.Add(int64(steps))
+		if err != nil {
+			e.stats.traps.Add(1)
+			return // trap: no side effects
+		}
+		for i, fd := range f.fn.PktFields {
+			if fd.Writable() {
+				pkt.Set(fd, env.Packet[i])
+			}
+		}
+	}
+
+	switch f.concurrency {
+	case edenvm.ConcurrencyParallel:
+		// Message and global state are verified read-only, so any number
+		// of invocations may alias them; the read lock only excludes
+		// controller updates mid-run, giving each invocation a consistent
+		// view.
+		f.globalMu.RLock()
+		env.Global = f.globals
+		env.Arrays = f.arrays
+		if ent != nil {
+			env.Msg = ent.slots
+		} else {
+			env.Msg = nil
+		}
+		runAndWriteBack()
+		f.globalMu.RUnlock()
+
+	case edenvm.ConcurrencyPerMessage:
+		// "Only one packet from that message can be processed in
+		// parallel" — the message entry lock enforces it.
+		f.globalMu.RLock()
+		env.Global = f.globals
+		env.Arrays = f.arrays
+		if ent != nil {
+			ent.mu.Lock()
+			env.Msg = ent.slots
+			runAndWriteBack()
+			ent.mu.Unlock()
+		} else {
+			env.Msg = nil
+			runAndWriteBack()
+		}
+		f.globalMu.RUnlock()
+
+	case edenvm.ConcurrencyExclusive:
+		f.exclMu.Lock()
+		f.globalMu.Lock()
+		env.Global = f.globals
+		env.Arrays = f.arrays
+		if ent != nil {
+			ent.mu.Lock()
+			env.Msg = ent.slots
+		} else {
+			env.Msg = nil
+		}
+		runAndWriteBack()
+		if ent != nil {
+			ent.mu.Unlock()
+		}
+		f.globalMu.Unlock()
+		f.exclMu.Unlock()
+	}
+}
+
+func (e *Enclave) invokeNative(f *installedFunc, pkt *packet.Packet, ent *msgEntry) {
+	switch f.concurrency {
+	case edenvm.ConcurrencyPerMessage:
+		f.globalMu.RLock()
+		if ent != nil {
+			ent.mu.Lock()
+			f.native(pkt, ent.slots, f.globals, f.arrays)
+			ent.mu.Unlock()
+		} else {
+			f.native(pkt, nil, f.globals, f.arrays)
+		}
+		f.globalMu.RUnlock()
+	case edenvm.ConcurrencyExclusive:
+		f.exclMu.Lock()
+		f.globalMu.Lock()
+		var slots []int64
+		if ent != nil {
+			ent.mu.Lock()
+			slots = ent.slots
+		}
+		f.native(pkt, slots, f.globals, f.arrays)
+		if ent != nil {
+			ent.mu.Unlock()
+		}
+		f.globalMu.Unlock()
+		f.exclMu.Unlock()
+	default:
+		f.globalMu.RLock()
+		var slots []int64
+		if ent != nil {
+			ent.mu.Lock()
+			slots = append(slots, ent.slots...)
+			ent.mu.Unlock()
+		}
+		f.native(pkt, slots, f.globals, f.arrays)
+		f.globalMu.RUnlock()
+	}
+}

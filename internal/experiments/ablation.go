@@ -1,0 +1,221 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"eden/internal/enclave"
+	"eden/internal/funcs"
+	"eden/internal/netsim"
+	"eden/internal/packet"
+	"eden/internal/stats"
+	"eden/internal/transport"
+)
+
+// Granularity is the unit at which the load-balancing ablation picks
+// paths: per packet, per application message, or per flow — the design
+// spectrum §2.1.1 discusses ("datacenter operators can balance the
+// trade-off between application performance and load across network
+// links through message-level load balancing").
+type Granularity int
+
+// Load-balancing granularities.
+const (
+	GranPacket Granularity = iota
+	GranMessage
+	GranFlow
+)
+
+// String returns the granularity label.
+func (g Granularity) String() string {
+	switch g {
+	case GranPacket:
+		return "per-packet"
+	case GranMessage:
+		return "per-message"
+	default:
+		return "per-flow"
+	}
+}
+
+// AblationGranularityResult compares WCMP at the three granularities on
+// the asymmetric Figure-1 topology.
+type AblationGranularityResult struct {
+	// Mbps and CI per granularity.
+	Mbps map[Granularity]float64
+	CI   map[Granularity]float64
+	// Retransmits per granularity (the reordering cost made visible).
+	Retransmits map[Granularity]float64
+}
+
+// RunAblationGranularity quantifies the packet/message/flow trade-off of
+// §2.1.1 (Figure 2's two functions, plus flow hashing): per-packet
+// balancing spreads load perfectly but reorders within flows; per-message
+// balancing keeps each message on one path (no intra-message reordering);
+// per-flow balancing never reorders but balances only as well as the
+// flow-to-path hash.
+func RunAblationGranularity(runs int, duration netsim.Time) *AblationGranularityResult {
+	res := &AblationGranularityResult{
+		Mbps:        map[Granularity]float64{},
+		CI:          map[Granularity]float64{},
+		Retransmits: map[Granularity]float64{},
+	}
+	for _, g := range []Granularity{GranPacket, GranMessage, GranFlow} {
+		var tput, rtx stats.Sample
+		for run := 0; run < runs; run++ {
+			m, r := granularityOnce(g, duration, int64(run+1))
+			tput.Add(m)
+			rtx.Add(r)
+		}
+		res.Mbps[g] = tput.Mean()
+		res.CI[g] = tput.CI95()
+		res.Retransmits[g] = rtx.Mean()
+	}
+	return res
+}
+
+func granularityOnce(g Granularity, duration netsim.Time, seed int64) (mbps, retransmits float64) {
+	sim := netsim.New(seed)
+	const qcap = 256 * 1024
+
+	h1 := netsim.NewHost(sim, "h1", packet.MustParseIP("10.0.1.1"), transport.Options{})
+	h2 := netsim.NewHost(sim, "h2", packet.MustParseIP("10.0.1.2"), transport.Options{})
+	swFast := netsim.NewSwitch(sim, "sw-fast")
+	swSlow := netsim.NewSwitch(sim, "sw-slow")
+	swFast.AddRoute(h2.IP(), swFast.AddPort(
+		netsim.NewLink(sim, "fast->h2", 10*netsim.Gbps, 5*netsim.Microsecond, qcap, h2)))
+	swSlow.AddRoute(h2.IP(), swSlow.AddPort(
+		netsim.NewLink(sim, "slow->h2", 10*netsim.Gbps, 5*netsim.Microsecond, qcap, h2)))
+	swFast.AddRoute(h1.IP(), swFast.AddPort(
+		netsim.NewLink(sim, "fast->h1", 10*netsim.Gbps, 5*netsim.Microsecond, qcap, h1)))
+	fastUp := netsim.NewLink(sim, "h1->fast", 10*netsim.Gbps, 5*netsim.Microsecond, qcap, swFast)
+	slowUp := netsim.NewLink(sim, "h1->slow", netsim.Gbps, 5*netsim.Microsecond, qcap, swSlow)
+	h1.SetUplink(fastUp)
+	h1.SetLabelUplink(uint16(labelFast), fastUp)
+	h1.SetLabelUplink(uint16(labelSlow), slowUp)
+	h2.SetUplink(netsim.NewLink(sim, "h2->fast", 10*netsim.Gbps, 5*netsim.Microsecond, qcap, swFast))
+
+	nic := h1.NewNICEnclave()
+	labels := []int64{int64(labelFast), int64(labelSlow)}
+	weights := []int64{10, 1}
+	var err error
+	switch g {
+	case GranPacket:
+		err = funcs.InstallWCMP(nic, "lb", "*", labels, weights)
+	case GranMessage:
+		err = funcs.InstallMessageWCMP(nic, "lb", "*", labels, weights)
+	case GranFlow:
+		// Emulate the 10:1 weighting with label multiplicity.
+		var weighted []int64
+		for i := 0; i < 10; i++ {
+			weighted = append(weighted, int64(labelFast))
+		}
+		weighted = append(weighted, int64(labelSlow))
+		err = funcs.InstallFlowECMP(nic, "lb", "*", weighted)
+	}
+	if err != nil {
+		panic(err)
+	}
+
+	var received int64
+	h2.Stack.Listen(5001, func(c *transport.Conn) {
+		c.OnData = func(_ packet.Metadata, n int64) { received += n }
+	})
+	// Each connection carries a stream of 1MB application messages so
+	// message granularity is meaningful (a new path choice per message).
+	const msgSize = 1 << 20
+	for i := 0; i < 8; i++ {
+		conn := h1.Stack.Dial(h2.IP(), 5001)
+		for m := 0; m < 400; m++ {
+			conn.SendMessage(msgSize, packet.Metadata{
+				Class: "bulk.r.MSG", MsgID: uint64(i*1000 + m + 1), MsgSize: msgSize,
+			})
+		}
+	}
+
+	warmup := 30 * netsim.Millisecond
+	sim.Run(warmup)
+	start := received
+	rtx0 := h1.Stack.Stats.Retransmits
+	sim.Run(warmup + duration)
+	mbps = float64(received-start) * 8 / (float64(duration) / 1e9) / 1e6
+	retransmits = float64(h1.Stack.Stats.Retransmits - rtx0)
+	return mbps, retransmits
+}
+
+// String renders the ablation table.
+func (r *AblationGranularityResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Ablation: load-balancing granularity on the Figure-1 topology (weights 10:1)\n")
+	fmt.Fprintf(&b, "  %-12s %18s %14s\n", "granularity", "throughput Mb/s", "retransmits")
+	for _, g := range []Granularity{GranPacket, GranMessage, GranFlow} {
+		fmt.Fprintf(&b, "  %-12s %11.0f ± %-4.0f %14.0f\n", g, r.Mbps[g], r.CI[g], r.Retransmits[g])
+	}
+	return b.String()
+}
+
+// AblationAttachPointResult verifies §4.1's cross-platform claim in
+// vivo: the same WCMP bytecode installed at the OS enclave and at the
+// NIC enclave produces identical forwarding behaviour.
+type AblationAttachPointResult struct {
+	OSMbps, NICMbps float64
+	Identical       bool
+}
+
+// RunAblationAttachPoint runs the Figure-10 WCMP scenario twice with the
+// same seed — once with the function attached in the OS stack, once on
+// the NIC — and compares.
+func RunAblationAttachPoint(duration netsim.Time) *AblationAttachPointResult {
+	run := func(attachNIC bool) float64 {
+		sim := netsim.New(424242)
+		const qcap = 256 * 1024
+		h1 := netsim.NewHost(sim, "h1", packet.MustParseIP("10.0.1.1"), transport.Options{})
+		h2 := netsim.NewHost(sim, "h2", packet.MustParseIP("10.0.1.2"), transport.Options{})
+		swFast := netsim.NewSwitch(sim, "sw-fast")
+		swSlow := netsim.NewSwitch(sim, "sw-slow")
+		swFast.AddRoute(h2.IP(), swFast.AddPort(
+			netsim.NewLink(sim, "fast->h2", 10*netsim.Gbps, 5*netsim.Microsecond, qcap, h2)))
+		swSlow.AddRoute(h2.IP(), swSlow.AddPort(
+			netsim.NewLink(sim, "slow->h2", 10*netsim.Gbps, 5*netsim.Microsecond, qcap, h2)))
+		swFast.AddRoute(h1.IP(), swFast.AddPort(
+			netsim.NewLink(sim, "fast->h1", 10*netsim.Gbps, 5*netsim.Microsecond, qcap, h1)))
+		fastUp := netsim.NewLink(sim, "h1->fast", 10*netsim.Gbps, 5*netsim.Microsecond, qcap, swFast)
+		slowUp := netsim.NewLink(sim, "h1->slow", netsim.Gbps, 5*netsim.Microsecond, qcap, swSlow)
+		h1.SetUplink(fastUp)
+		h1.SetLabelUplink(uint16(labelFast), fastUp)
+		h1.SetLabelUplink(uint16(labelSlow), slowUp)
+		h2.SetUplink(netsim.NewLink(sim, "h2->fast", 10*netsim.Gbps, 5*netsim.Microsecond, qcap, swFast))
+
+		var enc *enclave.Enclave
+		if attachNIC {
+			enc = h1.NewNICEnclave()
+		} else {
+			enc = h1.NewOSEnclave()
+		}
+		if err := funcs.InstallWCMP(enc, "lb", "*",
+			[]int64{int64(labelFast), int64(labelSlow)}, []int64{10, 1}); err != nil {
+			panic(err)
+		}
+
+		var received int64
+		h2.Stack.Listen(5001, func(c *transport.Conn) {
+			c.OnData = func(_ packet.Metadata, n int64) { received += n }
+		})
+		for i := 0; i < 8; i++ {
+			h1.Stack.Dial(h2.IP(), 5001).Send(1 << 30)
+		}
+		sim.Run(duration)
+		return float64(received) * 8 / (float64(duration) / 1e9) / 1e6
+	}
+	os := run(false)
+	nic := run(true)
+	return &AblationAttachPointResult{OSMbps: os, NICMbps: nic, Identical: os == nic}
+}
+
+// String renders the attach-point comparison.
+func (r *AblationAttachPointResult) String() string {
+	return fmt.Sprintf(
+		"Ablation: attach point (same bytecode, same seed)\n"+
+			"  OS enclave:  %.0f Mb/s\n  NIC enclave: %.0f Mb/s\n  identical behaviour: %v\n",
+		r.OSMbps, r.NICMbps, r.Identical)
+}

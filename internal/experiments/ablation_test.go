@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"eden/internal/netsim"
+)
+
+func TestAblationGranularity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation experiment")
+	}
+	res := RunAblationGranularity(2, 150*netsim.Millisecond)
+
+	pkt := res.Mbps[GranPacket]
+	msg := res.Mbps[GranMessage]
+	flow := res.Mbps[GranFlow]
+	if pkt < 2000 || msg < 2000 || flow < 500 {
+		t.Fatalf("throughputs implausible: pkt=%.0f msg=%.0f flow=%.0f", pkt, msg, flow)
+	}
+	// Message granularity avoids intra-message reordering, so it should
+	// retransmit far less than per-packet spraying.
+	if res.Retransmits[GranMessage] > res.Retransmits[GranPacket]/2 {
+		t.Errorf("per-message rtx %.0f not well below per-packet %.0f",
+			res.Retransmits[GranMessage], res.Retransmits[GranPacket])
+	}
+	// Flow granularity never reorders.
+	if res.Retransmits[GranFlow] > res.Retransmits[GranMessage] {
+		t.Errorf("per-flow rtx %.0f above per-message %.0f",
+			res.Retransmits[GranFlow], res.Retransmits[GranMessage])
+	}
+	out := res.String()
+	for _, want := range []string{"per-packet", "per-message", "per-flow"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendering missing %q", want)
+		}
+	}
+}
+
+func TestAblationAttachPoint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation experiment")
+	}
+	res := RunAblationAttachPoint(100 * netsim.Millisecond)
+	if !res.Identical {
+		t.Errorf("same bytecode diverged across attach points: OS %.0f vs NIC %.0f Mb/s",
+			res.OSMbps, res.NICMbps)
+	}
+	if res.OSMbps < 1000 {
+		t.Errorf("throughput implausible: %.0f", res.OSMbps)
+	}
+	if !strings.Contains(res.String(), "identical") {
+		t.Error("rendering broken")
+	}
+}

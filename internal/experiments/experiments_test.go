@@ -1,0 +1,198 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"eden/internal/netsim"
+)
+
+// The integration tests assert the *shape* of each figure — who wins and
+// by roughly what factor — on reduced run counts and durations so the
+// suite stays fast. The full-size configurations are exercised by the
+// benchmarks and cmd/edenbench.
+
+func quickFig9() Fig9Config {
+	cfg := DefaultFig9Config()
+	cfg.Runs = 2
+	cfg.Duration = 120 * netsim.Millisecond
+	return cfg
+}
+
+func TestFigure9Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation experiment")
+	}
+	res := RunFig9(quickFig9())
+
+	for _, mode := range []Mode{ModeNative, ModeEden} {
+		base := res.Small[SchemeBaseline][mode]
+		pias := res.Small[SchemePIAS][mode]
+		sff := res.Small[SchemeSFF][mode]
+		if base.Flows == 0 || pias.Flows == 0 || sff.Flows == 0 {
+			t.Fatalf("%v: missing small flows: %+v %+v %+v", mode, base, pias, sff)
+		}
+		// Prioritization significantly reduces FCT (the paper reports
+		// 25-40%); require a clear win.
+		if pias.AvgUsec >= base.AvgUsec*0.9 {
+			t.Errorf("%v: PIAS small avg %.0fus not well below baseline %.0fus",
+				mode, pias.AvgUsec, base.AvgUsec)
+		}
+		if sff.AvgUsec >= base.AvgUsec*0.9 {
+			t.Errorf("%v: SFF small avg %.0fus not below baseline %.0fus",
+				mode, sff.AvgUsec, base.AvgUsec)
+		}
+		// Tail improves too.
+		if pias.P95Usec >= base.P95Usec {
+			t.Errorf("%v: PIAS small p95 %.0fus not below baseline %.0fus",
+				mode, pias.P95Usec, base.P95Usec)
+		}
+		// Intermediate flows benefit as well ("similar trends").
+		basei := res.Inter[SchemeBaseline][mode]
+		piasi := res.Inter[SchemePIAS][mode]
+		if piasi.AvgUsec >= basei.AvgUsec {
+			t.Errorf("%v: PIAS intermediate avg %.0fus not below baseline %.0fus",
+				mode, piasi.AvgUsec, basei.AvgUsec)
+		}
+	}
+
+	// Native and Eden agree (the paper: "differences are not
+	// statistically significant"); allow generous simulation noise.
+	for _, scheme := range []Scheme{SchemePIAS, SchemeSFF} {
+		n := res.Small[scheme][ModeNative].AvgUsec
+		e := res.Small[scheme][ModeEden].AvgUsec
+		if ratio := e / n; ratio < 0.5 || ratio > 2.0 {
+			t.Errorf("%v: native %.0fus vs Eden %.0fus diverge", scheme, n, e)
+		}
+	}
+
+	out := res.String()
+	for _, want := range []string{"baseline", "PIAS", "SFF", "small flows", "intermediate flows"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendering missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFigure10Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation experiment")
+	}
+	cfg := DefaultFig10Config()
+	cfg.Runs = 2
+	cfg.Duration = 150 * netsim.Millisecond
+	res := RunFig10(cfg)
+
+	for _, mode := range []Mode{ModeNative, ModeEden} {
+		ecmp := res.Cells[LBECMP][mode].Mbps
+		wcmp := res.Cells[LBWCMP][mode].Mbps
+		// ECMP is dominated by the slow path: "throughput peaks at just
+		// over 2Gbps".
+		if ecmp < 1200 || ecmp > 3500 {
+			t.Errorf("%v: ECMP throughput %.0f Mbps, want ~2000", mode, ecmp)
+		}
+		// WCMP lands well above ECMP ("3x better") but below the 11 Gbps
+		// min-cut due to reordering.
+		if wcmp < 2*ecmp {
+			t.Errorf("%v: WCMP %.0f not >= 2x ECMP %.0f", mode, wcmp, ecmp)
+		}
+		if wcmp > 10500 {
+			t.Errorf("%v: WCMP %.0f implausibly at min-cut despite reordering", mode, wcmp)
+		}
+	}
+	// Native vs Eden negligible difference.
+	for _, s := range []LBScheme{LBECMP, LBWCMP} {
+		n := res.Cells[s][ModeNative].Mbps
+		e := res.Cells[s][ModeEden].Mbps
+		if ratio := e / n; ratio < 0.7 || ratio > 1.3 {
+			t.Errorf("%v: native %.0f vs Eden %.0f Mbps diverge", s, n, e)
+		}
+	}
+	if !strings.Contains(res.String(), "WCMP") {
+		t.Error("rendering broken")
+	}
+}
+
+func TestFigure11Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation experiment")
+	}
+	cfg := DefaultFig11Config()
+	cfg.Runs = 2
+	cfg.Duration = 400 * netsim.Millisecond
+	res := RunFig11(cfg)
+
+	iso := res.Reads[ScenarioIsolated].MBps
+	isoW := res.Writes[ScenarioIsolated].MBps
+	simR := res.Reads[ScenarioSimultaneous].MBps
+	simW := res.Writes[ScenarioSimultaneous].MBps
+	rcR := res.Reads[ScenarioRateControlled].MBps
+	rcW := res.Writes[ScenarioRateControlled].MBps
+
+	// Isolated: both saturate (~110-120 MB/s on a 1G link).
+	if iso < 80 || isoW < 80 {
+		t.Errorf("isolated throughput low: reads %.0f writes %.0f", iso, isoW)
+	}
+	if r := isoW / iso; r < 0.8 || r > 1.25 {
+		t.Errorf("isolated reads %.0f vs writes %.0f not comparable", iso, isoW)
+	}
+	// Simultaneous: writes collapse (the paper reports a 72% drop).
+	drop := 1 - simW/isoW
+	if drop < 0.45 {
+		t.Errorf("writes dropped only %.0f%% when competing (iso %.0f, sim %.0f)",
+			drop*100, isoW, simW)
+	}
+	if simR < simW {
+		t.Errorf("reads %.0f below writes %.0f in simultaneous run", simR, simW)
+	}
+	// Rate control equalizes ("ensures equal throughput between the two
+	// operations").
+	if r := rcW / rcR; r < 0.75 || r > 1.33 {
+		t.Errorf("rate control did not equalize: reads %.0f writes %.0f", rcR, rcW)
+	}
+	// And recovers writes well above the starved level.
+	if rcW < simW*1.3 {
+		t.Errorf("rate control did not help writes: %.0f vs %.0f", rcW, simW)
+	}
+	if !strings.Contains(res.String(), "Rate-controlled") {
+		t.Error("rendering broken")
+	}
+}
+
+func TestFigure12Shape(t *testing.T) {
+	cfg := DefaultFig12Config()
+	cfg.Batches = 50
+	cfg.BatchSize = 256
+	res := RunFig12(cfg)
+	for _, k := range []string{"API", "enclave", "interpreter"} {
+		avg, p95 := res.AvgPct[k], res.P95Pct[k]
+		if avg < 0 || p95 < 0 {
+			t.Errorf("%s: negative overhead (%f, %f)", k, avg, p95)
+		}
+		if avg > 400 {
+			t.Errorf("%s: overhead %.0f%% of line-rate budget is implausible", k, avg)
+		}
+	}
+	if !strings.Contains(res.String(), "interpreter") {
+		t.Error("rendering broken")
+	}
+}
+
+func TestTable1AllDemosPass(t *testing.T) {
+	out, err := RunTable1()
+	if err != nil {
+		t.Fatalf("demo failed: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "Port knocking") || !strings.Contains(out, "WCMP") {
+		t.Errorf("table incomplete:\n%s", out)
+	}
+	// Rows requiring network support have no demo and are not claimed.
+	for _, row := range Table1() {
+		if !row.Eden && row.Demo != nil {
+			t.Errorf("%s: demo provided for unsupported function", row.Function)
+		}
+		if row.Eden && row.Demo == nil {
+			t.Errorf("%s: supported but undemonstrated", row.Function)
+		}
+	}
+}

@@ -1,0 +1,159 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"eden/internal/enclave"
+	"eden/internal/funcs"
+	"eden/internal/netsim"
+	"eden/internal/packet"
+	"eden/internal/stats"
+	"eden/internal/transport"
+)
+
+// LBScheme selects the load-balancing function of case study 2 (§5.2).
+type LBScheme int
+
+// Figure 10 schemes.
+const (
+	LBECMP LBScheme = iota // equal weights
+	LBWCMP                 // 10:1 weights
+)
+
+// String returns the scheme's label.
+func (s LBScheme) String() string {
+	if s == LBECMP {
+		return "ECMP"
+	}
+	return "WCMP"
+}
+
+// Fig10Config parameterizes the load-balancing experiment.
+type Fig10Config struct {
+	// Runs is the number of repetitions.
+	Runs int
+	// Duration is the measured interval per run.
+	Duration netsim.Time
+	// Flows is the number of long-running TCP flows.
+	Flows int
+	// Seed seeds the first run.
+	Seed int64
+}
+
+// DefaultFig10Config mirrors the paper's setup: long-running flows over
+// the asymmetric two-path topology of Figure 1 (10 Gbps + 1 Gbps).
+func DefaultFig10Config() Fig10Config {
+	return Fig10Config{Runs: 5, Duration: 300 * netsim.Millisecond, Flows: 8, Seed: 1}
+}
+
+// Fig10Cell is one bar: aggregate goodput in Mb/s with 95% CI.
+type Fig10Cell struct {
+	Mbps, CI float64
+}
+
+// Fig10Result holds the figure: [scheme][mode] -> throughput.
+type Fig10Result struct {
+	Config Fig10Config
+	Cells  map[LBScheme]map[Mode]Fig10Cell
+}
+
+// RunFig10 regenerates Figure 10: aggregate TCP throughput under
+// per-packet ECMP and per-packet WCMP (10:1), native and interpreted, on
+// the NIC enclave.
+func RunFig10(cfg Fig10Config) *Fig10Result {
+	res := &Fig10Result{Config: cfg, Cells: map[LBScheme]map[Mode]Fig10Cell{}}
+	for _, scheme := range []LBScheme{LBECMP, LBWCMP} {
+		res.Cells[scheme] = map[Mode]Fig10Cell{}
+		for _, mode := range []Mode{ModeNative, ModeEden} {
+			var sample stats.Sample
+			for run := 0; run < cfg.Runs; run++ {
+				sample.Add(fig10Once(cfg, scheme, mode, cfg.Seed+int64(run)))
+			}
+			res.Cells[scheme][mode] = Fig10Cell{Mbps: sample.Mean(), CI: sample.CI95()}
+		}
+	}
+	return res
+}
+
+// Path labels for the two paths of Figure 1.
+const (
+	labelFast uint16 = 100 // the 10 Gbps path
+	labelSlow uint16 = 200 // the 1 Gbps path
+)
+
+// fig10Once measures aggregate goodput (Mb/s) for one run.
+func fig10Once(cfg Fig10Config, scheme LBScheme, mode Mode, seed int64) float64 {
+	sim := netsim.New(seed)
+	const qcap = 256 * 1024
+
+	h1 := netsim.NewHost(sim, "h1", packet.MustParseIP("10.0.1.1"), transport.Options{})
+	h2 := netsim.NewHost(sim, "h2", packet.MustParseIP("10.0.1.2"), transport.Options{})
+
+	// Two disjoint paths h1 -> h2 through one switch each, emulating
+	// Figure 1's asymmetric upstream links with a dual-port sender.
+	swFast := netsim.NewSwitch(sim, "sw-fast")
+	swSlow := netsim.NewSwitch(sim, "sw-slow")
+	pf := swFast.AddPort(netsim.NewLink(sim, "fast->h2", 10*netsim.Gbps, 5*netsim.Microsecond, qcap, h2))
+	ps := swSlow.AddPort(netsim.NewLink(sim, "slow->h2", 10*netsim.Gbps, 5*netsim.Microsecond, qcap, h2))
+	swFast.AddRoute(h2.IP(), pf)
+	swSlow.AddRoute(h2.IP(), ps)
+	// Reverse path for ACKs through the fast switch.
+	pr := swFast.AddPort(netsim.NewLink(sim, "fast->h1", 10*netsim.Gbps, 5*netsim.Microsecond, qcap, h1))
+	swFast.AddRoute(h1.IP(), pr)
+
+	fastUp := netsim.NewLink(sim, "h1->fast", 10*netsim.Gbps, 5*netsim.Microsecond, qcap, swFast)
+	slowUp := netsim.NewLink(sim, "h1->slow", netsim.Gbps, 5*netsim.Microsecond, qcap, swSlow)
+	h1.SetUplink(fastUp)
+	h1.SetLabelUplink(labelFast, fastUp)
+	h1.SetLabelUplink(labelSlow, slowUp)
+	h2.SetUplink(netsim.NewLink(sim, "h2->fast", 10*netsim.Gbps, 5*netsim.Microsecond, qcap, swFast))
+
+	// The WCMP/ECMP function runs on h1's programmable NIC (§5.2: "the
+	// programmable NICs run our custom firmware ... the interpreted
+	// program controls how packets are source-routed").
+	nic := h1.NewNICEnclave()
+	weights := []int64{1, 1}
+	if scheme == LBWCMP {
+		weights = []int64{10, 1}
+	}
+	labels := []int64{int64(labelFast), int64(labelSlow)}
+	if err := funcs.InstallWCMP(nic, "lb", "*", labels, weights); err != nil {
+		panic(err)
+	}
+	nic.AttachNative("wcmp", funcs.NativeWCMP(func() uint64 { return sim.Rand().Uint64() }))
+	if mode == ModeNative {
+		nic.SetMode(enclave.ModeNative)
+	}
+
+	// Long-running flows; count bytes received at h2 during measurement.
+	var received int64
+	h2.Stack.Listen(5001, func(c *transport.Conn) {
+		c.OnData = func(_ packet.Metadata, n int64) { received += n }
+	})
+	for i := 0; i < cfg.Flows; i++ {
+		conn := h1.Stack.Dial(h2.IP(), 5001)
+		conn.Send(1 << 30)
+	}
+
+	warmup := 30 * netsim.Millisecond
+	sim.Run(warmup)
+	start := received
+	sim.Run(warmup + cfg.Duration)
+	delivered := received - start
+	return float64(delivered) * 8 / (float64(cfg.Duration) / 1e9) / 1e6 // Mb/s
+}
+
+// String renders the figure.
+func (r *Fig10Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 10: aggregate throughput, per-packet path selection, %d flows\n", r.Config.Flows)
+	fmt.Fprintf(&b, "  %-6s %-8s %16s\n", "scheme", "mode", "throughput Mb/s")
+	for _, s := range []LBScheme{LBECMP, LBWCMP} {
+		for _, m := range []Mode{ModeNative, ModeEden} {
+			c := r.Cells[s][m]
+			fmt.Fprintf(&b, "  %-6s %-8s %10.0f ± %-4.0f\n", s, m, c.Mbps, c.CI)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,192 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"eden/internal/apps"
+	"eden/internal/funcs"
+	"eden/internal/netsim"
+	"eden/internal/packet"
+	"eden/internal/stats"
+	"eden/internal/transport"
+	"eden/internal/workload"
+)
+
+// Fig11Scenario selects one group of bars in Figure 11.
+type Fig11Scenario int
+
+// Figure 11 scenarios.
+const (
+	ScenarioIsolated Fig11Scenario = iota
+	ScenarioSimultaneous
+	ScenarioRateControlled
+)
+
+// String returns the scenario's label.
+func (s Fig11Scenario) String() string {
+	switch s {
+	case ScenarioIsolated:
+		return "Isolated"
+	case ScenarioSimultaneous:
+		return "Simultaneous"
+	default:
+		return "Rate-controlled"
+	}
+}
+
+// Fig11Config parameterizes the datacenter QoS experiment (§5.3).
+type Fig11Config struct {
+	Runs     int
+	Duration netsim.Time
+	// OpSize is the IO size (64KB in the paper).
+	OpSize int64
+	// DiskBps is the storage backend service rate; slightly above the
+	// 1 Gbps server link so the service queue, not the disk, is the
+	// contended resource.
+	DiskBps int64
+	// TenantRateBps is the per-tenant rate limit in the rate-controlled
+	// scenario.
+	TenantRateBps int64
+	Seed          int64
+}
+
+// DefaultFig11Config mirrors §5.3: 64KB IOs against a RAM-disk-backed
+// server on a 1 Gbps link, two tenants, rate control at half the link
+// per tenant.
+func DefaultFig11Config() Fig11Config {
+	return Fig11Config{
+		Runs:          5,
+		Duration:      800 * netsim.Millisecond,
+		OpSize:        64 * 1024,
+		DiskBps:       netsim.Gbps * 105 / 100,
+		TenantRateBps: netsim.Gbps / 2,
+		Seed:          1,
+	}
+}
+
+// Fig11Cell is one bar: throughput in MB/s with CI.
+type Fig11Cell struct {
+	MBps, CI float64
+}
+
+// Fig11Result holds the figure: per scenario, READ and WRITE throughput.
+type Fig11Result struct {
+	Config Fig11Config
+	Reads  map[Fig11Scenario]Fig11Cell
+	Writes map[Fig11Scenario]Fig11Cell
+}
+
+// RunFig11 regenerates Figure 11: average READ vs WRITE throughput when
+// requests run in isolation, simultaneously, and with Pulsar's rate
+// control charging READ requests by operation size.
+func RunFig11(cfg Fig11Config) *Fig11Result {
+	res := &Fig11Result{
+		Config: cfg,
+		Reads:  map[Fig11Scenario]Fig11Cell{},
+		Writes: map[Fig11Scenario]Fig11Cell{},
+	}
+	for _, sc := range []Fig11Scenario{ScenarioIsolated, ScenarioSimultaneous, ScenarioRateControlled} {
+		var rSample, wSample stats.Sample
+		for run := 0; run < cfg.Runs; run++ {
+			seed := cfg.Seed + int64(run)
+			switch sc {
+			case ScenarioIsolated:
+				r, _ := fig11Once(cfg, seed, true, false, false)
+				_, w := fig11Once(cfg, seed, false, true, false)
+				rSample.Add(r)
+				wSample.Add(w)
+			case ScenarioSimultaneous:
+				r, w := fig11Once(cfg, seed, true, true, false)
+				rSample.Add(r)
+				wSample.Add(w)
+			case ScenarioRateControlled:
+				r, w := fig11Once(cfg, seed, true, true, true)
+				rSample.Add(r)
+				wSample.Add(w)
+			}
+		}
+		res.Reads[sc] = Fig11Cell{MBps: rSample.Mean(), CI: rSample.CI95()}
+		res.Writes[sc] = Fig11Cell{MBps: wSample.Mean(), CI: wSample.CI95()}
+	}
+	return res
+}
+
+// fig11Once runs one repetition, returning (readMBps, writeMBps).
+func fig11Once(cfg Fig11Config, seed int64, reads, writes, rateControl bool) (float64, float64) {
+	sim := netsim.New(seed)
+	const qcap = 256 * 1024
+
+	// Both tenants are VMs on one client host (a tenant is "a collection
+	// of VMs owned by the same user", §2.1.2); the server sits behind a
+	// 1 Gbps link.
+	client := netsim.NewHost(sim, "client", packet.MustParseIP("10.0.2.1"), transport.Options{})
+	server := netsim.NewHost(sim, "server", packet.MustParseIP("10.0.2.2"), transport.Options{})
+	sw := netsim.NewSwitch(sim, "sw")
+	pc := sw.AddPort(netsim.NewLink(sim, "sw->c", 10*netsim.Gbps, 5*netsim.Microsecond, qcap, client))
+	ps := sw.AddPort(netsim.NewLink(sim, "sw->s", netsim.Gbps, 5*netsim.Microsecond, qcap, server))
+	sw.AddRoute(client.IP(), pc)
+	sw.AddRoute(server.IP(), ps)
+	client.SetUplink(netsim.NewLink(sim, "c->sw", 10*netsim.Gbps, 5*netsim.Microsecond, qcap, sw))
+	server.SetUplink(netsim.NewLink(sim, "s->sw", netsim.Gbps, 5*netsim.Microsecond, qcap, sw))
+
+	if rateControl {
+		enc := client.NewOSEnclave()
+		q0 := enc.AddQueue(cfg.TenantRateBps, 0)
+		q1 := enc.AddQueue(cfg.TenantRateBps, 0)
+		if err := funcs.InstallPulsar(enc, "qos", "storage.*", []int64{int64(q0), int64(q1)}); err != nil {
+			panic(err)
+		}
+		enc.AttachNative("pulsar", funcs.NativePulsar())
+	}
+
+	apps.NewStorageServer(server, 445, cfg.DiskBps)
+
+	submitRate := 2.5 * float64(cfg.DiskBps) / 8 / float64(cfg.OpSize)
+	var reader, writer *apps.StorageClient
+	if reads {
+		reader = apps.NewStorageClient(client, server.IP(), 445, 0, workload.IOWorkload{
+			OpSize: cfg.OpSize, Read: true, SubmitPerSec: submitRate,
+		})
+		reader.Start()
+	}
+	if writes {
+		writer = apps.NewStorageClient(client, server.IP(), 445, 1, workload.IOWorkload{
+			OpSize: cfg.OpSize, Read: false, SubmitPerSec: submitRate,
+		})
+		writer.Start()
+	}
+
+	warmup := 50 * netsim.Millisecond
+	sim.Run(warmup)
+	var r0, w0 int64
+	if reader != nil {
+		r0 = reader.CompletedBytes
+	}
+	if writer != nil {
+		w0 = writer.CompletedBytes
+	}
+	sim.Run(warmup + cfg.Duration)
+
+	secs := float64(cfg.Duration) / 1e9
+	var rMB, wMB float64
+	if reader != nil {
+		rMB = float64(reader.CompletedBytes-r0) / 1e6 / secs
+	}
+	if writer != nil {
+		wMB = float64(writer.CompletedBytes-w0) / 1e6 / secs
+	}
+	return rMB, wMB
+}
+
+// String renders the figure.
+func (r *Fig11Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 11: READ vs WRITE storage throughput (64KB IOs, 1Gbps server link)\n")
+	fmt.Fprintf(&b, "  %-16s %16s %16s\n", "scenario", "reads MB/s", "writes MB/s")
+	for _, sc := range []Fig11Scenario{ScenarioIsolated, ScenarioSimultaneous, ScenarioRateControlled} {
+		fmt.Fprintf(&b, "  %-16s %9.1f ± %-4.1f %9.1f ± %-4.1f\n",
+			sc, r.Reads[sc].MBps, r.Reads[sc].CI, r.Writes[sc].MBps, r.Writes[sc].CI)
+	}
+	return b.String()
+}

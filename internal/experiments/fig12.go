@@ -1,0 +1,166 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"eden/internal/enclave"
+	"eden/internal/funcs"
+	"eden/internal/packet"
+	"eden/internal/stage"
+	"eden/internal/stats"
+)
+
+// Fig12Config parameterizes the CPU-overhead measurement.
+type Fig12Config struct {
+	// Batches is the number of timing samples; each sample times
+	// BatchSize packets and records the per-packet cost.
+	Batches   int
+	BatchSize int
+	// LineRateBps and PacketBytes define the per-packet cycle budget the
+	// overheads are normalized against (the paper saturates 10 Gbps).
+	LineRateBps int64
+	PacketBytes int64
+}
+
+// DefaultFig12Config mirrors §5.4: overheads while saturating a 10 Gbps
+// link with MTU-sized packets under the SFF policy.
+func DefaultFig12Config() Fig12Config {
+	return Fig12Config{Batches: 300, BatchSize: 512, LineRateBps: 10_000_000_000, PacketBytes: 1514}
+}
+
+// Fig12Result reports the overhead of each Eden component as a percentage
+// of the per-packet budget at line rate: average and 95th percentile
+// across batches (the two bar groups of Figure 12).
+type Fig12Result struct {
+	Config Fig12Config
+	// AvgPct and P95Pct are keyed by component: "API", "enclave",
+	// "interpreter".
+	AvgPct map[string]float64
+	P95Pct map[string]float64
+	// BudgetNsPerPkt is the per-packet time budget at line rate.
+	BudgetNsPerPkt float64
+}
+
+// RunFig12 measures Eden's CPU overheads with real timers (this is the
+// one experiment that measures this machine, not the simulator):
+//
+//	API         — classifying a message and attaching metadata (§4.2)
+//	enclave     — classification lookup, match-action matching and state
+//	              management, with a no-op native action (ModeNative)
+//	interpreter — the additional cost of interpreting the SFF bytecode
+//	              instead of running the native no-op
+func RunFig12(cfg Fig12Config) *Fig12Result {
+	res := &Fig12Result{
+		Config:         cfg,
+		AvgPct:         map[string]float64{},
+		P95Pct:         map[string]float64{},
+		BudgetNsPerPkt: float64(cfg.PacketBytes*8) / float64(cfg.LineRateBps) * 1e9,
+	}
+
+	// --- API component: stage classification + metadata tagging. The
+	// classification happens once per message send call (§4.2: one
+	// extended send/ioctl per message); the per-packet cost is the
+	// metadata propagation plus the amortized per-message tag. A 64KB
+	// message spans ~44 MSS-sized packets.
+	st := apps0SearchStage()
+	const pktsPerMsg = 44
+	var i int
+	var meta packet.Metadata
+	apiSample := timePerPacket(cfg, func(pkt *packet.Packet) {
+		if i%pktsPerMsg == 0 {
+			meta, _ = st.Tag(stage.Message{FieldValues: fieldRESP, Type: 2, Size: 65536})
+		}
+		i++
+		pkt.Meta = meta
+	})
+
+	// --- enclave component: full pipeline with a no-op native action.
+	encNative := fig12Enclave()
+	encNative.AttachNative("sff", func(*packet.Packet, []int64, []int64, [][]int64) {})
+	encNative.SetMode(enclave.ModeNative)
+	encSample := timePerPacket(cfg, func(pkt *packet.Packet) {
+		encNative.Process(enclave.Egress, pkt, 0)
+	})
+
+	// --- interpreter component: interpreted minus native no-op.
+	encInterp := fig12Enclave()
+	interpTotal := timePerPacket(cfg, func(pkt *packet.Packet) {
+		encInterp.Process(enclave.Egress, pkt, 0)
+	})
+
+	budget := res.BudgetNsPerPkt
+	res.AvgPct["API"] = apiSample.Mean() / budget * 100
+	res.P95Pct["API"] = apiSample.Percentile(95) / budget * 100
+	res.AvgPct["enclave"] = encSample.Mean() / budget * 100
+	res.P95Pct["enclave"] = encSample.Percentile(95) / budget * 100
+	interpAvg := interpTotal.Mean() - encSample.Mean()
+	if interpAvg < 0 {
+		interpAvg = 0
+	}
+	interpP95 := interpTotal.Percentile(95) - encSample.Percentile(95)
+	if interpP95 < 0 {
+		interpP95 = 0
+	}
+	res.AvgPct["interpreter"] = interpAvg / budget * 100
+	res.P95Pct["interpreter"] = interpP95 / budget * 100
+	return res
+}
+
+var fieldRESP = []string{"RESP"}
+
+// apps0SearchStage builds the stage used for API-cost measurement without
+// importing the apps package (avoiding an import cycle would not be an
+// issue, but the measurement needs full control of the rules).
+func apps0SearchStage() *stage.Stage {
+	s := stage.New("search", []string{"msg_type"}, []string{"msg_id", "msg_type", "msg_size"})
+	if _, err := s.ParseAndCreateRule("r1", `<RESP> -> [RESP, {msg_id, msg_type, msg_size}]`); err != nil {
+		panic(err)
+	}
+	return s
+}
+
+func fig12Enclave() *enclave.Enclave {
+	var now int64
+	e := enclave.New(enclave.Config{Name: "fig12", Clock: func() int64 { now++; return now }})
+	if err := funcs.InstallSFF(e, "sched", "*", []int64{10 * 1024, 1024 * 1024}, []int64{7, 5}); err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// timePerPacket measures fn's per-packet cost in nanoseconds across
+// batches.
+func timePerPacket(cfg Fig12Config, fn func(*packet.Packet)) *stats.Sample {
+	pkt := packet.New(1, 2, 3, 4, int(cfg.PacketBytes)-54)
+	pkt.Meta.Class = "search.r1.RESP"
+	pkt.Meta.MsgID = 1
+	pkt.Meta.MsgSize = 65536
+	// Warm up caches and pools.
+	for i := 0; i < cfg.BatchSize; i++ {
+		fn(pkt)
+	}
+	sample := &stats.Sample{}
+	for b := 0; b < cfg.Batches; b++ {
+		t0 := time.Now()
+		for i := 0; i < cfg.BatchSize; i++ {
+			fn(pkt)
+		}
+		el := time.Since(t0).Nanoseconds()
+		sample.Add(float64(el) / float64(cfg.BatchSize))
+	}
+	return sample
+}
+
+// String renders the figure.
+func (r *Fig12Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 12: CPU overhead vs vanilla stack (budget %.0f ns/pkt at %d Gbps)\n",
+		r.BudgetNsPerPkt, r.Config.LineRateBps/1_000_000_000)
+	fmt.Fprintf(&b, "  %-12s %10s %10s\n", "component", "avg %", "95th-pct %")
+	for _, k := range []string{"API", "enclave", "interpreter"} {
+		fmt.Fprintf(&b, "  %-12s %10.2f %10.2f\n", k, r.AvgPct[k], r.P95Pct[k])
+	}
+	return b.String()
+}

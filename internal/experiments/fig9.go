@@ -1,0 +1,293 @@
+// Package experiments regenerates the paper's evaluation: one harness per
+// table and figure (see DESIGN.md for the per-experiment index). Each
+// harness builds its scenario on the simulator, runs it across seeds, and
+// returns a result whose String method prints the same rows/series the
+// paper reports. Absolute numbers differ from the paper's testbed; the
+// harnesses are judged on shape — who wins, by what factor, and where the
+// crossovers fall — which the integration tests in this package assert.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"eden/internal/apps"
+	"eden/internal/enclave"
+	"eden/internal/funcs"
+	"eden/internal/netsim"
+	"eden/internal/packet"
+	"eden/internal/stats"
+	"eden/internal/transport"
+	"eden/internal/workload"
+)
+
+// Scheme selects the flow-scheduling policy of case study 1 (§5.1).
+type Scheme int
+
+// Figure 9 schemes.
+const (
+	SchemeBaseline Scheme = iota
+	SchemePIAS
+	SchemeSFF
+)
+
+// String returns the scheme's name as the paper prints it.
+func (s Scheme) String() string {
+	switch s {
+	case SchemeBaseline:
+		return "baseline"
+	case SchemePIAS:
+		return "PIAS"
+	case SchemeSFF:
+		return "SFF"
+	default:
+		return fmt.Sprintf("scheme(%d)", int(s))
+	}
+}
+
+// Mode selects native versus interpreted execution, as compared throughout
+// §5.
+type Mode int
+
+// Execution modes.
+const (
+	ModeNative Mode = iota
+	ModeEden
+)
+
+// String returns the mode label used in the figures.
+func (m Mode) String() string {
+	if m == ModeNative {
+		return "native"
+	}
+	return "EDEN"
+}
+
+// Fig9Config parameterizes the flow-scheduling experiment.
+type Fig9Config struct {
+	// Runs is the number of repetitions (the paper uses 10).
+	Runs int
+	// Duration is the simulated time per run.
+	Duration netsim.Time
+	// Load is the target utilization of the client's downlink from
+	// request-response traffic (the paper's ~70%).
+	Load float64
+	// BackgroundFlows is the number of long-running background flows
+	// ("other sources generate background traffic at the same time").
+	BackgroundFlows int
+	// Seed seeds the first run; run i uses Seed+i.
+	Seed int64
+}
+
+// DefaultFig9Config returns the configuration used by the paper's setup,
+// scaled to simulation time.
+func DefaultFig9Config() Fig9Config {
+	return Fig9Config{
+		Runs:            10,
+		Duration:        300 * netsim.Millisecond,
+		Load:            0.70,
+		BackgroundFlows: 2,
+		Seed:            1,
+	}
+}
+
+// Fig9Cell is one bar of Figure 9: FCT statistics for one flow-size class
+// under one scheme and mode, aggregated over runs (mean of per-run means
+// and of per-run 95th percentiles, each with a 95% confidence interval).
+type Fig9Cell struct {
+	AvgUsec, AvgCI float64
+	P95Usec, P95CI float64
+	Flows          int
+}
+
+// Fig9Result holds the full figure: [scheme][mode] -> small/intermediate
+// cells.
+type Fig9Result struct {
+	Config Fig9Config
+	Small  map[Scheme]map[Mode]Fig9Cell
+	Inter  map[Scheme]map[Mode]Fig9Cell
+}
+
+// thresholds used throughout case study 1: "priority thresholds were set
+// up for three classes of flows: small (<10KB), intermediate (10KB-1MB)
+// and background".
+const (
+	smallLimit = 10 * 1024
+	interLimit = 1024 * 1024
+)
+
+// RunFig9 regenerates Figure 9: average and 95th-percentile flow
+// completion times for small and intermediate flows under baseline, PIAS
+// and SFF, each native and interpreted.
+func RunFig9(cfg Fig9Config) *Fig9Result {
+	res := &Fig9Result{
+		Config: cfg,
+		Small:  map[Scheme]map[Mode]Fig9Cell{},
+		Inter:  map[Scheme]map[Mode]Fig9Cell{},
+	}
+	for _, scheme := range []Scheme{SchemeBaseline, SchemePIAS, SchemeSFF} {
+		res.Small[scheme] = map[Mode]Fig9Cell{}
+		res.Inter[scheme] = map[Mode]Fig9Cell{}
+		for _, mode := range []Mode{ModeNative, ModeEden} {
+			small, inter := fig9Runs(cfg, scheme, mode)
+			res.Small[scheme][mode] = small
+			res.Inter[scheme][mode] = inter
+		}
+	}
+	return res
+}
+
+func fig9Runs(cfg Fig9Config, scheme Scheme, mode Mode) (Fig9Cell, Fig9Cell) {
+	var smallAvg, smallP95, interAvg, interP95 stats.Sample
+	smallN, interN := 0, 0
+	for run := 0; run < cfg.Runs; run++ {
+		sm, in := fig9Once(cfg, scheme, mode, cfg.Seed+int64(run))
+		if sm.N() > 0 {
+			smallAvg.Add(sm.Mean())
+			smallP95.Add(sm.Percentile(95))
+			smallN += sm.N()
+		}
+		if in.N() > 0 {
+			interAvg.Add(in.Mean())
+			interP95.Add(in.Percentile(95))
+			interN += in.N()
+		}
+	}
+	mk := func(avg, p95 *stats.Sample, n int) Fig9Cell {
+		return Fig9Cell{
+			AvgUsec: avg.Mean() / 1000, AvgCI: avg.CI95() / 1000,
+			P95Usec: p95.Mean() / 1000, P95CI: p95.CI95() / 1000,
+			Flows: n,
+		}
+	}
+	return mk(&smallAvg, &smallP95, smallN), mk(&interAvg, &interP95, interN)
+}
+
+// fig9Once runs one repetition and returns per-class FCT samples (ns).
+func fig9Once(cfg Fig9Config, scheme Scheme, mode Mode, seed int64) (small, inter stats.Sample) {
+	sim := netsim.New(seed)
+	const rate = 10 * netsim.Gbps
+	const qcap = 192 * 1024 // per-priority-queue buffer at switch ports
+
+	mkHost := func(name, ip string) *netsim.Host {
+		return netsim.NewHost(sim, name, packet.MustParseIP(ip), transport.Options{})
+	}
+	client := mkHost("client", "10.0.0.1")
+	worker := mkHost("worker", "10.0.0.2")
+	var bgHosts []*netsim.Host
+	for i := 0; i < cfg.BackgroundFlows; i++ {
+		bgHosts = append(bgHosts, mkHost(fmt.Sprintf("bg%d", i), fmt.Sprintf("10.0.0.%d", 10+i)))
+	}
+
+	sw := netsim.NewSwitch(sim, "tor")
+	connect := func(h *netsim.Host) {
+		port := sw.AddPort(netsim.NewLink(sim, "sw->"+h.NodeName(), rate, 5*netsim.Microsecond, qcap, h))
+		sw.AddRoute(h.IP(), port)
+		h.SetUplink(netsim.NewLink(sim, h.NodeName()+"->sw", rate, 5*netsim.Microsecond, qcap, sw))
+	}
+	connect(client)
+	connect(worker)
+	for _, h := range bgHosts {
+		connect(h)
+	}
+
+	// Enclaves at every host (all are traffic sources: data, requests or
+	// ACKs). PIAS is application-agnostic and applies to every flow, so a
+	// single "*" rule covers stage-classified and enclave-classified
+	// traffic alike; SFF uses application-provided sizes for classified
+	// messages and keeps small control traffic (handshakes, ACKs) at high
+	// priority. Baseline-Eden runs the full pipeline but strips the
+	// priority tag before transmission (§5.1).
+	hosts := append([]*netsim.Host{worker, client}, bgHosts...)
+	for _, h := range hosts {
+		enc := h.NewOSEnclave()
+		thresholds := []int64{smallLimit, interLimit}
+		priovals := []int64{7, 5}
+		switch scheme {
+		case SchemeBaseline, SchemePIAS:
+			if err := funcs.InstallPIAS(enc, "sched", "*", thresholds, priovals); err != nil {
+				panic(err)
+			}
+			enc.AttachNative("pias", funcs.NativePIAS(nil))
+		case SchemeSFF:
+			if err := funcs.InstallSFF(enc, "sched", "search.*", thresholds, priovals); err != nil {
+				panic(err)
+			}
+			// Same table, after the sff rule: first match wins, so only
+			// traffic without application-provided sizes (handshakes,
+			// ACKs, requests) gets the fixed high priority.
+			if err := funcs.InstallFixedPriority(enc, "sched", "*", 7); err != nil {
+				panic(err)
+			}
+			enc.AttachNative("sff", funcs.NativeSFF())
+			enc.AttachNative("fixed_priority", funcs.NativeFixedPriority())
+		}
+		if mode == ModeNative {
+			enc.SetMode(enclave.ModeNative)
+		}
+		if scheme == SchemeBaseline {
+			h.StripPCP = true
+			if mode == ModeNative {
+				// Baseline-native: no Eden at all.
+				h.OS = nil
+			}
+		}
+	}
+
+	// Server and background sinks.
+	apps.NewRRServer(worker, 80)
+	apps.NewBackgroundSink(client, 9000)
+	for i, h := range bgHosts {
+		apps.StartBackgroundFlow(h, client.IP(), 9000, 350*1024*1024+int64(i)*1024)
+	}
+
+	// Open-loop request generation at ~Load of the downlink.
+	rrc := apps.NewRRClient(client, worker.IP(), 80)
+	dist := workload.SearchDist()
+	arrivals := workload.NewPoisson(sim.Rand(), workload.RateForLoad(cfg.Load, rate, dist))
+	var schedule func()
+	schedule = func() {
+		rrc.Request(dist.Sample(sim.Rand()))
+		sim.After(arrivals.NextAfter(), schedule)
+	}
+	// Let background flows ramp before measuring.
+	warmup := 20 * netsim.Millisecond
+	sim.After(warmup, schedule)
+
+	sim.Run(warmup + cfg.Duration)
+
+	for _, r := range rrc.Results {
+		switch {
+		case r.RespSize < smallLimit:
+			small.AddInt(r.FCT)
+		case r.RespSize < interLimit:
+			inter.AddInt(r.FCT)
+		}
+	}
+	return small, inter
+}
+
+// String renders the figure as the paper's two panels.
+func (r *Fig9Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 9: flow completion times (FCT), %d runs, load %.0f%%\n",
+		r.Config.Runs, r.Config.Load*100)
+	for _, panel := range []struct {
+		name  string
+		cells map[Scheme]map[Mode]Fig9Cell
+	}{
+		{"small flows (<10KB)", r.Small},
+		{"intermediate flows (10KB-1MB)", r.Inter},
+	} {
+		fmt.Fprintf(&b, "\n  %s\n", panel.name)
+		fmt.Fprintf(&b, "  %-10s %-8s %16s %18s %8s\n", "scheme", "mode", "avg FCT (usec)", "95th-pct (usec)", "flows")
+		for _, s := range []Scheme{SchemeBaseline, SchemePIAS, SchemeSFF} {
+			for _, m := range []Mode{ModeNative, ModeEden} {
+				c := panel.cells[s][m]
+				fmt.Fprintf(&b, "  %-10s %-8s %9.0f ± %-4.0f %11.0f ± %-4.0f %8d\n",
+					s, m, c.AvgUsec, c.AvgCI, c.P95Usec, c.P95CI, c.Flows)
+			}
+		}
+	}
+	return b.String()
+}

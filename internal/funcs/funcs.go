@@ -1,0 +1,439 @@
+// Package funcs is Eden's library of action functions: the data-plane
+// halves of the network functions the paper uses as case studies, written
+// in the Eden action-function language and compiled to enclave bytecode.
+//
+// Each function has a constructor returning its compiled form, an
+// installer that pushes the function plus its controller-supplied global
+// state into an enclave, and (for the functions used in the paper's
+// native-vs-Eden comparisons) a hard-coded native twin in natives.go.
+//
+//	WCMP          Figure 2 (top): per-packet weighted path selection
+//	MessageWCMP   Figure 2 (bottom): per-message weighted path selection
+//	FlowECMP      flow-hash ECMP path selection (the §5.2 baseline)
+//	PIAS          Figures 4 & 7: dynamic priority by bytes sent
+//	SFF           §5.1: shortest-flow-first priority from app-provided size
+//	Pulsar        Figure 3: per-tenant rate limiting with IO-size charging
+//	PortKnocking  Table 1: stateful firewall (OpenState-style)
+//	ReplicaSelect Table 1: mcrouter-style key-based replica selection
+//	Ananta        Table 1: NAT-style load balancing across a backend pool
+//	TenantMeter   per-tenant byte accounting (stateful metering)
+package funcs
+
+import (
+	"fmt"
+
+	"eden/internal/compiler"
+	"eden/internal/enclave"
+	"eden/internal/packet"
+)
+
+// Sources maps function names to their action-language source text, for
+// tooling (edenc -dump) and documentation.
+var Sources = map[string]string{
+	"wcmp":           wcmpSrc,
+	"message_wcmp":   messageWCMPSrc,
+	"flow_ecmp":      flowECMPSrc,
+	"pias":           piasSrc,
+	"sff":            sffSrc,
+	"pulsar":         pulsarSrc,
+	"port_knocking":  portKnockingSrc,
+	"replica_sel":    replicaSelectSrc,
+	"ananta":         anantaSrc,
+	"tenant_meter":   tenantMeterSrc,
+	"fixed_priority": fixedPrioritySrc,
+}
+
+// Compile compiles a library function by name.
+func Compile(name string) (*compiler.Func, error) {
+	src, ok := Sources[name]
+	if !ok {
+		return nil, fmt.Errorf("funcs: unknown function %q", name)
+	}
+	return compiler.Compile(name, src)
+}
+
+// wcmpSrc implements the WCMP function of Figure 2: pick the packet's
+// path label in a weighted random fashion. path_labels[i] is a VLAN label,
+// path_weights[i] its weight; total_weight is the sum of weights.
+const wcmpSrc = `
+// Figure 2 (top): per-packet WCMP path selection
+global total_weight : int = 1
+global path_labels : int array
+global path_weights : int array
+
+fun (packet, msg, _global) ->
+    let r = randrange _global.total_weight
+    let rec pick index acc =
+        if index >= _global.path_weights.Length then _global.path_labels.[0]
+        elif acc + _global.path_weights.[index] > r then _global.path_labels.[index]
+        else pick (index + 1) (acc + _global.path_weights.[index])
+    packet.path <- pick 0 0
+`
+
+// messageWCMPSrc implements messageWCMP of Figure 2: all packets of the
+// same message take the same (weighted-randomly chosen) path, trading a
+// little load balance for no intra-message reordering.
+const messageWCMPSrc = `
+// Figure 2 (bottom): message-level WCMP
+msg cached_path : int = -1
+global total_weight : int = 1
+global path_labels : int array
+global path_weights : int array
+
+fun (packet, msg, _global) ->
+    if msg.cached_path < 0 then
+        (let r = randrange _global.total_weight
+         let rec pick index acc =
+             if index >= _global.path_weights.Length then _global.path_labels.[0]
+             elif acc + _global.path_weights.[index] > r then _global.path_labels.[index]
+             else pick (index + 1) (acc + _global.path_weights.[index])
+         msg.cached_path <- pick 0 0)
+    packet.path <- msg.cached_path
+`
+
+// flowECMPSrc selects a path by five-tuple hash: classic flow-level ECMP.
+const flowECMPSrc = `
+// Flow-level ECMP: hash the five-tuple onto the path set
+global path_labels : int array
+
+fun (packet, msg, _global) ->
+    let h = hash (hash packet.src_ip packet.src_port) (hash packet.dst_ip packet.dst_port)
+    packet.path <- _global.path_labels.[h % _global.path_labels.Length]
+`
+
+// piasSrc is Figure 7: track per-message bytes and demote the packet's
+// priority as thresholds are crossed. priorities[i] is a byte threshold;
+// priovals[i] the 802.1q priority used below it; beyond the last
+// threshold the priority is 0. A message can opt into a fixed low
+// priority by setting msg.priority below 1 (background traffic).
+const piasSrc = `
+// Figures 4 and 7: PIAS dynamic priority selection
+msg size : int
+msg priority : int = 1
+global priorities : int array
+global priovals : int array
+
+fun (packet, msg, _global) ->
+    let msg_size = msg.size + packet.size
+    msg.size <- msg_size
+    let rec search index =
+        if index >= _global.priorities.Length then 0
+        elif msg_size <= _global.priorities.[index] then _global.priovals.[index]
+        else search (index + 1)
+    let desired = msg.priority
+    packet.priority <- (if desired < 1 then desired else search 0)
+`
+
+// sffSrc is shortest-flow-first (§5.1): the application provides the
+// message size up front (packet.msg_size); priority is fixed for the
+// message's lifetime. A msg_size of 0 (unknown) gets the lowest priority.
+const sffSrc = `
+// §5.1: shortest flow first from application-provided flow sizes
+global thresholds : int array
+global priovals : int array
+
+fun (packet, msg, _global) ->
+    let rec search index =
+        if index >= _global.thresholds.Length then 0
+        elif packet.msg_size <= _global.thresholds.[index] then _global.priovals.[index]
+        else search (index + 1)
+    packet.priority <- (if packet.msg_size < 1 then 0 else search 0)
+`
+
+// pulsarSrc is Figure 3: send the packet to its tenant's rate-limited
+// queue, charging READ-type messages by operation size instead of packet
+// size (the IO asymmetry correction).
+const pulsarSrc = `
+// Figure 3: Pulsar rate control
+global read_type : int = 1
+global queue_map : int array
+
+fun (packet, msg, _global) ->
+    if packet.msg_type = _global.read_type then packet.charge <- packet.msg_size
+    packet.queue <- _global.queue_map.[packet.tenant]
+`
+
+// portKnockingSrc is a stateful firewall (Table 1, [13]): a source must
+// "knock" on three ports in order before the protected port opens for it.
+// Per-source state lives in a hash-indexed global table, so this function
+// is exclusive-concurrency — the price of cross-flow state.
+const portKnockingSrc = `
+// Table 1: port-knocking stateful firewall
+global knock_state : int array
+global port1 : int = 1001
+global port2 : int = 1002
+global port3 : int = 1003
+global protected : int = 22
+
+fun (packet, msg, _global) ->
+    let slot = hash packet.src_ip 7 % _global.knock_state.Length
+    let st = _global.knock_state.[slot]
+    if packet.dst_port = _global.port1 then
+        (if st = 0 then _global.knock_state.[slot] <- 1)
+    elif packet.dst_port = _global.port2 then
+        (if st = 1 then _global.knock_state.[slot] <- 2 else _global.knock_state.[slot] <- 0)
+    elif packet.dst_port = _global.port3 then
+        (if st = 2 then _global.knock_state.[slot] <- 3 else _global.knock_state.[slot] <- 0)
+    elif packet.dst_port = _global.protected then
+        (if st < 3 then packet.drop <- 1)
+`
+
+// replicaSelectSrc is mcrouter-style replica selection (Table 1, [40]):
+// GET messages are routed to a replica chosen by key; everything else
+// goes to the primary.
+const replicaSelectSrc = `
+// Table 1: mcrouter-style key-based replica selection
+global get_type : int = 1
+global primary : int
+global replicas : int array
+
+fun (packet, msg, _global) ->
+    if packet.msg_type = _global.get_type then
+        packet.dst_ip <- _global.replicas.[packet.key % _global.replicas.Length]
+    else packet.dst_ip <- _global.primary
+`
+
+// anantaSrc is Ananta-style load balancing (Table 1, [47]): pick a
+// backend per connection (message) and rewrite the destination, keeping
+// the choice stable for the connection's lifetime.
+const anantaSrc = `
+// Table 1: Ananta-style NAT load balancing across a backend pool
+msg backend : int = -1
+global pool : int array
+
+fun (packet, msg, _global) ->
+    if msg.backend < 0 then
+        msg.backend <- _global.pool.[hash packet.src_ip packet.src_port % _global.pool.Length]
+    packet.dst_ip <- msg.backend
+`
+
+// tenantMeterSrc accumulates per-tenant byte counts in global state — the
+// simplest stateful metering function, and a building block for
+// controller-driven QoS (usage is read back through the enclave API).
+const tenantMeterSrc = `
+// Per-tenant byte metering
+global usage : int array
+
+fun (packet, msg, _global) ->
+    _global.usage.[packet.tenant] <- _global.usage.[packet.tenant] + packet.size
+`
+
+// fixedPrioritySrc tags every matching packet with a controller-set
+// priority — the building block for class-based network QoS, and the
+// policy small control traffic (handshakes, ACKs) gets under
+// size-informed scheduling schemes like SFF.
+const fixedPrioritySrc = `
+// Fixed network priority for a traffic class
+global prio : int
+
+fun (packet, msg, _global) ->
+    packet.priority <- _global.prio
+`
+
+// InstallFixedPriority installs a fixed-priority tagger bound to pattern.
+func InstallFixedPriority(e *enclave.Enclave, table, pattern string, prio int64) error {
+	f, err := Compile("fixed_priority")
+	if err != nil {
+		return err
+	}
+	if err := e.InstallFunc(f); err != nil {
+		return err
+	}
+	if err := e.UpdateGlobal("fixed_priority", "prio", prio); err != nil {
+		return err
+	}
+	return bindRule(e, table, pattern, "fixed_priority")
+}
+
+// NativeFixedPriority is the native twin of fixed_priority.
+func NativeFixedPriority() enclave.NativeFunc {
+	return func(pkt *packet.Packet, msg, globals []int64, arrays [][]int64) {
+		pkt.Set(packet.FieldPriority, globals[0])
+	}
+}
+
+// sumWeights returns the sum of ws, which must be positive.
+func sumWeights(ws []int64) (int64, error) {
+	var total int64
+	for _, w := range ws {
+		if w < 0 {
+			return 0, fmt.Errorf("funcs: negative weight %d", w)
+		}
+		total += w
+	}
+	if total <= 0 {
+		return 0, fmt.Errorf("funcs: weights sum to %d", total)
+	}
+	return total, nil
+}
+
+// InstallWCMP installs per-packet WCMP with the given path labels and
+// weights and binds it to the class pattern in a new egress table.
+func InstallWCMP(e *enclave.Enclave, table, pattern string, labels, weights []int64) error {
+	if len(labels) != len(weights) || len(labels) == 0 {
+		return fmt.Errorf("funcs: %d labels vs %d weights", len(labels), len(weights))
+	}
+	total, err := sumWeights(weights)
+	if err != nil {
+		return err
+	}
+	f, err := Compile("wcmp")
+	if err != nil {
+		return err
+	}
+	if err := e.InstallFunc(f); err != nil {
+		return err
+	}
+	if err := e.UpdateGlobal("wcmp", "total_weight", total); err != nil {
+		return err
+	}
+	if err := e.UpdateGlobalArray("wcmp", "path_labels", labels); err != nil {
+		return err
+	}
+	if err := e.UpdateGlobalArray("wcmp", "path_weights", weights); err != nil {
+		return err
+	}
+	return bindRule(e, table, pattern, "wcmp")
+}
+
+// InstallMessageWCMP installs message-level WCMP.
+func InstallMessageWCMP(e *enclave.Enclave, table, pattern string, labels, weights []int64) error {
+	if len(labels) != len(weights) || len(labels) == 0 {
+		return fmt.Errorf("funcs: %d labels vs %d weights", len(labels), len(weights))
+	}
+	total, err := sumWeights(weights)
+	if err != nil {
+		return err
+	}
+	f, err := Compile("message_wcmp")
+	if err != nil {
+		return err
+	}
+	if err := e.InstallFunc(f); err != nil {
+		return err
+	}
+	if err := e.UpdateGlobal("message_wcmp", "total_weight", total); err != nil {
+		return err
+	}
+	if err := e.UpdateGlobalArray("message_wcmp", "path_labels", labels); err != nil {
+		return err
+	}
+	if err := e.UpdateGlobalArray("message_wcmp", "path_weights", weights); err != nil {
+		return err
+	}
+	return bindRule(e, table, pattern, "message_wcmp")
+}
+
+// InstallFlowECMP installs flow-hash ECMP over the given path labels.
+func InstallFlowECMP(e *enclave.Enclave, table, pattern string, labels []int64) error {
+	if len(labels) == 0 {
+		return fmt.Errorf("funcs: no path labels")
+	}
+	f, err := Compile("flow_ecmp")
+	if err != nil {
+		return err
+	}
+	if err := e.InstallFunc(f); err != nil {
+		return err
+	}
+	if err := e.UpdateGlobalArray("flow_ecmp", "path_labels", labels); err != nil {
+		return err
+	}
+	return bindRule(e, table, pattern, "flow_ecmp")
+}
+
+// InstallPIAS installs PIAS with the given byte thresholds and the
+// priority value used below each threshold.
+func InstallPIAS(e *enclave.Enclave, table, pattern string, thresholds, priovals []int64) error {
+	if len(thresholds) != len(priovals) {
+		return fmt.Errorf("funcs: %d thresholds vs %d priorities", len(thresholds), len(priovals))
+	}
+	f, err := Compile("pias")
+	if err != nil {
+		return err
+	}
+	if err := e.InstallFunc(f); err != nil {
+		return err
+	}
+	if err := e.UpdateGlobalArray("pias", "priorities", thresholds); err != nil {
+		return err
+	}
+	if err := e.UpdateGlobalArray("pias", "priovals", priovals); err != nil {
+		return err
+	}
+	return bindRule(e, table, pattern, "pias")
+}
+
+// InstallSFF installs shortest-flow-first with the given size thresholds.
+func InstallSFF(e *enclave.Enclave, table, pattern string, thresholds, priovals []int64) error {
+	if len(thresholds) != len(priovals) {
+		return fmt.Errorf("funcs: %d thresholds vs %d priorities", len(thresholds), len(priovals))
+	}
+	f, err := Compile("sff")
+	if err != nil {
+		return err
+	}
+	if err := e.InstallFunc(f); err != nil {
+		return err
+	}
+	if err := e.UpdateGlobalArray("sff", "thresholds", thresholds); err != nil {
+		return err
+	}
+	if err := e.UpdateGlobalArray("sff", "priovals", priovals); err != nil {
+		return err
+	}
+	return bindRule(e, table, pattern, "sff")
+}
+
+// InstallPulsar installs Pulsar rate control. queueMap maps tenant ids to
+// enclave queue indices (create the queues with enclave.AddQueue first).
+func InstallPulsar(e *enclave.Enclave, table, pattern string, queueMap []int64) error {
+	f, err := Compile("pulsar")
+	if err != nil {
+		return err
+	}
+	if err := e.InstallFunc(f); err != nil {
+		return err
+	}
+	if err := e.UpdateGlobalArray("pulsar", "queue_map", queueMap); err != nil {
+		return err
+	}
+	return bindRule(e, table, pattern, "pulsar")
+}
+
+// InstallPortKnocking installs the stateful firewall on the ingress
+// pipeline with the given knock sequence, protected port and state-table
+// size.
+func InstallPortKnocking(e *enclave.Enclave, table, pattern string, knock [3]int64, protected int64, slots int) error {
+	f, err := Compile("port_knocking")
+	if err != nil {
+		return err
+	}
+	if err := e.InstallFunc(f); err != nil {
+		return err
+	}
+	for i, name := range []string{"port1", "port2", "port3"} {
+		if err := e.UpdateGlobal("port_knocking", name, knock[i]); err != nil {
+			return err
+		}
+	}
+	if err := e.UpdateGlobal("port_knocking", "protected", protected); err != nil {
+		return err
+	}
+	if err := e.UpdateGlobalArray("port_knocking", "knock_state", make([]int64, slots)); err != nil {
+		return err
+	}
+	if _, err := e.CreateTable(enclave.Ingress, table); err != nil {
+		return err
+	}
+	return e.AddRule(enclave.Ingress, table, enclave.Rule{Pattern: pattern, Func: "port_knocking"})
+}
+
+// bindRule creates an egress table (if needed) and binds pattern->fn.
+func bindRule(e *enclave.Enclave, table, pattern, fn string) error {
+	if _, err := e.CreateTable(enclave.Egress, table); err != nil {
+		// Table may already exist; adding the rule will validate.
+		_ = err
+	}
+	return e.AddRule(enclave.Egress, table, enclave.Rule{Pattern: pattern, Func: fn})
+}

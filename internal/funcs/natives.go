@@ -1,0 +1,103 @@
+package funcs
+
+import (
+	"eden/internal/enclave"
+	"eden/internal/packet"
+)
+
+// Native twins of the library functions, used for the paper's
+// native-vs-interpreted comparisons (§5.1, §5.2). Each must be
+// semantically identical to its DSL source; TestNativeTwinsAgree checks
+// this exhaustively. Attach with enclave.AttachNative and switch with
+// enclave.SetMode.
+
+// NativePIAS mirrors piasSrc.
+func NativePIAS(rnd func() uint64) enclave.NativeFunc {
+	return func(pkt *packet.Packet, msg, globals []int64, arrays [][]int64) {
+		thresholds, vals := arrays[0], arrays[1]
+		msg[0] += int64(pkt.Size())
+		prio := int64(0)
+		for i, th := range thresholds {
+			if msg[0] <= th {
+				prio = vals[i]
+				break
+			}
+		}
+		if msg[1] < 1 {
+			prio = msg[1]
+		}
+		pkt.Set(packet.FieldPriority, prio)
+	}
+}
+
+// NativeSFF mirrors sffSrc.
+func NativeSFF() enclave.NativeFunc {
+	return func(pkt *packet.Packet, msg, globals []int64, arrays [][]int64) {
+		thresholds, vals := arrays[0], arrays[1]
+		size := pkt.Meta.MsgSize
+		prio := int64(0)
+		if size >= 1 {
+			for i, th := range thresholds {
+				if size <= th {
+					prio = vals[i]
+					break
+				}
+			}
+		}
+		pkt.Set(packet.FieldPriority, prio)
+	}
+}
+
+// NativeWCMP mirrors wcmpSrc. rnd must be the same random source the
+// enclave gives the interpreter for exact distributional equivalence.
+func NativeWCMP(rnd func() uint64) enclave.NativeFunc {
+	return func(pkt *packet.Packet, msg, globals []int64, arrays [][]int64) {
+		total := globals[0]
+		labels, weights := arrays[0], arrays[1]
+		r := int64(rnd() % uint64(total))
+		label := labels[0]
+		acc := int64(0)
+		for i, w := range weights {
+			if acc+w > r {
+				label = labels[i]
+				break
+			}
+			acc += w
+		}
+		pkt.Set(packet.FieldPath, label)
+	}
+}
+
+// NativeMessageWCMP mirrors messageWCMPSrc.
+func NativeMessageWCMP(rnd func() uint64) enclave.NativeFunc {
+	return func(pkt *packet.Packet, msg, globals []int64, arrays [][]int64) {
+		if msg[0] < 0 {
+			total := globals[0]
+			labels, weights := arrays[0], arrays[1]
+			r := int64(rnd() % uint64(total))
+			label := labels[0]
+			acc := int64(0)
+			for i, w := range weights {
+				if acc+w > r {
+					label = labels[i]
+					break
+				}
+				acc += w
+			}
+			msg[0] = label
+		}
+		pkt.Set(packet.FieldPath, msg[0])
+	}
+}
+
+// NativePulsar mirrors pulsarSrc.
+func NativePulsar() enclave.NativeFunc {
+	return func(pkt *packet.Packet, msg, globals []int64, arrays [][]int64) {
+		readType := globals[0]
+		queueMap := arrays[0]
+		if pkt.Meta.MsgType == readType {
+			pkt.Set(packet.FieldCharge, pkt.Meta.MsgSize)
+		}
+		pkt.Set(packet.FieldQueue, queueMap[pkt.Meta.Tenant])
+	}
+}

@@ -1,0 +1,234 @@
+package lang
+
+// Type is a language type. The language is monomorphic and tiny: integers,
+// booleans, integer arrays, and unit (the type of statements and of action
+// functions themselves).
+type Type uint8
+
+// Language types.
+const (
+	TypeUnknown Type = iota
+	TypeInt
+	TypeBool
+	TypeIntArray
+	TypeUnit
+)
+
+// String returns the source-level name of the type.
+func (t Type) String() string {
+	switch t {
+	case TypeInt:
+		return "int"
+	case TypeBool:
+		return "bool"
+	case TypeIntArray:
+		return "int array"
+	case TypeUnit:
+		return "unit"
+	default:
+		return "?"
+	}
+}
+
+// StateKind distinguishes the declaration block's lifetimes (the paper's
+// Granularity annotation, Figure 8).
+type StateKind uint8
+
+// State kinds.
+const (
+	// StateMsg variables live for the duration of the message.
+	StateMsg StateKind = iota
+	// StateGlobal variables live as long as the function is installed.
+	StateGlobal
+)
+
+// Decl is one state declaration, e.g. "msg size : int" or
+// "global priorities : int array". Scalar declarations may carry a default
+// initializer ("msg priority : int = 1"), mirroring the paper's
+// expectation that state properties "provide default initializers"
+// (Figure 8).
+type Decl struct {
+	Kind StateKind
+	Name string
+	Type Type // TypeInt or TypeIntArray (arrays only for global state)
+	// Default is the initial value of scalar state (0 if omitted).
+	Default int64
+	Pos     Pos
+}
+
+// Program is a parsed action-function source file.
+type Program struct {
+	// Name is an optional program name from a "// name: xxx" comment or
+	// set by the caller.
+	Name string
+	// Decls is the state declaration block.
+	Decls []Decl
+	// Params are the three parameter names binding packet, message and
+	// global state, in that positional order (the types in the source,
+	// Packet/Message/Global, are fixed).
+	Params [3]string
+	// Body is the function body.
+	Body []Stmt
+}
+
+// Stmt is a statement node.
+type Stmt interface{ stmtNode() }
+
+// LetStmt binds a local variable: "let x = e" / "let mutable x = e".
+type LetStmt struct {
+	Name    string
+	Mutable bool
+	Init    Expr
+	Pos     Pos
+}
+
+// FuncStmt defines a local function: "let [rec] f p1 p2 = e".
+type FuncStmt struct {
+	Name   string
+	Rec    bool
+	Params []string
+	Body   Expr
+	Pos    Pos
+}
+
+// AssignStmt assigns to a local or to a state member:
+// "x <- e", "msg.size <- e", "packet.priority <- e".
+type AssignStmt struct {
+	Target Expr // IdentExpr or MemberExpr
+	Value  Expr
+	Pos    Pos
+}
+
+// ExprStmt evaluates an expression for effect (typically an if statement
+// whose branches assign).
+type ExprStmt struct {
+	X   Expr
+	Pos Pos
+}
+
+func (*LetStmt) stmtNode()    {}
+func (*FuncStmt) stmtNode()   {}
+func (*AssignStmt) stmtNode() {}
+func (*ExprStmt) stmtNode()   {}
+
+// Expr is an expression node.
+type Expr interface {
+	exprNode()
+	// Position returns the source position of the expression.
+	Position() Pos
+}
+
+// IntExpr is an integer literal.
+type IntExpr struct {
+	Value int64
+	Pos   Pos
+}
+
+// BoolExpr is "true" or "false".
+type BoolExpr struct {
+	Value bool
+	Pos   Pos
+}
+
+// IdentExpr references a local binding or function parameter.
+type IdentExpr struct {
+	Name string
+	Pos  Pos
+}
+
+// MemberExpr accesses a state field: base is one of the three parameters
+// (packet/msg/global) and Name the field, e.g. packet.size, msg.priority,
+// global.priorities. ".Length" on an array expression is parsed as
+// LenExpr, not MemberExpr.
+type MemberExpr struct {
+	Base string // parameter name as written
+	Name string
+	Pos  Pos
+}
+
+// IndexExpr is F# array indexing: arr.[i].
+type IndexExpr struct {
+	Arr Expr
+	Idx Expr
+	Pos Pos
+}
+
+// LenExpr is arr.Length.
+type LenExpr struct {
+	Arr Expr
+	Pos Pos
+}
+
+// UnaryExpr is "-x" or "not x".
+type UnaryExpr struct {
+	Op  string // "-" or "not"
+	X   Expr
+	Pos Pos
+}
+
+// BinaryExpr is a binary operation. Op is one of
+// + - * / % < <= > >= = <> && ||.
+type BinaryExpr struct {
+	Op   string
+	L, R Expr
+	Pos  Pos
+}
+
+// IfExpr is "if c then a [elif c2 then b]... [else z]". Without else, the
+// branches must have type unit (statement-if). Elif chains are
+// desugared by the parser into nested IfExpr.
+type IfExpr struct {
+	Cond Expr
+	Then Expr
+	Else Expr // nil for statement-if without else
+	Pos  Pos
+}
+
+// CallExpr applies a local function or an intrinsic: "f a b",
+// "rand ()", "randrange 10", "hash x y".
+type CallExpr struct {
+	Name string
+	Args []Expr
+	Pos  Pos
+}
+
+// BlockExpr is a parenthesized statement sequence whose value is the final
+// expression: "(let t = e; t * 2)". If the final statement is not an
+// expression the block has type unit.
+type BlockExpr struct {
+	Stmts []Stmt
+	Pos   Pos
+}
+
+// UnitExpr is "()" — the unit literal, used for intrinsic calls like
+// rand ().
+type UnitExpr struct {
+	Pos Pos
+}
+
+func (*IntExpr) exprNode()    {}
+func (*BoolExpr) exprNode()   {}
+func (*IdentExpr) exprNode()  {}
+func (*MemberExpr) exprNode() {}
+func (*IndexExpr) exprNode()  {}
+func (*LenExpr) exprNode()    {}
+func (*UnaryExpr) exprNode()  {}
+func (*BinaryExpr) exprNode() {}
+func (*IfExpr) exprNode()     {}
+func (*CallExpr) exprNode()   {}
+func (*BlockExpr) exprNode()  {}
+func (*UnitExpr) exprNode()   {}
+
+// Position implements Expr.
+func (e *IntExpr) Position() Pos    { return e.Pos }
+func (e *BoolExpr) Position() Pos   { return e.Pos }
+func (e *IdentExpr) Position() Pos  { return e.Pos }
+func (e *MemberExpr) Position() Pos { return e.Pos }
+func (e *IndexExpr) Position() Pos  { return e.Pos }
+func (e *LenExpr) Position() Pos    { return e.Pos }
+func (e *UnaryExpr) Position() Pos  { return e.Pos }
+func (e *BinaryExpr) Position() Pos { return e.Pos }
+func (e *IfExpr) Position() Pos     { return e.Pos }
+func (e *CallExpr) Position() Pos   { return e.Pos }
+func (e *BlockExpr) Position() Pos  { return e.Pos }
+func (e *UnitExpr) Position() Pos   { return e.Pos }

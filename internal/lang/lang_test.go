@@ -1,0 +1,316 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLexBasics(t *testing.T) {
+	toks, err := Lex("let x = 10 + 0x1f // comment\nx <- x * 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var texts []string
+	for _, tok := range toks {
+		texts = append(texts, tok.Text)
+	}
+	joined := strings.Join(texts, " ")
+	for _, want := range []string{"let", "x", "=", "10", "+", "0x1f", "\\n", "<-", "*", "2", "<eof>"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("tokens %q missing %q", joined, want)
+		}
+	}
+	// Hex literal value.
+	for _, tok := range toks {
+		if tok.Text == "0x1f" && tok.Int != 31 {
+			t.Errorf("0x1f lexed as %d", tok.Int)
+		}
+	}
+}
+
+func TestLexSizeSuffixes(t *testing.T) {
+	cases := map[string]int64{
+		"10KB": 10 * 1024,
+		"10K":  10 * 1024,
+		"1MB":  1024 * 1024,
+		"2GB":  2 * 1024 * 1024 * 1024,
+	}
+	for src, want := range cases {
+		toks, err := Lex(src)
+		if err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+		if toks[0].Kind != TokInt || toks[0].Int != want {
+			t.Errorf("%s = %d, want %d", src, toks[0].Int, want)
+		}
+	}
+}
+
+func TestLexNewlineSuppression(t *testing.T) {
+	// Newline after '=' and '->' and 'then' must be suppressed.
+	toks, err := Lex("let x =\n 1\nfun (a, b, c) ->\n x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	for _, tok := range toks {
+		if tok.Kind == TokNewline {
+			count++
+		}
+	}
+	if count != 1 { // only the one after "1"
+		t.Errorf("got %d newline tokens, want 1", count)
+	}
+}
+
+func TestLexBlockComment(t *testing.T) {
+	toks, err := Lex("1 (* a (* nested *) b *) 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Int != 1 || toks[1].Int != 2 {
+		t.Errorf("block comment not skipped: %+v", toks)
+	}
+	if _, err := Lex("(* unterminated"); err == nil {
+		t.Error("unterminated comment accepted")
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	for _, src := range []string{"@", "`", "99999999999999999999999"} {
+		if _, err := Lex(src); err == nil {
+			t.Errorf("Lex(%q) succeeded", src)
+		}
+	}
+}
+
+const pias = `
+// Figure 7: PIAS priority selection
+msg size : int
+msg priority : int
+global priorities : int array
+global priovals : int array
+
+fun (packet: Packet, msg: Message, _global: Global) ->
+    let msg_size = msg.size + packet.size
+    msg.size <- msg_size
+    let rec search index =
+        if index >= _global.priorities.Length then 0
+        elif msg_size <= _global.priorities.[index] then _global.priovals.[index]
+        else search (index + 1)
+    let desired = msg.priority
+    packet.priority <- (if desired < 1 then desired else search 0)
+`
+
+func TestParsePIAS(t *testing.T) {
+	prog, err := Parse(pias)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Decls) != 4 {
+		t.Fatalf("decls = %d, want 4", len(prog.Decls))
+	}
+	if prog.Decls[0].Kind != StateMsg || prog.Decls[0].Name != "size" || prog.Decls[0].Type != TypeInt {
+		t.Errorf("decl 0 = %+v", prog.Decls[0])
+	}
+	if prog.Decls[2].Kind != StateGlobal || prog.Decls[2].Type != TypeIntArray {
+		t.Errorf("decl 2 = %+v", prog.Decls[2])
+	}
+	if prog.Params != [3]string{"packet", "msg", "_global"} {
+		t.Errorf("params = %v", prog.Params)
+	}
+	if len(prog.Body) != 5 {
+		t.Fatalf("body stmts = %d, want 5", len(prog.Body))
+	}
+	if _, ok := prog.Body[2].(*FuncStmt); !ok {
+		t.Errorf("stmt 2 = %T, want FuncStmt", prog.Body[2])
+	}
+	fs := prog.Body[2].(*FuncStmt)
+	if !fs.Rec || fs.Name != "search" || len(fs.Params) != 1 {
+		t.Errorf("search def = %+v", fs)
+	}
+	ifx, ok := fs.Body.(*IfExpr)
+	if !ok {
+		t.Fatalf("search body = %T", fs.Body)
+	}
+	// elif desugars to nested if in the else slot.
+	if _, ok := ifx.Else.(*IfExpr); !ok {
+		t.Errorf("elif not desugared: else = %T", ifx.Else)
+	}
+	// Final statement: assignment with parenthesized if expression.
+	as, ok := prog.Body[4].(*AssignStmt)
+	if !ok {
+		t.Fatalf("stmt 4 = %T", prog.Body[4])
+	}
+	m, ok := as.Target.(*MemberExpr)
+	if !ok || m.Base != "packet" || m.Name != "priority" {
+		t.Errorf("assign target = %+v", as.Target)
+	}
+	if _, ok := as.Value.(*IfExpr); !ok {
+		t.Errorf("assign value = %T, want IfExpr", as.Value)
+	}
+}
+
+func TestParseApplication(t *testing.T) {
+	prog, err := Parse("fun (p, m, g) ->\n let f a b = a + b\n p.priority <- f 1 (2 + 3)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	as := prog.Body[1].(*AssignStmt)
+	call, ok := as.Value.(*CallExpr)
+	if !ok || call.Name != "f" || len(call.Args) != 2 {
+		t.Fatalf("call = %+v", as.Value)
+	}
+	if _, ok := call.Args[1].(*BinaryExpr); !ok {
+		t.Errorf("arg 1 = %T", call.Args[1])
+	}
+}
+
+func TestParseZeroArgIntrinsic(t *testing.T) {
+	prog, err := Parse("fun (p, m, g) ->\n let r = rand ()\n p.priority <- r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	let := prog.Body[0].(*LetStmt)
+	call, ok := let.Init.(*CallExpr)
+	if !ok || call.Name != "rand" || len(call.Args) != 0 {
+		t.Fatalf("rand() = %+v", let.Init)
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	prog, err := Parse("fun (p, m, g) ->\n let x = 1 + 2 * 3\n p.priority <- x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	let := prog.Body[0].(*LetStmt)
+	add, ok := let.Init.(*BinaryExpr)
+	if !ok || add.Op != "+" {
+		t.Fatalf("top = %+v", let.Init)
+	}
+	mul, ok := add.R.(*BinaryExpr)
+	if !ok || mul.Op != "*" {
+		t.Errorf("right = %+v", add.R)
+	}
+}
+
+func TestParseBlockExpr(t *testing.T) {
+	prog, err := Parse("fun (p, m, g) ->\n p.priority <- (let t = 2; t * t)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	as := prog.Body[0].(*AssignStmt)
+	blk, ok := as.Value.(*BlockExpr)
+	if !ok || len(blk.Stmts) != 2 {
+		t.Fatalf("block = %+v", as.Value)
+	}
+}
+
+func TestParseStatementIf(t *testing.T) {
+	prog, err := Parse(`
+msg x : int
+fun (p, m, g) ->
+    if p.size > 100 then m.x <- 1 else m.x <- 2
+    if p.size > 200 then m.x <- 3
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Body) != 2 {
+		t.Fatalf("body = %d stmts", len(prog.Body))
+	}
+	es, ok := prog.Body[1].(*ExprStmt)
+	if !ok {
+		t.Fatalf("stmt 1 = %T", prog.Body[1])
+	}
+	ifx := es.X.(*IfExpr)
+	if ifx.Else != nil {
+		t.Error("statement-if should have nil else")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",                                       // no fun
+		"fun (a, b) -> a",                        // two params only
+		"fun (a, b, c, d) -> a",                  // four params
+		"fun a, b, c -> a",                       // missing parens
+		"msg x : float\nfun (a,b,c) -> 1",        // bad type
+		"msg x : int array\nfun (a,b,c) -> 1",    // msg arrays forbidden
+		"fun (a, b, c) ->\n let rec x = 1\n x",   // rec without params
+		"fun (a, b, c) ->\n let mutable f y = y", // mutable function
+		"fun (a, b, c) ->\n 1 +",                 // dangling operator
+		"fun (a, b, c) ->\n (1",                  // unclosed paren
+		"fun (a, b, c) ->\n a.[1",                // unclosed index
+		"fun (a, b, c) ->\n if 1 then 2 else",    // missing else expr
+		"fun (a, b, c) ->\n 1 2",                 // two exprs, no separator (application on int)
+		"fun (a, b, c) ->\n let x = (1).y",       // member on non-param
+		"fun (a, b, c) ->\n (1+2) <- 3",          // bad assign target
+		"fun (a, b, c) ->\n a.",                  // dangling dot
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded", src)
+		}
+	}
+}
+
+func TestTypeString(t *testing.T) {
+	for typ, want := range map[Type]string{
+		TypeInt: "int", TypeBool: "bool", TypeIntArray: "int array",
+		TypeUnit: "unit", TypeUnknown: "?",
+	} {
+		if typ.String() != want {
+			t.Errorf("%d.String() = %q, want %q", typ, typ.String(), want)
+		}
+	}
+}
+
+func TestPosString(t *testing.T) {
+	if (Pos{3, 7}).String() != "3:7" {
+		t.Error("Pos.String format")
+	}
+	e := &Error{Pos{1, 2}, "boom"}
+	if !strings.Contains(e.Error(), "1:2") || !strings.Contains(e.Error(), "boom") {
+		t.Errorf("Error() = %q", e.Error())
+	}
+}
+
+func TestDeclDefaults(t *testing.T) {
+	prog, err := Parse(`
+msg priority : int = 1
+msg debt : int = -5
+global limit : int = 10KB
+global arr : int array
+fun (p, m, g) ->
+    m.priority <- m.priority
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Decls[0].Default != 1 {
+		t.Errorf("priority default = %d", prog.Decls[0].Default)
+	}
+	if prog.Decls[1].Default != -5 {
+		t.Errorf("negative default = %d", prog.Decls[1].Default)
+	}
+	if prog.Decls[2].Default != 10*1024 {
+		t.Errorf("size-suffix default = %d", prog.Decls[2].Default)
+	}
+	if prog.Decls[3].Default != 0 {
+		t.Errorf("array default = %d", prog.Decls[3].Default)
+	}
+}
+
+func TestDeclDefaultErrors(t *testing.T) {
+	cases := []string{
+		"msg x : int = y\nfun (p,m,g) ->\n m.x <- 1",            // non-literal
+		"global a : int array = 1\nfun (p,m,g) ->\n p.ttl <- 1", // array default
+		"msg x : int =\nfun (p,m,g) ->\n m.x <- 1",              // missing value
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded", src)
+		}
+	}
+}

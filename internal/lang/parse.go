@@ -1,0 +1,531 @@
+package lang
+
+import "fmt"
+
+// Parse parses an action-function source file.
+func Parse(src string) (*Program, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	prog, err := p.file()
+	if err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+type parser struct {
+	toks []Token
+	pos  int
+}
+
+func (p *parser) peek() Token { return p.toks[p.pos] }
+func (p *parser) next() Token { t := p.toks[p.pos]; p.pos++; return t }
+func (p *parser) errf(t Token, format string, args ...any) error {
+	return &Error{t.Pos, fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) skipNewlines() {
+	for p.peek().Kind == TokNewline {
+		p.pos++
+	}
+}
+
+// peekSkipNewlines returns the next non-newline token without consuming
+// anything.
+func (p *parser) peekSkipNewlines() Token {
+	i := p.pos
+	for p.toks[i].Kind == TokNewline {
+		i++
+	}
+	return p.toks[i]
+}
+
+func (p *parser) expectOp(op string) (Token, error) {
+	t := p.next()
+	if t.Kind != TokOp || t.Text != op {
+		return t, p.errf(t, "expected %q, found %s", op, describe(t))
+	}
+	return t, nil
+}
+
+func (p *parser) expectKeyword(kw string) (Token, error) {
+	t := p.next()
+	if t.Kind != TokKeyword || t.Text != kw {
+		return t, p.errf(t, "expected %q, found %s", kw, describe(t))
+	}
+	return t, nil
+}
+
+func (p *parser) expectIdent() (Token, error) {
+	t := p.next()
+	if t.Kind != TokIdent {
+		return t, p.errf(t, "expected identifier, found %s", describe(t))
+	}
+	return t, nil
+}
+
+func (p *parser) atOp(op string) bool {
+	t := p.peek()
+	return t.Kind == TokOp && t.Text == op
+}
+
+func (p *parser) atKeyword(kw string) bool {
+	t := p.peek()
+	return t.Kind == TokKeyword && t.Text == kw
+}
+
+// file := decls 'fun' '(' params ')' '->' stmts EOF
+func (p *parser) file() (*Program, error) {
+	prog := &Program{}
+	p.skipNewlines()
+
+	// Declaration block: lines of the form "msg name : type" or
+	// "global name : type".
+	for p.peek().Kind == TokIdent && (p.peek().Text == "msg" || p.peek().Text == "global") {
+		kindTok := p.next()
+		kind := StateMsg
+		if kindTok.Text == "global" {
+			kind = StateGlobal
+		}
+		nameTok, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expectOp(":"); err != nil {
+			return nil, err
+		}
+		typ, err := p.declType()
+		if err != nil {
+			return nil, err
+		}
+		if kind == StateMsg && typ == TypeIntArray {
+			return nil, p.errf(nameTok, "message state %q may not be an array", nameTok.Text)
+		}
+		d := Decl{Kind: kind, Name: nameTok.Text, Type: typ, Pos: nameTok.Pos}
+		if p.atOp("=") {
+			eq := p.next()
+			if typ == TypeIntArray {
+				return nil, p.errf(eq, "array declarations cannot have default initializers")
+			}
+			neg := false
+			if p.atOp("-") {
+				p.next()
+				neg = true
+			}
+			t := p.next()
+			if t.Kind != TokInt {
+				return nil, p.errf(t, "default initializer must be an integer literal")
+			}
+			d.Default = t.Int
+			if neg {
+				d.Default = -d.Default
+			}
+		}
+		prog.Decls = append(prog.Decls, d)
+		p.skipNewlines()
+	}
+
+	if _, err := p.expectKeyword("fun"); err != nil {
+		return nil, err
+	}
+	if _, err := p.expectOp("("); err != nil {
+		return nil, err
+	}
+	for i := 0; i < 3; i++ {
+		t, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		prog.Params[i] = t.Text
+		// Optional ": Packet" style annotation; the annotation text is
+		// not semantically load-bearing (position determines the role).
+		if p.atOp(":") {
+			p.next()
+			if _, err := p.expectIdent(); err != nil {
+				return nil, err
+			}
+		}
+		if i < 2 {
+			if _, err := p.expectOp(","); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if _, err := p.expectOp(")"); err != nil {
+		return nil, err
+	}
+	if _, err := p.expectOp("->"); err != nil {
+		return nil, err
+	}
+
+	body, err := p.stmts(func() bool { return p.peek().Kind == TokEOF })
+	if err != nil {
+		return nil, err
+	}
+	prog.Body = body
+	return prog, nil
+}
+
+func (p *parser) declType() (Type, error) {
+	t := p.next()
+	if t.Kind != TokKeyword || t.Text != "int" {
+		return TypeUnknown, p.errf(t, "expected type 'int' or 'int array', found %s", describe(t))
+	}
+	if p.atKeyword("array") {
+		p.next()
+		return TypeIntArray, nil
+	}
+	return TypeInt, nil
+}
+
+// stmts parses a statement sequence until stop() reports true. Statements
+// are separated by newlines or semicolons.
+func (p *parser) stmts(stop func() bool) ([]Stmt, error) {
+	var out []Stmt
+	for {
+		p.skipNewlines()
+		for p.atOp(";") {
+			p.next()
+			p.skipNewlines()
+		}
+		if stop() {
+			return out, nil
+		}
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+		// A statement ends at a newline, ';', or the stop token.
+		if !stop() && p.peek().Kind != TokNewline && !p.atOp(";") {
+			if p.peek().Kind == TokEOF {
+				return out, nil
+			}
+			return nil, p.errf(p.peek(), "expected end of statement, found %s", describe(p.peek()))
+		}
+	}
+}
+
+func (p *parser) stmt() (Stmt, error) {
+	t := p.peek()
+	if t.Kind == TokKeyword && t.Text == "let" {
+		return p.letStmt()
+	}
+
+	// Expression or assignment.
+	e, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if p.atOp("<-") {
+		arrow := p.next()
+		switch e.(type) {
+		case *IdentExpr, *MemberExpr, *IndexExpr:
+		default:
+			return nil, p.errf(arrow, "assignment target must be a variable, state field or array element")
+		}
+		v, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		return &AssignStmt{Target: e, Value: v, Pos: arrow.Pos}, nil
+	}
+	return &ExprStmt{X: e, Pos: e.Position()}, nil
+}
+
+// letStmt := 'let' 'rec'? 'mutable'? ident params* '=' expr
+func (p *parser) letStmt() (Stmt, error) {
+	letTok := p.next() // 'let'
+	rec := false
+	mutable := false
+	if p.atKeyword("rec") {
+		p.next()
+		rec = true
+	}
+	if p.atKeyword("mutable") {
+		p.next()
+		mutable = true
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	var params []string
+	for p.peek().Kind == TokIdent {
+		params = append(params, p.next().Text)
+	}
+	if _, err := p.expectOp("="); err != nil {
+		return nil, err
+	}
+	body, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	// Optional F# 'in' keyword terminating a let.
+	if p.atKeyword("in") {
+		p.next()
+	}
+	if len(params) > 0 {
+		if mutable {
+			return nil, p.errf(letTok, "functions cannot be 'mutable'")
+		}
+		return &FuncStmt{Name: name.Text, Rec: rec, Params: params, Body: body, Pos: letTok.Pos}, nil
+	}
+	if rec {
+		return nil, p.errf(letTok, "'let rec' requires parameters (a function)")
+	}
+	return &LetStmt{Name: name.Text, Mutable: mutable, Init: body, Pos: letTok.Pos}, nil
+}
+
+// Operator precedence climbing.
+var precedence = map[string]int{
+	"||": 1,
+	"&&": 2,
+	"=":  3, "<>": 3, "<": 3, "<=": 3, ">": 3, ">=": 3,
+	"+": 4, "-": 4,
+	"*": 5, "/": 5, "%": 5,
+}
+
+func (p *parser) expr() (Expr, error) {
+	if p.atKeyword("if") {
+		return p.ifExpr()
+	}
+	return p.binExpr(1)
+}
+
+func (p *parser) binExpr(minPrec int) (Expr, error) {
+	l, err := p.unaryExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.Kind != TokOp {
+			return l, nil
+		}
+		prec, ok := precedence[t.Text]
+		if !ok || prec < minPrec {
+			return l, nil
+		}
+		p.next()
+		r, err := p.binExprOrIf(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{Op: t.Text, L: l, R: r, Pos: t.Pos}
+	}
+}
+
+// binExprOrIf allows an if-expression on the right-hand side of a binary
+// operator, e.g. "1 + if c then 2 else 3" (F# permits this).
+func (p *parser) binExprOrIf(minPrec int) (Expr, error) {
+	if p.atKeyword("if") {
+		return p.ifExpr()
+	}
+	return p.binExpr(minPrec)
+}
+
+func (p *parser) unaryExpr() (Expr, error) {
+	t := p.peek()
+	if t.Kind == TokOp && t.Text == "-" {
+		p.next()
+		x, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: "-", X: x, Pos: t.Pos}, nil
+	}
+	if t.Kind == TokKeyword && t.Text == "not" {
+		p.next()
+		x, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: "not", X: x, Pos: t.Pos}, nil
+	}
+	return p.appExpr()
+}
+
+// appExpr parses juxtaposition application: "f a b". The callee must be a
+// plain identifier; arguments are postfix expressions.
+func (p *parser) appExpr() (Expr, error) {
+	e, err := p.postfixExpr()
+	if err != nil {
+		return nil, err
+	}
+	id, ok := e.(*IdentExpr)
+	if !ok || !p.atAtomStart() {
+		return e, nil
+	}
+	call := &CallExpr{Name: id.Name, Pos: id.Pos}
+	for p.atAtomStart() {
+		arg, err := p.postfixExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, isUnit := arg.(*UnitExpr); isUnit && len(call.Args) == 0 {
+			// "rand ()" — zero-argument call.
+			break
+		}
+		call.Args = append(call.Args, arg)
+	}
+	return call, nil
+}
+
+func (p *parser) atAtomStart() bool {
+	t := p.peek()
+	switch t.Kind {
+	case TokInt, TokIdent:
+		return true
+	case TokKeyword:
+		return t.Text == "true" || t.Text == "false"
+	case TokOp:
+		return t.Text == "("
+	}
+	return false
+}
+
+// postfixExpr := atom ( '.' '[' expr ']' | '.' 'Length' | '.' ident )*
+func (p *parser) postfixExpr() (Expr, error) {
+	e, err := p.atom()
+	if err != nil {
+		return nil, err
+	}
+	for p.atOp(".") {
+		dot := p.next()
+		switch {
+		case p.atOp("["):
+			p.next()
+			p.skipNewlines()
+			idx, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			p.skipNewlines()
+			if _, err := p.expectOp("]"); err != nil {
+				return nil, err
+			}
+			e = &IndexExpr{Arr: e, Idx: idx, Pos: dot.Pos}
+		case p.peek().Kind == TokIdent:
+			name := p.next()
+			if name.Text == "Length" {
+				e = &LenExpr{Arr: e, Pos: dot.Pos}
+				continue
+			}
+			id, ok := e.(*IdentExpr)
+			if !ok {
+				return nil, p.errf(name, "member access %q on a non-parameter expression", name.Text)
+			}
+			e = &MemberExpr{Base: id.Name, Name: name.Text, Pos: dot.Pos}
+		default:
+			return nil, p.errf(dot, "expected field name or '[' after '.'")
+		}
+	}
+	return e, nil
+}
+
+func (p *parser) atom() (Expr, error) {
+	t := p.next()
+	switch {
+	case t.Kind == TokInt:
+		return &IntExpr{Value: t.Int, Pos: t.Pos}, nil
+	case t.Kind == TokKeyword && t.Text == "true":
+		return &BoolExpr{Value: true, Pos: t.Pos}, nil
+	case t.Kind == TokKeyword && t.Text == "false":
+		return &BoolExpr{Value: false, Pos: t.Pos}, nil
+	case t.Kind == TokIdent:
+		return &IdentExpr{Name: t.Text, Pos: t.Pos}, nil
+	case t.Kind == TokOp && t.Text == "(":
+		p.skipNewlines()
+		if p.atOp(")") {
+			p.next()
+			return &UnitExpr{Pos: t.Pos}, nil
+		}
+		stmts, err := p.stmts(func() bool { return p.atOp(")") || p.peek().Kind == TokEOF })
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+		if len(stmts) == 0 {
+			return &UnitExpr{Pos: t.Pos}, nil
+		}
+		if len(stmts) == 1 {
+			if es, ok := stmts[0].(*ExprStmt); ok {
+				return es.X, nil
+			}
+		}
+		return &BlockExpr{Stmts: stmts, Pos: t.Pos}, nil
+	default:
+		return nil, p.errf(t, "expected expression, found %s", describe(t))
+	}
+}
+
+// ifExpr := 'if' expr 'then' expr ('elif' expr 'then' expr)* ('else' expr)?
+// Newlines are permitted before elif/else. Elif chains desugar to nested
+// IfExpr.
+func (p *parser) ifExpr() (Expr, error) {
+	ifTok := p.next() // 'if' or 'elif'
+	cond, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expectKeyword("then"); err != nil {
+		return nil, err
+	}
+	p.skipNewlines()
+	then, err := p.branchExpr()
+	if err != nil {
+		return nil, err
+	}
+	e := &IfExpr{Cond: cond, Then: then, Pos: ifTok.Pos}
+
+	nxt := p.peekSkipNewlines()
+	switch {
+	case nxt.Kind == TokKeyword && nxt.Text == "elif":
+		p.skipNewlines()
+		els, err := p.ifExpr() // consumes the 'elif' token as its "if"
+		if err != nil {
+			return nil, err
+		}
+		e.Else = els
+	case nxt.Kind == TokKeyword && nxt.Text == "else":
+		p.skipNewlines()
+		p.next()
+		p.skipNewlines()
+		els, err := p.branchExpr()
+		if err != nil {
+			return nil, err
+		}
+		e.Else = els
+	}
+	return e, nil
+}
+
+// branchExpr parses the body of a then/else branch: either a single
+// expression, or an assignment statement (allowed so statement-ifs can
+// assign without parentheses, e.g. "if c then x <- 1 else x <- 2").
+func (p *parser) branchExpr() (Expr, error) {
+	e, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if p.atOp("<-") {
+		arrow := p.next()
+		switch e.(type) {
+		case *IdentExpr, *MemberExpr, *IndexExpr:
+		default:
+			return nil, p.errf(arrow, "assignment target must be a variable, state field or array element")
+		}
+		v, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		return &BlockExpr{Stmts: []Stmt{&AssignStmt{Target: e, Value: v, Pos: arrow.Pos}}, Pos: arrow.Pos}, nil
+	}
+	return e, nil
+}

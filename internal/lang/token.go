@@ -1,0 +1,294 @@
+// Package lang implements the Eden action-function language: an F#-like
+// functional DSL in which network operators write data-plane functions
+// (§3.4.2, Figure 7 of the paper). The language is deliberately small — a
+// subset with "basic arithmetic operations, assignments, function
+// definitions, and basic control operations" and without objects,
+// exceptions or floating point. This package provides the lexer, the
+// parser and the AST; the compiler package lowers the AST to edenvm
+// bytecode, resolving state accesses through the annotations-equivalent
+// declaration block (see Program.Decls).
+//
+// A source file looks like:
+//
+//	// Figure 7: priority selection (PIAS)
+//	msg size : int
+//	msg priority : int
+//	global priorities : int array
+//	global priovals : int array
+//
+//	fun (packet: Packet, msg: Message, global: Global) ->
+//	    let msg_size = msg.size + packet.size
+//	    msg.size <- msg_size
+//	    let rec search index =
+//	        if index >= global.priorities.Length then 0
+//	        elif msg_size <= global.priorities.[index] then global.priovals.[index]
+//	        else search (index + 1)
+//	    let desired = msg.priority
+//	    packet.priority <- (if desired < 1 then desired else search 0)
+//
+// The declaration block plays the role of the paper's type annotations
+// (Figure 8): it declares the lifetime (msg vs global) of each state
+// variable; access levels (read-only vs read-write) are inferred from use,
+// and header mappings for packet fields come from the packet.Field
+// registry.
+package lang
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// Kind classifies a token.
+type Kind uint8
+
+// Token kinds.
+const (
+	TokEOF Kind = iota
+	TokNewline
+	TokIdent
+	TokInt
+	TokKeyword // fun let rec mutable if then elif else true false not and or msg global end in
+	TokOp      // + - * / % < <= > >= = <> <- -> && || ( ) [ ] . , : ;
+)
+
+// Token is one lexical token.
+type Token struct {
+	Kind Kind
+	Text string
+	Pos  Pos
+	Int  int64 // valid when Kind == TokInt
+}
+
+// Pos locates a token in the source.
+type Pos struct {
+	Line, Col int
+}
+
+// String renders the position as "line:col".
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Error is a lexing or parsing error with position information.
+type Error struct {
+	Pos Pos
+	Msg string
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string { return fmt.Sprintf("lang: %s: %s", e.Pos, e.Msg) }
+
+var keywords = map[string]bool{
+	"fun": true, "let": true, "rec": true, "mutable": true,
+	"if": true, "then": true, "elif": true, "else": true,
+	"true": true, "false": true, "not": true,
+	"int": true, "array": true, "end": true, "in": true,
+}
+
+// Lex tokenizes source text. Newlines are significant (statement
+// separators) except after tokens that cannot end an expression — binary
+// operators, '(', ',', '<-', '->', '=', and the keywords then/else/elif —
+// where the line is treated as continuing.
+func Lex(src string) ([]Token, error) {
+	var toks []Token
+	line, col := 1, 1
+
+	// continues reports whether a newline after the previous token should
+	// be suppressed (expression clearly continues).
+	continues := func() bool {
+		if len(toks) == 0 {
+			return true
+		}
+		t := toks[len(toks)-1]
+		switch t.Kind {
+		case TokNewline:
+			return true
+		case TokOp:
+			switch t.Text {
+			case ")", "]":
+				return false
+			default:
+				return true
+			}
+		case TokKeyword:
+			switch t.Text {
+			case "then", "else", "elif", "fun", "let", "rec", "mutable", "if", "in":
+				return true
+			}
+		}
+		return false
+	}
+
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		pos := Pos{line, col}
+		switch {
+		case c == '\n':
+			if !continues() {
+				toks = append(toks, Token{Kind: TokNewline, Text: "\\n", Pos: pos})
+			}
+			line++
+			col = 1
+			i++
+			continue
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+			col++
+			continue
+		case c == '/' && i+1 < len(src) && src[i+1] == '/':
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+			continue
+		case c == '(' && i+1 < len(src) && src[i+1] == '*':
+			// F#-style block comment.
+			depth := 1
+			j := i + 2
+			for j < len(src) && depth > 0 {
+				if j+1 < len(src) && src[j] == '(' && src[j+1] == '*' {
+					depth++
+					j += 2
+				} else if j+1 < len(src) && src[j] == '*' && src[j+1] == ')' {
+					depth--
+					j += 2
+				} else {
+					if src[j] == '\n' {
+						line++
+						col = 0
+					}
+					j++
+				}
+			}
+			if depth != 0 {
+				return nil, &Error{pos, "unterminated block comment"}
+			}
+			col += j - i
+			i = j
+			continue
+		case c >= '0' && c <= '9':
+			j := i
+			var v int64
+			base := int64(10)
+			if c == '0' && i+1 < len(src) && (src[i+1] == 'x' || src[i+1] == 'X') {
+				base = 16
+				j += 2
+			}
+			start := j
+			for j < len(src) && isDigitIn(src[j], base) {
+				d := digitVal(src[j])
+				nv := v*base + d
+				if nv < v {
+					return nil, &Error{pos, "integer literal overflows int64"}
+				}
+				v = nv
+				j++
+			}
+			if j == start {
+				return nil, &Error{pos, "malformed integer literal"}
+			}
+			// Size suffixes for readability: 10KB, 1MB, 2GB, 5K, 3M.
+			if j < len(src) {
+				mult := int64(1)
+				k := j
+				switch src[j] {
+				case 'K', 'k':
+					mult = 1024
+					k++
+				case 'M':
+					mult = 1024 * 1024
+					k++
+				case 'G':
+					mult = 1024 * 1024 * 1024
+					k++
+				}
+				if mult > 1 {
+					if k < len(src) && (src[k] == 'B' || src[k] == 'b') {
+						k++
+					}
+					v *= mult
+					j = k
+				}
+			}
+			toks = append(toks, Token{Kind: TokInt, Int: v, Text: src[i:j], Pos: pos})
+			col += j - i
+			i = j
+			continue
+		case isIdentStart(rune(c)):
+			j := i
+			for j < len(src) && isIdentPart(rune(src[j])) {
+				j++
+			}
+			word := src[i:j]
+			k := TokIdent
+			if keywords[word] {
+				k = TokKeyword
+			}
+			toks = append(toks, Token{Kind: k, Text: word, Pos: pos})
+			col += j - i
+			i = j
+			continue
+		}
+
+		// Operators, longest match first.
+		twoChar := ""
+		if i+1 < len(src) {
+			twoChar = src[i : i+2]
+		}
+		switch twoChar {
+		case "<-", "->", "<=", ">=", "<>", "&&", "||":
+			toks = append(toks, Token{Kind: TokOp, Text: twoChar, Pos: pos})
+			i += 2
+			col += 2
+			continue
+		}
+		switch c {
+		case '+', '-', '*', '/', '%', '<', '>', '=', '(', ')', '[', ']', '.', ',', ':', ';':
+			toks = append(toks, Token{Kind: TokOp, Text: string(c), Pos: pos})
+			i++
+			col++
+			continue
+		}
+		return nil, &Error{pos, fmt.Sprintf("unexpected character %q", c)}
+	}
+	toks = append(toks, Token{Kind: TokEOF, Text: "<eof>", Pos: Pos{line, col}})
+	return toks, nil
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || r == '\'' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+func isDigitIn(c byte, base int64) bool {
+	if base == 16 {
+		return (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+	}
+	return c >= '0' && c <= '9'
+}
+
+func digitVal(c byte) int64 {
+	switch {
+	case c >= '0' && c <= '9':
+		return int64(c - '0')
+	case c >= 'a' && c <= 'f':
+		return int64(c-'a') + 10
+	case c >= 'A' && c <= 'F':
+		return int64(c-'A') + 10
+	}
+	return 0
+}
+
+// describe renders a token for error messages.
+func describe(t Token) string {
+	switch t.Kind {
+	case TokEOF:
+		return "end of input"
+	case TokNewline:
+		return "newline"
+	default:
+		return fmt.Sprintf("%q", strings.TrimSpace(t.Text))
+	}
+}

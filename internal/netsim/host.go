@@ -1,0 +1,179 @@
+package netsim
+
+import (
+	"eden/internal/enclave"
+	"eden/internal/packet"
+	"eden/internal/transport"
+)
+
+// Host is an end host: a transport stack above, a NIC below, and up to two
+// Eden enclave attach points in between, mirroring the paper's prototype
+// platforms (§4.3) — one enclave in the OS network stack (the Windows
+// filter driver in the paper) and one on the programmable NIC (the
+// Netronome firmware). Packets leaving the transport stack traverse
+// OS-enclave egress, then NIC-enclave egress, then the uplink; arriving
+// packets traverse NIC-enclave ingress, then OS-enclave ingress, then the
+// transport stack.
+type Host struct {
+	sim  *Sim
+	name string
+	ip   uint32
+
+	// OS and NIC are the enclave attach points; either may be nil.
+	OS  *enclave.Enclave
+	NIC *enclave.Enclave
+
+	uplink *Link
+	// labelUplinks routes packets whose VLAN label matches to a specific
+	// uplink — the dual-port NIC of the §5.2 testbed, where the source
+	// route's first hop is the port choice.
+	labelUplinks map[uint16]*Link
+	// Stack is the host's transport layer.
+	Stack *transport.Stack
+
+	// OnRaw, when set, receives non-TCP packets (e.g. UDP app traffic).
+	OnRaw func(pkt *packet.Packet)
+
+	// StripPCP, when set, zeroes the 802.1q priority just before
+	// transmission. This is the paper's "baseline (Eden)" configuration:
+	// classification and action functions run, but the interpreter's
+	// priority output is ignored before packets are transmitted (§5.1).
+	StripPCP bool
+
+	// Dropped counts packets dropped by enclave verdicts at this host.
+	Dropped int64
+}
+
+// NewHost creates a host with a transport stack.
+func NewHost(sim *Sim, name string, ip uint32, opts transport.Options) *Host {
+	h := &Host{sim: sim, name: name, ip: ip}
+	h.Stack = transport.NewStack(h, opts)
+	return h
+}
+
+// NodeName implements Node.
+func (h *Host) NodeName() string { return h.name }
+
+// IP implements transport.Env.
+func (h *Host) IP() uint32 { return h.ip }
+
+// Now implements transport.Env.
+func (h *Host) Now() int64 { return h.sim.Now() }
+
+// Schedule implements transport.Env.
+func (h *Host) Schedule(at int64, fn func()) { h.sim.At(at, fn) }
+
+// SetUplink attaches the host's NIC to a link toward the network.
+func (h *Host) SetUplink(l *Link) { h.uplink = l }
+
+// Uplink returns the host's default uplink.
+func (h *Host) Uplink() *Link { return h.uplink }
+
+// SetLabelUplink routes packets carrying the given VLAN label out a
+// dedicated uplink (a second NIC port).
+func (h *Host) SetLabelUplink(vid uint16, l *Link) {
+	if h.labelUplinks == nil {
+		h.labelUplinks = map[uint16]*Link{}
+	}
+	h.labelUplinks[vid] = l
+}
+
+// Sim returns the simulation the host belongs to.
+func (h *Host) Sim() *Sim { return h.sim }
+
+// Output implements transport.Env: the host egress path.
+func (h *Host) Output(pkt *packet.Packet) {
+	now := h.sim.Now()
+	if h.OS != nil {
+		v := h.OS.Process(enclave.Egress, pkt, now)
+		if v.Drop {
+			h.Dropped++
+			return
+		}
+		if v.SendAt > now {
+			h.sim.At(v.SendAt, func() { h.nicEgress(pkt) })
+			return
+		}
+	}
+	h.nicEgress(pkt)
+}
+
+func (h *Host) nicEgress(pkt *packet.Packet) {
+	now := h.sim.Now()
+	if h.NIC != nil {
+		v := h.NIC.Process(enclave.Egress, pkt, now)
+		if v.Drop {
+			h.Dropped++
+			return
+		}
+		if v.SendAt > now {
+			h.sim.At(v.SendAt, func() { h.transmit(pkt) })
+			return
+		}
+	}
+	h.transmit(pkt)
+}
+
+func (h *Host) transmit(pkt *packet.Packet) {
+	if h.StripPCP && pkt.HasVLAN {
+		pkt.VLAN.PCP = 0
+	}
+	link := h.uplink
+	if pkt.HasVLAN && h.labelUplinks != nil {
+		if l, ok := h.labelUplinks[pkt.VLAN.VID]; ok {
+			link = l
+		}
+	}
+	if link == nil {
+		return
+	}
+	link.Send(pkt)
+}
+
+// Receive implements Node: the host ingress path.
+func (h *Host) Receive(pkt *packet.Packet) {
+	now := h.sim.Now()
+	if h.NIC != nil {
+		v := h.NIC.Process(enclave.Ingress, pkt, now)
+		if v.Drop {
+			h.Dropped++
+			return
+		}
+	}
+	if h.OS != nil {
+		v := h.OS.Process(enclave.Ingress, pkt, now)
+		if v.Drop {
+			h.Dropped++
+			return
+		}
+	}
+	if pkt.IP.Proto == packet.ProtoTCP {
+		h.Stack.Deliver(pkt)
+		return
+	}
+	if h.OnRaw != nil {
+		h.OnRaw(pkt)
+	}
+}
+
+// NewOSEnclave creates, attaches and returns an OS enclave for the host.
+func (h *Host) NewOSEnclave() *enclave.Enclave {
+	h.OS = enclave.New(enclave.Config{
+		Name:     h.name + "-os",
+		Platform: "os",
+		Clock:    h.sim.Now,
+		Rand:     func() uint64 { return h.sim.Rand().Uint64() },
+	})
+	return h.OS
+}
+
+// NewNICEnclave creates, attaches and returns a NIC enclave for the host.
+func (h *Host) NewNICEnclave() *enclave.Enclave {
+	h.NIC = enclave.New(enclave.Config{
+		Name:     h.name + "-nic",
+		Platform: "nic",
+		Clock:    h.sim.Now,
+		Rand:     func() uint64 { return h.sim.Rand().Uint64() },
+	})
+	return h.NIC
+}

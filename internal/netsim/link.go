@@ -1,0 +1,123 @@
+package netsim
+
+import (
+	"eden/internal/packet"
+)
+
+// Node is anything that can receive packets from a link.
+type Node interface {
+	// Receive is called when a packet arrives at the node.
+	Receive(pkt *packet.Packet)
+	// NodeName identifies the node for diagnostics.
+	NodeName() string
+}
+
+// NumPriorities is the number of 802.1q priority queues per output port.
+const NumPriorities = 8
+
+// LinkStats counts per-link activity.
+type LinkStats struct {
+	Sent      int64 // packets transmitted
+	BytesSent int64
+	Dropped   int64 // tail drops at full queues
+	// MaxQueueBytes is the high-water mark of total queued bytes.
+	MaxQueueBytes int64
+}
+
+// Link is a unidirectional link: an output port on the sending side (with
+// eight strict-priority tail-drop queues) plus serialization at RateBps
+// and fixed propagation Delay to the receiving node.
+type Link struct {
+	sim  *Sim
+	name string
+	// RateBps is the line rate in bits per second.
+	RateBps int64
+	// Delay is the one-way propagation delay.
+	Delay Time
+	// QueueCap bounds each priority queue in bytes (tail drop).
+	QueueCap int64
+	to       Node
+
+	queues     [NumPriorities][]*packet.Packet
+	perQueueB  [NumPriorities]int64
+	queueBytes int64
+	busy       bool
+	stats      LinkStats
+}
+
+// NewLink creates a link delivering to the given node. queueCap is the
+// per-priority-queue byte capacity.
+func NewLink(sim *Sim, name string, rateBps int64, delay Time, queueCap int64, to Node) *Link {
+	if rateBps <= 0 {
+		panic("netsim: link rate must be positive")
+	}
+	return &Link{sim: sim, name: name, RateBps: rateBps, Delay: delay, QueueCap: queueCap, to: to}
+}
+
+// Name returns the link's name.
+func (l *Link) Name() string { return l.name }
+
+// To returns the receiving node.
+func (l *Link) To() Node { return l.to }
+
+// Stats returns a snapshot of the link's counters.
+func (l *Link) Stats() LinkStats { return l.stats }
+
+// QueueBytes returns the currently queued bytes across all priorities.
+func (l *Link) QueueBytes() int64 { return l.queueBytes }
+
+// Send enqueues a packet for transmission at the packet's 802.1q priority
+// (0 if untagged). Higher PCP values are served strictly first. Returns
+// false if the packet was tail-dropped.
+func (l *Link) Send(pkt *packet.Packet) bool {
+	prio := 0
+	if pkt.HasVLAN {
+		prio = int(pkt.VLAN.PCP) % NumPriorities
+	}
+	size := int64(pkt.Size())
+	if l.QueueCap > 0 && l.perQueueB[prio]+size > l.QueueCap {
+		l.stats.Dropped++
+		return false
+	}
+	l.queues[prio] = append(l.queues[prio], pkt)
+	l.perQueueB[prio] += size
+	l.queueBytes += size
+	if l.queueBytes > l.stats.MaxQueueBytes {
+		l.stats.MaxQueueBytes = l.queueBytes
+	}
+	if !l.busy {
+		l.transmitNext()
+	}
+	return true
+}
+
+// transmitNext dequeues the highest-priority packet and models its
+// serialization and propagation.
+func (l *Link) transmitNext() {
+	var pkt *packet.Packet
+	for p := NumPriorities - 1; p >= 0; p-- {
+		if len(l.queues[p]) > 0 {
+			pkt = l.queues[p][0]
+			l.queues[p] = l.queues[p][1:]
+			l.perQueueB[p] -= int64(pkt.Size())
+			break
+		}
+	}
+	if pkt == nil {
+		l.busy = false
+		return
+	}
+	l.busy = true
+	size := int64(pkt.Size())
+	l.queueBytes -= size
+	serialize := size * 8 * 1e9 / l.RateBps
+	l.stats.Sent++
+	l.stats.BytesSent += size
+	done := l.sim.Now() + serialize
+	l.sim.At(done, func() {
+		l.transmitNext()
+	})
+	l.sim.At(done+l.Delay, func() {
+		l.to.Receive(pkt)
+	})
+}

@@ -1,0 +1,114 @@
+// Package netsim is a discrete-event datacenter network simulator: hosts,
+// output-queued switches with eight 802.1q priority queues per port,
+// VLAN-label source routing (the SPAIN-style forwarding of §3.5), ECMP
+// hashing, and configurable link rates and propagation delays.
+//
+// It stands in for the paper's physical testbeds (§4.3): the 10GbE
+// five-machine cluster and the programmable-NIC cluster. The experiments
+// in the paper's evaluation depend on queueing, strict-priority
+// scheduling, path asymmetry, packet reordering and drops — all first-
+// order properties of this model — rather than on absolute hardware
+// timings.
+package netsim
+
+import (
+	"container/heap"
+	"math/rand"
+)
+
+// Time is nanoseconds since simulation start.
+type Time = int64
+
+// Common time and rate constants.
+const (
+	Microsecond Time = 1_000
+	Millisecond Time = 1_000_000
+	Second      Time = 1_000_000_000
+
+	Mbps int64 = 1_000_000
+	Gbps int64 = 1_000_000_000
+)
+
+type event struct {
+	at  Time
+	seq uint64 // FIFO tiebreak for determinism
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+// Sim is a discrete-event simulation. Not safe for concurrent use; the
+// whole simulation is single-threaded and deterministic for a given seed.
+type Sim struct {
+	now    Time
+	events eventHeap
+	seq    uint64
+	rng    *rand.Rand
+}
+
+// New creates a simulation with the given RNG seed.
+func New(seed int64) *Sim {
+	return &Sim{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current simulation time.
+func (s *Sim) Now() Time { return s.now }
+
+// Rand returns the simulation's deterministic RNG.
+func (s *Sim) Rand() *rand.Rand { return s.rng }
+
+// At schedules fn at the given absolute time (clamped to now).
+func (s *Sim) At(t Time, fn func()) {
+	if t < s.now {
+		t = s.now
+	}
+	s.seq++
+	heap.Push(&s.events, event{at: t, seq: s.seq, fn: fn})
+}
+
+// After schedules fn after a delay.
+func (s *Sim) After(d Time, fn func()) { s.At(s.now+d, fn) }
+
+// Run processes events until the queue empties or the time limit passes.
+// It returns the final simulation time.
+func (s *Sim) Run(until Time) Time {
+	for len(s.events) > 0 {
+		e := s.events[0]
+		if e.at > until {
+			s.now = until
+			return s.now
+		}
+		heap.Pop(&s.events)
+		s.now = e.at
+		e.fn()
+	}
+	if s.now < until {
+		s.now = until
+	}
+	return s.now
+}
+
+// RunAll processes every pending event (the queue must drain; a workload
+// that schedules unboundedly will not terminate).
+func (s *Sim) RunAll() Time {
+	for len(s.events) > 0 {
+		e := heap.Pop(&s.events).(event)
+		s.now = e.at
+		e.fn()
+	}
+	return s.now
+}
+
+// Pending returns the number of queued events.
+func (s *Sim) Pending() int { return len(s.events) }

@@ -1,0 +1,103 @@
+package netsim
+
+import (
+	"fmt"
+
+	"eden/internal/packet"
+)
+
+// Switch is an output-queued switch supporting the two forwarding modes
+// §3.5 requires of the network: VLAN-label forwarding (source routing —
+// end hosts pick the packet's path by writing a label, switches forward by
+// label) and destination-IP forwarding with ECMP hashing across equal-cost
+// next hops. Priority queuing happens at the output links.
+type Switch struct {
+	sim  *Sim
+	name string
+
+	links  []*Link // output ports
+	labels map[uint16]int
+	routes map[uint32][]int
+
+	// Received counts packets seen by the switch.
+	Received int64
+	// NoRoute counts packets dropped for lack of a forwarding entry.
+	NoRoute int64
+}
+
+// NewSwitch creates a switch.
+func NewSwitch(sim *Sim, name string) *Switch {
+	return &Switch{
+		sim:    sim,
+		name:   name,
+		labels: map[uint16]int{},
+		routes: map[uint32][]int{},
+	}
+}
+
+// NodeName implements Node.
+func (sw *Switch) NodeName() string { return sw.name }
+
+// AddPort attaches an output link and returns its port index.
+func (sw *Switch) AddPort(l *Link) int {
+	sw.links = append(sw.links, l)
+	return len(sw.links) - 1
+}
+
+// Port returns the link at the given port index.
+func (sw *Switch) Port(i int) *Link { return sw.links[i] }
+
+// SetLabel installs a label-forwarding entry: packets tagged with the
+// VLAN VID go out the given port. This is the state the controller (or a
+// SPAIN/MPLS-style control protocol) programs along each path.
+func (sw *Switch) SetLabel(vid uint16, port int) error {
+	if port < 0 || port >= len(sw.links) {
+		return fmt.Errorf("netsim: switch %s has no port %d", sw.name, port)
+	}
+	sw.labels[vid] = port
+	return nil
+}
+
+// AddRoute adds an ECMP next-hop port for a destination address.
+func (sw *Switch) AddRoute(dst uint32, port int) error {
+	if port < 0 || port >= len(sw.links) {
+		return fmt.Errorf("netsim: switch %s has no port %d", sw.name, port)
+	}
+	sw.routes[dst] = append(sw.routes[dst], port)
+	return nil
+}
+
+// Receive implements Node: forward by label if present, else by
+// destination route with flow-hash ECMP.
+func (sw *Switch) Receive(pkt *packet.Packet) {
+	sw.Received++
+	if pkt.HasVLAN && pkt.VLAN.VID != 0 {
+		if port, ok := sw.labels[pkt.VLAN.VID]; ok {
+			sw.links[port].Send(pkt)
+			return
+		}
+	}
+	ports, ok := sw.routes[pkt.IP.Dst]
+	if !ok || len(ports) == 0 {
+		sw.NoRoute++
+		return
+	}
+	idx := 0
+	if len(ports) > 1 {
+		idx = int(flowHash(pkt) % uint64(len(ports)))
+	}
+	sw.links[ports[idx]].Send(pkt)
+}
+
+// flowHash hashes the five-tuple for ECMP port selection.
+func flowHash(pkt *packet.Packet) uint64 {
+	k := pkt.Flow()
+	x := uint64(k.Src)<<32 | uint64(k.Dst)
+	x ^= uint64(k.SrcPort)<<48 | uint64(k.DstPort)<<32 | uint64(k.Proto)
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}

@@ -1,0 +1,196 @@
+package netsim
+
+import (
+	"fmt"
+
+	"eden/internal/transport"
+)
+
+// Topology is a builder for simulated networks: it creates hosts and
+// switches, wires bidirectional links, installs destination routes, and
+// programs SPAIN/MPLS-style label paths across switches — the
+// label-forwarding state §3.5 expects the controller (or a distributed
+// control protocol) to install so that end hosts can source-route by
+// writing a VLAN label.
+type Topology struct {
+	Sim *Sim
+
+	hosts    map[string]*Host
+	switches map[string]*Switch
+	// links[a][b] is the unidirectional link from node a to node b.
+	links map[string]map[string]*Link
+}
+
+// NewTopology creates an empty topology on the simulation.
+func NewTopology(sim *Sim) *Topology {
+	return &Topology{
+		Sim:      sim,
+		hosts:    map[string]*Host{},
+		switches: map[string]*Switch{},
+		links:    map[string]map[string]*Link{},
+	}
+}
+
+// AddHost creates a host.
+func (t *Topology) AddHost(name string, ip uint32, opts transport.Options) *Host {
+	if _, dup := t.hosts[name]; dup {
+		panic(fmt.Sprintf("netsim: duplicate host %q", name))
+	}
+	h := NewHost(t.Sim, name, ip, opts)
+	t.hosts[name] = h
+	return h
+}
+
+// AddSwitch creates a switch.
+func (t *Topology) AddSwitch(name string) *Switch {
+	if _, dup := t.switches[name]; dup {
+		panic(fmt.Sprintf("netsim: duplicate switch %q", name))
+	}
+	sw := NewSwitch(t.Sim, name)
+	t.switches[name] = sw
+	return sw
+}
+
+// Host returns a host by name.
+func (t *Topology) Host(name string) *Host { return t.hosts[name] }
+
+// Switch returns a switch by name.
+func (t *Topology) Switch(name string) *Switch { return t.switches[name] }
+
+func (t *Topology) node(name string) Node {
+	if h, ok := t.hosts[name]; ok {
+		return h
+	}
+	if sw, ok := t.switches[name]; ok {
+		return sw
+	}
+	panic(fmt.Sprintf("netsim: no node %q", name))
+}
+
+// Connect wires a bidirectional link between two nodes (host or switch)
+// with symmetric rate, delay and per-priority-queue capacity. Host ends
+// become the host's default uplink (first connection wins); switch ends
+// become switch ports.
+func (t *Topology) Connect(a, b string, rateBps int64, delay Time, queueCap int64) {
+	t.ConnectAsym(a, b, rateBps, rateBps, delay, queueCap)
+}
+
+// ConnectAsym wires a bidirectional link with distinct rates per
+// direction (rateAB from a to b).
+func (t *Topology) ConnectAsym(a, b string, rateAB, rateBA int64, delay Time, queueCap int64) {
+	t.addDirected(a, b, rateAB, delay, queueCap)
+	t.addDirected(b, a, rateBA, delay, queueCap)
+}
+
+func (t *Topology) addDirected(from, to string, rateBps int64, delay Time, queueCap int64) {
+	dst := t.node(to)
+	l := NewLink(t.Sim, from+"->"+to, rateBps, delay, queueCap, dst)
+	if t.links[from] == nil {
+		t.links[from] = map[string]*Link{}
+	}
+	t.links[from][to] = l
+	switch n := t.node(from).(type) {
+	case *Host:
+		if n.Uplink() == nil {
+			n.SetUplink(l)
+		}
+	case *Switch:
+		n.AddPort(l)
+	}
+}
+
+// Link returns the directed link from a to b.
+func (t *Topology) Link(a, b string) *Link {
+	l := t.links[a][b]
+	if l == nil {
+		panic(fmt.Sprintf("netsim: no link %s->%s", a, b))
+	}
+	return l
+}
+
+func (t *Topology) portOf(sw *Switch, l *Link) int {
+	for i := 0; ; i++ {
+		p := sw.Port(i)
+		if p == l {
+			return i
+		}
+	}
+}
+
+// InstallRoutes installs destination-IP routes for every host on every
+// switch along shortest paths (BFS over the link graph); equal-cost next
+// hops all become ECMP candidates.
+func (t *Topology) InstallRoutes() {
+	for _, h := range t.hosts {
+		// BFS from the host backwards over reverse links to find each
+		// switch's distance to the host.
+		dist := map[string]int{h.NodeName(): 0}
+		queue := []string{h.NodeName()}
+		for len(queue) > 0 {
+			cur := queue[0]
+			queue = queue[1:]
+			for from, outs := range t.links {
+				if _, seen := dist[from]; seen {
+					continue
+				}
+				if _, ok := outs[cur]; ok {
+					dist[from] = dist[cur] + 1
+					queue = append(queue, from)
+				}
+			}
+		}
+		for name, sw := range t.switches {
+			d, ok := dist[name]
+			if !ok {
+				continue
+			}
+			for to, l := range t.links[name] {
+				if dt, ok := dist[to]; ok && dt == d-1 {
+					if err := sw.AddRoute(h.IP(), t.portOf(sw, l)); err != nil {
+						panic(err)
+					}
+				}
+			}
+		}
+	}
+}
+
+// InstallPath programs a label path: for each consecutive switch pair on
+// the node path, the switch's label table is set to forward the label out
+// the link toward the next node. The first element is the source host
+// (programmed via SetLabelUplink when it has multiple uplinks); the last
+// is the destination host. This is the state a SPAIN-style control
+// protocol (or the Eden controller) computes and installs (§3.5).
+func (t *Topology) InstallPath(label uint16, path []string) error {
+	if len(path) < 2 {
+		return fmt.Errorf("netsim: path needs at least two nodes")
+	}
+	link := func(a, b string) (*Link, error) {
+		if l := t.links[a][b]; l != nil {
+			return l, nil
+		}
+		return nil, fmt.Errorf("netsim: no link %s->%s on path", a, b)
+	}
+	// Source host: bind the label to its first-hop uplink.
+	if h, ok := t.hosts[path[0]]; ok {
+		l, err := link(path[0], path[1])
+		if err != nil {
+			return err
+		}
+		h.SetLabelUplink(label, l)
+	}
+	for i := 1; i < len(path)-1; i++ {
+		sw, ok := t.switches[path[i]]
+		if !ok {
+			return fmt.Errorf("netsim: path node %q is not a switch", path[i])
+		}
+		l, err := link(path[i], path[i+1])
+		if err != nil {
+			return err
+		}
+		if err := sw.SetLabel(label, t.portOf(sw, l)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

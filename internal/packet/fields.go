@@ -1,0 +1,244 @@
+package packet
+
+import "fmt"
+
+// Field identifies one named packet property an action function can bind
+// to. Fields cover real header values (with a HeaderMap onto the wire
+// format), Eden metadata supplied by stages, and the control outputs that
+// action functions use to express side effects (§3.4.2: "modify the packet
+// variable ... control routing decisions for the packet, including dropping
+// it, sending it to a specific queue associated with rate limits").
+type Field uint8
+
+// Packet fields available to action functions.
+const (
+	// FieldSize is the total on-wire packet size in bytes (read-only).
+	// HeaderMap: IPv4.TotalLength (+L2 framing).
+	FieldSize Field = iota
+	// FieldPriority is the 802.1q Priority Code Point (read-write).
+	FieldPriority
+	// FieldVLAN is the 802.1q VID — Eden's source-route label (read-write).
+	FieldVLAN
+	// FieldSrcIP, FieldDstIP, FieldSrcPort, FieldDstPort, FieldProto are
+	// the five-tuple (read-write; NAT-style functions rewrite them).
+	FieldSrcIP
+	FieldDstIP
+	FieldSrcPort
+	FieldDstPort
+	FieldProto
+	// FieldDSCP is the IPv4 DSCP bits (read-write).
+	FieldDSCP
+	// FieldTTL is the IPv4 TTL (read-write).
+	FieldTTL
+	// FieldSeq is the TCP sequence number (read-only).
+	FieldSeq
+	// FieldTCPFlags is the TCP flag bits (read-only).
+	FieldTCPFlags
+	// FieldPayloadLen is the L4 payload length (read-only).
+	FieldPayloadLen
+
+	// Metadata fields, provided by stages (Table 2).
+	FieldMsgID
+	FieldMsgType
+	FieldMsgSize
+	FieldTenant
+	FieldKey
+	FieldNewMsg
+
+	// Control output fields (write-only in spirit; reads return the
+	// current value so programs can test "already set").
+	FieldDrop
+	FieldQueue
+	FieldPath
+	FieldCharge
+	FieldToController
+	FieldGotoTable
+
+	// NumFields is the number of defined fields.
+	NumFields
+)
+
+var fieldNames = [NumFields]string{
+	FieldSize:         "size",
+	FieldPriority:     "priority",
+	FieldVLAN:         "vlan",
+	FieldSrcIP:        "src_ip",
+	FieldDstIP:        "dst_ip",
+	FieldSrcPort:      "src_port",
+	FieldDstPort:      "dst_port",
+	FieldProto:        "proto",
+	FieldDSCP:         "dscp",
+	FieldTTL:          "ttl",
+	FieldSeq:          "seq",
+	FieldTCPFlags:     "tcp_flags",
+	FieldPayloadLen:   "payload_len",
+	FieldMsgID:        "msg_id",
+	FieldMsgType:      "msg_type",
+	FieldMsgSize:      "msg_size",
+	FieldTenant:       "tenant",
+	FieldKey:          "key",
+	FieldNewMsg:       "new_msg",
+	FieldDrop:         "drop",
+	FieldQueue:        "queue",
+	FieldPath:         "path",
+	FieldCharge:       "charge",
+	FieldToController: "to_controller",
+	FieldGotoTable:    "goto_table",
+}
+
+// headerMap documents which wire header each field corresponds to, in the
+// spirit of the paper's HeaderMap annotations (Figure 8).
+var headerMap = map[Field]string{
+	FieldSize:     "IPv4.TotalLength",
+	FieldPriority: "802.1q.PriorityCodePoint",
+	FieldVLAN:     "802.1q.VID",
+	FieldSrcIP:    "IPv4.Src",
+	FieldDstIP:    "IPv4.Dst",
+	FieldSrcPort:  "TCP/UDP.SrcPort",
+	FieldDstPort:  "TCP/UDP.DstPort",
+	FieldProto:    "IPv4.Protocol",
+	FieldDSCP:     "IPv4.DSCP",
+	FieldTTL:      "IPv4.TTL",
+	FieldSeq:      "TCP.SequenceNumber",
+	FieldTCPFlags: "TCP.Flags",
+}
+
+// String returns the source-level field name.
+func (f Field) String() string {
+	if f < NumFields {
+		return fieldNames[f]
+	}
+	return fmt.Sprintf("field(%d)", uint8(f))
+}
+
+// HeaderMap returns the wire header this field maps to, or "" for metadata
+// and control fields that exist only inside the host.
+func (f Field) HeaderMap() string { return headerMap[f] }
+
+// FieldByName resolves a source-level name to a Field.
+func FieldByName(name string) (Field, bool) {
+	for f := Field(0); f < NumFields; f++ {
+		if fieldNames[f] == name {
+			return f, true
+		}
+	}
+	return 0, false
+}
+
+// Writable reports whether action functions may store to the field.
+func (f Field) Writable() bool {
+	switch f {
+	case FieldSize, FieldSeq, FieldTCPFlags, FieldPayloadLen,
+		FieldMsgID, FieldMsgType, FieldMsgSize, FieldTenant, FieldKey, FieldNewMsg:
+		return false
+	default:
+		return true
+	}
+}
+
+// Get reads the field's current value from the packet.
+func (p *Packet) Get(f Field) int64 {
+	switch f {
+	case FieldSize:
+		return int64(p.Size())
+	case FieldPriority:
+		return int64(p.VLAN.PCP)
+	case FieldVLAN:
+		return int64(p.VLAN.VID)
+	case FieldSrcIP:
+		return int64(p.IP.Src)
+	case FieldDstIP:
+		return int64(p.IP.Dst)
+	case FieldSrcPort:
+		k := p.Flow()
+		return int64(k.SrcPort)
+	case FieldDstPort:
+		k := p.Flow()
+		return int64(k.DstPort)
+	case FieldProto:
+		return int64(p.IP.Proto)
+	case FieldDSCP:
+		return int64(p.IP.DSCP)
+	case FieldTTL:
+		return int64(p.IP.TTL)
+	case FieldSeq:
+		return int64(p.TCPHdr.Seq)
+	case FieldTCPFlags:
+		return int64(p.TCPHdr.Flags)
+	case FieldPayloadLen:
+		return int64(p.PayloadLen)
+	case FieldMsgID:
+		return int64(p.Meta.MsgID)
+	case FieldMsgType:
+		return p.Meta.MsgType
+	case FieldMsgSize:
+		return p.Meta.MsgSize
+	case FieldTenant:
+		return p.Meta.Tenant
+	case FieldKey:
+		return p.Meta.Key
+	case FieldNewMsg:
+		return p.Meta.NewMsg
+	case FieldDrop:
+		return p.Meta.Control.Drop
+	case FieldQueue:
+		return p.Meta.Control.Queue
+	case FieldPath:
+		return p.Meta.Control.Path
+	case FieldCharge:
+		return p.Meta.Control.Charge
+	case FieldToController:
+		return p.Meta.Control.ToController
+	case FieldGotoTable:
+		return p.Meta.Control.GotoTable
+	default:
+		return 0
+	}
+}
+
+// Set writes the field on the packet. Stores to read-only fields are
+// ignored (the compiler rejects them statically; this is a backstop).
+func (p *Packet) Set(f Field, v int64) {
+	switch f {
+	case FieldPriority:
+		p.HasVLAN = true
+		p.VLAN.PCP = uint8(v & 7)
+	case FieldVLAN:
+		p.HasVLAN = true
+		p.VLAN.VID = uint16(v & 0x0fff)
+	case FieldSrcIP:
+		p.IP.Src = uint32(v)
+	case FieldDstIP:
+		p.IP.Dst = uint32(v)
+	case FieldSrcPort:
+		if p.IP.Proto == ProtoUDP {
+			p.UDPHdr.SrcPort = uint16(v)
+		} else {
+			p.TCPHdr.SrcPort = uint16(v)
+		}
+	case FieldDstPort:
+		if p.IP.Proto == ProtoUDP {
+			p.UDPHdr.DstPort = uint16(v)
+		} else {
+			p.TCPHdr.DstPort = uint16(v)
+		}
+	case FieldProto:
+		p.IP.Proto = uint8(v)
+	case FieldDSCP:
+		p.IP.DSCP = uint8(v & 0x3f)
+	case FieldTTL:
+		p.IP.TTL = uint8(v)
+	case FieldDrop:
+		p.Meta.Control.Drop = v
+	case FieldQueue:
+		p.Meta.Control.Queue = v
+	case FieldPath:
+		p.Meta.Control.Path = v
+	case FieldCharge:
+		p.Meta.Control.Charge = v
+	case FieldToController:
+		p.Meta.Control.ToController = v
+	case FieldGotoTable:
+		p.Meta.Control.GotoTable = v
+	}
+}

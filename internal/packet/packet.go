@@ -1,0 +1,248 @@
+// Package packet models network packets for the Eden data plane. It
+// provides a layered header model (Ethernet, 802.1Q, IPv4, TCP, UDP) with
+// wire-format marshalling, plus the Eden-specific metadata block — class
+// name, message identifier and message metadata — that stages attach to
+// traffic and that travels with the packet down the host network stack to
+// the enclave (§3.3, §4.2 of the paper). The metadata never appears on the
+// wire; it exists only inside a host (or inside the simulator's host model).
+//
+// The package also defines the Field registry: the named header and
+// metadata fields that action functions can read and write. The compiler's
+// HeaderMap annotations (§3.4.4, Figure 8) resolve source-level names like
+// packet.Size or packet.Priority to Field identifiers, and the enclave uses
+// those identifiers to build the per-invocation packet state vector.
+package packet
+
+import (
+	"fmt"
+	"net/netip"
+)
+
+// EtherType values used by the model.
+const (
+	EtherTypeIPv4 uint16 = 0x0800
+	EtherTypeVLAN uint16 = 0x8100
+)
+
+// IP protocol numbers.
+const (
+	ProtoTCP uint8 = 6
+	ProtoUDP uint8 = 17
+)
+
+// TCP flag bits.
+const (
+	FlagFIN uint8 = 1 << 0
+	FlagSYN uint8 = 1 << 1
+	FlagRST uint8 = 1 << 2
+	FlagPSH uint8 = 1 << 3
+	FlagACK uint8 = 1 << 4
+)
+
+// Ethernet is the L2 header.
+type Ethernet struct {
+	Src, Dst  [6]byte
+	EtherType uint16
+}
+
+// Dot1Q is the 802.1Q VLAN tag. Eden uses the PCP bits for network
+// priority and the VID as the source-routing label (§3.5).
+type Dot1Q struct {
+	PCP uint8  // priority code point, 0..7
+	VID uint16 // VLAN identifier, 0..4095; Eden's path label
+}
+
+// IPv4 is the L3 header (options are not modelled).
+type IPv4 struct {
+	Src, Dst    uint32
+	Proto       uint8
+	TTL         uint8
+	DSCP        uint8
+	TotalLength uint16 // header + payload, bytes
+	ID          uint16
+}
+
+// TCP is the L4 TCP header (options are not modelled).
+type TCP struct {
+	SrcPort, DstPort uint16
+	Seq, Ack         uint32
+	Flags            uint8
+	Window           uint16
+}
+
+// UDP is the L4 UDP header.
+type UDP struct {
+	SrcPort, DstPort uint16
+	Length           uint16
+}
+
+// Metadata is the Eden metadata block a stage attaches to a message's
+// packets: the class that selects the enclave rule, the message identifier
+// that scopes per-message state, and the application-provided metadata
+// fields from the stage's classification rule (Table 2). The Control
+// sub-struct carries the *outputs* of action functions back to the host
+// stack — the routing/queueing side effects §3.4.2 enumerates.
+type Metadata struct {
+	// Class is the fully qualified class name ("stage.ruleset.class").
+	// Empty means unclassified; the enclave may still classify by packet
+	// headers (the enclave is itself a stage, Table 2 last row).
+	Class string
+	// Classes holds all the message's classes when it belongs to more
+	// than one (one per rule-set, §3.3); nil when Class alone applies.
+	Classes []string
+	// MsgID identifies the application message this packet carries data
+	// for; 0 means "no message association".
+	MsgID uint64
+	// MsgType is the application message type (stage-specific encoding,
+	// e.g. GET/PUT/READ/WRITE).
+	MsgType int64
+	// MsgSize is the application-semantic message size in bytes, when the
+	// stage knows it (SFF and Pulsar rely on this). For a storage READ
+	// request this is the *operation* size — the bytes the server will
+	// move — not the request's size on the wire (§2.1.2).
+	MsgSize int64
+	// WireSize is the message's actual byte count in the transport
+	// stream, set by the transport when the message is enqueued. It is
+	// framing information, not an action-function field.
+	WireSize int64
+	// Tenant identifies the tenant (VM collection) the traffic belongs to.
+	Tenant int64
+	// Key is a stage-specific key digest (e.g. hash of a memcached key).
+	Key int64
+	// NewMsg is 1 for the first packet of a message, else 0.
+	NewMsg int64
+	// Control carries action-function outputs.
+	Control Control
+}
+
+// Control holds the side-effect outputs of an action function, applied by
+// the enclave after the program halts: drop, queue selection, path
+// selection, priority. Values of -1 mean "unset".
+type Control struct {
+	// Drop, when nonzero, discards the packet.
+	Drop int64
+	// Queue selects a rate-limited enclave queue; -1 means direct send.
+	Queue int64
+	// Path selects a source-route label (VLAN VID); -1 means default.
+	Path int64
+	// Charge overrides the number of bytes the selected queue's rate
+	// limiter accounts for this packet; -1 means the packet size. This is
+	// exactly the mechanism Pulsar's rate control needs (Figure 3).
+	Charge int64
+	// ToController, when nonzero, mirrors the packet to the controller.
+	ToController int64
+	// GotoTable redirects processing to the table with the given index
+	// in the current direction's pipeline (forward-only); -1 means
+	// continue with the next table. This is §3.4.2's "sending it to a
+	// specific match-action table".
+	GotoTable int64
+}
+
+// reset marks all control fields unset.
+func (c *Control) reset() {
+	*c = Control{Queue: -1, Path: -1, Charge: -1, GotoTable: -1}
+}
+
+// Packet is a parsed packet plus Eden metadata. The zero value is not
+// useful; use New or Unmarshal.
+type Packet struct {
+	Eth     Ethernet
+	HasVLAN bool
+	VLAN    Dot1Q
+	IP      IPv4
+	// L4 selects which of TCPHdr/UDPHdr is valid, per IP.Proto.
+	TCPHdr TCP
+	UDPHdr UDP
+	// PayloadLen is the L4 payload length in bytes. The simulator does
+	// not carry payload bytes; Payload may be nil even when PayloadLen>0.
+	PayloadLen int
+	Payload    []byte
+	Meta       Metadata
+}
+
+// New returns a TCP packet with sensible defaults (TTL 64, VLAN absent,
+// control fields unset).
+func New(src, dst uint32, srcPort, dstPort uint16, payloadLen int) *Packet {
+	p := &Packet{
+		Eth: Ethernet{EtherType: EtherTypeIPv4},
+		IP: IPv4{
+			Src: src, Dst: dst, Proto: ProtoTCP, TTL: 64,
+			TotalLength: uint16(ipv4HeaderLen + tcpHeaderLen + payloadLen),
+		},
+		TCPHdr:     TCP{SrcPort: srcPort, DstPort: dstPort},
+		PayloadLen: payloadLen,
+	}
+	p.Meta.Control.reset()
+	return p
+}
+
+// ResetControl clears the action-function output fields before an enclave
+// invocation.
+func (p *Packet) ResetControl() { p.Meta.Control.reset() }
+
+// Size returns the total on-wire size in bytes, including L2 headers.
+func (p *Packet) Size() int {
+	n := ethHeaderLen + int(p.IP.TotalLength)
+	if p.HasVLAN {
+		n += vlanHeaderLen
+	}
+	return n
+}
+
+// FlowKey identifies a transport connection (the enclave's own
+// classification granularity, Table 2 last row).
+type FlowKey struct {
+	Src, Dst         uint32
+	SrcPort, DstPort uint16
+	Proto            uint8
+}
+
+// Flow returns the packet's 5-tuple.
+func (p *Packet) Flow() FlowKey {
+	k := FlowKey{Src: p.IP.Src, Dst: p.IP.Dst, Proto: p.IP.Proto}
+	switch p.IP.Proto {
+	case ProtoTCP:
+		k.SrcPort, k.DstPort = p.TCPHdr.SrcPort, p.TCPHdr.DstPort
+	case ProtoUDP:
+		k.SrcPort, k.DstPort = p.UDPHdr.SrcPort, p.UDPHdr.DstPort
+	}
+	return k
+}
+
+// Reverse returns the key of the opposite direction of the flow.
+func (k FlowKey) Reverse() FlowKey {
+	return FlowKey{Src: k.Dst, Dst: k.Src, SrcPort: k.DstPort, DstPort: k.SrcPort, Proto: k.Proto}
+}
+
+// String renders the flow key as "src:port>dst:port/proto".
+func (k FlowKey) String() string {
+	return fmt.Sprintf("%s:%d>%s:%d/%d", IPString(k.Src), k.SrcPort, IPString(k.Dst), k.DstPort, k.Proto)
+}
+
+// IPString formats a uint32 IPv4 address in dotted decimal.
+func IPString(ip uint32) string {
+	a := netip.AddrFrom4([4]byte{byte(ip >> 24), byte(ip >> 16), byte(ip >> 8), byte(ip)})
+	return a.String()
+}
+
+// ParseIP parses dotted decimal into the uint32 address form used here.
+func ParseIP(s string) (uint32, error) {
+	a, err := netip.ParseAddr(s)
+	if err != nil {
+		return 0, err
+	}
+	if !a.Is4() {
+		return 0, fmt.Errorf("packet: %q is not IPv4", s)
+	}
+	b := a.As4()
+	return uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3]), nil
+}
+
+// MustParseIP is ParseIP that panics on error; for tests and fixed configs.
+func MustParseIP(s string) uint32 {
+	ip, err := ParseIP(s)
+	if err != nil {
+		panic(err)
+	}
+	return ip
+}

@@ -1,0 +1,303 @@
+package packet
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMarshalUnmarshalTCP(t *testing.T) {
+	p := New(MustParseIP("10.0.0.1"), MustParseIP("10.0.0.2"), 12345, 80, 3)
+	p.Payload = []byte{1, 2, 3}
+	p.TCPHdr.Seq = 1000
+	p.TCPHdr.Ack = 2000
+	p.TCPHdr.Flags = FlagACK | FlagPSH
+	p.TCPHdr.Window = 65535
+	p.IP.DSCP = 10
+	p.IP.ID = 77
+
+	buf, err := p.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !VerifyIPChecksum(buf) {
+		t.Error("IP checksum invalid")
+	}
+	q, err := Unmarshal(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.IP.Src != p.IP.Src || q.IP.Dst != p.IP.Dst || q.IP.Proto != ProtoTCP {
+		t.Errorf("IP mismatch: %+v", q.IP)
+	}
+	if q.TCPHdr != p.TCPHdr {
+		t.Errorf("TCP mismatch: %+v vs %+v", q.TCPHdr, p.TCPHdr)
+	}
+	if q.IP.DSCP != 10 || q.IP.ID != 77 {
+		t.Errorf("DSCP/ID mismatch: %+v", q.IP)
+	}
+	if string(q.Payload) != string(p.Payload) {
+		t.Errorf("payload mismatch: %v", q.Payload)
+	}
+}
+
+func TestMarshalUnmarshalVLAN(t *testing.T) {
+	p := New(1, 2, 3, 4, 0)
+	p.HasVLAN = true
+	p.VLAN.PCP = 5
+	p.VLAN.VID = 123
+	buf, err := p.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !VerifyIPChecksum(buf) {
+		t.Error("IP checksum invalid with VLAN")
+	}
+	q, err := Unmarshal(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !q.HasVLAN || q.VLAN.PCP != 5 || q.VLAN.VID != 123 {
+		t.Errorf("VLAN mismatch: %+v", q.VLAN)
+	}
+	if q.Size() != p.Size() {
+		t.Errorf("size mismatch: %d vs %d", q.Size(), p.Size())
+	}
+}
+
+func TestMarshalUnmarshalUDP(t *testing.T) {
+	p := &Packet{
+		Eth: Ethernet{EtherType: EtherTypeIPv4},
+		IP: IPv4{Src: 9, Dst: 10, Proto: ProtoUDP, TTL: 32,
+			TotalLength: uint16(ipv4HeaderLen + udpHeaderLen + 5)},
+		UDPHdr:     UDP{SrcPort: 53, DstPort: 5353},
+		PayloadLen: 5,
+		Payload:    []byte("hello"),
+	}
+	buf, err := p.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := Unmarshal(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.UDPHdr.SrcPort != 53 || q.UDPHdr.DstPort != 5353 {
+		t.Errorf("UDP ports: %+v", q.UDPHdr)
+	}
+	if string(q.Payload) != "hello" {
+		t.Errorf("payload: %q", q.Payload)
+	}
+	k := q.Flow()
+	if k.SrcPort != 53 || k.DstPort != 5353 || k.Proto != ProtoUDP {
+		t.Errorf("flow key: %+v", k)
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		make([]byte, 5),
+		make([]byte, ethHeaderLen),           // no IP header
+		append(make([]byte, 12), 0x86, 0xdd), // IPv6 ethertype
+	}
+	for i, b := range cases {
+		if _, err := Unmarshal(b); err == nil {
+			t.Errorf("case %d: Unmarshal accepted bad frame", i)
+		}
+	}
+	// Truncated variants of a valid frame must error, never panic.
+	p := New(1, 2, 3, 4, 10)
+	p.HasVLAN = true
+	buf, err := p.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n < len(buf); n++ {
+		if _, err := Unmarshal(buf[:n]); err == nil {
+			// Some truncations may still parse (payload shrinks are
+			// caught by TotalLength check) — require error for all.
+			t.Errorf("truncation to %d bytes accepted", n)
+		}
+	}
+}
+
+func TestFlowKeyReverse(t *testing.T) {
+	k := FlowKey{Src: 1, Dst: 2, SrcPort: 10, DstPort: 20, Proto: ProtoTCP}
+	r := k.Reverse()
+	if r.Src != 2 || r.Dst != 1 || r.SrcPort != 20 || r.DstPort != 10 {
+		t.Errorf("reverse: %+v", r)
+	}
+	if r.Reverse() != k {
+		t.Error("double reverse is not identity")
+	}
+	if k.String() == "" {
+		t.Error("empty String")
+	}
+}
+
+func TestParseIP(t *testing.T) {
+	ip, err := ParseIP("10.1.2.3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ip != 0x0a010203 {
+		t.Errorf("ParseIP = %#x", ip)
+	}
+	if IPString(ip) != "10.1.2.3" {
+		t.Errorf("IPString = %q", IPString(ip))
+	}
+	if _, err := ParseIP("not-an-ip"); err == nil {
+		t.Error("ParseIP accepted garbage")
+	}
+	if _, err := ParseIP("::1"); err == nil {
+		t.Error("ParseIP accepted IPv6")
+	}
+}
+
+func TestFieldRegistry(t *testing.T) {
+	seen := map[string]bool{}
+	for f := Field(0); f < NumFields; f++ {
+		name := f.String()
+		if name == "" {
+			t.Fatalf("field %d has no name", f)
+		}
+		if seen[name] {
+			t.Fatalf("duplicate field name %q", name)
+		}
+		seen[name] = true
+		got, ok := FieldByName(name)
+		if !ok || got != f {
+			t.Errorf("FieldByName(%q) = %v,%v", name, got, ok)
+		}
+	}
+	if _, ok := FieldByName("nonexistent"); ok {
+		t.Error("FieldByName accepted unknown name")
+	}
+	if Field(200).String() == "" {
+		t.Error("invalid field String empty")
+	}
+	// Header maps exist for wire fields, not for metadata.
+	if FieldPriority.HeaderMap() == "" {
+		t.Error("priority should have a header map")
+	}
+	if FieldMsgID.HeaderMap() != "" {
+		t.Error("msg_id should not have a header map")
+	}
+}
+
+func TestFieldGetSet(t *testing.T) {
+	p := New(MustParseIP("10.0.0.1"), MustParseIP("10.0.0.2"), 1111, 2222, 100)
+	p.Meta.MsgID = 42
+	p.Meta.MsgType = 7
+	p.Meta.MsgSize = 65536
+	p.Meta.Tenant = 3
+	p.Meta.Key = 99
+	p.Meta.NewMsg = 1
+	p.TCPHdr.Seq = 5
+	p.TCPHdr.Flags = FlagSYN
+
+	for f := Field(0); f < NumFields; f++ {
+		_ = p.Get(f) // must not panic for any field
+	}
+	if p.Get(FieldMsgSize) != 65536 || p.Get(FieldMsgID) != 42 || p.Get(FieldNewMsg) != 1 {
+		t.Error("metadata get mismatch")
+	}
+	if p.Get(FieldSeq) != 5 || p.Get(FieldTCPFlags) != int64(FlagSYN) {
+		t.Error("tcp get mismatch")
+	}
+
+	p.Set(FieldPriority, 6)
+	if !p.HasVLAN || p.Get(FieldPriority) != 6 {
+		t.Error("set priority failed")
+	}
+	p.Set(FieldVLAN, 100)
+	if p.Get(FieldVLAN) != 100 {
+		t.Error("set vlan failed")
+	}
+	p.Set(FieldDrop, 1)
+	p.Set(FieldQueue, 2)
+	p.Set(FieldPath, 3)
+	p.Set(FieldCharge, 4096)
+	if p.Meta.Control.Drop != 1 || p.Meta.Control.Queue != 2 ||
+		p.Meta.Control.Path != 3 || p.Meta.Control.Charge != 4096 {
+		t.Errorf("control fields: %+v", p.Meta.Control)
+	}
+	p.ResetControl()
+	if p.Meta.Control.Drop != 0 || p.Meta.Control.Queue != -1 ||
+		p.Meta.Control.Path != -1 || p.Meta.Control.Charge != -1 {
+		t.Errorf("reset control: %+v", p.Meta.Control)
+	}
+	// Read-only fields: Set must be a no-op.
+	before := p.Get(FieldSize)
+	p.Set(FieldSize, 1)
+	if p.Get(FieldSize) != before {
+		t.Error("size should be read-only")
+	}
+	if FieldSize.Writable() || !FieldPriority.Writable() || FieldMsgSize.Writable() {
+		t.Error("Writable flags wrong")
+	}
+	// DSCP and TTL round-trip.
+	p.Set(FieldDSCP, 46)
+	p.Set(FieldTTL, 12)
+	if p.Get(FieldDSCP) != 46 || p.Get(FieldTTL) != 12 {
+		t.Error("dscp/ttl set failed")
+	}
+	// Port rewrite via field API (NAT-style).
+	p.Set(FieldSrcPort, 8080)
+	p.Set(FieldDstPort, 9090)
+	if p.Get(FieldSrcPort) != 8080 || p.Get(FieldDstPort) != 9090 {
+		t.Error("port rewrite failed")
+	}
+}
+
+func TestQuickMarshalRoundTrip(t *testing.T) {
+	f := func(src, dst uint32, sp, dp uint16, seq, ack uint32, flags uint8, pcp uint8, vid uint16, n uint8) bool {
+		p := New(src, dst, sp, dp, int(n))
+		p.Payload = make([]byte, n)
+		for i := range p.Payload {
+			p.Payload[i] = byte(i * 7)
+		}
+		p.TCPHdr.Seq = seq
+		p.TCPHdr.Ack = ack
+		p.TCPHdr.Flags = flags & 0x3f
+		p.HasVLAN = true
+		p.VLAN.PCP = pcp & 7
+		p.VLAN.VID = vid & 0x0fff
+		buf, err := p.Marshal()
+		if err != nil {
+			return false
+		}
+		q, err := Unmarshal(buf)
+		if err != nil {
+			return false
+		}
+		return q.IP.Src == src && q.IP.Dst == dst &&
+			q.TCPHdr.SrcPort == sp && q.TCPHdr.DstPort == dp &&
+			q.TCPHdr.Seq == seq && q.TCPHdr.Ack == ack &&
+			q.VLAN.PCP == pcp&7 && q.VLAN.VID == vid&0x0fff &&
+			q.PayloadLen == int(n) && VerifyIPChecksum(buf)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkMarshal(b *testing.B) {
+	p := New(1, 2, 3, 4, 1400)
+	p.Payload = make([]byte, 1400)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Marshal(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFieldGet(b *testing.B) {
+	p := New(1, 2, 3, 4, 1400)
+	var sink int64
+	for i := 0; i < b.N; i++ {
+		sink += p.Get(FieldSize)
+	}
+	_ = sink
+}

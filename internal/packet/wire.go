@@ -1,0 +1,225 @@
+package packet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Header lengths in bytes.
+const (
+	ethHeaderLen  = 14
+	vlanHeaderLen = 4
+	ipv4HeaderLen = 20
+	tcpHeaderLen  = 20
+	udpHeaderLen  = 8
+)
+
+// ErrShortPacket is returned when a buffer is too small to hold the
+// declared headers.
+var ErrShortPacket = errors.New("packet: truncated packet")
+
+// Marshal serializes the packet to wire format. The IPv4 header checksum
+// and the TCP/UDP checksums (over the IPv4 pseudo-header) are computed.
+// If p.Payload is nil but PayloadLen > 0, zero payload bytes are emitted.
+func (p *Packet) Marshal() ([]byte, error) {
+	ipLen := ipv4HeaderLen + p.l4Len() + p.PayloadLen
+	if ipLen > 0xffff {
+		return nil, fmt.Errorf("packet: IP length %d overflows", ipLen)
+	}
+	buf := make([]byte, p.headerLen()+p.PayloadLen)
+	off := 0
+
+	// Ethernet.
+	copy(buf[0:6], p.Eth.Dst[:])
+	copy(buf[6:12], p.Eth.Src[:])
+	if p.HasVLAN {
+		binary.BigEndian.PutUint16(buf[12:], EtherTypeVLAN)
+		tci := uint16(p.VLAN.PCP&7)<<13 | p.VLAN.VID&0x0fff
+		binary.BigEndian.PutUint16(buf[14:], tci)
+		binary.BigEndian.PutUint16(buf[16:], EtherTypeIPv4)
+		off = ethHeaderLen + vlanHeaderLen
+	} else {
+		binary.BigEndian.PutUint16(buf[12:], EtherTypeIPv4)
+		off = ethHeaderLen
+	}
+
+	// IPv4.
+	ip := buf[off : off+ipv4HeaderLen]
+	ip[0] = 0x45 // version 4, IHL 5
+	ip[1] = p.IP.DSCP << 2
+	binary.BigEndian.PutUint16(ip[2:], uint16(ipLen))
+	binary.BigEndian.PutUint16(ip[4:], p.IP.ID)
+	ip[8] = p.IP.TTL
+	ip[9] = p.IP.Proto
+	binary.BigEndian.PutUint32(ip[12:], p.IP.Src)
+	binary.BigEndian.PutUint32(ip[16:], p.IP.Dst)
+	binary.BigEndian.PutUint16(ip[10:], checksum(ip, 0))
+
+	// L4.
+	l4 := buf[off+ipv4HeaderLen:]
+	switch p.IP.Proto {
+	case ProtoTCP:
+		binary.BigEndian.PutUint16(l4[0:], p.TCPHdr.SrcPort)
+		binary.BigEndian.PutUint16(l4[2:], p.TCPHdr.DstPort)
+		binary.BigEndian.PutUint32(l4[4:], p.TCPHdr.Seq)
+		binary.BigEndian.PutUint32(l4[8:], p.TCPHdr.Ack)
+		l4[12] = 5 << 4 // data offset
+		l4[13] = p.TCPHdr.Flags
+		binary.BigEndian.PutUint16(l4[14:], p.TCPHdr.Window)
+		copy(l4[tcpHeaderLen:], p.Payload)
+		sum := pseudoSum(p.IP.Src, p.IP.Dst, ProtoTCP, tcpHeaderLen+p.PayloadLen)
+		binary.BigEndian.PutUint16(l4[16:], checksum(l4[:tcpHeaderLen+p.PayloadLen], sum))
+	case ProtoUDP:
+		binary.BigEndian.PutUint16(l4[0:], p.UDPHdr.SrcPort)
+		binary.BigEndian.PutUint16(l4[2:], p.UDPHdr.DstPort)
+		binary.BigEndian.PutUint16(l4[4:], uint16(udpHeaderLen+p.PayloadLen))
+		copy(l4[udpHeaderLen:], p.Payload)
+		sum := pseudoSum(p.IP.Src, p.IP.Dst, ProtoUDP, udpHeaderLen+p.PayloadLen)
+		binary.BigEndian.PutUint16(l4[6:], checksum(l4[:udpHeaderLen+p.PayloadLen], sum))
+	default:
+		copy(l4, p.Payload)
+	}
+	return buf, nil
+}
+
+func (p *Packet) headerLen() int {
+	n := ethHeaderLen + ipv4HeaderLen + p.l4Len()
+	if p.HasVLAN {
+		n += vlanHeaderLen
+	}
+	return n
+}
+
+func (p *Packet) l4Len() int {
+	switch p.IP.Proto {
+	case ProtoTCP:
+		return tcpHeaderLen
+	case ProtoUDP:
+		return udpHeaderLen
+	default:
+		return 0
+	}
+}
+
+// Unmarshal parses a wire-format packet produced by Marshal (or any
+// Ethernet/802.1Q/IPv4/TCP|UDP frame without IP options). Eden metadata is
+// not on the wire, so p.Meta is reset with control fields unset.
+func Unmarshal(buf []byte) (*Packet, error) {
+	p := &Packet{}
+	p.Meta.Control.reset()
+	if len(buf) < ethHeaderLen {
+		return nil, ErrShortPacket
+	}
+	copy(p.Eth.Dst[:], buf[0:6])
+	copy(p.Eth.Src[:], buf[6:12])
+	et := binary.BigEndian.Uint16(buf[12:])
+	off := ethHeaderLen
+	if et == EtherTypeVLAN {
+		if len(buf) < ethHeaderLen+vlanHeaderLen {
+			return nil, ErrShortPacket
+		}
+		tci := binary.BigEndian.Uint16(buf[14:])
+		p.HasVLAN = true
+		p.VLAN.PCP = uint8(tci >> 13)
+		p.VLAN.VID = tci & 0x0fff
+		et = binary.BigEndian.Uint16(buf[16:])
+		off += vlanHeaderLen
+	}
+	p.Eth.EtherType = et
+	if et != EtherTypeIPv4 {
+		return nil, fmt.Errorf("packet: unsupported ethertype %#04x", et)
+	}
+	if len(buf) < off+ipv4HeaderLen {
+		return nil, ErrShortPacket
+	}
+	ip := buf[off:]
+	if ip[0]>>4 != 4 {
+		return nil, fmt.Errorf("packet: not IPv4 (version %d)", ip[0]>>4)
+	}
+	ihl := int(ip[0]&0x0f) * 4
+	if ihl < ipv4HeaderLen || len(buf) < off+ihl {
+		return nil, ErrShortPacket
+	}
+	p.IP.DSCP = ip[1] >> 2
+	p.IP.TotalLength = binary.BigEndian.Uint16(ip[2:])
+	p.IP.ID = binary.BigEndian.Uint16(ip[4:])
+	p.IP.TTL = ip[8]
+	p.IP.Proto = ip[9]
+	p.IP.Src = binary.BigEndian.Uint32(ip[12:])
+	p.IP.Dst = binary.BigEndian.Uint32(ip[16:])
+	if int(p.IP.TotalLength) < ihl || len(buf) < off+int(p.IP.TotalLength) {
+		return nil, ErrShortPacket
+	}
+	l4 := ip[ihl:p.IP.TotalLength]
+	switch p.IP.Proto {
+	case ProtoTCP:
+		if len(l4) < tcpHeaderLen {
+			return nil, ErrShortPacket
+		}
+		p.TCPHdr.SrcPort = binary.BigEndian.Uint16(l4[0:])
+		p.TCPHdr.DstPort = binary.BigEndian.Uint16(l4[2:])
+		p.TCPHdr.Seq = binary.BigEndian.Uint32(l4[4:])
+		p.TCPHdr.Ack = binary.BigEndian.Uint32(l4[8:])
+		doff := int(l4[12]>>4) * 4
+		if doff < tcpHeaderLen || len(l4) < doff {
+			return nil, ErrShortPacket
+		}
+		p.TCPHdr.Flags = l4[13]
+		p.TCPHdr.Window = binary.BigEndian.Uint16(l4[14:])
+		p.Payload = l4[doff:]
+		p.PayloadLen = len(p.Payload)
+	case ProtoUDP:
+		if len(l4) < udpHeaderLen {
+			return nil, ErrShortPacket
+		}
+		p.UDPHdr.SrcPort = binary.BigEndian.Uint16(l4[0:])
+		p.UDPHdr.DstPort = binary.BigEndian.Uint16(l4[2:])
+		p.UDPHdr.Length = binary.BigEndian.Uint16(l4[4:])
+		p.Payload = l4[udpHeaderLen:]
+		p.PayloadLen = len(p.Payload)
+	default:
+		p.Payload = l4
+		p.PayloadLen = len(l4)
+	}
+	return p, nil
+}
+
+// checksum computes the ones-complement Internet checksum of b seeded with
+// sum (used for the pseudo-header).
+func checksum(b []byte, sum uint32) uint16 {
+	for i := 0; i+1 < len(b); i += 2 {
+		// Skip the checksum field itself if it is pre-zeroed by callers;
+		// callers must zero it before computing.
+		sum += uint32(b[i])<<8 | uint32(b[i+1])
+	}
+	if len(b)%2 == 1 {
+		sum += uint32(b[len(b)-1]) << 8
+	}
+	for sum>>16 != 0 {
+		sum = (sum & 0xffff) + sum>>16
+	}
+	return ^uint16(sum)
+}
+
+func pseudoSum(src, dst uint32, proto uint8, l4len int) uint32 {
+	sum := src>>16 + src&0xffff + dst>>16 + dst&0xffff
+	sum += uint32(proto) + uint32(l4len)
+	return sum
+}
+
+// VerifyIPChecksum reports whether the IPv4 header checksum of a marshalled
+// frame is valid. The frame must start at the Ethernet header.
+func VerifyIPChecksum(buf []byte) bool {
+	off := ethHeaderLen
+	if len(buf) < off+2 {
+		return false
+	}
+	if binary.BigEndian.Uint16(buf[12:]) == EtherTypeVLAN {
+		off += vlanHeaderLen
+	}
+	if len(buf) < off+ipv4HeaderLen {
+		return false
+	}
+	return checksum(buf[off:off+ipv4HeaderLen], 0) == 0
+}

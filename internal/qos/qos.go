@@ -1,0 +1,158 @@
+// Package qos provides the rate-limiting substrate Eden's enclave queues
+// are built on: token buckets and rate-limited FIFO queues. These are the
+// "rate limited queues" that Pulsar-style datacenter QoS functions steer
+// packets into (§2.1.2, Figure 3): an action function selects a queue and
+// optionally overrides the number of bytes the packet is charged — e.g.
+// charging a READ request by the size of the data it will cause the
+// storage server to move, rather than by its (tiny) wire size.
+//
+// All times are int64 nanoseconds on a caller-supplied clock, so the same
+// code runs against the wall clock or the discrete-event simulator.
+package qos
+
+// TokenBucket is a classic token bucket: tokens accrue at Rate bytes/sec
+// up to Burst bytes. The zero value is unusable; use NewTokenBucket.
+type TokenBucket struct {
+	rateBps int64 // bits per second
+	burst   int64 // bytes
+	tokens  int64 // current tokens, bytes (may be negative after Borrow)
+	last    int64 // last refill time, ns
+}
+
+// NewTokenBucket returns a bucket that refills at rateBps bits/second with
+// the given burst size in bytes, initially full.
+func NewTokenBucket(rateBps, burstBytes int64) *TokenBucket {
+	if rateBps <= 0 {
+		panic("qos: token bucket rate must be positive")
+	}
+	if burstBytes <= 0 {
+		burstBytes = 1
+	}
+	return &TokenBucket{rateBps: rateBps, burst: burstBytes, tokens: burstBytes}
+}
+
+func (tb *TokenBucket) refill(now int64) {
+	if now <= tb.last {
+		return
+	}
+	dt := now - tb.last
+	tb.last = now
+	add := dt * tb.rateBps / (8 * 1e9)
+	tb.tokens += add
+	if tb.tokens > tb.burst {
+		tb.tokens = tb.burst
+	}
+}
+
+// Admit consumes n bytes of tokens if available, reporting success.
+func (tb *TokenBucket) Admit(now, n int64) bool {
+	tb.refill(now)
+	if tb.tokens < n {
+		return false
+	}
+	tb.tokens -= n
+	return true
+}
+
+// NextAdmit returns the earliest time at or after now at which Admit(t, n)
+// would succeed, assuming no intervening consumption.
+func (tb *TokenBucket) NextAdmit(now, n int64) int64 {
+	tb.refill(now)
+	if tb.tokens >= n {
+		return now
+	}
+	need := n - tb.tokens
+	wait := (need*8*1e9 + tb.rateBps - 1) / tb.rateBps
+	return now + wait
+}
+
+// Tokens returns the token count at the given time.
+func (tb *TokenBucket) Tokens(now int64) int64 {
+	tb.refill(now)
+	return tb.tokens
+}
+
+// Item is one queued entry: an opaque payload plus its accounting charge.
+type Item struct {
+	Payload any
+	// Charge is the number of bytes the rate limiter accounts for this
+	// item (Pulsar's size override; usually the wire size).
+	Charge int64
+	// Release is the computed transmission time, filled by the queue.
+	Release int64
+}
+
+// Queue is a rate-limited FIFO. Items are released in order, paced so the
+// long-run release rate of charged bytes does not exceed RateBps. A Queue
+// is not safe for concurrent use; the enclave serializes access.
+type Queue struct {
+	// RateBps is the drain rate in bits per second.
+	RateBps int64
+	// CapBytes bounds the backlog (sum of charges); beyond it Enqueue
+	// drops. Zero means unbounded.
+	CapBytes int64
+
+	backlog  int64
+	nextFree int64
+	items    []Item
+	// Dropped counts items rejected because the backlog was full.
+	Dropped int64
+}
+
+// NewQueue returns a queue draining at rateBps with the given backlog cap.
+func NewQueue(rateBps, capBytes int64) *Queue {
+	if rateBps <= 0 {
+		panic("qos: queue rate must be positive")
+	}
+	return &Queue{RateBps: rateBps, CapBytes: capBytes}
+}
+
+// Enqueue adds an item, charging the given number of bytes. It returns the
+// item's release time and true, or 0 and false if the backlog is full.
+// Because the queue is FIFO with a fixed rate, the release time is exact
+// at admission: max(now, previous release) + charge/rate.
+func (q *Queue) Enqueue(now int64, payload any, charge int64) (int64, bool) {
+	if charge < 0 {
+		charge = 0
+	}
+	if q.CapBytes > 0 && q.backlog+charge > q.CapBytes {
+		q.Dropped++
+		return 0, false
+	}
+	start := now
+	if q.nextFree > start {
+		start = q.nextFree
+	}
+	release := start + charge*8*1e9/q.RateBps
+	q.nextFree = release
+	q.backlog += charge
+	q.items = append(q.items, Item{Payload: payload, Charge: charge, Release: release})
+	return release, true
+}
+
+// Dequeue removes and returns the head item if its release time has
+// arrived.
+func (q *Queue) Dequeue(now int64) (Item, bool) {
+	if len(q.items) == 0 || q.items[0].Release > now {
+		return Item{}, false
+	}
+	it := q.items[0]
+	q.items = q.items[1:]
+	q.backlog -= it.Charge
+	return it, true
+}
+
+// Len returns the number of queued items.
+func (q *Queue) Len() int { return len(q.items) }
+
+// Backlog returns the total charged bytes currently queued.
+func (q *Queue) Backlog() int64 { return q.backlog }
+
+// NextRelease returns the release time of the head item, or false if the
+// queue is empty.
+func (q *Queue) NextRelease() (int64, bool) {
+	if len(q.items) == 0 {
+		return 0, false
+	}
+	return q.items[0].Release, true
+}

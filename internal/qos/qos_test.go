@@ -1,0 +1,200 @@
+package qos
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+const gbps = int64(1e9)
+
+func TestTokenBucketBasics(t *testing.T) {
+	tb := NewTokenBucket(8*gbps, 1000) // 1 GB/s, 1000 B burst
+	if !tb.Admit(0, 1000) {
+		t.Fatal("initial burst should admit")
+	}
+	if tb.Admit(0, 1) {
+		t.Fatal("empty bucket admitted")
+	}
+	// After 1µs at 1 GB/s, 1000 bytes accrue.
+	if got := tb.Tokens(1000); got != 1000 {
+		t.Errorf("tokens after 1µs = %d, want 1000", got)
+	}
+	if !tb.Admit(1000, 1000) {
+		t.Error("refilled bucket should admit")
+	}
+}
+
+func TestTokenBucketBurstCap(t *testing.T) {
+	tb := NewTokenBucket(8*gbps, 500)
+	if got := tb.Tokens(1e9); got != 500 {
+		t.Errorf("tokens capped at %d, want 500", got)
+	}
+}
+
+func TestNextAdmit(t *testing.T) {
+	tb := NewTokenBucket(8*gbps, 1000)
+	tb.Admit(0, 1000)
+	// Need 800 bytes at 1 GB/s -> 800 ns.
+	at := tb.NextAdmit(0, 800)
+	if at != 800 {
+		t.Errorf("NextAdmit = %d, want 800", at)
+	}
+	if !tb.Admit(at, 800) {
+		t.Error("Admit at NextAdmit time failed")
+	}
+	// Already available: returns now.
+	tb2 := NewTokenBucket(8*gbps, 1000)
+	if at := tb2.NextAdmit(42, 100); at != 42 {
+		t.Errorf("NextAdmit available = %d, want 42", at)
+	}
+}
+
+func TestTokenBucketClockSkew(t *testing.T) {
+	tb := NewTokenBucket(8*gbps, 100)
+	tb.Admit(1000, 100)
+	// A stale timestamp must not mint tokens.
+	if tb.Admit(500, 50) {
+		t.Error("stale clock minted tokens")
+	}
+}
+
+func TestQueuePacing(t *testing.T) {
+	q := NewQueue(8*gbps, 0) // 1 GB/s
+	// Three 1000-byte packets take 1µs each on the wire.
+	r1, ok1 := q.Enqueue(0, "a", 1000)
+	r2, ok2 := q.Enqueue(0, "b", 1000)
+	r3, ok3 := q.Enqueue(0, "c", 1000)
+	if !ok1 || !ok2 || !ok3 {
+		t.Fatal("enqueue failed")
+	}
+	if r1 != 1000 || r2 != 2000 || r3 != 3000 {
+		t.Errorf("releases = %d %d %d, want 1000 2000 3000", r1, r2, r3)
+	}
+	if q.Len() != 3 || q.Backlog() != 3000 {
+		t.Errorf("len=%d backlog=%d", q.Len(), q.Backlog())
+	}
+	if _, ok := q.Dequeue(999); ok {
+		t.Error("dequeued before release time")
+	}
+	it, ok := q.Dequeue(1000)
+	if !ok || it.Payload != "a" {
+		t.Errorf("dequeue = %+v %v", it, ok)
+	}
+	if nr, ok := q.NextRelease(); !ok || nr != 2000 {
+		t.Errorf("next release = %d %v", nr, ok)
+	}
+}
+
+func TestQueueIdleRestart(t *testing.T) {
+	q := NewQueue(8*gbps, 0)
+	q.Enqueue(0, "a", 1000)
+	q.Dequeue(1000)
+	// After idle gap, pacing restarts from now (no token accumulation).
+	r, _ := q.Enqueue(1_000_000, "b", 1000)
+	if r != 1_001_000 {
+		t.Errorf("release after idle = %d, want 1001000", r)
+	}
+}
+
+func TestQueueCapDrops(t *testing.T) {
+	q := NewQueue(8*gbps, 2500)
+	for i := 0; i < 2; i++ {
+		if _, ok := q.Enqueue(0, i, 1000); !ok {
+			t.Fatalf("enqueue %d rejected", i)
+		}
+	}
+	if _, ok := q.Enqueue(0, "x", 1000); ok {
+		t.Error("over-cap enqueue admitted")
+	}
+	if q.Dropped != 1 {
+		t.Errorf("dropped = %d", q.Dropped)
+	}
+	// Draining frees capacity.
+	q.Dequeue(1000)
+	if _, ok := q.Enqueue(2000, "y", 1000); !ok {
+		t.Error("enqueue after drain rejected")
+	}
+}
+
+func TestQueueChargeOverride(t *testing.T) {
+	// Pulsar's trick: a 100-byte packet charged as 64KB is paced as 64KB.
+	q := NewQueue(8*gbps, 0)
+	r, _ := q.Enqueue(0, "read-req", 64*1024)
+	if r != 64*1024 {
+		t.Errorf("release = %d, want 65536", r)
+	}
+	// Zero and negative charges release immediately.
+	r2, _ := q.Enqueue(r, "ctl", 0)
+	if r2 != r {
+		t.Errorf("zero charge release = %d, want %d", r2, r)
+	}
+	r3, _ := q.Enqueue(r, "neg", -5)
+	if r3 != r {
+		t.Errorf("negative charge release = %d", r3)
+	}
+}
+
+// Property: release times are non-decreasing and rate is never exceeded
+// over any prefix.
+func TestQuickQueueRateInvariant(t *testing.T) {
+	f := func(charges []uint16) bool {
+		q := NewQueue(gbps, 0) // 125 MB/s
+		var prev int64
+		var total int64
+		for _, c := range charges {
+			r, ok := q.Enqueue(0, nil, int64(c))
+			if !ok {
+				return false
+			}
+			if r < prev {
+				return false
+			}
+			prev = r
+			total += int64(c)
+			// Cumulative bytes by time r must respect the rate:
+			// r >= total*8e9/rate.
+			if r < total*8*1e9/gbps {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: token bucket never goes above burst nor below zero through any
+// admit sequence.
+func TestQuickTokenBucketBounds(t *testing.T) {
+	f := func(ops []struct {
+		Dt uint16
+		N  uint16
+	}) bool {
+		tb := NewTokenBucket(gbps, 5000)
+		now := int64(0)
+		for _, op := range ops {
+			now += int64(op.Dt)
+			tb.Admit(now, int64(op.N))
+			got := tb.Tokens(now)
+			if got < 0 || got > 5000 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkQueueEnqueueDequeue(b *testing.B) {
+	q := NewQueue(10*gbps, 0)
+	now := int64(0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r, _ := q.Enqueue(now, nil, 1500)
+		q.Dequeue(r)
+		now = r
+	}
+}

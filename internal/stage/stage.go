@@ -1,0 +1,194 @@
+// Package stage implements the Eden stage runtime (§3.3): the library an
+// Eden-compliant application, library or service links against to
+// classify its traffic. A stage declares its classification capabilities
+// (the fields it can classify messages on, and the metadata it can
+// generate — Table 2), holds controller-programmable classification rules
+// organised in rule-sets, and tags outgoing messages with their classes,
+// a unique message identifier and the requested metadata. The tag travels
+// with the message's packets down the host stack to the enclave (§4.2).
+//
+// The controller programs stages through the API of Table 3:
+// getStageInfo (Info), createStageRule (CreateRule) and removeStageRule
+// (RemoveRule).
+package stage
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"eden/internal/classify"
+	"eden/internal/packet"
+)
+
+// Info describes a stage's classification capabilities (the return value
+// of getStageInfo, Table 3 S0).
+type Info struct {
+	// Name is the stage name ("memcached", "httplib", ...).
+	Name string
+	// Classifiers are the fields usable in classification rules, in
+	// match order.
+	Classifiers []string
+	// MetaFields are the metadata fields the stage can generate.
+	MetaFields []string
+	// RuleSets lists the existing rule-set names.
+	RuleSets []string
+}
+
+// Stage is one Eden-compliant application's classification runtime. It is
+// safe for concurrent use.
+type Stage struct {
+	name string
+
+	mu sync.Mutex
+	cl *classify.Classifier
+
+	msgID atomic.Uint64
+}
+
+// New declares a stage with the given classifier and metadata fields.
+func New(name string, classifiers, metaFields []string) *Stage {
+	return &Stage{
+		name: name,
+		cl:   classify.NewClassifier(name, classifiers, metaFields),
+	}
+}
+
+// Name returns the stage name.
+func (s *Stage) Name() string { return s.name }
+
+// Info implements getStageInfo (Table 3, S0).
+func (s *Stage) Info() Info {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var rs []string
+	for _, r := range s.cl.RuleSets() {
+		rs = append(rs, r.Name)
+	}
+	return Info{
+		Name:        s.name,
+		Classifiers: append([]string(nil), s.cl.Fields...),
+		MetaFields:  append([]string(nil), s.cl.MetaFields...),
+		RuleSets:    rs,
+	}
+}
+
+// CreateRule implements createStageRule (Table 3, S1): install a
+// classification rule in the named rule-set, returning its identifier.
+func (s *Stage) CreateRule(ruleSet string, r classify.Rule) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cl.AddRule(ruleSet, r)
+}
+
+// ParseAndCreateRule parses a rule in the paper's textual syntax
+// (Figure 6) and installs it.
+func (s *Stage) ParseAndCreateRule(ruleSet, text string) (int, error) {
+	r, err := classify.ParseRule(text)
+	if err != nil {
+		return 0, err
+	}
+	return s.CreateRule(ruleSet, r)
+}
+
+// RemoveRule implements removeStageRule (Table 3, S2).
+func (s *Stage) RemoveRule(ruleSet string, id int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, rs := range s.cl.RuleSets() {
+		if rs.Name == ruleSet {
+			if rs.Remove(id) {
+				return nil
+			}
+			return fmt.Errorf("stage: no rule %d in rule-set %q", id, ruleSet)
+		}
+	}
+	return fmt.Errorf("stage: no rule-set %q", ruleSet)
+}
+
+// Message is the application's view of one outgoing message: the
+// classifier field values (aligned with the stage's declared classifier
+// fields) plus the metadata values the stage can attach.
+type Message struct {
+	// FieldValues are the classifier field values, e.g.
+	// {"GET", "somekey"} for memcached's <msg_type, key>.
+	FieldValues []string
+	// Type is the numeric message type stamped into metadata
+	// (stage-specific encoding).
+	Type int64
+	// Size is the message size in bytes, if known.
+	Size int64
+	// Key is a numeric key digest.
+	Key int64
+	// Tenant identifies the tenant.
+	Tenant int64
+}
+
+// Tag classifies a message and returns the Eden metadata to attach to its
+// packets: a fresh message identifier, all matching fully qualified
+// classes (one per rule-set), and the metadata fields requested by the
+// first matching rule. The returned ok is false when no rule-set matched
+// (the message is sent unclassified).
+func (s *Stage) Tag(m Message) (packet.Metadata, bool) {
+	id := s.msgID.Add(1)
+	s.mu.Lock()
+	cls := s.cl.Classify(m.FieldValues)
+	s.mu.Unlock()
+	if len(cls) == 0 {
+		return packet.Metadata{MsgID: id}, false
+	}
+	meta := packet.Metadata{MsgID: id}
+	meta.Class = cls[0].Class
+	if len(cls) > 1 {
+		meta.Classes = make([]string, len(cls))
+		for i, c := range cls {
+			meta.Classes[i] = c.Class
+		}
+	}
+	// Attach the metadata fields the matching rule asked for.
+	want := map[string]bool{}
+	for _, c := range cls {
+		for _, f := range c.Meta {
+			want[f] = true
+		}
+	}
+	if want["msg_type"] {
+		meta.MsgType = m.Type
+	}
+	if want["msg_size"] {
+		meta.MsgSize = m.Size
+	}
+	if want["key"] {
+		meta.Key = m.Key
+	}
+	if want["tenant"] {
+		meta.Tenant = m.Tenant
+	}
+	return meta, true
+}
+
+// Memcached returns a stage with the capabilities of Table 2's memcached
+// row: classify on <msg_type, key>, generate
+// {msg_id, msg_type, key, msg_size}.
+func Memcached() *Stage {
+	return New("memcached",
+		[]string{"msg_type", "key"},
+		[]string{"msg_id", "msg_type", "key", "msg_size"})
+}
+
+// HTTPLibrary returns a stage with the capabilities of Table 2's HTTP
+// library row: classify on <msg_type, url>, generate
+// {msg_id, msg_type, url, msg_size}.
+func HTTPLibrary() *Stage {
+	return New("http",
+		[]string{"msg_type", "url"},
+		[]string{"msg_id", "msg_type", "url", "msg_size"})
+}
+
+// Storage returns a stage for a storage client: classify on
+// <msg_type, tenant>, generate {msg_id, msg_type, msg_size, tenant}.
+func Storage() *Stage {
+	return New("storage",
+		[]string{"msg_type", "tenant"},
+		[]string{"msg_id", "msg_type", "msg_size", "tenant"})
+}

@@ -1,0 +1,163 @@
+package stage
+
+import (
+	"testing"
+
+	"eden/internal/classify"
+)
+
+func memcachedWithFigure6Rules(t *testing.T) *Stage {
+	t.Helper()
+	s := Memcached()
+	rules := []struct{ rs, text string }{
+		{"r1", `<GET, - > -> [GET, {msg_id, msg_size}]`},
+		{"r1", `<PUT, - > -> [PUT, {msg_id, msg_size}]`},
+		{"r2", `<*, - > -> [DEFAULT, {msg_id, msg_size}]`},
+		{"r3", `<GET, "a" > -> [GETA, {msg_id, msg_size}]`},
+		{"r3", `<*, "a" > -> [A, {msg_id, msg_size}]`},
+		{"r3", `<*, * > -> [OTHER, {msg_id, msg_size}]`},
+	}
+	for _, r := range rules {
+		if _, err := s.ParseAndCreateRule(r.rs, r.text); err != nil {
+			t.Fatalf("%s: %v", r.text, err)
+		}
+	}
+	return s
+}
+
+func TestStageInfo(t *testing.T) {
+	s := memcachedWithFigure6Rules(t)
+	info := s.Info()
+	if info.Name != "memcached" {
+		t.Errorf("name = %q", info.Name)
+	}
+	if len(info.Classifiers) != 2 || info.Classifiers[0] != "msg_type" || info.Classifiers[1] != "key" {
+		t.Errorf("classifiers = %v", info.Classifiers)
+	}
+	if len(info.MetaFields) != 4 {
+		t.Errorf("meta fields = %v", info.MetaFields)
+	}
+	if len(info.RuleSets) != 3 {
+		t.Errorf("rule sets = %v", info.RuleSets)
+	}
+}
+
+func TestTagMultiClass(t *testing.T) {
+	s := memcachedWithFigure6Rules(t)
+	meta, ok := s.Tag(Message{
+		FieldValues: []string{"PUT", "a"},
+		Type:        2, Size: 4096, Key: 97,
+	})
+	if !ok {
+		t.Fatal("classification failed")
+	}
+	// "a PUT request for key a belongs to memcached.r1.PUT,
+	// memcached.r2.DEFAULT, and memcached.r3.A."
+	want := []string{"memcached.r1.PUT", "memcached.r2.DEFAULT", "memcached.r3.A"}
+	if meta.Class != want[0] {
+		t.Errorf("primary class = %q", meta.Class)
+	}
+	if len(meta.Classes) != 3 {
+		t.Fatalf("classes = %v", meta.Classes)
+	}
+	for i, w := range want {
+		if meta.Classes[i] != w {
+			t.Errorf("class %d = %q, want %q", i, meta.Classes[i], w)
+		}
+	}
+	if meta.MsgID == 0 {
+		t.Error("no message id")
+	}
+	if meta.MsgSize != 4096 {
+		t.Errorf("msg size = %d", meta.MsgSize)
+	}
+	// msg_type requested by r1 rules? They ask only msg_id+msg_size;
+	// so MsgType stays zero.
+	if meta.MsgType != 0 {
+		t.Errorf("msg type attached though not requested: %d", meta.MsgType)
+	}
+}
+
+func TestTagRequestedMetadataOnly(t *testing.T) {
+	s := Storage()
+	if _, err := s.ParseAndCreateRule("rs", `<READ, -> -> [READ, {msg_id, msg_type, msg_size, tenant}]`); err != nil {
+		t.Fatal(err)
+	}
+	meta, ok := s.Tag(Message{FieldValues: []string{"READ", "0"}, Type: 1, Size: 65536, Tenant: 3})
+	if !ok {
+		t.Fatal("not classified")
+	}
+	if meta.MsgType != 1 || meta.MsgSize != 65536 || meta.Tenant != 3 {
+		t.Errorf("meta = %+v", meta)
+	}
+}
+
+func TestTagUnclassified(t *testing.T) {
+	s := Memcached() // no rules installed
+	meta, ok := s.Tag(Message{FieldValues: []string{"GET", "x"}})
+	if ok {
+		t.Error("classified without rules")
+	}
+	if meta.MsgID == 0 {
+		t.Error("unclassified messages still need ids")
+	}
+}
+
+func TestMsgIDsUnique(t *testing.T) {
+	s := Memcached()
+	seen := map[uint64]bool{}
+	for i := 0; i < 1000; i++ {
+		meta, _ := s.Tag(Message{FieldValues: []string{"GET", "k"}})
+		if seen[meta.MsgID] {
+			t.Fatal("duplicate message id")
+		}
+		seen[meta.MsgID] = true
+	}
+}
+
+func TestCreateRemoveRule(t *testing.T) {
+	s := Memcached()
+	id, err := s.CreateRule("r1", classify.Rule{
+		Match: []classify.Pattern{{Value: "GET"}},
+		Class: "GET",
+		Meta:  []string{"msg_id"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Tag(Message{FieldValues: []string{"GET", "x"}}); !ok {
+		t.Fatal("rule not effective")
+	}
+	if err := s.RemoveRule("r1", id); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Tag(Message{FieldValues: []string{"GET", "x"}}); ok {
+		t.Error("rule effective after removal")
+	}
+	if err := s.RemoveRule("r1", id); err == nil {
+		t.Error("double remove succeeded")
+	}
+	if err := s.RemoveRule("nope", 1); err == nil {
+		t.Error("remove from missing rule-set succeeded")
+	}
+	// Metadata validation: undeclared fields rejected.
+	if _, err := s.CreateRule("r1", classify.Rule{Class: "X", Meta: []string{"bogus"}}); err == nil {
+		t.Error("undeclared metadata accepted")
+	}
+}
+
+func TestParseAndCreateRuleError(t *testing.T) {
+	s := Memcached()
+	if _, err := s.ParseAndCreateRule("r1", "not a rule"); err == nil {
+		t.Error("bad rule text accepted")
+	}
+}
+
+func TestBuiltinStages(t *testing.T) {
+	for _, s := range []*Stage{Memcached(), HTTPLibrary(), Storage()} {
+		info := s.Info()
+		if info.Name == "" || len(info.Classifiers) == 0 || len(info.MetaFields) == 0 {
+			t.Errorf("stage %+v incomplete", info)
+		}
+	}
+}

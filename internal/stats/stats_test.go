@@ -1,0 +1,140 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func sampleOf(xs ...float64) *Sample {
+	s := &Sample{}
+	for _, x := range xs {
+		s.Add(x)
+	}
+	return s
+}
+
+func TestEmptySample(t *testing.T) {
+	s := &Sample{}
+	if s.Mean() != 0 || s.Stddev() != 0 || s.Percentile(50) != 0 ||
+		s.Min() != 0 || s.Max() != 0 || s.CI95() != 0 || s.N() != 0 {
+		t.Error("empty sample not all-zero")
+	}
+}
+
+func TestMeanStddev(t *testing.T) {
+	s := sampleOf(2, 4, 4, 4, 5, 5, 7, 9)
+	if s.Mean() != 5 {
+		t.Errorf("mean = %f", s.Mean())
+	}
+	if got := s.Stddev(); math.Abs(got-2.138) > 0.01 {
+		t.Errorf("stddev = %f", got)
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Errorf("min/max = %f/%f", s.Min(), s.Max())
+	}
+}
+
+func TestPercentiles(t *testing.T) {
+	s := &Sample{}
+	for i := 1; i <= 100; i++ {
+		s.AddInt(int64(i))
+	}
+	cases := map[float64]float64{0: 1, 100: 100, 50: 50.5}
+	for p, want := range cases {
+		if got := s.Percentile(p); math.Abs(got-want) > 0.01 {
+			t.Errorf("p%g = %f, want %f", p, got, want)
+		}
+	}
+	if got := s.Percentile(95); got < 95 || got > 96.1 {
+		t.Errorf("p95 = %f", got)
+	}
+	if s.Median() != s.Percentile(50) {
+		t.Error("median mismatch")
+	}
+}
+
+func TestPercentileSingleValue(t *testing.T) {
+	s := sampleOf(42)
+	for _, p := range []float64{0, 50, 95, 100} {
+		if s.Percentile(p) != 42 {
+			t.Errorf("p%g of singleton = %f", p, s.Percentile(p))
+		}
+	}
+	if s.CI95() != 0 {
+		t.Error("CI of singleton should be 0")
+	}
+}
+
+func TestCI95(t *testing.T) {
+	// Two observations: t(1 df) = 12.706.
+	s := sampleOf(10, 20)
+	want := 12.706 * s.Stddev() / math.Sqrt2
+	if got := s.CI95(); math.Abs(got-want) > 0.01 {
+		t.Errorf("CI95 = %f, want %f", got, want)
+	}
+	// Large sample: normal approximation, CI shrinks with n.
+	big := &Sample{}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 10000; i++ {
+		big.Add(rng.NormFloat64()*10 + 100)
+	}
+	if ci := big.CI95(); ci > 0.5 || ci <= 0 {
+		t.Errorf("large-sample CI = %f", ci)
+	}
+	if m := big.Mean(); math.Abs(m-100) > 1 {
+		t.Errorf("mean = %f", m)
+	}
+}
+
+func TestAddAfterPercentileResorts(t *testing.T) {
+	s := sampleOf(1, 2, 3)
+	_ = s.Percentile(50)
+	s.Add(0)
+	if s.Min() != 0 {
+		t.Error("sort state stale after Add")
+	}
+}
+
+func TestSummaryAndValues(t *testing.T) {
+	s := sampleOf(3, 1, 2)
+	if s.Summary() == "" {
+		t.Error("empty summary")
+	}
+	vs := s.Values()
+	if len(vs) != 3 || vs[0] != 1 || vs[2] != 3 {
+		t.Errorf("values = %v", vs)
+	}
+	// Returned slice is a copy.
+	vs[0] = 99
+	if s.Min() == 99 {
+		t.Error("Values leaked internal storage")
+	}
+}
+
+// Property: percentile is monotone in p and bounded by min/max.
+func TestQuickPercentileMonotone(t *testing.T) {
+	f := func(xs []float64, a, b uint8) bool {
+		if len(xs) == 0 {
+			return true
+		}
+		s := &Sample{}
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return true
+			}
+			s.Add(x)
+		}
+		p1 := float64(a % 101)
+		p2 := float64(b % 101)
+		if p1 > p2 {
+			p1, p2 = p2, p1
+		}
+		v1, v2 := s.Percentile(p1), s.Percentile(p2)
+		return v1 <= v2 && v1 >= s.Min() && v2 <= s.Max()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

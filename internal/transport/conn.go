@@ -1,0 +1,601 @@
+package transport
+
+import (
+	"sort"
+
+	"eden/internal/packet"
+)
+
+// connState is the (reduced) TCP state machine.
+type connState int
+
+const (
+	stateSynSent connState = iota
+	stateSynRcvd
+	stateEstablished
+	stateClosed
+)
+
+// outMsg is one application message queued for transmission; segments
+// carrying its bytes are tagged with its metadata (§4.2).
+type outMsg struct {
+	meta       packet.Metadata
+	start, end int64 // byte-stream offsets [start, end)
+}
+
+// seg is one unacknowledged segment.
+type seg struct {
+	seq    int64 // sequence number (SYN=0, data from 1)
+	length int64 // sequence span (1 for SYN/FIN)
+	syn    bool
+	fin    bool
+	meta   packet.Metadata
+	first  bool // first segment of its message
+	sentAt int64
+	rtx    bool // retransmitted at least once (Karn's rule: no RTT sample)
+}
+
+// Conn is one reliable, message-aware byte-stream connection.
+type Conn struct {
+	stack *Stack
+	key   packet.FlowKey
+	state connState
+
+	// Sender.
+	sndUna, sndNxt int64 // sequence numbers
+	dataQueued     int64 // total bytes enqueued by the app
+	msgs           []outMsg
+	msgCursor      int
+	segs           []seg // unacked, ordered by seq
+	cwnd           float64
+	ssthresh       float64
+	dupAcks        int
+	inRecovery     bool
+	recover        int64
+	srtt, rttvar   int64
+	rto            int64
+	timerArmed     bool
+	lastProgress   int64
+	maxSent        int64 // highest sequence number ever transmitted
+	closeReq       bool
+	finSent        bool
+	finAcked       bool
+
+	// Receiver.
+	rcvNxt     int64
+	ooo        []seg // out-of-order segments, sorted by seq
+	remoteFin  bool
+	lastRcvPCP uint8
+	rcvMsgs    map[uint64]*rcvMsg
+
+	// Application callbacks.
+
+	// OnMessage fires when all bytes of a message with known MsgSize have
+	// arrived.
+	OnMessage func(meta packet.Metadata)
+	// OnData fires for every in-order delivered chunk.
+	OnData func(meta packet.Metadata, n int64)
+	// OnClose fires when the remote side closes.
+	OnClose func()
+	// OnEstablished fires when the handshake completes (client side).
+	OnEstablished func()
+
+	// Metrics.
+	BytesAcked    int64
+	EstablishedAt int64
+	openedAt      int64
+}
+
+type rcvMsg struct {
+	meta packet.Metadata
+	got  int64
+}
+
+func newConn(s *Stack, key packet.FlowKey, client bool) *Conn {
+	c := &Conn{
+		stack:    s,
+		key:      key,
+		cwnd:     s.opts.InitCwnd,
+		ssthresh: 1 << 30,
+		rto:      s.opts.MinRTO * 4,
+		rcvMsgs:  map[uint64]*rcvMsg{},
+		openedAt: s.env.Now(),
+	}
+	if client {
+		c.state = stateSynSent
+	} else {
+		c.state = stateSynRcvd
+	}
+	return c
+}
+
+// Key returns the connection's flow key (local view: Src is this host).
+func (c *Conn) Key() packet.FlowKey { return c.key }
+
+// SendMessage enqueues an application message of the given size, tagged
+// with the metadata (class, message id, type, size...). The transport
+// attaches the metadata to every segment carrying the message's bytes and
+// marks the first segment with NewMsg=1.
+func (c *Conn) SendMessage(size int64, meta packet.Metadata) {
+	if size <= 0 || c.state == stateClosed {
+		return
+	}
+	meta.WireSize = size
+	if meta.MsgSize == 0 {
+		meta.MsgSize = size
+	}
+	m := outMsg{meta: meta, start: c.dataQueued, end: c.dataQueued + size}
+	c.dataQueued += size
+	c.msgs = append(c.msgs, m)
+	c.trySend()
+}
+
+// Send enqueues plain unclassified bytes.
+func (c *Conn) Send(size int64) {
+	c.SendMessage(size, packet.Metadata{})
+}
+
+// Close requests a graceful close once all queued data is delivered.
+func (c *Conn) Close() {
+	c.closeReq = true
+	c.trySend()
+}
+
+func (c *Conn) abort() {
+	c.state = stateClosed
+	c.stack.removeConn(c.key)
+}
+
+// mss returns the segment payload size.
+func (c *Conn) mss() int64 { return int64(c.stack.opts.MSS) }
+
+// dataEndSeq returns the sequence number just past the last queued byte.
+func (c *Conn) dataEndSeq() int64 { return 1 + c.dataQueued }
+
+func (c *Conn) sendSYN() {
+	s := seg{seq: 0, length: 1, syn: true, sentAt: c.stack.env.Now()}
+	c.segs = append(c.segs, s)
+	c.sndNxt = 1
+	c.emit(&s, 0, packet.FlagSYN)
+	c.armTimer()
+}
+
+// emit builds and outputs one packet for a segment. payloadLen is the
+// data payload (0 for SYN/FIN).
+func (c *Conn) emit(s *seg, payloadLen int64, flags uint8) {
+	pkt := packet.New(c.key.Src, c.key.Dst, c.key.SrcPort, c.key.DstPort, int(payloadLen))
+	pkt.TCPHdr.Seq = uint32(s.seq)
+	pkt.TCPHdr.Ack = uint32(c.rcvNxt)
+	pkt.TCPHdr.Flags = flags | packet.FlagACK
+	if s.syn {
+		pkt.TCPHdr.Flags = flags // SYN without ACK from client
+	}
+	pkt.Meta = s.meta
+	pkt.ResetControl()
+	if s.first && !s.rtx {
+		pkt.Meta.NewMsg = 1
+	}
+	c.stack.Stats.SegmentsSent++
+	c.stack.env.Output(pkt)
+}
+
+// trySend transmits as much as the window allows, then the FIN.
+func (c *Conn) trySend() {
+	if c.state != stateEstablished && c.state != stateSynRcvd {
+		return
+	}
+	wnd := int64(c.cwnd) * c.mss()
+	for c.sndNxt < c.dataEndSeq() && c.sndNxt-c.sndUna < wnd {
+		n := c.dataEndSeq() - c.sndNxt
+		if n > c.mss() {
+			n = c.mss()
+		}
+		offset := c.sndNxt - 1 // byte-stream offset
+		meta, first, msgEnd := c.metaFor(offset)
+		if msgEnd > offset && msgEnd-offset < n {
+			// Segments never span message boundaries, so each segment is
+			// tagged with exactly one message's metadata (§4.2).
+			n = msgEnd - offset
+		}
+		s := seg{seq: c.sndNxt, length: n, meta: meta, first: first, sentAt: c.stack.env.Now()}
+		if s.seq < c.maxSent {
+			s.rtx = true // go-back-N resend; Karn's rule applies
+		}
+		c.segs = append(c.segs, s)
+		c.sndNxt += n
+		if c.sndNxt > c.maxSent {
+			c.maxSent = c.sndNxt
+		}
+		c.emit(&s, n, packet.FlagPSH)
+	}
+	if c.closeReq && !c.finSent && c.sndNxt == c.dataEndSeq() && c.sndNxt-c.sndUna < wnd+c.mss() {
+		s := seg{seq: c.sndNxt, length: 1, fin: true, sentAt: c.stack.env.Now()}
+		c.segs = append(c.segs, s)
+		c.sndNxt++
+		c.finSent = true
+		c.emit(&s, 0, packet.FlagFIN)
+	}
+	if len(c.segs) > 0 {
+		c.armTimer()
+	}
+}
+
+// metaFor finds the message covering the given byte offset, returning its
+// metadata, whether the offset is the message's first byte, and the
+// message's end offset (0 when no message covers the offset). The cursor
+// normally advances monotonically; go-back-N rollbacks rewind it with a
+// binary search.
+func (c *Conn) metaFor(offset int64) (packet.Metadata, bool, int64) {
+	if c.msgCursor >= len(c.msgs) || offset < c.msgs[c.msgCursor].start {
+		c.msgCursor = sort.Search(len(c.msgs), func(i int) bool { return c.msgs[i].end > offset })
+	}
+	for c.msgCursor < len(c.msgs) && offset >= c.msgs[c.msgCursor].end {
+		c.msgCursor++
+	}
+	if c.msgCursor < len(c.msgs) {
+		m := c.msgs[c.msgCursor]
+		if offset >= m.start && offset < m.end {
+			return m.meta, offset == m.start, m.end
+		}
+	}
+	return packet.Metadata{}, false, 0
+}
+
+// receive processes an inbound segment for this connection.
+func (c *Conn) receive(pkt *packet.Packet) {
+	if c.state == stateClosed {
+		return
+	}
+	if pkt.HasVLAN {
+		c.lastRcvPCP = pkt.VLAN.PCP
+	}
+	flags := pkt.TCPHdr.Flags
+
+	switch c.state {
+	case stateSynSent:
+		if flags&packet.FlagSYN != 0 && flags&packet.FlagACK != 0 {
+			c.state = stateEstablished
+			c.EstablishedAt = c.stack.env.Now()
+			c.rcvNxt = 1
+			c.handleAck(int64(pkt.TCPHdr.Ack), 0)
+			c.sendAck()
+			if c.OnEstablished != nil {
+				c.OnEstablished()
+			}
+			c.trySend()
+		}
+		return
+	case stateSynRcvd:
+		if flags&packet.FlagSYN != 0 && flags&packet.FlagACK == 0 {
+			// (Possibly retransmitted) SYN: reply SYN-ACK.
+			c.rcvNxt = 1
+			s := seg{seq: 0, length: 1, syn: true, sentAt: c.stack.env.Now()}
+			if len(c.segs) == 0 {
+				c.segs = append(c.segs, s)
+				c.sndNxt = 1
+			}
+			pkt2 := packet.New(c.key.Src, c.key.Dst, c.key.SrcPort, c.key.DstPort, 0)
+			pkt2.TCPHdr.Seq = 0
+			pkt2.TCPHdr.Ack = 1
+			pkt2.TCPHdr.Flags = packet.FlagSYN | packet.FlagACK
+			pkt2.ResetControl()
+			c.stack.Stats.SegmentsSent++
+			c.stack.env.Output(pkt2)
+			c.armTimer()
+			return
+		}
+		if flags&packet.FlagACK != 0 && int64(pkt.TCPHdr.Ack) >= 1 {
+			c.state = stateEstablished
+			c.EstablishedAt = c.stack.env.Now()
+			c.handleAck(int64(pkt.TCPHdr.Ack), int64(pkt.PayloadLen))
+		}
+	}
+
+	if c.state != stateEstablished {
+		return
+	}
+
+	// ACK processing.
+	if flags&packet.FlagACK != 0 {
+		c.handleAck(int64(pkt.TCPHdr.Ack), int64(pkt.PayloadLen))
+	}
+
+	// Data and FIN processing.
+	seqLen := int64(pkt.PayloadLen)
+	isFin := flags&packet.FlagFIN != 0
+	if isFin {
+		seqLen++
+	}
+	if seqLen > 0 {
+		c.receiveData(seg{
+			seq:    int64(pkt.TCPHdr.Seq),
+			length: seqLen,
+			fin:    isFin,
+			meta:   pkt.Meta,
+		})
+	}
+}
+
+// receiveData implements in-order delivery with an out-of-order buffer;
+// every data arrival generates an immediate ACK (so reordering produces
+// duplicate ACKs, as with real TCP receivers).
+func (c *Conn) receiveData(s seg) {
+	switch {
+	case s.seq == c.rcvNxt:
+		c.deliver(s)
+		// Drain contiguous buffered segments.
+		for len(c.ooo) > 0 && c.ooo[0].seq <= c.rcvNxt {
+			nxt := c.ooo[0]
+			c.ooo = c.ooo[1:]
+			if nxt.seq+nxt.length <= c.rcvNxt {
+				continue // fully duplicate
+			}
+			c.deliver(nxt)
+		}
+	case s.seq > c.rcvNxt:
+		// Out of order: buffer (bounded) and dup-ACK.
+		if len(c.ooo) < 4096 {
+			i := sort.Search(len(c.ooo), func(i int) bool { return c.ooo[i].seq >= s.seq })
+			if i == len(c.ooo) || c.ooo[i].seq != s.seq {
+				c.ooo = append(c.ooo, seg{})
+				copy(c.ooo[i+1:], c.ooo[i:])
+				c.ooo[i] = s
+			}
+		}
+	default:
+		// Old duplicate; ACK anyway.
+	}
+	c.sendAck()
+}
+
+func (c *Conn) deliver(s seg) {
+	advance := s.seq + s.length - c.rcvNxt
+	c.rcvNxt = s.seq + s.length
+	if s.fin {
+		advance-- // FIN consumes one sequence number, delivers no bytes
+		if !c.remoteFin {
+			c.remoteFin = true
+			if c.OnClose != nil {
+				c.OnClose()
+			}
+			c.maybeClose()
+		}
+	}
+	if advance <= 0 {
+		return
+	}
+	if c.OnData != nil {
+		c.OnData(s.meta, advance)
+	}
+	if s.meta.MsgID != 0 && s.meta.WireSize > 0 {
+		rm, ok := c.rcvMsgs[s.meta.MsgID]
+		if !ok {
+			rm = &rcvMsg{meta: s.meta}
+			c.rcvMsgs[s.meta.MsgID] = rm
+		}
+		rm.got += advance
+		if rm.got >= rm.meta.WireSize {
+			delete(c.rcvMsgs, s.meta.MsgID)
+			if c.OnMessage != nil {
+				c.OnMessage(rm.meta)
+			}
+		}
+	}
+}
+
+func (c *Conn) sendAck() {
+	pkt := packet.New(c.key.Src, c.key.Dst, c.key.SrcPort, c.key.DstPort, 0)
+	pkt.TCPHdr.Seq = uint32(c.sndNxt)
+	pkt.TCPHdr.Ack = uint32(c.rcvNxt)
+	pkt.TCPHdr.Flags = packet.FlagACK
+	pkt.ResetControl()
+	if ap := c.stack.opts.AckPriority; ap >= 0 {
+		pkt.HasVLAN = true
+		pkt.VLAN.PCP = uint8(ap & 7)
+	} else if c.lastRcvPCP != 0 {
+		pkt.HasVLAN = true
+		pkt.VLAN.PCP = c.lastRcvPCP
+	}
+	c.stack.Stats.SegmentsSent++
+	c.stack.env.Output(pkt)
+}
+
+// handleAck is the congestion-control core.
+func (c *Conn) handleAck(ack int64, payloadLen int64) {
+	if ack > c.sndNxt {
+		return // acks data we never sent; ignore
+	}
+	switch {
+	case ack > c.sndUna:
+		acked := ack - c.sndUna
+		c.sndUna = ack
+		c.BytesAcked += acked
+		c.stack.Stats.BytesAcked += acked
+
+		// RTT sample from the oldest segment fully covered, if clean.
+		c.sampleRTT(ack)
+		c.dropAcked(ack)
+
+		if c.inRecovery {
+			if ack >= c.recover {
+				c.inRecovery = false
+				c.cwnd = c.ssthresh
+				c.dupAcks = 0
+			} else {
+				// Partial ACK: retransmit the next hole (NewReno).
+				c.retransmitUna()
+			}
+		} else {
+			c.dupAcks = 0
+			segsAcked := float64(acked) / float64(c.mss())
+			if segsAcked > 1 {
+				segsAcked = float64(int(segsAcked)) // whole segments
+			}
+			if c.cwnd < c.ssthresh {
+				c.cwnd += segsAcked // slow start
+			} else {
+				c.cwnd += segsAcked / c.cwnd // congestion avoidance
+			}
+			if c.cwnd > c.stack.opts.MaxCwnd {
+				c.cwnd = c.stack.opts.MaxCwnd
+			}
+		}
+		if c.finSent && ack >= c.dataEndSeq()+1 {
+			c.finAcked = true
+			c.maybeClose()
+		}
+		c.armTimer()
+		c.trySend()
+
+	case ack == c.sndUna && payloadLen == 0 && len(c.segs) > 0:
+		// Duplicate ACK.
+		c.stack.Stats.DupAcksRcvd++
+		c.dupAcks++
+		if c.inRecovery {
+			c.cwnd++ // window inflation
+			c.trySend()
+			return
+		}
+		if c.dupAcks == 3 {
+			c.ssthresh = c.cwnd / 2
+			if c.ssthresh < 2 {
+				c.ssthresh = 2
+			}
+			c.cwnd = c.ssthresh + 3
+			c.inRecovery = true
+			c.recover = c.sndNxt
+			c.stack.Stats.FastRetransmit++
+			c.retransmitUna()
+		}
+	}
+}
+
+func (c *Conn) sampleRTT(ack int64) {
+	for i := range c.segs {
+		s := &c.segs[i]
+		if s.seq+s.length > ack {
+			break
+		}
+		if s.rtx {
+			continue // Karn's rule
+		}
+		rtt := c.stack.env.Now() - s.sentAt
+		if c.srtt == 0 {
+			c.srtt = rtt
+			c.rttvar = rtt / 2
+		} else {
+			d := rtt - c.srtt
+			if d < 0 {
+				d = -d
+			}
+			c.rttvar = (3*c.rttvar + d) / 4
+			c.srtt = (7*c.srtt + rtt) / 8
+		}
+		c.rto = c.srtt + 4*c.rttvar
+		if c.rto < c.stack.opts.MinRTO {
+			c.rto = c.stack.opts.MinRTO
+		}
+		break
+	}
+}
+
+func (c *Conn) dropAcked(ack int64) {
+	i := 0
+	for i < len(c.segs) && c.segs[i].seq+c.segs[i].length <= ack {
+		i++
+	}
+	c.segs = c.segs[i:]
+}
+
+func (c *Conn) retransmitUna() {
+	if len(c.segs) == 0 {
+		return
+	}
+	s := &c.segs[0]
+	s.rtx = true
+	s.sentAt = c.stack.env.Now()
+	c.stack.Stats.Retransmits++
+	switch {
+	case s.syn:
+		c.emit(s, 0, packet.FlagSYN)
+	case s.fin:
+		c.emit(s, 0, packet.FlagFIN)
+	default:
+		c.emit(s, s.length, packet.FlagPSH)
+	}
+}
+
+// armTimer arms the retransmission timer if it is not already pending.
+// The timer logically restarts whenever lastProgress advances (new ACKs or
+// retransmissions); the scheduled callback re-arms itself for the
+// remainder instead of firing, so at most one timer event per connection
+// is outstanding.
+func (c *Conn) armTimer() {
+	if len(c.segs) == 0 {
+		return
+	}
+	c.lastProgress = c.stack.env.Now()
+	if c.timerArmed {
+		return
+	}
+	c.timerArmed = true
+	c.stack.env.Schedule(c.stack.env.Now()+c.rto, c.onTimer)
+}
+
+func (c *Conn) onTimer() {
+	c.timerArmed = false
+	if c.state == stateClosed || len(c.segs) == 0 {
+		return
+	}
+	now := c.stack.env.Now()
+	if deadline := c.lastProgress + c.rto; now < deadline {
+		// Progress since arming: re-arm for the remainder.
+		c.timerArmed = true
+		c.stack.env.Schedule(deadline, c.onTimer)
+		return
+	}
+	c.stack.Stats.Timeouts++
+	c.ssthresh = c.cwnd / 2
+	if c.ssthresh < 2 {
+		c.ssthresh = 2
+	}
+	c.cwnd = 1
+	c.dupAcks = 0
+	c.inRecovery = false
+	c.rto *= 2
+	if max := int64(1_000_000_000); c.rto > max {
+		c.rto = max
+	}
+	if len(c.segs) > 0 && (c.segs[0].syn || c.segs[0].fin) {
+		c.retransmitUna()
+	} else {
+		// Without SACK, a timeout with many holes would otherwise repair
+		// one hole per (backed-off) RTO. Go back to the cumulative ACK
+		// point and resend from there as the window reopens.
+		c.rollback()
+		c.trySend()
+	}
+	c.armTimer()
+}
+
+// rollback discards all in-flight state and moves the send point back to
+// the cumulative ACK (go-back-N after a retransmission timeout).
+func (c *Conn) rollback() {
+	c.segs = c.segs[:0]
+	c.sndNxt = c.sndUna
+	if c.finSent && !c.finAcked {
+		c.finSent = false // trySend will re-emit the FIN after the data
+	}
+}
+
+func (c *Conn) maybeClose() {
+	if c.remoteFin && (c.finAcked || (!c.closeReq && !c.finSent)) {
+		// Passive close: reply FIN if the app already asked, else wait
+		// for the app to Close(); for the simulator we close the sender
+		// half lazily.
+	}
+	if c.remoteFin && c.finAcked {
+		c.state = stateClosed
+		c.stack.removeConn(c.key)
+	}
+}

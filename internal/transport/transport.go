@@ -1,0 +1,168 @@
+// Package transport implements the simulated host transport: a TCP-like
+// reliable byte stream with slow start, congestion avoidance, fast
+// retransmit on three duplicate ACKs, NewReno-style partial-ACK recovery
+// and retransmission timeouts. The evaluation experiments depend on the
+// properties real TCP exhibits on the paper's testbed: in-network packet
+// reordering generates duplicate ACKs and spurious retransmissions (which
+// caps per-packet multi-path throughput below the min-cut in Figure 10),
+// and drops at a congested switch queue produce the flow-completion-time
+// behaviour of Figure 9.
+//
+// The stack is host-agnostic: it talks to its environment (a simulated
+// host, or anything else) through the Env interface, and emits/accepts
+// packet.Packet values. Application messages are first-class: senders
+// enqueue messages with Eden metadata, and every segment carries the
+// metadata of the message whose bytes it transports — the simulator's
+// equivalent of the paper's sequence-number tagging in the kernel (§4.2).
+package transport
+
+import (
+	"fmt"
+
+	"eden/internal/packet"
+)
+
+// Env is the stack's window on its host.
+type Env interface {
+	// Now returns the current time in nanoseconds.
+	Now() int64
+	// Schedule runs fn at the given absolute time.
+	Schedule(at int64, fn func())
+	// Output hands a packet to the host's egress path.
+	Output(pkt *packet.Packet)
+	// IP returns the host's address.
+	IP() uint32
+}
+
+// Options tunes the stack.
+type Options struct {
+	// MSS is the maximum segment payload in bytes (default 1460).
+	MSS int
+	// InitCwnd is the initial congestion window in segments (default 10).
+	InitCwnd float64
+	// MinRTO is the minimum retransmission timeout (default 2ms).
+	MinRTO int64
+	// MaxCwnd bounds the congestion window in segments (default 128,
+	// standing in for the advertised receive window — ~187KB with the
+	// default MSS, comfortably above the bandwidth-delay product of a
+	// 10G datacenter path).
+	MaxCwnd float64
+	// AckPriority, when >= 0, forces pure ACK packets to this 802.1q
+	// priority (default -1: ACKs inherit the connection's last data
+	// priority so they are not starved behind bulk traffic).
+	AckPriority int
+}
+
+func (o *Options) defaults() {
+	if o.MSS == 0 {
+		o.MSS = 1460
+	}
+	if o.InitCwnd == 0 {
+		o.InitCwnd = 10
+	}
+	if o.MinRTO == 0 {
+		o.MinRTO = 2_000_000 // 2ms
+	}
+	if o.MaxCwnd == 0 {
+		o.MaxCwnd = 128
+	}
+	if o.AckPriority == 0 {
+		o.AckPriority = -1
+	}
+}
+
+// Stack is one host's transport layer.
+type Stack struct {
+	env       Env
+	opts      Options
+	conns     map[packet.FlowKey]*Conn
+	listeners map[uint16]func(*Conn)
+	nextPort  uint16
+
+	// Stats aggregates transport counters across connections.
+	Stats Stats
+}
+
+// Stats counts transport activity.
+type Stats struct {
+	SegmentsSent   int64
+	SegmentsRcvd   int64
+	BytesAcked     int64
+	Retransmits    int64
+	FastRetransmit int64
+	Timeouts       int64
+	DupAcksRcvd    int64
+}
+
+// NewStack creates a transport stack over env.
+func NewStack(env Env, opts Options) *Stack {
+	opts.defaults()
+	return &Stack{
+		env:       env,
+		opts:      opts,
+		conns:     map[packet.FlowKey]*Conn{},
+		listeners: map[uint16]func(*Conn){},
+		nextPort:  10000,
+	}
+}
+
+// Listen registers an accept callback for a local port.
+func (s *Stack) Listen(port uint16, accept func(*Conn)) {
+	s.listeners[port] = accept
+}
+
+// Dial opens a connection to dst:dstPort and begins the handshake. The
+// returned connection may be written to immediately; data flows once the
+// handshake completes.
+func (s *Stack) Dial(dst uint32, dstPort uint16) *Conn {
+	s.nextPort++
+	key := packet.FlowKey{
+		Src: s.env.IP(), Dst: dst,
+		SrcPort: s.nextPort, DstPort: dstPort,
+		Proto: packet.ProtoTCP,
+	}
+	c := newConn(s, key, true)
+	s.conns[key] = c
+	c.sendSYN()
+	return c
+}
+
+// Deliver feeds an inbound packet into the stack (the host calls this for
+// packets addressed to it).
+func (s *Stack) Deliver(pkt *packet.Packet) {
+	if pkt.IP.Proto != packet.ProtoTCP {
+		return
+	}
+	s.Stats.SegmentsRcvd++
+	key := pkt.Flow().Reverse() // our local view: src=us
+	if c, ok := s.conns[key]; ok {
+		c.receive(pkt)
+		return
+	}
+	// New inbound connection?
+	if pkt.TCPHdr.Flags&packet.FlagSYN != 0 && pkt.TCPHdr.Flags&packet.FlagACK == 0 {
+		accept, ok := s.listeners[pkt.TCPHdr.DstPort]
+		if !ok {
+			return // no listener: silently drop (no RST in the model)
+		}
+		c := newConn(s, key, false)
+		s.conns[key] = c
+		c.receive(pkt)
+		accept(c)
+	}
+}
+
+// CloseAll aborts every connection (test teardown).
+func (s *Stack) CloseAll() {
+	for _, c := range s.conns {
+		c.abort()
+	}
+}
+
+func (s *Stack) removeConn(key packet.FlowKey) {
+	delete(s.conns, key)
+}
+
+func (s *Stack) String() string {
+	return fmt.Sprintf("stack(%s, %d conns)", packet.IPString(s.env.IP()), len(s.conns))
+}

@@ -1,0 +1,315 @@
+package transport
+
+import (
+	"container/heap"
+	"testing"
+
+	"eden/internal/packet"
+)
+
+// The tests here connect two stacks through a minimal single-threaded
+// event loop with a manglable pipe, so loss, delay and reordering can be
+// injected precisely without the full simulator.
+
+type tev struct {
+	at  int64
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []tev
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(tev)) }
+func (h *eventHeap) Pop() any     { o := *h; n := len(o); e := o[n-1]; *h = o[:n-1]; return e }
+
+type world struct {
+	now    int64
+	events eventHeap
+	seq    uint64
+}
+
+func (w *world) at(t int64, fn func()) {
+	if t < w.now {
+		t = w.now
+	}
+	w.seq++
+	heap.Push(&w.events, tev{at: t, seq: w.seq, fn: fn})
+}
+
+func (w *world) run(until int64) {
+	for len(w.events) > 0 && w.events[0].at <= until {
+		e := heap.Pop(&w.events).(tev)
+		w.now = e.at
+		e.fn()
+	}
+	if w.now < until {
+		w.now = until
+	}
+}
+
+type endpoint struct {
+	w   *world
+	ip  uint32
+	out func(pkt *packet.Packet)
+}
+
+func (e *endpoint) Now() int64                   { return e.w.now }
+func (e *endpoint) Schedule(at int64, fn func()) { e.w.at(at, fn) }
+func (e *endpoint) Output(pkt *packet.Packet)    { e.out(pkt) }
+func (e *endpoint) IP() uint32                   { return e.ip }
+
+// pipe wires two endpoints with a fixed delay and an optional mangler
+// returning (deliver, extraDelay).
+func pipe(w *world, delay int64) (a, b *endpoint, sa, sb *Stack, mangle *func(*packet.Packet) (bool, int64)) {
+	var m func(*packet.Packet) (bool, int64)
+	mangle = &m
+	a = &endpoint{w: w, ip: 1}
+	b = &endpoint{w: w, ip: 2}
+	sa = NewStack(a, Options{})
+	sb = NewStack(b, Options{})
+	a.out = func(pkt *packet.Packet) {
+		deliver, extra := true, int64(0)
+		if *mangle != nil {
+			deliver, extra = (*mangle)(pkt)
+		}
+		if deliver {
+			w.at(w.now+delay+extra, func() { sb.Deliver(pkt) })
+		}
+	}
+	b.out = func(pkt *packet.Packet) {
+		w.at(w.now+delay, func() { sa.Deliver(pkt) })
+	}
+	return
+}
+
+func TestHandshakeAndTransfer(t *testing.T) {
+	w := &world{}
+	_, _, sa, sb, _ := pipe(w, 10_000)
+	var got int64
+	sb.Listen(80, func(c *Conn) {
+		c.OnData = func(_ packet.Metadata, n int64) { got += n }
+	})
+	c := sa.Dial(2, 80)
+	c.Send(100_000)
+	w.run(1e9)
+	if got != 100_000 {
+		t.Fatalf("received %d", got)
+	}
+	if sa.Stats.Retransmits != 0 || sa.Stats.Timeouts != 0 {
+		t.Errorf("clean path stats: %+v", sa.Stats)
+	}
+}
+
+func TestSYNLossRecovered(t *testing.T) {
+	w := &world{}
+	_, _, sa, sb, mangle := pipe(w, 10_000)
+	dropped := false
+	*mangle = func(pkt *packet.Packet) (bool, int64) {
+		if pkt.TCPHdr.Flags&packet.FlagSYN != 0 && !dropped {
+			dropped = true
+			return false, 0
+		}
+		return true, 0
+	}
+	var got int64
+	sb.Listen(80, func(c *Conn) {
+		c.OnData = func(_ packet.Metadata, n int64) { got += n }
+	})
+	c := sa.Dial(2, 80)
+	c.Send(5000)
+	w.run(10e9)
+	if !dropped {
+		t.Fatal("SYN never dropped")
+	}
+	if got != 5000 {
+		t.Fatalf("received %d after SYN loss", got)
+	}
+	if sa.Stats.Timeouts == 0 {
+		t.Error("SYN loss should cost a timeout")
+	}
+}
+
+func TestSingleLossFastRetransmit(t *testing.T) {
+	w := &world{}
+	_, _, sa, sb, mangle := pipe(w, 10_000)
+	var count int
+	*mangle = func(pkt *packet.Packet) (bool, int64) {
+		if pkt.PayloadLen > 0 {
+			count++
+			if count == 20 { // drop the 20th data segment once
+				return false, 0
+			}
+		}
+		return true, 0
+	}
+	var got int64
+	sb.Listen(80, func(c *Conn) {
+		c.OnData = func(_ packet.Metadata, n int64) { got += n }
+	})
+	c := sa.Dial(2, 80)
+	c.Send(400_000)
+	w.run(10e9)
+	if got != 400_000 {
+		t.Fatalf("received %d", got)
+	}
+	if sa.Stats.FastRetransmit == 0 {
+		t.Errorf("loss repaired without fast retransmit: %+v", sa.Stats)
+	}
+	if sa.Stats.Timeouts != 0 {
+		t.Errorf("single loss should not need a timeout: %+v", sa.Stats)
+	}
+}
+
+func TestReorderingCausesDupAcksNotLoss(t *testing.T) {
+	w := &world{}
+	_, _, sa, sb, mangle := pipe(w, 10_000)
+	var n int
+	*mangle = func(pkt *packet.Packet) (bool, int64) {
+		n++
+		if pkt.PayloadLen > 0 && n%7 == 0 {
+			return true, 120_000 // delay every 7th data packet well past its peers
+		}
+		return true, 0
+	}
+	var got int64
+	sb.Listen(80, func(c *Conn) {
+		c.OnData = func(_ packet.Metadata, n int64) { got += n }
+	})
+	c := sa.Dial(2, 80)
+	c.Send(600_000)
+	w.run(20e9)
+	if got != 600_000 {
+		t.Fatalf("received %d", got)
+	}
+	if sa.Stats.DupAcksRcvd == 0 {
+		t.Error("reordering produced no duplicate ACKs")
+	}
+	// Reordering triggers spurious fast retransmits — the §5.2 effect.
+	if sa.Stats.FastRetransmit == 0 {
+		t.Error("heavy reordering should trigger fast retransmit")
+	}
+}
+
+func TestBurstLossGoBackN(t *testing.T) {
+	w := &world{}
+	_, _, sa, sb, mangle := pipe(w, 10_000)
+	var count int
+	*mangle = func(pkt *packet.Packet) (bool, int64) {
+		if pkt.PayloadLen > 0 {
+			count++
+			if count >= 30 && count < 70 { // burst of 40 losses
+				return false, 0
+			}
+		}
+		return true, 0
+	}
+	var got int64
+	sb.Listen(80, func(c *Conn) {
+		c.OnData = func(_ packet.Metadata, n int64) { got += n }
+	})
+	c := sa.Dial(2, 80)
+	c.Send(1_000_000)
+	w.run(60e9)
+	if got != 1_000_000 {
+		t.Fatalf("received %d (stats %+v)", got, sa.Stats)
+	}
+}
+
+func TestMessageBoundariesNotSpanned(t *testing.T) {
+	w := &world{}
+	_, _, sa, sb, _ := pipe(w, 10_000)
+	var perMsg = map[uint64]int64{}
+	sb.Listen(80, func(c *Conn) {
+		c.OnData = func(meta packet.Metadata, n int64) {
+			perMsg[meta.MsgID] += n
+		}
+	})
+	c := sa.Dial(2, 80)
+	// Sizes deliberately not multiples of the MSS.
+	c.SendMessage(3001, packet.Metadata{MsgID: 1})
+	c.SendMessage(1999, packet.Metadata{MsgID: 2})
+	c.SendMessage(777, packet.Metadata{MsgID: 3})
+	w.run(5e9)
+	if perMsg[1] != 3001 || perMsg[2] != 1999 || perMsg[3] != 777 {
+		t.Errorf("per-message bytes: %v", perMsg)
+	}
+}
+
+func TestWireSizeDistinctFromMsgSize(t *testing.T) {
+	w := &world{}
+	_, _, sa, sb, _ := pipe(w, 10_000)
+	var completed []packet.Metadata
+	sb.Listen(80, func(c *Conn) {
+		c.OnMessage = func(meta packet.Metadata) { completed = append(completed, meta) }
+	})
+	c := sa.Dial(2, 80)
+	// A READ request: 192 bytes on the wire, 64KB semantic size.
+	c.SendMessage(192, packet.Metadata{MsgID: 5, MsgType: 1, MsgSize: 64 * 1024})
+	w.run(1e9)
+	if len(completed) != 1 {
+		t.Fatalf("completed %d messages", len(completed))
+	}
+	if completed[0].MsgSize != 64*1024 || completed[0].WireSize != 192 {
+		t.Errorf("meta = %+v", completed[0])
+	}
+}
+
+func TestCloseBothWays(t *testing.T) {
+	w := &world{}
+	_, _, sa, sb, _ := pipe(w, 10_000)
+	var closedAtB bool
+	sb.Listen(80, func(c *Conn) {
+		c.OnClose = func() {
+			closedAtB = true
+			c.Close() // close our half too
+		}
+	})
+	c := sa.Dial(2, 80)
+	c.Send(1000)
+	c.Close()
+	w.run(5e9)
+	if !closedAtB {
+		t.Error("remote close not observed")
+	}
+	// Both fully closed connections are removed from their stacks.
+	if len(sa.conns) != 0 || len(sb.conns) != 0 {
+		t.Errorf("conns remaining: a=%d b=%d", len(sa.conns), len(sb.conns))
+	}
+}
+
+func TestRTTEstimate(t *testing.T) {
+	w := &world{}
+	_, _, sa, sb, _ := pipe(w, 50_000) // 100µs RTT
+	sb.Listen(80, func(c *Conn) {})
+	c := sa.Dial(2, 80)
+	c.Send(50_000)
+	w.run(1e9)
+	if c.srtt < 80_000 || c.srtt > 400_000 {
+		t.Errorf("srtt = %d, want ~100-200us region", c.srtt)
+	}
+	if c.rto < sa.opts.MinRTO {
+		t.Errorf("rto %d below floor", c.rto)
+	}
+}
+
+func TestDialToDeafPortTimesOutQuietly(t *testing.T) {
+	w := &world{}
+	_, _, sa, _, _ := pipe(w, 10_000)
+	c := sa.Dial(2, 9999) // no listener
+	c.Send(1000)
+	w.run(3e9)
+	if sa.Stats.Timeouts == 0 {
+		t.Error("no SYN timeouts against deaf port")
+	}
+	if c.state == stateEstablished {
+		t.Error("established against deaf port")
+	}
+}

@@ -1,0 +1,139 @@
+// Package workload generates the synthetic traffic the evaluation drives
+// its experiments with: the search-application flow-size distribution of
+// §5.1 (short request-response flows, most under 10KB, with a tail into
+// the megabytes), Poisson arrival processes for open-loop load, and the
+// 64KB storage IO workload of §5.3. The real traces from [2, 8] are not
+// public; the synthetic distributions keep the structural property the
+// experiments depend on — a mix of small, intermediate and large flows
+// competing at a bottleneck (see DESIGN.md, substitutions).
+package workload
+
+import (
+	"math"
+	"math/rand"
+)
+
+// SizeBucket is one segment of a piecewise flow-size distribution: with
+// probability Weight (relative), sizes are log-uniform in [Min, Max].
+type SizeBucket struct {
+	Weight   float64
+	Min, Max int64
+}
+
+// SizeDist samples flow sizes from a piecewise log-uniform mixture.
+type SizeDist struct {
+	buckets []SizeBucket
+	total   float64
+}
+
+// NewSizeDist builds a distribution from buckets (weights need not sum to
+// one).
+func NewSizeDist(buckets []SizeBucket) *SizeDist {
+	d := &SizeDist{buckets: buckets}
+	for _, b := range buckets {
+		if b.Weight < 0 || b.Min <= 0 || b.Max < b.Min {
+			panic("workload: invalid size bucket")
+		}
+		d.total += b.Weight
+	}
+	if d.total <= 0 {
+		panic("workload: empty size distribution")
+	}
+	return d
+}
+
+// SearchDist returns the web-search-like response-size distribution used
+// by the flow-scheduling experiments (§5.1): mostly small flows of a few
+// packets, an intermediate band, and a heavy tail. The priority
+// thresholds in the paper (10KB and 1MB) split it into the small /
+// intermediate / background classes of Figure 9.
+func SearchDist() *SizeDist {
+	return NewSizeDist([]SizeBucket{
+		{Weight: 0.62, Min: 1 * 1024, Max: 10 * 1024},           // small
+		{Weight: 0.28, Min: 10 * 1024, Max: 1024 * 1024},        // intermediate
+		{Weight: 0.10, Min: 1024 * 1024, Max: 16 * 1024 * 1024}, // large
+	})
+}
+
+// Sample draws a flow size.
+func (d *SizeDist) Sample(rng *rand.Rand) int64 {
+	r := rng.Float64() * d.total
+	for _, b := range d.buckets {
+		if r < b.Weight || b.Weight == d.total {
+			if b.Min == b.Max {
+				return b.Min
+			}
+			// Log-uniform within the bucket.
+			lo, hi := math.Log(float64(b.Min)), math.Log(float64(b.Max))
+			return int64(math.Round(math.Exp(lo + rng.Float64()*(hi-lo))))
+		}
+		r -= b.Weight
+	}
+	last := d.buckets[len(d.buckets)-1]
+	return last.Max
+}
+
+// Mean estimates the distribution's mean analytically (log-uniform bucket
+// mean is (max-min)/ln(max/min)).
+func (d *SizeDist) Mean() float64 {
+	var m float64
+	for _, b := range d.buckets {
+		var bm float64
+		if b.Min == b.Max {
+			bm = float64(b.Min)
+		} else {
+			bm = float64(b.Max-b.Min) / math.Log(float64(b.Max)/float64(b.Min))
+		}
+		m += b.Weight / d.total * bm
+	}
+	return m
+}
+
+// Poisson generates exponential interarrival times for a target rate of
+// events per second.
+type Poisson struct {
+	rng  *rand.Rand
+	rate float64 // events per second
+}
+
+// NewPoisson creates a Poisson arrival process.
+func NewPoisson(rng *rand.Rand, eventsPerSec float64) *Poisson {
+	if eventsPerSec <= 0 {
+		panic("workload: rate must be positive")
+	}
+	return &Poisson{rng: rng, rate: eventsPerSec}
+}
+
+// NextAfter returns the nanoseconds until the next arrival.
+func (p *Poisson) NextAfter() int64 {
+	d := p.rng.ExpFloat64() / p.rate * 1e9
+	if d < 1 {
+		d = 1
+	}
+	return int64(d)
+}
+
+// RateForLoad returns the request rate (per second) that produces the
+// given utilization of a link, for flows drawn from d.
+//
+//	rate = load * linkBps/8 / mean(d)
+func RateForLoad(load float64, linkBps int64, d *SizeDist) float64 {
+	return load * float64(linkBps) / 8 / d.Mean()
+}
+
+// IOWorkload describes one tenant's storage workload for the datacenter
+// QoS experiment (§5.3).
+type IOWorkload struct {
+	// OpSize is the IO operation size in bytes (64KB in the paper).
+	OpSize int64
+	// Read selects READ (true) or WRITE (false) operations.
+	Read bool
+	// SubmitPerSec is the open-loop submission rate of IO requests. READ
+	// tenants can submit far faster than the server can serve, because
+	// read requests are tiny on the forward path — exactly the asymmetry
+	// Pulsar's rate control corrects (Figure 3); WRITE submissions are
+	// naturally limited by the network carrying their payload.
+	SubmitPerSec float64
+	// Count bounds total submissions (0 = unbounded).
+	Count int
+}

@@ -1,0 +1,126 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestSizeDistBounds(t *testing.T) {
+	d := SearchDist()
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 10000; i++ {
+		s := d.Sample(rng)
+		if s < 1024 || s > 16*1024*1024 {
+			t.Fatalf("sample %d out of range", s)
+		}
+	}
+}
+
+func TestSizeDistProportions(t *testing.T) {
+	d := SearchDist()
+	rng := rand.New(rand.NewSource(2))
+	var small, inter, large int
+	const n = 50000
+	for i := 0; i < n; i++ {
+		s := d.Sample(rng)
+		switch {
+		case s <= 10*1024:
+			small++
+		case s <= 1024*1024:
+			inter++
+		default:
+			large++
+		}
+	}
+	if f := float64(small) / n; math.Abs(f-0.62) > 0.02 {
+		t.Errorf("small fraction = %.3f, want ~0.62", f)
+	}
+	if f := float64(large) / n; math.Abs(f-0.10) > 0.02 {
+		t.Errorf("large fraction = %.3f, want ~0.10", f)
+	}
+}
+
+func TestSizeDistEmpiricalMeanMatchesAnalytic(t *testing.T) {
+	d := SearchDist()
+	rng := rand.New(rand.NewSource(3))
+	var sum float64
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += float64(d.Sample(rng))
+	}
+	emp := sum / n
+	ana := d.Mean()
+	if ratio := emp / ana; ratio < 0.95 || ratio > 1.05 {
+		t.Errorf("empirical mean %.0f vs analytic %.0f", emp, ana)
+	}
+}
+
+func TestNewSizeDistValidation(t *testing.T) {
+	cases := [][]SizeBucket{
+		nil,
+		{{Weight: -1, Min: 1, Max: 2}},
+		{{Weight: 1, Min: 0, Max: 2}},
+		{{Weight: 1, Min: 5, Max: 2}},
+		{{Weight: 0, Min: 1, Max: 2}},
+	}
+	for i, bs := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: no panic", i)
+				}
+			}()
+			NewSizeDist(bs)
+		}()
+	}
+}
+
+func TestSingletonBucket(t *testing.T) {
+	d := NewSizeDist([]SizeBucket{{Weight: 1, Min: 4096, Max: 4096}})
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 100; i++ {
+		if got := d.Sample(rng); got != 4096 {
+			t.Fatalf("sample = %d", got)
+		}
+	}
+	if d.Mean() != 4096 {
+		t.Errorf("mean = %f", d.Mean())
+	}
+}
+
+func TestPoissonRate(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	p := NewPoisson(rng, 1000) // 1000/s -> mean gap 1ms
+	var total int64
+	const n = 20000
+	for i := 0; i < n; i++ {
+		g := p.NextAfter()
+		if g < 1 {
+			t.Fatal("non-positive gap")
+		}
+		total += g
+	}
+	mean := float64(total) / n
+	if mean < 0.9e6 || mean > 1.1e6 {
+		t.Errorf("mean gap = %.0f ns, want ~1e6", mean)
+	}
+}
+
+func TestPoissonValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for zero rate")
+		}
+	}()
+	NewPoisson(rand.New(rand.NewSource(1)), 0)
+}
+
+func TestRateForLoad(t *testing.T) {
+	d := NewSizeDist([]SizeBucket{{Weight: 1, Min: 100000, Max: 100000}})
+	// 50% of 1 Gbps with 100KB flows: 0.5*125e6/1e5 = 625 flows/s.
+	rate := RateForLoad(0.5, 1_000_000_000, d)
+	if math.Abs(rate-625) > 0.01 {
+		t.Errorf("rate = %f", rate)
+	}
+}

@@ -1,0 +1,19 @@
+GO ?= go
+
+.PHONY: build test verify bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# verify is the extended check: tier-1 build+test plus vet and a race
+# pass over the concurrent data-path packages (enclave, transport).
+verify: build
+	$(GO) vet ./...
+	$(GO) test ./...
+	$(GO) test -race ./internal/enclave/ ./internal/transport/
+
+bench:
+	$(GO) test -bench=. -benchtime=1x ./...

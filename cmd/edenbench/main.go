@@ -14,7 +14,10 @@
 //	edenbench -exp ablation     design ablations (LB granularity, attach point)
 //
 // Flags -runs and -ms scale the simulated experiments (0 = paper-scale
-// defaults).
+// defaults). -metrics dumps a JSON metrics snapshot of the instrumented
+// repetition after each simulated experiment; -trace N prints the life of
+// N sampled packets. Both apply to fig9, fig10 and fig11 (fig12, table1
+// and the ablations do not run the simulated data path end to end).
 package main
 
 import (
@@ -24,14 +27,51 @@ import (
 	"time"
 
 	"eden/internal/experiments"
+	"eden/internal/metrics"
 	"eden/internal/netsim"
+	"eden/internal/trace"
 )
+
+// instruments bundles the optional observability sinks one experiment
+// hands to its instrumented repetition.
+type instruments struct {
+	set    *metrics.Set
+	tracer *trace.Tracer
+}
+
+func newInstruments(wantMetrics bool, tracePackets int) instruments {
+	var ins instruments
+	if wantMetrics {
+		ins.set = metrics.NewSet()
+	}
+	if tracePackets > 0 {
+		ins.tracer = trace.NewTracer(4096, tracePackets)
+	}
+	return ins
+}
+
+// report dumps whatever the instruments collected after a run.
+func (ins instruments) report(name string) {
+	if ins.set != nil {
+		out, err := ins.set.JSON()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "edenbench: %s: metrics: %v\n", name, err)
+		} else {
+			fmt.Printf("%s metrics snapshot:\n%s\n", name, out)
+		}
+	}
+	if ins.tracer != nil {
+		fmt.Print(ins.tracer.String())
+	}
+}
 
 func main() {
 	var (
-		exp  = flag.String("exp", "all", "experiment: fig9, fig10, fig11, fig12, table1, all")
-		runs = flag.Int("runs", 0, "override number of runs (0 = default)")
-		ms   = flag.Int("ms", 0, "override simulated milliseconds per run (0 = default)")
+		exp     = flag.String("exp", "all", "experiment: fig9, fig10, fig11, fig12, table1, all")
+		runs    = flag.Int("runs", 0, "override number of runs (0 = default)")
+		ms      = flag.Int("ms", 0, "override simulated milliseconds per run (0 = default)")
+		dumpMet = flag.Bool("metrics", false, "dump a JSON metrics snapshot per simulated experiment")
+		traceN  = flag.Int("trace", 0, "trace the life of N sampled packets per simulated experiment")
 	)
 	flag.Parse()
 
@@ -47,17 +87,26 @@ func main() {
 	run("fig9", func() {
 		cfg := experiments.DefaultFig9Config()
 		applyScale(&cfg.Runs, &cfg.Duration, *runs, *ms)
+		ins := newInstruments(*dumpMet, *traceN)
+		cfg.Metrics, cfg.Tracer = ins.set, ins.tracer
 		fmt.Println(experiments.RunFig9(cfg))
+		ins.report("fig9")
 	})
 	run("fig10", func() {
 		cfg := experiments.DefaultFig10Config()
 		applyScale(&cfg.Runs, &cfg.Duration, *runs, *ms)
+		ins := newInstruments(*dumpMet, *traceN)
+		cfg.Metrics, cfg.Tracer = ins.set, ins.tracer
 		fmt.Println(experiments.RunFig10(cfg))
+		ins.report("fig10")
 	})
 	run("fig11", func() {
 		cfg := experiments.DefaultFig11Config()
 		applyScale(&cfg.Runs, &cfg.Duration, *runs, *ms)
+		ins := newInstruments(*dumpMet, *traceN)
+		cfg.Metrics, cfg.Tracer = ins.set, ins.tracer
 		fmt.Println(experiments.RunFig11(cfg))
+		ins.report("fig11")
 	})
 	run("fig12", func() {
 		fmt.Println(experiments.RunFig12(experiments.DefaultFig12Config()))

@@ -22,13 +22,15 @@ package enclave
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 	"sync"
-	"sync/atomic"
 
 	"eden/internal/compiler"
+	"eden/internal/metrics"
 	"eden/internal/packet"
 	"eden/internal/qos"
+	"eden/internal/trace"
 )
 
 // Direction selects the processing pipeline.
@@ -84,29 +86,49 @@ type Config struct {
 	// MaxMessages caps tracked per-message state entries per function
 	// (oldest-insertion eviction). 0 means 65536.
 	MaxMessages int
+	// Tracer, when non-nil, records data-path events for sampled packets
+	// (classification, rule matches, invocations, queueing).
+	Tracer *trace.Tracer
+	// WallClock, when non-nil, supplies real time in nanoseconds and
+	// enables the interpreter-latency histogram. Kept separate from Clock
+	// so simulated enclaves can still measure real interpreter cost.
+	WallClock func() int64
 }
 
 // Stats counts enclave activity.
 type Stats struct {
-	Packets      int64 // packets processed
-	Matched      int64 // packets that matched at least one rule
-	Invocations  int64 // action function invocations
-	Traps        int64 // invocations terminated by the interpreter
-	Drops        int64 // packets dropped by functions
-	QueueDrops   int64 // packets dropped at full rate queues
-	Instructions int64 // total interpreted instructions
+	Packets        int64 // packets processed
+	Matched        int64 // packets that matched at least one rule
+	Invocations    int64 // action function invocations
+	Traps          int64 // invocations terminated by the interpreter
+	Drops          int64 // packets dropped by functions
+	QueueDrops     int64 // packets dropped at full rate queues
+	QueueMisconfig int64 // packets steered to a nonexistent queue (sent anyway)
+	Instructions   int64 // total interpreted instructions
 }
 
-// counters is the lock-free internal form of Stats (the data path updates
-// these on every packet).
+// counters caches the registry counters the data path updates on every
+// packet, so hot-path updates are a single atomic add.
 type counters struct {
-	packets      atomic.Int64
-	matched      atomic.Int64
-	invocations  atomic.Int64
-	traps        atomic.Int64
-	drops        atomic.Int64
-	queueDrops   atomic.Int64
-	instructions atomic.Int64
+	packets        *metrics.Counter
+	matched        *metrics.Counter
+	invocations    *metrics.Counter
+	traps          *metrics.Counter
+	drops          *metrics.Counter
+	queueDrops     *metrics.Counter
+	queueMisconfig *metrics.Counter
+	instructions   *metrics.Counter
+	flowEvictions  *metrics.Counter
+}
+
+// queueMeter caches per-queue registry metrics.
+type queueMeter struct {
+	admittedPkts  *metrics.Counter
+	admittedBytes *metrics.Counter
+	droppedPkts   *metrics.Counter
+	droppedBytes  *metrics.Counter
+	backlog       *metrics.Gauge
+	rateBps       *metrics.Gauge
 }
 
 // Enclave is an Eden data-plane element. Its exported methods are safe for
@@ -114,17 +136,20 @@ type counters struct {
 type Enclave struct {
 	cfg Config
 
-	mu       sync.RWMutex
-	tables   map[Direction][]*Table
-	funcs    map[string]*installedFunc
-	queues   []*qos.Queue
-	queueMu  sync.Mutex
-	flows    *FlowClassifier
-	mode     Mode
-	stats    counters
-	vmPool   sync.Pool
-	nextMsg  uint64
-	flowMsgs map[packet.FlowKey]uint64
+	mu          sync.RWMutex
+	tables      map[Direction][]*Table
+	funcs       map[string]*installedFunc
+	queues      []*qos.Queue
+	queueMeters []queueMeter
+	queueMu     sync.Mutex
+	flows       *FlowClassifier
+	mode        Mode
+	reg         *metrics.Registry
+	stats       counters
+	interpNs    *metrics.Histogram // nil unless Config.WallClock is set
+	vmPool      sync.Pool
+	nextMsg     uint64
+	flowMsgs    map[packet.FlowKey]uint64
 }
 
 // New creates an enclave.
@@ -135,12 +160,32 @@ func New(cfg Config) *Enclave {
 	if cfg.MaxMessages == 0 {
 		cfg.MaxMessages = 65536
 	}
+	regName := "enclave"
+	if cfg.Name != "" {
+		regName = "enclave." + cfg.Name
+	}
+	reg := metrics.NewRegistry(regName)
 	e := &Enclave{
 		cfg:      cfg,
 		tables:   map[Direction][]*Table{},
 		funcs:    map[string]*installedFunc{},
 		flows:    NewFlowClassifier(),
 		flowMsgs: map[packet.FlowKey]uint64{},
+		reg:      reg,
+		stats: counters{
+			packets:        reg.Counter("packets"),
+			matched:        reg.Counter("matched"),
+			invocations:    reg.Counter("invocations"),
+			traps:          reg.Counter("traps"),
+			drops:          reg.Counter("drops"),
+			queueDrops:     reg.Counter("queue_drops"),
+			queueMisconfig: reg.Counter("queue_misconfig"),
+			instructions:   reg.Counter("instructions"),
+			flowEvictions:  reg.Counter("flow_evictions"),
+		},
+	}
+	if cfg.WallClock != nil {
+		e.interpNs = reg.Histogram("interp_ns", metrics.LatencyBucketsNs)
 	}
 	e.vmPool.New = func() any { return e.newVM() }
 	return e
@@ -161,18 +206,24 @@ func (e *Enclave) SetMode(m Mode) {
 	e.mode = m
 }
 
-// Stats returns a snapshot of the enclave's counters.
+// Stats returns a snapshot of the enclave's core counters. The full
+// metric surface (per-function counters, per-queue accounting, latency
+// histograms) is available through Metrics.
 func (e *Enclave) Stats() Stats {
 	return Stats{
-		Packets:      e.stats.packets.Load(),
-		Matched:      e.stats.matched.Load(),
-		Invocations:  e.stats.invocations.Load(),
-		Traps:        e.stats.traps.Load(),
-		Drops:        e.stats.drops.Load(),
-		QueueDrops:   e.stats.queueDrops.Load(),
-		Instructions: e.stats.instructions.Load(),
+		Packets:        e.stats.packets.Load(),
+		Matched:        e.stats.matched.Load(),
+		Invocations:    e.stats.invocations.Load(),
+		Traps:          e.stats.traps.Load(),
+		Drops:          e.stats.drops.Load(),
+		QueueDrops:     e.stats.queueDrops.Load(),
+		QueueMisconfig: e.stats.queueMisconfig.Load(),
+		Instructions:   e.stats.instructions.Load(),
 	}
 }
+
+// Metrics returns the enclave's metrics registry.
+func (e *Enclave) Metrics() *metrics.Registry { return e.reg }
 
 // Rule is one match-action entry: a class pattern and the name of the
 // installed function to run. Patterns match fully qualified class names
@@ -299,7 +350,19 @@ func (e *Enclave) AddQueue(rateBps, capBytes int64) int {
 	e.queueMu.Lock()
 	defer e.queueMu.Unlock()
 	e.queues = append(e.queues, qos.NewQueue(rateBps, capBytes))
-	return len(e.queues) - 1
+	idx := len(e.queues) - 1
+	prefix := "queue." + strconv.Itoa(idx) + "."
+	m := queueMeter{
+		admittedPkts:  e.reg.Counter(prefix + "admitted_pkts"),
+		admittedBytes: e.reg.Counter(prefix + "admitted_bytes"),
+		droppedPkts:   e.reg.Counter(prefix + "dropped_pkts"),
+		droppedBytes:  e.reg.Counter(prefix + "dropped_bytes"),
+		backlog:       e.reg.Gauge(prefix + "backlog_bytes"),
+		rateBps:       e.reg.Gauge(prefix + "rate_bps"),
+	}
+	m.rateBps.Set(rateBps)
+	e.queueMeters = append(e.queueMeters, m)
+	return idx
 }
 
 // SetQueueRate updates a queue's drain rate (controller reconfiguration).
@@ -310,6 +373,7 @@ func (e *Enclave) SetQueueRate(idx int, rateBps int64) error {
 		return fmt.Errorf("enclave: no queue %d", idx)
 	}
 	e.queues[idx].RateBps = rateBps
+	e.queueMeters[idx].rateBps.Set(rateBps)
 	return nil
 }
 
@@ -351,6 +415,8 @@ func (e *Enclave) ProcessBatch(dir Direction, pkts []*packet.Packet, now int64) 
 
 func (e *Enclave) processWith(dir Direction, pkt *packet.Packet, now int64, vs *vmState) Verdict {
 	e.stats.packets.Add(1)
+	tr := e.cfg.Tracer
+	traced := tr.Traces(pkt)
 
 	pkt.ResetControl()
 
@@ -358,6 +424,9 @@ func (e *Enclave) processWith(dir Direction, pkt *packet.Packet, now int64, vs *
 	if pkt.Meta.Class == "" {
 		if class, ok := e.flows.Classify(pkt); ok {
 			pkt.Meta.Class = class
+			if traced {
+				tr.Record(pkt, now, trace.KindClassify, e.cfg.Name, class)
+			}
 		}
 	}
 	if pkt.Meta.MsgID == 0 {
@@ -382,6 +451,9 @@ func (e *Enclave) processWith(dir Direction, pkt *packet.Packet, now int64, vs *
 		for _, r := range t.rules {
 			if r.MatchesPacket(pkt) {
 				f = e.funcs[r.Func]
+				if f != nil && traced {
+					tr.Record(pkt, now, trace.KindMatch, e.cfg.Name, t.Name+"/"+r.Pattern+"->"+r.Func)
+				}
 				break // first match per table
 			}
 		}
@@ -389,11 +461,14 @@ func (e *Enclave) processWith(dir Direction, pkt *packet.Packet, now int64, vs *
 			continue
 		}
 		anyMatch = true
-		e.invokeWith(f, pkt, mode, vs)
+		e.invokeWith(f, pkt, now, mode, vs)
 		if pkt.Meta.Control.Drop != 0 {
 			e.mu.RUnlock()
 			e.stats.matched.Add(1)
 			e.stats.drops.Add(1)
+			if traced {
+				tr.Record(pkt, now, trace.KindDrop, e.cfg.Name, "by "+f.fn.Name)
+			}
 			v.Drop = true
 			return v
 		}
@@ -432,17 +507,38 @@ func (e *Enclave) processWith(dir Direction, pkt *packet.Packet, now int64, vs *
 		e.queueMu.Lock()
 		if qi >= int64(len(e.queues)) {
 			e.queueMu.Unlock()
-			// Misconfigured queue index: fail open (send immediately)
-			// but count it.
-			e.stats.queueDrops.Add(1)
+			// Misconfigured queue index: fail open (send immediately) and
+			// count it as misconfiguration, not as a queue drop — the
+			// packet is not dropped and no queue was full.
+			e.stats.queueMisconfig.Add(1)
+			if traced {
+				tr.Record(pkt, now, trace.KindQueueMisconfig, e.cfg.Name, "q="+strconv.FormatInt(qi, 10))
+			}
 			return v
 		}
-		release, ok := e.queues[qi].Enqueue(now, nil, charge)
+		q := e.queues[qi]
+		m := e.queueMeters[qi]
+		// Retire already-released items so the backlog gauge (and the cap
+		// check inside Enqueue) reflect bytes still awaiting release.
+		q.Expire(now)
+		release, ok := q.Enqueue(now, nil, charge)
+		m.backlog.Set(q.Backlog())
 		e.queueMu.Unlock()
 		if !ok {
 			e.stats.queueDrops.Add(1)
+			m.droppedPkts.Add(1)
+			m.droppedBytes.Add(charge)
+			if traced {
+				tr.Record(pkt, now, trace.KindQueueDrop, e.cfg.Name, "q="+strconv.FormatInt(qi, 10))
+			}
 			v.Drop = true
 			return v
+		}
+		m.admittedPkts.Add(1)
+		m.admittedBytes.Add(charge)
+		if traced {
+			tr.Record(pkt, now, trace.KindEnqueue, e.cfg.Name,
+				"q="+strconv.FormatInt(qi, 10)+" charge="+strconv.FormatInt(charge, 10)+" release="+strconv.FormatInt(release, 10))
 		}
 		v.Queued = true
 		v.SendAt = release
@@ -451,7 +547,11 @@ func (e *Enclave) processWith(dir Direction, pkt *packet.Packet, now int64, vs *
 }
 
 // flowMessageID assigns stable message identifiers to flows the stages did
-// not classify: each transport connection is one message (§3.3).
+// not classify: each transport connection is one message (§3.3). When the
+// flow table overflows, an arbitrary entry other than the one just
+// inserted is evicted and its per-function message state is released
+// immediately rather than lingering until the functions' own caps evict
+// it.
 func (e *Enclave) flowMessageID(pkt *packet.Packet) uint64 {
 	key := pkt.Flow()
 	e.mu.Lock()
@@ -463,8 +563,17 @@ func (e *Enclave) flowMessageID(pkt *packet.Packet) uint64 {
 	id := e.nextMsg | 1<<63 // distinguish enclave-assigned ids
 	e.flowMsgs[key] = id
 	if len(e.flowMsgs) > e.cfg.MaxMessages {
-		for k := range e.flowMsgs {
+		for k, evicted := range e.flowMsgs {
+			if k == key {
+				continue // never evict the key just inserted
+			}
 			delete(e.flowMsgs, k)
+			// Release the evicted message's per-function state inline;
+			// EndMessage would re-lock e.mu.
+			for _, f := range e.funcs {
+				f.endMessage(evicted)
+			}
+			e.stats.flowEvictions.Add(1)
 			break
 		}
 	}

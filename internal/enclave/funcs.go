@@ -6,7 +6,9 @@ import (
 
 	"eden/internal/compiler"
 	"eden/internal/edenvm"
+	"eden/internal/metrics"
 	"eden/internal/packet"
+	"eden/internal/trace"
 )
 
 // NativeFunc is a hard-coded Go implementation of an action function, used
@@ -38,6 +40,11 @@ type installedFunc struct {
 
 	concurrency edenvm.Concurrency
 	exclMu      sync.Mutex // serializes ConcurrencyExclusive invocations
+
+	// Per-function registry counters (fn.<name>.*).
+	invocations  *metrics.Counter
+	traps        *metrics.Counter
+	instructions *metrics.Counter
 }
 
 type msgEntry struct {
@@ -63,12 +70,15 @@ func (e *Enclave) InstallFunc(fn *compiler.Func) error {
 		return fmt.Errorf("enclave: function %q already installed", fn.Name)
 	}
 	inst := &installedFunc{
-		fn:          fn,
-		globals:     make([]int64, len(fn.GlobalScalars)),
-		arrays:      make([][]int64, len(fn.GlobalArrays)),
-		msgState:    map[uint64]*msgEntry{},
-		maxMsgs:     e.cfg.MaxMessages,
-		concurrency: fn.Concurrency(),
+		fn:           fn,
+		globals:      make([]int64, len(fn.GlobalScalars)),
+		arrays:       make([][]int64, len(fn.GlobalArrays)),
+		msgState:     map[uint64]*msgEntry{},
+		maxMsgs:      e.cfg.MaxMessages,
+		concurrency:  fn.Concurrency(),
+		invocations:  e.reg.Counter("fn." + fn.Name + ".invocations"),
+		traps:        e.reg.Counter("fn." + fn.Name + ".traps"),
+		instructions: e.reg.Counter("fn." + fn.Name + ".instructions"),
 	}
 	copy(inst.globals, fn.GlobalDefaults)
 	e.funcs[fn.Name] = inst
@@ -251,8 +261,8 @@ func (e *Enclave) newVM() *vmState {
 	return &vmState{vm: vm}
 }
 
-// invoke executes one function against one packet under the function's
-// concurrency class:
+// invokeWith executes one function against one packet under the
+// function's concurrency class:
 //
 //   - parallel: message and global state are read-only; global state is
 //     copied under RLock so the program sees a consistent snapshot even if
@@ -262,16 +272,16 @@ func (e *Enclave) newVM() *vmState {
 //   - exclusive: one invocation at a time (exclMu + global write lock).
 //
 // Packet fields are copied in, and written back only if the program halts
-// normally — a trapped invocation has no side effects (§3.4.3).
-func (e *Enclave) invoke(f *installedFunc, pkt *packet.Packet, mode Mode) {
-	e.invokeWith(f, pkt, mode, nil)
-}
-
-// invokeWith runs one invocation, reusing the caller's interpreter state
-// when vs is non-nil (the batch path, §6: amortizing per-packet costs
-// over a batch).
-func (e *Enclave) invokeWith(f *installedFunc, pkt *packet.Packet, mode Mode, vs *vmState) {
+// normally — a trapped invocation has no side effects (§3.4.3). When vs
+// is non-nil the caller's interpreter state is reused (the batch path,
+// §6: amortizing per-packet costs over a batch).
+func (e *Enclave) invokeWith(f *installedFunc, pkt *packet.Packet, now int64, mode Mode, vs *vmState) {
 	e.stats.invocations.Add(1)
+	f.invocations.Add(1)
+	tr := e.cfg.Tracer
+	if tr.Traces(pkt) {
+		tr.Record(pkt, now, trace.KindInvoke, e.cfg.Name, f.fn.Name)
+	}
 
 	var ent *msgEntry
 	needMsg := len(f.fn.MsgFields) > 0 && f.fn.Prog.State.MsgAccess != edenvm.AccessNone
@@ -302,10 +312,22 @@ func (e *Enclave) invokeWith(f *installedFunc, pkt *packet.Packet, mode Mode, vs
 	}
 
 	runAndWriteBack := func() {
+		var t0 int64
+		if e.interpNs != nil {
+			t0 = e.cfg.WallClock()
+		}
 		steps, err := vs.vm.Run(f.fn.Prog, env)
+		if e.interpNs != nil {
+			e.interpNs.Observe(e.cfg.WallClock() - t0)
+		}
 		e.stats.instructions.Add(int64(steps))
+		f.instructions.Add(int64(steps))
 		if err != nil {
 			e.stats.traps.Add(1)
+			f.traps.Add(1)
+			if tr.Traces(pkt) {
+				tr.Record(pkt, now, trace.KindTrap, e.cfg.Name, f.fn.Name+": "+err.Error())
+			}
 			return // trap: no side effects
 		}
 		for i, fd := range f.fn.PktFields {

@@ -1,0 +1,263 @@
+package enclave
+
+import (
+	"sync"
+	"testing"
+
+	"eden/internal/compiler"
+	"eden/internal/packet"
+	"eden/internal/trace"
+)
+
+// mkFlowPkt builds a packet for a distinct flow (per src port).
+func mkFlowPkt(srcPort uint16) *packet.Packet {
+	return packet.New(0x0a000001, 0x0a000002, srcPort, 80, 100)
+}
+
+// Regression: overflowing the flow-message table must release the evicted
+// message's per-function state (it used to linger until the function's own
+// cap evicted it) and must never evict the entry just inserted.
+func TestFlowEvictionReleasesStateAndKeepsNewFlow(t *testing.T) {
+	var now int64
+	e := New(Config{Name: "x", Clock: func() int64 { now++; return now }, MaxMessages: 2})
+	e.FlowClassifier().Add(FlowRule{Class: "enclave.flows.all"})
+	src := `
+msg n : int
+fun (p, m, g) ->
+    m.n <- m.n + 1
+`
+	e.InstallFunc(compiler.MustCompile("f", src))
+	e.CreateTable(Egress, "t")
+	e.AddRule(Egress, "t", Rule{Pattern: "*", Func: "f"})
+
+	ids := make([]uint64, 3)
+	for i := range ids {
+		p := mkFlowPkt(uint16(10000 + i))
+		e.Process(Egress, p, 0)
+		if p.Meta.MsgID == 0 {
+			t.Fatal("no enclave-assigned message id")
+		}
+		ids[i] = p.Meta.MsgID
+	}
+
+	// One of the first two flows was evicted; the just-inserted third must
+	// survive, and exactly the evicted flow's state must be gone.
+	if _, ok := e.MsgState("f", ids[2]); !ok {
+		t.Error("just-inserted flow was evicted")
+	}
+	live := 0
+	for _, id := range ids {
+		if _, ok := e.MsgState("f", id); ok {
+			live++
+		}
+	}
+	if live != 2 {
+		t.Errorf("%d messages hold state, want 2 (evicted state not released)", live)
+	}
+	if got := e.Metrics().Snapshot().Counters["flow_evictions"]; got != 1 {
+		t.Errorf("flow_evictions = %d, want 1", got)
+	}
+}
+
+// Regression: a function steering to a nonexistent queue fails open and is
+// counted as a misconfiguration, not as a queue drop.
+func TestQueueMisconfigCountedSeparately(t *testing.T) {
+	e := testEnclave(t)
+	e.AddQueue(8, 100) // 1 B/s, 100 B cap: second packet overflows
+	e.InstallFunc(compiler.MustCompile("bad", "fun (p,m,g) ->\n p.queue <- 9"))
+	e.InstallFunc(compiler.MustCompile("good", "fun (p,m,g) ->\n p.queue <- 0"))
+	e.CreateTable(Egress, "t")
+	e.AddRule(Egress, "t", Rule{Pattern: "mis.*", Func: "bad"})
+	e.AddRule(Egress, "t", Rule{Pattern: "ok.*", Func: "good"})
+
+	mis := mkPkt(20)
+	mis.Meta.Class = "mis.r.c"
+	mis.Meta.MsgID = 1
+	if v := e.Process(Egress, mis, 42); v.Drop || v.Queued || v.SendAt != 42 {
+		t.Errorf("misconfig verdict = %+v, want fail-open", v)
+	}
+
+	for i := 0; i < 5; i++ {
+		p := mkPkt(40)
+		p.Meta.Class = "ok.r.c"
+		p.Meta.MsgID = uint64(i + 2)
+		e.Process(Egress, p, 0)
+	}
+
+	st := e.Stats()
+	if st.QueueMisconfig != 1 {
+		t.Errorf("QueueMisconfig = %d, want 1", st.QueueMisconfig)
+	}
+	if st.QueueDrops == 0 {
+		t.Error("full-queue drops not counted")
+	}
+	if st.Drops != 0 {
+		t.Errorf("Drops = %d, want 0 (misconfig fails open)", st.Drops)
+	}
+}
+
+func TestPerFunctionAndPerQueueMetrics(t *testing.T) {
+	e := testEnclave(t)
+	e.AddQueue(8*1e9, 0)
+	e.InstallFunc(compiler.MustCompile("steer", "fun (p,m,g) ->\n p.queue <- 0"))
+	e.InstallFunc(compiler.MustCompile("trappy", "fun (p,m,g) ->\n p.path <- 1 / p.payload_len"))
+	e.CreateTable(Egress, "t")
+	e.AddRule(Egress, "t", Rule{Pattern: "q.*", Func: "steer"})
+	e.AddRule(Egress, "t", Rule{Pattern: "trap.*", Func: "trappy"})
+
+	for i := 0; i < 3; i++ {
+		p := mkPkt(100)
+		p.Meta.Class = "q.r.c"
+		p.Meta.MsgID = uint64(i + 1)
+		e.Process(Egress, p, 0)
+	}
+	tp := mkPkt(0) // payload_len 0 -> division trap
+	tp.Meta.Class = "trap.r.c"
+	tp.Meta.MsgID = 9
+	e.Process(Egress, tp, 0)
+
+	s := e.Metrics().Snapshot()
+	if s.Name != "enclave.host0" {
+		t.Errorf("registry name = %q", s.Name)
+	}
+	wantCounters := map[string]int64{
+		"fn.steer.invocations":  3,
+		"fn.trappy.invocations": 1,
+		"fn.trappy.traps":       1,
+		"queue.0.admitted_pkts": 3,
+	}
+	for name, want := range wantCounters {
+		if got := s.Counters[name]; got != want {
+			t.Errorf("%s = %d, want %d", name, got, want)
+		}
+	}
+	if s.Counters["fn.steer.instructions"] == 0 {
+		t.Error("per-function instructions not counted")
+	}
+	wantBytes := int64(3 * mkPkt(100).Size())
+	if got := s.Counters["queue.0.admitted_bytes"]; got != wantBytes {
+		t.Errorf("queue.0.admitted_bytes = %d, want %d", got, wantBytes)
+	}
+	if s.Gauges["queue.0.rate_bps"] != 8*1e9 {
+		t.Errorf("queue.0.rate_bps = %d", s.Gauges["queue.0.rate_bps"])
+	}
+}
+
+// The interpreter-latency histogram only exists when a wall clock is
+// configured, and observes one value per interpreted invocation.
+func TestInterpreterLatencyHistogram(t *testing.T) {
+	var simNow, wallNow int64
+	e := New(Config{
+		Name:      "w",
+		Clock:     func() int64 { simNow++; return simNow },
+		WallClock: func() int64 { wallNow += 50; return wallNow },
+	})
+	e.InstallFunc(compiler.MustCompile("f", "fun (p,m,g) ->\n p.priority <- 1"))
+	e.CreateTable(Egress, "t")
+	e.AddRule(Egress, "t", Rule{Pattern: "*", Func: "f"})
+	for i := 0; i < 4; i++ {
+		p := mkPkt(10)
+		p.Meta.Class = "a.b.c"
+		p.Meta.MsgID = uint64(i + 1)
+		e.Process(Egress, p, 0)
+	}
+	h, ok := e.Metrics().Snapshot().Histograms["interp_ns"]
+	if !ok {
+		t.Fatal("no interp_ns histogram with WallClock set")
+	}
+	if h.Count != 4 || h.Sum != 4*50 {
+		t.Errorf("histogram count=%d sum=%d, want 4/200", h.Count, h.Sum)
+	}
+	// Without a wall clock there is no histogram (sim clocks would lie).
+	e2 := testEnclave(t)
+	if _, ok := e2.Metrics().Snapshot().Histograms["interp_ns"]; ok {
+		t.Error("interp_ns histogram present without WallClock")
+	}
+}
+
+// A traced packet's life through the enclave reads classify -> match ->
+// invoke -> enqueue.
+func TestEnclaveTraceSequence(t *testing.T) {
+	var now int64
+	tr := trace.NewTracer(64, 1)
+	e := New(Config{
+		Name:   "enc",
+		Clock:  func() int64 { now++; return now },
+		Tracer: tr,
+	})
+	e.FlowClassifier().Add(FlowRule{DstPort: U16(80), Class: "enclave.flows.web"})
+	e.AddQueue(8*1e9, 0)
+	e.InstallFunc(compiler.MustCompile("steer", "fun (p,m,g) ->\n p.queue <- 0"))
+	e.CreateTable(Egress, "t")
+	e.AddRule(Egress, "t", Rule{Pattern: "enclave.flows.*", Func: "steer"})
+
+	p := mkPkt(100) // dst port 80
+	if !tr.Sample(p) {
+		t.Fatal("packet not sampled")
+	}
+	if v := e.Process(Egress, p, 0); !v.Queued {
+		t.Fatal("packet not queued")
+	}
+
+	evs := tr.PacketEvents(p.Meta.TraceID)
+	want := []trace.Kind{trace.KindClassify, trace.KindMatch, trace.KindInvoke, trace.KindEnqueue}
+	if len(evs) != len(want) {
+		t.Fatalf("got %d events %v, want kinds %v", len(evs), evs, want)
+	}
+	for i, k := range want {
+		if evs[i].Kind != k {
+			t.Errorf("event %d kind = %s, want %s", i, evs[i].Kind, k)
+		}
+		if evs[i].Node != "enc" {
+			t.Errorf("event %d node = %q", i, evs[i].Node)
+		}
+	}
+	if evs[0].Detail != "enclave.flows.web" {
+		t.Errorf("classify detail = %q", evs[0].Detail)
+	}
+	if evs[1].Detail != "t/enclave.flows.*->steer" {
+		t.Errorf("match detail = %q", evs[1].Detail)
+	}
+}
+
+// Exercised under -race: Process racing AddRule and EndFlow.
+func TestConcurrentProcessAddRuleEndFlow(t *testing.T) {
+	e := testEnclave(t)
+	e.FlowClassifier().Add(FlowRule{Class: "enclave.flows.all"})
+	src := `
+msg n : int
+fun (p, m, g) ->
+    m.n <- m.n + 1
+`
+	e.InstallFunc(compiler.MustCompile("f", src))
+	e.CreateTable(Egress, "t")
+	e.AddRule(Egress, "t", Rule{Pattern: "enclave.*", Func: "f"})
+
+	const workers, perWorker = 4, 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				p := mkFlowPkt(uint16(20000 + w*perWorker + i))
+				e.Process(Egress, p, 0)
+				if i%3 == 0 {
+					e.EndFlow(p.Flow())
+				}
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			e.AddRule(Egress, "t", Rule{Pattern: "other.*", Func: "f"})
+			e.RemoveRule(Egress, "t", "other.*")
+		}
+	}()
+	wg.Wait()
+	if got := e.Stats().Packets; got != workers*perWorker {
+		t.Errorf("packets = %d, want %d", got, workers*perWorker)
+	}
+}

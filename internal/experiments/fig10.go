@@ -6,9 +6,11 @@ import (
 
 	"eden/internal/enclave"
 	"eden/internal/funcs"
+	"eden/internal/metrics"
 	"eden/internal/netsim"
 	"eden/internal/packet"
 	"eden/internal/stats"
+	"eden/internal/trace"
 	"eden/internal/transport"
 )
 
@@ -39,6 +41,10 @@ type Fig10Config struct {
 	Flows int
 	// Seed seeds the first run.
 	Seed int64
+	// Metrics and Tracer, when set, instrument the final repetition of the
+	// WCMP/interpreted cell.
+	Metrics *metrics.Set
+	Tracer  *trace.Tracer
 }
 
 // DefaultFig10Config mirrors the paper's setup: long-running flows over
@@ -68,7 +74,8 @@ func RunFig10(cfg Fig10Config) *Fig10Result {
 		for _, mode := range []Mode{ModeNative, ModeEden} {
 			var sample stats.Sample
 			for run := 0; run < cfg.Runs; run++ {
-				sample.Add(fig10Once(cfg, scheme, mode, cfg.Seed+int64(run)))
+				instrument := scheme == LBWCMP && mode == ModeEden && run == cfg.Runs-1
+				sample.Add(fig10Once(cfg, scheme, mode, cfg.Seed+int64(run), instrument))
 			}
 			res.Cells[scheme][mode] = Fig10Cell{Mbps: sample.Mean(), CI: sample.CI95()}
 		}
@@ -83,8 +90,11 @@ const (
 )
 
 // fig10Once measures aggregate goodput (Mb/s) for one run.
-func fig10Once(cfg Fig10Config, scheme LBScheme, mode Mode, seed int64) float64 {
+func fig10Once(cfg Fig10Config, scheme LBScheme, mode Mode, seed int64, instrument bool) float64 {
 	sim := netsim.New(seed)
+	if instrument {
+		sim.Instrument(cfg.Metrics, cfg.Tracer)
+	}
 	const qcap = 256 * 1024
 
 	h1 := netsim.NewHost(sim, "h1", packet.MustParseIP("10.0.1.1"), transport.Options{})

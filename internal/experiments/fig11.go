@@ -6,9 +6,11 @@ import (
 
 	"eden/internal/apps"
 	"eden/internal/funcs"
+	"eden/internal/metrics"
 	"eden/internal/netsim"
 	"eden/internal/packet"
 	"eden/internal/stats"
+	"eden/internal/trace"
 	"eden/internal/transport"
 	"eden/internal/workload"
 )
@@ -49,6 +51,11 @@ type Fig11Config struct {
 	// scenario.
 	TenantRateBps int64
 	Seed          int64
+	// Metrics and Tracer, when set, instrument the final repetition of the
+	// rate-controlled scenario (instrumenting every repetition would pile
+	// same-named registries into the set).
+	Metrics *metrics.Set
+	Tracer  *trace.Tracer
 }
 
 // DefaultFig11Config mirrors §5.3: 64KB IOs against a RAM-disk-backed
@@ -92,16 +99,16 @@ func RunFig11(cfg Fig11Config) *Fig11Result {
 			seed := cfg.Seed + int64(run)
 			switch sc {
 			case ScenarioIsolated:
-				r, _ := fig11Once(cfg, seed, true, false, false)
-				_, w := fig11Once(cfg, seed, false, true, false)
+				r, _ := fig11Once(cfg, seed, true, false, false, false)
+				_, w := fig11Once(cfg, seed, false, true, false, false)
 				rSample.Add(r)
 				wSample.Add(w)
 			case ScenarioSimultaneous:
-				r, w := fig11Once(cfg, seed, true, true, false)
+				r, w := fig11Once(cfg, seed, true, true, false, false)
 				rSample.Add(r)
 				wSample.Add(w)
 			case ScenarioRateControlled:
-				r, w := fig11Once(cfg, seed, true, true, true)
+				r, w := fig11Once(cfg, seed, true, true, true, run == cfg.Runs-1)
 				rSample.Add(r)
 				wSample.Add(w)
 			}
@@ -113,8 +120,11 @@ func RunFig11(cfg Fig11Config) *Fig11Result {
 }
 
 // fig11Once runs one repetition, returning (readMBps, writeMBps).
-func fig11Once(cfg Fig11Config, seed int64, reads, writes, rateControl bool) (float64, float64) {
+func fig11Once(cfg Fig11Config, seed int64, reads, writes, rateControl, instrument bool) (float64, float64) {
 	sim := netsim.New(seed)
+	if instrument {
+		sim.Instrument(cfg.Metrics, cfg.Tracer)
+	}
 	const qcap = 256 * 1024
 
 	// Both tenants are VMs on one client host (a tenant is "a collection

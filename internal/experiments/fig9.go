@@ -14,9 +14,11 @@ import (
 	"eden/internal/apps"
 	"eden/internal/enclave"
 	"eden/internal/funcs"
+	"eden/internal/metrics"
 	"eden/internal/netsim"
 	"eden/internal/packet"
 	"eden/internal/stats"
+	"eden/internal/trace"
 	"eden/internal/transport"
 	"eden/internal/workload"
 )
@@ -77,6 +79,10 @@ type Fig9Config struct {
 	BackgroundFlows int
 	// Seed seeds the first run; run i uses Seed+i.
 	Seed int64
+	// Metrics and Tracer, when set, instrument the final repetition of the
+	// SFF/interpreted cell.
+	Metrics *metrics.Set
+	Tracer  *trace.Tracer
 }
 
 // DefaultFig9Config returns the configuration used by the paper's setup,
@@ -141,7 +147,8 @@ func fig9Runs(cfg Fig9Config, scheme Scheme, mode Mode) (Fig9Cell, Fig9Cell) {
 	var smallAvg, smallP95, interAvg, interP95 stats.Sample
 	smallN, interN := 0, 0
 	for run := 0; run < cfg.Runs; run++ {
-		sm, in := fig9Once(cfg, scheme, mode, cfg.Seed+int64(run))
+		instrument := scheme == SchemeSFF && mode == ModeEden && run == cfg.Runs-1
+		sm, in := fig9Once(cfg, scheme, mode, cfg.Seed+int64(run), instrument)
 		if sm.N() > 0 {
 			smallAvg.Add(sm.Mean())
 			smallP95.Add(sm.Percentile(95))
@@ -164,8 +171,11 @@ func fig9Runs(cfg Fig9Config, scheme Scheme, mode Mode) (Fig9Cell, Fig9Cell) {
 }
 
 // fig9Once runs one repetition and returns per-class FCT samples (ns).
-func fig9Once(cfg Fig9Config, scheme Scheme, mode Mode, seed int64) (small, inter stats.Sample) {
+func fig9Once(cfg Fig9Config, scheme Scheme, mode Mode, seed int64, instrument bool) (small, inter stats.Sample) {
 	sim := netsim.New(seed)
+	if instrument {
+		sim.Instrument(cfg.Metrics, cfg.Tracer)
+	}
 	const rate = 10 * netsim.Gbps
 	const qcap = 192 * 1024 // per-priority-queue buffer at switch ports
 

@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"encoding/json"
+	"testing"
+
+	"eden/internal/metrics"
+	"eden/internal/netsim"
+	"eden/internal/trace"
+)
+
+// A metrics-instrumented Figure 11 run surfaces the Pulsar queues'
+// byte accounting in the client enclave's registry, and the whole set
+// serializes to JSON (what `edenbench -exp fig11 -metrics` prints).
+func TestFig11MetricsSnapshot(t *testing.T) {
+	cfg := DefaultFig11Config()
+	cfg.Runs = 1
+	cfg.Duration = 100 * netsim.Millisecond
+	cfg.Metrics = metrics.NewSet()
+	cfg.Tracer = trace.NewTracer(256, 3)
+	RunFig11(cfg)
+
+	snaps := map[string]metrics.RegistrySnapshot{}
+	for _, s := range cfg.Metrics.Snapshot() {
+		snaps[s.Name] = s
+	}
+	enc, ok := snaps["enclave.client-os"]
+	if !ok {
+		t.Fatalf("no enclave.client-os registry; have %d registries", len(snaps))
+	}
+	for _, name := range []string{
+		"queue.0.admitted_bytes", "queue.1.admitted_bytes",
+		"fn.pulsar.invocations",
+	} {
+		if enc.Counters[name] == 0 {
+			t.Errorf("%s = 0, want > 0", name)
+		}
+	}
+	if _, ok := enc.Counters["queue.0.dropped_bytes"]; !ok {
+		t.Error("queue.0.dropped_bytes missing from snapshot")
+	}
+	if _, ok := snaps["transport.10.0.2.1"]; !ok {
+		t.Error("no client transport registry")
+	}
+
+	out, err := cfg.Metrics.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var parsed []map[string]any
+	if err := json.Unmarshal(out, &parsed); err != nil {
+		t.Fatalf("metrics JSON does not parse: %v", err)
+	}
+	if len(cfg.Tracer.Packets()) == 0 {
+		t.Error("tracer sampled no packets")
+	}
+}

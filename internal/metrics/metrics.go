@@ -1,0 +1,317 @@
+// Package metrics is the data-path observability substrate: atomic
+// counters, gauges and fixed-bucket histograms, grouped into named
+// registries with cheap snapshot/diff. Every instrumented layer (enclave,
+// netsim links and switches, transport, qos queues) exposes its counters
+// through a registry so experiments and tools can dump one JSON document
+// covering the whole data path instead of poking at per-package structs.
+//
+// Hot-path cost is one atomic add per update; metric lookup by name only
+// happens at registration time, so components cache *Counter/*Gauge
+// pointers. All types are safe for concurrent use.
+package metrics
+
+import (
+	"encoding/json"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter. A nil *Counter is
+// valid and ignores updates, so conditionally instrumented components can
+// cache a nil pointer instead of branching at every update site.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Load returns the current value.
+func (c *Counter) Load() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomic instantaneous value (queue depth, backlog bytes).
+// Like Counter, a nil *Gauge ignores updates.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores the value.
+func (g *Gauge) Set(n int64) {
+	if g != nil {
+		g.v.Store(n)
+	}
+}
+
+// Add adjusts the value by n (may be negative).
+func (g *Gauge) Add(n int64) {
+	if g != nil {
+		g.v.Add(n)
+	}
+}
+
+// SetMax raises the gauge to n if n is larger (high-water marks).
+func (g *Gauge) SetMax(n int64) {
+	if g == nil {
+		return
+	}
+	for {
+		cur := g.v.Load()
+		if n <= cur || g.v.CompareAndSwap(cur, n) {
+			return
+		}
+	}
+}
+
+// Load returns the current value.
+func (g *Gauge) Load() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram is a fixed-bucket histogram: values are counted into the
+// first bucket whose upper bound is >= the observation, with an implicit
+// overflow bucket past the last bound.
+type Histogram struct {
+	bounds []int64
+	counts []atomic.Int64 // len(bounds)+1
+	count  atomic.Int64
+	sum    atomic.Int64
+}
+
+// LatencyBucketsNs is a general-purpose set of nanosecond latency bounds
+// (100ns .. 1ms) for interpreter and queueing latencies.
+var LatencyBucketsNs = []int64{100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000, 1_000_000}
+
+func newHistogram(bounds []int64) *Histogram {
+	b := append([]int64(nil), bounds...)
+	sort.Slice(b, func(i, j int) bool { return b[i] < b[j] })
+	return &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+}
+
+// Observe records one value. A nil *Histogram ignores it.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	i := sort.Search(len(h.bounds), func(i int) bool { return h.bounds[i] >= v })
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() int64 { return h.sum.Load() }
+
+// Snapshot returns a copy of the histogram's state.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Bounds: append([]int64(nil), h.bounds...),
+		Counts: make([]int64, len(h.counts)),
+		Count:  h.count.Load(),
+		Sum:    h.sum.Load(),
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	return s
+}
+
+// HistogramSnapshot is the JSON-friendly frozen form of a Histogram. The
+// last count is the overflow bucket (observations above every bound).
+type HistogramSnapshot struct {
+	Bounds []int64 `json:"bounds"`
+	Counts []int64 `json:"counts"`
+	Count  int64   `json:"count"`
+	Sum    int64   `json:"sum"`
+}
+
+// Registry is a named group of metrics. Counters, gauges and histograms
+// are created on first use and live for the registry's lifetime.
+type Registry struct {
+	name string
+
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry creates an empty registry with the given name.
+func NewRegistry(name string) *Registry {
+	return &Registry{
+		name:       name,
+		counters:   map[string]*Counter{},
+		gauges:     map[string]*Gauge{},
+		histograms: map[string]*Histogram{},
+	}
+}
+
+// Name returns the registry's name.
+func (r *Registry) Name() string { return r.name }
+
+// Counter returns the named counter, creating it if needed.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it if needed.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given
+// bucket upper bounds if needed (bounds are ignored on later lookups).
+func (r *Registry) Histogram(name string, bounds []int64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[name]
+	if !ok {
+		h = newHistogram(bounds)
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// Snapshot freezes every metric in the registry.
+func (r *Registry) Snapshot() RegistrySnapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := RegistrySnapshot{Name: r.name}
+	if len(r.counters) > 0 {
+		s.Counters = make(map[string]int64, len(r.counters))
+		for n, c := range r.counters {
+			s.Counters[n] = c.Load()
+		}
+	}
+	if len(r.gauges) > 0 {
+		s.Gauges = make(map[string]int64, len(r.gauges))
+		for n, g := range r.gauges {
+			s.Gauges[n] = g.Load()
+		}
+	}
+	if len(r.histograms) > 0 {
+		s.Histograms = make(map[string]HistogramSnapshot, len(r.histograms))
+		for n, h := range r.histograms {
+			s.Histograms[n] = h.Snapshot()
+		}
+	}
+	return s
+}
+
+// RegistrySnapshot is one registry's metrics at a point in time.
+type RegistrySnapshot struct {
+	Name       string                       `json:"name"`
+	Counters   map[string]int64             `json:"counters,omitempty"`
+	Gauges     map[string]int64             `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// Diff returns this snapshot minus an earlier one: counters and histogram
+// counts are subtracted, gauges keep their current value. Metrics absent
+// from prev pass through unchanged.
+func (s RegistrySnapshot) Diff(prev RegistrySnapshot) RegistrySnapshot {
+	out := RegistrySnapshot{Name: s.Name, Gauges: s.Gauges}
+	if len(s.Counters) > 0 {
+		out.Counters = make(map[string]int64, len(s.Counters))
+		for n, v := range s.Counters {
+			out.Counters[n] = v - prev.Counters[n]
+		}
+	}
+	if len(s.Histograms) > 0 {
+		out.Histograms = make(map[string]HistogramSnapshot, len(s.Histograms))
+		for n, h := range s.Histograms {
+			p, ok := prev.Histograms[n]
+			if !ok || len(p.Counts) != len(h.Counts) {
+				out.Histograms[n] = h
+				continue
+			}
+			d := HistogramSnapshot{
+				Bounds: h.Bounds,
+				Counts: make([]int64, len(h.Counts)),
+				Count:  h.Count - p.Count,
+				Sum:    h.Sum - p.Sum,
+			}
+			for i := range h.Counts {
+				d.Counts[i] = h.Counts[i] - p.Counts[i]
+			}
+			out.Histograms[n] = d
+		}
+	}
+	return out
+}
+
+// Set is a collection of snapshot sources — live registries plus
+// on-demand providers (layers that keep plain structs, like the transport
+// stack, contribute a snapshot function). The zero value is ready to use.
+type Set struct {
+	mu      sync.Mutex
+	sources []func() RegistrySnapshot
+}
+
+// NewSet returns an empty set.
+func NewSet() *Set { return &Set{} }
+
+// Add registers a live registry with the set.
+func (s *Set) Add(r *Registry) {
+	s.AddSource(r.Snapshot)
+}
+
+// AddSource registers a snapshot provider with the set.
+func (s *Set) AddSource(fn func() RegistrySnapshot) {
+	if s == nil || fn == nil {
+		return
+	}
+	s.mu.Lock()
+	s.sources = append(s.sources, fn)
+	s.mu.Unlock()
+}
+
+// Snapshot freezes every source, sorted by registry name.
+func (s *Set) Snapshot() []RegistrySnapshot {
+	s.mu.Lock()
+	sources := append([]func() RegistrySnapshot(nil), s.sources...)
+	s.mu.Unlock()
+	out := make([]RegistrySnapshot, 0, len(sources))
+	for _, fn := range sources {
+		out = append(out, fn())
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// JSON renders the set's snapshot as indented JSON.
+func (s *Set) JSON() ([]byte, error) {
+	return json.MarshalIndent(s.Snapshot(), "", "  ")
+}

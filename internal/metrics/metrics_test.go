@@ -1,0 +1,159 @@
+package metrics
+
+import (
+	"encoding/json"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry("r")
+	c := r.Counter("c")
+	c.Add(2)
+	c.Inc()
+	if c.Load() != 3 {
+		t.Errorf("counter = %d", c.Load())
+	}
+	if r.Counter("c") != c {
+		t.Error("second lookup returned a different counter")
+	}
+	g := r.Gauge("g")
+	g.Set(10)
+	g.Add(-3)
+	if g.Load() != 7 {
+		t.Errorf("gauge = %d", g.Load())
+	}
+	g.SetMax(5)
+	if g.Load() != 7 {
+		t.Error("SetMax lowered the gauge")
+	}
+	g.SetMax(9)
+	if g.Load() != 9 {
+		t.Error("SetMax did not raise the gauge")
+	}
+}
+
+func TestNilMetricsAreNoOps(t *testing.T) {
+	var c *Counter
+	c.Add(1)
+	c.Inc()
+	if c.Load() != 0 {
+		t.Error("nil counter load")
+	}
+	var g *Gauge
+	g.Set(1)
+	g.Add(1)
+	g.SetMax(1)
+	if g.Load() != 0 {
+		t.Error("nil gauge load")
+	}
+	var h *Histogram
+	h.Observe(1)
+	var s *Set
+	s.AddSource(func() RegistrySnapshot { return RegistrySnapshot{} })
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry("r")
+	h := r.Histogram("h", []int64{10, 100})
+	for _, v := range []int64{5, 10, 11, 100, 5000} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	// Buckets: <=10, <=100, overflow.
+	want := []int64{2, 2, 1}
+	for i, w := range want {
+		if s.Counts[i] != w {
+			t.Errorf("bucket %d = %d, want %d", i, s.Counts[i], w)
+		}
+	}
+	if s.Count != 5 || s.Sum != 5126 {
+		t.Errorf("count=%d sum=%d", s.Count, s.Sum)
+	}
+	// Unsorted bounds are sorted at creation.
+	h2 := r.Histogram("h2", []int64{100, 10})
+	h2.Observe(50)
+	if got := h2.Snapshot().Counts[1]; got != 1 {
+		t.Errorf("unsorted-bounds bucket = %d", got)
+	}
+}
+
+func TestSnapshotAndDiff(t *testing.T) {
+	r := NewRegistry("r")
+	c := r.Counter("c")
+	g := r.Gauge("g")
+	h := r.Histogram("h", []int64{10})
+	c.Add(5)
+	g.Set(3)
+	h.Observe(7)
+	before := r.Snapshot()
+	c.Add(2)
+	g.Set(9)
+	h.Observe(20)
+	d := r.Snapshot().Diff(before)
+	if d.Counters["c"] != 2 {
+		t.Errorf("diff counter = %d, want 2", d.Counters["c"])
+	}
+	if d.Gauges["g"] != 9 {
+		t.Errorf("diff gauge = %d, want current value 9", d.Gauges["g"])
+	}
+	dh := d.Histograms["h"]
+	if dh.Count != 1 || dh.Sum != 20 || dh.Counts[1] != 1 {
+		t.Errorf("diff histogram = %+v", dh)
+	}
+}
+
+func TestSetSnapshotSortedAndJSON(t *testing.T) {
+	set := NewSet()
+	b := NewRegistry("b")
+	a := NewRegistry("a")
+	b.Counter("x").Add(1)
+	a.Counter("y").Add(2)
+	set.Add(b)
+	set.Add(a)
+	set.AddSource(func() RegistrySnapshot {
+		return RegistrySnapshot{Name: "c", Counters: map[string]int64{"z": 3}}
+	})
+	snaps := set.Snapshot()
+	if len(snaps) != 3 || snaps[0].Name != "a" || snaps[1].Name != "b" || snaps[2].Name != "c" {
+		t.Fatalf("snapshot order = %v", snaps)
+	}
+	out, err := set.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var parsed []RegistrySnapshot
+	if err := json.Unmarshal(out, &parsed); err != nil {
+		t.Fatal(err)
+	}
+	if parsed[2].Counters["z"] != 3 {
+		t.Errorf("JSON round trip = %+v", parsed)
+	}
+}
+
+func TestConcurrentRegistryUse(t *testing.T) {
+	r := NewRegistry("r")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				r.Counter("c").Inc()
+				r.Gauge("g").SetMax(int64(i))
+				r.Histogram("h", LatencyBucketsNs).Observe(int64(i))
+			}
+		}()
+	}
+	wg.Wait()
+	s := r.Snapshot()
+	if s.Counters["c"] != 8000 {
+		t.Errorf("counter = %d, want 8000", s.Counters["c"])
+	}
+	if s.Gauges["g"] != 999 {
+		t.Errorf("gauge = %d, want 999", s.Gauges["g"])
+	}
+	if s.Histograms["h"].Count != 8000 {
+		t.Errorf("histogram count = %d", s.Histograms["h"].Count)
+	}
+}

@@ -3,6 +3,7 @@ package netsim
 import (
 	"eden/internal/enclave"
 	"eden/internal/packet"
+	"eden/internal/trace"
 	"eden/internal/transport"
 )
 
@@ -48,6 +49,9 @@ type Host struct {
 func NewHost(sim *Sim, name string, ip uint32, opts transport.Options) *Host {
 	h := &Host{sim: sim, name: name, ip: ip}
 	h.Stack = transport.NewStack(h, opts)
+	if sim.metrics != nil {
+		sim.metrics.AddSource(h.Stack.MetricsSnapshot)
+	}
 	return h
 }
 
@@ -84,10 +88,12 @@ func (h *Host) Sim() *Sim { return h.sim }
 // Output implements transport.Env: the host egress path.
 func (h *Host) Output(pkt *packet.Packet) {
 	now := h.sim.Now()
+	h.sim.tracer.Sample(pkt)
 	if h.OS != nil {
 		v := h.OS.Process(enclave.Egress, pkt, now)
 		if v.Drop {
 			h.Dropped++
+			h.sim.tracer.Record(pkt, now, trace.KindDrop, h.name, "os-egress verdict")
 			return
 		}
 		if v.SendAt > now {
@@ -104,6 +110,7 @@ func (h *Host) nicEgress(pkt *packet.Packet) {
 		v := h.NIC.Process(enclave.Egress, pkt, now)
 		if v.Drop {
 			h.Dropped++
+			h.sim.tracer.Record(pkt, now, trace.KindDrop, h.name, "nic-egress verdict")
 			return
 		}
 		if v.SendAt > now {
@@ -137,6 +144,7 @@ func (h *Host) Receive(pkt *packet.Packet) {
 		v := h.NIC.Process(enclave.Ingress, pkt, now)
 		if v.Drop {
 			h.Dropped++
+			h.sim.tracer.Record(pkt, now, trace.KindDrop, h.name, "nic-ingress verdict")
 			return
 		}
 	}
@@ -144,9 +152,11 @@ func (h *Host) Receive(pkt *packet.Packet) {
 		v := h.OS.Process(enclave.Ingress, pkt, now)
 		if v.Drop {
 			h.Dropped++
+			h.sim.tracer.Record(pkt, now, trace.KindDrop, h.name, "os-ingress verdict")
 			return
 		}
 	}
+	h.sim.tracer.Record(pkt, now, trace.KindDeliver, h.name, "")
 	if pkt.IP.Proto == packet.ProtoTCP {
 		h.Stack.Deliver(pkt)
 		return
@@ -163,7 +173,11 @@ func (h *Host) NewOSEnclave() *enclave.Enclave {
 		Platform: "os",
 		Clock:    h.sim.Now,
 		Rand:     func() uint64 { return h.sim.Rand().Uint64() },
+		Tracer:   h.sim.tracer,
 	})
+	if h.sim.metrics != nil {
+		h.sim.metrics.Add(h.OS.Metrics())
+	}
 	return h.OS
 }
 
@@ -174,6 +188,10 @@ func (h *Host) NewNICEnclave() *enclave.Enclave {
 		Platform: "nic",
 		Clock:    h.sim.Now,
 		Rand:     func() uint64 { return h.sim.Rand().Uint64() },
+		Tracer:   h.sim.tracer,
 	})
+	if h.sim.metrics != nil {
+		h.sim.metrics.Add(h.NIC.Metrics())
+	}
 	return h.NIC
 }

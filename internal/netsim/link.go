@@ -1,7 +1,11 @@
 package netsim
 
 import (
+	"fmt"
+
+	"eden/internal/metrics"
 	"eden/internal/packet"
+	"eden/internal/trace"
 )
 
 // Node is anything that can receive packets from a link.
@@ -43,6 +47,14 @@ type Link struct {
 	queueBytes int64
 	busy       bool
 	stats      LinkStats
+
+	// Metrics mirrors of the stats fields, nil when the sim is
+	// uninstrumented (so the hot path pays only nil checks).
+	mSent     *metrics.Counter
+	mBytes    *metrics.Counter
+	mDropped  *metrics.Counter
+	mQueueB   *metrics.Gauge
+	mMaxQueue *metrics.Gauge
 }
 
 // NewLink creates a link delivering to the given node. queueCap is the
@@ -51,7 +63,17 @@ func NewLink(sim *Sim, name string, rateBps int64, delay Time, queueCap int64, t
 	if rateBps <= 0 {
 		panic("netsim: link rate must be positive")
 	}
-	return &Link{sim: sim, name: name, RateBps: rateBps, Delay: delay, QueueCap: queueCap, to: to}
+	l := &Link{sim: sim, name: name, RateBps: rateBps, Delay: delay, QueueCap: queueCap, to: to}
+	if sim.metrics != nil {
+		reg := metrics.NewRegistry("link." + name)
+		l.mSent = reg.Counter("sent_pkts")
+		l.mBytes = reg.Counter("sent_bytes")
+		l.mDropped = reg.Counter("dropped_pkts")
+		l.mQueueB = reg.Gauge("queue_bytes")
+		l.mMaxQueue = reg.Gauge("max_queue_bytes")
+		sim.metrics.Add(reg)
+	}
+	return l
 }
 
 // Name returns the link's name.
@@ -77,6 +99,8 @@ func (l *Link) Send(pkt *packet.Packet) bool {
 	size := int64(pkt.Size())
 	if l.QueueCap > 0 && l.perQueueB[prio]+size > l.QueueCap {
 		l.stats.Dropped++
+		l.mDropped.Add(1)
+		l.sim.tracer.Record(pkt, l.sim.Now(), trace.KindLinkDrop, "link."+l.name, "tail-drop")
 		return false
 	}
 	l.queues[prio] = append(l.queues[prio], pkt)
@@ -85,6 +109,8 @@ func (l *Link) Send(pkt *packet.Packet) bool {
 	if l.queueBytes > l.stats.MaxQueueBytes {
 		l.stats.MaxQueueBytes = l.queueBytes
 	}
+	l.mQueueB.Set(l.queueBytes)
+	l.mMaxQueue.SetMax(l.queueBytes)
 	if !l.busy {
 		l.transmitNext()
 	}
@@ -113,6 +139,13 @@ func (l *Link) transmitNext() {
 	serialize := size * 8 * 1e9 / l.RateBps
 	l.stats.Sent++
 	l.stats.BytesSent += size
+	l.mSent.Add(1)
+	l.mBytes.Add(size)
+	l.mQueueB.Set(l.queueBytes)
+	if tr := l.sim.tracer; tr.Traces(pkt) {
+		tr.Record(pkt, l.sim.Now(), trace.KindTx,
+			"link."+l.name, fmt.Sprintf("%dB serialize=%dns delay=%dns", size, serialize, l.Delay))
+	}
 	done := l.sim.Now() + serialize
 	l.sim.At(done, func() {
 		l.transmitNext()

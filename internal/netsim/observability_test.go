@@ -1,0 +1,147 @@
+package netsim
+
+import (
+	"encoding/json"
+	"testing"
+
+	"eden/internal/compiler"
+	"eden/internal/enclave"
+	"eden/internal/metrics"
+	"eden/internal/packet"
+	"eden/internal/trace"
+	"eden/internal/transport"
+)
+
+// buildInstrumentedPair wires h1 -> sw -> h2 with an OS enclave on h1 that
+// classifies dst-port-80 traffic and steers it into a rate queue.
+func buildInstrumentedPair(t *testing.T, set *metrics.Set, tr *trace.Tracer) (*Sim, *Host, *Host) {
+	t.Helper()
+	sim := New(1)
+	sim.Instrument(set, tr)
+	h1 := NewHost(sim, "h1", packet.MustParseIP("10.0.0.1"), transport.Options{})
+	h2 := NewHost(sim, "h2", packet.MustParseIP("10.0.0.2"), transport.Options{})
+	sw := NewSwitch(sim, "sw")
+	p2 := sw.AddPort(NewLink(sim, "sw->h2", Gbps, 5*Microsecond, 0, h2))
+	sw.AddRoute(h2.IP(), p2)
+	h1.SetUplink(NewLink(sim, "h1->sw", Gbps, 5*Microsecond, 0, sw))
+
+	enc := h1.NewOSEnclave()
+	enc.FlowClassifier().Add(enclave.FlowRule{DstPort: enclave.U16(80), Class: "enclave.flows.web"})
+	enc.AddQueue(8*Gbps, 0)
+	if err := enc.InstallFunc(compiler.MustCompile("steer", "fun (p,m,g) ->\n p.queue <- 0")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := enc.CreateTable(enclave.Egress, "t"); err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.AddRule(enclave.Egress, "t", enclave.Rule{Pattern: "enclave.flows.*", Func: "steer"}); err != nil {
+		t.Fatal(err)
+	}
+	return sim, h1, h2
+}
+
+// Acceptance: a traced packet's event sequence runs classify -> match ->
+// invoke -> enqueue -> ... -> deliver across the full simulated data path.
+func TestTracedPacketLifecycle(t *testing.T) {
+	tr := trace.NewTracer(64, 1)
+	sim, h1, h2 := buildInstrumentedPair(t, nil, tr)
+
+	delivered := 0
+	h2.OnRaw = func(*packet.Packet) { delivered++ }
+
+	pkt := packet.New(h1.IP(), h2.IP(), 1234, 80, 100)
+	pkt.IP.Proto = packet.ProtoUDP
+	pkt.UDPHdr = packet.UDP{SrcPort: 1234, DstPort: 80}
+	h1.Output(pkt)
+	sim.RunAll()
+
+	if delivered != 1 {
+		t.Fatalf("delivered = %d", delivered)
+	}
+	if pkt.Meta.TraceID == 0 {
+		t.Fatal("packet not sampled at host output")
+	}
+	evs := tr.PacketEvents(pkt.Meta.TraceID)
+	want := []trace.Kind{
+		trace.KindClassify, trace.KindMatch, trace.KindInvoke, trace.KindEnqueue,
+		trace.KindTx, trace.KindHop, trace.KindTx, trace.KindDeliver,
+	}
+	if len(evs) != len(want) {
+		t.Fatalf("got %d events %v, want kinds %v", len(evs), evs, want)
+	}
+	prev := int64(-1)
+	for i, k := range want {
+		if evs[i].Kind != k {
+			t.Errorf("event %d kind = %s, want %s", i, evs[i].Kind, k)
+		}
+		if evs[i].Time < prev {
+			t.Errorf("event %d time %d before previous %d", i, evs[i].Time, prev)
+		}
+		prev = evs[i].Time
+	}
+	if last := evs[len(evs)-1]; last.Node != "h2" {
+		t.Errorf("deliver node = %q, want h2", last.Node)
+	}
+}
+
+// Every instrumented layer contributes a registry, and the set marshals to
+// JSON with per-queue byte accounting in place.
+func TestMetricsSetCoversDataPath(t *testing.T) {
+	set := metrics.NewSet()
+	sim, h1, h2 := buildInstrumentedPair(t, set, nil)
+	_ = h2
+
+	for i := 0; i < 10; i++ {
+		pkt := packet.New(h1.IP(), h2.IP(), uint16(1000+i), 80, 500)
+		pkt.IP.Proto = packet.ProtoUDP
+		pkt.UDPHdr = packet.UDP{SrcPort: uint16(1000 + i), DstPort: 80}
+		h1.Output(pkt)
+	}
+	sim.RunAll()
+
+	snaps := map[string]metrics.RegistrySnapshot{}
+	for _, s := range set.Snapshot() {
+		snaps[s.Name] = s
+	}
+	for _, name := range []string{
+		"enclave.h1-os", "link.h1->sw", "link.sw->h2", "switch.sw",
+		"transport.10.0.0.1", "transport.10.0.0.2",
+	} {
+		if _, ok := snaps[name]; !ok {
+			t.Errorf("no registry %q in snapshot (have %v)", name, keys(snaps))
+		}
+	}
+	enc := snaps["enclave.h1-os"]
+	if enc.Counters["queue.0.admitted_pkts"] != 10 {
+		t.Errorf("queue.0.admitted_pkts = %d, want 10", enc.Counters["queue.0.admitted_pkts"])
+	}
+	if enc.Counters["queue.0.admitted_bytes"] == 0 {
+		t.Error("queue.0.admitted_bytes = 0")
+	}
+	if snaps["switch.sw"].Counters["received"] != 10 {
+		t.Errorf("switch received = %d", snaps["switch.sw"].Counters["received"])
+	}
+	if snaps["link.sw->h2"].Counters["sent_pkts"] != 10 {
+		t.Errorf("link sent_pkts = %d", snaps["link.sw->h2"].Counters["sent_pkts"])
+	}
+
+	out, err := set.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var parsed []map[string]any
+	if err := json.Unmarshal(out, &parsed); err != nil {
+		t.Fatalf("snapshot JSON does not parse: %v", err)
+	}
+	if len(parsed) != len(snaps) {
+		t.Errorf("JSON has %d registries, want %d", len(parsed), len(snaps))
+	}
+}
+
+func keys(m map[string]metrics.RegistrySnapshot) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -14,6 +14,9 @@ package netsim
 import (
 	"container/heap"
 	"math/rand"
+
+	"eden/internal/metrics"
+	"eden/internal/trace"
 )
 
 // Time is nanoseconds since simulation start.
@@ -55,12 +58,32 @@ type Sim struct {
 	events eventHeap
 	seq    uint64
 	rng    *rand.Rand
+
+	// metrics and tracer are the observability hooks topology components
+	// register with as they are constructed; both may be nil (off).
+	metrics *metrics.Set
+	tracer  *trace.Tracer
 }
 
 // New creates a simulation with the given RNG seed.
 func New(seed int64) *Sim {
 	return &Sim{rng: rand.New(rand.NewSource(seed))}
 }
+
+// Instrument attaches a metrics set and/or packet tracer to the
+// simulation. Hosts, links, switches and enclaves created *after* this
+// call register their registries with the set and record trace events;
+// call it before building the topology. Either argument may be nil.
+func (s *Sim) Instrument(set *metrics.Set, tracer *trace.Tracer) {
+	s.metrics = set
+	s.tracer = tracer
+}
+
+// Metrics returns the attached metrics set (nil when uninstrumented).
+func (s *Sim) Metrics() *metrics.Set { return s.metrics }
+
+// Tracer returns the attached packet tracer (nil when uninstrumented).
+func (s *Sim) Tracer() *trace.Tracer { return s.tracer }
 
 // Now returns the current simulation time.
 func (s *Sim) Now() Time { return s.now }

@@ -2,8 +2,11 @@ package netsim
 
 import (
 	"fmt"
+	"strconv"
 
+	"eden/internal/metrics"
 	"eden/internal/packet"
+	"eden/internal/trace"
 )
 
 // Switch is an output-queued switch supporting the two forwarding modes
@@ -23,16 +26,26 @@ type Switch struct {
 	Received int64
 	// NoRoute counts packets dropped for lack of a forwarding entry.
 	NoRoute int64
+
+	mReceived *metrics.Counter
+	mNoRoute  *metrics.Counter
 }
 
 // NewSwitch creates a switch.
 func NewSwitch(sim *Sim, name string) *Switch {
-	return &Switch{
+	sw := &Switch{
 		sim:    sim,
 		name:   name,
 		labels: map[uint16]int{},
 		routes: map[uint32][]int{},
 	}
+	if sim.metrics != nil {
+		reg := metrics.NewRegistry("switch." + name)
+		sw.mReceived = reg.Counter("received")
+		sw.mNoRoute = reg.Counter("no_route")
+		sim.metrics.Add(reg)
+	}
+	return sw
 }
 
 // NodeName implements Node.
@@ -71,8 +84,14 @@ func (sw *Switch) AddRoute(dst uint32, port int) error {
 // destination route with flow-hash ECMP.
 func (sw *Switch) Receive(pkt *packet.Packet) {
 	sw.Received++
+	sw.mReceived.Add(1)
+	tr := sw.sim.tracer
 	if pkt.HasVLAN && pkt.VLAN.VID != 0 {
 		if port, ok := sw.labels[pkt.VLAN.VID]; ok {
+			if tr.Traces(pkt) {
+				tr.Record(pkt, sw.sim.Now(), trace.KindHop, sw.name,
+					"label "+strconv.Itoa(int(pkt.VLAN.VID))+" -> port "+strconv.Itoa(port))
+			}
 			sw.links[port].Send(pkt)
 			return
 		}
@@ -80,11 +99,17 @@ func (sw *Switch) Receive(pkt *packet.Packet) {
 	ports, ok := sw.routes[pkt.IP.Dst]
 	if !ok || len(ports) == 0 {
 		sw.NoRoute++
+		sw.mNoRoute.Add(1)
+		tr.Record(pkt, sw.sim.Now(), trace.KindDrop, sw.name, "no-route")
 		return
 	}
 	idx := 0
 	if len(ports) > 1 {
 		idx = int(flowHash(pkt) % uint64(len(ports)))
+	}
+	if tr.Traces(pkt) {
+		tr.Record(pkt, sw.sim.Now(), trace.KindHop, sw.name,
+			"route "+packet.IPString(pkt.IP.Dst)+" -> port "+strconv.Itoa(ports[idx]))
 	}
 	sw.links[ports[idx]].Send(pkt)
 }

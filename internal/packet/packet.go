@@ -111,6 +111,9 @@ type Metadata struct {
 	Key int64
 	// NewMsg is 1 for the first packet of a message, else 0.
 	NewMsg int64
+	// TraceID is the packet-tracer sample id; 0 means untraced. Like the
+	// rest of the metadata block it never appears on the wire.
+	TraceID uint64
 	// Control carries action-function outputs.
 	Control Control
 }

@@ -17,6 +17,11 @@ type TokenBucket struct {
 	burst   int64 // bytes
 	tokens  int64 // current tokens, bytes (may be negative after Borrow)
 	last    int64 // last refill time, ns
+	// rem carries the sub-token remainder of the last refill (numerator
+	// units: bit-nanoseconds), so frequent small-interval polls at low
+	// rates still converge to the configured rate instead of losing every
+	// truncated fraction.
+	rem int64
 }
 
 // NewTokenBucket returns a bucket that refills at rateBps bits/second with
@@ -37,10 +42,19 @@ func (tb *TokenBucket) refill(now int64) {
 	}
 	dt := now - tb.last
 	tb.last = now
-	add := dt * tb.rateBps / (8 * 1e9)
-	tb.tokens += add
-	if tb.tokens > tb.burst {
+	// A gap long enough to fill the burst from empty just fills the
+	// bucket; this also keeps dt*rateBps below int64 overflow below.
+	if float64(dt)*float64(tb.rateBps) >= float64(tb.burst)*8e9 {
 		tb.tokens = tb.burst
+		tb.rem = 0
+		return
+	}
+	num := dt*tb.rateBps + tb.rem
+	tb.tokens += num / (8 * 1e9)
+	tb.rem = num % (8 * 1e9)
+	if tb.tokens >= tb.burst {
+		tb.tokens = tb.burst
+		tb.rem = 0 // a full bucket accrues nothing
 	}
 }
 
@@ -62,7 +76,7 @@ func (tb *TokenBucket) NextAdmit(now, n int64) int64 {
 		return now
 	}
 	need := n - tb.tokens
-	wait := (need*8*1e9 + tb.rateBps - 1) / tb.rateBps
+	wait := (need*8*1e9 - tb.rem + tb.rateBps - 1) / tb.rateBps
 	return now + wait
 }
 
@@ -97,6 +111,10 @@ type Queue struct {
 	items    []Item
 	// Dropped counts items rejected because the backlog was full.
 	Dropped int64
+	// AdmittedBytes and DroppedBytes account the charges admitted to and
+	// rejected by the queue over its lifetime (per-queue observability).
+	AdmittedBytes int64
+	DroppedBytes  int64
 }
 
 // NewQueue returns a queue draining at rateBps with the given backlog cap.
@@ -117,6 +135,7 @@ func (q *Queue) Enqueue(now int64, payload any, charge int64) (int64, bool) {
 	}
 	if q.CapBytes > 0 && q.backlog+charge > q.CapBytes {
 		q.Dropped++
+		q.DroppedBytes += charge
 		return 0, false
 	}
 	start := now
@@ -126,8 +145,25 @@ func (q *Queue) Enqueue(now int64, payload any, charge int64) (int64, bool) {
 	release := start + charge*8*1e9/q.RateBps
 	q.nextFree = release
 	q.backlog += charge
+	q.AdmittedBytes += charge
 	q.items = append(q.items, Item{Payload: payload, Charge: charge, Release: release})
 	return release, true
+}
+
+// Expire discards every head item whose release time has passed,
+// uncharging its bytes from the backlog. Callers that compute release
+// times at admission and never Dequeue (the enclave's payload-less use)
+// call this so the backlog reflects bytes still awaiting release and the
+// queue does not accumulate released items forever.
+func (q *Queue) Expire(now int64) {
+	n := 0
+	for n < len(q.items) && q.items[n].Release <= now {
+		q.backlog -= q.items[n].Charge
+		n++
+	}
+	if n > 0 {
+		q.items = q.items[:copy(q.items, q.items[n:])]
+	}
 }
 
 // Dequeue removes and returns the head item if its release time has

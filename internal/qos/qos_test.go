@@ -58,6 +58,49 @@ func TestTokenBucketClockSkew(t *testing.T) {
 	}
 }
 
+// Regression: refill must carry the sub-token remainder. Polling a
+// 1 Mbps bucket every 1µs accrues 0.125 bytes per poll — truncated to
+// zero every time before the fix, so the bucket never refilled at all.
+func TestTokenBucketFinePollingConverges(t *testing.T) {
+	const mbps = int64(1e6)
+	tb := NewTokenBucket(mbps, 2000)
+	tb.Admit(0, 2000) // drain the initial burst
+	admitted := int64(0)
+	for now := int64(1000); now <= 1e9; now += 1000 { // 1µs polls for 1s
+		if tb.Admit(now, 125) {
+			admitted += 125
+		}
+	}
+	// 1 Mbps for 1 s = 125000 bytes. Allow one packet of slack.
+	if admitted < 125000-125 || admitted > 125000+125 {
+		t.Errorf("admitted %d bytes over 1s at 1Mbps, want ~125000", admitted)
+	}
+}
+
+// The remainder must not leak tokens across an idle period that fills the
+// bucket, nor accrue while the bucket sits full.
+func TestTokenBucketRemainderClearedWhenFull(t *testing.T) {
+	tb := NewTokenBucket(8, 10) // 1 B/s, 10 B burst
+	tb.Admit(0, 10)
+	// 500ms accrues 0.5 bytes: no whole token yet.
+	if got := tb.Tokens(500_000_000); got != 0 {
+		t.Errorf("tokens at 0.5s = %d, want 0", got)
+	}
+	// Another 500ms completes one byte.
+	if got := tb.Tokens(1_000_000_000); got != 1 {
+		t.Errorf("tokens at 1s = %d, want 1", got)
+	}
+	// A long idle gap fills the bucket; the remainder must reset so the
+	// next interval starts from zero fraction.
+	if got := tb.Tokens(100_000_000_000); got != 10 {
+		t.Errorf("tokens after idle = %d, want 10", got)
+	}
+	tb.Admit(100_000_000_000, 10)
+	if got := tb.Tokens(100_500_000_000); got != 0 {
+		t.Errorf("tokens 0.5s after drain = %d, want 0 (remainder leaked)", got)
+	}
+}
+
 func TestQueuePacing(t *testing.T) {
 	q := NewQueue(8*gbps, 0) // 1 GB/s
 	// Three 1000-byte packets take 1µs each on the wire.
@@ -131,6 +174,42 @@ func TestQueueChargeOverride(t *testing.T) {
 	r3, _ := q.Enqueue(r, "neg", -5)
 	if r3 != r {
 		t.Errorf("negative charge release = %d", r3)
+	}
+}
+
+func TestQueueByteAccounting(t *testing.T) {
+	q := NewQueue(8*gbps, 2500)
+	q.Enqueue(0, "a", 1000)
+	q.Enqueue(0, "b", 1000)
+	q.Enqueue(0, "c", 1000) // over cap: dropped
+	if q.AdmittedBytes != 2000 {
+		t.Errorf("AdmittedBytes = %d, want 2000", q.AdmittedBytes)
+	}
+	if q.DroppedBytes != 1000 || q.Dropped != 1 {
+		t.Errorf("DroppedBytes = %d Dropped = %d, want 1000/1", q.DroppedBytes, q.Dropped)
+	}
+}
+
+func TestQueueExpire(t *testing.T) {
+	q := NewQueue(8*gbps, 0) // 1 GB/s: 1000 B releases at 1000 ns
+	q.Enqueue(0, "a", 1000)
+	q.Enqueue(0, "b", 1000)
+	q.Enqueue(0, "c", 1000)
+	q.Expire(999) // nothing released yet
+	if q.Len() != 3 || q.Backlog() != 3000 {
+		t.Errorf("after Expire(999): len=%d backlog=%d", q.Len(), q.Backlog())
+	}
+	q.Expire(2000) // "a" (1000ns) and "b" (2000ns) have been released
+	if q.Len() != 1 || q.Backlog() != 1000 {
+		t.Errorf("after Expire(2000): len=%d backlog=%d, want 1/1000", q.Len(), q.Backlog())
+	}
+	// Pacing is untouched: the next item still queues behind "c".
+	if r, _ := q.Enqueue(2000, "d", 1000); r != 4000 {
+		t.Errorf("release after expire = %d, want 4000", r)
+	}
+	q.Expire(10_000)
+	if q.Len() != 0 || q.Backlog() != 0 {
+		t.Errorf("after draining: len=%d backlog=%d", q.Len(), q.Backlog())
 	}
 }
 

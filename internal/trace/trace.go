@@ -1,0 +1,210 @@
+// Package trace is an opt-in packet tracer for the Eden data path: a ring
+// buffer of per-packet events keyed by a trace identifier the tracer
+// assigns when it samples a packet. A traced packet's life reads as the
+// paper's data-path narrative — classified, matched against a table,
+// function invoked (or trapped), steered into a rate queue, transmitted
+// hop by hop, delivered or dropped.
+//
+// The tracer is designed to cost nothing when off: components call the
+// nil-safe Traces/Record methods, which reduce to one pointer check when
+// no tracer is attached and one integer check per packet when one is.
+// Only sampled packets (Sample assigns ids to the first N packets seen)
+// pay for event formatting and buffer appends.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"eden/internal/packet"
+)
+
+// Kind identifies a data-path event type.
+type Kind uint8
+
+// Data-path event kinds, in rough life-cycle order.
+const (
+	KindClassify       Kind = iota // enclave classifier assigned a class
+	KindMatch                      // a table rule matched the packet
+	KindInvoke                     // action function invoked
+	KindTrap                       // invocation terminated by the interpreter
+	KindEnqueue                    // admitted to a rate-limited queue
+	KindQueueDrop                  // dropped at a full rate queue
+	KindQueueMisconfig             // function selected a nonexistent queue
+	KindDrop                       // dropped by a function or enclave verdict
+	KindTx                         // serialized onto a link
+	KindLinkDrop                   // tail-dropped at a full link queue
+	KindHop                        // forwarded by a switch
+	KindDeliver                    // handed to the destination host's stack
+)
+
+// String returns the kind's short label.
+func (k Kind) String() string {
+	switch k {
+	case KindClassify:
+		return "classify"
+	case KindMatch:
+		return "match"
+	case KindInvoke:
+		return "invoke"
+	case KindTrap:
+		return "trap"
+	case KindEnqueue:
+		return "enqueue"
+	case KindQueueDrop:
+		return "queue-drop"
+	case KindQueueMisconfig:
+		return "queue-misconfig"
+	case KindDrop:
+		return "drop"
+	case KindTx:
+		return "tx"
+	case KindLinkDrop:
+		return "link-drop"
+	case KindHop:
+		return "hop"
+	case KindDeliver:
+		return "deliver"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Event is one step in a sampled packet's life.
+type Event struct {
+	Pkt    uint64 // trace id assigned by Sample
+	Time   int64  // ns
+	Kind   Kind
+	Node   string // enclave/link/switch/host that observed the step
+	Detail string // kind-specific: class, rule, function, queue index...
+}
+
+// Tracer records events for sampled packets into a bounded ring buffer.
+// A nil *Tracer is valid and ignores every call.
+type Tracer struct {
+	mu      sync.Mutex
+	limit   int // max packets to sample
+	sampled int
+	nextID  uint64
+	buf     []Event
+	pos     int
+	full    bool
+}
+
+// NewTracer returns a tracer that samples the first samplePackets packets
+// offered to Sample and keeps the most recent capacity events.
+func NewTracer(capacity, samplePackets int) *Tracer {
+	if capacity <= 0 {
+		capacity = 1024
+	}
+	if samplePackets <= 0 {
+		samplePackets = 1
+	}
+	return &Tracer{limit: samplePackets, buf: make([]Event, 0, capacity)}
+}
+
+// Sample offers a packet for tracing. If the packet is already sampled,
+// or the sampling budget allows, it carries a nonzero TraceID afterwards.
+// Reports whether the packet is traced.
+func (t *Tracer) Sample(pkt *packet.Packet) bool {
+	if t == nil {
+		return false
+	}
+	if pkt.Meta.TraceID != 0 {
+		return true
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.sampled >= t.limit {
+		return false
+	}
+	t.sampled++
+	t.nextID++
+	pkt.Meta.TraceID = t.nextID
+	return true
+}
+
+// Traces reports whether events for this packet would be recorded. Use it
+// to skip building detail strings for untraced packets.
+func (t *Tracer) Traces(pkt *packet.Packet) bool {
+	return t != nil && pkt.Meta.TraceID != 0
+}
+
+// Record appends one event for a sampled packet; a no-op for nil tracers
+// and unsampled packets.
+func (t *Tracer) Record(pkt *packet.Packet, now int64, kind Kind, node, detail string) {
+	if t == nil || pkt.Meta.TraceID == 0 {
+		return
+	}
+	ev := Event{Pkt: pkt.Meta.TraceID, Time: now, Kind: kind, Node: node, Detail: detail}
+	t.mu.Lock()
+	if len(t.buf) < cap(t.buf) {
+		t.buf = append(t.buf, ev)
+	} else {
+		t.buf[t.pos] = ev
+		t.pos = (t.pos + 1) % cap(t.buf)
+		t.full = true
+	}
+	t.mu.Unlock()
+}
+
+// Events returns all buffered events in recording order.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.full {
+		return append([]Event(nil), t.buf...)
+	}
+	out := make([]Event, 0, len(t.buf))
+	out = append(out, t.buf[t.pos:]...)
+	out = append(out, t.buf[:t.pos]...)
+	return out
+}
+
+// PacketEvents returns the buffered events of one sampled packet, in
+// recording order.
+func (t *Tracer) PacketEvents(id uint64) []Event {
+	var out []Event
+	for _, ev := range t.Events() {
+		if ev.Pkt == id {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// Packets returns the ids of packets with buffered events, ascending.
+func (t *Tracer) Packets() []uint64 {
+	seen := map[uint64]bool{}
+	var ids []uint64
+	for _, ev := range t.Events() {
+		if !seen[ev.Pkt] {
+			seen[ev.Pkt] = true
+			ids = append(ids, ev.Pkt)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// String renders every sampled packet's life, one event per line.
+func (t *Tracer) String() string {
+	if t == nil {
+		return ""
+	}
+	ids := t.Packets()
+	var b strings.Builder
+	fmt.Fprintf(&b, "packet trace (%d packets sampled):\n", len(ids))
+	for _, id := range ids {
+		fmt.Fprintf(&b, "  pkt %d:\n", id)
+		for _, ev := range t.PacketEvents(id) {
+			fmt.Fprintf(&b, "    %12dns  %-15s %-14s %s\n", ev.Time, ev.Kind, ev.Node, ev.Detail)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,118 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"eden/internal/packet"
+)
+
+func mkPkt() *packet.Packet {
+	return packet.New(1, 2, 1000, 80, 100)
+}
+
+func TestSamplingBudget(t *testing.T) {
+	tr := NewTracer(16, 2)
+	a, b, c := mkPkt(), mkPkt(), mkPkt()
+	if !tr.Sample(a) || !tr.Sample(b) {
+		t.Fatal("first two packets not sampled")
+	}
+	if tr.Sample(c) {
+		t.Error("third packet sampled past the budget")
+	}
+	if a.Meta.TraceID == 0 || b.Meta.TraceID == 0 || a.Meta.TraceID == b.Meta.TraceID {
+		t.Errorf("trace ids = %d, %d", a.Meta.TraceID, b.Meta.TraceID)
+	}
+	if c.Meta.TraceID != 0 {
+		t.Error("unsampled packet carries a trace id")
+	}
+	// Re-offering a sampled packet reports true without a new id.
+	id := a.Meta.TraceID
+	if !tr.Sample(a) || a.Meta.TraceID != id {
+		t.Error("resampling changed the id")
+	}
+	if !tr.Traces(a) || tr.Traces(c) {
+		t.Error("Traces mismatch")
+	}
+}
+
+func TestRecordAndPacketEvents(t *testing.T) {
+	tr := NewTracer(16, 2)
+	a, b := mkPkt(), mkPkt()
+	tr.Sample(a)
+	tr.Sample(b)
+	tr.Record(a, 10, KindClassify, "enc", "web")
+	tr.Record(b, 11, KindTx, "link", "")
+	tr.Record(a, 12, KindDeliver, "h2", "")
+	tr.Record(mkPkt(), 13, KindTx, "link", "") // unsampled: ignored
+
+	if got := len(tr.Events()); got != 3 {
+		t.Fatalf("events = %d, want 3", got)
+	}
+	evs := tr.PacketEvents(a.Meta.TraceID)
+	if len(evs) != 2 || evs[0].Kind != KindClassify || evs[1].Kind != KindDeliver {
+		t.Errorf("packet events = %v", evs)
+	}
+	ids := tr.Packets()
+	if len(ids) != 2 || ids[0] != a.Meta.TraceID || ids[1] != b.Meta.TraceID {
+		t.Errorf("packets = %v", ids)
+	}
+	s := tr.String()
+	for _, want := range []string{"classify", "deliver", "web", "enc"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRingBufferWraps(t *testing.T) {
+	tr := NewTracer(4, 1)
+	p := mkPkt()
+	tr.Sample(p)
+	for i := 0; i < 7; i++ {
+		tr.Record(p, int64(i), KindHop, "sw", "")
+	}
+	evs := tr.Events()
+	if len(evs) != 4 {
+		t.Fatalf("events = %d, want capacity 4", len(evs))
+	}
+	for i, ev := range evs {
+		if ev.Time != int64(3+i) {
+			t.Errorf("event %d time = %d, want %d (oldest dropped, order kept)", i, ev.Time, 3+i)
+		}
+	}
+}
+
+func TestNilTracerIsSafe(t *testing.T) {
+	var tr *Tracer
+	p := mkPkt()
+	if tr.Sample(p) || tr.Traces(p) {
+		t.Error("nil tracer traced a packet")
+	}
+	tr.Record(p, 0, KindTx, "x", "")
+	if tr.Events() != nil || tr.String() != "" {
+		t.Error("nil tracer returned events")
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	kinds := []Kind{
+		KindClassify, KindMatch, KindInvoke, KindTrap, KindEnqueue,
+		KindQueueDrop, KindQueueMisconfig, KindDrop, KindTx, KindLinkDrop,
+		KindHop, KindDeliver,
+	}
+	seen := map[string]bool{}
+	for _, k := range kinds {
+		s := k.String()
+		if s == "" || strings.HasPrefix(s, "kind(") {
+			t.Errorf("kind %d has no label", k)
+		}
+		if seen[s] {
+			t.Errorf("duplicate label %q", s)
+		}
+		seen[s] = true
+	}
+	if !strings.HasPrefix(Kind(200).String(), "kind(") {
+		t.Error("unknown kind label")
+	}
+}

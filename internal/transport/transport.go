@@ -19,6 +19,7 @@ package transport
 import (
 	"fmt"
 
+	"eden/internal/metrics"
 	"eden/internal/packet"
 )
 
@@ -149,6 +150,28 @@ func (s *Stack) Deliver(pkt *packet.Packet) {
 		s.conns[key] = c
 		c.receive(pkt)
 		accept(c)
+	}
+}
+
+// MetricsSnapshot renders the stack's counters as a metrics registry
+// snapshot named "transport.<ip>". The stack keeps its plain Stats struct
+// (tests and experiments read the fields directly) and contributes to a
+// metrics.Set as an on-demand source instead of a live registry.
+func (s *Stack) MetricsSnapshot() metrics.RegistrySnapshot {
+	return metrics.RegistrySnapshot{
+		Name: "transport." + packet.IPString(s.env.IP()),
+		Counters: map[string]int64{
+			"segments_sent":    s.Stats.SegmentsSent,
+			"segments_rcvd":    s.Stats.SegmentsRcvd,
+			"bytes_acked":      s.Stats.BytesAcked,
+			"retransmits":      s.Stats.Retransmits,
+			"fast_retransmits": s.Stats.FastRetransmit,
+			"rto_fires":        s.Stats.Timeouts,
+			"dup_acks_rcvd":    s.Stats.DupAcksRcvd,
+		},
+		Gauges: map[string]int64{
+			"conns": int64(len(s.conns)),
+		},
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net"
+	"sync"
 
 	"eden/internal/classify"
 	"eden/internal/ctlproto"
@@ -48,12 +49,66 @@ func ServeEnclave(addr, host string, e *enclave.Enclave) (*Agent, error) {
 }
 
 func enclaveHandler(e *enclave.Enclave) ctlproto.Handler {
+	// One staged transaction per control connection. While it is open,
+	// structural mutations (tables, rules, function installs/uninstalls)
+	// are staged instead of applied, and land atomically at tx_commit.
+	// State pushes (globals, queues, flow-classifier rules) always apply
+	// directly: they target function or queue runtime state, not the
+	// pipeline structure.
+	var txMu sync.Mutex
+	var tx *enclave.Tx
+	openTx := func() *enclave.Tx {
+		txMu.Lock()
+		defer txMu.Unlock()
+		return tx
+	}
 	return func(op string, params json.RawMessage) (any, error) {
 		switch op {
+		case ctlproto.OpEnclaveTxBegin:
+			txMu.Lock()
+			defer txMu.Unlock()
+			if tx != nil {
+				return nil, fmt.Errorf("controller: enclave agent: transaction already open")
+			}
+			tx = e.Begin()
+			return nil, nil
+
+		case ctlproto.OpEnclaveTxCommit:
+			txMu.Lock()
+			cur := tx
+			tx = nil
+			txMu.Unlock()
+			if cur == nil {
+				return nil, fmt.Errorf("controller: enclave agent: no open transaction")
+			}
+			gen, err := cur.Commit()
+			if err != nil {
+				return nil, err
+			}
+			return ctlproto.TxResult{Generation: gen}, nil
+
+		case ctlproto.OpEnclaveTxAbort:
+			txMu.Lock()
+			cur := tx
+			tx = nil
+			txMu.Unlock()
+			if cur == nil {
+				return nil, fmt.Errorf("controller: enclave agent: no open transaction")
+			}
+			cur.Abort()
+			return nil, nil
+
+		case ctlproto.OpEnclaveGeneration:
+			return ctlproto.TxResult{Generation: e.Generation()}, nil
+
 		case ctlproto.OpEnclaveCreateTable:
 			var p ctlproto.TableParams
 			if err := json.Unmarshal(params, &p); err != nil {
 				return nil, err
+			}
+			if cur := openTx(); cur != nil {
+				cur.CreateTable(enclave.Direction(p.Dir), p.Table)
+				return nil, nil
 			}
 			_, err := e.CreateTable(enclave.Direction(p.Dir), p.Table)
 			return nil, err
@@ -63,6 +118,10 @@ func enclaveHandler(e *enclave.Enclave) ctlproto.Handler {
 			if err := json.Unmarshal(params, &p); err != nil {
 				return nil, err
 			}
+			if cur := openTx(); cur != nil {
+				cur.DeleteTable(enclave.Direction(p.Dir), p.Table)
+				return nil, nil
+			}
 			return nil, e.DeleteTable(enclave.Direction(p.Dir), p.Table)
 
 		case ctlproto.OpEnclaveAddRule:
@@ -70,13 +129,21 @@ func enclaveHandler(e *enclave.Enclave) ctlproto.Handler {
 			if err := json.Unmarshal(params, &p); err != nil {
 				return nil, err
 			}
-			return nil, e.AddRule(enclave.Direction(p.Dir), p.Table,
-				enclave.Rule{Pattern: p.Pattern, Func: p.Func})
+			r := enclave.Rule{Pattern: p.Pattern, Func: p.Func}
+			if cur := openTx(); cur != nil {
+				cur.AddRule(enclave.Direction(p.Dir), p.Table, r)
+				return nil, nil
+			}
+			return nil, e.AddRule(enclave.Direction(p.Dir), p.Table, r)
 
 		case ctlproto.OpEnclaveRemoveRule:
 			var p ctlproto.RuleParams
 			if err := json.Unmarshal(params, &p); err != nil {
 				return nil, err
+			}
+			if cur := openTx(); cur != nil {
+				cur.RemoveRule(enclave.Direction(p.Dir), p.Table, p.Pattern)
+				return nil, nil
 			}
 			return nil, e.RemoveRule(enclave.Direction(p.Dir), p.Table, p.Pattern)
 
@@ -89,12 +156,20 @@ func enclaveHandler(e *enclave.Enclave) ctlproto.Handler {
 			if err != nil {
 				return nil, err
 			}
+			if cur := openTx(); cur != nil {
+				cur.InstallFunc(f)
+				return nil, nil
+			}
 			return nil, e.InstallFunc(f)
 
 		case ctlproto.OpEnclaveUninstall:
 			var p ctlproto.GlobalParams
 			if err := json.Unmarshal(params, &p); err != nil {
 				return nil, err
+			}
+			if cur := openTx(); cur != nil {
+				cur.UninstallFunc(p.Func)
+				return nil, nil
 			}
 			return nil, e.UninstallFunc(p.Func)
 

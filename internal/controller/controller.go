@@ -300,6 +300,34 @@ func (e *RemoteEnclave) AddFlowRule(r ctlproto.FlowRuleParams) error {
 	return e.peer.Call(ctlproto.OpEnclaveAddFlowRule, r, nil)
 }
 
+// TxBegin opens a policy transaction on the enclave agent. Subsequent
+// structural mutations (tables, rules, installs, uninstalls) are staged
+// and become visible to the data path atomically at TxCommit.
+func (e *RemoteEnclave) TxBegin() error {
+	return e.peer.Call(ctlproto.OpEnclaveTxBegin, nil, nil)
+}
+
+// TxCommit atomically publishes the staged transaction, returning the new
+// pipeline generation. On error (including failed bytecode verification of
+// any staged function) nothing is published.
+func (e *RemoteEnclave) TxCommit() (uint64, error) {
+	var out ctlproto.TxResult
+	err := e.peer.Call(ctlproto.OpEnclaveTxCommit, nil, &out)
+	return out.Generation, err
+}
+
+// TxAbort discards the staged transaction without publishing anything.
+func (e *RemoteEnclave) TxAbort() error {
+	return e.peer.Call(ctlproto.OpEnclaveTxAbort, nil, nil)
+}
+
+// Generation reads the enclave's currently published pipeline generation.
+func (e *RemoteEnclave) Generation() (uint64, error) {
+	var out ctlproto.TxResult
+	err := e.peer.Call(ctlproto.OpEnclaveGeneration, nil, &out)
+	return out.Generation, err
+}
+
 // RemoteStage is the controller's proxy for one registered stage,
 // exposing the stage API (Table 3).
 type RemoteStage struct {

@@ -42,6 +42,15 @@ import (
 //	enclave E add-queue RATE_BPS [CAP_BYTES]
 //	enclave E set-queue-rate INDEX RATE_BPS
 //	enclave E stats
+//	enclave E tx-begin                  start staging structural changes
+//	enclave E tx-commit                 publish staged changes atomically
+//	enclave E tx-abort                  discard staged changes
+//	enclave E generation                print the published pipeline generation
+//
+// Between tx-begin and tx-commit, structural commands (create-table,
+// delete-table, add-rule, remove-rule, install, install-builtin,
+// uninstall) for that enclave are staged and take effect as one atomic
+// pipeline swap at tx-commit — packets never observe half a policy.
 func (c *Controller) RunScript(script string, out io.Writer) error {
 	for ln, raw := range strings.Split(script, "\n") {
 		line := strings.TrimSpace(raw)
@@ -337,6 +346,40 @@ func (c *Controller) enclaveCommand(fields []string, out io.Writer) error {
 			return err
 		}
 		fmt.Fprintf(out, "%+v\n", st)
+		return nil
+
+	case "tx-begin":
+		if len(args) != 0 {
+			return fmt.Errorf("tx-begin")
+		}
+		return enc.TxBegin()
+
+	case "tx-commit":
+		if len(args) != 0 {
+			return fmt.Errorf("tx-commit")
+		}
+		gen, err := enc.TxCommit()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "committed generation %d\n", gen)
+		return nil
+
+	case "tx-abort":
+		if len(args) != 0 {
+			return fmt.Errorf("tx-abort")
+		}
+		return enc.TxAbort()
+
+	case "generation":
+		if len(args) != 0 {
+			return fmt.Errorf("generation")
+		}
+		gen, err := enc.Generation()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "generation %d\n", gen)
 		return nil
 
 	default:

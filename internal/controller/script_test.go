@@ -91,6 +91,9 @@ func TestRunScriptErrors(t *testing.T) {
 		"enclave host1-os set-array nope x 1,2",
 		"enclave host1-os set-queue-rate 0 99",
 		"enclave host1-os add-rule egress missing * pias",
+		"enclave host1-os tx-commit",
+		"enclave host1-os tx-abort",
+		"enclave host1-os tx-begin extra-arg",
 	}
 	for _, script := range cases {
 		if err := ctl.RunScript(script, &strings.Builder{}); err == nil {
@@ -124,4 +127,92 @@ enclave host1-os delete-table egress t
 		t.Errorf("tables remain: %v", got)
 	}
 	_ = stage.Memcached
+}
+
+// TestScriptTransactionAtomicity stages a whole policy inside tx-begin /
+// tx-commit: nothing is visible on the enclave until the commit script
+// runs, then all of it is.
+func TestScriptTransactionAtomicity(t *testing.T) {
+	ctl, enc, _ := testSetup(t)
+	genBefore := enc.Generation()
+
+	var out strings.Builder
+	staged := `
+enclave host1-os tx-begin
+enclave host1-os install-builtin pias
+enclave host1-os create-table egress sched
+enclave host1-os add-rule egress sched * pias
+`
+	if err := ctl.RunScript(staged, &out); err != nil {
+		t.Fatalf("staging script: %v", err)
+	}
+	if got := enc.Tables(enclave.Egress); len(got) != 0 {
+		t.Fatalf("tables visible before tx-commit: %v", got)
+	}
+	if got := enc.InstalledFunctions(); len(got) != 0 {
+		t.Fatalf("functions visible before tx-commit: %v", got)
+	}
+
+	if err := ctl.RunScript("enclave host1-os tx-commit\nenclave host1-os generation", &out); err != nil {
+		t.Fatalf("commit script: %v", err)
+	}
+	if !strings.Contains(out.String(), "committed generation") {
+		t.Errorf("output missing commit confirmation:\n%s", out.String())
+	}
+	if got := enc.Tables(enclave.Egress); len(got) != 1 || got[0] != "sched" {
+		t.Errorf("tables after commit: %v", got)
+	}
+	if got := enc.InstalledFunctions(); len(got) != 1 || got[0] != "pias" {
+		t.Errorf("functions after commit: %v", got)
+	}
+	if enc.Generation() != genBefore+1 {
+		t.Errorf("generation = %d, want %d", enc.Generation(), genBefore+1)
+	}
+}
+
+// TestScriptTransactionAbort discards a staged policy.
+func TestScriptTransactionAbort(t *testing.T) {
+	ctl, enc, _ := testSetup(t)
+	script := `
+enclave host1-os tx-begin
+enclave host1-os create-table egress sched
+enclave host1-os tx-abort
+`
+	if err := ctl.RunScript(script, &strings.Builder{}); err != nil {
+		t.Fatal(err)
+	}
+	if got := enc.Tables(enclave.Egress); len(got) != 0 {
+		t.Errorf("aborted tables visible: %v", got)
+	}
+	// The slot is free again: a new transaction can begin and commit.
+	script2 := `
+enclave host1-os tx-begin
+enclave host1-os create-table egress t2
+enclave host1-os tx-commit
+`
+	if err := ctl.RunScript(script2, &strings.Builder{}); err != nil {
+		t.Fatal(err)
+	}
+	if got := enc.Tables(enclave.Egress); len(got) != 1 || got[0] != "t2" {
+		t.Errorf("tables after second tx: %v", got)
+	}
+}
+
+// TestScriptTransactionRollback: a transaction whose commit fails (rule
+// referencing a function that is not installed) leaves the enclave
+// untouched.
+func TestScriptTransactionRollback(t *testing.T) {
+	ctl, enc, _ := testSetup(t)
+	script := `
+enclave host1-os tx-begin
+enclave host1-os create-table egress sched
+enclave host1-os add-rule egress sched * ghost
+enclave host1-os tx-commit
+`
+	if err := ctl.RunScript(script, &strings.Builder{}); err == nil {
+		t.Fatal("commit with dangling rule succeeded")
+	}
+	if got := enc.Tables(enclave.Egress); len(got) != 0 {
+		t.Errorf("failed commit published tables: %v", got)
+	}
 }

@@ -42,6 +42,15 @@ const (
 	OpEnclaveAddQueue     = "enclave.add_queue"
 	OpEnclaveSetQueueRate = "enclave.set_queue_rate"
 	OpEnclaveAddFlowRule  = "enclave.add_flow_rule"
+
+	// Transactional policy installation: structural mutations issued
+	// between tx_begin and tx_commit are staged on the agent and become
+	// visible to the enclave data path atomically at commit, which replies
+	// with the new pipeline generation.
+	OpEnclaveTxBegin    = "enclave.tx_begin"
+	OpEnclaveTxCommit   = "enclave.tx_commit"
+	OpEnclaveTxAbort    = "enclave.tx_abort"
+	OpEnclaveGeneration = "enclave.generation"
 )
 
 // Message is one protocol frame.
@@ -126,6 +135,12 @@ type FlowRuleParams struct {
 	Proto    *uint8  `json:"proto,omitempty"`
 	Priority int     `json:"priority,omitempty"`
 	Class    string  `json:"class"`
+}
+
+// TxResult reports the outcome of a committed transaction (and of a
+// generation query): the pipeline generation now visible to packets.
+type TxResult struct {
+	Generation uint64 `json:"generation"`
 }
 
 // Handler processes one inbound request and returns a result value (to be

@@ -112,6 +112,14 @@ type Program struct {
 	// FieldNames optionally maps state slots to source-level names for
 	// disassembly and debugging. Keys look like "pkt.0", "msg.1", "glb.2".
 	FieldNames map[string]string
+
+	// verified memoizes a successful Verify so layered checks (load-time
+	// plus enclave commit-time) pay the full pass once. Decode always
+	// returns a fresh, unverified Program, so tampering with encoded bytes
+	// can never inherit the mark. Verification serializes through the
+	// call sites (compile, load, commit under the enclave lock), so a
+	// plain bool suffices.
+	verified bool
 }
 
 // Wire format constants.

@@ -58,6 +58,9 @@ func Verify(p *Program) error {
 	if p == nil {
 		return errors.New("edenvm: verify: nil program")
 	}
+	if p.verified {
+		return nil
+	}
 	if len(p.Code) == 0 {
 		return verifyErrf(-1, "empty program")
 	}
@@ -225,6 +228,7 @@ func Verify(p *Program) error {
 	if usesCall && p.MaxCallDepth == 0 {
 		p.MaxCallDepth = 16
 	}
+	p.verified = true
 	return nil
 }
 

@@ -25,6 +25,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"eden/internal/compiler"
 	"eden/internal/metrics"
@@ -133,23 +134,39 @@ type queueMeter struct {
 
 // Enclave is an Eden data-plane element. Its exported methods are safe for
 // concurrent use.
+//
+// Concurrency model: the match-action configuration lives in an immutable
+// pipeline snapshot published through an atomic pointer. Process and
+// ProcessBatch load the snapshot once and never acquire mu — the data
+// path is lock-free with respect to the control plane. Control-plane
+// mutations serialize on mu, build the next snapshot copy-on-write, and
+// swap it in with a monotonically increasing generation number (see
+// pipeline.go and tx.go).
 type Enclave struct {
 	cfg Config
 
-	mu          sync.RWMutex
-	tables      map[Direction][]*Table
-	funcs       map[string]*installedFunc
+	// pipe is the published snapshot; the single atomic load per
+	// packet (or per batch) that replaces the old read lock.
+	pipe atomic.Pointer[pipeline]
+	mode atomic.Int32
+
+	// mu serializes control-plane commits (snapshot build + publish).
+	// The data path never takes it.
+	mu sync.Mutex
+	// buildSeq numbers builds for copy-on-write ownership tags; guarded
+	// by mu.
+	buildSeq uint64
+
+	queueMu     sync.Mutex
 	queues      []*qos.Queue
 	queueMeters []queueMeter
-	queueMu     sync.Mutex
-	flows       *FlowClassifier
-	mode        Mode
-	reg         *metrics.Registry
-	stats       counters
-	interpNs    *metrics.Histogram // nil unless Config.WallClock is set
-	vmPool      sync.Pool
-	nextMsg     uint64
-	flowMsgs    map[packet.FlowKey]uint64
+
+	flows    *FlowClassifier
+	flowIDs  flowIDMap
+	reg      *metrics.Registry
+	stats    counters
+	interpNs *metrics.Histogram // nil unless Config.WallClock is set
+	vmPool   sync.Pool
 }
 
 // New creates an enclave.
@@ -166,12 +183,9 @@ func New(cfg Config) *Enclave {
 	}
 	reg := metrics.NewRegistry(regName)
 	e := &Enclave{
-		cfg:      cfg,
-		tables:   map[Direction][]*Table{},
-		funcs:    map[string]*installedFunc{},
-		flows:    NewFlowClassifier(),
-		flowMsgs: map[packet.FlowKey]uint64{},
-		reg:      reg,
+		cfg:   cfg,
+		flows: NewFlowClassifier(),
+		reg:   reg,
 		stats: counters{
 			packets:        reg.Counter("packets"),
 			matched:        reg.Counter("matched"),
@@ -187,6 +201,8 @@ func New(cfg Config) *Enclave {
 	if cfg.WallClock != nil {
 		e.interpNs = reg.Histogram("interp_ns", metrics.LatencyBucketsNs)
 	}
+	e.pipe.Store(emptyPipeline())
+	e.flowIDs.init()
 	e.vmPool.New = func() any { return e.newVM() }
 	return e
 }
@@ -201,10 +217,13 @@ func (e *Enclave) Platform() string { return e.cfg.Platform }
 // that have a native implementation registered. Functions without one
 // always run interpreted.
 func (e *Enclave) SetMode(m Mode) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	e.mode = m
+	e.mode.Store(int32(m))
 }
+
+// Generation returns the generation number of the currently published
+// pipeline snapshot. It increases by one on every successful
+// control-plane commit (single mutation or transaction).
+func (e *Enclave) Generation() uint64 { return e.pipe.Load().gen }
 
 // Stats returns a snapshot of the enclave's core counters. The full
 // metric surface (per-function counters, per-queue accounting, latency
@@ -260,7 +279,9 @@ func (r Rule) Matches(class string) bool {
 	}
 }
 
-// Table is an ordered match-action table; the first matching rule fires.
+// Table describes one match-action table. Values returned by the enclave
+// are point-in-time snapshots of the published pipeline: they do not
+// track later mutations.
 type Table struct {
 	Name  string
 	rules []Rule
@@ -271,77 +292,50 @@ func (t *Table) Rules() []Rule { return append([]Rule(nil), t.rules...) }
 
 // CreateTable appends a table to the direction's pipeline (enclave API).
 func (e *Enclave) CreateTable(dir Direction, name string) (*Table, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	for _, t := range e.tables[dir] {
-		if t.Name == name {
-			return nil, fmt.Errorf("enclave: table %q already exists", name)
-		}
+	err := e.mutate(func(b *build) error { return b.createTable(dir, name) })
+	if err != nil {
+		return nil, err
 	}
-	t := &Table{Name: name}
-	e.tables[dir] = append(e.tables[dir], t)
-	return t, nil
+	return &Table{Name: name}, nil
 }
 
 // DeleteTable removes a table by name (enclave API).
 func (e *Enclave) DeleteTable(dir Direction, name string) error {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	ts := e.tables[dir]
-	for i, t := range ts {
-		if t.Name == name {
-			e.tables[dir] = append(ts[:i], ts[i+1:]...)
-			return nil
-		}
-	}
-	return fmt.Errorf("enclave: no table %q", name)
+	return e.mutate(func(b *build) error { return b.deleteTable(dir, name) })
 }
 
 // Tables lists table names for a direction.
 func (e *Enclave) Tables(dir Direction) []string {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
 	var names []string
-	for _, t := range e.tables[dir] {
-		names = append(names, t.Name)
+	for _, t := range e.pipe.Load().tables[dir] {
+		names = append(names, t.name)
 	}
 	return names
+}
+
+// Table returns a snapshot of a table's current rules.
+func (e *Enclave) Table(dir Direction, name string) (*Table, bool) {
+	for _, t := range e.pipe.Load().tables[dir] {
+		if t.name == name {
+			out := &Table{Name: name}
+			for _, r := range t.rules {
+				out.rules = append(out.rules, r.Rule)
+			}
+			return out, true
+		}
+	}
+	return nil, false
 }
 
 // AddRule appends a match-action rule to a table (enclave API). The
 // referenced function must already be installed.
 func (e *Enclave) AddRule(dir Direction, table string, r Rule) error {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if _, ok := e.funcs[r.Func]; !ok {
-		return fmt.Errorf("enclave: rule references unknown function %q", r.Func)
-	}
-	for _, t := range e.tables[dir] {
-		if t.Name == table {
-			t.rules = append(t.rules, r)
-			return nil
-		}
-	}
-	return fmt.Errorf("enclave: no table %q", table)
+	return e.mutate(func(b *build) error { return b.addRule(dir, table, r) })
 }
 
 // RemoveRule deletes the first rule with the given pattern from a table.
 func (e *Enclave) RemoveRule(dir Direction, table, pattern string) error {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	for _, t := range e.tables[dir] {
-		if t.Name != table {
-			continue
-		}
-		for i, r := range t.rules {
-			if r.Pattern == pattern {
-				t.rules = append(t.rules[:i], t.rules[i+1:]...)
-				return nil
-			}
-		}
-		return fmt.Errorf("enclave: no rule %q in table %q", pattern, table)
-	}
-	return fmt.Errorf("enclave: no table %q", table)
+	return e.mutate(func(b *build) error { return b.removeRule(dir, table, pattern) })
 }
 
 // AddQueue creates a rate-limited queue and returns its index. Functions
@@ -395,25 +389,28 @@ func (e *Enclave) FlowClassifier() *FlowClassifier { return e.flows }
 // functions, and resolves the control outputs into a verdict. The packet's
 // headers and metadata may be modified in place.
 func (e *Enclave) Process(dir Direction, pkt *packet.Packet, now int64) Verdict {
-	return e.processWith(dir, pkt, now, nil)
+	return e.processWith(e.pipe.Load(), dir, pkt, now, nil)
 }
 
 // ProcessBatch processes a batch of packets through the pipeline,
-// amortizing the interpreter checkout across the batch (§6: "techniques
-// like IO batching ... are often employed to reduce the processing
-// overhead"; Eden's per-packet functions apply unchanged to each packet
-// of the batch). Verdicts are returned in packet order.
+// amortizing the interpreter checkout and the pipeline-snapshot load
+// across the batch (§6: "techniques like IO batching ... are often
+// employed to reduce the processing overhead"; Eden's per-packet
+// functions apply unchanged to each packet of the batch). The snapshot is
+// resolved once, so every packet of the batch observes the same policy
+// generation. Verdicts are returned in packet order.
 func (e *Enclave) ProcessBatch(dir Direction, pkts []*packet.Packet, now int64) []Verdict {
+	p := e.pipe.Load()
 	vs := e.vmPool.Get().(*vmState)
 	defer e.vmPool.Put(vs)
 	out := make([]Verdict, len(pkts))
 	for i, pkt := range pkts {
-		out[i] = e.processWith(dir, pkt, now, vs)
+		out[i] = e.processWith(p, dir, pkt, now, vs)
 	}
 	return out
 }
 
-func (e *Enclave) processWith(dir Direction, pkt *packet.Packet, now int64, vs *vmState) Verdict {
+func (e *Enclave) processWith(p *pipeline, dir Direction, pkt *packet.Packet, now int64, vs *vmState) Verdict {
 	e.stats.packets.Add(1)
 	tr := e.cfg.Tracer
 	traced := tr.Traces(pkt)
@@ -430,29 +427,30 @@ func (e *Enclave) processWith(dir Direction, pkt *packet.Packet, now int64, vs *
 		}
 	}
 	if pkt.Meta.MsgID == 0 {
-		pkt.Meta.MsgID = e.flowMessageID(pkt)
+		pkt.Meta.MsgID = e.flowMessageID(p, pkt)
 	}
 
-	// Walk the pipeline's tables in order; within each table the first
+	// Walk the snapshot's tables in order; within each table the first
 	// matching rule fires (so a packet is subject to at most one function
 	// per table, and to every table unless redirected). Functions compose
 	// in table order (§6's fixed execution order); a function may skip
 	// ahead by writing packet.goto_table (forward-only, §3.4.2).
-	// The read lock is held across invocations; invocations take only
+	// The walk holds no enclave-wide lock — the snapshot is immutable and
+	// rules carry resolved function pointers; invocations take only
 	// per-function and per-message locks.
-	e.mu.RLock()
-	tables := e.tables[dir]
-	mode := e.mode
+	tables := p.tables[dir]
+	mode := Mode(e.mode.Load())
 	v := Verdict{SendAt: now}
 	anyMatch := false
 	for ti := 0; ti < len(tables); ti++ {
 		t := tables[ti]
 		var f *installedFunc
-		for _, r := range t.rules {
+		for ri := range t.rules {
+			r := &t.rules[ri]
 			if r.MatchesPacket(pkt) {
-				f = e.funcs[r.Func]
+				f = r.f
 				if f != nil && traced {
-					tr.Record(pkt, now, trace.KindMatch, e.cfg.Name, t.Name+"/"+r.Pattern+"->"+r.Func)
+					tr.Record(pkt, now, trace.KindMatch, e.cfg.Name, t.name+"/"+r.Pattern+"->"+r.Func)
 				}
 				break // first match per table
 			}
@@ -463,7 +461,6 @@ func (e *Enclave) processWith(dir Direction, pkt *packet.Packet, now int64, vs *
 		anyMatch = true
 		e.invokeWith(f, pkt, now, mode, vs)
 		if pkt.Meta.Control.Drop != 0 {
-			e.mu.RUnlock()
 			e.stats.matched.Add(1)
 			e.stats.drops.Add(1)
 			if traced {
@@ -481,7 +478,6 @@ func (e *Enclave) processWith(dir Direction, pkt *packet.Packet, now int64, vs *
 			}
 		}
 	}
-	e.mu.RUnlock()
 
 	if !anyMatch {
 		return v
@@ -546,68 +542,32 @@ func (e *Enclave) processWith(dir Direction, pkt *packet.Packet, now int64, vs *
 	return v
 }
 
-// flowMessageID assigns stable message identifiers to flows the stages did
-// not classify: each transport connection is one message (§3.3). When the
-// flow table overflows, an arbitrary entry other than the one just
-// inserted is evicted and its per-function message state is released
-// immediately rather than lingering until the functions' own caps evict
-// it.
-func (e *Enclave) flowMessageID(pkt *packet.Packet) uint64 {
-	key := pkt.Flow()
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if id, ok := e.flowMsgs[key]; ok {
-		return id
-	}
-	e.nextMsg++
-	id := e.nextMsg | 1<<63 // distinguish enclave-assigned ids
-	e.flowMsgs[key] = id
-	if len(e.flowMsgs) > e.cfg.MaxMessages {
-		for k, evicted := range e.flowMsgs {
-			if k == key {
-				continue // never evict the key just inserted
-			}
-			delete(e.flowMsgs, k)
-			// Release the evicted message's per-function state inline;
-			// EndMessage would re-lock e.mu.
-			for _, f := range e.funcs {
-				f.endMessage(evicted)
-			}
-			e.stats.flowEvictions.Add(1)
-			break
-		}
-	}
-	return id
-}
-
 // EndMessage releases per-message state for the given message across all
 // installed functions (stages call this through the host stack when a
 // message completes; the enclave also calls it on flow termination).
 func (e *Enclave) EndMessage(msgID uint64) {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	for _, f := range e.funcs {
+	for _, f := range e.pipe.Load().funcs {
 		f.endMessage(msgID)
 	}
 }
 
 // EndFlow releases the enclave-assigned message id and state for a flow.
 func (e *Enclave) EndFlow(key packet.FlowKey) {
-	e.mu.Lock()
-	id, ok := e.flowMsgs[key]
-	delete(e.flowMsgs, key)
-	e.mu.Unlock()
+	sh := &e.flowIDs.shards[flowShardIndex(key)]
+	sh.mu.Lock()
+	id, ok := sh.ids[key]
+	delete(sh.ids, key)
+	sh.mu.Unlock()
 	if ok {
+		e.flowIDs.count.Add(-1)
 		e.EndMessage(id)
 	}
 }
 
 // InstalledFunctions lists installed function names.
 func (e *Enclave) InstalledFunctions() []string {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
 	var names []string
-	for n := range e.funcs {
+	for n := range e.pipe.Load().funcs {
 		names = append(names, n)
 	}
 	return names
@@ -615,9 +575,7 @@ func (e *Enclave) InstalledFunctions() []string {
 
 // Func returns the compiled form of an installed function.
 func (e *Enclave) Func(name string) (*compiler.Func, bool) {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	f, ok := e.funcs[name]
+	f, ok := e.pipe.Load().funcs[name]
 	if !ok {
 		return nil, false
 	}

@@ -1,0 +1,112 @@
+package enclave
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"eden/internal/packet"
+)
+
+// flowShards is the number of independently locked flow-ID shards. A
+// power of two, sized so that GOMAXPROCS-many Process callers on
+// distinct flows essentially never contend.
+const flowShards = 64
+
+// flowShard holds one slice of the flow→message-ID table. The common hit
+// path takes only this shard's read lock.
+type flowShard struct {
+	mu  sync.RWMutex
+	ids map[packet.FlowKey]uint64
+}
+
+// flowIDMap assigns stable message identifiers to flows the stages did
+// not classify: each transport connection is one message (§3.3). It is
+// sharded by flow-key hash so the per-packet path never touches an
+// enclave-wide lock; the total entry count is tracked with an atomic so
+// the MaxMessages cap stays global, matching the unsharded semantics.
+type flowIDMap struct {
+	nextMsg atomic.Uint64
+	count   atomic.Int64
+	shards  [flowShards]flowShard
+}
+
+func (m *flowIDMap) init() {
+	for i := range m.shards {
+		m.shards[i].ids = map[packet.FlowKey]uint64{}
+	}
+}
+
+// flowShardIndex mixes the five-tuple into a shard index. This runs once
+// per packet, so it is a couple of integer multiplies (a splitmix64-style
+// finalizer) rather than a byte-at-a-time hash.
+func flowShardIndex(k packet.FlowKey) uint32 {
+	h := uint64(k.Src)<<32 | uint64(k.Dst)
+	h ^= uint64(k.SrcPort)<<40 | uint64(k.DstPort)<<16 | uint64(k.Proto)
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return uint32(h) & (flowShards - 1)
+}
+
+// flowMessageID returns the flow's enclave-assigned message id, creating
+// one on first sight. The hit path is a shard read lock; a miss upgrades
+// to the shard write lock. When the table overflows the global cap, an
+// arbitrary entry other than the one just inserted is evicted and its
+// per-function message state is released immediately. p is the pipeline
+// snapshot the caller is processing under, used to reach the installed
+// functions without locking.
+func (e *Enclave) flowMessageID(p *pipeline, pkt *packet.Packet) uint64 {
+	key := pkt.Flow()
+	sh := &e.flowIDs.shards[flowShardIndex(key)]
+	sh.mu.RLock()
+	id, ok := sh.ids[key]
+	sh.mu.RUnlock()
+	if ok {
+		return id
+	}
+	sh.mu.Lock()
+	if id, ok = sh.ids[key]; ok {
+		sh.mu.Unlock()
+		return id
+	}
+	id = e.flowIDs.nextMsg.Add(1) | 1<<63 // distinguish enclave-assigned ids
+	sh.ids[key] = id
+	total := e.flowIDs.count.Add(1)
+	sh.mu.Unlock()
+	if total > int64(e.cfg.MaxMessages) {
+		e.evictFlow(p, key)
+	}
+	return id
+}
+
+// evictFlow removes one tracked flow other than keep, scanning shards
+// starting from keep's own, and releases the evicted message's
+// per-function state. Only one shard lock is held at a time.
+func (e *Enclave) evictFlow(p *pipeline, keep packet.FlowKey) {
+	start := flowShardIndex(keep)
+	for i := uint32(0); i < flowShards; i++ {
+		sh := &e.flowIDs.shards[(start+i)%flowShards]
+		var evicted uint64
+		found := false
+		sh.mu.Lock()
+		for k, v := range sh.ids {
+			if k == keep {
+				continue // never evict the key just inserted
+			}
+			delete(sh.ids, k)
+			evicted, found = v, true
+			break
+		}
+		sh.mu.Unlock()
+		if found {
+			e.flowIDs.count.Add(-1)
+			for _, f := range p.funcs {
+				f.endMessage(evicted)
+			}
+			e.stats.flowEvictions.Add(1)
+			return
+		}
+	}
+}

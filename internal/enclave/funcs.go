@@ -3,6 +3,7 @@ package enclave
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"eden/internal/compiler"
 	"eden/internal/edenvm"
@@ -21,10 +22,16 @@ type NativeFunc func(pkt *packet.Packet, msg []int64, globals []int64, arrays []
 
 // installedFunc is one action function resident in the enclave, together
 // with the authoritative state the runtime manages for it (§3.4.4: "the
-// authoritative state is maintained in the enclave").
+// authoritative state is maintained in the enclave"). The same
+// installedFunc value is shared by every pipeline snapshot that includes
+// the function, so runtime state (globals, message entries) survives
+// control-plane commits; its fields are guarded by per-function locks or
+// atomics because the data path reads it without any enclave-wide lock.
 type installedFunc struct {
-	fn     *compiler.Func
-	native NativeFunc
+	fn *compiler.Func
+	// native is atomic because AttachNative may race the lock-free data
+	// path.
+	native atomic.Pointer[NativeFunc]
 
 	// globalMu guards globals and arrays per the concurrency model.
 	globalMu sync.RWMutex
@@ -32,8 +39,10 @@ type installedFunc struct {
 	arrays   [][]int64
 
 	// msgMu guards the message-state map; individual entries are guarded
-	// by their own locks for the per-message concurrency class.
-	msgMu    sync.Mutex
+	// by their own locks for the per-message concurrency class. Entry
+	// lookup is the per-packet common case, so it takes only the read
+	// lock; creation and eviction upgrade to the write lock.
+	msgMu    sync.RWMutex
 	msgState map[uint64]*msgEntry
 	msgOrder []uint64 // insertion order for eviction
 	maxMsgs  int
@@ -52,23 +61,10 @@ type msgEntry struct {
 	slots []int64
 }
 
-// InstallFunc installs a compiled action function (enclave API). Global
-// scalar slots start at zero and arrays empty until the controller pushes
-// state with UpdateGlobal/UpdateGlobalArray. An optional native
-// implementation may be attached with AttachNative.
-func (e *Enclave) InstallFunc(fn *compiler.Func) error {
-	if fn == nil || fn.Prog == nil {
-		return fmt.Errorf("enclave: nil function")
-	}
-	// Re-verify defensively: enclaves must never trust shipped bytecode.
-	if err := edenvm.Verify(fn.Prog); err != nil {
-		return fmt.Errorf("enclave: program rejected: %w", err)
-	}
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if _, dup := e.funcs[fn.Name]; dup {
-		return fmt.Errorf("enclave: function %q already installed", fn.Name)
-	}
+// newInstalledFunc builds the runtime representation of a freshly
+// verified function: zeroed global scalars (then defaults applied), empty
+// arrays and message state, and the per-function registry counters.
+func (e *Enclave) newInstalledFunc(fn *compiler.Func) *installedFunc {
 	inst := &installedFunc{
 		fn:           fn,
 		globals:      make([]int64, len(fn.GlobalScalars)),
@@ -81,44 +77,34 @@ func (e *Enclave) InstallFunc(fn *compiler.Func) error {
 		instructions: e.reg.Counter("fn." + fn.Name + ".instructions"),
 	}
 	copy(inst.globals, fn.GlobalDefaults)
-	e.funcs[fn.Name] = inst
-	return nil
+	return inst
+}
+
+// InstallFunc installs a compiled action function (enclave API). Global
+// scalar slots start at zero and arrays empty until the controller pushes
+// state with UpdateGlobal/UpdateGlobalArray. An optional native
+// implementation may be attached with AttachNative. Installation is a
+// single-operation transaction: the bytecode is verified and the new
+// snapshot published atomically (see build.installFunc).
+func (e *Enclave) InstallFunc(fn *compiler.Func) error {
+	return e.mutate(func(b *build) error { return b.installFunc(fn) })
 }
 
 // UninstallFunc removes a function and its state. Rules referencing it
 // stop firing (their table entries are removed too).
 func (e *Enclave) UninstallFunc(name string) error {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if _, ok := e.funcs[name]; !ok {
-		return fmt.Errorf("enclave: no function %q", name)
-	}
-	delete(e.funcs, name)
-	for dir, ts := range e.tables {
-		for _, t := range ts {
-			kept := t.rules[:0]
-			for _, r := range t.rules {
-				if r.Func != name {
-					kept = append(kept, r)
-				}
-			}
-			t.rules = kept
-		}
-		e.tables[dir] = ts
-	}
-	return nil
+	return e.mutate(func(b *build) error { return b.uninstallFunc(name) })
 }
 
 // AttachNative registers a native implementation for an installed
-// function.
+// function. The pointer swap is atomic because in-flight Process calls
+// read f.native without holding any enclave lock.
 func (e *Enclave) AttachNative(name string, nf NativeFunc) error {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	f, ok := e.funcs[name]
+	f, ok := e.pipe.Load().funcs[name]
 	if !ok {
 		return fmt.Errorf("enclave: no function %q", name)
 	}
-	f.native = nf
+	f.native.Store(&nf)
 	return nil
 }
 
@@ -147,9 +133,7 @@ func (e *Enclave) ReadGlobal(fn, name string) (int64, error) {
 }
 
 func (e *Enclave) findGlobalScalar(fn, name string) (*installedFunc, int, error) {
-	e.mu.RLock()
-	f, ok := e.funcs[fn]
-	e.mu.RUnlock()
+	f, ok := e.pipe.Load().funcs[fn]
 	if !ok {
 		return nil, 0, fmt.Errorf("enclave: no function %q", fn)
 	}
@@ -163,9 +147,7 @@ func (e *Enclave) findGlobalScalar(fn, name string) (*installedFunc, int, error)
 
 // UpdateGlobalArray replaces a global array by name. The slice is copied.
 func (e *Enclave) UpdateGlobalArray(fn, name string, values []int64) error {
-	e.mu.RLock()
-	f, ok := e.funcs[fn]
-	e.mu.RUnlock()
+	f, ok := e.pipe.Load().funcs[fn]
 	if !ok {
 		return fmt.Errorf("enclave: no function %q", fn)
 	}
@@ -183,9 +165,7 @@ func (e *Enclave) UpdateGlobalArray(fn, name string, values []int64) error {
 
 // ReadGlobalArray returns a copy of a global array by name.
 func (e *Enclave) ReadGlobalArray(fn, name string) ([]int64, error) {
-	e.mu.RLock()
-	f, ok := e.funcs[fn]
-	e.mu.RUnlock()
+	f, ok := e.pipe.Load().funcs[fn]
 	if !ok {
 		return nil, fmt.Errorf("enclave: no function %q", fn)
 	}
@@ -202,15 +182,13 @@ func (e *Enclave) ReadGlobalArray(fn, name string) ([]int64, error) {
 // MsgState returns a copy of the per-message state slots a function keeps
 // for a message, if any.
 func (e *Enclave) MsgState(fn string, msgID uint64) ([]int64, bool) {
-	e.mu.RLock()
-	f, ok := e.funcs[fn]
-	e.mu.RUnlock()
+	f, ok := e.pipe.Load().funcs[fn]
 	if !ok {
 		return nil, false
 	}
-	f.msgMu.Lock()
+	f.msgMu.RLock()
 	ent, ok := f.msgState[msgID]
-	f.msgMu.Unlock()
+	f.msgMu.RUnlock()
 	if !ok {
 		return nil, false
 	}
@@ -220,9 +198,15 @@ func (e *Enclave) MsgState(fn string, msgID uint64) ([]int64, bool) {
 }
 
 func (f *installedFunc) entry(msgID uint64) *msgEntry {
+	f.msgMu.RLock()
+	ent, ok := f.msgState[msgID]
+	f.msgMu.RUnlock()
+	if ok {
+		return ent
+	}
 	f.msgMu.Lock()
 	defer f.msgMu.Unlock()
-	ent, ok := f.msgState[msgID]
+	ent, ok = f.msgState[msgID]
 	if !ok {
 		slots := make([]int64, len(f.fn.MsgFields))
 		copy(slots, f.fn.MsgDefaults)
@@ -289,9 +273,11 @@ func (e *Enclave) invokeWith(f *installedFunc, pkt *packet.Packet, now int64, mo
 		ent = f.entry(pkt.Meta.MsgID)
 	}
 
-	if mode == ModeNative && f.native != nil {
-		e.invokeNative(f, pkt, ent)
-		return
+	if mode == ModeNative {
+		if nf := f.native.Load(); nf != nil {
+			e.invokeNative(f, pkt, ent, *nf)
+			return
+		}
 	}
 
 	if vs == nil {
@@ -391,16 +377,16 @@ func (e *Enclave) invokeWith(f *installedFunc, pkt *packet.Packet, now int64, mo
 	}
 }
 
-func (e *Enclave) invokeNative(f *installedFunc, pkt *packet.Packet, ent *msgEntry) {
+func (e *Enclave) invokeNative(f *installedFunc, pkt *packet.Packet, ent *msgEntry, nf NativeFunc) {
 	switch f.concurrency {
 	case edenvm.ConcurrencyPerMessage:
 		f.globalMu.RLock()
 		if ent != nil {
 			ent.mu.Lock()
-			f.native(pkt, ent.slots, f.globals, f.arrays)
+			nf(pkt, ent.slots, f.globals, f.arrays)
 			ent.mu.Unlock()
 		} else {
-			f.native(pkt, nil, f.globals, f.arrays)
+			nf(pkt, nil, f.globals, f.arrays)
 		}
 		f.globalMu.RUnlock()
 	case edenvm.ConcurrencyExclusive:
@@ -411,7 +397,7 @@ func (e *Enclave) invokeNative(f *installedFunc, pkt *packet.Packet, ent *msgEnt
 			ent.mu.Lock()
 			slots = ent.slots
 		}
-		f.native(pkt, slots, f.globals, f.arrays)
+		nf(pkt, slots, f.globals, f.arrays)
 		if ent != nil {
 			ent.mu.Unlock()
 		}
@@ -425,7 +411,7 @@ func (e *Enclave) invokeNative(f *installedFunc, pkt *packet.Packet, ent *msgEnt
 			slots = append(slots, ent.slots...)
 			ent.mu.Unlock()
 		}
-		f.native(pkt, slots, f.globals, f.arrays)
+		nf(pkt, slots, f.globals, f.arrays)
 		f.globalMu.RUnlock()
 	}
 }

@@ -1,0 +1,246 @@
+package enclave
+
+import (
+	"fmt"
+
+	"eden/internal/compiler"
+	"eden/internal/edenvm"
+)
+
+// numDirections sizes per-direction arrays (Egress, Ingress).
+const numDirections = 2
+
+// pipeline is one immutable snapshot of the enclave's match-action
+// configuration: the tables of both directions, with every rule's action
+// resolved to its *installedFunc, plus the installed-function set itself.
+// The data path loads the current snapshot with a single atomic pointer
+// read and walks it without taking any enclave-wide lock; control-plane
+// mutations never modify a published snapshot — they build the next one
+// under Enclave.mu (copy-on-write) and swap it in with a higher
+// generation number. A packet therefore observes exactly one generation
+// of the policy for its whole pipeline walk, and a transaction's
+// mutations become visible to packets all at once (§3.2's consistent
+// policy units, applied to the per-host data plane).
+type pipeline struct {
+	gen    uint64
+	tables [numDirections][]*pipeTable
+	funcs  map[string]*installedFunc
+}
+
+// pipeTable is a table inside a snapshot. Rules carry resolved function
+// pointers so the per-packet walk does no map lookups.
+type pipeTable struct {
+	name  string
+	rules []compiledRule
+	// owner is the id of the build that created this copy. A build may
+	// mutate a table in place only if it made the copy itself; any other
+	// table is shared with a published snapshot and must be cloned first.
+	// Only touched under Enclave.mu.
+	owner uint64
+}
+
+// compiledRule is a Rule with its action resolved at build time.
+type compiledRule struct {
+	Rule
+	f *installedFunc
+}
+
+func emptyPipeline() *pipeline {
+	return &pipeline{funcs: map[string]*installedFunc{}}
+}
+
+// build is the mutable working copy a committer edits before publishing.
+// Only the goroutine holding Enclave.mu touches a build; published
+// snapshots are never modified. Copying is lazy: the build starts sharing
+// every table slice, table, and the funcs map with the live snapshot, and
+// clones each piece only when a staged operation first touches it — so a
+// commit's cost is proportional to what it changes, not to the size of
+// the installed policy.
+type build struct {
+	e      *Enclave
+	id     uint64 // unique per build; matches pipeTable.owner on own copies
+	tables [numDirections][]*pipeTable
+	funcs  map[string]*installedFunc
+	// ownedDir marks direction slices that are private copies.
+	ownedDir [numDirections]bool
+	// funcsOwned reports whether funcs is the build's private copy.
+	funcsOwned bool
+}
+
+// beginBuild shares the current snapshot into a mutable build (no copying
+// until a mutation demands it). installedFunc values are always shared —
+// their runtime state (globals, message entries) is guarded by
+// per-function locks and survives across snapshots. Caller holds e.mu.
+func (e *Enclave) beginBuild() *build {
+	cur := e.pipe.Load()
+	e.buildSeq++
+	return &build{e: e, id: e.buildSeq, tables: cur.tables, funcs: cur.funcs}
+}
+
+// ownDir makes the direction's table slice a private copy, so indices can
+// be overwritten and tables appended/removed without disturbing readers
+// of the published snapshot.
+func (b *build) ownDir(dir Direction) {
+	if !b.ownedDir[dir] {
+		b.tables[dir] = append([]*pipeTable(nil), b.tables[dir]...)
+		b.ownedDir[dir] = true
+	}
+}
+
+// ownTable returns a privately mutable copy of the i'th table in dir,
+// cloning it out of the shared snapshot on first touch.
+func (b *build) ownTable(dir Direction, i int) *pipeTable {
+	b.ownDir(dir)
+	t := b.tables[dir][i]
+	if t.owner == b.id {
+		return t
+	}
+	cp := &pipeTable{name: t.name, rules: append([]compiledRule(nil), t.rules...), owner: b.id}
+	b.tables[dir][i] = cp
+	return cp
+}
+
+// ownFuncs makes the funcs map privately mutable.
+func (b *build) ownFuncs() {
+	if b.funcsOwned {
+		return
+	}
+	cp := make(map[string]*installedFunc, len(b.funcs)+1)
+	for n, f := range b.funcs {
+		cp[n] = f
+	}
+	b.funcs = cp
+	b.funcsOwned = true
+}
+
+// publishLocked freezes the build into the next snapshot and makes it
+// visible to the data path. Caller holds e.mu.
+func (e *Enclave) publishLocked(b *build) uint64 {
+	next := &pipeline{
+		gen:    e.pipe.Load().gen + 1,
+		tables: b.tables,
+		funcs:  b.funcs,
+	}
+	e.pipe.Store(next)
+	return next.gen
+}
+
+// mutate runs one control-plane operation as a single-op transaction:
+// share, apply (copy-on-write), publish. On error nothing is published.
+func (e *Enclave) mutate(apply func(*build) error) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	b := e.beginBuild()
+	if err := apply(b); err != nil {
+		return err
+	}
+	e.publishLocked(b)
+	return nil
+}
+
+func (b *build) createTable(dir Direction, name string) error {
+	for _, t := range b.tables[dir] {
+		if t.name == name {
+			return fmt.Errorf("enclave: table %q already exists", name)
+		}
+	}
+	b.ownDir(dir)
+	b.tables[dir] = append(b.tables[dir], &pipeTable{name: name, owner: b.id})
+	return nil
+}
+
+func (b *build) deleteTable(dir Direction, name string) error {
+	for i, t := range b.tables[dir] {
+		if t.name == name {
+			b.ownDir(dir)
+			ts := b.tables[dir]
+			b.tables[dir] = append(ts[:i], ts[i+1:]...)
+			return nil
+		}
+	}
+	return fmt.Errorf("enclave: no table %q", name)
+}
+
+func (b *build) addRule(dir Direction, table string, r Rule) error {
+	f, ok := b.funcs[r.Func]
+	if !ok {
+		return fmt.Errorf("enclave: rule references unknown function %q", r.Func)
+	}
+	for i, t := range b.tables[dir] {
+		if t.name == table {
+			ot := b.ownTable(dir, i)
+			ot.rules = append(ot.rules, compiledRule{Rule: r, f: f})
+			return nil
+		}
+	}
+	return fmt.Errorf("enclave: no table %q", table)
+}
+
+func (b *build) removeRule(dir Direction, table, pattern string) error {
+	for ti, t := range b.tables[dir] {
+		if t.name != table {
+			continue
+		}
+		for i, r := range t.rules {
+			if r.Pattern == pattern {
+				ot := b.ownTable(dir, ti)
+				ot.rules = append(ot.rules[:i], ot.rules[i+1:]...)
+				return nil
+			}
+		}
+		return fmt.Errorf("enclave: no rule %q in table %q", pattern, table)
+	}
+	return fmt.Errorf("enclave: no table %q", table)
+}
+
+// installFunc stages a function into the build. Bytecode verification
+// happens here — at commit time — so a bad function rejects the whole
+// transaction instead of landing half a policy, and a directly-installed
+// function is still checked before it can ever see a packet.
+func (b *build) installFunc(fn *compiler.Func) error {
+	if fn == nil || fn.Prog == nil {
+		return fmt.Errorf("enclave: nil function")
+	}
+	// Re-verify defensively: enclaves must never trust shipped bytecode.
+	if err := edenvm.Verify(fn.Prog); err != nil {
+		return fmt.Errorf("enclave: program rejected: %w", err)
+	}
+	if _, dup := b.funcs[fn.Name]; dup {
+		return fmt.Errorf("enclave: function %q already installed", fn.Name)
+	}
+	b.ownFuncs()
+	b.funcs[fn.Name] = b.e.newInstalledFunc(fn)
+	return nil
+}
+
+// uninstallFunc removes a function and strips every rule referencing it.
+func (b *build) uninstallFunc(name string) error {
+	if _, ok := b.funcs[name]; !ok {
+		return fmt.Errorf("enclave: no function %q", name)
+	}
+	b.ownFuncs()
+	delete(b.funcs, name)
+	for dir := range b.tables {
+		for ti, t := range b.tables[dir] {
+			refs := false
+			for _, r := range t.rules {
+				if r.Func == name {
+					refs = true
+					break
+				}
+			}
+			if !refs {
+				continue
+			}
+			ot := b.ownTable(Direction(dir), ti)
+			kept := ot.rules[:0]
+			for _, r := range ot.rules {
+				if r.Func != name {
+					kept = append(kept, r)
+				}
+			}
+			ot.rules = kept
+		}
+	}
+	return nil
+}

@@ -1,0 +1,127 @@
+package enclave
+
+import (
+	"fmt"
+	"sync"
+
+	"eden/internal/compiler"
+)
+
+// Tx is a control-plane transaction: a batch of structural mutations
+// (tables, rules, function installs/uninstalls) that is staged without
+// touching the live pipeline and becomes visible to packets atomically at
+// Commit. Validation — including bytecode verification of every staged
+// function — happens at commit time against the staged state, so any
+// failing operation rejects the whole transaction and the published
+// policy is unchanged. This is how a controller script's entire policy
+// (tables + rules + compiled functions) lands as one consistent unit:
+// concurrent Process calls observe either the complete old policy or the
+// complete new one, never a mix.
+//
+// A Tx is not tied to a goroutine; its methods are safe for concurrent
+// use, though operations are applied in staging order. After Commit or
+// Abort the transaction is finished: further staging is ignored and
+// Commit returns an error.
+type Tx struct {
+	e    *Enclave
+	mu   sync.Mutex
+	ops  []txOp
+	done bool
+}
+
+type txOp struct {
+	desc  string
+	apply func(*build) error
+}
+
+// Begin opens a transaction against the enclave. Multiple transactions
+// may be open at once; each commits independently (last writer wins at
+// the granularity of whole commits, never partially).
+func (e *Enclave) Begin() *Tx { return &Tx{e: e} }
+
+func (tx *Tx) stage(desc string, apply func(*build) error) {
+	tx.mu.Lock()
+	defer tx.mu.Unlock()
+	if tx.done {
+		return
+	}
+	tx.ops = append(tx.ops, txOp{desc: desc, apply: apply})
+}
+
+// CreateTable stages a table creation.
+func (tx *Tx) CreateTable(dir Direction, name string) {
+	tx.stage("create-table "+name, func(b *build) error { return b.createTable(dir, name) })
+}
+
+// DeleteTable stages a table deletion.
+func (tx *Tx) DeleteTable(dir Direction, name string) {
+	tx.stage("delete-table "+name, func(b *build) error { return b.deleteTable(dir, name) })
+}
+
+// AddRule stages a match-action rule. The referenced function must be
+// installed by commit time (either already resident or staged earlier in
+// this transaction).
+func (tx *Tx) AddRule(dir Direction, table string, r Rule) {
+	tx.stage("add-rule "+table+"/"+r.Pattern, func(b *build) error { return b.addRule(dir, table, r) })
+}
+
+// RemoveRule stages removal of the first rule with the given pattern.
+func (tx *Tx) RemoveRule(dir Direction, table, pattern string) {
+	tx.stage("remove-rule "+table+"/"+pattern, func(b *build) error { return b.removeRule(dir, table, pattern) })
+}
+
+// InstallFunc stages a function install. The bytecode is verified at
+// Commit, not here: a function that fails verification rejects the whole
+// transaction.
+func (tx *Tx) InstallFunc(fn *compiler.Func) {
+	name := "?"
+	if fn != nil {
+		name = fn.Name
+	}
+	tx.stage("install "+name, func(b *build) error { return b.installFunc(fn) })
+}
+
+// UninstallFunc stages a function removal (rules referencing it are
+// stripped at commit).
+func (tx *Tx) UninstallFunc(name string) {
+	tx.stage("uninstall "+name, func(b *build) error { return b.uninstallFunc(name) })
+}
+
+// Len reports the number of staged operations.
+func (tx *Tx) Len() int {
+	tx.mu.Lock()
+	defer tx.mu.Unlock()
+	return len(tx.ops)
+}
+
+// Commit validates and applies the staged operations as one atomic
+// pipeline swap, returning the generation number of the newly published
+// snapshot. On any error — unknown table, duplicate function, failed
+// bytecode verification — nothing is published and the error names the
+// staged operation that failed.
+func (tx *Tx) Commit() (uint64, error) {
+	tx.mu.Lock()
+	defer tx.mu.Unlock()
+	if tx.done {
+		return 0, fmt.Errorf("enclave: transaction already finished")
+	}
+	tx.done = true
+	e := tx.e
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	b := e.beginBuild()
+	for _, op := range tx.ops {
+		if err := op.apply(b); err != nil {
+			return 0, fmt.Errorf("enclave: tx %s: %w", op.desc, err)
+		}
+	}
+	return e.publishLocked(b), nil
+}
+
+// Abort discards the transaction without publishing anything.
+func (tx *Tx) Abort() {
+	tx.mu.Lock()
+	defer tx.mu.Unlock()
+	tx.done = true
+	tx.ops = nil
+}

@@ -9,11 +9,13 @@ test:
 	$(GO) test ./...
 
 # verify is the extended check: tier-1 build+test plus vet and a race
-# pass over the concurrent data-path packages (enclave, transport).
+# pass over the concurrent packages — the data path (enclave, transport)
+# and the control plane (controller, ctlproto), whose reconnect and
+# registration churn paths are only meaningful under the race detector.
 verify: build
 	$(GO) vet ./...
 	$(GO) test ./...
-	$(GO) test -race ./internal/enclave/ ./internal/transport/
+	$(GO) test -race ./internal/enclave/ ./internal/transport/ ./internal/controller/ ./internal/ctlproto/
 
 bench:
 	$(GO) test -bench=. -benchtime=1x ./...

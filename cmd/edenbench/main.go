@@ -72,8 +72,19 @@ func main() {
 		ms      = flag.Int("ms", 0, "override simulated milliseconds per run (0 = default)")
 		dumpMet = flag.Bool("metrics", false, "dump a JSON metrics snapshot per simulated experiment")
 		traceN  = flag.Int("trace", 0, "trace the life of N sampled packets per simulated experiment")
+		faults  = flag.String("faults", "", `inject link faults into the simulated experiments, e.g. "flap=5ms:500us,loss=0.001" (see netsim.ParseFaultPlan); per-link flap/loss counters appear in the -metrics snapshot`)
 	)
 	flag.Parse()
+
+	var faultPlan *netsim.FaultPlan
+	if *faults != "" {
+		var err error
+		faultPlan, err = netsim.ParseFaultPlan(*faults)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "edenbench: -faults: %v\n", err)
+			os.Exit(2)
+		}
+	}
 
 	run := func(name string, fn func()) {
 		if *exp != "all" && *exp != name {
@@ -88,7 +99,7 @@ func main() {
 		cfg := experiments.DefaultFig9Config()
 		applyScale(&cfg.Runs, &cfg.Duration, *runs, *ms)
 		ins := newInstruments(*dumpMet, *traceN)
-		cfg.Metrics, cfg.Tracer = ins.set, ins.tracer
+		cfg.Metrics, cfg.Tracer, cfg.Faults = ins.set, ins.tracer, faultPlan
 		fmt.Println(experiments.RunFig9(cfg))
 		ins.report("fig9")
 	})
@@ -96,7 +107,7 @@ func main() {
 		cfg := experiments.DefaultFig10Config()
 		applyScale(&cfg.Runs, &cfg.Duration, *runs, *ms)
 		ins := newInstruments(*dumpMet, *traceN)
-		cfg.Metrics, cfg.Tracer = ins.set, ins.tracer
+		cfg.Metrics, cfg.Tracer, cfg.Faults = ins.set, ins.tracer, faultPlan
 		fmt.Println(experiments.RunFig10(cfg))
 		ins.report("fig10")
 	})
@@ -104,7 +115,7 @@ func main() {
 		cfg := experiments.DefaultFig11Config()
 		applyScale(&cfg.Runs, &cfg.Duration, *runs, *ms)
 		ins := newInstruments(*dumpMet, *traceN)
-		cfg.Metrics, cfg.Tracer = ins.set, ins.tracer
+		cfg.Metrics, cfg.Tracer, cfg.Faults = ins.set, ins.tracer, faultPlan
 		fmt.Println(experiments.RunFig11(cfg))
 		ins.report("fig11")
 	})

@@ -27,12 +27,14 @@ import (
 
 func main() {
 	var (
-		ctlAddr  = flag.String("controller", "127.0.0.1:6633", "controller address")
-		name     = flag.String("name", "enclave0", "enclave name")
-		host     = flag.String("host", hostnameOr("host0"), "host name")
-		platform = flag.String("platform", "os", "platform label (os or nic)")
-		selftest = flag.Bool("selftest", false, "drive synthetic traffic through the enclave")
-		rate     = flag.Int("rate", 10000, "selftest packets per second")
+		ctlAddr   = flag.String("controller", "127.0.0.1:6633", "controller address")
+		name      = flag.String("name", "enclave0", "enclave name")
+		host      = flag.String("host", hostnameOr("host0"), "host name")
+		platform  = flag.String("platform", "os", "platform label (os or nic)")
+		selftest  = flag.Bool("selftest", false, "drive synthetic traffic through the enclave")
+		rate      = flag.Int("rate", 10000, "selftest packets per second")
+		reconnect = flag.Bool("reconnect", true, "reconnect with backoff when the control connection drops")
+		heartbeat = flag.Duration("heartbeat", time.Second, "liveness ping interval while connected")
 	)
 	flag.Parse()
 
@@ -44,17 +46,35 @@ func main() {
 		Rand:     rng.Uint64,
 	})
 
+	if *selftest {
+		go driveTraffic(enc, *rate, rng)
+		go reportStats(enc)
+	}
+
+	if *reconnect {
+		// The enclave keeps processing on its last-installed policy across
+		// controller outages; the agent re-registers (with its pipeline
+		// generation) whenever the controller comes back.
+		agent := controller.ServeEnclavePersistent(*ctlAddr, *host, enc, controller.ReconnectConfig{
+			Heartbeat: *heartbeat,
+			OnConnect: func(attempt int) {
+				fmt.Printf("edend: enclave %q (%s) registered with controller %s (attempt %d)\n",
+					*name, *platform, *ctlAddr, attempt)
+			},
+			OnDisconnect: func(err error) {
+				fmt.Fprintf(os.Stderr, "edend: control connection lost: %v (retrying)\n", err)
+			},
+		})
+		defer agent.Close()
+		select {} // serve until killed
+	}
+
 	agent, err := controller.ServeEnclave(*ctlAddr, *host, enc)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "edend: %v\n", err)
 		os.Exit(1)
 	}
 	fmt.Printf("edend: enclave %q (%s) registered with controller %s\n", *name, *platform, *ctlAddr)
-
-	if *selftest {
-		go driveTraffic(enc, *rate, rng)
-		go reportStats(enc)
-	}
 
 	if err := agent.Wait(); err != nil && err.Error() != "EOF" {
 		fmt.Fprintf(os.Stderr, "edend: control connection: %v\n", err)

@@ -41,10 +41,13 @@ func dialAndServe(addr string, hello ctlproto.Hello, handler ctlproto.Handler) (
 }
 
 // ServeEnclave connects a local enclave to the controller at addr and
-// serves the enclave API against it.
+// serves the enclave API against it. The connection is one-shot: it does
+// not survive a controller restart. Use ServeEnclavePersistent for
+// reconnect with backoff.
 func ServeEnclave(addr, host string, e *enclave.Enclave) (*Agent, error) {
 	return dialAndServe(addr, ctlproto.Hello{
 		Kind: "enclave", Name: e.Name(), Host: host, Platform: e.Platform(),
+		Generation: e.Generation(),
 	}, enclaveHandler(e))
 }
 

@@ -30,42 +30,90 @@ type Controller struct {
 	mu       sync.Mutex
 	enclaves map[string]*RemoteEnclave
 	stages   map[string]*RemoteStage
+	status   map[string]*agentState // keyed kind+"/"+name; survives disconnects
+	conns    map[*ctlproto.Peer]struct{}
+	closing  bool
 	arrived  chan struct{}
+
+	policies *PolicyStore
+
+	// degradedAfter and idleTimeout tune liveness; see SetLiveness.
+	degradedAfter time.Duration
+	idleTimeout   time.Duration
 
 	wg sync.WaitGroup
 }
 
-// Listen starts a controller on addr (e.g. "127.0.0.1:0").
+// DefaultDegradedAfter is how long an agent may be silent before
+// AgentStatus reports it degraded rather than connected. Heartbeating
+// agents (see ReconnectConfig.Heartbeat) refresh liveness on every ping.
+const DefaultDegradedAfter = 5 * time.Second
+
+// Listen starts a controller on addr (e.g. "127.0.0.1:0") with a fresh
+// in-memory policy store.
 func Listen(addr string) (*Controller, error) {
+	return ListenWithPolicies(addr, NewPolicyStore())
+}
+
+// ListenWithPolicies starts a controller backed by an existing policy
+// store. A restarted controller handed the previous incarnation's store
+// can verify reconnecting agents against the intended policy and replay
+// it where stale — the Merlin-style re-negotiation after control-plane
+// disruption.
+func ListenWithPolicies(addr string, store *PolicyStore) (*Controller, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
 	c := &Controller{
-		ln:       ln,
-		enclaves: map[string]*RemoteEnclave{},
-		stages:   map[string]*RemoteStage{},
-		arrived:  make(chan struct{}, 64),
+		ln:            ln,
+		enclaves:      map[string]*RemoteEnclave{},
+		stages:        map[string]*RemoteStage{},
+		status:        map[string]*agentState{},
+		conns:         map[*ctlproto.Peer]struct{}{},
+		arrived:       make(chan struct{}, 64),
+		policies:      store,
+		degradedAfter: DefaultDegradedAfter,
 	}
 	c.wg.Add(1)
 	go c.acceptLoop()
 	return c, nil
 }
 
+// Policies returns the controller's policy store (shareable across
+// controller restarts via ListenWithPolicies).
+func (c *Controller) Policies() *PolicyStore { return c.policies }
+
+// SetLiveness tunes liveness detection: degradedAfter is the silence
+// after which a connected agent is reported degraded; idleTimeout, when
+// non-zero, tears down connections silent for that long (apply it only to
+// heartbeating agents). Affects connections accepted after the call.
+func (c *Controller) SetLiveness(degradedAfter, idleTimeout time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if degradedAfter > 0 {
+		c.degradedAfter = degradedAfter
+	}
+	c.idleTimeout = idleTimeout
+}
+
 // Addr returns the controller's listen address.
 func (c *Controller) Addr() string { return c.ln.Addr().String() }
 
-// Close shuts the controller down and disconnects all agents.
+// Close shuts the controller down and disconnects all agents (including
+// connections that never completed a hello).
 func (c *Controller) Close() error {
 	err := c.ln.Close()
 	c.mu.Lock()
-	for _, e := range c.enclaves {
-		e.peer.Close()
-	}
-	for _, s := range c.stages {
-		s.peer.Close()
+	c.closing = true
+	peers := make([]*ctlproto.Peer, 0, len(c.conns))
+	for p := range c.conns {
+		peers = append(peers, p)
 	}
 	c.mu.Unlock()
+	for _, p := range peers {
+		p.Close()
+	}
 	c.wg.Wait()
 	return err
 }
@@ -85,10 +133,18 @@ func (c *Controller) acceptLoop() {
 	}
 }
 
-// handleConn waits for the agent's hello, then registers it.
+// handleConn waits for the agent's hello, then registers it. The hello is
+// registered synchronously inside the handler, guarded by a per-connection
+// gate: a hello frame racing connection teardown is rejected rather than
+// registered after (or while) the connection is being unregistered.
 func (c *Controller) handleConn(conn net.Conn) {
-	hello := make(chan ctlproto.Hello, 1)
-	peer := ctlproto.NewPeer(conn, func(op string, params json.RawMessage) (any, error) {
+	var (
+		gate       sync.Mutex
+		ended      bool
+		registered bool
+	)
+	var peer *ctlproto.Peer
+	peer = ctlproto.NewPeer(conn, func(op string, params json.RawMessage) (any, error) {
 		if op != ctlproto.OpHello {
 			return nil, fmt.Errorf("controller: unexpected op %q before hello", op)
 		}
@@ -96,39 +152,109 @@ func (c *Controller) handleConn(conn net.Conn) {
 		if err := json.Unmarshal(params, &h); err != nil {
 			return nil, err
 		}
-		select {
-		case hello <- h:
-		default:
+		if h.Name == "" {
+			return nil, fmt.Errorf("controller: hello without a name")
 		}
+		gate.Lock()
+		defer gate.Unlock()
+		if ended {
+			return nil, fmt.Errorf("controller: connection closing")
+		}
+		if registered {
+			return nil, fmt.Errorf("controller: duplicate hello on one connection")
+		}
+		if err := c.register(h, peer); err != nil {
+			return nil, err
+		}
+		registered = true
 		return nil, nil
 	})
-	go func() {
-		h, ok := <-hello
-		if !ok {
-			return
-		}
-		c.register(h, peer)
-	}()
+	c.mu.Lock()
+	if c.closing {
+		c.mu.Unlock()
+		peer.Close()
+		return
+	}
+	idle := c.idleTimeout
+	c.conns[peer] = struct{}{}
+	c.mu.Unlock()
+	if idle > 0 {
+		peer.SetReadIdleTimeout(idle)
+	}
 	_ = peer.Serve()
-	close(hello)
+	gate.Lock()
+	ended = true
+	gate.Unlock()
 	c.unregister(peer)
+	c.mu.Lock()
+	delete(c.conns, peer)
+	c.mu.Unlock()
 }
 
-func (c *Controller) register(h ctlproto.Hello, peer *ctlproto.Peer) {
+func statusKey(kind, name string) string { return kind + "/" + name }
+
+func (c *Controller) register(h ctlproto.Hello, peer *ctlproto.Peer) error {
 	c.mu.Lock()
+	var old *ctlproto.Peer
 	switch h.Kind {
 	case "enclave":
-		c.enclaves[h.Name] = &RemoteEnclave{Name: h.Name, Host: h.Host, Platform: h.Platform, peer: peer}
+		// A re-hello under an existing name supersedes the old
+		// registration: the agent reconnected (possibly before the
+		// controller noticed the old connection die), so the newest
+		// connection wins and the stale one is torn down explicitly.
+		if prev, ok := c.enclaves[h.Name]; ok && prev.peer != peer {
+			old = prev.peer
+		}
+		c.enclaves[h.Name] = &RemoteEnclave{Name: h.Name, Host: h.Host, Platform: h.Platform, peer: peer, ctl: c}
 	case "stage":
+		if prev, ok := c.stages[h.Name]; ok && prev.peer != peer {
+			old = prev.peer
+		}
 		c.stages[h.Name] = &RemoteStage{Name: h.Name, Host: h.Host, peer: peer}
+	default:
+		c.mu.Unlock()
+		return fmt.Errorf("controller: unknown agent kind %q", h.Kind)
 	}
+	key := statusKey(h.Kind, h.Name)
+	st := c.status[key]
+	if st == nil {
+		st = &agentState{kind: h.Kind, name: h.Name}
+		c.status[key] = st
+	}
+	st.peer = peer
+	st.connects++
+	st.generation = h.Generation
+	st.lastHello = time.Now()
+	needResync := false
+	var intended AgentPolicy
+	if h.Kind == "enclave" {
+		if pol, ok := c.policies.get(h.Name); ok && pol.Generation != h.Generation && len(pol.Structural) > 0 {
+			needResync = true
+			intended = pol
+		}
+	}
+	re := c.enclaves[h.Name]
 	c.mu.Unlock()
+	if old != nil {
+		old.Close()
+	}
+	if needResync {
+		c.wg.Add(1)
+		go func() {
+			defer c.wg.Done()
+			c.resync(re, st, intended)
+		}()
+	}
 	select {
 	case c.arrived <- struct{}{}:
 	default:
 	}
+	return nil
 }
 
+// unregister removes an agent's registration, but only where it still
+// points at the dying peer: an entry superseded by a newer connection
+// must survive the old connection's teardown.
 func (c *Controller) unregister(peer *ctlproto.Peer) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -142,6 +268,54 @@ func (c *Controller) unregister(peer *ctlproto.Peer) {
 			delete(c.stages, n)
 		}
 	}
+	for _, st := range c.status {
+		if st.peer == peer {
+			st.peer = nil
+			st.lastSeen = peer.LastActivity()
+		}
+	}
+}
+
+// resync replays the intended policy onto a freshly re-registered enclave
+// whose hello generation did not match: the last committed transaction's
+// structural ops are staged and committed as one atomic pipeline swap,
+// then the recorded global-state pushes are re-applied. On success the
+// store's intended generation moves to the enclave's new generation.
+func (c *Controller) resync(re *RemoteEnclave, st *agentState, pol AgentPolicy) {
+	const opTimeout = 10 * time.Second
+	fail := func(err error) {
+		c.mu.Lock()
+		st.resyncErr = err.Error()
+		c.mu.Unlock()
+	}
+	if err := re.peer.CallTimeout(ctlproto.OpEnclaveTxBegin, nil, nil, opTimeout); err != nil {
+		fail(err)
+		return
+	}
+	for _, op := range pol.Structural {
+		if err := re.peer.CallTimeout(op.Op, op.Params, nil, opTimeout); err != nil {
+			_ = re.peer.CallTimeout(ctlproto.OpEnclaveTxAbort, nil, nil, opTimeout)
+			fail(err)
+			return
+		}
+	}
+	var res ctlproto.TxResult
+	if err := re.peer.CallTimeout(ctlproto.OpEnclaveTxCommit, nil, &res, opTimeout); err != nil {
+		fail(err)
+		return
+	}
+	for _, op := range pol.Globals {
+		if err := re.peer.CallTimeout(op.Op, op.Params, nil, opTimeout); err != nil {
+			fail(err)
+			return
+		}
+	}
+	c.policies.setGeneration(re.Name, res.Generation)
+	c.mu.Lock()
+	st.generation = res.Generation
+	st.resyncs++
+	st.resyncErr = ""
+	c.mu.Unlock()
 }
 
 // Enclave returns the registered enclave with the given name.
@@ -201,6 +375,127 @@ func (c *Controller) WaitForAgents(n int, timeout time.Duration) error {
 	}
 }
 
+// Liveness classifies an agent's control-channel health.
+type Liveness int
+
+// Liveness states. A connected agent that has been silent longer than the
+// degraded threshold is Degraded: its connection is up but it may be
+// wedged or partitioned (TCP keeps half-open connections alive for a long
+// time). Gone means no live connection; the enclave, per the paper's
+// graceful-degradation contract, keeps forwarding on its last-installed
+// policy.
+const (
+	Gone Liveness = iota
+	Degraded
+	Connected
+)
+
+// String names the liveness state.
+func (l Liveness) String() string {
+	switch l {
+	case Connected:
+		return "connected"
+	case Degraded:
+		return "degraded"
+	default:
+		return "gone"
+	}
+}
+
+// agentState is the controller's liveness record for one agent name. It
+// outlives individual connections: reconnects update it, disconnects mark
+// it gone but keep the history.
+type agentState struct {
+	kind, name string
+	peer       *ctlproto.Peer // nil while disconnected
+	connects   int
+	resyncs    int
+	resyncErr  string
+	generation uint64
+	lastHello  time.Time
+	lastSeen   time.Time // last activity on the final connection, once gone
+}
+
+// AgentStatus is a snapshot of one agent's liveness.
+type AgentStatus struct {
+	Kind, Name string
+	Liveness   Liveness
+	// LastSeen is the last frame read from the agent (heartbeats count).
+	LastSeen time.Time
+	// Connects counts completed hellos; >1 means the agent reconnected.
+	Connects int
+	// Resyncs counts policy replays after stale re-hellos; ResyncErr holds
+	// the error of the last failed replay ("" when healthy).
+	Resyncs   int
+	ResyncErr string
+	// Generation is the agent's last known pipeline generation;
+	// IntendedGeneration is the generation of the controller's last
+	// committed policy for it (0 if none).
+	Generation         uint64
+	IntendedGeneration uint64
+}
+
+func (c *Controller) statusLocked(st *agentState) AgentStatus {
+	s := AgentStatus{
+		Kind: st.kind, Name: st.name,
+		Connects: st.connects, Resyncs: st.resyncs, ResyncErr: st.resyncErr,
+		Generation: st.generation,
+	}
+	if pol, ok := c.policies.get(st.name); ok && st.kind == "enclave" {
+		s.IntendedGeneration = pol.Generation
+	}
+	if st.peer == nil {
+		s.Liveness = Gone
+		s.LastSeen = st.lastSeen
+		return s
+	}
+	s.LastSeen = st.peer.LastActivity()
+	if hello := st.lastHello; hello.After(s.LastSeen) {
+		s.LastSeen = hello
+	}
+	if time.Since(s.LastSeen) > c.degradedAfter {
+		s.Liveness = Degraded
+	} else {
+		s.Liveness = Connected
+	}
+	return s
+}
+
+// AgentStatus reports the liveness of the named agent (enclave or stage).
+// Agents that registered at least once stay visible after disconnecting,
+// with Liveness Gone.
+func (c *Controller) AgentStatus(name string) (AgentStatus, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, kind := range []string{"enclave", "stage"} {
+		if st, ok := c.status[statusKey(kind, name)]; ok {
+			return c.statusLocked(st), true
+		}
+	}
+	return AgentStatus{}, false
+}
+
+// noteGeneration updates the tracked generation for an agent after an
+// operation that changed it (a committed transaction).
+func (c *Controller) noteGeneration(kind, name string, gen uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if st, ok := c.status[statusKey(kind, name)]; ok {
+		st.generation = gen
+	}
+}
+
+// AgentStatuses snapshots every known agent's liveness.
+func (c *Controller) AgentStatuses() []AgentStatus {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]AgentStatus, 0, len(c.status))
+	for _, st := range c.status {
+		out = append(out, c.statusLocked(st))
+	}
+	return out
+}
+
 // RemoteEnclave is the controller's proxy for one registered enclave,
 // exposing the enclave API (§3.4.5) over the control channel.
 type RemoteEnclave struct {
@@ -208,50 +503,90 @@ type RemoteEnclave struct {
 	Host     string
 	Platform string
 	peer     *ctlproto.Peer
+	ctl      *Controller // for policy recording; nil in bare tests
+
+	// Policy recording: while a transaction is open, successful structural
+	// ops accumulate in txLog; a successful TxCommit stores them (plus the
+	// resulting generation) as the agent's intended policy.
+	txMu   sync.Mutex
+	txOpen bool
+	txLog  []PolicyOp
+}
+
+// callStructural issues a pipeline-structure op, recording it while a
+// transaction is open.
+func (e *RemoteEnclave) callStructural(op string, params any) error {
+	if err := e.peer.Call(op, params, nil); err != nil {
+		return err
+	}
+	if e.ctl != nil {
+		e.txMu.Lock()
+		if e.txOpen {
+			if raw, err := json.Marshal(params); err == nil {
+				e.txLog = append(e.txLog, PolicyOp{Op: op, Params: raw})
+			}
+		}
+		e.txMu.Unlock()
+	}
+	return nil
+}
+
+// callGlobal pushes function state, recording the newest value per
+// (op, func, name) for replay after a policy re-sync.
+func (e *RemoteEnclave) callGlobal(op string, p ctlproto.GlobalParams) error {
+	if err := e.peer.Call(op, p, nil); err != nil {
+		return err
+	}
+	if e.ctl != nil {
+		if raw, err := json.Marshal(p); err == nil {
+			e.ctl.policies.recordGlobal(e.Name, op+"/"+p.Func+"/"+p.Name, PolicyOp{Op: op, Params: raw})
+		}
+	}
+	return nil
 }
 
 // CreateTable creates a match-action table.
 func (e *RemoteEnclave) CreateTable(dir enclave.Direction, table string) error {
-	return e.peer.Call(ctlproto.OpEnclaveCreateTable, ctlproto.TableParams{Dir: int(dir), Table: table}, nil)
+	return e.callStructural(ctlproto.OpEnclaveCreateTable, ctlproto.TableParams{Dir: int(dir), Table: table})
 }
 
 // DeleteTable removes a table.
 func (e *RemoteEnclave) DeleteTable(dir enclave.Direction, table string) error {
-	return e.peer.Call(ctlproto.OpEnclaveDeleteTable, ctlproto.TableParams{Dir: int(dir), Table: table}, nil)
+	return e.callStructural(ctlproto.OpEnclaveDeleteTable, ctlproto.TableParams{Dir: int(dir), Table: table})
 }
 
 // AddRule appends a match-action rule.
 func (e *RemoteEnclave) AddRule(dir enclave.Direction, table, pattern, fn string) error {
-	return e.peer.Call(ctlproto.OpEnclaveAddRule,
-		ctlproto.RuleParams{Dir: int(dir), Table: table, Pattern: pattern, Func: fn}, nil)
+	return e.callStructural(ctlproto.OpEnclaveAddRule,
+		ctlproto.RuleParams{Dir: int(dir), Table: table, Pattern: pattern, Func: fn})
 }
 
 // RemoveRule removes a rule by pattern.
 func (e *RemoteEnclave) RemoveRule(dir enclave.Direction, table, pattern string) error {
-	return e.peer.Call(ctlproto.OpEnclaveRemoveRule,
-		ctlproto.RuleParams{Dir: int(dir), Table: table, Pattern: pattern}, nil)
+	return e.callStructural(ctlproto.OpEnclaveRemoveRule,
+		ctlproto.RuleParams{Dir: int(dir), Table: table, Pattern: pattern})
 }
 
 // Install ships a compiled action function to the enclave.
 func (e *RemoteEnclave) Install(f *compiler.Func) error {
-	return e.peer.Call(ctlproto.OpEnclaveInstall, ctlproto.ToSpec(f), nil)
+	return e.callStructural(ctlproto.OpEnclaveInstall, ctlproto.ToSpec(f))
 }
 
 // Uninstall removes a function and its rules.
 func (e *RemoteEnclave) Uninstall(name string) error {
-	return e.peer.Call(ctlproto.OpEnclaveUninstall, ctlproto.GlobalParams{Func: name}, nil)
+	return e.callStructural(ctlproto.OpEnclaveUninstall, ctlproto.GlobalParams{Func: name})
 }
 
 // UpdateGlobal pushes a global scalar.
 func (e *RemoteEnclave) UpdateGlobal(fn, name string, v int64) error {
-	return e.peer.Call(ctlproto.OpEnclaveUpdateGlobal,
-		ctlproto.GlobalParams{Func: fn, Name: name, Value: v}, nil)
+	return e.callGlobal(ctlproto.OpEnclaveUpdateGlobal,
+		ctlproto.GlobalParams{Func: fn, Name: name, Value: v})
 }
 
 // UpdateGlobalArray pushes a global array.
 func (e *RemoteEnclave) UpdateGlobalArray(fn, name string, vs []int64) error {
-	return e.peer.Call(ctlproto.OpEnclaveUpdateArray,
-		ctlproto.GlobalParams{Func: fn, Name: name, Values: vs}, nil)
+	return e.callGlobal(ctlproto.OpEnclaveUpdateArray,
+		ctlproto.GlobalParams{Func: fn, Name: name, Values: vs})
 }
 
 // ReadGlobal reads a global scalar back.
@@ -304,20 +639,46 @@ func (e *RemoteEnclave) AddFlowRule(r ctlproto.FlowRuleParams) error {
 // structural mutations (tables, rules, installs, uninstalls) are staged
 // and become visible to the data path atomically at TxCommit.
 func (e *RemoteEnclave) TxBegin() error {
-	return e.peer.Call(ctlproto.OpEnclaveTxBegin, nil, nil)
+	if err := e.peer.Call(ctlproto.OpEnclaveTxBegin, nil, nil); err != nil {
+		return err
+	}
+	e.txMu.Lock()
+	e.txOpen = true
+	e.txLog = nil
+	e.txMu.Unlock()
+	return nil
 }
 
 // TxCommit atomically publishes the staged transaction, returning the new
 // pipeline generation. On error (including failed bytecode verification of
-// any staged function) nothing is published.
+// any staged function) nothing is published. A successful commit records
+// the transaction's ops and generation as the enclave's intended policy,
+// the baseline for re-sync after a reconnect with a stale generation.
 func (e *RemoteEnclave) TxCommit() (uint64, error) {
 	var out ctlproto.TxResult
 	err := e.peer.Call(ctlproto.OpEnclaveTxCommit, nil, &out)
-	return out.Generation, err
+	e.txMu.Lock()
+	log := e.txLog
+	wasOpen := e.txOpen
+	e.txOpen = false
+	e.txLog = nil
+	e.txMu.Unlock()
+	if err != nil {
+		return 0, err
+	}
+	if e.ctl != nil && wasOpen {
+		e.ctl.policies.commit(e.Name, out.Generation, log)
+		e.ctl.noteGeneration("enclave", e.Name, out.Generation)
+	}
+	return out.Generation, nil
 }
 
 // TxAbort discards the staged transaction without publishing anything.
 func (e *RemoteEnclave) TxAbort() error {
+	e.txMu.Lock()
+	e.txOpen = false
+	e.txLog = nil
+	e.txMu.Unlock()
 	return e.peer.Call(ctlproto.OpEnclaveTxAbort, nil, nil)
 }
 

@@ -1,0 +1,105 @@
+package controller
+
+import (
+	"encoding/json"
+	"sync"
+)
+
+// PolicyOp is one recorded control-plane call: the op name plus its
+// marshalled parameters, replayable verbatim over ctlproto.
+type PolicyOp struct {
+	Op     string
+	Params json.RawMessage
+}
+
+// AgentPolicy is the controller's intended policy for one enclave: the
+// structural ops of the last committed transaction (replayed inside a
+// fresh transaction, so they land as one atomic pipeline swap), the
+// latest global-state pushes (replayed after commit, newest value per
+// func/name), and the pipeline generation the commit produced.
+type AgentPolicy struct {
+	Generation uint64
+	Structural []PolicyOp
+	Globals    []PolicyOp
+}
+
+// PolicyStore records, per enclave name, the policy the controller
+// intends the enclave to run. It is the controller's durable half of the
+// re-sync protocol: hand the same store to a restarted controller
+// (ListenWithPolicies) and reconnecting agents whose hello generation
+// does not match are brought back to the intended policy.
+type PolicyStore struct {
+	mu     sync.Mutex
+	byName map[string]*policyRecord
+}
+
+type policyRecord struct {
+	generation uint64
+	structural []PolicyOp
+	globals    []PolicyOp
+	globalIdx  map[string]int // dedup key -> index into globals
+}
+
+// NewPolicyStore returns an empty store.
+func NewPolicyStore() *PolicyStore {
+	return &PolicyStore{byName: map[string]*policyRecord{}}
+}
+
+func (ps *PolicyStore) record(name string) *policyRecord {
+	r := ps.byName[name]
+	if r == nil {
+		r = &policyRecord{globalIdx: map[string]int{}}
+		ps.byName[name] = r
+	}
+	return r
+}
+
+// commit replaces the structural policy for name with the ops of a
+// successfully committed transaction and the generation it produced.
+func (ps *PolicyStore) commit(name string, gen uint64, structural []PolicyOp) {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	r := ps.record(name)
+	r.generation = gen
+	r.structural = structural
+}
+
+// recordGlobal upserts a global-state push; key dedupes so replay applies
+// only the newest value per (op, func, name), in first-push order.
+func (ps *PolicyStore) recordGlobal(name, key string, op PolicyOp) {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	r := ps.record(name)
+	if i, ok := r.globalIdx[key]; ok {
+		r.globals[i] = op
+		return
+	}
+	r.globalIdx[key] = len(r.globals)
+	r.globals = append(r.globals, op)
+}
+
+// setGeneration moves the intended generation (after a replay commits on
+// a fresh enclave, whose generation counter restarted).
+func (ps *PolicyStore) setGeneration(name string, gen uint64) {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	ps.record(name).generation = gen
+}
+
+// get snapshots the intended policy for name.
+func (ps *PolicyStore) get(name string) (AgentPolicy, bool) {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	r, ok := ps.byName[name]
+	if !ok {
+		return AgentPolicy{}, false
+	}
+	return AgentPolicy{
+		Generation: r.generation,
+		Structural: append([]PolicyOp(nil), r.structural...),
+		Globals:    append([]PolicyOp(nil), r.globals...),
+	}, true
+}
+
+// Intended exposes the stored policy for inspection and tests.
+func (ps *PolicyStore) Intended(name string) (AgentPolicy, bool) { return ps.get(name) }

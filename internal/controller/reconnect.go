@@ -1,0 +1,259 @@
+package controller
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"eden/internal/ctlproto"
+	"eden/internal/enclave"
+	"eden/internal/stage"
+)
+
+// ReconnectConfig tunes a PersistentAgent's failure handling. The zero
+// value gets sensible defaults (see the field comments).
+type ReconnectConfig struct {
+	// BackoffMin/BackoffMax bound the exponential backoff between dial
+	// attempts (defaults 100ms and 15s). Each failed attempt doubles the
+	// delay up to BackoffMax; the actual sleep is drawn uniformly from
+	// [delay/2, delay) (full jitter halves), so a fleet of agents does not
+	// reconnect in lockstep after a controller restart.
+	BackoffMin time.Duration
+	BackoffMax time.Duration
+	// Heartbeat is the ping interval while connected (default 1s; < 0
+	// disables). A failed ping tears the connection down and re-enters the
+	// dial loop; on the controller it refreshes the agent's liveness.
+	Heartbeat time.Duration
+	// CallTimeout bounds hello and heartbeat calls (default 5s).
+	CallTimeout time.Duration
+	// IdleTimeout, when > 0, fails the connection if the controller sends
+	// nothing for that long. Leave 0 unless the controller also
+	// heartbeats; replies to our pings already refresh the read side.
+	IdleTimeout time.Duration
+	// OnConnect/OnDisconnect observe connection lifecycle (may be nil).
+	OnConnect    func(attempt int)
+	OnDisconnect func(err error)
+}
+
+func (c ReconnectConfig) withDefaults() ReconnectConfig {
+	if c.BackoffMin <= 0 {
+		c.BackoffMin = 100 * time.Millisecond
+	}
+	if c.BackoffMax <= 0 {
+		c.BackoffMax = 15 * time.Second
+	}
+	if c.BackoffMax < c.BackoffMin {
+		c.BackoffMax = c.BackoffMin
+	}
+	if c.Heartbeat == 0 {
+		c.Heartbeat = time.Second
+	}
+	if c.CallTimeout <= 0 {
+		c.CallTimeout = 5 * time.Second
+	}
+	return c
+}
+
+// PersistentAgent keeps a data-plane element registered with the
+// controller across connection failures and controller restarts: it dials
+// in a loop with exponential backoff plus jitter, re-sends hello (carrying
+// the enclave's current pipeline generation, so the controller can detect
+// stale policy and replay the intended transaction), and heartbeats while
+// connected. The local element keeps processing packets on its
+// last-installed policy the whole time — the paper's graceful-degradation
+// contract (§3.2): the data plane never depends on the controller being
+// reachable.
+type PersistentAgent struct {
+	addr    string
+	hello   func() ctlproto.Hello
+	handler ctlproto.Handler
+	cfg     ReconnectConfig
+
+	mu     sync.Mutex
+	peer   *ctlproto.Peer // nil while disconnected
+	closed bool
+
+	connects  atomic.Int64
+	connected atomic.Bool
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+	rng  *rand.Rand
+	rmu  sync.Mutex
+}
+
+// ServeEnclavePersistent connects a local enclave to the controller at
+// addr and keeps it connected: lost connections are re-dialled with
+// exponential backoff + jitter, and every hello reports the enclave's
+// current pipeline generation.
+func ServeEnclavePersistent(addr, host string, e *enclave.Enclave, cfg ReconnectConfig) *PersistentAgent {
+	return newPersistentAgent(addr, func() ctlproto.Hello {
+		return ctlproto.Hello{
+			Kind: "enclave", Name: e.Name(), Host: host,
+			Platform: e.Platform(), Generation: e.Generation(),
+		}
+	}, enclaveHandler(e), cfg)
+}
+
+// ServeStagePersistent is ServeEnclavePersistent for stages.
+func ServeStagePersistent(addr, host string, s *stage.Stage, cfg ReconnectConfig) *PersistentAgent {
+	return newPersistentAgent(addr, func() ctlproto.Hello {
+		return ctlproto.Hello{Kind: "stage", Name: s.Name(), Host: host}
+	}, stageHandler(s), cfg)
+}
+
+func newPersistentAgent(addr string, hello func() ctlproto.Hello, handler ctlproto.Handler, cfg ReconnectConfig) *PersistentAgent {
+	a := &PersistentAgent{
+		addr:    addr,
+		hello:   hello,
+		handler: handler,
+		cfg:     cfg.withDefaults(),
+		stop:    make(chan struct{}),
+		rng:     rand.New(rand.NewSource(time.Now().UnixNano())),
+	}
+	a.wg.Add(1)
+	go a.run()
+	return a
+}
+
+// Connected reports whether the agent currently holds a registered
+// control connection.
+func (a *PersistentAgent) Connected() bool { return a.connected.Load() }
+
+// Connects counts successful registrations (hellos) so far.
+func (a *PersistentAgent) Connects() int { return int(a.connects.Load()) }
+
+// WaitConnected blocks until the agent is registered or the timeout
+// elapses.
+func (a *PersistentAgent) WaitConnected(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for !a.connected.Load() {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("controller: agent not connected after %v", timeout)
+		}
+		select {
+		case <-a.stop:
+			return fmt.Errorf("controller: agent closed")
+		case <-time.After(time.Millisecond):
+		}
+	}
+	return nil
+}
+
+// Close stops reconnecting and drops the current connection, if any.
+func (a *PersistentAgent) Close() error {
+	a.mu.Lock()
+	if a.closed {
+		a.mu.Unlock()
+		return nil
+	}
+	a.closed = true
+	peer := a.peer
+	a.mu.Unlock()
+	close(a.stop)
+	if peer != nil {
+		peer.Close()
+	}
+	a.wg.Wait()
+	return nil
+}
+
+// jitter draws uniformly from [d/2, d): exponential backoff with full
+// jitter on the upper half.
+func (a *PersistentAgent) jitter(d time.Duration) time.Duration {
+	a.rmu.Lock()
+	defer a.rmu.Unlock()
+	half := d / 2
+	return half + time.Duration(a.rng.Int63n(int64(half)+1))
+}
+
+func (a *PersistentAgent) run() {
+	defer a.wg.Done()
+	backoff := a.cfg.BackoffMin
+	for attempt := 1; ; attempt++ {
+		err := a.session(attempt)
+		if a.cfg.OnDisconnect != nil && err != nil {
+			a.cfg.OnDisconnect(err)
+		}
+		if err == nil {
+			// A session that registered successfully resets the backoff:
+			// the controller was reachable, so retry eagerly.
+			backoff = a.cfg.BackoffMin
+		}
+		select {
+		case <-a.stop:
+			return
+		case <-time.After(a.jitter(backoff)):
+		}
+		backoff *= 2
+		if backoff > a.cfg.BackoffMax {
+			backoff = a.cfg.BackoffMax
+		}
+	}
+}
+
+// session runs one connection attempt to completion: dial, hello,
+// heartbeat until the connection dies. It returns nil if the session
+// registered successfully (however it later ended), or the setup error.
+func (a *PersistentAgent) session(attempt int) error {
+	conn, err := net.DialTimeout("tcp", a.addr, a.cfg.CallTimeout)
+	if err != nil {
+		return err
+	}
+	peer := ctlproto.NewPeer(conn, a.handler)
+	peer.SetCallTimeout(a.cfg.CallTimeout)
+	if a.cfg.IdleTimeout > 0 {
+		peer.SetReadIdleTimeout(a.cfg.IdleTimeout)
+	}
+	a.mu.Lock()
+	if a.closed {
+		a.mu.Unlock()
+		peer.Close()
+		return nil
+	}
+	a.peer = peer
+	a.mu.Unlock()
+	defer func() {
+		peer.Close()
+		a.connected.Store(false)
+		a.mu.Lock()
+		if a.peer == peer {
+			a.peer = nil
+		}
+		a.mu.Unlock()
+	}()
+
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- peer.Serve() }()
+
+	if err := peer.CallTimeout(ctlproto.OpHello, a.hello(), nil, a.cfg.CallTimeout); err != nil {
+		return fmt.Errorf("controller: hello failed: %w", err)
+	}
+	a.connects.Add(1)
+	a.connected.Store(true)
+	if a.cfg.OnConnect != nil {
+		a.cfg.OnConnect(attempt)
+	}
+
+	var heartbeat <-chan time.Time
+	if a.cfg.Heartbeat > 0 {
+		t := time.NewTicker(a.cfg.Heartbeat)
+		defer t.Stop()
+		heartbeat = t.C
+	}
+	for {
+		select {
+		case <-a.stop:
+			return nil
+		case <-serveDone:
+			return nil
+		case <-heartbeat:
+			if err := peer.Ping(a.cfg.CallTimeout); err != nil {
+				return nil // session was registered; backoff stays reset
+			}
+		}
+	}
+}

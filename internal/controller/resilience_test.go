@@ -1,0 +1,437 @@
+package controller
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"eden/internal/enclave"
+	"eden/internal/funcs"
+	"eden/internal/packet"
+)
+
+// waitFor polls cond until it holds or the test deadline passes.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func newTestEnclave(name string) *enclave.Enclave {
+	var now int64
+	return enclave.New(enclave.Config{
+		Name: name, Platform: "os",
+		Clock: func() int64 { now++; return now },
+	})
+}
+
+// pushPIAS installs the PIAS policy transactionally through the remote
+// proxy: structural ops inside a transaction, then the global arrays.
+func pushPIAS(t *testing.T, re *RemoteEnclave) uint64 {
+	t.Helper()
+	f, err := funcs.Compile("pias")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := re.TxBegin(); err != nil {
+		t.Fatal(err)
+	}
+	if err := re.Install(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := re.CreateTable(enclave.Egress, "sched"); err != nil {
+		t.Fatal(err)
+	}
+	if err := re.AddRule(enclave.Egress, "sched", "*", "pias"); err != nil {
+		t.Fatal(err)
+	}
+	gen, err := re.TxCommit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := re.UpdateGlobalArray("pias", "priorities", []int64{10240, 1048576}); err != nil {
+		t.Fatal(err)
+	}
+	if err := re.UpdateGlobalArray("pias", "priovals", []int64{7, 5}); err != nil {
+		t.Fatal(err)
+	}
+	return gen
+}
+
+// piasPriority runs one small-flow packet through the enclave's egress
+// pipeline and returns the priority the installed policy assigned (0 when
+// no policy is installed).
+func piasPriority(enc *enclave.Enclave, msgID uint64) int64 {
+	p := packet.New(1, 2, 3, 4, 1000)
+	p.Meta.Class = "a.b.c"
+	p.Meta.MsgID = msgID
+	enc.Process(enclave.Egress, p, 0)
+	return p.Get(packet.FieldPriority)
+}
+
+// TestControllerRestartAgentReconnects is the kill-and-restart scenario:
+// the controller dies mid-session, the persistent agent retries with
+// backoff, and when a new controller (sharing the policy store) comes up
+// on the same address the agent re-registers and the generation converges
+// — while the enclave forwards on its last-installed policy throughout.
+func TestControllerRestartAgentReconnects(t *testing.T) {
+	store := NewPolicyStore()
+	ctl, err := ListenWithPolicies("127.0.0.1:0", store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ctl.Addr()
+
+	enc := newTestEnclave("e1")
+	agent := ServeEnclavePersistent(addr, "h1", enc, ReconnectConfig{
+		BackoffMin:  10 * time.Millisecond,
+		BackoffMax:  100 * time.Millisecond,
+		Heartbeat:   20 * time.Millisecond,
+		CallTimeout: 2 * time.Second,
+	})
+	defer agent.Close()
+	if err := ctl.WaitForAgents(1, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	re, ok := ctl.Enclave("e1")
+	if !ok {
+		t.Fatal("enclave not registered")
+	}
+	gen := pushPIAS(t, re)
+	if got := piasPriority(enc, 1); got != 7 {
+		t.Fatalf("priority with policy = %d, want 7", got)
+	}
+
+	// The controller dies mid-session.
+	if err := ctl.Close(); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "agent to notice the dead controller", func() bool { return !agent.Connected() })
+
+	// Graceful degradation: packets during the outage still match the
+	// last-installed policy.
+	if got := piasPriority(enc, 2); got != 7 {
+		t.Fatalf("priority during outage = %d, want 7", got)
+	}
+
+	// A new controller incarnation on the same address, handed the same
+	// policy store.
+	var ctl2 *Controller
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		ctl2, err = ListenWithPolicies(addr, store)
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("relisten on %s: %v", addr, err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	defer ctl2.Close()
+
+	if err := ctl2.WaitForAgents(1, 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// The agent-side counter increments when the hello reply lands, a
+	// moment after the controller registers it.
+	waitFor(t, "agent to count the re-registration", func() bool { return agent.Connects() >= 2 })
+
+	// The enclave kept its pipeline across the outage, so its re-hello
+	// generation matches the intended one: converged, no replay needed.
+	waitFor(t, "generation to converge", func() bool {
+		st, ok := ctl2.AgentStatus("e1")
+		return ok && st.Liveness == Connected && st.Generation == gen && st.IntendedGeneration == gen
+	})
+	st, _ := ctl2.AgentStatus("e1")
+	if st.Resyncs != 0 || st.ResyncErr != "" {
+		t.Errorf("unexpected resync on matching generation: %+v", st)
+	}
+
+	// The new incarnation programs the same data plane.
+	re2, ok := ctl2.Enclave("e1")
+	if !ok {
+		t.Fatal("enclave not registered with restarted controller")
+	}
+	arr, err := re2.ReadGlobalArray("pias", "priorities")
+	if err != nil || len(arr) != 2 || arr[0] != 10240 {
+		t.Errorf("read through restarted controller = %v, %v", arr, err)
+	}
+}
+
+// TestStaleGenerationTriggersResync covers the replacement-enclave case:
+// the agent re-registers with a fresh enclave (generation 0, empty
+// pipeline), and the controller detects the stale generation and replays
+// the intended policy — structural transaction plus global pushes.
+func TestStaleGenerationTriggersResync(t *testing.T) {
+	store := NewPolicyStore()
+	ctl, err := ListenWithPolicies("127.0.0.1:0", store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc1 := newTestEnclave("e1")
+	a1, err := ServeEnclave(ctl.Addr(), "h1", enc1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ctl.WaitForAgents(1, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	re, _ := ctl.Enclave("e1")
+	pushPIAS(t, re)
+	a1.Close()
+	ctl.Close()
+
+	// New controller, same store; a blank replacement enclave registers
+	// under the same name.
+	ctl2, err := ListenWithPolicies("127.0.0.1:0", store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctl2.Close()
+	enc2 := newTestEnclave("e1")
+	agent := ServeEnclavePersistent(ctl2.Addr(), "h1", enc2, ReconnectConfig{
+		BackoffMin: 10 * time.Millisecond, CallTimeout: 2 * time.Second,
+	})
+	defer agent.Close()
+
+	// The replayed policy lands end to end: packets on the replacement
+	// enclave get the intended priority, which needs the function, table,
+	// rule and both global arrays back in place.
+	var msgID uint64 = 100
+	waitFor(t, "policy replay onto the replacement enclave", func() bool {
+		msgID++
+		return piasPriority(enc2, msgID) == 7
+	})
+	waitFor(t, "status to record the resync", func() bool {
+		st, ok := ctl2.AgentStatus("e1")
+		return ok && st.Resyncs == 1 && st.ResyncErr == "" &&
+			st.Generation == st.IntendedGeneration && st.Generation > 0
+	})
+}
+
+// TestDuplicateNameSupersedes checks re-registration semantics: a second
+// connection under an existing name replaces the first (the agent
+// reconnected before the controller noticed the old connection die), the
+// stale connection is torn down, and — critically — its teardown does not
+// orphan the new registration.
+func TestDuplicateNameSupersedes(t *testing.T) {
+	ctl, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctl.Close()
+
+	encA := newTestEnclave("e1")
+	a1, err := ServeEnclave(ctl.Addr(), "hostA", encA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a1.Close()
+	if err := ctl.WaitForAgents(1, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	encB := newTestEnclave("e1")
+	a2, err := ServeEnclave(ctl.Addr(), "hostB", encB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a2.Close()
+
+	// The controller closes the superseded connection.
+	done := make(chan error, 1)
+	go func() { done <- a1.Wait() }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("superseded connection not torn down")
+	}
+
+	// The newest registration won and survives the old connection's
+	// teardown: calls reach enclave B.
+	waitFor(t, "registration to point at the new connection", func() bool {
+		re, ok := ctl.Enclave("e1")
+		if !ok || re.Host != "hostB" {
+			return false
+		}
+		_, err := re.Stats()
+		return err == nil
+	})
+	st, ok := ctl.AgentStatus("e1")
+	if !ok || st.Connects != 2 {
+		t.Errorf("status = %+v, want 2 connects", st)
+	}
+}
+
+// TestAgentStatusLiveness walks one agent through connected -> degraded ->
+// connected (refreshed by traffic) -> gone.
+func TestAgentStatusLiveness(t *testing.T) {
+	ctl, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctl.Close()
+	ctl.SetLiveness(60*time.Millisecond, 0)
+
+	enc := newTestEnclave("e1")
+	a, err := ServeEnclave(ctl.Addr(), "h1", enc) // one-shot agent: no heartbeat
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	if err := ctl.WaitForAgents(1, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	st, ok := ctl.AgentStatus("e1")
+	if !ok || st.Liveness != Connected {
+		t.Fatalf("fresh agent status = %+v, want connected", st)
+	}
+
+	// Silence past the threshold: degraded, but still registered.
+	waitFor(t, "silent agent to degrade", func() bool {
+		st, ok := ctl.AgentStatus("e1")
+		return ok && st.Liveness == Degraded
+	})
+	if _, ok := ctl.Enclave("e1"); !ok {
+		t.Error("degraded agent deregistered")
+	}
+
+	// Any frame from the agent (here: the reply to a stats call) refreshes
+	// liveness.
+	re, _ := ctl.Enclave("e1")
+	if _, err := re.Stats(); err != nil {
+		t.Fatal(err)
+	}
+	if st, _ := ctl.AgentStatus("e1"); st.Liveness != Connected {
+		t.Errorf("status after traffic = %v, want connected", st.Liveness)
+	}
+
+	// Disconnect: gone, and the record survives deregistration.
+	a.Close()
+	waitFor(t, "closed agent to go gone", func() bool {
+		st, ok := ctl.AgentStatus("e1")
+		return ok && st.Liveness == Gone
+	})
+	if _, ok := ctl.Enclave("e1"); ok {
+		t.Error("gone agent still registered")
+	}
+	if st, _ := ctl.AgentStatus("e1"); st.LastSeen.IsZero() {
+		t.Error("gone agent lost its LastSeen")
+	}
+}
+
+// TestRegistrationChurnRace hammers connect/hello/disconnect — including
+// raw connections that die right after (or instead of) their hello —
+// against the controller's read paths. Run under -race; the invariant is
+// simply no panic, no race, and a clean shutdown.
+func TestRegistrationChurnRace(t *testing.T) {
+	ctl, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ctl.Addr()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	// Readers exercising the maps while registrations churn.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			ctl.Enclaves()
+			ctl.AgentStatuses()
+			_ = ctl.WaitForAgents(1, time.Millisecond)
+			if re, ok := ctl.Enclave("churn0"); ok {
+				_, _ = re.Stats()
+			}
+		}
+	}()
+
+	// Well-behaved agents connecting and disconnecting in a tight loop,
+	// with colliding names to exercise supersede.
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			enc := newTestEnclave(fmt.Sprintf("churn%d", i%2))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				a, err := ServeEnclave(addr, "h", enc)
+				if err == nil {
+					a.Close()
+				}
+			}
+		}(i)
+	}
+
+	// Rude connections: hello then immediate close, and silent dials.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for n := 0; ; n++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			conn, err := net.Dial("tcp", addr)
+			if err != nil {
+				continue
+			}
+			if n%2 == 0 {
+				fmt.Fprintf(conn, `{"id":1,"op":"hello","params":{"kind":"enclave","name":"raw","host":"h"}}`+"\n")
+			}
+			conn.Close()
+		}
+	}()
+
+	time.Sleep(300 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	// Close must not hang on churned or half-open connections.
+	if err := ctl.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestScriptStatusVerb drives the status verb through the script
+// interface.
+func TestScriptStatusVerb(t *testing.T) {
+	ctl, _, _ := testSetup(t)
+	var out strings.Builder
+	if err := ctl.RunScript("status host1-os\nstatus", &out); err != nil {
+		t.Fatalf("status script: %v", err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "enclave host1-os: connected") {
+		t.Errorf("missing enclave status in %q", s)
+	}
+	if !strings.Contains(s, "stage memcached: connected") {
+		t.Errorf("missing stage status in %q", s)
+	}
+	if err := ctl.RunScript("status nope", io.Discard); err == nil {
+		t.Error("status of unknown agent succeeded")
+	}
+}

@@ -25,6 +25,8 @@ import (
 //	sleep SECONDS
 //	echo TEXT...
 //	enclaves | stages                   list registered agents
+//	status [NAME]                       agent liveness (connected/degraded/gone,
+//	                                    generations, connects, resyncs)
 //	stage S info
 //	stage S create-rule RS <rule...>    rule text in Figure 6 syntax
 //	stage S remove-rule RS ID
@@ -106,6 +108,30 @@ func (c *Controller) runCommand(line string, out io.Writer) error {
 		fmt.Fprintln(out, strings.Join(names, " "))
 		return nil
 
+	case "status":
+		if len(fields) > 2 {
+			return fmt.Errorf("status [NAME]")
+		}
+		if len(fields) == 2 {
+			st, ok := c.AgentStatus(fields[1])
+			if !ok {
+				return fmt.Errorf("no agent %q known", fields[1])
+			}
+			printStatus(out, st)
+			return nil
+		}
+		sts := c.AgentStatuses()
+		sort.Slice(sts, func(i, j int) bool {
+			if sts[i].Kind != sts[j].Kind {
+				return sts[i].Kind < sts[j].Kind
+			}
+			return sts[i].Name < sts[j].Name
+		})
+		for _, st := range sts {
+			printStatus(out, st)
+		}
+		return nil
+
 	case "stages":
 		names := c.Stages()
 		sort.Strings(names)
@@ -121,6 +147,17 @@ func (c *Controller) runCommand(line string, out io.Writer) error {
 	default:
 		return fmt.Errorf("unknown command %q", fields[0])
 	}
+}
+
+// printStatus renders one agent's liveness line for the status verb.
+func printStatus(out io.Writer, st AgentStatus) {
+	fmt.Fprintf(out, "%s %s: %s gen=%d intended=%d connects=%d resyncs=%d",
+		st.Kind, st.Name, st.Liveness, st.Generation, st.IntendedGeneration,
+		st.Connects, st.Resyncs)
+	if st.ResyncErr != "" {
+		fmt.Fprintf(out, " resync-error=%q", st.ResyncErr)
+	}
+	fmt.Fprintln(out)
 }
 
 func (c *Controller) stageCommand(fields []string, line string, out io.Writer) error {

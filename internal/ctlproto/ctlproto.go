@@ -18,11 +18,18 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Op names.
 const (
 	OpHello = "hello"
+
+	// OpPing is a liveness probe. It is answered by the peer itself, not
+	// the application handler, so any live connection answers it — agents
+	// heartbeat with it and either side can use it to detect a dead or
+	// stalled peer.
+	OpPing = "ping"
 
 	OpStageInfo       = "stage.info"
 	OpStageCreateRule = "stage.create_rule"
@@ -71,6 +78,11 @@ type Hello struct {
 	Name     string `json:"name"`
 	Host     string `json:"host"`
 	Platform string `json:"platform,omitempty"`
+	// Generation is the enclave's currently published pipeline generation
+	// at hello time. On a re-hello after a connection loss it lets the
+	// controller detect stale policy (the enclave restarted, or missed
+	// updates) and replay the last committed transaction.
+	Generation uint64 `json:"generation,omitempty"`
 }
 
 // StageRuleParams carries createStageRule/removeStageRule arguments. Rule
@@ -150,6 +162,11 @@ type Handler func(op string, params json.RawMessage) (any, error)
 // ErrClosed is returned by calls on a closed peer.
 var ErrClosed = errors.New("ctlproto: connection closed")
 
+// ErrTimeout is the deadline error returned when a call's per-call
+// timeout elapses before the peer answers. The call's pending state is
+// reclaimed; a late reply is discarded.
+var ErrTimeout = errors.New("ctlproto: call deadline exceeded")
+
 // Peer is one end of a control connection. Both ends may issue requests
 // concurrently. Create with NewPeer, then run Serve (usually in its own
 // goroutine).
@@ -163,19 +180,45 @@ type Peer struct {
 	handler Handler
 	closed  atomic.Bool
 	done    chan struct{}
+
+	// callTimeout is the default deadline applied by Call (ns, 0 = none).
+	callTimeout atomic.Int64
+	// idleTimeout bounds how long Serve waits between inbound frames;
+	// set before Serve. 0 disables the check.
+	idleTimeout time.Duration
+	// lastRead is the wall-clock time (UnixNano) of the last frame read.
+	lastRead atomic.Int64
 }
 
 // NewPeer wraps a connection. handler serves inbound requests; it may be
 // nil if this end never receives requests.
 func NewPeer(conn net.Conn, handler Handler) *Peer {
-	return &Peer{
+	p := &Peer{
 		conn:    conn,
 		w:       bufio.NewWriter(conn),
 		pending: map[int64]chan Message{},
 		handler: handler,
 		done:    make(chan struct{}),
 	}
+	p.lastRead.Store(time.Now().UnixNano())
+	return p
 }
+
+// SetCallTimeout sets the default deadline applied by Call (0 disables).
+// CallTimeout overrides it per call.
+func (p *Peer) SetCallTimeout(d time.Duration) { p.callTimeout.Store(int64(d)) }
+
+// SetReadIdleTimeout makes Serve fail the connection — and with it every
+// outstanding call — when no frame arrives for d. Pair it with a
+// heartbeat shorter than d on the other side: a peer whose process is
+// alive but whose connection has silently died then surfaces as an error
+// instead of hanging calls forever. Call before Serve; 0 disables.
+func (p *Peer) SetReadIdleTimeout(d time.Duration) { p.idleTimeout = d }
+
+// LastActivity returns the wall-clock time the last frame was read from
+// the peer (connection creation time if none yet) — the raw material for
+// liveness tracking.
+func (p *Peer) LastActivity() time.Time { return time.Unix(0, p.lastRead.Load()) }
 
 // Serve reads frames until the connection closes, dispatching requests to
 // the handler (each in its own goroutine) and responses to waiting calls.
@@ -183,7 +226,14 @@ func (p *Peer) Serve() error {
 	defer p.Close()
 	sc := bufio.NewScanner(p.conn)
 	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
-	for sc.Scan() {
+	for {
+		if p.idleTimeout > 0 {
+			_ = p.conn.SetReadDeadline(time.Now().Add(p.idleTimeout))
+		}
+		if !sc.Scan() {
+			break
+		}
+		p.lastRead.Store(time.Now().UnixNano())
 		var m Message
 		if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
 			return fmt.Errorf("ctlproto: bad frame: %w", err)
@@ -201,6 +251,10 @@ func (p *Peer) Serve() error {
 		go p.serveRequest(m)
 	}
 	if err := sc.Err(); err != nil && !errors.Is(err, net.ErrClosed) {
+		var nerr net.Error
+		if errors.As(err, &nerr) && nerr.Timeout() {
+			return fmt.Errorf("ctlproto: peer idle for %v: %w", p.idleTimeout, err)
+		}
 		return err
 	}
 	return io.EOF
@@ -208,6 +262,13 @@ func (p *Peer) Serve() error {
 
 func (p *Peer) serveRequest(m Message) {
 	resp := Message{ID: m.ID, Reply: true}
+	if m.Op == OpPing {
+		// Liveness probes are answered by the peer itself so that any
+		// live connection pongs, whatever the application handler does.
+		resp.OK = true
+		_ = p.send(resp)
+		return
+	}
 	if p.handler == nil {
 		resp.Error = "no handler"
 	} else {
@@ -247,8 +308,16 @@ func (p *Peer) send(m Message) error {
 }
 
 // Call issues a request and decodes the response into result (which may
-// be nil). It blocks until the peer answers or the connection closes.
+// be nil). It blocks until the peer answers, the connection closes, or
+// the peer's default call timeout (SetCallTimeout) elapses.
 func (p *Peer) Call(op string, params any, result any) error {
+	return p.CallTimeout(op, params, result, time.Duration(p.callTimeout.Load()))
+}
+
+// CallTimeout is Call with an explicit per-call deadline (0 = none): a
+// stalled peer — accepted connection, no responses — yields ErrTimeout
+// within d instead of blocking forever.
+func (p *Peer) CallTimeout(op string, params, result any, d time.Duration) error {
 	if p.closed.Load() {
 		return ErrClosed
 	}
@@ -265,11 +334,20 @@ func (p *Peer) Call(op string, params any, result any) error {
 	p.mu.Lock()
 	p.pending[id] = ch
 	p.mu.Unlock()
-	if err := p.send(Message{ID: id, Op: op, Params: raw}); err != nil {
+	unregister := func() {
 		p.mu.Lock()
 		delete(p.pending, id)
 		p.mu.Unlock()
+	}
+	if err := p.send(Message{ID: id, Op: op, Params: raw}); err != nil {
+		unregister()
 		return err
+	}
+	var timeout <-chan time.Time
+	if d > 0 {
+		timer := time.NewTimer(d)
+		defer timer.Stop()
+		timeout = timer.C
 	}
 	select {
 	case m := <-ch:
@@ -281,8 +359,26 @@ func (p *Peer) Call(op string, params any, result any) error {
 		}
 		return nil
 	case <-p.done:
+		// Reclaim the pending entry: a call racing Close must not leak it.
+		unregister()
 		return ErrClosed
+	case <-timeout:
+		unregister()
+		return fmt.Errorf("ctlproto: %s after %v: %w", op, d, ErrTimeout)
 	}
+}
+
+// Ping round-trips a liveness probe with the given deadline.
+func (p *Peer) Ping(d time.Duration) error {
+	return p.CallTimeout(OpPing, nil, nil, d)
+}
+
+// pendingCalls counts in-flight calls; tests use it to check that calls
+// racing Close do not leak their pending entries.
+func (p *Peer) pendingCalls() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.pending)
 }
 
 // Close tears the connection down, failing outstanding calls.

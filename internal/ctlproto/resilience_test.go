@@ -1,0 +1,212 @@
+package ctlproto
+
+import (
+	"encoding/json"
+	"errors"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// stalledPeer returns a peer whose remote end accepted the connection but
+// never answers — the "stalled peer" failure mode deadlines exist for.
+// The raw remote conn is returned so tests can keep it alive or kill it.
+func stalledPeer(t *testing.T) (*Peer, net.Conn) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	ch := make(chan net.Conn, 1)
+	go func() {
+		c, err := ln.Accept()
+		if err != nil {
+			close(ch)
+			return
+		}
+		ch <- c
+	}()
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	remote, ok := <-ch
+	if !ok {
+		t.Fatal("accept failed")
+	}
+	p := NewPeer(conn, nil)
+	go p.Serve()
+	t.Cleanup(func() { p.Close(); remote.Close() })
+	return p, remote
+}
+
+func TestPingAnsweredWithoutHandler(t *testing.T) {
+	// Neither side has an application handler; pings must still pong in
+	// both directions because the peer answers them itself.
+	pa, pb := pair(t, nil, nil)
+	if err := pa.Ping(2 * time.Second); err != nil {
+		t.Errorf("ping a->b: %v", err)
+	}
+	if err := pb.Ping(2 * time.Second); err != nil {
+		t.Errorf("ping b->a: %v", err)
+	}
+}
+
+func TestCallTimeoutStalledPeer(t *testing.T) {
+	p, _ := stalledPeer(t)
+	start := time.Now()
+	err := p.CallTimeout("echo", nil, nil, 50*time.Millisecond)
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("deadline took %v, want ~50ms", elapsed)
+	}
+	if n := p.pendingCalls(); n != 0 {
+		t.Errorf("pending calls after timeout = %d, want 0", n)
+	}
+	// The default timeout set via SetCallTimeout applies to plain Call.
+	p.SetCallTimeout(50 * time.Millisecond)
+	if err := p.Call("echo", nil, nil); !errors.Is(err, ErrTimeout) {
+		t.Errorf("Call with default timeout: err = %v, want ErrTimeout", err)
+	}
+	// Ping against a stalled peer times out too: liveness, not liveliness.
+	if err := p.Ping(50 * time.Millisecond); !errors.Is(err, ErrTimeout) {
+		t.Errorf("ping: err = %v, want ErrTimeout", err)
+	}
+}
+
+func TestReadIdleTimeoutFailsConnection(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	ch := make(chan net.Conn, 1)
+	go func() {
+		c, _ := ln.Accept()
+		ch <- c
+	}()
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	remote := <-ch
+	defer remote.Close()
+
+	p := NewPeer(conn, nil)
+	p.SetReadIdleTimeout(50 * time.Millisecond)
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- p.Serve() }()
+	defer p.Close()
+
+	// An outstanding call with no per-call deadline must be failed by the
+	// idle detector tearing the connection down.
+	callErr := make(chan error, 1)
+	go func() { callErr <- p.CallTimeout("echo", nil, nil, 0) }()
+
+	select {
+	case err := <-serveErr:
+		if err == nil || !strings.Contains(err.Error(), "idle") {
+			t.Errorf("serve err = %v, want idle timeout", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Serve did not notice the idle connection")
+	}
+	select {
+	case err := <-callErr:
+		if !errors.Is(err, ErrClosed) {
+			t.Errorf("call err = %v, want ErrClosed", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("outstanding call not failed by idle teardown")
+	}
+}
+
+func TestIdleTimeoutNotTrippedByTraffic(t *testing.T) {
+	// A peer exchanging frames faster than the idle timeout must not be
+	// torn down: each read pushes the deadline out.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	ch := make(chan net.Conn, 1)
+	go func() {
+		c, _ := ln.Accept()
+		ch <- c
+	}()
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pa := NewPeer(conn, nil)
+	pa.SetReadIdleTimeout(200 * time.Millisecond)
+	go pa.Serve()
+	pb := NewPeer(<-ch, nil)
+	go pb.Serve()
+	t.Cleanup(func() { pa.Close(); pb.Close() })
+
+	deadline := time.Now().Add(600 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		if err := pa.Ping(2 * time.Second); err != nil {
+			t.Fatalf("ping on active connection: %v", err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if last := pa.LastActivity(); time.Since(last) > time.Second {
+		t.Errorf("LastActivity = %v, want recent", last)
+	}
+}
+
+func TestCallCloseRaceNoPendingLeak(t *testing.T) {
+	// Hammer Call against Close: every call must come back with an error
+	// (never hang) and the pending map must end empty.
+	for i := 0; i < 20; i++ {
+		p, remote := stalledPeer(t)
+		const callers = 8
+		var wg sync.WaitGroup
+		errs := make(chan error, callers)
+		for c := 0; c < callers; c++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				errs <- p.CallTimeout("echo", nil, nil, 5*time.Second)
+			}()
+		}
+		p.Close()
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			if !errors.Is(err, ErrClosed) {
+				t.Fatalf("call racing close: err = %v, want ErrClosed", err)
+			}
+		}
+		if n := p.pendingCalls(); n != 0 {
+			t.Fatalf("pending calls after close = %d, want 0", n)
+		}
+		remote.Close()
+	}
+}
+
+func TestHelloGenerationRoundTrips(t *testing.T) {
+	got := make(chan Hello, 1)
+	pa, _ := pair(t, nil, func(op string, params json.RawMessage) (any, error) {
+		var h Hello
+		if err := json.Unmarshal(params, &h); err != nil {
+			return nil, err
+		}
+		got <- h
+		return nil, nil
+	})
+	if err := pa.Call(OpHello, Hello{Kind: "enclave", Name: "e1", Host: "h1", Generation: 7}, nil); err != nil {
+		t.Fatal(err)
+	}
+	h := <-got
+	if h.Generation != 7 || h.Name != "e1" {
+		t.Errorf("hello = %+v", h)
+	}
+}

@@ -45,6 +45,8 @@ type Fig10Config struct {
 	// WCMP/interpreted cell.
 	Metrics *metrics.Set
 	Tracer  *trace.Tracer
+	// Faults, when set, injects link flaps and loss into every run.
+	Faults *netsim.FaultPlan
 }
 
 // DefaultFig10Config mirrors the paper's setup: long-running flows over
@@ -118,6 +120,9 @@ func fig10Once(cfg Fig10Config, scheme LBScheme, mode Mode, seed int64, instrume
 	h1.SetLabelUplink(labelFast, fastUp)
 	h1.SetLabelUplink(labelSlow, slowUp)
 	h2.SetUplink(netsim.NewLink(sim, "h2->fast", 10*netsim.Gbps, 5*netsim.Microsecond, qcap, swFast))
+	if cfg.Faults != nil {
+		cfg.Faults.Apply(sim, cfg.Duration)
+	}
 
 	// The WCMP/ECMP function runs on h1's programmable NIC (§5.2: "the
 	// programmable NICs run our custom firmware ... the interpreted

@@ -56,6 +56,8 @@ type Fig11Config struct {
 	// same-named registries into the set).
 	Metrics *metrics.Set
 	Tracer  *trace.Tracer
+	// Faults, when set, injects link flaps and loss into every run.
+	Faults *netsim.FaultPlan
 }
 
 // DefaultFig11Config mirrors §5.3: 64KB IOs against a RAM-disk-backed
@@ -139,6 +141,9 @@ func fig11Once(cfg Fig11Config, seed int64, reads, writes, rateControl, instrume
 	sw.AddRoute(server.IP(), ps)
 	client.SetUplink(netsim.NewLink(sim, "c->sw", 10*netsim.Gbps, 5*netsim.Microsecond, qcap, sw))
 	server.SetUplink(netsim.NewLink(sim, "s->sw", netsim.Gbps, 5*netsim.Microsecond, qcap, sw))
+	if cfg.Faults != nil {
+		cfg.Faults.Apply(sim, cfg.Duration)
+	}
 
 	if rateControl {
 		enc := client.NewOSEnclave()

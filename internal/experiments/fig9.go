@@ -83,6 +83,9 @@ type Fig9Config struct {
 	// SFF/interpreted cell.
 	Metrics *metrics.Set
 	Tracer  *trace.Tracer
+	// Faults, when set, injects link flaps and loss into every run, so the
+	// figure can be regenerated under failure.
+	Faults *netsim.FaultPlan
 }
 
 // DefaultFig9Config returns the configuration used by the paper's setup,
@@ -199,6 +202,9 @@ func fig9Once(cfg Fig9Config, scheme Scheme, mode Mode, seed int64, instrument b
 	connect(worker)
 	for _, h := range bgHosts {
 		connect(h)
+	}
+	if cfg.Faults != nil {
+		cfg.Faults.Apply(sim, cfg.Duration)
 	}
 
 	// Enclaves at every host (all are traffic sources: data, requests or

@@ -1,0 +1,127 @@
+package netsim
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// FaultPlan injects link failures into a simulation: periodic link flaps
+// (down for FlapDown out of every FlapPeriod) and per-link probabilistic
+// packet loss. The paper's safety story — enclaves keep forwarding on
+// their last-installed policy whatever the network does — only means
+// something if the evaluation can exercise failure, so edenbench wires a
+// plan into the figure harnesses behind -faults.
+type FaultPlan struct {
+	// Links selects affected links by exact name; empty selects every
+	// link in the simulation.
+	Links []string
+	// FlapPeriod/FlapDown schedule flaps: every FlapPeriod the link goes
+	// down, coming back after FlapDown. 0 disables flapping.
+	FlapPeriod Time
+	FlapDown   Time
+	// LossRate is the probability each transmitted packet is lost in
+	// propagation. 0 disables loss.
+	LossRate float64
+}
+
+// Apply installs the plan on the simulation's links, scheduling flap
+// events up to the given horizon (events are pre-scheduled, so RunAll
+// still terminates). It returns the number of links affected. Call after
+// the topology is built and before running the simulation.
+func (f *FaultPlan) Apply(sim *Sim, until Time) int {
+	want := map[string]bool{}
+	for _, n := range f.Links {
+		want[n] = true
+	}
+	n := 0
+	for _, l := range sim.Links() {
+		if len(want) > 0 && !want[l.Name()] {
+			continue
+		}
+		n++
+		if f.LossRate > 0 {
+			l.SetLossRate(f.LossRate)
+		}
+		if f.FlapPeriod > 0 && f.FlapDown > 0 {
+			link := l
+			for t := f.FlapPeriod; t < until; t += f.FlapPeriod {
+				sim.At(t, func() { link.SetDown(true) })
+				sim.At(t+f.FlapDown, func() { link.SetDown(false) })
+			}
+		}
+	}
+	return n
+}
+
+// ParseFaultPlan parses a command-line fault spec: comma-separated
+// key=value clauses.
+//
+//	flap=PERIOD:DOWN   e.g. flap=5ms:500us — every 5ms, down for 500µs
+//	loss=RATE          e.g. loss=0.001 — 0.1% packet loss
+//	link=NAME          restrict to one link (repeatable)
+//
+// Durations use Go syntax ("5ms", "500us"). Example:
+// "flap=5ms:500us,loss=0.001".
+func ParseFaultPlan(spec string) (*FaultPlan, error) {
+	plan := &FaultPlan{}
+	for _, clause := range strings.Split(spec, ",") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(clause, "=")
+		if !ok {
+			return nil, fmt.Errorf("netsim: fault clause %q is not key=value", clause)
+		}
+		switch key {
+		case "flap":
+			period, down, ok := strings.Cut(val, ":")
+			if !ok {
+				return nil, fmt.Errorf("netsim: flap wants PERIOD:DOWN, got %q", val)
+			}
+			p, err := time.ParseDuration(period)
+			if err != nil {
+				return nil, fmt.Errorf("netsim: flap period: %w", err)
+			}
+			d, err := time.ParseDuration(down)
+			if err != nil {
+				return nil, fmt.Errorf("netsim: flap down-time: %w", err)
+			}
+			if p <= 0 || d <= 0 || d >= p {
+				return nil, fmt.Errorf("netsim: flap wants 0 < DOWN < PERIOD, got %v:%v", p, d)
+			}
+			plan.FlapPeriod = Time(p.Nanoseconds())
+			plan.FlapDown = Time(d.Nanoseconds())
+		case "loss":
+			r, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return nil, fmt.Errorf("netsim: loss rate: %w", err)
+			}
+			if r < 0 || r >= 1 {
+				return nil, fmt.Errorf("netsim: loss rate must be in [0,1), got %v", r)
+			}
+			plan.LossRate = r
+		case "link":
+			plan.Links = append(plan.Links, val)
+		default:
+			return nil, fmt.Errorf("netsim: unknown fault key %q (want flap, loss or link)", key)
+		}
+	}
+	if plan.FlapPeriod == 0 && plan.LossRate == 0 {
+		return nil, fmt.Errorf("netsim: fault spec %q injects nothing (want flap= and/or loss=)", spec)
+	}
+	return plan, nil
+}
+
+// Stats totals the plan-relevant fault counters across the simulation's
+// links: flaps and injected losses.
+func FaultStats(sim *Sim) (flaps, lossDrops int64) {
+	for _, l := range sim.Links() {
+		st := l.Stats()
+		flaps += st.Flaps
+		lossDrops += st.LossDrops
+	}
+	return flaps, lossDrops
+}

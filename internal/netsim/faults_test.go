@@ -1,0 +1,210 @@
+package netsim
+
+import (
+	"testing"
+
+	"eden/internal/packet"
+	"eden/internal/transport"
+)
+
+func TestLinkFlapPausesAndResumes(t *testing.T) {
+	s := New(1)
+	dst := &sink{name: "dst", sim: s}
+	l := NewLink(s, "l", Gbps, 0, 0, dst)
+
+	l.SetDown(true)
+	l.SetDown(true) // redundant transition is not a second flap
+	for i := 0; i < 3; i++ {
+		if !l.Send(packet.New(1, 2, 3, 4, 946)) {
+			t.Fatal("send failed")
+		}
+	}
+	s.At(100*Microsecond, func() { l.SetDown(false) })
+	s.RunAll()
+
+	if len(dst.got) != 3 {
+		t.Fatalf("delivered %d packets, want 3 after the link came back", len(dst.got))
+	}
+	for _, at := range dst.at {
+		if at < 100*Microsecond {
+			t.Errorf("packet delivered at %d while the link was down", at)
+		}
+	}
+	if st := l.Stats(); st.Flaps != 1 {
+		t.Errorf("flaps = %d, want 1", st.Flaps)
+	}
+	// Registered with the sim for fault targeting.
+	if s.LinkByName("l") == nil || len(s.Links()) != 1 {
+		t.Error("link not registered with the sim")
+	}
+}
+
+func TestLinkDownStillTailDrops(t *testing.T) {
+	s := New(1)
+	dst := &sink{name: "dst"}
+	l := NewLink(s, "l", Gbps, 0, 2000, dst) // 2000B per queue
+	l.SetDown(true)
+	dropped := 0
+	for i := 0; i < 5; i++ {
+		if !l.Send(packet.New(1, 2, 3, 4, 946)) { // 1000B on wire
+			dropped++
+		}
+	}
+	if dropped != 3 {
+		t.Errorf("dropped %d of 5 while down, want 3 (2000B cap)", dropped)
+	}
+	l.SetDown(false)
+	s.RunAll()
+	if len(dst.got) != 2 {
+		t.Errorf("delivered %d, want the 2 buffered packets", len(dst.got))
+	}
+}
+
+func TestLinkLossRate(t *testing.T) {
+	s := New(7)
+	dst := &sink{name: "dst"}
+	l := NewLink(s, "l", Gbps, 0, 0, dst)
+	l.SetLossRate(0.2)
+	const n = 2000
+	for i := 0; i < n; i++ {
+		l.Send(packet.New(1, 2, 3, 4, 946))
+	}
+	s.RunAll()
+	st := l.Stats()
+	if st.Sent != n {
+		t.Fatalf("sent = %d, want %d (loss must not stall the transmitter)", st.Sent, n)
+	}
+	if int64(len(dst.got))+st.LossDrops != n {
+		t.Errorf("delivered %d + lost %d != %d", len(dst.got), st.LossDrops, n)
+	}
+	if ratio := float64(st.LossDrops) / n; ratio < 0.1 || ratio > 0.3 {
+		t.Errorf("loss ratio = %.3f, want ~0.2", ratio)
+	}
+}
+
+func TestPartitionCutsAndHeals(t *testing.T) {
+	topo, a, b := leafSpine(t)
+	var rcvd int64
+	b.Stack.Listen(80, func(c *transport.Conn) {
+		c.OnData = func(_ packet.Metadata, n int64) { rcvd += n }
+	})
+
+	// A flow is mid-transfer when the partition hits.
+	a.Stack.Dial(b.IP(), 80).Send(1_000_000)
+	topo.Sim.Run(50 * Microsecond)
+	if rcvd == 1_000_000 {
+		t.Fatal("flow finished before the partition could hit")
+	}
+
+	heal := topo.Partition("a")
+	if !topo.Link("a", "leaf1").Down() || !topo.Link("leaf1", "a").Down() {
+		t.Fatal("edge links not cut")
+	}
+	if topo.Link("leaf1", "spine1").Down() {
+		t.Error("link with both endpoints outside the group cut")
+	}
+	// Packets already past the cut drain to b; after that, nothing more
+	// crosses.
+	topo.Sim.Run(topo.Sim.Now() + 5*Millisecond)
+	during := rcvd
+	if during == 1_000_000 {
+		t.Fatal("whole flow was in flight past the cut")
+	}
+	topo.Sim.Run(topo.Sim.Now() + 10*Millisecond)
+	if rcvd > during {
+		t.Errorf("%d bytes crossed the partition", rcvd-during)
+	}
+
+	// After heal the transport's retransmissions repair the outage and the
+	// flow completes.
+	heal()
+	if topo.Link("a", "leaf1").Down() {
+		t.Fatal("heal left the link down")
+	}
+	topo.Sim.Run(topo.Sim.Now() + 5*Second)
+	if rcvd != 1_000_000 {
+		t.Errorf("flow did not recover after heal: %d of 1000000 bytes", rcvd)
+	}
+}
+
+func TestPartitionLeavesManuallyDownedLinks(t *testing.T) {
+	topo, _, _ := leafSpine(t)
+	topo.Link("a", "leaf1").SetDown(true)
+	heal := topo.Partition("a")
+	heal()
+	if !topo.Link("a", "leaf1").Down() {
+		t.Error("heal resurrected a link it did not cut")
+	}
+	if topo.Link("leaf1", "a").Down() {
+		t.Error("heal left a cut link down")
+	}
+	// Unknown nodes panic like the rest of the topology builder.
+	defer func() {
+		if recover() == nil {
+			t.Error("Partition of unknown node did not panic")
+		}
+	}()
+	topo.Partition("nope")
+}
+
+func TestFaultPlanApply(t *testing.T) {
+	s := New(3)
+	d1 := &sink{name: "d1"}
+	d2 := &sink{name: "d2"}
+	l1 := NewLink(s, "l1", Gbps, 0, 0, d1)
+	l2 := NewLink(s, "l2", Gbps, 0, 0, d2)
+
+	plan := &FaultPlan{Links: []string{"l1"}, FlapPeriod: Millisecond, FlapDown: 100 * Microsecond}
+	if n := plan.Apply(s, 10*Millisecond); n != 1 {
+		t.Fatalf("affected %d links, want 1", n)
+	}
+	// Flap events are pre-scheduled to the horizon, so RunAll terminates.
+	s.RunAll()
+	if f := l1.Stats().Flaps; f != 9 {
+		t.Errorf("l1 flaps = %d, want 9 (every 1ms below 10ms)", f)
+	}
+	if l2.Stats().Flaps != 0 {
+		t.Error("unselected link flapped")
+	}
+	if l1.Down() {
+		t.Error("link left down after its flap window")
+	}
+	flaps, losses := FaultStats(s)
+	if flaps != 9 || losses != 0 {
+		t.Errorf("FaultStats = %d flaps, %d losses", flaps, losses)
+	}
+
+	// An empty Links list selects everything.
+	all := &FaultPlan{LossRate: 0.5}
+	if n := all.Apply(s, Millisecond); n != 2 {
+		t.Errorf("affected %d links, want 2", n)
+	}
+}
+
+func TestParseFaultPlan(t *testing.T) {
+	plan, err := ParseFaultPlan("flap=5ms:500us,loss=0.001,link=h1->sw,link=sw->h1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.FlapPeriod != 5*Millisecond || plan.FlapDown != 500*Microsecond {
+		t.Errorf("flap = %d:%d", plan.FlapPeriod, plan.FlapDown)
+	}
+	if plan.LossRate != 0.001 || len(plan.Links) != 2 || plan.Links[0] != "h1->sw" {
+		t.Errorf("plan = %+v", plan)
+	}
+	for _, bad := range []string{
+		"flap=5ms",        // missing down-time
+		"flap=1ms:2ms",    // down >= period
+		"flap=junk:500us", // bad duration
+		"loss=1.5",        // out of range
+		"loss=lots",       // not a number
+		"bogus=1",         // unknown key
+		"link",            // not key=value
+		"link=l1",         // selects links but injects nothing
+		"",                // empty spec injects nothing
+	} {
+		if _, err := ParseFaultPlan(bad); err == nil {
+			t.Errorf("spec %q accepted", bad)
+		}
+	}
+}

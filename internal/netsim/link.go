@@ -26,6 +26,10 @@ type LinkStats struct {
 	Dropped   int64 // tail drops at full queues
 	// MaxQueueBytes is the high-water mark of total queued bytes.
 	MaxQueueBytes int64
+	// Fault-injection counters: Flaps counts up->down transitions,
+	// LossDrops counts packets lost to injected probabilistic loss.
+	Flaps     int64
+	LossDrops int64
 }
 
 // Link is a unidirectional link: an output port on the sending side (with
@@ -48,6 +52,13 @@ type Link struct {
 	busy       bool
 	stats      LinkStats
 
+	// Fault injection (see FaultPlan): while down, packets still enqueue
+	// (and tail-drop) but nothing serializes — the queue drains in a burst
+	// when the link comes back. lossRate drops each serialized packet in
+	// propagation with the given probability.
+	down     bool
+	lossRate float64
+
 	// Metrics mirrors of the stats fields, nil when the sim is
 	// uninstrumented (so the hot path pays only nil checks).
 	mSent     *metrics.Counter
@@ -55,6 +66,8 @@ type Link struct {
 	mDropped  *metrics.Counter
 	mQueueB   *metrics.Gauge
 	mMaxQueue *metrics.Gauge
+	mFlaps    *metrics.Counter
+	mLoss     *metrics.Counter
 }
 
 // NewLink creates a link delivering to the given node. queueCap is the
@@ -71,10 +84,40 @@ func NewLink(sim *Sim, name string, rateBps int64, delay Time, queueCap int64, t
 		l.mDropped = reg.Counter("dropped_pkts")
 		l.mQueueB = reg.Gauge("queue_bytes")
 		l.mMaxQueue = reg.Gauge("max_queue_bytes")
+		l.mFlaps = reg.Counter("flaps")
+		l.mLoss = reg.Counter("loss_drops")
 		sim.metrics.Add(reg)
 	}
+	sim.links = append(sim.links, l)
 	return l
 }
+
+// SetDown changes the link's administrative state. Taking a link down
+// pauses transmission (queued and newly sent packets wait, subject to the
+// normal tail-drop cap); bringing it up resumes draining. Packets already
+// in propagation still arrive. Each up->down transition counts as a flap.
+func (l *Link) SetDown(down bool) {
+	if down == l.down {
+		return
+	}
+	l.down = down
+	if down {
+		l.stats.Flaps++
+		l.mFlaps.Add(1)
+		return
+	}
+	if !l.busy {
+		l.transmitNext()
+	}
+}
+
+// Down reports the link's administrative state.
+func (l *Link) Down() bool { return l.down }
+
+// SetLossRate makes each transmitted packet be lost in propagation with
+// probability p (0 disables). Losses draw from the simulation's RNG, so
+// runs stay deterministic per seed.
+func (l *Link) SetLossRate(p float64) { l.lossRate = p }
 
 // Name returns the link's name.
 func (l *Link) Name() string { return l.name }
@@ -120,6 +163,10 @@ func (l *Link) Send(pkt *packet.Packet) bool {
 // transmitNext dequeues the highest-priority packet and models its
 // serialization and propagation.
 func (l *Link) transmitNext() {
+	if l.down {
+		l.busy = false
+		return
+	}
 	var pkt *packet.Packet
 	for p := NumPriorities - 1; p >= 0; p-- {
 		if len(l.queues[p]) > 0 {
@@ -150,6 +197,12 @@ func (l *Link) transmitNext() {
 	l.sim.At(done, func() {
 		l.transmitNext()
 	})
+	if l.lossRate > 0 && l.sim.rng.Float64() < l.lossRate {
+		l.stats.LossDrops++
+		l.mLoss.Add(1)
+		l.sim.tracer.Record(pkt, l.sim.Now(), trace.KindLinkDrop, "link."+l.name, "injected-loss")
+		return
+	}
 	l.sim.At(done+l.Delay, func() {
 		l.to.Receive(pkt)
 	})

@@ -63,6 +63,11 @@ type Sim struct {
 	// register with as they are constructed; both may be nil (off).
 	metrics *metrics.Set
 	tracer  *trace.Tracer
+
+	// links registers every link as it is constructed, so fault injection
+	// (FaultPlan) can find them without threading handles through every
+	// topology builder.
+	links []*Link
 }
 
 // New creates a simulation with the given RNG seed.
@@ -90,6 +95,19 @@ func (s *Sim) Now() Time { return s.now }
 
 // Rand returns the simulation's deterministic RNG.
 func (s *Sim) Rand() *rand.Rand { return s.rng }
+
+// Links returns every link created on this simulation, in creation order.
+func (s *Sim) Links() []*Link { return s.links }
+
+// LinkByName returns the named link, or nil.
+func (s *Sim) LinkByName(name string) *Link {
+	for _, l := range s.links {
+		if l.name == name {
+			return l
+		}
+	}
+	return nil
+}
 
 // At schedules fn at the given absolute time (clamped to now).
 func (s *Sim) At(t Time, fn func()) {

@@ -99,6 +99,35 @@ func (t *Topology) addDirected(from, to string, rateBps int64, delay Time, queue
 	}
 }
 
+// Partition severs the network between the given node group and the rest
+// of the topology: every link with exactly one endpoint in the group is
+// taken down (both directions). It returns a heal function restoring the
+// links it cut (links already down stay untouched and stay down on heal).
+// Use it to exercise the paper's graceful-degradation story — e.g. cut a
+// host off from the controller's side of the network and verify its
+// enclave keeps forwarding on the last-installed policy.
+func (t *Topology) Partition(group ...string) (heal func()) {
+	in := map[string]bool{}
+	for _, n := range group {
+		t.node(n) // panic on unknown names, like the rest of the builder
+		in[n] = true
+	}
+	var cut []*Link
+	for from, outs := range t.links {
+		for to, l := range outs {
+			if in[from] != in[to] && !l.Down() {
+				cut = append(cut, l)
+				l.SetDown(true)
+			}
+		}
+	}
+	return func() {
+		for _, l := range cut {
+			l.SetDown(false)
+		}
+	}
+}
+
 // Link returns the directed link from a to b.
 func (t *Topology) Link(a, b string) *Link {
 	l := t.links[a][b]

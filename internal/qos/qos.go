@@ -15,7 +15,7 @@ package qos
 type TokenBucket struct {
 	rateBps int64 // bits per second
 	burst   int64 // bytes
-	tokens  int64 // current tokens, bytes (may be negative after Borrow)
+	tokens  int64 // current tokens, bytes
 	last    int64 // last refill time, ns
 	// rem carries the sub-token remainder of the last refill (numerator
 	// units: bit-nanoseconds), so frequent small-interval polls at low

@@ -8,14 +8,18 @@ build:
 test:
 	$(GO) test ./...
 
-# verify is the extended check: tier-1 build+test plus vet and a race
-# pass over the concurrent packages — the data path (enclave, transport)
-# and the control plane (controller, ctlproto), whose reconnect and
-# registration churn paths are only meaningful under the race detector.
+# verify is the extended check: tier-1 build+test plus gofmt, vet, a race
+# pass over the concurrent packages — the data path (enclave, transport),
+# the control plane (controller, ctlproto), and the trial-parallel
+# experiment harness — and a single-iteration bench smoke so benchmark
+# code cannot rot.
 verify: build
+	@fmt_out=$$(gofmt -l .); if [ -n "$$fmt_out" ]; then \
+		echo "gofmt needed on:"; echo "$$fmt_out"; exit 1; fi
 	$(GO) vet ./...
 	$(GO) test ./...
-	$(GO) test -race ./internal/enclave/ ./internal/transport/ ./internal/controller/ ./internal/ctlproto/
+	$(GO) test -race ./internal/enclave/ ./internal/transport/ ./internal/controller/ ./internal/ctlproto/ ./internal/experiments/ ./internal/netsim/
+	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
 
 bench:
 	$(GO) test -bench=. -benchtime=1x ./...

@@ -14,16 +14,21 @@
 //	edenbench -exp ablation     design ablations (LB granularity, attach point)
 //
 // Flags -runs and -ms scale the simulated experiments (0 = paper-scale
-// defaults). -metrics dumps a JSON metrics snapshot of the instrumented
-// repetition after each simulated experiment; -trace N prints the life of
-// N sampled packets. Both apply to fig9, fig10 and fig11 (fig12, table1
-// and the ablations do not run the simulated data path end to end).
+// defaults). -parallel N fans independent trials across N worker
+// goroutines (default: the number of CPUs; results are byte-identical to
+// -parallel 1 at the same seed because each trial owns its simulator and
+// results merge in trial order). -metrics dumps a JSON metrics snapshot
+// of the instrumented repetition after each simulated experiment; -trace
+// N prints the life of N sampled packets. Both apply to fig9, fig10 and
+// fig11 (fig12, table1 and the ablations do not run the simulated data
+// path end to end).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"eden/internal/experiments"
@@ -73,8 +78,10 @@ func main() {
 		dumpMet = flag.Bool("metrics", false, "dump a JSON metrics snapshot per simulated experiment")
 		traceN  = flag.Int("trace", 0, "trace the life of N sampled packets per simulated experiment")
 		faults  = flag.String("faults", "", `inject link faults into the simulated experiments, e.g. "flap=5ms:500us,loss=0.001" (see netsim.ParseFaultPlan); per-link flap/loss counters appear in the -metrics snapshot`)
+		par     = flag.Int("parallel", runtime.NumCPU(), "worker goroutines for experiment trials (1 = serial; results are identical either way)")
 	)
 	flag.Parse()
+	experiments.SetParallelism(*par)
 
 	var faultPlan *netsim.FaultPlan
 	if *faults != "" {

@@ -44,9 +44,12 @@ func (c *compiler) call(e *lang.CallExpr, tail *inlineCtx) (lang.Type, error) {
 		if err := c.intArgs(e, 2); err != nil {
 			return lang.TypeUnknown, err
 		}
-		// Stack: [a, b]. Spill to temporaries and compare.
-		a := c.defineVar("$min_a", lang.TypeInt)
-		b := c.defineVar("$min_b", lang.TypeInt)
+		// Stack: [a, b]. Spill to temporaries and compare. The temps are
+		// dead once the chosen value is back on the stack, so their slots
+		// are released for reuse by the next call.
+		base := c.nextLocal
+		a := c.allocLocal()
+		b := c.allocLocal()
 		c.emit(edenvm.OpStore, int64(b))
 		c.emit(edenvm.OpStore, int64(a))
 		c.emit(edenvm.OpLoad, int64(a))
@@ -62,13 +65,15 @@ func (c *compiler) call(e *lang.CallExpr, tail *inlineCtx) (lang.Type, error) {
 		c.patch(jz, c.here())
 		c.emit(edenvm.OpLoad, int64(b))
 		c.patch(jmp, c.here())
+		c.releaseLocals(base)
 		return lang.TypeInt, nil
 
 	case "abs":
 		if err := c.intArgs(e, 1); err != nil {
 			return lang.TypeUnknown, err
 		}
-		v := c.defineVar("$abs", lang.TypeInt)
+		base := c.nextLocal
+		v := c.allocLocal()
 		c.emit(edenvm.OpStore, int64(v))
 		c.emit(edenvm.OpLoad, int64(v))
 		c.emit(edenvm.OpConst, 0)
@@ -80,6 +85,7 @@ func (c *compiler) call(e *lang.CallExpr, tail *inlineCtx) (lang.Type, error) {
 		c.emit(edenvm.OpLoad, int64(v))
 		c.emit(edenvm.OpNeg, 0)
 		c.patch(jmp, c.here())
+		c.releaseLocals(base)
 		return lang.TypeInt, nil
 	}
 
@@ -161,7 +167,12 @@ func (c *compiler) inlineCall(e *lang.CallExpr, fd *funcDef) (lang.Type, error) 
 	}
 
 	// Evaluate arguments in the caller's scope, then store to fresh
-	// parameter slots (pop order is reversed).
+	// parameter slots (pop order is reversed). Every slot allocated from
+	// here on — parameters and the body's lets — is dead once the call's
+	// result is on the stack, so the allocator rewinds to localBase on
+	// exit; without this, each sequential call site leaked its slots and
+	// long straight-line functions exhausted MaxLocals.
+	localBase := c.nextLocal
 	slots := make([]int, len(e.Args))
 	for i, a := range e.Args {
 		typ, err := c.expr(a, nil)
@@ -171,8 +182,7 @@ func (c *compiler) inlineCall(e *lang.CallExpr, fd *funcDef) (lang.Type, error) 
 		if typ != lang.TypeInt {
 			return lang.TypeUnknown, errf(a.Position(), "function arguments must be int, got %s", typ)
 		}
-		slots[i] = c.nextLocal
-		c.nextLocal++
+		slots[i] = c.allocLocal()
 	}
 	for i := len(slots) - 1; i >= 0; i-- {
 		c.emit(edenvm.OpStore, int64(slots[i]))
@@ -204,6 +214,7 @@ func (c *compiler) inlineCall(e *lang.CallExpr, fd *funcDef) (lang.Type, error) 
 	c.depth--
 	c.inline = savedInline
 	c.scopes = savedScopes
+	c.releaseLocals(localBase)
 	if err != nil {
 		return lang.TypeUnknown, err
 	}

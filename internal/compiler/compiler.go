@@ -121,7 +121,7 @@ func CompileAST(name, src string, prog *lang.Program) (*Func, error) {
 
 	// Unused state vectors get AccessNone; the message/global access
 	// levels were raised during compilation as loads/stores were seen.
-	c.out.NumLocals = c.nextLocal
+	c.out.NumLocals = c.maxLocal
 	c.out.State.PacketFields = len(c.fn.PktFields)
 	c.out.State.MsgFields = len(c.fn.MsgFields)
 	c.out.State.GlobalFields = len(c.fn.GlobalScalars)
@@ -169,7 +169,8 @@ type compiler struct {
 	glbTypes   map[string]lang.Type
 
 	scopes    []*scopeFrame
-	nextLocal int
+	nextLocal int // next free local slot; rewinds on inline-scope exit
+	maxLocal  int // high-water mark of nextLocal; becomes NumLocals
 	inline    *inlineCtx
 	depth     int // inline nesting depth, to bound pathological programs
 }
@@ -235,11 +236,28 @@ func (c *compiler) lookupFunc(name string) (*funcDef, bool) {
 }
 
 func (c *compiler) defineVar(name string, typ lang.Type) int {
-	slot := c.nextLocal
-	c.nextLocal++
+	slot := c.allocLocal()
 	c.scopes[len(c.scopes)-1].vars[name] = localVar{slot: slot, typ: typ}
 	return slot
 }
+
+// allocLocal hands out the next free local slot and tracks the high-water
+// mark that becomes the program's NumLocals.
+func (c *compiler) allocLocal() int {
+	slot := c.nextLocal
+	c.nextLocal++
+	if c.nextLocal > c.maxLocal {
+		c.maxLocal = c.nextLocal
+	}
+	return slot
+}
+
+// releaseLocals rewinds the slot allocator to base, making the slots of an
+// exited inline scope (or spent intrinsic temporaries) reusable. The
+// values in those slots are dead: every load of a slot is emitted while
+// its variable is lexically in scope, so code compiled after the release
+// always stores before the slot is read again.
+func (c *compiler) releaseLocals(base int) { c.nextLocal = base }
 
 func (c *compiler) emit(op edenvm.Opcode, a int64) int {
 	c.out.Code = append(c.out.Code, edenvm.Instr{Op: op, A: a})
@@ -632,10 +650,10 @@ func (c *compiler) binary(e *lang.BinaryExpr) (lang.Type, error) {
 // valid, matching ahead-of-time compiler behaviour).
 func (c *compiler) compileDead(e lang.Expr, tail *inlineCtx) (lang.Type, error) {
 	mark := len(c.out.Code)
-	locals := c.nextLocal
+	locals, high := c.nextLocal, c.maxLocal
 	typ, err := c.expr(e, tail)
 	c.out.Code = c.out.Code[:mark]
-	c.nextLocal = locals
+	c.nextLocal, c.maxLocal = locals, high
 	return typ, err
 }
 

@@ -1,6 +1,7 @@
 package compiler
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
@@ -562,5 +563,54 @@ func TestFoldShortCircuitConstants(t *testing.T) {
 		if pkt["priority"] != c.want {
 			t.Errorf("%q = %d, want %d", c.src, pkt["priority"], c.want)
 		}
+	}
+}
+
+// TestSequentialIntrinsicsReuseSlots is the regression test for local-slot
+// exhaustion: every min/max/abs call used to leak its spill temporaries, so
+// ~130 sequential calls blew past edenvm.MaxLocals and compilation failed
+// with "invalid local count". Slots are now released once the intrinsic's
+// result is on the stack.
+func TestSequentialIntrinsicsReuseSlots(t *testing.T) {
+	var b strings.Builder
+	b.WriteString("fun (p, m, g) ->\n    let mutable acc = p.size\n")
+	for i := 0; i < 150; i++ {
+		fmt.Fprintf(&b, "    acc <- min acc %d\n", 1000-i)
+	}
+	b.WriteString("    p.priority <- acc\n")
+	f, err := Compile("minchain", b.String())
+	if err != nil {
+		t.Fatalf("150 sequential min calls failed to compile: %v", err)
+	}
+	// acc plus one pair of spill temps, reused by every call.
+	if f.Prog.NumLocals > 3 {
+		t.Errorf("NumLocals = %d, want <= 3 (slots not reused)", f.Prog.NumLocals)
+	}
+	pkt, _, _ := runFunc(t, f, map[string]int64{"size": 100000}, nil, nil, nil)
+	if pkt["priority"] != 851 { // min(100000, 1000, 999, ..., 851)
+		t.Errorf("acc = %d, want 851", pkt["priority"])
+	}
+}
+
+// TestSequentialInlineCallsReuseSlots checks the same property for
+// user-function inlining: each call site's parameter and body slots are
+// reclaimed when the inline scope exits.
+func TestSequentialInlineCallsReuseSlots(t *testing.T) {
+	var b strings.Builder
+	b.WriteString("fun (p, m, g) ->\n    let f a = a + 1\n    let mutable acc = p.size\n")
+	for i := 0; i < 300; i++ {
+		b.WriteString("    acc <- f acc\n")
+	}
+	b.WriteString("    p.priority <- acc\n")
+	f, err := Compile("inlchain", b.String())
+	if err != nil {
+		t.Fatalf("300 sequential inlined calls failed to compile: %v", err)
+	}
+	if f.Prog.NumLocals > 3 {
+		t.Errorf("NumLocals = %d, want <= 3 (slots not reused)", f.Prog.NumLocals)
+	}
+	pkt, _, _ := runFunc(t, f, map[string]int64{"size": 0}, nil, nil, nil)
+	if pkt["priority"] != 300 {
+		t.Errorf("acc = %d, want 300", pkt["priority"])
 	}
 }

@@ -3,6 +3,7 @@ package edenvm
 import (
 	"errors"
 	"fmt"
+	"sort"
 )
 
 // VerifyError describes why a program failed verification.
@@ -84,22 +85,160 @@ func Verify(p *Program) error {
 		return verifyErrf(-1, "state field count exceeds %d", MaxStateFields)
 	}
 
-	// depth[i] is the operand stack depth on entry to instruction i, or -1
-	// if not yet visited.
-	depth := make([]int, len(p.Code))
-	for i := range depth {
-		depth[i] = -1
-	}
-	maxDepth := 0
+	// Call sites are verified interprocedurally. Each OpCall target is
+	// analyzed once, as its own frame, at a canonical relative entry depth
+	// of zero — not at the absolute depth of whichever call site happened
+	// to be traversed first, which spuriously rejected subroutines invoked
+	// from two sites at different depths. Within a callee frame the
+	// relative depth may go negative (a subroutine consumes the operands
+	// its callers pushed); every OpRet must occur at relative depth zero,
+	// so calls are statically stack-neutral. A fixpoint over the call
+	// graph then translates each frame's relative depth range into
+	// absolute bounds, proving no call chain underflows or exceeds
+	// MaxVerifiedStack.
+	callTargets := map[int]bool{}
 	usesCall := false
+	for pc, in := range p.Code {
+		if !in.Op.Valid() {
+			return verifyErrf(pc, "invalid opcode %d", uint8(in.Op))
+		}
+		if in.Op == OpCall {
+			usesCall = true
+			t := int(in.A)
+			if t < 0 || t >= len(p.Code) {
+				return verifyErrf(pc, "call target out of range")
+			}
+			callTargets[t] = true
+		}
+	}
+
+	mainFrame, err := analyzeFrame(p, 0, false)
+	if err != nil {
+		return err
+	}
+	mainFrame.entered = true
+	targets := make([]int, 0, len(callTargets))
+	for t := range callTargets {
+		targets = append(targets, t)
+	}
+	sort.Ints(targets)
+	frames := make(map[int]*frameInfo, len(targets))
+	for _, t := range targets {
+		fr, err := analyzeFrame(p, t, true)
+		if err != nil {
+			return err
+		}
+		frames[t] = fr
+	}
+
+	// Propagate absolute entry-depth ranges from the main frame through
+	// the call graph. Ranges only widen and error past MaxVerifiedStack,
+	// so the iteration terminates; a recursive call that carries operands
+	// on the stack grows its own entry depth without bound and is
+	// rejected here.
+	all := make([]*frameInfo, 0, len(targets)+1)
+	all = append(all, mainFrame)
+	for _, t := range targets {
+		all = append(all, frames[t])
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, f := range all {
+			if !f.entered {
+				continue
+			}
+			for _, s := range f.sites {
+				lo, hi := f.absMin+s.depth, f.absMax+s.depth
+				if hi > MaxVerifiedStack {
+					return verifyErrf(s.pc, "operand stack depth %d at call exceeds limit %d (recursive call with operands on the stack?)", hi, MaxVerifiedStack)
+				}
+				t := frames[s.target]
+				if !t.entered {
+					t.entered = true
+					t.absMin, t.absMax = lo, hi
+					changed = true
+					continue
+				}
+				if lo < t.absMin {
+					t.absMin = lo
+					changed = true
+				}
+				if hi > t.absMax {
+					t.absMax = hi
+					changed = true
+				}
+			}
+		}
+	}
+
+	maxDepth := mainFrame.relMax
+	for _, t := range targets {
+		f := frames[t]
+		if !f.entered {
+			// Callee body verified above, but no reachable call site
+			// constrains its absolute depth.
+			continue
+		}
+		if f.absMin+f.relMin < 0 {
+			return verifyErrf(t, "subroutine pops %d operand(s) but its shallowest call site provides %d", -f.relMin, f.absMin)
+		}
+		if f.absMax+f.relMax > MaxVerifiedStack {
+			return verifyErrf(t, "stack depth %d exceeds limit %d", f.absMax+f.relMax, MaxVerifiedStack)
+		}
+		if f.absMax+f.relMax > maxDepth {
+			maxDepth = f.absMax + f.relMax
+		}
+	}
+
+	if p.MaxStack == 0 {
+		p.MaxStack = maxDepth
+	} else if maxDepth > p.MaxStack {
+		return verifyErrf(-1, "computed stack depth %d exceeds declared %d", maxDepth, p.MaxStack)
+	}
+	if usesCall && p.MaxCallDepth == 0 {
+		p.MaxCallDepth = 16
+	}
+	p.verified = true
+	return nil
+}
+
+// frameInfo is the verification result for one frame: the main program
+// (entry pc 0) or one OpCall target. Depths inside a frame are relative to
+// the frame's entry; relMin/relMax bound the frame's depth excursion, and
+// sites lists the calls it makes. absMin/absMax are filled in by the call
+// graph fixpoint once the frame is known to be reachable (entered).
+type frameInfo struct {
+	relMin, relMax int
+	sites          []callSite
+	entered        bool
+	absMin, absMax int
+}
+
+// callSite records one OpCall: where it is, what it targets, and the
+// caller's stack depth (relative to the caller's frame entry) at the call.
+type callSite struct {
+	pc, target, depth int
+}
+
+// analyzeFrame walks every path through the frame starting at entry,
+// checking opcodes, slot bounds and access levels, and computing the
+// frame-relative stack depth at every reachable instruction. For callee
+// frames the depth may go negative — the subroutine touching operands its
+// caller pushed — but each OpRet must be at depth zero (stack-neutral).
+func analyzeFrame(p *Program, entry int, callee bool) (*frameInfo, error) {
+	fr := &frameInfo{}
+	depth := make([]int, len(p.Code))
+	seen := make([]bool, len(p.Code))
 
 	type workItem struct{ pc, d int }
-	work := []workItem{{0, 0}}
+	work := []workItem{{entry, 0}}
+	seen[entry] = true
 	push := func(pc, d int) error {
 		if pc < 0 || pc >= len(p.Code) {
 			return verifyErrf(pc, "branch target out of range")
 		}
-		if depth[pc] == -1 {
+		if !seen[pc] {
+			seen[pc] = true
 			depth[pc] = d
 			work = append(work, workItem{pc, d})
 			return nil
@@ -109,7 +248,6 @@ func Verify(p *Program) error {
 		}
 		return nil
 	}
-	depth[0] = 0
 
 	checkSlot := func(pc int, slot int64, n int, what string) error {
 		if slot < 0 || slot >= int64(n) {
@@ -126,77 +264,86 @@ func Verify(p *Program) error {
 		for {
 			in := p.Code[pc]
 			if !in.Op.Valid() {
-				return verifyErrf(pc, "invalid opcode %d", uint8(in.Op))
+				return nil, verifyErrf(pc, "invalid opcode %d", uint8(in.Op))
 			}
 			pop, pushN := in.Op.StackEffect()
-			if d < pop {
-				return verifyErrf(pc, "stack underflow: %s needs %d, have %d", in.Op, pop, d)
+			if !callee && d < pop {
+				return nil, verifyErrf(pc, "stack underflow: %s needs %d, have %d", in.Op, pop, d)
+			}
+			if callee && d-pop < -MaxVerifiedStack {
+				return nil, verifyErrf(pc, "stack underflow: %s pops below any possible caller stack", in.Op)
+			}
+			if d-pop < fr.relMin {
+				fr.relMin = d - pop
 			}
 			nd := d - pop + pushN
 			if nd > MaxVerifiedStack {
-				return verifyErrf(pc, "stack depth %d exceeds limit %d", nd, MaxVerifiedStack)
+				return nil, verifyErrf(pc, "stack depth %d exceeds limit %d", nd, MaxVerifiedStack)
 			}
-			if nd > maxDepth {
-				maxDepth = nd
+			if nd > fr.relMax {
+				fr.relMax = nd
 			}
 
 			switch in.Op {
 			case OpLoad, OpStore:
 				if err := checkSlot(pc, in.A, p.NumLocals, "local"); err != nil {
-					return err
+					return nil, err
 				}
 			case OpLdPkt, OpStPkt:
 				if err := checkSlot(pc, in.A, p.State.PacketFields, "packet"); err != nil {
-					return err
+					return nil, err
 				}
 			case OpLdMsg:
 				if p.State.MsgAccess == AccessNone {
-					return verifyErrf(pc, "message state access not declared")
+					return nil, verifyErrf(pc, "message state access not declared")
 				}
 				if err := checkSlot(pc, in.A, p.State.MsgFields, "message"); err != nil {
-					return err
+					return nil, err
 				}
 			case OpStMsg:
 				if p.State.MsgAccess != AccessReadWrite {
-					return verifyErrf(pc, "store to %s message state", p.State.MsgAccess)
+					return nil, verifyErrf(pc, "store to %s message state", p.State.MsgAccess)
 				}
 				if err := checkSlot(pc, in.A, p.State.MsgFields, "message"); err != nil {
-					return err
+					return nil, err
 				}
 			case OpLdGlb:
 				if p.State.GlobalAccess == AccessNone {
-					return verifyErrf(pc, "global state access not declared")
+					return nil, verifyErrf(pc, "global state access not declared")
 				}
 				if err := checkSlot(pc, in.A, p.State.GlobalFields, "global"); err != nil {
-					return err
+					return nil, err
 				}
 			case OpStGlb:
 				if p.State.GlobalAccess != AccessReadWrite {
-					return verifyErrf(pc, "store to %s global state", p.State.GlobalAccess)
+					return nil, verifyErrf(pc, "store to %s global state", p.State.GlobalAccess)
 				}
 				if err := checkSlot(pc, in.A, p.State.GlobalFields, "global"); err != nil {
-					return err
+					return nil, err
 				}
 			}
 
 			switch in.Op {
 			case OpJmp:
 				if err := push(int(in.A), nd); err != nil {
-					return err
+					return nil, err
 				}
 			case OpJz, OpJnz:
 				if err := push(int(in.A), nd); err != nil {
-					return err
+					return nil, err
 				}
 				// fall through continues below
 			case OpCall:
-				usesCall = true
-				if err := push(int(in.A), nd); err != nil {
-					return err
+				// The callee is verified in its own frame and proven
+				// stack-neutral, so the fall-through depth is nd; the
+				// fixpoint over fr.sites checks the callee's absolute
+				// depth bounds at this site.
+				fr.sites = append(fr.sites, callSite{pc: pc, target: int(in.A), depth: nd})
+			case OpRet:
+				if callee && d != 0 {
+					return nil, verifyErrf(pc, "subroutine at pc %d is not stack-neutral: returns at relative depth %+d", entry, d)
 				}
-				// The callee is assumed stack-neutral; the interpreter's
-				// dynamic stack bound backstops any violation.
-			case OpHalt, OpRet:
+			case OpHalt:
 				// terminator
 			}
 
@@ -206,30 +353,21 @@ func Verify(p *Program) error {
 			}
 			next := pc + 1
 			if next >= len(p.Code) {
-				return verifyErrf(pc, "execution can fall off the end of the program")
+				return nil, verifyErrf(pc, "execution can fall off the end of the program")
 			}
-			if depth[next] == -1 {
+			if !seen[next] {
+				seen[next] = true
 				depth[next] = nd
 				pc, d = next, nd
 				continue
 			}
 			if depth[next] != nd {
-				return verifyErrf(next, "inconsistent stack depth: %d vs %d", depth[next], nd)
+				return nil, verifyErrf(next, "inconsistent stack depth: %d vs %d", depth[next], nd)
 			}
 			break
 		}
 	}
-
-	if p.MaxStack == 0 {
-		p.MaxStack = maxDepth
-	} else if maxDepth > p.MaxStack {
-		return verifyErrf(-1, "computed stack depth %d exceeds declared %d", maxDepth, p.MaxStack)
-	}
-	if usesCall && p.MaxCallDepth == 0 {
-		p.MaxCallDepth = 16
-	}
-	p.verified = true
-	return nil
+	return fr, nil
 }
 
 // Load decodes and verifies a wire-format program in one step. It is the

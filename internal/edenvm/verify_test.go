@@ -1,0 +1,133 @@
+package edenvm
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestCallSitesAtDifferentDepths is the regression test for the verifier
+// call-site bug: the old verifier recorded a callee's entry depth as the
+// caller's absolute stack depth, so a subroutine invoked from two sites at
+// different depths was spuriously rejected with "inconsistent stack depth".
+// The frame-based verifier analyzes the callee once at a canonical
+// relative depth and accepts this program.
+func TestCallSitesAtDifferentDepths(t *testing.T) {
+	src := `
+		.name twodepths
+		.calldepth 4
+		.state pkt=2 msgacc=none glbacc=none
+		ldpkt 0
+		call double
+		const 2
+		call double
+		add
+		stpkt 1
+		halt
+	double:
+		dup
+		add
+		ret`
+	p, err := Assemble(src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	env := &Env{Packet: []int64{7, 0}}
+	if _, err := NewVM().Run(p, env); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	// double(7) + double(2) = 14 + 4 = 18.
+	if env.Packet[1] != 18 {
+		t.Errorf("got %d, want 18", env.Packet[1])
+	}
+	// The high-water mark: depth 2 in main at the second call, +1 inside
+	// double (dup on top of the two operands) = 3.
+	if p.MaxStack != 3 {
+		t.Errorf("MaxStack = %d, want 3", p.MaxStack)
+	}
+}
+
+// TestCallNonNeutralCalleeRejected checks that a subroutine returning at a
+// non-zero relative depth fails verification: the old verifier silently
+// assumed stack-neutrality and left enforcement to the interpreter's
+// dynamic bound.
+func TestCallNonNeutralCalleeRejected(t *testing.T) {
+	src := `
+		.name nonneutral
+		.calldepth 4
+		.state pkt=2 msgacc=none glbacc=none
+		ldpkt 0
+		call grow
+		stpkt 1
+		halt
+	grow:
+		const 1
+		ret`
+	if _, err := Assemble(src); err == nil {
+		t.Fatal("expected verification failure for non-neutral callee")
+	} else if !strings.Contains(err.Error(), "not stack-neutral") {
+		t.Fatalf("wrong error: %v", err)
+	}
+}
+
+// TestCallShallowSiteUnderflowRejected checks the absolute-depth fixpoint:
+// a stack-neutral subroutine that needs two caller operands, called where
+// the caller has only one, must be rejected.
+func TestCallShallowSiteUnderflowRejected(t *testing.T) {
+	src := `
+		.name shallow
+		.calldepth 4
+		.state pkt=2 msgacc=none glbacc=none
+		ldpkt 0
+		call swap2
+		stpkt 1
+		halt
+	swap2:
+		swap
+		ret`
+	if _, err := Assemble(src); err == nil {
+		t.Fatal("expected verification failure for underflowing call site")
+	} else if !strings.Contains(err.Error(), "shallowest call site") {
+		t.Fatalf("wrong error: %v", err)
+	}
+}
+
+// TestCallRecursionWithOperandsRejected checks that a self-call carrying
+// extra operands on the stack diverges the fixpoint and is rejected
+// statically rather than relying on the interpreter's call-depth limit.
+func TestCallRecursionWithOperandsRejected(t *testing.T) {
+	src := `
+		.name recgrow
+		.calldepth 8
+		.state pkt=1 msgacc=none glbacc=none
+		call loop
+		halt
+	loop:
+		const 1
+		call loop
+		jz done
+	done:
+		ret`
+	_, err := Assemble(src)
+	if err == nil {
+		t.Fatal("expected verification failure for recursive call with operands")
+	}
+}
+
+// TestInconsistentDepthStillRejected makes sure the rewrite kept the
+// intra-frame consistency check: a join point reached at two different
+// depths is invalid.
+func TestInconsistentDepthStillRejected(t *testing.T) {
+	src := `
+		.name join
+		.state pkt=1 msgacc=none glbacc=none
+		ldpkt 0
+		jz merge
+		const 1
+	merge:
+		halt`
+	if _, err := Assemble(src); err == nil {
+		t.Fatal("expected verification failure for inconsistent join depth")
+	} else if !strings.Contains(err.Error(), "inconsistent stack depth") {
+		t.Fatalf("wrong error: %v", err)
+	}
+}

@@ -61,11 +61,16 @@ func RunAblationGranularity(runs int, duration netsim.Time) *AblationGranularity
 		Retransmits: map[Granularity]float64{},
 	}
 	for _, g := range []Granularity{GranPacket, GranMessage, GranFlow} {
+		// Independent per-seed trials: parallel fan-out, in-order merge.
+		type runOut struct{ m, r float64 }
+		outs := make([]runOut, runs)
+		forEachTrial(runs, func(run int) {
+			outs[run].m, outs[run].r = granularityOnce(g, duration, int64(run+1))
+		})
 		var tput, rtx stats.Sample
-		for run := 0; run < runs; run++ {
-			m, r := granularityOnce(g, duration, int64(run+1))
-			tput.Add(m)
-			rtx.Add(r)
+		for _, o := range outs {
+			tput.Add(o.m)
+			rtx.Add(o.r)
 		}
 		res.Mbps[g] = tput.Mean()
 		res.CI[g] = tput.CI95()
@@ -207,8 +212,11 @@ func RunAblationAttachPoint(duration netsim.Time) *AblationAttachPointResult {
 		sim.Run(duration)
 		return float64(received) * 8 / (float64(duration) / 1e9) / 1e6
 	}
-	os := run(false)
-	nic := run(true)
+	// The two attach points are independent same-seed simulations; run
+	// them as two trials on the pool.
+	var out [2]float64
+	forEachTrial(2, func(i int) { out[i] = run(i == 1) })
+	os, nic := out[0], out[1]
 	return &AblationAttachPointResult{OSMbps: os, NICMbps: nic, Identical: os == nic}
 }
 

@@ -71,13 +71,29 @@ type Fig10Result struct {
 // the NIC enclave.
 func RunFig10(cfg Fig10Config) *Fig10Result {
 	res := &Fig10Result{Config: cfg, Cells: map[LBScheme]map[Mode]Fig10Cell{}}
-	for _, scheme := range []LBScheme{LBECMP, LBWCMP} {
+	schemes := []LBScheme{LBECMP, LBWCMP}
+	modes := []Mode{ModeNative, ModeEden}
+
+	// One flat (scheme, mode, run) trial matrix on the worker pool —
+	// every repetition is an independent per-seed simulation. Results land
+	// in fixed slots and merge in order, so the figure is byte-identical
+	// to a serial pass.
+	outs := make([]float64, len(schemes)*len(modes)*cfg.Runs)
+	forEachTrial(len(outs), func(i int) {
+		run := i % cfg.Runs
+		mode := modes[(i/cfg.Runs)%len(modes)]
+		scheme := schemes[i/(cfg.Runs*len(modes))]
+		instrument := scheme == LBWCMP && mode == ModeEden && run == cfg.Runs-1
+		outs[i] = fig10Once(cfg, scheme, mode, cfg.Seed+int64(run), instrument)
+	})
+
+	for si, scheme := range schemes {
 		res.Cells[scheme] = map[Mode]Fig10Cell{}
-		for _, mode := range []Mode{ModeNative, ModeEden} {
+		for mi, mode := range modes {
+			base := (si*len(modes) + mi) * cfg.Runs
 			var sample stats.Sample
-			for run := 0; run < cfg.Runs; run++ {
-				instrument := scheme == LBWCMP && mode == ModeEden && run == cfg.Runs-1
-				sample.Add(fig10Once(cfg, scheme, mode, cfg.Seed+int64(run), instrument))
+			for _, v := range outs[base : base+cfg.Runs] {
+				sample.Add(v)
 			}
 			res.Cells[scheme][mode] = Fig10Cell{Mbps: sample.Mean(), CI: sample.CI95()}
 		}

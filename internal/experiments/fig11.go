@@ -95,25 +95,33 @@ func RunFig11(cfg Fig11Config) *Fig11Result {
 		Reads:  map[Fig11Scenario]Fig11Cell{},
 		Writes: map[Fig11Scenario]Fig11Cell{},
 	}
-	for _, sc := range []Fig11Scenario{ScenarioIsolated, ScenarioSimultaneous, ScenarioRateControlled} {
+	scenarios := []Fig11Scenario{ScenarioIsolated, ScenarioSimultaneous, ScenarioRateControlled}
+
+	// One flat (scenario, run) trial matrix on the worker pool — every
+	// repetition is an independent per-seed simulation. Results land in
+	// fixed slots and merge in order, so the figure is byte-identical to
+	// a serial pass.
+	type runOut struct{ r, w float64 }
+	outs := make([]runOut, len(scenarios)*cfg.Runs)
+	forEachTrial(len(outs), func(i int) {
+		run := i % cfg.Runs
+		seed := cfg.Seed + int64(run)
+		switch scenarios[i/cfg.Runs] {
+		case ScenarioIsolated:
+			outs[i].r, _ = fig11Once(cfg, seed, true, false, false, false)
+			_, outs[i].w = fig11Once(cfg, seed, false, true, false, false)
+		case ScenarioSimultaneous:
+			outs[i].r, outs[i].w = fig11Once(cfg, seed, true, true, false, false)
+		case ScenarioRateControlled:
+			outs[i].r, outs[i].w = fig11Once(cfg, seed, true, true, true, run == cfg.Runs-1)
+		}
+	})
+
+	for sci, sc := range scenarios {
 		var rSample, wSample stats.Sample
-		for run := 0; run < cfg.Runs; run++ {
-			seed := cfg.Seed + int64(run)
-			switch sc {
-			case ScenarioIsolated:
-				r, _ := fig11Once(cfg, seed, true, false, false, false)
-				_, w := fig11Once(cfg, seed, false, true, false, false)
-				rSample.Add(r)
-				wSample.Add(w)
-			case ScenarioSimultaneous:
-				r, w := fig11Once(cfg, seed, true, true, false, false)
-				rSample.Add(r)
-				wSample.Add(w)
-			case ScenarioRateControlled:
-				r, w := fig11Once(cfg, seed, true, true, true, run == cfg.Runs-1)
-				rSample.Add(r)
-				wSample.Add(w)
-			}
+		for _, o := range outs[sci*cfg.Runs : (sci+1)*cfg.Runs] {
+			rSample.Add(o.r)
+			wSample.Add(o.w)
 		}
 		res.Reads[sc] = Fig11Cell{MBps: rSample.Mean(), CI: rSample.CI95()}
 		res.Writes[sc] = Fig11Cell{MBps: wSample.Mean(), CI: wSample.CI95()}

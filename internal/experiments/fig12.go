@@ -59,36 +59,48 @@ func RunFig12(cfg Fig12Config) *Fig12Result {
 		BudgetNsPerPkt: float64(cfg.PacketBytes*8) / float64(cfg.LineRateBps) * 1e9,
 	}
 
-	// --- API component: stage classification + metadata tagging. The
-	// classification happens once per message send call (§4.2: one
-	// extended send/ioctl per message); the per-packet cost is the
-	// metadata propagation plus the amortized per-message tag. A 64KB
-	// message spans ~44 MSS-sized packets.
-	st := apps0SearchStage()
-	const pktsPerMsg = 44
-	var i int
-	var meta packet.Metadata
-	apiSample := timePerPacket(cfg, func(pkt *packet.Packet) {
-		if i%pktsPerMsg == 0 {
-			meta, _ = st.Tag(stage.Message{FieldValues: fieldRESP, Type: 2, Size: 65536})
-		}
-		i++
-		pkt.Meta = meta
-	})
-
-	// --- enclave component: full pipeline with a no-op native action.
-	encNative := fig12Enclave()
-	encNative.AttachNative("sff", func(*packet.Packet, []int64, []int64, [][]int64) {})
-	encNative.SetMode(enclave.ModeNative)
-	encSample := timePerPacket(cfg, func(pkt *packet.Packet) {
-		encNative.Process(enclave.Egress, pkt, 0)
-	})
-
-	// --- interpreter component: interpreted minus native no-op.
-	encInterp := fig12Enclave()
-	interpTotal := timePerPacket(cfg, func(pkt *packet.Packet) {
-		encInterp.Process(enclave.Egress, pkt, 0)
-	})
+	// The three component measurements are independent (each builds its
+	// own stage or enclave), so they run as trials on the worker pool;
+	// the interpreter delta is computed after all complete. With
+	// -parallel 1 they time back to back exactly as before.
+	var apiSample, encSample, interpTotal *stats.Sample
+	jobs := []func(){
+		// --- API component: stage classification + metadata tagging. The
+		// classification happens once per message send call (§4.2: one
+		// extended send/ioctl per message); the per-packet cost is the
+		// metadata propagation plus the amortized per-message tag. A 64KB
+		// message spans ~44 MSS-sized packets.
+		func() {
+			st := apps0SearchStage()
+			const pktsPerMsg = 44
+			var i int
+			var meta packet.Metadata
+			apiSample = timePerPacket(cfg, func(pkt *packet.Packet) {
+				if i%pktsPerMsg == 0 {
+					meta, _ = st.Tag(stage.Message{FieldValues: fieldRESP, Type: 2, Size: 65536})
+				}
+				i++
+				pkt.Meta = meta
+			})
+		},
+		// --- enclave component: full pipeline with a no-op native action.
+		func() {
+			encNative := fig12Enclave()
+			encNative.AttachNative("sff", func(*packet.Packet, []int64, []int64, [][]int64) {})
+			encNative.SetMode(enclave.ModeNative)
+			encSample = timePerPacket(cfg, func(pkt *packet.Packet) {
+				encNative.Process(enclave.Egress, pkt, 0)
+			})
+		},
+		// --- interpreter component: interpreted minus native no-op.
+		func() {
+			encInterp := fig12Enclave()
+			interpTotal = timePerPacket(cfg, func(pkt *packet.Packet) {
+				encInterp.Process(enclave.Egress, pkt, 0)
+			})
+		},
+	}
+	forEachTrial(len(jobs), func(i int) { jobs[i]() })
 
 	budget := res.BudgetNsPerPkt
 	res.AvgPct["API"] = apiSample.Mean() / budget * 100

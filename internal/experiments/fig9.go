@@ -134,11 +134,30 @@ func RunFig9(cfg Fig9Config) *Fig9Result {
 		Small:  map[Scheme]map[Mode]Fig9Cell{},
 		Inter:  map[Scheme]map[Mode]Fig9Cell{},
 	}
-	for _, scheme := range []Scheme{SchemeBaseline, SchemePIAS, SchemeSFF} {
+	schemes := []Scheme{SchemeBaseline, SchemePIAS, SchemeSFF}
+	modes := []Mode{ModeNative, ModeEden}
+
+	// Every (scheme, mode, run) repetition is an independent simulation
+	// (one Sim per seed), so the whole figure is one flat trial matrix on
+	// the worker pool — fanning out only the runs of one cell would cap
+	// the speedup at cfg.Runs. Per-run samples land in fixed slots and
+	// merge in deterministic order, so the aggregate is byte-identical to
+	// a serial pass.
+	outs := make([]fig9RunOut, len(schemes)*len(modes)*cfg.Runs)
+	forEachTrial(len(outs), func(i int) {
+		run := i % cfg.Runs
+		mode := modes[(i/cfg.Runs)%len(modes)]
+		scheme := schemes[i/(cfg.Runs*len(modes))]
+		instrument := scheme == SchemeSFF && mode == ModeEden && run == cfg.Runs-1
+		outs[i].small, outs[i].inter = fig9Once(cfg, scheme, mode, cfg.Seed+int64(run), instrument)
+	})
+
+	for si, scheme := range schemes {
 		res.Small[scheme] = map[Mode]Fig9Cell{}
 		res.Inter[scheme] = map[Mode]Fig9Cell{}
-		for _, mode := range []Mode{ModeNative, ModeEden} {
-			small, inter := fig9Runs(cfg, scheme, mode)
+		for mi, mode := range modes {
+			base := (si*len(modes) + mi) * cfg.Runs
+			small, inter := fig9Merge(outs[base : base+cfg.Runs])
 			res.Small[scheme][mode] = small
 			res.Inter[scheme][mode] = inter
 		}
@@ -146,12 +165,15 @@ func RunFig9(cfg Fig9Config) *Fig9Result {
 	return res
 }
 
-func fig9Runs(cfg Fig9Config, scheme Scheme, mode Mode) (Fig9Cell, Fig9Cell) {
+// fig9RunOut holds one repetition's per-class FCT samples.
+type fig9RunOut struct{ small, inter stats.Sample }
+
+// fig9Merge aggregates one cell's per-run samples, in run order.
+func fig9Merge(outs []fig9RunOut) (Fig9Cell, Fig9Cell) {
 	var smallAvg, smallP95, interAvg, interP95 stats.Sample
 	smallN, interN := 0, 0
-	for run := 0; run < cfg.Runs; run++ {
-		instrument := scheme == SchemeSFF && mode == ModeEden && run == cfg.Runs-1
-		sm, in := fig9Once(cfg, scheme, mode, cfg.Seed+int64(run), instrument)
+	for run := range outs {
+		sm, in := &outs[run].small, &outs[run].inter
 		if sm.N() > 0 {
 			smallAvg.Add(sm.Mean())
 			smallP95.Add(sm.Percentile(95))

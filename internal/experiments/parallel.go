@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// parallelism is the number of worker goroutines experiment harnesses fan
+// independent trials across. Each trial builds its own netsim.Sim from its
+// own seed, so trials share no state; results are merged in trial order,
+// making the figures byte-identical to a serial run at the same seed.
+var parallelism atomic.Int32
+
+func init() {
+	parallelism.Store(int32(runtime.NumCPU()))
+}
+
+// SetParallelism sets the number of worker goroutines used for experiment
+// trials. n <= 0 resets to the default (the number of CPUs); n == 1 runs
+// every trial serially on the calling goroutine.
+func SetParallelism(n int) {
+	if n <= 0 {
+		n = runtime.NumCPU()
+	}
+	parallelism.Store(int32(n))
+}
+
+// Parallelism returns the current trial worker count.
+func Parallelism() int { return int(parallelism.Load()) }
+
+// forEachTrial runs fn(i) for every i in [0, n) across min(Parallelism, n)
+// workers. Trials may complete in any order — callers must write results
+// into per-trial slots and merge them in index order afterwards. A panic
+// in any trial is re-raised on the calling goroutine after all workers
+// stop, matching serial behaviour.
+func forEachTrial(n int, fn func(i int)) {
+	workers := Parallelism()
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		failed   atomic.Bool
+		panicMu  sync.Mutex
+		panicked any
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !failed.Load() {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							failed.Store(true)
+							panicMu.Lock()
+							if panicked == nil {
+								panicked = r
+							}
+							panicMu.Unlock()
+						}
+					}()
+					fn(i)
+				}()
+			}
+		}()
+	}
+	wg.Wait()
+	if panicked != nil {
+		panic(panicked)
+	}
+}

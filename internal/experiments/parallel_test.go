@@ -1,0 +1,125 @@
+package experiments
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"eden/internal/netsim"
+)
+
+// TestForEachTrialCoversAllIndices checks the worker pool visits every
+// trial exactly once, at several pool sizes.
+func TestForEachTrialCoversAllIndices(t *testing.T) {
+	defer SetParallelism(0)
+	for _, par := range []int{1, 2, 8} {
+		SetParallelism(par)
+		const n = 37
+		var hits [n]atomic.Int32
+		forEachTrial(n, func(i int) { hits[i].Add(1) })
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Errorf("parallelism %d: trial %d ran %d times, want 1", par, i, got)
+			}
+		}
+	}
+}
+
+// TestForEachTrialPanicPropagates checks a panicking trial surfaces in the
+// caller rather than crashing a worker goroutine.
+func TestForEachTrialPanicPropagates(t *testing.T) {
+	defer SetParallelism(0)
+	SetParallelism(4)
+	defer func() {
+		if r := recover(); r == nil {
+			t.Error("panic in a trial did not propagate")
+		}
+	}()
+	forEachTrial(8, func(i int) {
+		if i == 3 {
+			panic("boom")
+		}
+	})
+}
+
+// TestSetParallelism checks the bounds behaviour: non-positive resets to
+// the CPU-count default.
+func TestSetParallelism(t *testing.T) {
+	defer SetParallelism(0)
+	SetParallelism(3)
+	if got := Parallelism(); got != 3 {
+		t.Errorf("Parallelism() = %d, want 3", got)
+	}
+	SetParallelism(0)
+	if got := Parallelism(); got < 1 {
+		t.Errorf("Parallelism() after reset = %d, want >= 1", got)
+	}
+}
+
+// TestParallelDeterminism is the tentpole's correctness guarantee: at a
+// fixed seed the rendered fig9/fig10/fig11 output is byte-identical
+// whether trials run serially or on an 8-worker pool, because every trial
+// owns its simulator and results merge in trial order.
+func TestParallelDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation experiment")
+	}
+	defer SetParallelism(0)
+
+	render := func() map[string]string {
+		cfg9 := DefaultFig9Config()
+		cfg9.Runs = 2
+		cfg9.Duration = 30 * netsim.Millisecond
+		cfg10 := DefaultFig10Config()
+		cfg10.Runs = 2
+		cfg10.Duration = 40 * netsim.Millisecond
+		cfg11 := DefaultFig11Config()
+		cfg11.Runs = 2
+		cfg11.Duration = 60 * netsim.Millisecond
+		return map[string]string{
+			"fig9":  RunFig9(cfg9).String(),
+			"fig10": RunFig10(cfg10).String(),
+			"fig11": RunFig11(cfg11).String(),
+		}
+	}
+
+	SetParallelism(1)
+	serial := render()
+	SetParallelism(8)
+	parallel := render()
+
+	for name, want := range serial {
+		if got := parallel[name]; got != want {
+			t.Errorf("%s differs between -parallel 1 and -parallel 8:\nserial:\n%s\nparallel:\n%s", name, want, got)
+		}
+	}
+
+	// And a second parallel render must reproduce the first (no hidden
+	// shared state across trials).
+	again := render()
+	for name, want := range parallel {
+		if got := again[name]; got != want {
+			t.Errorf("%s not reproducible across repeated parallel renders", name)
+		}
+	}
+}
+
+// TestAblationDeterministicAcrossPool does the same for the ablations,
+// whose drivers also fan out on the pool.
+func TestAblationDeterministicAcrossPool(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation experiment")
+	}
+	defer SetParallelism(0)
+	render := func() string {
+		return fmt.Sprintf("%v\n%v",
+			RunAblationGranularity(2, 50*netsim.Millisecond),
+			RunAblationAttachPoint(50*netsim.Millisecond))
+	}
+	SetParallelism(1)
+	serial := render()
+	SetParallelism(8)
+	if got := render(); got != serial {
+		t.Errorf("ablation output differs between -parallel 1 and -parallel 8:\nserial:\n%s\nparallel:\n%s", serial, got)
+	}
+}

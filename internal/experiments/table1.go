@@ -84,11 +84,20 @@ func RunTable1() (string, error) {
 	fmt.Fprintf(&b, "Table 1: network functions, data-plane requirements, Eden support\n")
 	fmt.Fprintf(&b, "  %-20s %-38s %-6s %-6s %-8s %-8s %-6s %s\n",
 		"category", "function", "state", "comp", "app-sem", "net-sup", "Eden", "demo")
+	// Each demo builds its own enclave, so the rows are independent
+	// trials; results render in row order regardless of completion order.
+	rows := Table1()
+	demoErrs := make([]error, len(rows))
+	forEachTrial(len(rows), func(i int) {
+		if rows[i].Demo != nil {
+			demoErrs[i] = rows[i].Demo()
+		}
+	})
 	var firstErr error
-	for _, row := range Table1() {
+	for i, row := range rows {
 		demo := "n/a"
 		if row.Demo != nil {
-			if err := row.Demo(); err != nil {
+			if err := demoErrs[i]; err != nil {
 				demo = "FAIL: " + err.Error()
 				if firstErr == nil {
 					firstErr = fmt.Errorf("%s: %w", row.Function, err)

@@ -89,6 +89,7 @@ func NewLink(sim *Sim, name string, rateBps int64, delay Time, queueCap int64, t
 		sim.metrics.Add(reg)
 	}
 	sim.links = append(sim.links, l)
+	sim.linkByName[name] = l
 	return l
 }
 

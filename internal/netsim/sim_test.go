@@ -1,0 +1,174 @@
+package netsim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"eden/internal/metrics"
+	"eden/internal/packet"
+	"eden/internal/transport"
+)
+
+// TestEventQueueHeapOrdering stresses the typed 4-ary heap directly with a
+// large random schedule: events must fire in (time, then scheduling order)
+// order regardless of insertion order.
+func TestEventQueueHeapOrdering(t *testing.T) {
+	sim := New(1)
+	rng := rand.New(rand.NewSource(99))
+	const n = 5000
+	type key struct {
+		at  Time
+		seq int
+	}
+	var want []key
+	var got []key
+	for i := 0; i < n; i++ {
+		at := Time(rng.Intn(200)) * Microsecond // dense times force tiebreaks
+		k := key{at, i}
+		want = append(want, k)
+		sim.At(at, func() { got = append(got, k) })
+	}
+	sort.SliceStable(want, func(i, j int) bool {
+		if want[i].at != want[j].at {
+			return want[i].at < want[j].at
+		}
+		return want[i].seq < want[j].seq
+	})
+	sim.RunAll()
+	if len(got) != n {
+		t.Fatalf("fired %d events, want %d", len(got), n)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("event %d fired out of order: got %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestEventQueueInterleavedPushPop interleaves scheduling with execution
+// (events scheduling more events), the pattern the simulator actually
+// runs, and checks monotonic time plus exact counts.
+func TestEventQueueInterleavedPushPop(t *testing.T) {
+	sim := New(1)
+	rng := rand.New(rand.NewSource(7))
+	fired := 0
+	last := Time(-1)
+	var spawn func()
+	spawn = func() {
+		fired++
+		if sim.Now() < last {
+			t.Fatalf("time went backwards: %d after %d", sim.Now(), last)
+		}
+		last = sim.Now()
+		if fired < 3000 {
+			sim.After(Time(rng.Intn(50))*Microsecond, spawn)
+		}
+	}
+	for i := 0; i < 8; i++ {
+		sim.At(Time(i), spawn)
+	}
+	sim.RunAll()
+	if fired < 3000 {
+		t.Fatalf("fired %d events, want >= 3000", fired)
+	}
+}
+
+// TestEventLoopZeroAllocs asserts the tentpole property: once the queue's
+// backing array is warm, scheduling and running an event performs no heap
+// allocations beyond the closure the caller provides (here a single shared
+// closure, so the loop itself must be allocation-free).
+func TestEventLoopZeroAllocs(t *testing.T) {
+	sim := New(1)
+	var tick func()
+	tick = func() {}
+	// Warm the queue's backing array.
+	for i := 0; i < 64; i++ {
+		sim.After(Microsecond, tick)
+	}
+	sim.RunAll()
+	allocs := testing.AllocsPerRun(1000, func() {
+		for i := 0; i < 64; i++ {
+			sim.After(Time(i)*Microsecond, tick)
+		}
+		sim.RunAll()
+	})
+	if allocs != 0 {
+		t.Errorf("event loop allocates %.1f times per 64 events, want 0", allocs)
+	}
+}
+
+// TestPastTimeClampCounted checks that At with a target before now clamps
+// to now, fires in FIFO position, and is counted — both on the Sim and in
+// the instrumented metrics registry.
+func TestPastTimeClampCounted(t *testing.T) {
+	sim := New(1)
+	set := metrics.NewSet()
+	sim.Instrument(set, nil)
+
+	var order []string
+	sim.At(10*Microsecond, func() {
+		// Target time 3us is already past: must run at now, not before
+		// already-queued same-time events scheduled earlier.
+		sim.At(3*Microsecond, func() {
+			order = append(order, "clamped")
+			if sim.Now() != 10*Microsecond {
+				t.Errorf("clamped event ran at %d, want %d", sim.Now(), 10*Microsecond)
+			}
+		})
+	})
+	sim.At(10*Microsecond, func() { order = append(order, "second") })
+	sim.RunAll()
+
+	if want := []string{"second", "clamped"}; len(order) != 2 || order[0] != want[0] || order[1] != want[1] {
+		t.Errorf("order = %v, want %v", order, want)
+	}
+	if got := sim.PastTimeClamps(); got != 1 {
+		t.Errorf("PastTimeClamps = %d, want 1", got)
+	}
+
+	found := false
+	for _, reg := range set.Snapshot() {
+		if reg.Name == "sim" {
+			found = true
+			if v := reg.Counters["past_time_clamps"]; v != 1 {
+				t.Errorf("sim/past_time_clamps = %d, want 1", v)
+			}
+		}
+	}
+	if !found {
+		t.Error("no \"sim\" registry in the metrics snapshot")
+	}
+}
+
+// TestPastTimeClampUninstrumented makes sure the clamp counter is safe
+// without metrics attached (the nil-counter path).
+func TestPastTimeClampUninstrumented(t *testing.T) {
+	sim := New(1)
+	sim.At(Microsecond, func() { sim.At(0, func() {}) })
+	sim.RunAll()
+	if got := sim.PastTimeClamps(); got != 1 {
+		t.Errorf("PastTimeClamps = %d, want 1", got)
+	}
+}
+
+// TestLinkByName checks the name index: hit, miss, and most-recent-wins
+// on duplicate names.
+func TestLinkByName(t *testing.T) {
+	sim := New(1)
+	h1 := NewHost(sim, "h1", packet.MustParseIP("10.0.0.1"), transport.Options{})
+	a := NewLink(sim, "a->b", Gbps, Microsecond, 1<<20, h1)
+	if got := sim.LinkByName("a->b"); got != a {
+		t.Errorf("LinkByName(a->b) = %v, want the created link", got)
+	}
+	if got := sim.LinkByName("nope"); got != nil {
+		t.Errorf("LinkByName(nope) = %v, want nil", got)
+	}
+	b := NewLink(sim, "a->b", Gbps, Microsecond, 1<<20, h1)
+	if got := sim.LinkByName("a->b"); got != b {
+		t.Errorf("LinkByName on duplicate name = %v, want most recent", got)
+	}
+	if len(sim.Links()) != 2 {
+		t.Errorf("Links() has %d entries, want 2", len(sim.Links()))
+	}
+}

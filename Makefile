@@ -10,16 +10,20 @@ test:
 
 # verify is the extended check: tier-1 build+test plus gofmt, vet, a race
 # pass over the concurrent packages — the data path (enclave, transport),
-# the control plane (controller, ctlproto), and the trial-parallel
-# experiment harness — and a single-iteration bench smoke so benchmark
-# code cannot rot.
+# the control plane (controller, ctlproto), the trial-parallel experiment
+# harness, and the observability layer (telemetry, metrics, trace) whose
+# snapshot/span paths are read concurrently by the ops endpoint — a
+# single-iteration bench smoke so benchmark code cannot rot, and a flight-
+# recorder smoke: one recorded fig9 iteration that fails if the series is
+# empty, non-monotonic, or disagrees with the terminal counter snapshot.
 verify: build
 	@fmt_out=$$(gofmt -l .); if [ -n "$$fmt_out" ]; then \
 		echo "gofmt needed on:"; echo "$$fmt_out"; exit 1; fi
 	$(GO) vet ./...
 	$(GO) test ./...
-	$(GO) test -race ./internal/enclave/ ./internal/transport/ ./internal/controller/ ./internal/ctlproto/ ./internal/experiments/ ./internal/netsim/
+	$(GO) test -race ./internal/enclave/ ./internal/transport/ ./internal/controller/ ./internal/ctlproto/ ./internal/experiments/ ./internal/netsim/ ./internal/telemetry/ ./internal/metrics/ ./internal/trace/
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
+	$(GO) run ./cmd/edenbench -exp fig9 -runs 1 -ms 30 -parallel 1 -record 5ms -record-check > /dev/null
 
 bench:
 	$(GO) test -bench=. -benchtime=1x ./...

@@ -17,11 +17,24 @@
 // defaults). -parallel N fans independent trials across N worker
 // goroutines (default: the number of CPUs; results are byte-identical to
 // -parallel 1 at the same seed because each trial owns its simulator and
-// results merge in trial order). -metrics dumps a JSON metrics snapshot
-// of the instrumented repetition after each simulated experiment; -trace
-// N prints the life of N sampled packets. Both apply to fig9, fig10 and
-// fig11 (fig12, table1 and the ablations do not run the simulated data
-// path end to end).
+// results merge in trial order).
+//
+// Observability flags (apply to fig9, fig10 and fig11; fig12, table1 and
+// the ablations do not run the simulated data path end to end):
+//
+//	-metrics            dump a JSON metrics snapshot of the instrumented
+//	                    repetition after each simulated experiment
+//	-trace SPEC         print the life of sampled packets; SPEC is "N" or
+//	                    "first:N", "every:K", or "flow:N"
+//	-record INTERVAL    flight-record the instrumented repetition: sample
+//	                    every metric against sim-time at this (simulated)
+//	                    interval and emit the per-interval series
+//	-record-format F    flight series format: csv (default) or json
+//	-record-check       verify the recorded series is non-empty and
+//	                    monotonic and that its summed counter deltas match
+//	                    the terminal snapshot; exit nonzero otherwise
+//	-ops-addr ADDR      serve /metrics, /metricz and pprof over HTTP while
+//	                    experiments run (for watching a long sweep live)
 package main
 
 import (
@@ -34,6 +47,7 @@ import (
 	"eden/internal/experiments"
 	"eden/internal/metrics"
 	"eden/internal/netsim"
+	"eden/internal/telemetry"
 	"eden/internal/trace"
 )
 
@@ -42,22 +56,31 @@ import (
 type instruments struct {
 	set    *metrics.Set
 	tracer *trace.Tracer
+	flight *telemetry.FlightRecorder
 }
 
-func newInstruments(wantMetrics bool, tracePackets int) instruments {
-	var ins instruments
-	if wantMetrics {
-		ins.set = metrics.NewSet()
+// newInstruments builds one experiment's sinks. set may be nil (metrics
+// off); a non-nil set is Reset first so a set shared across experiments
+// (the ops endpoint's) only ever shows the current one.
+func newInstruments(set *metrics.Set, traceSpec string, record time.Duration) (instruments, error) {
+	set.Reset()
+	ins := instruments{set: set}
+	tracer, err := trace.NewTracerSpec(4096, traceSpec)
+	if err != nil {
+		return ins, err
 	}
-	if tracePackets > 0 {
-		ins.tracer = trace.NewTracer(4096, tracePackets)
+	ins.tracer = tracer
+	if set != nil && record > 0 {
+		ins.flight = telemetry.NewFlightRecorder(set, record.Nanoseconds())
 	}
-	return ins
+	return ins, nil
 }
 
-// report dumps whatever the instruments collected after a run.
-func (ins instruments) report(name string) {
-	if ins.set != nil {
+// report dumps whatever the instruments collected after a run. With
+// check set it validates the flight series against the terminal metrics
+// snapshot and returns an error on any mismatch.
+func (ins instruments) report(name string, dumpMetrics bool, recordFormat string, check bool) error {
+	if ins.set != nil && dumpMetrics {
 		out, err := ins.set.JSON()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "edenbench: %s: metrics: %v\n", name, err)
@@ -68,20 +91,70 @@ func (ins instruments) report(name string) {
 	if ins.tracer != nil {
 		fmt.Print(ins.tracer.String())
 	}
+	if ins.flight == nil {
+		return nil
+	}
+	switch recordFormat {
+	case "json":
+		out, err := ins.flight.JSON()
+		if err != nil {
+			return fmt.Errorf("%s: flight series: %v", name, err)
+		}
+		fmt.Printf("%s\n", out)
+	default:
+		fmt.Printf("%s flight series (interval %dns):\n", name, ins.flight.Interval())
+		if err := ins.flight.WriteCSV(os.Stdout); err != nil {
+			return fmt.Errorf("%s: flight series: %v", name, err)
+		}
+	}
+	if check {
+		if err := ins.flight.Check(); err != nil {
+			return fmt.Errorf("%s: flight check: %v", name, err)
+		}
+		if err := checkFlightSums(ins.flight, ins.set); err != nil {
+			return fmt.Errorf("%s: flight check: %v", name, err)
+		}
+		fmt.Printf("%s flight check: ok (%d intervals)\n", name, len(ins.flight.Samples()))
+	}
+	return nil
+}
+
+// checkFlightSums verifies that every counter's summed interval deltas
+// equal its value in the terminal snapshot — the flight recorder lost no
+// increments and invented none.
+func checkFlightSums(f *telemetry.FlightRecorder, set *metrics.Set) error {
+	sums := f.SumCounters()
+	for _, reg := range set.Snapshot() {
+		for name, v := range reg.Counters {
+			key := reg.Name + "/" + name
+			if got := sums[key]; got != v {
+				return fmt.Errorf("counter %s: summed deltas %d != terminal %d", key, got, v)
+			}
+		}
+	}
+	return nil
 }
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: fig9, fig10, fig11, fig12, table1, all")
-		runs    = flag.Int("runs", 0, "override number of runs (0 = default)")
-		ms      = flag.Int("ms", 0, "override simulated milliseconds per run (0 = default)")
-		dumpMet = flag.Bool("metrics", false, "dump a JSON metrics snapshot per simulated experiment")
-		traceN  = flag.Int("trace", 0, "trace the life of N sampled packets per simulated experiment")
-		faults  = flag.String("faults", "", `inject link faults into the simulated experiments, e.g. "flap=5ms:500us,loss=0.001" (see netsim.ParseFaultPlan); per-link flap/loss counters appear in the -metrics snapshot`)
-		par     = flag.Int("parallel", runtime.NumCPU(), "worker goroutines for experiment trials (1 = serial; results are identical either way)")
+		exp       = flag.String("exp", "all", "experiment: fig9, fig10, fig11, fig12, table1, all")
+		runs      = flag.Int("runs", 0, "override number of runs (0 = default)")
+		ms        = flag.Int("ms", 0, "override simulated milliseconds per run (0 = default)")
+		dumpMet   = flag.Bool("metrics", false, "dump a JSON metrics snapshot per simulated experiment")
+		traceSpec = flag.String("trace", "", `trace sampled packets per simulated experiment: "N"/"first:N", "every:K", or "flow:N"`)
+		record    = flag.Duration("record", 0, "flight-record the instrumented repetition at this simulated interval (e.g. 5ms; 0 = off)")
+		recordFmt = flag.String("record-format", "csv", "flight series output format: csv or json")
+		recordChk = flag.Bool("record-check", false, "validate the flight series (non-empty, monotonic, counter deltas sum to the terminal snapshot)")
+		opsAddr   = flag.String("ops-addr", "", "serve a live ops endpoint (/metrics, /metricz, pprof) on this address while experiments run")
+		faults    = flag.String("faults", "", `inject link faults into the simulated experiments, e.g. "flap=5ms:500us,loss=0.001" (see netsim.ParseFaultPlan); per-link flap/loss counters appear in the -metrics snapshot`)
+		par       = flag.Int("parallel", runtime.NumCPU(), "worker goroutines for experiment trials (1 = serial; results are identical either way)")
 	)
 	flag.Parse()
 	experiments.SetParallelism(*par)
+	if *recordFmt != "csv" && *recordFmt != "json" {
+		fmt.Fprintf(os.Stderr, "edenbench: -record-format: want csv or json, got %q\n", *recordFmt)
+		os.Exit(2)
+	}
 
 	var faultPlan *netsim.FaultPlan
 	if *faults != "" {
@@ -90,6 +163,43 @@ func main() {
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "edenbench: -faults: %v\n", err)
 			os.Exit(2)
+		}
+	}
+
+	// One metrics set is shared across the simulated experiments (Reset
+	// between them) so the ops endpoint, when enabled, always serves the
+	// experiment currently running.
+	var set *metrics.Set
+	if *dumpMet || *record > 0 || *opsAddr != "" {
+		set = metrics.NewSet()
+	}
+	if *opsAddr != "" {
+		logger, err := telemetry.NewLogger(os.Stderr, "info")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "edenbench: %v\n", err)
+			os.Exit(2)
+		}
+		srv, err := telemetry.StartOps(*opsAddr, telemetry.OpsConfig{Metrics: set, Logger: logger})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "edenbench: -ops-addr: %v\n", err)
+			os.Exit(2)
+		}
+		defer srv.Close()
+		fmt.Printf("edenbench: ops endpoint on http://%s\n", srv.Addr())
+	}
+
+	mkInstruments := func() instruments {
+		ins, err := newInstruments(set, *traceSpec, *record)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "edenbench: -trace: %v\n", err)
+			os.Exit(2)
+		}
+		return ins
+	}
+	report := func(name string, ins instruments) {
+		if err := ins.report(name, *dumpMet, *recordFmt, *recordChk); err != nil {
+			fmt.Fprintf(os.Stderr, "edenbench: %v\n", err)
+			os.Exit(1)
 		}
 	}
 
@@ -105,26 +215,26 @@ func main() {
 	run("fig9", func() {
 		cfg := experiments.DefaultFig9Config()
 		applyScale(&cfg.Runs, &cfg.Duration, *runs, *ms)
-		ins := newInstruments(*dumpMet, *traceN)
-		cfg.Metrics, cfg.Tracer, cfg.Faults = ins.set, ins.tracer, faultPlan
+		ins := mkInstruments()
+		cfg.Metrics, cfg.Tracer, cfg.Flight, cfg.Faults = ins.set, ins.tracer, ins.flight, faultPlan
 		fmt.Println(experiments.RunFig9(cfg))
-		ins.report("fig9")
+		report("fig9", ins)
 	})
 	run("fig10", func() {
 		cfg := experiments.DefaultFig10Config()
 		applyScale(&cfg.Runs, &cfg.Duration, *runs, *ms)
-		ins := newInstruments(*dumpMet, *traceN)
-		cfg.Metrics, cfg.Tracer, cfg.Faults = ins.set, ins.tracer, faultPlan
+		ins := mkInstruments()
+		cfg.Metrics, cfg.Tracer, cfg.Flight, cfg.Faults = ins.set, ins.tracer, ins.flight, faultPlan
 		fmt.Println(experiments.RunFig10(cfg))
-		ins.report("fig10")
+		report("fig10", ins)
 	})
 	run("fig11", func() {
 		cfg := experiments.DefaultFig11Config()
 		applyScale(&cfg.Runs, &cfg.Duration, *runs, *ms)
-		ins := newInstruments(*dumpMet, *traceN)
-		cfg.Metrics, cfg.Tracer, cfg.Faults = ins.set, ins.tracer, faultPlan
+		ins := mkInstruments()
+		cfg.Metrics, cfg.Tracer, cfg.Flight, cfg.Faults = ins.set, ins.tracer, ins.flight, faultPlan
 		fmt.Println(experiments.RunFig11(cfg))
-		ins.report("fig11")
+		report("fig11", ins)
 	})
 	run("fig12", func() {
 		fmt.Println(experiments.RunFig12(experiments.DefaultFig12Config()))

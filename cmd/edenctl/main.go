@@ -24,22 +24,49 @@ import (
 	"os"
 
 	"eden/internal/controller"
+	"eden/internal/metrics"
+	"eden/internal/telemetry"
 )
 
 func main() {
 	var (
-		listen = flag.String("listen", "127.0.0.1:6633", "address to listen for agents")
-		policy = flag.String("policy", "", "policy script file ('-' or empty: stdin)")
-		stay   = flag.Bool("stay", false, "keep serving agents after the script finishes")
+		listen   = flag.String("listen", "127.0.0.1:6633", "address to listen for agents")
+		policy   = flag.String("policy", "", "policy script file ('-' or empty: stdin)")
+		stay     = flag.Bool("stay", false, "keep serving agents after the script finishes")
+		opsAddr  = flag.String("ops-addr", "", "serve a live ops endpoint (/metrics, /agentz, /spanz, pprof) on this address")
+		logLevel = flag.String("log-level", "info", "structured log level: debug, info, warn, error")
+		spans    = flag.Bool("spans", false, "dump the collected control-plane spans after the script finishes")
 	)
 	flag.Parse()
+
+	logger, err := telemetry.NewLogger(os.Stderr, *logLevel)
+	if err != nil {
+		fatalf("%v", err)
+	}
 
 	ctl, err := controller.Listen(*listen)
 	if err != nil {
 		fatalf("%v", err)
 	}
 	defer ctl.Close()
+	ctl.SetLogger(logger.With("component", "controller"))
 	fmt.Printf("edenctl: listening on %s\n", ctl.Addr())
+
+	if *opsAddr != "" {
+		set := metrics.NewSet()
+		set.Add(ctl.Metrics())
+		srv, err := telemetry.StartOps(*opsAddr, telemetry.OpsConfig{
+			Metrics: set,
+			Spans:   ctl.Spans(),
+			Agents:  func() any { return ctl.AgentStatuses() },
+			Logger:  logger,
+		})
+		if err != nil {
+			fatalf("-ops-addr: %v", err)
+		}
+		defer srv.Close()
+		fmt.Printf("edenctl: ops endpoint on http://%s\n", srv.Addr())
+	}
 
 	var script []byte
 	if *policy == "" || *policy == "-" {
@@ -55,6 +82,10 @@ func main() {
 		fatalf("policy failed: %v", err)
 	}
 	fmt.Println("edenctl: policy applied")
+
+	if *spans {
+		fmt.Print(telemetry.FormatSpans(ctl.SpanDump(0)))
+	}
 
 	if *stay {
 		select {}

@@ -8,9 +8,15 @@
 // statistics every few seconds — a quick way to watch a controller-pushed
 // function operate.
 //
+// With -ops-addr, the daemon serves a live ops endpoint: Prometheus
+// metrics (including the enclave's counters and interpreter-latency
+// histogram with quantiles) at /metrics, a JSON snapshot at /metricz,
+// span dumps at /spanz, and pprof under /debug/pprof/.
+//
 // Usage:
 //
 //	edend -controller 127.0.0.1:6633 -name host1-os -platform os [-selftest]
+//	edend -ops-addr 127.0.0.1:9090 -log-level debug
 package main
 
 import (
@@ -22,7 +28,9 @@ import (
 
 	"eden/internal/controller"
 	"eden/internal/enclave"
+	"eden/internal/metrics"
 	"eden/internal/packet"
+	"eden/internal/telemetry"
 )
 
 func main() {
@@ -35,16 +43,45 @@ func main() {
 		rate      = flag.Int("rate", 10000, "selftest packets per second")
 		reconnect = flag.Bool("reconnect", true, "reconnect with backoff when the control connection drops")
 		heartbeat = flag.Duration("heartbeat", time.Second, "liveness ping interval while connected")
+		opsAddr   = flag.String("ops-addr", "", "serve a live ops endpoint (/metrics, /metricz, /spanz, pprof) on this address")
+		logLevel  = flag.String("log-level", "info", "structured log level: debug, info, warn, error")
 	)
 	flag.Parse()
 
+	logger, err := telemetry.NewLogger(os.Stderr, *logLevel)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "edend: %v\n", err)
+		os.Exit(2)
+	}
+	logger = logger.With("component", "edend")
+
 	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
+	wall := func() int64 { return time.Now().UnixNano() }
 	enc := enclave.New(enclave.Config{
 		Name:     *name,
 		Platform: *platform,
-		Clock:    func() int64 { return time.Now().UnixNano() },
+		Clock:    wall,
 		Rand:     rng.Uint64,
+		// WallClock enables the interpreter-latency histogram, so the ops
+		// endpoint's /metrics has a histogram (with quantiles) to export.
+		WallClock: wall,
 	})
+
+	if *opsAddr != "" {
+		set := metrics.NewSet()
+		set.Add(enc.Metrics())
+		srv, err := telemetry.StartOps(*opsAddr, telemetry.OpsConfig{
+			Metrics: set,
+			Spans:   enc.Spans(),
+			Logger:  logger,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "edend: -ops-addr: %v\n", err)
+			os.Exit(2)
+		}
+		defer srv.Close()
+		logger.Info("ops endpoint listening", "addr", srv.Addr())
+	}
 
 	if *selftest {
 		go driveTraffic(enc, *rate, rng)
@@ -54,16 +91,11 @@ func main() {
 	if *reconnect {
 		// The enclave keeps processing on its last-installed policy across
 		// controller outages; the agent re-registers (with its pipeline
-		// generation) whenever the controller comes back.
+		// generation) whenever the controller comes back. Connection
+		// lifecycle is reported on the structured log.
 		agent := controller.ServeEnclavePersistent(*ctlAddr, *host, enc, controller.ReconnectConfig{
 			Heartbeat: *heartbeat,
-			OnConnect: func(attempt int) {
-				fmt.Printf("edend: enclave %q (%s) registered with controller %s (attempt %d)\n",
-					*name, *platform, *ctlAddr, attempt)
-			},
-			OnDisconnect: func(err error) {
-				fmt.Fprintf(os.Stderr, "edend: control connection lost: %v (retrying)\n", err)
-			},
+			Logger:    logger.With("enclave", *name, "platform", *platform),
 		})
 		defer agent.Close()
 		select {} // serve until killed

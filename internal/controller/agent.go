@@ -10,6 +10,7 @@ import (
 	"eden/internal/ctlproto"
 	"eden/internal/enclave"
 	"eden/internal/stage"
+	"eden/internal/telemetry"
 )
 
 // Agent is a data-plane element's connection to the controller. Close it
@@ -25,15 +26,21 @@ func (a *Agent) Close() error { return a.peer.Close() }
 // Wait blocks until the control connection ends.
 func (a *Agent) Wait() error { return <-a.done }
 
-func dialAndServe(addr string, hello ctlproto.Hello, handler ctlproto.Handler) (*Agent, error) {
+func dialAndServe(addr string, hello ctlproto.Hello, handler ctlproto.Handler, rec *telemetry.Recorder, component string) (*Agent, error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
 	peer := ctlproto.NewPeer(conn, handler)
+	peer.Instrument(rec, component)
 	a := &Agent{peer: peer, done: make(chan error, 1)}
 	go func() { a.done <- peer.Serve() }()
-	if err := peer.Call(ctlproto.OpHello, hello, nil); err != nil {
+	// The hello gets its own fresh trace, so a registration (and any
+	// resync it triggers on the controller) is a traceable chain.
+	peer.SetTrace(rec.NewTraceID())
+	err = peer.Call(ctlproto.OpHello, hello, nil)
+	peer.SetTrace(0)
+	if err != nil {
 		peer.Close()
 		return nil, fmt.Errorf("controller: hello failed: %w", err)
 	}
@@ -48,7 +55,7 @@ func ServeEnclave(addr, host string, e *enclave.Enclave) (*Agent, error) {
 	return dialAndServe(addr, ctlproto.Hello{
 		Kind: "enclave", Name: e.Name(), Host: host, Platform: e.Platform(),
 		Generation: e.Generation(),
-	}, enclaveHandler(e))
+	}, enclaveHandler(e), e.Spans(), "agent."+e.Name())
 }
 
 func enclaveHandler(e *enclave.Enclave) ctlproto.Handler {
@@ -65,7 +72,7 @@ func enclaveHandler(e *enclave.Enclave) ctlproto.Handler {
 		defer txMu.Unlock()
 		return tx
 	}
-	return func(op string, params json.RawMessage) (any, error) {
+	return func(op string, params json.RawMessage, trace uint64) (any, error) {
 		switch op {
 		case ctlproto.OpEnclaveTxBegin:
 			txMu.Lock()
@@ -74,6 +81,7 @@ func enclaveHandler(e *enclave.Enclave) ctlproto.Handler {
 				return nil, fmt.Errorf("controller: enclave agent: transaction already open")
 			}
 			tx = e.Begin()
+			tx.SetTrace(trace)
 			return nil, nil
 
 		case ctlproto.OpEnclaveTxCommit:
@@ -83,6 +91,11 @@ func enclaveHandler(e *enclave.Enclave) ctlproto.Handler {
 			txMu.Unlock()
 			if cur == nil {
 				return nil, fmt.Errorf("controller: enclave agent: no open transaction")
+			}
+			// The commit's spans join the committing RPC's trace, not the
+			// one tx_begin arrived under, in case the controller re-stamped.
+			if trace != 0 {
+				cur.SetTrace(trace)
 			}
 			gen, err := cur.Commit()
 			if err != nil {
@@ -215,6 +228,15 @@ func enclaveHandler(e *enclave.Enclave) ctlproto.Handler {
 		case ctlproto.OpEnclaveStats:
 			return e.Stats(), nil
 
+		case ctlproto.OpTelemetrySpans:
+			var p ctlproto.SpanParams
+			if len(params) > 0 {
+				if err := json.Unmarshal(params, &p); err != nil {
+					return nil, err
+				}
+			}
+			return e.Spans().SpansFor(p.Trace), nil
+
 		case ctlproto.OpEnclaveAddQueue:
 			var p ctlproto.QueueParams
 			if err := json.Unmarshal(params, &p); err != nil {
@@ -253,11 +275,11 @@ func enclaveHandler(e *enclave.Enclave) ctlproto.Handler {
 func ServeStage(addr, host string, s *stage.Stage) (*Agent, error) {
 	return dialAndServe(addr, ctlproto.Hello{
 		Kind: "stage", Name: s.Name(), Host: host,
-	}, stageHandler(s))
+	}, stageHandler(s), telemetry.NewRecorder(0), "stage."+s.Name())
 }
 
 func stageHandler(s *stage.Stage) ctlproto.Handler {
-	return func(op string, params json.RawMessage) (any, error) {
+	return func(op string, params json.RawMessage, trace uint64) (any, error) {
 		switch op {
 		case ctlproto.OpStageInfo:
 			info := s.Info()

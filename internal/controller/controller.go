@@ -12,13 +12,17 @@ package controller
 import (
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"net"
+	"strconv"
 	"sync"
 	"time"
 
 	"eden/internal/compiler"
 	"eden/internal/ctlproto"
 	"eden/internal/enclave"
+	"eden/internal/metrics"
+	"eden/internal/telemetry"
 )
 
 // Controller is the central control-plane server. Agents (enclaves and
@@ -40,6 +44,20 @@ type Controller struct {
 	// degradedAfter and idleTimeout tune liveness; see SetLiveness.
 	degradedAfter time.Duration
 	idleTimeout   time.Duration
+
+	// spans records the controller side of every control operation
+	// (serve.hello, rpc.enclave.*, resyncs); always on, bounded ring.
+	spans *telemetry.Recorder
+	// logger receives structured control-plane events (registrations,
+	// disconnects, resync outcomes). Defaults to discard; see SetLogger.
+	logger *slog.Logger
+
+	// reg is the controller's own metrics registry ("controller").
+	reg             *metrics.Registry
+	mHellos         *metrics.Counter
+	mResyncs        *metrics.Counter
+	mResyncErrors   *metrics.Counter
+	mAgentsConnects *metrics.Gauge
 
 	wg sync.WaitGroup
 }
@@ -65,6 +83,7 @@ func ListenWithPolicies(addr string, store *PolicyStore) (*Controller, error) {
 	if err != nil {
 		return nil, err
 	}
+	reg := metrics.NewRegistry("controller")
 	c := &Controller{
 		ln:            ln,
 		enclaves:      map[string]*RemoteEnclave{},
@@ -74,11 +93,44 @@ func ListenWithPolicies(addr string, store *PolicyStore) (*Controller, error) {
 		arrived:       make(chan struct{}, 64),
 		policies:      store,
 		degradedAfter: DefaultDegradedAfter,
+		spans:         telemetry.NewRecorder(0),
+		logger:        telemetry.DiscardLogger(),
+
+		reg:             reg,
+		mHellos:         reg.Counter("hellos"),
+		mResyncs:        reg.Counter("resyncs"),
+		mResyncErrors:   reg.Counter("resync_errors"),
+		mAgentsConnects: reg.Gauge("agents_connected"),
 	}
 	c.wg.Add(1)
 	go c.acceptLoop()
 	return c, nil
 }
+
+// SetLogger directs the controller's structured log (agent registrations,
+// disconnects, resync outcomes) to l; nil restores the discard default.
+func (c *Controller) SetLogger(l *slog.Logger) {
+	if l == nil {
+		l = telemetry.DiscardLogger()
+	}
+	c.mu.Lock()
+	c.logger = l
+	c.mu.Unlock()
+}
+
+func (c *Controller) log() *slog.Logger {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.logger
+}
+
+// Spans returns the controller's span recorder. Merge agent-side spans
+// with SpanDump.
+func (c *Controller) Spans() *telemetry.Recorder { return c.spans }
+
+// Metrics returns the controller's own registry (hellos, resyncs,
+// agents_connected), for inclusion in an ops endpoint's metric set.
+func (c *Controller) Metrics() *metrics.Registry { return c.reg }
 
 // Policies returns the controller's policy store (shareable across
 // controller restarts via ListenWithPolicies).
@@ -144,7 +196,7 @@ func (c *Controller) handleConn(conn net.Conn) {
 		registered bool
 	)
 	var peer *ctlproto.Peer
-	peer = ctlproto.NewPeer(conn, func(op string, params json.RawMessage) (any, error) {
+	peer = ctlproto.NewPeer(conn, func(op string, params json.RawMessage, trace uint64) (any, error) {
 		if op != ctlproto.OpHello {
 			return nil, fmt.Errorf("controller: unexpected op %q before hello", op)
 		}
@@ -169,6 +221,7 @@ func (c *Controller) handleConn(conn net.Conn) {
 		registered = true
 		return nil, nil
 	})
+	peer.Instrument(c.spans, "controller")
 	c.mu.Lock()
 	if c.closing {
 		c.mu.Unlock()
@@ -234,7 +287,13 @@ func (c *Controller) register(h ctlproto.Hello, peer *ctlproto.Peer) error {
 		}
 	}
 	re := c.enclaves[h.Name]
+	c.mHellos.Inc()
+	c.mAgentsConnects.Set(c.connectedLocked())
+	logger := c.logger
 	c.mu.Unlock()
+	logger.Info("agent registered",
+		"component", "controller", "kind", h.Kind, "agent", h.Name,
+		"host", h.Host, "generation", h.Generation, "resync", needResync)
 	if old != nil {
 		old.Close()
 	}
@@ -252,20 +311,33 @@ func (c *Controller) register(h ctlproto.Hello, peer *ctlproto.Peer) error {
 	return nil
 }
 
+// connectedLocked counts agents with a live connection; c.mu must be held.
+func (c *Controller) connectedLocked() int64 {
+	var n int64
+	for _, st := range c.status {
+		if st.peer != nil {
+			n++
+		}
+	}
+	return n
+}
+
 // unregister removes an agent's registration, but only where it still
 // points at the dying peer: an entry superseded by a newer connection
 // must survive the old connection's teardown.
 func (c *Controller) unregister(peer *ctlproto.Peer) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
+	var gone []string
 	for n, e := range c.enclaves {
 		if e.peer == peer {
 			delete(c.enclaves, n)
+			gone = append(gone, "enclave/"+n)
 		}
 	}
 	for n, s := range c.stages {
 		if s.peer == peer {
 			delete(c.stages, n)
+			gone = append(gone, "stage/"+n)
 		}
 	}
 	for _, st := range c.status {
@@ -273,6 +345,12 @@ func (c *Controller) unregister(peer *ctlproto.Peer) {
 			st.peer = nil
 			st.lastSeen = peer.LastActivity()
 		}
+	}
+	c.mAgentsConnects.Set(c.connectedLocked())
+	logger := c.logger
+	c.mu.Unlock()
+	for _, name := range gone {
+		logger.Info("agent disconnected", "component", "controller", "agent", name)
 	}
 }
 
@@ -283,10 +361,20 @@ func (c *Controller) unregister(peer *ctlproto.Peer) {
 // store's intended generation moves to the enclave's new generation.
 func (c *Controller) resync(re *RemoteEnclave, st *agentState, pol AgentPolicy) {
 	const opTimeout = 10 * time.Second
+	trace := c.spans.NewTraceID()
+	re.peer.SetTrace(trace)
+	defer re.peer.SetTrace(0)
+	span := c.spans.Start(trace, "controller", "controller.resync")
+	span.SetAttr("agent", re.Name)
+	span.SetAttr("intended_generation", strconv.FormatUint(pol.Generation, 10))
 	fail := func(err error) {
 		c.mu.Lock()
 		st.resyncErr = err.Error()
 		c.mu.Unlock()
+		c.mResyncErrors.Inc()
+		span.End(err)
+		c.log().Warn("policy resync failed",
+			"component", "controller", "agent", re.Name, "err", err)
 	}
 	if err := re.peer.CallTimeout(ctlproto.OpEnclaveTxBegin, nil, nil, opTimeout); err != nil {
 		fail(err)
@@ -316,6 +404,11 @@ func (c *Controller) resync(re *RemoteEnclave, st *agentState, pol AgentPolicy) 
 	st.resyncs++
 	st.resyncErr = ""
 	c.mu.Unlock()
+	c.mResyncs.Inc()
+	span.SetAttr("generation", strconv.FormatUint(res.Generation, 10))
+	span.End(nil)
+	c.log().Info("policy resync complete",
+		"component", "controller", "agent", re.Name, "generation", res.Generation)
 }
 
 // Enclave returns the registered enclave with the given name.
@@ -389,6 +482,10 @@ const (
 	Degraded
 	Connected
 )
+
+// MarshalJSON renders the liveness as its name, so JSON liveness dumps
+// (the ops endpoint's /agentz) read "connected" rather than an enum int.
+func (l Liveness) MarshalJSON() ([]byte, error) { return json.Marshal(l.String()) }
 
 // String names the liveness state.
 func (l Liveness) String() string {
@@ -687,6 +784,47 @@ func (e *RemoteEnclave) Generation() (uint64, error) {
 	var out ctlproto.TxResult
 	err := e.peer.Call(ctlproto.OpEnclaveGeneration, nil, &out)
 	return out.Generation, err
+}
+
+// SetTrace stamps subsequent calls to this enclave with a telemetry trace
+// id (0 clears it); TraceID reads the current one. The id travels in
+// every request frame, so agent- and enclave-side spans join the chain.
+func (e *RemoteEnclave) SetTrace(id uint64) { e.peer.SetTrace(id) }
+
+// TraceID returns the trace id currently stamped onto calls.
+func (e *RemoteEnclave) TraceID() uint64 { return e.peer.Trace() }
+
+// FetchSpans retrieves the agent's recorded control-plane spans (all of
+// them when trace is 0).
+func (e *RemoteEnclave) FetchSpans(trace uint64) ([]telemetry.Span, error) {
+	var out []telemetry.Span
+	err := e.peer.Call(ctlproto.OpTelemetrySpans, ctlproto.SpanParams{Trace: trace}, &out)
+	return out, err
+}
+
+// SpanDump merges the controller's own spans with those fetched from
+// every connected enclave agent, filtered to one trace (0 = all) and
+// sorted for chain reconstruction. Agents that fail to answer are
+// skipped — a dump must not fail because one agent is wedged.
+func (c *Controller) SpanDump(trace uint64) []telemetry.Span {
+	spans := c.spans.SpansFor(trace)
+	c.mu.Lock()
+	enclaves := make([]*RemoteEnclave, 0, len(c.enclaves))
+	for _, e := range c.enclaves {
+		enclaves = append(enclaves, e)
+	}
+	c.mu.Unlock()
+	for _, e := range enclaves {
+		remote, err := e.FetchSpans(trace)
+		if err != nil {
+			c.log().Warn("span fetch failed",
+				"component", "controller", "agent", e.Name, "err", err)
+			continue
+		}
+		spans = append(spans, remote...)
+	}
+	telemetry.SortSpans(spans)
+	return spans
 }
 
 // RemoteStage is the controller's proxy for one registered stage,

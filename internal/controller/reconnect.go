@@ -2,6 +2,7 @@ package controller
 
 import (
 	"fmt"
+	"log/slog"
 	"math/rand"
 	"net"
 	"sync"
@@ -11,6 +12,7 @@ import (
 	"eden/internal/ctlproto"
 	"eden/internal/enclave"
 	"eden/internal/stage"
+	"eden/internal/telemetry"
 )
 
 // ReconnectConfig tunes a PersistentAgent's failure handling. The zero
@@ -36,6 +38,9 @@ type ReconnectConfig struct {
 	// OnConnect/OnDisconnect observe connection lifecycle (may be nil).
 	OnConnect    func(attempt int)
 	OnDisconnect func(err error)
+	// Logger receives structured connection-lifecycle events (registered,
+	// session ended, dial failures after backoff resets). Nil discards.
+	Logger *slog.Logger
 }
 
 func (c ReconnectConfig) withDefaults() ReconnectConfig {
@@ -54,6 +59,9 @@ func (c ReconnectConfig) withDefaults() ReconnectConfig {
 	if c.CallTimeout <= 0 {
 		c.CallTimeout = 5 * time.Second
 	}
+	if c.Logger == nil {
+		c.Logger = telemetry.DiscardLogger()
+	}
 	return c
 }
 
@@ -67,10 +75,12 @@ func (c ReconnectConfig) withDefaults() ReconnectConfig {
 // contract (§3.2): the data plane never depends on the controller being
 // reachable.
 type PersistentAgent struct {
-	addr    string
-	hello   func() ctlproto.Hello
-	handler ctlproto.Handler
-	cfg     ReconnectConfig
+	addr      string
+	hello     func() ctlproto.Hello
+	handler   ctlproto.Handler
+	cfg       ReconnectConfig
+	rec       *telemetry.Recorder
+	component string
 
 	mu     sync.Mutex
 	peer   *ctlproto.Peer // nil while disconnected
@@ -95,24 +105,26 @@ func ServeEnclavePersistent(addr, host string, e *enclave.Enclave, cfg Reconnect
 			Kind: "enclave", Name: e.Name(), Host: host,
 			Platform: e.Platform(), Generation: e.Generation(),
 		}
-	}, enclaveHandler(e), cfg)
+	}, enclaveHandler(e), cfg, e.Spans(), "agent."+e.Name())
 }
 
 // ServeStagePersistent is ServeEnclavePersistent for stages.
 func ServeStagePersistent(addr, host string, s *stage.Stage, cfg ReconnectConfig) *PersistentAgent {
 	return newPersistentAgent(addr, func() ctlproto.Hello {
 		return ctlproto.Hello{Kind: "stage", Name: s.Name(), Host: host}
-	}, stageHandler(s), cfg)
+	}, stageHandler(s), cfg, telemetry.NewRecorder(0), "stage."+s.Name())
 }
 
-func newPersistentAgent(addr string, hello func() ctlproto.Hello, handler ctlproto.Handler, cfg ReconnectConfig) *PersistentAgent {
+func newPersistentAgent(addr string, hello func() ctlproto.Hello, handler ctlproto.Handler, cfg ReconnectConfig, rec *telemetry.Recorder, component string) *PersistentAgent {
 	a := &PersistentAgent{
-		addr:    addr,
-		hello:   hello,
-		handler: handler,
-		cfg:     cfg.withDefaults(),
-		stop:    make(chan struct{}),
-		rng:     rand.New(rand.NewSource(time.Now().UnixNano())),
+		addr:      addr,
+		hello:     hello,
+		handler:   handler,
+		cfg:       cfg.withDefaults(),
+		rec:       rec,
+		component: component,
+		stop:      make(chan struct{}),
+		rng:       rand.New(rand.NewSource(time.Now().UnixNano())),
 	}
 	a.wg.Add(1)
 	go a.run()
@@ -175,6 +187,13 @@ func (a *PersistentAgent) run() {
 	backoff := a.cfg.BackoffMin
 	for attempt := 1; ; attempt++ {
 		err := a.session(attempt)
+		if err != nil {
+			a.cfg.Logger.Warn("session failed",
+				"component", a.component, "addr", a.addr, "attempt", attempt, "err", err)
+		} else {
+			a.cfg.Logger.Debug("session ended",
+				"component", a.component, "addr", a.addr, "attempt", attempt)
+		}
 		if a.cfg.OnDisconnect != nil && err != nil {
 			a.cfg.OnDisconnect(err)
 		}
@@ -204,6 +223,7 @@ func (a *PersistentAgent) session(attempt int) error {
 		return err
 	}
 	peer := ctlproto.NewPeer(conn, a.handler)
+	peer.Instrument(a.rec, a.component)
 	peer.SetCallTimeout(a.cfg.CallTimeout)
 	if a.cfg.IdleTimeout > 0 {
 		peer.SetReadIdleTimeout(a.cfg.IdleTimeout)
@@ -229,11 +249,21 @@ func (a *PersistentAgent) session(attempt int) error {
 	serveDone := make(chan error, 1)
 	go func() { serveDone <- peer.Serve() }()
 
-	if err := peer.CallTimeout(ctlproto.OpHello, a.hello(), nil, a.cfg.CallTimeout); err != nil {
+	// The hello rides a fresh trace, so each (re-)registration — and the
+	// resync the controller may run in response — is a traceable chain.
+	peer.SetTrace(a.rec.NewTraceID())
+	err = peer.CallTimeout(ctlproto.OpHello, a.hello(), nil, a.cfg.CallTimeout)
+	peer.SetTrace(0)
+	if err != nil {
+		a.cfg.Logger.Warn("hello failed",
+			"component", a.component, "addr", a.addr, "attempt", attempt, "err", err)
 		return fmt.Errorf("controller: hello failed: %w", err)
 	}
 	a.connects.Add(1)
 	a.connected.Store(true)
+	a.cfg.Logger.Info("registered with controller",
+		"component", a.component, "addr", a.addr, "attempt", attempt,
+		"generation", a.hello().Generation)
 	if a.cfg.OnConnect != nil {
 		a.cfg.OnConnect(attempt)
 	}

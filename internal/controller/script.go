@@ -12,6 +12,7 @@ import (
 	"eden/internal/compiler"
 	"eden/internal/enclave"
 	"eden/internal/funcs"
+	"eden/internal/telemetry"
 )
 
 // RunScript executes a controller policy script against live agents: one
@@ -48,6 +49,8 @@ import (
 //	enclave E tx-commit                 publish staged changes atomically
 //	enclave E tx-abort                  discard staged changes
 //	enclave E generation                print the published pipeline generation
+//	spans [TRACE]                       dump control-plane span chains (controller
+//	                                    + agents), optionally one trace (0x... id)
 //
 // Between tx-begin and tx-commit, structural commands (create-table,
 // delete-table, add-rule, remove-rule, install, install-builtin,
@@ -138,6 +141,21 @@ func (c *Controller) runCommand(line string, out io.Writer) error {
 		fmt.Fprintln(out, strings.Join(names, " "))
 		return nil
 
+	case "spans":
+		if len(fields) > 2 {
+			return fmt.Errorf("spans [TRACE]")
+		}
+		var trace uint64
+		if len(fields) == 2 {
+			t, err := strconv.ParseUint(fields[1], 0, 64)
+			if err != nil {
+				return fmt.Errorf("bad trace id %q: %w", fields[1], err)
+			}
+			trace = t
+		}
+		fmt.Fprint(out, telemetry.FormatSpans(c.SpanDump(trace)))
+		return nil
+
 	case "stage":
 		return c.stageCommand(fields, line, out)
 
@@ -224,6 +242,26 @@ func (c *Controller) enclaveCommand(fields []string, out io.Writer) error {
 		return fmt.Errorf("no enclave %q registered", fields[1])
 	}
 	verb, args := fields[2], fields[3:]
+	// Every enclave verb records a script.<verb> span. tx-begin mints the
+	// trace and stamps it onto the enclave's peer, so the whole transaction
+	// — every staged verb, the RPCs, the agent-side commit and pipeline
+	// publish — lands on one chain; tx-commit/tx-abort clear it.
+	trace := enc.TraceID()
+	if verb == "tx-begin" && trace == 0 {
+		trace = c.spans.NewTraceID()
+		enc.SetTrace(trace)
+	}
+	span := c.spans.Start(trace, "controller", "script."+verb)
+	span.SetAttr("enclave", enc.Name)
+	err := c.enclaveVerb(enc, verb, args, out)
+	span.End(err)
+	if verb == "tx-commit" || verb == "tx-abort" {
+		enc.SetTrace(0)
+	}
+	return err
+}
+
+func (c *Controller) enclaveVerb(enc *RemoteEnclave, verb string, args []string, out io.Writer) error {
 	switch verb {
 	case "install-builtin":
 		if len(args) != 1 {

@@ -1,0 +1,162 @@
+package controller
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"eden/internal/telemetry"
+)
+
+// findSpan returns the first span with the given name, or nil.
+func findSpan(spans []telemetry.Span, name string) *telemetry.Span {
+	for i := range spans {
+		if spans[i].Name == name {
+			return &spans[i]
+		}
+	}
+	return nil
+}
+
+// TestSpanChainPolicyPush pushes a transactional policy through a live
+// controller+agent pair and asserts the span chain reconstructs the whole
+// operation end to end: the script verb that opened the transaction, the
+// staged verbs, and the agent-side commit and generation publish, all on
+// one trace id and in start-time order.
+func TestSpanChainPolicyPush(t *testing.T) {
+	ctl, _, _ := testSetup(t)
+	script := `
+enclave host1-os tx-begin
+enclave host1-os install-builtin pias
+enclave host1-os create-table egress sched
+enclave host1-os add-rule egress sched * pias
+enclave host1-os tx-commit
+`
+	var out strings.Builder
+	if err := ctl.RunScript(script, &out); err != nil {
+		t.Fatalf("script: %v\n%s", err, out.String())
+	}
+
+	// The agent's hello rides its own trace and is visible in the full dump.
+	all := ctl.SpanDump(0)
+	if findSpan(all, "serve.hello") == nil {
+		t.Errorf("no serve.hello span in full dump:\n%s", telemetry.FormatSpans(all))
+	}
+
+	// The transaction's trace id is on the script.tx-begin span.
+	begin := findSpan(ctl.Spans().Spans(), "script.tx-begin")
+	if begin == nil {
+		t.Fatalf("no script.tx-begin span:\n%s", telemetry.FormatSpans(ctl.Spans().Spans()))
+	}
+	if begin.Trace == 0 {
+		t.Fatal("script.tx-begin has no trace id")
+	}
+
+	chain := ctl.SpanDump(begin.Trace)
+	dump := telemetry.FormatSpans(chain)
+	// Every layer contributed to the one trace: the script verbs, the
+	// controller RPCs, the agent's dispatch, and the enclave transaction.
+	for _, want := range []string{
+		"script.tx-begin", "script.install-builtin", "script.add-rule", "script.tx-commit",
+		"rpc.enclave.tx_commit", "serve.enclave.tx_commit",
+		"enclave.tx_commit", "enclave.publish",
+	} {
+		if findSpan(chain, want) == nil {
+			t.Errorf("chain missing span %q:\n%s", want, dump)
+		}
+	}
+	for _, s := range chain {
+		if s.Trace != begin.Trace {
+			t.Errorf("span %s carries trace %#x, want %#x", s.Name, s.Trace, begin.Trace)
+		}
+		if s.Err != "" {
+			t.Errorf("span %s errored: %s", s.Name, s.Err)
+		}
+		if s.End < s.Start {
+			t.Errorf("span %s ends before it starts", s.Name)
+		}
+	}
+
+	// SpanDump sorts by start time: the verb that opened the transaction
+	// comes first, commit and publish last, in causal order.
+	idx := func(name string) int {
+		for i, s := range chain {
+			if s.Name == name {
+				return i
+			}
+		}
+		return -1
+	}
+	order := []string{"script.tx-begin", "script.tx-commit", "enclave.tx_commit", "enclave.publish"}
+	for i := 1; i < len(order); i++ {
+		if idx(order[i-1]) >= idx(order[i]) {
+			t.Errorf("span %q not before %q:\n%s", order[i-1], order[i], dump)
+		}
+	}
+	if s := findSpan(chain, "enclave.publish"); s != nil && s.Attrs["generation"] == "" {
+		t.Errorf("publish span missing generation attr: %+v", s)
+	}
+
+	// The spans script verb retrieves the same chain by id.
+	out.Reset()
+	if err := ctl.RunScript("spans "+formatTraceArg(begin.Trace), &out); err != nil {
+		t.Fatalf("spans verb: %v", err)
+	}
+	if !strings.Contains(out.String(), "enclave.publish") {
+		t.Errorf("spans verb output missing chain:\n%s", out.String())
+	}
+}
+
+// TestSpanChainAbortedTx: an aborted transaction records an errored span.
+func TestSpanChainAbortedTx(t *testing.T) {
+	ctl, _, _ := testSetup(t)
+	script := `
+enclave host1-os tx-begin
+enclave host1-os create-table egress sched
+enclave host1-os tx-abort
+`
+	if err := ctl.RunScript(script, &strings.Builder{}); err != nil {
+		t.Fatal(err)
+	}
+	begin := findSpan(ctl.Spans().Spans(), "script.tx-begin")
+	if begin == nil || begin.Trace == 0 {
+		t.Fatal("no traced script.tx-begin span")
+	}
+	chain := ctl.SpanDump(begin.Trace)
+	abort := findSpan(chain, "enclave.tx_abort")
+	if abort == nil {
+		t.Fatalf("no enclave.tx_abort span:\n%s", telemetry.FormatSpans(chain))
+	}
+	if !strings.Contains(abort.Err, "abort") {
+		t.Errorf("abort span Err = %q, want the abort error", abort.Err)
+	}
+}
+
+// TestSpanTraceClearedAfterCommit: verbs after the transaction do not
+// inherit its trace id.
+func TestSpanTraceClearedAfterCommit(t *testing.T) {
+	ctl, _, _ := testSetup(t)
+	script := `
+enclave host1-os tx-begin
+enclave host1-os create-table egress t
+enclave host1-os tx-commit
+enclave host1-os stats
+`
+	if err := ctl.RunScript(script, &strings.Builder{}); err != nil {
+		t.Fatal(err)
+	}
+	spans := ctl.Spans().Spans()
+	begin := findSpan(spans, "script.tx-begin")
+	stats := findSpan(spans, "script.stats")
+	if begin == nil || stats == nil {
+		t.Fatalf("missing spans:\n%s", telemetry.FormatSpans(spans))
+	}
+	if stats.Trace == begin.Trace {
+		t.Errorf("post-commit verb still carries the transaction trace %#x", stats.Trace)
+	}
+}
+
+// formatTraceArg renders a trace id the way the spans verb parses it.
+func formatTraceArg(trace uint64) string {
+	return "0x" + strconv.FormatUint(trace, 16)
+}

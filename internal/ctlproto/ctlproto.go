@@ -19,6 +19,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"eden/internal/telemetry"
 )
 
 // Op names.
@@ -58,13 +60,21 @@ const (
 	OpEnclaveTxCommit   = "enclave.tx_commit"
 	OpEnclaveTxAbort    = "enclave.tx_abort"
 	OpEnclaveGeneration = "enclave.generation"
+
+	// OpTelemetrySpans asks an agent for its recorded control-plane spans
+	// (optionally filtered to one trace), so the controller can merge the
+	// agent side of a policy's span chain into its own dump.
+	OpTelemetrySpans = "telemetry.spans"
 )
 
-// Message is one protocol frame.
+// Message is one protocol frame. Trace propagates a telemetry trace id
+// with each request, so the spans a policy generates on the controller and
+// on the agent share one id and can be merged into a single chain.
 type Message struct {
 	ID     int64           `json:"id"`
 	Op     string          `json:"op,omitempty"`
 	Params json.RawMessage `json:"params,omitempty"`
+	Trace  uint64          `json:"trace,omitempty"`
 
 	Reply  bool            `json:"reply,omitempty"`
 	OK     bool            `json:"ok,omitempty"`
@@ -155,9 +165,17 @@ type TxResult struct {
 	Generation uint64 `json:"generation"`
 }
 
+// SpanParams selects which spans OpTelemetrySpans returns; Trace 0 means
+// all buffered spans.
+type SpanParams struct {
+	Trace uint64 `json:"trace,omitempty"`
+}
+
 // Handler processes one inbound request and returns a result value (to be
-// JSON-encoded) or an error.
-type Handler func(op string, params json.RawMessage) (any, error)
+// JSON-encoded) or an error. trace is the request's telemetry trace id
+// (0 when the caller did not set one); handlers pass it down so work done
+// on behalf of the request records spans under the caller's trace.
+type Handler func(op string, params json.RawMessage, trace uint64) (any, error)
 
 // ErrClosed is returned by calls on a closed peer.
 var ErrClosed = errors.New("ctlproto: connection closed")
@@ -188,6 +206,13 @@ type Peer struct {
 	idleTimeout time.Duration
 	// lastRead is the wall-clock time (UnixNano) of the last frame read.
 	lastRead atomic.Int64
+
+	// rec receives rpc/serve spans when the peer is instrumented;
+	// component names this end in those spans. curTrace is the trace id
+	// stamped onto outbound requests.
+	rec       *telemetry.Recorder
+	component string
+	curTrace  atomic.Uint64
 }
 
 // NewPeer wraps a connection. handler serves inbound requests; it may be
@@ -203,6 +228,23 @@ func NewPeer(conn net.Conn, handler Handler) *Peer {
 	p.lastRead.Store(time.Now().UnixNano())
 	return p
 }
+
+// Instrument attaches a span recorder: outbound calls record "rpc.<op>"
+// spans and inbound requests record "serve.<op>" spans under component.
+// Ping traffic is not recorded (heartbeats would flood the ring). Call
+// before Serve and before issuing calls.
+func (p *Peer) Instrument(rec *telemetry.Recorder, component string) {
+	p.rec = rec
+	p.component = component
+}
+
+// SetTrace sets the trace id stamped onto subsequent outbound requests
+// (0 clears it). The id rides the wire in Message.Trace, so spans recorded
+// by the remote end correlate with the local chain.
+func (p *Peer) SetTrace(id uint64) { p.curTrace.Store(id) }
+
+// Trace returns the trace id currently stamped onto outbound requests.
+func (p *Peer) Trace() uint64 { return p.curTrace.Load() }
 
 // SetCallTimeout sets the default deadline applied by Call (0 disables).
 // CallTimeout overrides it per call.
@@ -269,10 +311,13 @@ func (p *Peer) serveRequest(m Message) {
 		_ = p.send(resp)
 		return
 	}
+	span := p.rec.Start(m.Trace, p.component, "serve."+m.Op)
 	if p.handler == nil {
 		resp.Error = "no handler"
+		span.End(errors.New(resp.Error))
 	} else {
-		result, err := p.handler(m.Op, m.Params)
+		result, err := p.handler(m.Op, m.Params, m.Trace)
+		span.End(err)
 		if err != nil {
 			resp.Error = err.Error()
 		} else {
@@ -330,6 +375,17 @@ func (p *Peer) CallTimeout(op string, params, result any, d time.Duration) error
 		}
 		raw = b
 	}
+	var span *telemetry.SpanHandle
+	trace := p.curTrace.Load()
+	if op != OpPing {
+		span = p.rec.Start(trace, p.component, "rpc."+op)
+	}
+	err := p.doCall(id, op, raw, trace, result, d)
+	span.End(err)
+	return err
+}
+
+func (p *Peer) doCall(id int64, op string, raw json.RawMessage, trace uint64, result any, d time.Duration) error {
 	ch := make(chan Message, 1)
 	p.mu.Lock()
 	p.pending[id] = ch
@@ -339,7 +395,7 @@ func (p *Peer) CallTimeout(op string, params, result any, d time.Duration) error
 		delete(p.pending, id)
 		p.mu.Unlock()
 	}
-	if err := p.send(Message{ID: id, Op: op, Params: raw}); err != nil {
+	if err := p.send(Message{ID: id, Op: op, Params: raw, Trace: trace}); err != nil {
 		unregister()
 		return err
 	}

@@ -44,7 +44,7 @@ func pair(t *testing.T, ha, hb Handler) (*Peer, *Peer) {
 	return pa, pb
 }
 
-func echoHandler(op string, params json.RawMessage) (any, error) {
+func echoHandler(op string, params json.RawMessage, trace uint64) (any, error) {
 	switch op {
 	case "echo":
 		var v map[string]any
@@ -159,7 +159,7 @@ func TestCallAfterClose(t *testing.T) {
 
 func TestPeerCloseFailsPendingCalls(t *testing.T) {
 	block := make(chan struct{})
-	pa, _ := pair(t, nil, func(op string, params json.RawMessage) (any, error) {
+	pa, _ := pair(t, nil, func(op string, params json.RawMessage, trace uint64) (any, error) {
 		<-block
 		return nil, nil
 	})

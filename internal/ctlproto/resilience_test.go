@@ -194,7 +194,7 @@ func TestCallCloseRaceNoPendingLeak(t *testing.T) {
 
 func TestHelloGenerationRoundTrips(t *testing.T) {
 	got := make(chan Hello, 1)
-	pa, _ := pair(t, nil, func(op string, params json.RawMessage) (any, error) {
+	pa, _ := pair(t, nil, func(op string, params json.RawMessage, trace uint64) (any, error) {
 		var h Hello
 		if err := json.Unmarshal(params, &h); err != nil {
 			return nil, err

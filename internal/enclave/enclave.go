@@ -31,6 +31,7 @@ import (
 	"eden/internal/metrics"
 	"eden/internal/packet"
 	"eden/internal/qos"
+	"eden/internal/telemetry"
 	"eden/internal/trace"
 )
 
@@ -167,6 +168,11 @@ type Enclave struct {
 	stats    counters
 	interpNs *metrics.Histogram // nil unless Config.WallClock is set
 	vmPool   sync.Pool
+
+	// spans records control-plane spans (tx commit/abort, publishes).
+	// Always on: control operations are rare, and the ring is bounded.
+	spans     *telemetry.Recorder
+	component string
 }
 
 // New creates an enclave.
@@ -201,6 +207,8 @@ func New(cfg Config) *Enclave {
 	if cfg.WallClock != nil {
 		e.interpNs = reg.Histogram("interp_ns", metrics.LatencyBucketsNs)
 	}
+	e.spans = telemetry.NewRecorder(0)
+	e.component = regName
 	e.pipe.Store(emptyPipeline())
 	e.flowIDs.init()
 	e.vmPool.New = func() any { return e.newVM() }
@@ -243,6 +251,12 @@ func (e *Enclave) Stats() Stats {
 
 // Metrics returns the enclave's metrics registry.
 func (e *Enclave) Metrics() *metrics.Registry { return e.reg }
+
+// Spans returns the enclave's control-plane span recorder. Transaction
+// commits, aborts and pipeline publishes record here; agents expose it
+// over ctlproto so the controller can merge the enclave side of a
+// policy's span chain.
+func (e *Enclave) Spans() *telemetry.Recorder { return e.spans }
 
 // Rule is one match-action entry: a class pattern and the name of the
 // installed function to run. Patterns match fully qualified class names

@@ -2,6 +2,7 @@ package enclave
 
 import (
 	"fmt"
+	"strconv"
 	"sync"
 
 	"eden/internal/compiler"
@@ -23,10 +24,11 @@ import (
 // Abort the transaction is finished: further staging is ignored and
 // Commit returns an error.
 type Tx struct {
-	e    *Enclave
-	mu   sync.Mutex
-	ops  []txOp
-	done bool
+	e     *Enclave
+	mu    sync.Mutex
+	ops   []txOp
+	done  bool
+	trace uint64
 }
 
 type txOp struct {
@@ -38,6 +40,15 @@ type txOp struct {
 // may be open at once; each commits independently (last writer wins at
 // the granularity of whole commits, never partially).
 func (e *Enclave) Begin() *Tx { return &Tx{e: e} }
+
+// SetTrace tags the transaction with a telemetry trace id: the spans its
+// Commit/Abort record join the caller's chain (typically the controller
+// RPC that drove the transaction).
+func (tx *Tx) SetTrace(id uint64) {
+	tx.mu.Lock()
+	tx.trace = id
+	tx.mu.Unlock()
+}
 
 func (tx *Tx) stage(desc string, apply func(*build) error) {
 	tx.mu.Lock()
@@ -107,6 +118,18 @@ func (tx *Tx) Commit() (uint64, error) {
 	}
 	tx.done = true
 	e := tx.e
+	span := e.spans.Start(tx.trace, e.component, "enclave.tx_commit")
+	span.SetAttr("ops", strconv.Itoa(len(tx.ops)))
+	gen, err := tx.commitLocked()
+	if err == nil {
+		span.SetAttr("generation", strconv.FormatUint(gen, 10))
+	}
+	span.End(err)
+	return gen, err
+}
+
+func (tx *Tx) commitLocked() (uint64, error) {
+	e := tx.e
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	b := e.beginBuild()
@@ -115,13 +138,28 @@ func (tx *Tx) Commit() (uint64, error) {
 			return 0, fmt.Errorf("enclave: tx %s: %w", op.desc, err)
 		}
 	}
-	return e.publishLocked(b), nil
+	gen := e.publishLocked(b)
+	pub := e.spans.Start(tx.trace, e.component, "enclave.publish")
+	pub.SetAttr("generation", strconv.FormatUint(gen, 10))
+	pub.End(nil)
+	return gen, nil
 }
+
+// ErrTxAborted is the outcome recorded on the span of an aborted
+// transaction: the staged policy was deliberately discarded, so its chain
+// must not read as a success.
+var ErrTxAborted = fmt.Errorf("enclave: transaction aborted")
 
 // Abort discards the transaction without publishing anything.
 func (tx *Tx) Abort() {
 	tx.mu.Lock()
 	defer tx.mu.Unlock()
+	if tx.done {
+		return
+	}
 	tx.done = true
+	span := tx.e.spans.Start(tx.trace, tx.e.component, "enclave.tx_abort")
+	span.SetAttr("ops", strconv.Itoa(len(tx.ops)))
+	span.End(ErrTxAborted)
 	tx.ops = nil
 }

@@ -10,6 +10,7 @@ import (
 	"eden/internal/netsim"
 	"eden/internal/packet"
 	"eden/internal/stats"
+	"eden/internal/telemetry"
 	"eden/internal/trace"
 	"eden/internal/transport"
 )
@@ -45,6 +46,9 @@ type Fig10Config struct {
 	// WCMP/interpreted cell.
 	Metrics *metrics.Set
 	Tracer  *trace.Tracer
+	// Flight, when set alongside Metrics, samples the instrumented run's
+	// registries against sim-time (see Fig9Config.Flight).
+	Flight *telemetry.FlightRecorder
 	// Faults, when set, injects link flaps and loss into every run.
 	Faults *netsim.FaultPlan
 }
@@ -112,6 +116,12 @@ func fig10Once(cfg Fig10Config, scheme LBScheme, mode Mode, seed int64, instrume
 	sim := netsim.New(seed)
 	if instrument {
 		sim.Instrument(cfg.Metrics, cfg.Tracer)
+		if cfg.Flight != nil {
+			sim.SampleEvery(netsim.Time(cfg.Flight.Interval()), func(now netsim.Time) {
+				cfg.Flight.Tick(int64(now))
+			})
+			defer func() { cfg.Flight.Finish(int64(sim.Now())) }()
+		}
 	}
 	const qcap = 256 * 1024
 

@@ -10,6 +10,7 @@ import (
 	"eden/internal/netsim"
 	"eden/internal/packet"
 	"eden/internal/stats"
+	"eden/internal/telemetry"
 	"eden/internal/trace"
 	"eden/internal/transport"
 	"eden/internal/workload"
@@ -56,6 +57,9 @@ type Fig11Config struct {
 	// same-named registries into the set).
 	Metrics *metrics.Set
 	Tracer  *trace.Tracer
+	// Flight, when set alongside Metrics, samples the instrumented run's
+	// registries against sim-time (see Fig9Config.Flight).
+	Flight *telemetry.FlightRecorder
 	// Faults, when set, injects link flaps and loss into every run.
 	Faults *netsim.FaultPlan
 }
@@ -134,6 +138,12 @@ func fig11Once(cfg Fig11Config, seed int64, reads, writes, rateControl, instrume
 	sim := netsim.New(seed)
 	if instrument {
 		sim.Instrument(cfg.Metrics, cfg.Tracer)
+		if cfg.Flight != nil {
+			sim.SampleEvery(netsim.Time(cfg.Flight.Interval()), func(now netsim.Time) {
+				cfg.Flight.Tick(int64(now))
+			})
+			defer func() { cfg.Flight.Finish(int64(sim.Now())) }()
+		}
 	}
 	const qcap = 256 * 1024
 

@@ -18,6 +18,7 @@ import (
 	"eden/internal/netsim"
 	"eden/internal/packet"
 	"eden/internal/stats"
+	"eden/internal/telemetry"
 	"eden/internal/trace"
 	"eden/internal/transport"
 	"eden/internal/workload"
@@ -83,6 +84,10 @@ type Fig9Config struct {
 	// SFF/interpreted cell.
 	Metrics *metrics.Set
 	Tracer  *trace.Tracer
+	// Flight, when set alongside Metrics, samples the instrumented run's
+	// registries at the recorder's interval against sim-time, producing a
+	// per-interval time series next to the terminal snapshot.
+	Flight *telemetry.FlightRecorder
 	// Faults, when set, injects link flaps and loss into every run, so the
 	// figure can be regenerated under failure.
 	Faults *netsim.FaultPlan
@@ -200,6 +205,12 @@ func fig9Once(cfg Fig9Config, scheme Scheme, mode Mode, seed int64, instrument b
 	sim := netsim.New(seed)
 	if instrument {
 		sim.Instrument(cfg.Metrics, cfg.Tracer)
+		if cfg.Flight != nil {
+			sim.SampleEvery(netsim.Time(cfg.Flight.Interval()), func(now netsim.Time) {
+				cfg.Flight.Tick(int64(now))
+			})
+			defer func() { cfg.Flight.Finish(int64(sim.Now())) }()
+		}
 	}
 	const rate = 10 * netsim.Gbps
 	const qcap = 192 * 1024 // per-priority-queue buffer at switch ports

@@ -6,6 +6,7 @@ import (
 
 	"eden/internal/metrics"
 	"eden/internal/netsim"
+	"eden/internal/telemetry"
 	"eden/internal/trace"
 )
 
@@ -53,5 +54,39 @@ func TestFig11MetricsSnapshot(t *testing.T) {
 	}
 	if len(cfg.Tracer.Packets()) == 0 {
 		t.Error("tracer sampled no packets")
+	}
+}
+
+// TestFig11FlightRecorder flight-records the instrumented Figure 11
+// repetition and checks the invariant -record-check enforces: the series
+// is non-empty and monotonic, and every counter's summed interval deltas
+// equal its value in the terminal snapshot.
+func TestFig11FlightRecorder(t *testing.T) {
+	cfg := DefaultFig11Config()
+	cfg.Runs = 1
+	cfg.Duration = 100 * netsim.Millisecond
+	cfg.Metrics = metrics.NewSet()
+	cfg.Flight = telemetry.NewFlightRecorder(cfg.Metrics, int64(10*netsim.Millisecond))
+	RunFig11(cfg)
+
+	if err := cfg.Flight.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(cfg.Flight.Samples()); got < 5 {
+		t.Fatalf("flight samples = %d, want several over a 100ms run", got)
+	}
+	sums := cfg.Flight.SumCounters()
+	var checked int
+	for _, reg := range cfg.Metrics.Snapshot() {
+		for name, v := range reg.Counters {
+			key := reg.Name + "/" + name
+			if sums[key] != v {
+				t.Errorf("counter %s: summed deltas %d != terminal %d", key, sums[key], v)
+			}
+			checked++
+		}
+	}
+	if checked == 0 {
+		t.Fatal("terminal snapshot had no counters to check")
 	}
 }

@@ -120,7 +120,9 @@ func (h *Histogram) Count() int64 { return h.count.Load() }
 // Sum returns the sum of all observations.
 func (h *Histogram) Sum() int64 { return h.sum.Load() }
 
-// Snapshot returns a copy of the histogram's state.
+// Snapshot returns a copy of the histogram's state, including p50/p90/p99
+// estimates so latency histograms are readable in dumps without bucket
+// arithmetic.
 func (h *Histogram) Snapshot() HistogramSnapshot {
 	s := HistogramSnapshot{
 		Bounds: append([]int64(nil), h.bounds...),
@@ -131,16 +133,73 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 	for i := range h.counts {
 		s.Counts[i] = h.counts[i].Load()
 	}
+	s.fillQuantiles()
 	return s
 }
 
 // HistogramSnapshot is the JSON-friendly frozen form of a Histogram. The
 // last count is the overflow bucket (observations above every bound).
+// P50/P90/P99 are interpolated quantile estimates (see Quantile).
 type HistogramSnapshot struct {
 	Bounds []int64 `json:"bounds"`
 	Counts []int64 `json:"counts"`
 	Count  int64   `json:"count"`
 	Sum    int64   `json:"sum"`
+
+	P50 float64 `json:"p50"`
+	P90 float64 `json:"p90"`
+	P99 float64 `json:"p99"`
+}
+
+// Quantile estimates the q-quantile (0 < q <= 1) by locating the bucket
+// containing the target rank and interpolating linearly inside it, the
+// same estimator Prometheus applies to histogram buckets. Observations in
+// the overflow bucket are reported as the highest finite bound (there is
+// no upper edge to interpolate toward); an empty histogram reports 0.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count <= 0 || len(s.Counts) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	var cum int64
+	for i, c := range s.Counts {
+		if c <= 0 {
+			continue
+		}
+		if float64(cum+c) < rank {
+			cum += c
+			continue
+		}
+		if i >= len(s.Bounds) {
+			// Overflow bucket: clamp to the largest finite bound.
+			if len(s.Bounds) == 0 {
+				return 0
+			}
+			return float64(s.Bounds[len(s.Bounds)-1])
+		}
+		lo := float64(0)
+		if i > 0 {
+			lo = float64(s.Bounds[i-1])
+		}
+		hi := float64(s.Bounds[i])
+		return lo + (hi-lo)*(rank-float64(cum))/float64(c)
+	}
+	if len(s.Bounds) == 0 {
+		return 0
+	}
+	return float64(s.Bounds[len(s.Bounds)-1])
+}
+
+func (s *HistogramSnapshot) fillQuantiles() {
+	s.P50 = s.Quantile(0.50)
+	s.P90 = s.Quantile(0.90)
+	s.P99 = s.Quantile(0.99)
 }
 
 // Registry is a named group of metrics. Counters, gauges and histograms
@@ -240,20 +299,29 @@ type RegistrySnapshot struct {
 
 // Diff returns this snapshot minus an earlier one: counters and histogram
 // counts are subtracted, gauges keep their current value. Metrics absent
-// from prev pass through unchanged.
+// from prev — including metrics registered only after the baseline was
+// taken — pass through at their full value rather than vanishing, so a
+// late-created queue or registry still shows up in interval series. The
+// result shares no maps with either input.
 func (s RegistrySnapshot) Diff(prev RegistrySnapshot) RegistrySnapshot {
-	out := RegistrySnapshot{Name: s.Name, Gauges: s.Gauges}
+	out := RegistrySnapshot{Name: s.Name}
 	if len(s.Counters) > 0 {
 		out.Counters = make(map[string]int64, len(s.Counters))
 		for n, v := range s.Counters {
 			out.Counters[n] = v - prev.Counters[n]
 		}
 	}
+	if len(s.Gauges) > 0 {
+		out.Gauges = make(map[string]int64, len(s.Gauges))
+		for n, v := range s.Gauges {
+			out.Gauges[n] = v
+		}
+	}
 	if len(s.Histograms) > 0 {
 		out.Histograms = make(map[string]HistogramSnapshot, len(s.Histograms))
 		for n, h := range s.Histograms {
 			p, ok := prev.Histograms[n]
-			if !ok || len(p.Counts) != len(h.Counts) {
+			if !ok || len(p.Counts) != len(h.Counts) || !boundsEqual(p.Bounds, h.Bounds) {
 				out.Histograms[n] = h
 				continue
 			}
@@ -266,10 +334,23 @@ func (s RegistrySnapshot) Diff(prev RegistrySnapshot) RegistrySnapshot {
 			for i := range h.Counts {
 				d.Counts[i] = h.Counts[i] - p.Counts[i]
 			}
+			d.fillQuantiles()
 			out.Histograms[n] = d
 		}
 	}
 	return out
+}
+
+func boundsEqual(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // Set is a collection of snapshot sources — live registries plus
@@ -295,6 +376,18 @@ func (s *Set) AddSource(fn func() RegistrySnapshot) {
 	}
 	s.mu.Lock()
 	s.sources = append(s.sources, fn)
+	s.mu.Unlock()
+}
+
+// Reset drops every registered source. A long-lived set (one backing a
+// live ops endpoint across several experiment runs) calls this between
+// runs so stale registries don't accumulate.
+func (s *Set) Reset() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.sources = nil
 	s.mu.Unlock()
 }
 

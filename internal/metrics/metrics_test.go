@@ -157,3 +157,134 @@ func TestConcurrentRegistryUse(t *testing.T) {
 		t.Errorf("histogram count = %d", s.Histograms["h"].Count)
 	}
 }
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := newHistogram([]int64{10, 20, 40})
+	// 10 observations in (0,10], 10 in (10,20]: p50 sits exactly at the
+	// first bucket's upper edge, p90 interpolates 8/10 into the second.
+	for i := 0; i < 10; i++ {
+		h.Observe(5)
+		h.Observe(15)
+	}
+	s := h.Snapshot()
+	if s.P50 != 10 {
+		t.Errorf("p50 = %g, want 10", s.P50)
+	}
+	if s.P90 != 18 {
+		t.Errorf("p90 = %g, want 18", s.P90)
+	}
+	if got := s.Quantile(1); got != 20 {
+		t.Errorf("q1.0 = %g, want 20", got)
+	}
+	// Out-of-range q clamps rather than panicking.
+	if got := s.Quantile(-1); got != s.Quantile(0) {
+		t.Errorf("q-1 = %g, want clamp to q0", got)
+	}
+}
+
+func TestHistogramQuantileOverflowClamps(t *testing.T) {
+	h := newHistogram([]int64{10})
+	for i := 0; i < 5; i++ {
+		h.Observe(1000) // all in the overflow bucket
+	}
+	s := h.Snapshot()
+	if s.P50 != 10 || s.P99 != 10 {
+		t.Errorf("overflow quantiles = %g/%g, want clamped to 10", s.P50, s.P99)
+	}
+}
+
+func TestHistogramQuantileEmpty(t *testing.T) {
+	s := newHistogram([]int64{10}).Snapshot()
+	if s.P50 != 0 || s.P90 != 0 || s.P99 != 0 {
+		t.Errorf("empty histogram quantiles = %g/%g/%g, want 0", s.P50, s.P90, s.P99)
+	}
+}
+
+// TestDiffLateRegisteredMetrics is the regression test for interval
+// diffing: metrics that did not exist in the baseline snapshot — a
+// counter created mid-run, a histogram whose buckets changed — must pass
+// through at full value instead of vanishing from the series.
+func TestDiffLateRegisteredMetrics(t *testing.T) {
+	r := NewRegistry("r")
+	r.Counter("old").Add(5)
+	base := r.Snapshot()
+
+	r.Counter("old").Add(2)
+	r.Counter("new").Add(9)
+	r.Gauge("g").Set(3)
+	r.Histogram("h", []int64{10}).Observe(4)
+	d := r.Snapshot().Diff(base)
+
+	if d.Counters["old"] != 2 {
+		t.Errorf("old counter delta = %d, want 2", d.Counters["old"])
+	}
+	if d.Counters["new"] != 9 {
+		t.Errorf("late counter delta = %d, want pass-through 9", d.Counters["new"])
+	}
+	if d.Gauges["g"] != 3 {
+		t.Errorf("late gauge = %d, want 3", d.Gauges["g"])
+	}
+	if h := d.Histograms["h"]; h.Count != 1 || h.Sum != 4 {
+		t.Errorf("late histogram = %+v, want full pass-through", h)
+	}
+	// The diff shares no maps with its inputs.
+	d.Counters["old"] = 99
+	if r.Snapshot().Diff(base).Counters["old"] == 99 {
+		t.Error("Diff aliases its result maps")
+	}
+}
+
+// TestSnapshotUnderConcurrentObserve drives observations while snapshots
+// are taken; run under -race this guards the lock-free read paths the
+// flight recorder and ops endpoint rely on.
+func TestSnapshotUnderConcurrentObserve(t *testing.T) {
+	r := NewRegistry("r")
+	set := NewSet()
+	set.Add(r)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				r.Counter("c").Inc()
+				r.Histogram("h", LatencyBucketsNs).Observe(int64(i % 1000))
+			}
+		}()
+	}
+	var prev RegistrySnapshot
+	for i := 0; i < 200; i++ {
+		snaps := set.Snapshot()
+		if len(snaps) != 1 {
+			t.Fatalf("snapshots = %d", len(snaps))
+		}
+		cur := snaps[0]
+		if d := cur.Diff(prev); d.Counters["c"] < 0 {
+			t.Fatalf("counter went backwards: %d", d.Counters["c"])
+		}
+		prev = cur
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestSetReset(t *testing.T) {
+	set := NewSet()
+	r := NewRegistry("r")
+	set.Add(r)
+	if got := len(set.Snapshot()); got != 1 {
+		t.Fatalf("snapshot registries = %d", got)
+	}
+	set.Reset()
+	if got := len(set.Snapshot()); got != 0 {
+		t.Errorf("registries after Reset = %d, want 0", got)
+	}
+	var nilSet *Set
+	nilSet.Reset() // nil-safe
+}

@@ -196,6 +196,30 @@ func (s *Sim) At(t Time, fn func()) {
 // After schedules fn after a delay.
 func (s *Sim) After(d Time, fn func()) { s.At(s.now+d, fn) }
 
+// SampleEvery invokes fn(now) every interval of simulation time, starting
+// one interval from now, by self-rescheduling an event — the hook a
+// flight recorder uses to sample metrics against sim-time. The returned
+// stop function cancels future invocations (an already queued event fires
+// but does nothing). Sampling only advances while the simulation runs;
+// like any event, it keeps the queue non-empty, so prefer Run(until) over
+// RunAll with a live sampler.
+func (s *Sim) SampleEvery(interval Time, fn func(now Time)) (stop func()) {
+	if interval <= 0 || fn == nil {
+		return func() {}
+	}
+	stopped := false
+	var tick func()
+	tick = func() {
+		if stopped {
+			return
+		}
+		fn(s.now)
+		s.After(interval, tick)
+	}
+	s.After(interval, tick)
+	return func() { stopped = true }
+}
+
 // Run processes events until the queue empties or the time limit passes.
 // It returns the final simulation time.
 func (s *Sim) Run(until Time) Time {

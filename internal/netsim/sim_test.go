@@ -172,3 +172,43 @@ func TestLinkByName(t *testing.T) {
 		t.Errorf("Links() has %d entries, want 2", len(sim.Links()))
 	}
 }
+
+func TestSampleEvery(t *testing.T) {
+	s := New(1)
+	var at []Time
+	s.SampleEvery(10, func(now Time) { at = append(at, now) })
+	s.At(100, func() {}) // keep the run bounded by work, not the sampler
+	s.Run(45)
+	if len(at) != 4 {
+		t.Fatalf("samples = %v, want ticks at 10..40", at)
+	}
+	for i, want := range []Time{10, 20, 30, 40} {
+		if at[i] != want {
+			t.Errorf("sample %d at t=%d, want %d", i, at[i], want)
+		}
+	}
+}
+
+func TestSampleEveryStop(t *testing.T) {
+	s := New(1)
+	var n int
+	stop := s.SampleEvery(10, func(Time) { n++ })
+	s.Run(25)
+	stop()
+	s.Run(100)
+	if n != 2 {
+		t.Errorf("samples after stop = %d, want 2", n)
+	}
+}
+
+func TestSampleEveryInvalid(t *testing.T) {
+	s := New(1)
+	stop := s.SampleEvery(0, func(Time) { t.Error("zero-interval sampler fired") })
+	stop()
+	stop = s.SampleEvery(10, nil)
+	stop()
+	s.Run(100)
+	if s.Pending() != 0 {
+		t.Errorf("invalid samplers left %d events queued", s.Pending())
+	}
+}

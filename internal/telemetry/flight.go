@@ -1,0 +1,248 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+
+	"eden/internal/metrics"
+)
+
+// FlightSample is one interval of the flight recorder's time series:
+// counter and histogram values are deltas over the interval, gauges are
+// the value at the sample instant. Keys are "<registry>/<metric>".
+type FlightSample struct {
+	// T is the simulation time of the sample (ns).
+	T int64 `json:"t"`
+	// Counters holds per-interval counter deltas.
+	Counters map[string]int64 `json:"counters,omitempty"`
+	// Gauges holds instantaneous gauge values.
+	Gauges map[string]int64 `json:"gauges,omitempty"`
+	// Histograms holds per-interval histogram activity.
+	Histograms map[string]FlightHist `json:"histograms,omitempty"`
+}
+
+// FlightHist summarizes one histogram's activity over one interval.
+type FlightHist struct {
+	Count int64   `json:"count"`
+	Sum   int64   `json:"sum"`
+	P50   float64 `json:"p50"`
+	P90   float64 `json:"p90"`
+	P99   float64 `json:"p99"`
+}
+
+// FlightRecorder samples a metrics.Set at a fixed simulation-time
+// interval, producing per-interval deltas (throughput, drops, queue
+// activity, interpreter latency) instead of one end-of-run aggregate —
+// the time-resolved companion to the terminal -metrics snapshot. Summing
+// every interval's counter deltas reproduces the terminal snapshot
+// exactly, provided Finish captured the final partial interval.
+//
+// Registries that appear after sampling started (topology built lazily,
+// queues added mid-run) enter the series at their first full value, so
+// late-registered metrics are never silently dropped.
+type FlightRecorder struct {
+	set      *metrics.Set
+	interval int64
+
+	mu      sync.Mutex
+	prev    map[string]metrics.RegistrySnapshot // cumulative, by registry name
+	samples []FlightSample
+	lastT   int64
+	started bool
+}
+
+// NewFlightRecorder returns a recorder sampling set every interval
+// simulated nanoseconds. Drive it with netsim's Sim.SampleEvery (or call
+// Tick directly), then call Finish once the run ends.
+func NewFlightRecorder(set *metrics.Set, interval int64) *FlightRecorder {
+	if interval <= 0 {
+		interval = 1_000_000 // 1 simulated ms
+	}
+	return &FlightRecorder{set: set, interval: interval, prev: map[string]metrics.RegistrySnapshot{}}
+}
+
+// Interval returns the sampling interval (ns of simulation time).
+func (f *FlightRecorder) Interval() int64 { return f.interval }
+
+// Tick takes one sample at simulation time now. Duplicate times are
+// ignored so a Finish racing the final scheduled tick cannot double-count.
+func (f *FlightRecorder) Tick(now int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.sampleLocked(now)
+}
+
+// Finish captures the final partial interval (if the run ended between
+// ticks), so the series' summed deltas match the terminal snapshot.
+func (f *FlightRecorder) Finish(now int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.sampleLocked(now)
+}
+
+func (f *FlightRecorder) sampleLocked(now int64) {
+	if f.started && now <= f.lastT {
+		return
+	}
+	sample := FlightSample{T: now}
+	for _, cur := range f.set.Snapshot() {
+		d := cur.Diff(f.prev[cur.Name])
+		for n, v := range d.Counters {
+			if sample.Counters == nil {
+				sample.Counters = map[string]int64{}
+			}
+			sample.Counters[cur.Name+"/"+n] = v
+		}
+		for n, v := range d.Gauges {
+			if sample.Gauges == nil {
+				sample.Gauges = map[string]int64{}
+			}
+			sample.Gauges[cur.Name+"/"+n] = v
+		}
+		for n, h := range d.Histograms {
+			if sample.Histograms == nil {
+				sample.Histograms = map[string]FlightHist{}
+			}
+			sample.Histograms[cur.Name+"/"+n] = FlightHist{
+				Count: h.Count, Sum: h.Sum, P50: h.P50, P90: h.P90, P99: h.P99,
+			}
+		}
+		f.prev[cur.Name] = cur
+	}
+	f.samples = append(f.samples, sample)
+	f.lastT = now
+	f.started = true
+}
+
+// Samples returns the recorded series in time order.
+func (f *FlightRecorder) Samples() []FlightSample {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]FlightSample(nil), f.samples...)
+}
+
+// SumCounters sums every interval's counter deltas — by construction
+// equal to the terminal cumulative snapshot (tests and -record-check
+// assert this).
+func (f *FlightRecorder) SumCounters() map[string]int64 {
+	out := map[string]int64{}
+	for _, s := range f.Samples() {
+		for k, v := range s.Counters {
+			out[k] += v
+		}
+	}
+	return out
+}
+
+// Check validates the recorded series: non-empty and strictly monotonic
+// in simulation time.
+func (f *FlightRecorder) Check() error {
+	samples := f.Samples()
+	if len(samples) == 0 {
+		return fmt.Errorf("telemetry: flight recorder captured no samples")
+	}
+	for i := 1; i < len(samples); i++ {
+		if samples[i].T <= samples[i-1].T {
+			return fmt.Errorf("telemetry: flight series not monotonic: sample %d at t=%d after t=%d",
+				i, samples[i].T, samples[i-1].T)
+		}
+	}
+	return nil
+}
+
+// columnKeys returns the union of metric keys across all samples, with a
+// type prefix so counters, gauges and histogram fields cannot collide.
+func columnKeys(samples []FlightSample) []string {
+	seen := map[string]bool{}
+	for _, s := range samples {
+		for k := range s.Counters {
+			seen["counter:"+k] = true
+		}
+		for k := range s.Gauges {
+			seen["gauge:"+k] = true
+		}
+		for k := range s.Histograms {
+			seen["hist:"+k+".count"] = true
+			seen["hist:"+k+".sum"] = true
+			seen["hist:"+k+".p50"] = true
+			seen["hist:"+k+".p90"] = true
+			seen["hist:"+k+".p99"] = true
+		}
+	}
+	keys := make([]string, 0, len(seen))
+	for k := range seen {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// WriteCSV renders the series as CSV: a t_ns column followed by one
+// column per metric (sorted), with per-interval deltas for counters and
+// histograms and instantaneous values for gauges. Metrics that appear
+// mid-run are zero before their first sample.
+func (f *FlightRecorder) WriteCSV(w io.Writer) error {
+	samples := f.Samples()
+	keys := columnKeys(samples)
+	if _, err := fmt.Fprintf(w, "t_ns,%s\n", joinCSV(keys)); err != nil {
+		return err
+	}
+	cell := func(s FlightSample, key string) string {
+		switch {
+		case len(key) > 8 && key[:8] == "counter:":
+			return strconv.FormatInt(s.Counters[key[8:]], 10)
+		case len(key) > 6 && key[:6] == "gauge:":
+			return strconv.FormatInt(s.Gauges[key[6:]], 10)
+		default: // hist:<name>.<field>
+			name := key[5:]
+			dot := len(name) - 1
+			for dot >= 0 && name[dot] != '.' {
+				dot--
+			}
+			h := s.Histograms[name[:dot]]
+			switch name[dot+1:] {
+			case "count":
+				return strconv.FormatInt(h.Count, 10)
+			case "sum":
+				return strconv.FormatInt(h.Sum, 10)
+			case "p50":
+				return strconv.FormatFloat(h.P50, 'g', -1, 64)
+			case "p90":
+				return strconv.FormatFloat(h.P90, 'g', -1, 64)
+			default:
+				return strconv.FormatFloat(h.P99, 'g', -1, 64)
+			}
+		}
+	}
+	for _, s := range samples {
+		row := make([]string, 0, len(keys)+1)
+		row = append(row, strconv.FormatInt(s.T, 10))
+		for _, k := range keys {
+			row = append(row, cell(s, k))
+		}
+		if _, err := fmt.Fprintln(w, joinCSV(row)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func joinCSV(fields []string) string {
+	var b []byte
+	for i, f := range fields {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = append(b, f...)
+	}
+	return string(b)
+}
+
+// JSON renders the series as an indented JSON array of samples.
+func (f *FlightRecorder) JSON() ([]byte, error) {
+	return json.MarshalIndent(f.Samples(), "", "  ")
+}

@@ -1,0 +1,172 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+
+	"eden/internal/metrics"
+)
+
+func TestFlightRecorderDeltasAndSum(t *testing.T) {
+	set := metrics.NewSet()
+	reg := metrics.NewRegistry("link")
+	set.Add(reg)
+	tx := reg.Counter("tx_packets")
+	depth := reg.Gauge("queue_depth")
+
+	f := NewFlightRecorder(set, 10)
+	tx.Add(5)
+	depth.Set(3)
+	f.Tick(10)
+	tx.Add(7)
+	depth.Set(1)
+	f.Tick(20)
+	tx.Add(2)
+	f.Finish(25) // partial final interval
+
+	samples := f.Samples()
+	if len(samples) != 3 {
+		t.Fatalf("samples = %d, want 3", len(samples))
+	}
+	wantDeltas := []int64{5, 7, 2}
+	wantGauges := []int64{3, 1, 1}
+	for i, s := range samples {
+		if got := s.Counters["link/tx_packets"]; got != wantDeltas[i] {
+			t.Errorf("sample %d delta = %d, want %d", i, got, wantDeltas[i])
+		}
+		if got := s.Gauges["link/queue_depth"]; got != wantGauges[i] {
+			t.Errorf("sample %d gauge = %d, want %d", i, got, wantGauges[i])
+		}
+	}
+
+	// Summed deltas reproduce the terminal snapshot exactly.
+	sums := f.SumCounters()
+	if got := sums["link/tx_packets"]; got != 14 {
+		t.Errorf("summed deltas = %d, want 14", got)
+	}
+	if err := f.Check(); err != nil {
+		t.Errorf("Check: %v", err)
+	}
+}
+
+// TestFlightRecorderLateRegistry: a registry added after sampling started
+// enters the series at its full value rather than vanishing, so summed
+// deltas still match the terminal snapshot.
+func TestFlightRecorderLateRegistry(t *testing.T) {
+	set := metrics.NewSet()
+	reg := metrics.NewRegistry("early")
+	set.Add(reg)
+	early := reg.Counter("ops")
+
+	f := NewFlightRecorder(set, 10)
+	early.Add(1)
+	f.Tick(10)
+
+	late := metrics.NewRegistry("late")
+	set.Add(late)
+	lc := late.Counter("ops")
+	lc.Add(9)
+	early.Add(1)
+	f.Tick(20)
+
+	sums := f.SumCounters()
+	if got := sums["early/ops"]; got != 2 {
+		t.Errorf("early/ops = %d, want 2", got)
+	}
+	if got := sums["late/ops"]; got != 9 {
+		t.Errorf("late/ops = %d, want 9 (late registry dropped from series)", got)
+	}
+}
+
+// TestFlightRecorderLateMetric: a counter that first increments after the
+// baseline sample still shows its full count across the series.
+func TestFlightRecorderLateMetric(t *testing.T) {
+	set := metrics.NewSet()
+	reg := metrics.NewRegistry("r")
+	set.Add(reg)
+	a := reg.Counter("a")
+
+	f := NewFlightRecorder(set, 10)
+	a.Add(1)
+	f.Tick(10)
+	b := reg.Counter("b") // registered mid-run
+	b.Add(4)
+	f.Tick(20)
+
+	sums := f.SumCounters()
+	if got := sums["r/b"]; got != 4 {
+		t.Errorf("r/b = %d, want 4 (late metric dropped)", got)
+	}
+}
+
+func TestFlightRecorderDuplicateAndBackwardTicks(t *testing.T) {
+	set := metrics.NewSet()
+	reg := metrics.NewRegistry("r")
+	set.Add(reg)
+	c := reg.Counter("c")
+
+	f := NewFlightRecorder(set, 10)
+	c.Add(1)
+	f.Tick(10)
+	f.Tick(10) // duplicate: ignored
+	f.Tick(5)  // backward: ignored
+	c.Add(1)
+	f.Finish(10) // Finish racing the final tick: ignored too
+	if got := len(f.Samples()); got != 1 {
+		t.Fatalf("samples = %d, want 1", got)
+	}
+	if err := f.Check(); err != nil {
+		t.Errorf("Check after duplicate ticks: %v", err)
+	}
+}
+
+func TestFlightRecorderCheckEmpty(t *testing.T) {
+	f := NewFlightRecorder(metrics.NewSet(), 10)
+	if err := f.Check(); err == nil {
+		t.Error("Check passed an empty series")
+	}
+}
+
+func TestFlightRecorderCSVAndJSON(t *testing.T) {
+	set := metrics.NewSet()
+	reg := metrics.NewRegistry("enclave.h1")
+	set.Add(reg)
+	c := reg.Counter("packets")
+	h := reg.Histogram("interp_ns", []int64{10, 100})
+
+	f := NewFlightRecorder(set, 10)
+	c.Add(3)
+	h.Observe(50)
+	f.Tick(10)
+	c.Add(1)
+	f.Tick(20)
+
+	var b strings.Builder
+	if err := f.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("csv lines = %d, want header + 2 rows:\n%s", len(lines), b.String())
+	}
+	header := lines[0]
+	for _, want := range []string{"t_ns", "counter:enclave.h1/packets",
+		"hist:enclave.h1/interp_ns.count", "hist:enclave.h1/interp_ns.p99"} {
+		if !strings.Contains(header, want) {
+			t.Errorf("csv header missing %q: %s", want, header)
+		}
+	}
+	if !strings.HasPrefix(lines[1], "10,") || !strings.HasPrefix(lines[2], "20,") {
+		t.Errorf("csv rows not keyed by time:\n%s", b.String())
+	}
+
+	out, err := f.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"t": 10`, `"enclave.h1/packets": 3`} {
+		if !strings.Contains(string(out), want) {
+			t.Errorf("json missing %q:\n%s", want, out)
+		}
+	}
+}

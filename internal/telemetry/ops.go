@@ -1,0 +1,257 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"eden/internal/metrics"
+)
+
+// OpsConfig wires the live ops endpoint's data sources. Any field may be
+// nil; the corresponding route then reports an empty document.
+type OpsConfig struct {
+	// Metrics backs /metrics (Prometheus text exposition) and /metricz
+	// (JSON snapshot).
+	Metrics *metrics.Set
+	// Spans backs /spanz (JSON span dump; ?trace=N filters one trace).
+	Spans *Recorder
+	// Agents backs /agentz: a function returning a JSON-marshalable agent
+	// liveness report (the controller passes AgentStatuses).
+	Agents func() any
+	// Logger receives serve errors; nil discards them.
+	Logger *slog.Logger
+}
+
+// OpsServer is an opt-in HTTP server exposing live observability:
+// /metrics, /metricz, /agentz, /spanz, /healthz and net/http/pprof under
+// /debug/pprof/. It is intended for operators pointing curl or Prometheus
+// at a running edend, edenctl or edenbench.
+type OpsServer struct {
+	cfg OpsConfig
+	ln  net.Listener
+	srv *http.Server
+}
+
+// StartOps listens on addr and serves the ops endpoint in a background
+// goroutine. Close the returned server to stop it.
+func StartOps(addr string, cfg OpsConfig) (*OpsServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = DiscardLogger()
+	}
+	o := &OpsServer{cfg: cfg, ln: ln}
+	o.srv = &http.Server{Handler: NewOpsHandler(cfg), ReadHeaderTimeout: 5 * time.Second}
+	go func() {
+		if err := o.srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			cfg.Logger.Error("ops server failed", "addr", addr, "err", err)
+		}
+	}()
+	return o, nil
+}
+
+// Addr returns the bound listen address.
+func (o *OpsServer) Addr() string { return o.ln.Addr().String() }
+
+// Close stops the server.
+func (o *OpsServer) Close() error { return o.srv.Close() }
+
+// NewOpsHandler builds the ops endpoint's route mux.
+func NewOpsHandler(cfg OpsConfig) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		var snaps []metrics.RegistrySnapshot
+		if cfg.Metrics != nil {
+			snaps = cfg.Metrics.Snapshot()
+		}
+		WritePrometheus(w, snaps)
+	})
+	mux.HandleFunc("/metricz", func(w http.ResponseWriter, r *http.Request) {
+		var snaps []metrics.RegistrySnapshot
+		if cfg.Metrics != nil {
+			snaps = cfg.Metrics.Snapshot()
+		}
+		writeJSON(w, snaps)
+	})
+	mux.HandleFunc("/agentz", func(w http.ResponseWriter, r *http.Request) {
+		var v any
+		if cfg.Agents != nil {
+			v = cfg.Agents()
+		}
+		writeJSON(w, v)
+	})
+	mux.HandleFunc("/spanz", func(w http.ResponseWriter, r *http.Request) {
+		var trace uint64
+		if t := r.URL.Query().Get("trace"); t != "" {
+			n, err := strconv.ParseUint(t, 0, 64)
+			if err != nil {
+				http.Error(w, "bad trace id: "+err.Error(), http.StatusBadRequest)
+				return
+			}
+			trace = n
+		}
+		spans := cfg.Spans.SpansFor(trace)
+		SortSpans(spans)
+		writeJSON(w, spans)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok\n")
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Write(append(b, '\n'))
+}
+
+// WritePrometheus renders registry snapshots in the Prometheus text
+// exposition format (version 0.0.4). Metric names are prefixed with
+// "eden_" and sanitized; the owning registry becomes a label, so one
+// family covers every enclave/link/queue of the same kind:
+//
+//	eden_packets_total{registry="enclave.host1"} 5123
+//	eden_interp_ns_bucket{registry="enclave.host1",le="100"} 17
+//
+// Histograms are exported twice: as a native histogram family (_bucket,
+// _sum, _count) and as a summary family (<name>_summary) carrying the
+// interpolated p50/p90/p99, so dashboards get quantiles without PromQL
+// bucket math.
+func WritePrometheus(w io.Writer, snaps []metrics.RegistrySnapshot) {
+	type cell struct {
+		registry string
+		value    int64
+	}
+	type histCell struct {
+		registry string
+		h        metrics.HistogramSnapshot
+	}
+	counters := map[string][]cell{}
+	gauges := map[string][]cell{}
+	hists := map[string][]histCell{}
+	for _, s := range snaps {
+		for n, v := range s.Counters {
+			counters[n] = append(counters[n], cell{s.Name, v})
+		}
+		for n, v := range s.Gauges {
+			gauges[n] = append(gauges[n], cell{s.Name, v})
+		}
+		for n, h := range s.Histograms {
+			hists[n] = append(hists[n], histCell{s.Name, h})
+		}
+	}
+	sortedKeys := func(m map[string][]cell) []string {
+		keys := make([]string, 0, len(m))
+		for k := range m {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		return keys
+	}
+
+	for _, name := range sortedKeys(counters) {
+		fam := "eden_" + sanitizeMetricName(name) + "_total"
+		fmt.Fprintf(w, "# TYPE %s counter\n", fam)
+		cells := counters[name]
+		sort.Slice(cells, func(i, j int) bool { return cells[i].registry < cells[j].registry })
+		for _, c := range cells {
+			fmt.Fprintf(w, "%s{registry=%q} %d\n", fam, escapeLabel(c.registry), c.value)
+		}
+	}
+	for _, name := range sortedKeys(gauges) {
+		fam := "eden_" + sanitizeMetricName(name)
+		fmt.Fprintf(w, "# TYPE %s gauge\n", fam)
+		cells := gauges[name]
+		sort.Slice(cells, func(i, j int) bool { return cells[i].registry < cells[j].registry })
+		for _, c := range cells {
+			fmt.Fprintf(w, "%s{registry=%q} %d\n", fam, escapeLabel(c.registry), c.value)
+		}
+	}
+
+	histKeys := make([]string, 0, len(hists))
+	for k := range hists {
+		histKeys = append(histKeys, k)
+	}
+	sort.Strings(histKeys)
+	for _, name := range histKeys {
+		fam := "eden_" + sanitizeMetricName(name)
+		cells := hists[name]
+		sort.Slice(cells, func(i, j int) bool { return cells[i].registry < cells[j].registry })
+		fmt.Fprintf(w, "# TYPE %s histogram\n", fam)
+		for _, c := range cells {
+			reg := escapeLabel(c.registry)
+			var cum int64
+			for i, bound := range c.h.Bounds {
+				if i < len(c.h.Counts) {
+					cum += c.h.Counts[i]
+				}
+				fmt.Fprintf(w, "%s_bucket{registry=%q,le=%q} %d\n", fam, reg, strconv.FormatInt(bound, 10), cum)
+			}
+			fmt.Fprintf(w, "%s_bucket{registry=%q,le=\"+Inf\"} %d\n", fam, reg, c.h.Count)
+			fmt.Fprintf(w, "%s_sum{registry=%q} %d\n", fam, reg, c.h.Sum)
+			fmt.Fprintf(w, "%s_count{registry=%q} %d\n", fam, reg, c.h.Count)
+		}
+		fmt.Fprintf(w, "# TYPE %s_summary summary\n", fam)
+		for _, c := range cells {
+			reg := escapeLabel(c.registry)
+			for _, q := range []struct {
+				label string
+				value float64
+			}{{"0.5", c.h.P50}, {"0.9", c.h.P90}, {"0.99", c.h.P99}} {
+				fmt.Fprintf(w, "%s_summary{registry=%q,quantile=%q} %s\n",
+					fam, reg, q.label, strconv.FormatFloat(q.value, 'g', -1, 64))
+			}
+			fmt.Fprintf(w, "%s_summary_sum{registry=%q} %d\n", fam, reg, c.h.Sum)
+			fmt.Fprintf(w, "%s_summary_count{registry=%q} %d\n", fam, reg, c.h.Count)
+		}
+	}
+}
+
+// sanitizeMetricName maps a registry metric name onto the Prometheus
+// metric-name alphabet [a-zA-Z0-9_].
+func sanitizeMetricName(s string) string {
+	var b strings.Builder
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_':
+			b.WriteRune(r)
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return s
+}

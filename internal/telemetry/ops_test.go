@@ -1,0 +1,167 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"eden/internal/metrics"
+)
+
+func opsFixture() OpsConfig {
+	set := metrics.NewSet()
+	reg := metrics.NewRegistry("enclave.host1")
+	set.Add(reg)
+	reg.Counter("packets").Add(42)
+	reg.Gauge("queue_depth").Set(7)
+	h := reg.Histogram("interp_ns", []int64{100, 1000})
+	h.Observe(50)
+	h.Observe(500)
+	h.Observe(5000)
+
+	rec := NewRecorder(8)
+	rec.setClock(fakeClock())
+	rec.Start(0xbeef, "controller", "script.tx-commit").End(nil)
+	rec.Start(0xcafe, "controller", "serve.hello").End(nil)
+
+	return OpsConfig{
+		Metrics: set,
+		Spans:   rec,
+		Agents:  func() any { return []string{"host1-os"} },
+	}
+}
+
+func get(t *testing.T, h http.Handler, path string) (int, string) {
+	t.Helper()
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestOpsMetricsPrometheus(t *testing.T) {
+	h := NewOpsHandler(opsFixture())
+	code, body := get(t, h, "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	for _, want := range []string{
+		"# TYPE eden_packets_total counter",
+		`eden_packets_total{registry="enclave.host1"} 42`,
+		"# TYPE eden_queue_depth gauge",
+		`eden_queue_depth{registry="enclave.host1"} 7`,
+		"# TYPE eden_interp_ns histogram",
+		`eden_interp_ns_bucket{registry="enclave.host1",le="100"} 1`,
+		`eden_interp_ns_bucket{registry="enclave.host1",le="1000"} 2`,
+		`eden_interp_ns_bucket{registry="enclave.host1",le="+Inf"} 3`,
+		`eden_interp_ns_sum{registry="enclave.host1"} 5550`,
+		`eden_interp_ns_count{registry="enclave.host1"} 3`,
+		"# TYPE eden_interp_ns_summary summary",
+		`eden_interp_ns_summary{registry="enclave.host1",quantile="0.5"}`,
+		`eden_interp_ns_summary{registry="enclave.host1",quantile="0.99"}`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+	// Basic exposition shape: every non-comment line is "name{labels} value".
+	for _, line := range strings.Split(strings.TrimSpace(body), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !strings.Contains(line, "} ") || !strings.HasPrefix(line, "eden_") {
+			t.Errorf("malformed exposition line: %q", line)
+		}
+	}
+}
+
+func TestOpsMetricz(t *testing.T) {
+	h := NewOpsHandler(opsFixture())
+	code, body := get(t, h, "/metricz")
+	if code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	var snaps []metrics.RegistrySnapshot
+	if err := json.Unmarshal([]byte(body), &snaps); err != nil {
+		t.Fatalf("metricz not JSON: %v\n%s", err, body)
+	}
+	if len(snaps) != 1 || snaps[0].Counters["packets"] != 42 {
+		t.Errorf("metricz snapshot = %+v", snaps)
+	}
+}
+
+func TestOpsAgentzAndHealthz(t *testing.T) {
+	h := NewOpsHandler(opsFixture())
+	if code, body := get(t, h, "/agentz"); code != http.StatusOK || !strings.Contains(body, "host1-os") {
+		t.Errorf("/agentz = %d %q", code, body)
+	}
+	if code, body := get(t, h, "/healthz"); code != http.StatusOK || !strings.Contains(body, "ok") {
+		t.Errorf("/healthz = %d %q", code, body)
+	}
+}
+
+func TestOpsSpanz(t *testing.T) {
+	h := NewOpsHandler(opsFixture())
+	code, body := get(t, h, "/spanz")
+	if code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	var all []Span
+	if err := json.Unmarshal([]byte(body), &all); err != nil {
+		t.Fatalf("spanz not JSON: %v\n%s", err, body)
+	}
+	if len(all) != 2 {
+		t.Fatalf("spanz spans = %d, want 2", len(all))
+	}
+	// ?trace= filters one chain; base-0 parsing accepts hex.
+	_, filtered := get(t, h, "/spanz?trace=0xbeef")
+	var one []Span
+	if err := json.Unmarshal([]byte(filtered), &one); err != nil {
+		t.Fatal(err)
+	}
+	if len(one) != 1 || one[0].Trace != 0xbeef {
+		t.Errorf("filtered spans = %+v", one)
+	}
+	if code, _ := get(t, h, "/spanz?trace=junk"); code != http.StatusBadRequest {
+		t.Errorf("bad trace id accepted: %d", code)
+	}
+}
+
+// TestOpsEmptyConfig: every route serves something sensible with no data
+// sources wired.
+func TestOpsEmptyConfig(t *testing.T) {
+	h := NewOpsHandler(OpsConfig{})
+	for _, path := range []string{"/metrics", "/metricz", "/agentz", "/spanz", "/healthz"} {
+		if code, _ := get(t, h, path); code != http.StatusOK {
+			t.Errorf("%s = %d with empty config", path, code)
+		}
+	}
+}
+
+func TestStartOps(t *testing.T) {
+	srv, err := StartOps("127.0.0.1:0", opsFixture())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	resp, err := http.Get("http://" + srv.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "eden_packets_total") {
+		t.Errorf("live /metrics missing counter family:\n%s", body)
+	}
+}

@@ -1,0 +1,301 @@
+// Package telemetry is the unified observability layer above the raw
+// metrics substrate: control-plane spans (request tracing across the
+// edenctl script → controller → agent → enclave chain), a flight
+// recorder that turns cumulative metric registries into per-interval time
+// series against simulation time, a live ops HTTP endpoint (Prometheus
+// text exposition, JSON snapshots, agent liveness, pprof), and structured
+// logging helpers.
+//
+// Spans are the control-plane counterpart of the packet tracer in
+// internal/trace: where the tracer narrates one packet's life down the
+// data path, a span chain narrates one policy's life down the control
+// plane — script verb issued, RPC sent, agent dispatched, transaction
+// committed, pipeline generation published — with per-span timestamps and
+// outcomes. Every component records into a bounded ring, so tracing is
+// always on and costs a few hundred nanoseconds per control operation
+// (the control plane is not the hot path).
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Span is one timed step of a control-plane operation. Spans with the
+// same Trace id belong to one logical operation (one policy transaction,
+// one hello); chains are reconstructed by sorting on Start.
+type Span struct {
+	// Trace groups the spans of one logical operation; 0 means untraced.
+	Trace uint64 `json:"trace"`
+	// ID is unique within the recorder that created the span.
+	ID uint64 `json:"id"`
+	// Component names the layer that recorded the span ("controller",
+	// "agent.host1", "enclave.host1").
+	Component string `json:"component"`
+	// Name identifies the step ("script.tx-commit", "rpc.enclave.tx_begin",
+	// "serve.hello", "enclave.publish").
+	Name string `json:"name"`
+	// Start and End are wall-clock UnixNano timestamps.
+	Start int64 `json:"start_ns"`
+	End   int64 `json:"end_ns"`
+	// Err is the operation's error, empty on success.
+	Err string `json:"err,omitempty"`
+	// Attrs carries step-specific detail (generation, op counts, agents).
+	Attrs map[string]string `json:"attrs,omitempty"`
+}
+
+// Duration returns the span's length.
+func (s Span) Duration() time.Duration { return time.Duration(s.End - s.Start) }
+
+// Recorder collects spans into a bounded ring buffer. All methods are
+// safe for concurrent use, and a nil *Recorder is valid: it hands out
+// zero trace ids and nil span handles, so instrumentation sites never
+// need to branch.
+type Recorder struct {
+	mu     sync.Mutex
+	buf    []Span
+	pos    int
+	full   bool
+	nextID atomic.Uint64
+	// traceBase decorrelates trace ids across recorders (the controller
+	// and each agent process have their own recorder), so merged dumps do
+	// not collide on small integers.
+	traceBase uint64
+	traceSeq  atomic.Uint64
+	clock     func() int64
+}
+
+// DefaultSpanCapacity is the ring size used by NewRecorder(0).
+const DefaultSpanCapacity = 2048
+
+// NewRecorder returns a recorder keeping the most recent capacity spans
+// (DefaultSpanCapacity if capacity <= 0).
+func NewRecorder(capacity int) *Recorder {
+	if capacity <= 0 {
+		capacity = DefaultSpanCapacity
+	}
+	return &Recorder{
+		buf:       make([]Span, 0, capacity),
+		traceBase: rand.Uint64() &^ 0xffff, // low bits left for the sequence
+		clock:     func() int64 { return time.Now().UnixNano() },
+	}
+}
+
+// setClock overrides the wall clock (tests).
+func (r *Recorder) setClock(fn func() int64) { r.clock = fn }
+
+// NewTraceID mints a fresh nonzero trace id. Nil recorders return 0.
+func (r *Recorder) NewTraceID() uint64 {
+	if r == nil {
+		return 0
+	}
+	id := r.traceBase + r.traceSeq.Add(1)
+	if id == 0 {
+		id = r.traceSeq.Add(1)
+	}
+	return id
+}
+
+// SpanHandle is an in-flight span: created by Start, finished by End.
+// A nil handle ignores every call.
+type SpanHandle struct {
+	r *Recorder
+	s Span
+}
+
+// Start opens a span; call End on the returned handle to record it.
+func (r *Recorder) Start(trace uint64, component, name string) *SpanHandle {
+	if r == nil {
+		return nil
+	}
+	return &SpanHandle{r: r, s: Span{
+		Trace:     trace,
+		ID:        r.nextID.Add(1),
+		Component: component,
+		Name:      name,
+		Start:     r.clock(),
+	}}
+}
+
+// SetTrace reassigns the span's trace id (used when the id is only known
+// after the operation started, e.g. a script verb that opens the
+// transaction it belongs to).
+func (h *SpanHandle) SetTrace(trace uint64) {
+	if h != nil {
+		h.s.Trace = trace
+	}
+}
+
+// SetAttr attaches one key=value detail to the span.
+func (h *SpanHandle) SetAttr(k, v string) {
+	if h == nil {
+		return
+	}
+	if h.s.Attrs == nil {
+		h.s.Attrs = map[string]string{}
+	}
+	h.s.Attrs[k] = v
+}
+
+// End stamps the span's end time and outcome and commits it to the ring.
+func (h *SpanHandle) End(err error) {
+	if h == nil {
+		return
+	}
+	h.s.End = h.r.clock()
+	if err != nil {
+		h.s.Err = err.Error()
+	}
+	h.r.record(h.s)
+}
+
+func (r *Recorder) record(s Span) {
+	r.mu.Lock()
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, s)
+	} else {
+		r.buf[r.pos] = s
+		r.pos = (r.pos + 1) % cap(r.buf)
+		r.full = true
+	}
+	r.mu.Unlock()
+}
+
+// Spans returns the buffered spans in recording order.
+func (r *Recorder) Spans() []Span {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.full {
+		return append([]Span(nil), r.buf...)
+	}
+	out := make([]Span, 0, len(r.buf))
+	out = append(out, r.buf[r.pos:]...)
+	out = append(out, r.buf[:r.pos]...)
+	return out
+}
+
+// SpansFor returns the buffered spans of one trace (all spans when trace
+// is 0), in recording order.
+func (r *Recorder) SpansFor(trace uint64) []Span {
+	all := r.Spans()
+	if trace == 0 {
+		return all
+	}
+	var out []Span
+	for _, s := range all {
+		if s.Trace == trace {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// SortSpans orders spans for chain reconstruction: by start time, then
+// component, then recorder-local id.
+func SortSpans(spans []Span) {
+	sort.Slice(spans, func(i, j int) bool {
+		a, b := spans[i], spans[j]
+		if a.Start != b.Start {
+			return a.Start < b.Start
+		}
+		if a.Component != b.Component {
+			return a.Component < b.Component
+		}
+		return a.ID < b.ID
+	})
+}
+
+// FormatSpans renders spans grouped by trace, each chain ordered by start
+// time with offsets relative to the chain's first span.
+func FormatSpans(spans []Span) string {
+	byTrace := map[uint64][]Span{}
+	var traces []uint64
+	for _, s := range spans {
+		if _, ok := byTrace[s.Trace]; !ok {
+			traces = append(traces, s.Trace)
+		}
+		byTrace[s.Trace] = append(byTrace[s.Trace], s)
+	}
+	// Order traces by their earliest span.
+	first := func(t uint64) int64 {
+		min := int64(1<<63 - 1)
+		for _, s := range byTrace[t] {
+			if s.Start < min {
+				min = s.Start
+			}
+		}
+		return min
+	}
+	sort.Slice(traces, func(i, j int) bool { return first(traces[i]) < first(traces[j]) })
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "spans (%d traces, %d spans):\n", len(traces), len(spans))
+	for _, t := range traces {
+		chain := byTrace[t]
+		SortSpans(chain)
+		base := chain[0].Start
+		fmt.Fprintf(&b, "  trace 0x%016x (%d spans):\n", t, len(chain))
+		for _, s := range chain {
+			status := "ok"
+			if s.Err != "" {
+				status = "ERR " + s.Err
+			}
+			fmt.Fprintf(&b, "    +%-10s %8s  %-16s %-28s %s", time.Duration(s.Start-base),
+				s.Duration(), s.Component, s.Name, status)
+			if len(s.Attrs) > 0 {
+				keys := make([]string, 0, len(s.Attrs))
+				for k := range s.Attrs {
+					keys = append(keys, k)
+				}
+				sort.Strings(keys)
+				for _, k := range keys {
+					fmt.Fprintf(&b, " %s=%s", k, s.Attrs[k])
+				}
+			}
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+// ParseLevel maps a -log-level flag value to a slog level.
+func ParseLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "", "info":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	default:
+		return 0, fmt.Errorf("telemetry: unknown log level %q (want debug, info, warn or error)", s)
+	}
+}
+
+// NewLogger returns a text slog logger writing to w at the given level
+// ("debug", "info", "warn", "error"; "" means info).
+func NewLogger(w io.Writer, level string) (*slog.Logger, error) {
+	lv, err := ParseLevel(level)
+	if err != nil {
+		return nil, err
+	}
+	return slog.New(slog.NewTextHandler(w, &slog.HandlerOptions{Level: lv})), nil
+}
+
+// DiscardLogger returns a logger that drops everything — the default for
+// components whose owner did not configure logging.
+func DiscardLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
+}

@@ -1,0 +1,157 @@
+package telemetry
+
+import (
+	"errors"
+	"log/slog"
+	"strings"
+	"testing"
+)
+
+// fakeClock returns a monotonically increasing test clock.
+func fakeClock() func() int64 {
+	var t int64
+	return func() int64 { t++; return t }
+}
+
+func TestRecorderSpanLifecycle(t *testing.T) {
+	r := NewRecorder(16)
+	r.setClock(fakeClock())
+
+	trace := r.NewTraceID()
+	if trace == 0 {
+		t.Fatal("NewTraceID returned 0")
+	}
+	h := r.Start(trace, "controller", "script.tx-begin")
+	h.SetAttr("enclave", "host1")
+	h.End(nil)
+	h2 := r.Start(trace, "enclave.host1", "enclave.tx_abort")
+	h2.End(errors.New("aborted"))
+
+	spans := r.SpansFor(trace)
+	if len(spans) != 2 {
+		t.Fatalf("spans = %d, want 2", len(spans))
+	}
+	if spans[0].Name != "script.tx-begin" || spans[0].Err != "" {
+		t.Errorf("first span = %+v", spans[0])
+	}
+	if spans[0].Attrs["enclave"] != "host1" {
+		t.Errorf("attrs = %v", spans[0].Attrs)
+	}
+	if spans[1].Err != "aborted" {
+		t.Errorf("errored span Err = %q", spans[1].Err)
+	}
+	if spans[0].End <= spans[0].Start {
+		t.Errorf("span not timed: %+v", spans[0])
+	}
+	// A different trace sees nothing.
+	if got := r.SpansFor(trace + 1); len(got) != 0 {
+		t.Errorf("foreign trace returned %d spans", len(got))
+	}
+	// Trace 0 returns everything.
+	if got := r.SpansFor(0); len(got) != 2 {
+		t.Errorf("SpansFor(0) = %d spans, want 2", len(got))
+	}
+}
+
+func TestRecorderRingWraps(t *testing.T) {
+	r := NewRecorder(4)
+	r.setClock(fakeClock())
+	for i := 0; i < 7; i++ {
+		r.Start(1, "c", "n").End(nil)
+	}
+	spans := r.Spans()
+	if len(spans) != 4 {
+		t.Fatalf("spans = %d, want capacity 4", len(spans))
+	}
+	for i := 1; i < len(spans); i++ {
+		if spans[i].ID != spans[i-1].ID+1 {
+			t.Errorf("ring order broken: ids %d then %d", spans[i-1].ID, spans[i].ID)
+		}
+	}
+	if spans[0].ID != 4 {
+		t.Errorf("oldest surviving span id = %d, want 4", spans[0].ID)
+	}
+}
+
+func TestNilRecorderIsSafe(t *testing.T) {
+	var r *Recorder
+	if r.NewTraceID() != 0 {
+		t.Error("nil recorder minted a trace id")
+	}
+	h := r.Start(1, "c", "n")
+	h.SetTrace(2)
+	h.SetAttr("k", "v")
+	h.End(nil)
+	if r.Spans() != nil || r.SpansFor(1) != nil {
+		t.Error("nil recorder returned spans")
+	}
+}
+
+func TestSortSpans(t *testing.T) {
+	spans := []Span{
+		{Trace: 1, ID: 3, Component: "b", Start: 20},
+		{Trace: 1, ID: 2, Component: "a", Start: 20},
+		{Trace: 1, ID: 1, Component: "c", Start: 10},
+	}
+	SortSpans(spans)
+	if spans[0].Start != 10 || spans[1].Component != "a" || spans[2].Component != "b" {
+		t.Errorf("sorted order wrong: %+v", spans)
+	}
+}
+
+func TestFormatSpans(t *testing.T) {
+	r := NewRecorder(8)
+	r.setClock(fakeClock())
+	h := r.Start(0xabc, "controller", "script.tx-commit")
+	h.SetAttr("generation", "3")
+	h.End(nil)
+	r.Start(0xabc, "enclave.host1", "enclave.tx_abort").End(errors.New("boom"))
+
+	out := FormatSpans(r.Spans())
+	for _, want := range []string{
+		"trace 0x0000000000000abc", "script.tx-commit", "generation=3",
+		"ERR boom", "enclave.host1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("FormatSpans missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestParseLevel(t *testing.T) {
+	cases := map[string]slog.Level{
+		"debug": slog.LevelDebug, "info": slog.LevelInfo, "": slog.LevelInfo,
+		"warn": slog.LevelWarn, "warning": slog.LevelWarn, "error": slog.LevelError,
+		"  Error ": slog.LevelError,
+	}
+	for in, want := range cases {
+		got, err := ParseLevel(in)
+		if err != nil || got != want {
+			t.Errorf("ParseLevel(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Error("ParseLevel accepted an unknown level")
+	}
+}
+
+func TestNewLoggerLevels(t *testing.T) {
+	var b strings.Builder
+	log, err := NewLogger(&b, "warn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	log.Info("dropped")
+	log.Warn("kept", "agent", "host1")
+	out := b.String()
+	if strings.Contains(out, "dropped") {
+		t.Errorf("info line leaked past warn level:\n%s", out)
+	}
+	if !strings.Contains(out, "kept") || !strings.Contains(out, "agent=host1") {
+		t.Errorf("warn line missing:\n%s", out)
+	}
+	if _, err := NewLogger(&b, "nope"); err == nil {
+		t.Error("NewLogger accepted an unknown level")
+	}
+	DiscardLogger().Info("never seen")
+}

@@ -8,13 +8,19 @@
 // The tracer is designed to cost nothing when off: components call the
 // nil-safe Traces/Record methods, which reduce to one pointer check when
 // no tracer is attached and one integer check per packet when one is.
-// Only sampled packets (Sample assigns ids to the first N packets seen)
-// pay for event formatting and buffer appends.
+// Only sampled packets pay for event formatting and buffer appends.
+//
+// Three sampling modes decide which packets are traced (NewTracerSpec):
+// first-N (the default — trace the start of the run), every-Kth (an
+// unbiased slice of the whole run), and per-flow (the first N flows,
+// every packet of each sharing one trace id, so a flow's full life is
+// one narrative).
 package trace
 
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 
@@ -81,13 +87,33 @@ type Event struct {
 	Detail string // kind-specific: class, rule, function, queue index...
 }
 
+// Mode selects how Sample decides which packets to trace.
+type Mode uint8
+
+// Sampling modes.
+const (
+	// ModeFirst traces the first N packets offered (the original
+	// behaviour; good for watching a run start up).
+	ModeFirst Mode = iota
+	// ModeEvery traces every Kth packet offered (an unbiased slice of
+	// the whole run, not just its warmup).
+	ModeEvery
+	// ModeFlow traces every packet of the first N distinct flows, all
+	// packets of a flow sharing one trace id.
+	ModeFlow
+)
+
 // Tracer records events for sampled packets into a bounded ring buffer.
 // A nil *Tracer is valid and ignores every call.
 type Tracer struct {
 	mu      sync.Mutex
-	limit   int // max packets to sample
+	mode    Mode
+	limit   int // max packets (ModeFirst/ModeEvery) or flows (ModeFlow)
+	every   int // ModeEvery: sample one packet per this many offered
+	offered int // ModeEvery: packets seen so far
 	sampled int
 	nextID  uint64
+	flows   map[packet.FlowKey]uint64 // ModeFlow: flow -> trace id
 	buf     []Event
 	pos     int
 	full    bool
@@ -102,12 +128,69 @@ func NewTracer(capacity, samplePackets int) *Tracer {
 	if samplePackets <= 0 {
 		samplePackets = 1
 	}
-	return &Tracer{limit: samplePackets, buf: make([]Event, 0, capacity)}
+	return &Tracer{mode: ModeFirst, limit: samplePackets, buf: make([]Event, 0, capacity)}
+}
+
+// NewTracerEvery returns a tracer that samples every kth packet offered,
+// without bound on how many, keeping the most recent capacity events.
+func NewTracerEvery(capacity, k int) *Tracer {
+	t := NewTracer(capacity, 1)
+	if k <= 0 {
+		k = 1
+	}
+	t.mode = ModeEvery
+	t.every = k
+	t.limit = int(^uint(0) >> 1) // no packet-count cap; the ring bounds memory
+	return t
+}
+
+// NewTracerFlows returns a tracer that samples every packet of the first
+// flows distinct flows, each flow's packets sharing one trace id.
+func NewTracerFlows(capacity, flows int) *Tracer {
+	t := NewTracer(capacity, flows)
+	t.mode = ModeFlow
+	t.flows = make(map[packet.FlowKey]uint64)
+	return t
+}
+
+// NewTracerSpec builds a tracer from a textual sampling spec:
+//
+//	"N" or "first:N"  — trace the first N packets
+//	"every:K"         — trace every Kth packet
+//	"flow:N"          — trace every packet of the first N flows
+//
+// An empty spec or "0" returns nil (tracing off).
+func NewTracerSpec(capacity int, spec string) (*Tracer, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" || spec == "0" {
+		return nil, nil
+	}
+	mode, arg := "first", spec
+	if i := strings.IndexByte(spec, ':'); i >= 0 {
+		mode, arg = spec[:i], spec[i+1:]
+	}
+	n, err := strconv.Atoi(arg)
+	if err != nil || n < 0 {
+		return nil, fmt.Errorf("trace: bad sample count %q in spec %q", arg, spec)
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	switch mode {
+	case "first":
+		return NewTracer(capacity, n), nil
+	case "every":
+		return NewTracerEvery(capacity, n), nil
+	case "flow":
+		return NewTracerFlows(capacity, n), nil
+	default:
+		return nil, fmt.Errorf("trace: unknown sampling mode %q (want first, every or flow)", mode)
+	}
 }
 
 // Sample offers a packet for tracing. If the packet is already sampled,
-// or the sampling budget allows, it carries a nonzero TraceID afterwards.
-// Reports whether the packet is traced.
+// or the sampling policy selects it, it carries a nonzero TraceID
+// afterwards. Reports whether the packet is traced.
 func (t *Tracer) Sample(pkt *packet.Packet) bool {
 	if t == nil {
 		return false
@@ -117,6 +200,27 @@ func (t *Tracer) Sample(pkt *packet.Packet) bool {
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	switch t.mode {
+	case ModeEvery:
+		t.offered++
+		if t.offered%t.every != 0 {
+			return false
+		}
+	case ModeFlow:
+		key := pkt.Flow()
+		if id, ok := t.flows[key]; ok {
+			pkt.Meta.TraceID = id
+			return true
+		}
+		if t.sampled >= t.limit {
+			return false
+		}
+		t.sampled++
+		t.nextID++
+		t.flows[key] = t.nextID
+		pkt.Meta.TraceID = t.nextID
+		return true
+	}
 	if t.sampled >= t.limit {
 		return false
 	}

@@ -116,3 +116,84 @@ func TestKindStrings(t *testing.T) {
 		t.Error("unknown kind label")
 	}
 }
+
+func TestEveryKthSampling(t *testing.T) {
+	tr := NewTracerEvery(64, 3)
+	var sampled int
+	for i := 0; i < 12; i++ {
+		if tr.Sample(mkPkt()) {
+			sampled++
+		}
+	}
+	if sampled != 4 {
+		t.Errorf("sampled %d of 12 with every:3, want 4", sampled)
+	}
+	// Unlike first-N, every-K keeps sampling past any fixed budget.
+	for i := 0; i < 300; i++ {
+		if tr.Sample(mkPkt()) {
+			sampled++
+		}
+	}
+	if sampled != 104 {
+		t.Errorf("sampled %d of 312 with every:3, want 104", sampled)
+	}
+}
+
+func TestPerFlowSampling(t *testing.T) {
+	tr := NewTracerFlows(64, 2)
+	flowA1 := packet.New(1, 2, 1000, 80, 100)
+	flowA2 := packet.New(1, 2, 1000, 80, 100)
+	flowB := packet.New(3, 4, 2000, 80, 100)
+	flowC := packet.New(5, 6, 3000, 80, 100)
+
+	if !tr.Sample(flowA1) || !tr.Sample(flowB) {
+		t.Fatal("first two flows not sampled")
+	}
+	if tr.Sample(flowC) {
+		t.Error("third flow sampled past the flow budget")
+	}
+	if !tr.Sample(flowA2) {
+		t.Fatal("later packet of a sampled flow not sampled")
+	}
+	if flowA1.Meta.TraceID != flowA2.Meta.TraceID {
+		t.Errorf("flow packets got different ids: %d vs %d",
+			flowA1.Meta.TraceID, flowA2.Meta.TraceID)
+	}
+	if flowA1.Meta.TraceID == flowB.Meta.TraceID {
+		t.Error("distinct flows share a trace id")
+	}
+}
+
+func TestNewTracerSpec(t *testing.T) {
+	cases := []struct {
+		spec string
+		mode Mode
+	}{
+		{"5", ModeFirst},
+		{"first:5", ModeFirst},
+		{"every:10", ModeEvery},
+		{"flow:3", ModeFlow},
+		{"  7 ", ModeFirst},
+	}
+	for _, c := range cases {
+		tr, err := NewTracerSpec(128, c.spec)
+		if err != nil || tr == nil {
+			t.Errorf("NewTracerSpec(%q) = %v, %v", c.spec, tr, err)
+			continue
+		}
+		if tr.mode != c.mode {
+			t.Errorf("NewTracerSpec(%q) mode = %d, want %d", c.spec, tr.mode, c.mode)
+		}
+	}
+	for _, off := range []string{"", "0", "first:0", "every:0", "flow:0"} {
+		tr, err := NewTracerSpec(128, off)
+		if err != nil || tr != nil {
+			t.Errorf("NewTracerSpec(%q) = %v, %v; want nil tracer, nil error", off, tr, err)
+		}
+	}
+	for _, bad := range []string{"x", "-1", "first:x", "every:-2", "rate:5", "flow:"} {
+		if _, err := NewTracerSpec(128, bad); err == nil {
+			t.Errorf("NewTracerSpec(%q) accepted", bad)
+		}
+	}
+}

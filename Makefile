@@ -13,9 +13,13 @@ test:
 # the control plane (controller, ctlproto), the trial-parallel experiment
 # harness, and the observability layer (telemetry, metrics, trace) whose
 # snapshot/span paths are read concurrently by the ops endpoint — a
-# single-iteration bench smoke so benchmark code cannot rot, and a flight-
+# single-iteration bench smoke so benchmark code cannot rot, a flight-
 # recorder smoke: one recorded fig9 iteration that fails if the series is
-# empty, non-monotonic, or disagrees with the terminal counter snapshot.
+# empty, non-monotonic, or disagrees with the terminal counter snapshot,
+# and a churn smoke: one small delta-distribution round over a real TCP
+# agent fleet, under -race, with the same flight-series validation —
+# exiting nonzero unless every agent converges and the churn-phase resync
+# cost tracked the delta size rather than the policy size.
 verify: build
 	@fmt_out=$$(gofmt -l .); if [ -n "$$fmt_out" ]; then \
 		echo "gofmt needed on:"; echo "$$fmt_out"; exit 1; fi
@@ -24,6 +28,7 @@ verify: build
 	$(GO) test -race ./internal/enclave/ ./internal/transport/ ./internal/controller/ ./internal/ctlproto/ ./internal/experiments/ ./internal/netsim/ ./internal/telemetry/ ./internal/metrics/ ./internal/trace/
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
 	$(GO) run ./cmd/edenbench -exp fig9 -runs 1 -ms 30 -parallel 1 -record 5ms -record-check > /dev/null
+	$(GO) run -race ./cmd/edenbench -exp churn -churn-agents 64 -churn-rounds 1 -record 5ms -record-check > /dev/null
 
 bench:
 	$(GO) test -bench=. -benchtime=1x ./...

@@ -12,6 +12,8 @@
 //	edenbench -exp fig12        Figure 12 (CPU overheads)
 //	edenbench -exp table1       Table 1   (function support matrix)
 //	edenbench -exp ablation     design ablations (LB granularity, attach point)
+//	edenbench -exp churn        control-plane churn (delta vs full resync cost;
+//	                            real TCP agents, so not part of -exp all)
 //
 // Flags -runs and -ms scale the simulated experiments (0 = paper-scale
 // defaults). -parallel N fans independent trials across N worker
@@ -35,6 +37,19 @@
 //	                    the terminal snapshot; exit nonzero otherwise
 //	-ops-addr ADDR      serve /metrics, /metricz and pprof over HTTP while
 //	                    experiments run (for watching a long sweep live)
+//
+// The churn benchmark (-metrics/-record/-record-check apply; wall-clock,
+// not sim-time) is shaped by:
+//
+//	-churn-agents N     fleet size (default 1000; each agent is a real
+//	                    TCP connection — mind ulimit -n)
+//	-churn-rounds N     fault-plan flap rounds after the base install
+//	-churn-policy-ops N structural ops in the base policy
+//	-churn-delta-ops N  ops per per-round delta push
+//	-faults PLAN        maps onto the flap schedule: flap=D:P downs a
+//	                    rotating P/D fraction of the fleet per round,
+//	                    loss=R adds seeded random flaps, link=NAME
+//	                    forces that agent down every round
 package main
 
 import (
@@ -137,7 +152,7 @@ func checkFlightSums(f *telemetry.FlightRecorder, set *metrics.Set) error {
 
 func main() {
 	var (
-		exp       = flag.String("exp", "all", "experiment: fig9, fig10, fig11, fig12, table1, all")
+		exp       = flag.String("exp", "all", "experiment: fig9, fig10, fig11, fig12, table1, ablation, churn, all (all = the paper figures; churn must be named explicitly)")
 		runs      = flag.Int("runs", 0, "override number of runs (0 = default)")
 		ms        = flag.Int("ms", 0, "override simulated milliseconds per run (0 = default)")
 		dumpMet   = flag.Bool("metrics", false, "dump a JSON metrics snapshot per simulated experiment")
@@ -148,6 +163,11 @@ func main() {
 		opsAddr   = flag.String("ops-addr", "", "serve a live ops endpoint (/metrics, /metricz, pprof) on this address while experiments run")
 		faults    = flag.String("faults", "", `inject link faults into the simulated experiments, e.g. "flap=5ms:500us,loss=0.001" (see netsim.ParseFaultPlan); per-link flap/loss counters appear in the -metrics snapshot`)
 		par       = flag.Int("parallel", runtime.NumCPU(), "worker goroutines for experiment trials (1 = serial; results are identical either way)")
+
+		churnAgents    = flag.Int("churn-agents", 0, "churn: fleet size (0 = default 1000)")
+		churnRounds    = flag.Int("churn-rounds", 0, "churn: flap rounds after the base install (0 = default)")
+		churnPolicyOps = flag.Int("churn-policy-ops", 0, "churn: structural ops in the base policy (0 = default)")
+		churnDeltaOps  = flag.Int("churn-delta-ops", 0, "churn: ops per per-round delta push (0 = default)")
 	)
 	flag.Parse()
 	experiments.SetParallelism(*par)
@@ -259,6 +279,39 @@ func main() {
 		fmt.Println(experiments.RunAblationGranularity(r, d))
 		fmt.Println(experiments.RunAblationAttachPoint(d))
 	})
+	// Churn spins up a real TCP agent fleet (not a simulation), so it only
+	// runs when named explicitly — "-exp all" stays the paper figures.
+	if *exp == "churn" {
+		t0 := time.Now()
+		cfg := experiments.DefaultChurnConfig()
+		if *churnAgents > 0 {
+			cfg.Agents = *churnAgents
+		}
+		if *churnRounds > 0 {
+			cfg.Rounds = *churnRounds
+		}
+		if *churnPolicyOps > 0 {
+			cfg.PolicyOps = *churnPolicyOps
+		}
+		if *churnDeltaOps > 0 {
+			cfg.DeltaOps = *churnDeltaOps
+		}
+		cfg.Faults = faultPlan
+		ins := mkInstruments()
+		cfg.Metrics, cfg.Flight = ins.set, ins.flight
+		res, err := experiments.RunChurn(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "edenbench: churn: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(res)
+		report("churn", ins)
+		if err := res.Check(); err != nil {
+			fmt.Fprintf(os.Stderr, "edenbench: churn: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("  [churn completed in %.1fs]\n\n", time.Since(t0).Seconds())
+	}
 }
 
 func applyScale(runs *int, dur *netsim.Time, overrideRuns, overrideMs int) {

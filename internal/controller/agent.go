@@ -54,7 +54,7 @@ func dialAndServe(addr string, hello ctlproto.Hello, handler ctlproto.Handler, r
 func ServeEnclave(addr, host string, e *enclave.Enclave) (*Agent, error) {
 	return dialAndServe(addr, ctlproto.Hello{
 		Kind: "enclave", Name: e.Name(), Host: host, Platform: e.Platform(),
-		Generation: e.Generation(),
+		Generation: e.Generation(), Epoch: e.BootID(),
 	}, enclaveHandler(e), e.Spans(), "agent."+e.Name())
 }
 
@@ -92,6 +92,24 @@ func enclaveHandler(e *enclave.Enclave) ctlproto.Handler {
 			if cur == nil {
 				return nil, fmt.Errorf("controller: enclave agent: no open transaction")
 			}
+			// A guarded commit (delta resync) names the generation the
+			// controller computed the staged ops against; if the pipeline
+			// moved since, applying them would corrupt the policy, so the
+			// transaction is dropped and the controller recomputes.
+			var p ctlproto.TxCommitParams
+			if len(params) > 0 {
+				if err := json.Unmarshal(params, &p); err != nil {
+					cur.Abort()
+					return nil, err
+				}
+			}
+			if p.Check {
+				if have := e.Generation(); have != p.Base {
+					cur.Abort()
+					return nil, fmt.Errorf("controller: enclave agent: %s: have %d, want %d",
+						ctlproto.ErrBaseMismatch, have, p.Base)
+				}
+			}
 			// The commit's spans join the committing RPC's trace, not the
 			// one tx_begin arrived under, in case the controller re-stamped.
 			if trace != 0 {
@@ -102,6 +120,16 @@ func enclaveHandler(e *enclave.Enclave) ctlproto.Handler {
 				return nil, err
 			}
 			return ctlproto.TxResult{Generation: gen}, nil
+
+		case ctlproto.OpEnclaveTxReset:
+			txMu.Lock()
+			cur := tx
+			txMu.Unlock()
+			if cur == nil {
+				return nil, fmt.Errorf("controller: enclave agent: no open transaction")
+			}
+			cur.Reset()
+			return nil, nil
 
 		case ctlproto.OpEnclaveTxAbort:
 			txMu.Lock()

@@ -38,8 +38,18 @@ type Controller struct {
 	conns    map[*ctlproto.Peer]struct{}
 	closing  bool
 	arrived  chan struct{}
+	done     chan struct{} // closed by Close; unblocks resync backoff waits
 
 	policies *PolicyStore
+
+	// Resync fan-out: one coalescing job per enclave name, all jobs
+	// sharing a semaphore so a churn storm resyncs at most resyncLimit
+	// agents at a time. Triggers (re-hellos, pushed deltas) arriving while
+	// an agent's job is running fold into one follow-up pass.
+	resyncJobs     map[string]*resyncJob
+	resyncSem      chan struct{}
+	resyncRetryMin time.Duration
+	resyncAttempts int
 
 	// degradedAfter and idleTimeout tune liveness; see SetLiveness.
 	degradedAfter time.Duration
@@ -53,14 +63,32 @@ type Controller struct {
 	logger *slog.Logger
 
 	// reg is the controller's own metrics registry ("controller").
-	reg             *metrics.Registry
-	mHellos         *metrics.Counter
-	mResyncs        *metrics.Counter
-	mResyncErrors   *metrics.Counter
-	mAgentsConnects *metrics.Gauge
+	reg               *metrics.Registry
+	mHellos           *metrics.Counter
+	mResyncs          *metrics.Counter
+	mResyncsDelta     *metrics.Counter
+	mResyncsFull      *metrics.Counter
+	mResyncOps        *metrics.Counter
+	mResyncBytes      *metrics.Counter
+	mResyncsCoalesced *metrics.Counter
+	mResyncRetries    *metrics.Counter
+	mResyncErrors     *metrics.Counter
+	mAgentsConnects   *metrics.Gauge
 
 	wg sync.WaitGroup
 }
+
+// resyncJob is the coalescing slot for one enclave's pending resync work.
+type resyncJob struct {
+	pending bool // a trigger arrived while the job was running
+}
+
+// Resync fan-out defaults; see SetResyncLimit and SetResyncRetry.
+const (
+	DefaultResyncLimit    = 32
+	defaultResyncRetryMin = 50 * time.Millisecond
+	defaultResyncAttempts = 6
+)
 
 // DefaultDegradedAfter is how long an agent may be silent before
 // AgentStatus reports it degraded rather than connected. Heartbeating
@@ -85,22 +113,33 @@ func ListenWithPolicies(addr string, store *PolicyStore) (*Controller, error) {
 	}
 	reg := metrics.NewRegistry("controller")
 	c := &Controller{
-		ln:            ln,
-		enclaves:      map[string]*RemoteEnclave{},
-		stages:        map[string]*RemoteStage{},
-		status:        map[string]*agentState{},
-		conns:         map[*ctlproto.Peer]struct{}{},
-		arrived:       make(chan struct{}, 64),
-		policies:      store,
-		degradedAfter: DefaultDegradedAfter,
-		spans:         telemetry.NewRecorder(0),
-		logger:        telemetry.DiscardLogger(),
+		ln:             ln,
+		enclaves:       map[string]*RemoteEnclave{},
+		stages:         map[string]*RemoteStage{},
+		status:         map[string]*agentState{},
+		conns:          map[*ctlproto.Peer]struct{}{},
+		arrived:        make(chan struct{}, 64),
+		done:           make(chan struct{}),
+		policies:       store,
+		resyncJobs:     map[string]*resyncJob{},
+		resyncSem:      make(chan struct{}, DefaultResyncLimit),
+		resyncRetryMin: defaultResyncRetryMin,
+		resyncAttempts: defaultResyncAttempts,
+		degradedAfter:  DefaultDegradedAfter,
+		spans:          telemetry.NewRecorder(0),
+		logger:         telemetry.DiscardLogger(),
 
-		reg:             reg,
-		mHellos:         reg.Counter("hellos"),
-		mResyncs:        reg.Counter("resyncs"),
-		mResyncErrors:   reg.Counter("resync_errors"),
-		mAgentsConnects: reg.Gauge("agents_connected"),
+		reg:               reg,
+		mHellos:           reg.Counter("hellos"),
+		mResyncs:          reg.Counter("resyncs"),
+		mResyncsDelta:     reg.Counter("resyncs_delta"),
+		mResyncsFull:      reg.Counter("resyncs_full"),
+		mResyncOps:        reg.Counter("resync_ops"),
+		mResyncBytes:      reg.Counter("resync_bytes"),
+		mResyncsCoalesced: reg.Counter("resyncs_coalesced"),
+		mResyncRetries:    reg.Counter("resync_retries"),
+		mResyncErrors:     reg.Counter("resync_errors"),
+		mAgentsConnects:   reg.Gauge("agents_connected"),
 	}
 	c.wg.Add(1)
 	go c.acceptLoop()
@@ -149,6 +188,36 @@ func (c *Controller) SetLiveness(degradedAfter, idleTimeout time.Duration) {
 	c.idleTimeout = idleTimeout
 }
 
+// SetResyncLimit bounds how many agents the controller resyncs
+// concurrently (the push fan-out width). n <= 0 restores the default.
+// Affects resyncs scheduled after the call.
+func (c *Controller) SetResyncLimit(n int) {
+	if n <= 0 {
+		n = DefaultResyncLimit
+	}
+	c.mu.Lock()
+	c.resyncSem = make(chan struct{}, n)
+	c.mu.Unlock()
+}
+
+// SetResyncRetry tunes how a failed resync pass is retried: min is the
+// first backoff (doubling per retry), attempts the bound on passes per
+// trigger. Zero values restore the defaults. After the last attempt the
+// agent keeps its resync error until the next trigger (re-hello or pushed
+// delta) re-queues it.
+func (c *Controller) SetResyncRetry(min time.Duration, attempts int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if min <= 0 {
+		min = defaultResyncRetryMin
+	}
+	if attempts <= 0 {
+		attempts = defaultResyncAttempts
+	}
+	c.resyncRetryMin = min
+	c.resyncAttempts = attempts
+}
+
 // Addr returns the controller's listen address.
 func (c *Controller) Addr() string { return c.ln.Addr().String() }
 
@@ -157,7 +226,10 @@ func (c *Controller) Addr() string { return c.ln.Addr().String() }
 func (c *Controller) Close() error {
 	err := c.ln.Close()
 	c.mu.Lock()
-	c.closing = true
+	if !c.closing {
+		c.closing = true
+		close(c.done)
+	}
 	peers := make([]*ctlproto.Peer, 0, len(c.conns))
 	for p := range c.conns {
 		peers = append(peers, p)
@@ -277,16 +349,18 @@ func (c *Controller) register(h ctlproto.Hello, peer *ctlproto.Peer) error {
 	st.peer = peer
 	st.connects++
 	st.generation = h.Generation
+	st.epoch = h.Epoch
 	st.lastHello = time.Now()
 	needResync := false
-	var intended AgentPolicy
 	if h.Kind == "enclave" {
-		if pol, ok := c.policies.get(h.Name); ok && pol.Generation != h.Generation && len(pol.Structural) > 0 {
+		// A generation mismatch means the enclave is stale (or ahead);
+		// a leftover resync error means the last replay did not finish
+		// (e.g. globals landed partially) — both re-queue the agent.
+		if pol, ok := c.policies.get(h.Name); ok && len(pol.Structural) > 0 &&
+			(pol.Generation != h.Generation || st.resyncErr != "") {
 			needResync = true
-			intended = pol
 		}
 	}
-	re := c.enclaves[h.Name]
 	c.mHellos.Inc()
 	c.mAgentsConnects.Set(c.connectedLocked())
 	logger := c.logger
@@ -298,11 +372,7 @@ func (c *Controller) register(h ctlproto.Hello, peer *ctlproto.Peer) error {
 		old.Close()
 	}
 	if needResync {
-		c.wg.Add(1)
-		go func() {
-			defer c.wg.Done()
-			c.resync(re, st, intended)
-		}()
+		c.scheduleResync(h.Name)
 	}
 	select {
 	case c.arrived <- struct{}{}:
@@ -354,61 +424,264 @@ func (c *Controller) unregister(peer *ctlproto.Peer) {
 	}
 }
 
-// resync replays the intended policy onto a freshly re-registered enclave
-// whose hello generation did not match: the last committed transaction's
-// structural ops are staged and committed as one atomic pipeline swap,
-// then the recorded global-state pushes are re-applied. On success the
-// store's intended generation moves to the enclave's new generation.
-func (c *Controller) resync(re *RemoteEnclave, st *agentState, pol AgentPolicy) {
+// PushDelta records a controller-computed policy slice for one enclave —
+// the Merlin-style per-device delta — and distributes it: a connected
+// agent gets a coalesced push through the resync fan-out, an absent one
+// catches up from the op-log (or a full replay) on its next re-hello. It
+// returns the new intended generation. The ops extend the cumulative
+// structural policy, so they must be valid on top of the current one.
+func (c *Controller) PushDelta(name string, ops []PolicyOp) uint64 {
+	gen := c.policies.appendDelta(name, ops)
+	c.scheduleResync(name)
+	return gen
+}
+
+// scheduleResync queues a resync pass for the named enclave. A trigger
+// arriving while the agent's job is already running (a churn storm's
+// repeated flaps, a burst of pushed deltas) folds into one follow-up pass
+// instead of piling up goroutines — one resync per agent, not one per
+// flap.
+func (c *Controller) scheduleResync(name string) {
+	c.mu.Lock()
+	if c.closing {
+		c.mu.Unlock()
+		return
+	}
+	if j := c.resyncJobs[name]; j != nil {
+		j.pending = true
+		c.mu.Unlock()
+		c.mResyncsCoalesced.Inc()
+		return
+	}
+	j := &resyncJob{}
+	c.resyncJobs[name] = j
+	sem := c.resyncSem
+	c.wg.Add(1)
+	c.mu.Unlock()
+	go func() {
+		defer c.wg.Done()
+		c.runResync(name, j, sem)
+	}()
+}
+
+// runResync is one enclave's resync worker: it holds a fan-out slot,
+// retries failed passes with bounded exponential backoff (a pass that
+// committed structurally but lost the globals replay is retried — the
+// agent must not sit degraded with partially applied globals), and loops
+// while coalesced triggers are pending.
+func (c *Controller) runResync(name string, j *resyncJob, sem chan struct{}) {
+	select {
+	case sem <- struct{}{}:
+	case <-c.done:
+		c.mu.Lock()
+		delete(c.resyncJobs, name)
+		c.mu.Unlock()
+		return
+	}
+	defer func() { <-sem }()
+	for {
+		c.mu.Lock()
+		backoff, attempts := c.resyncRetryMin, c.resyncAttempts
+		c.mu.Unlock()
+		for attempt := 0; attempt < attempts; attempt++ {
+			if attempt > 0 {
+				c.mResyncRetries.Inc()
+				select {
+				case <-time.After(backoff):
+				case <-c.done:
+					c.mu.Lock()
+					delete(c.resyncJobs, name)
+					c.mu.Unlock()
+					return
+				}
+				backoff *= 2
+			}
+			done, err := c.resyncOnce(name)
+			if done {
+				break
+			}
+			if err != nil {
+				c.mResyncErrors.Inc()
+				c.log().Warn("policy resync failed",
+					"component", "controller", "agent", name,
+					"attempt", attempt+1, "err", err)
+			}
+		}
+		// Re-run if a trigger arrived while this pass ran; otherwise
+		// retire the job (a later trigger starts a fresh one).
+		c.mu.Lock()
+		if j.pending {
+			j.pending = false
+			c.mu.Unlock()
+			continue
+		}
+		delete(c.resyncJobs, name)
+		c.mu.Unlock()
+		return
+	}
+}
+
+// resyncOnce runs one resync pass against the named enclave: a delta
+// transaction when the op-log covers the agent's generation (full replay
+// otherwise), then the recorded global pushes. It reports done when no
+// further pass is needed — the agent converged, disconnected (the next
+// re-hello re-queues), or has no intended policy.
+func (c *Controller) resyncOnce(name string) (done bool, err error) {
 	const opTimeout = 10 * time.Second
+	c.mu.Lock()
+	re := c.enclaves[name]
+	st := c.status[statusKey("enclave", name)]
+	c.mu.Unlock()
+	if re == nil || st == nil {
+		return true, nil
+	}
+	c.mu.Lock()
+	agentGen, agentEpoch := st.generation, st.epoch
+	hadErr := st.resyncErr != ""
+	c.mu.Unlock()
+	pol, ok := c.policies.get(name)
+	if !ok || len(pol.Structural) == 0 {
+		return true, nil
+	}
+	if pol.Generation == agentGen && !hadErr {
+		return true, nil // converged, nothing outstanding
+	}
+
 	trace := c.spans.NewTraceID()
 	re.peer.SetTrace(trace)
 	defer re.peer.SetTrace(0)
 	span := c.spans.Start(trace, "controller", "controller.resync")
-	span.SetAttr("agent", re.Name)
+	span.SetAttr("agent", name)
 	span.SetAttr("intended_generation", strconv.FormatUint(pol.Generation, 10))
-	fail := func(err error) {
+	fail := func(err error) (bool, error) {
 		c.mu.Lock()
 		st.resyncErr = err.Error()
+		stale := c.enclaves[name] == nil || c.enclaves[name].peer != re.peer
 		c.mu.Unlock()
-		c.mResyncErrors.Inc()
 		span.End(err)
-		c.log().Warn("policy resync failed",
-			"component", "controller", "agent", re.Name, "err", err)
+		if stale {
+			// The connection died or was superseded mid-pass (a flap): not
+			// a resync failure worth retrying or counting — the leftover
+			// resyncErr makes the next re-hello re-queue the agent.
+			return true, nil
+		}
+		// Best effort: refresh the agent's generation so the retry (and
+		// the delta-vs-full decision) works from where the pipeline
+		// actually is, not where the failed pass assumed it was.
+		var cur ctlproto.TxResult
+		if gerr := re.peer.CallTimeout(ctlproto.OpEnclaveGeneration, nil, &cur, opTimeout); gerr == nil {
+			c.mu.Lock()
+			st.generation = cur.Generation
+			c.mu.Unlock()
+		}
+		return false, err
 	}
-	if err := re.peer.CallTimeout(ctlproto.OpEnclaveTxBegin, nil, nil, opTimeout); err != nil {
-		fail(err)
-		return
-	}
-	for _, op := range pol.Structural {
-		if err := re.peer.CallTimeout(op.Op, op.Params, nil, opTimeout); err != nil {
-			_ = re.peer.CallTimeout(ctlproto.OpEnclaveTxAbort, nil, nil, opTimeout)
-			fail(err)
-			return
+
+	if pol.Generation != agentGen {
+		ops, isDelta := c.policies.deltaSince(name, agentGen, agentEpoch)
+		if !isDelta {
+			ops = pol.Structural
+		}
+		mode := "full"
+		if isDelta {
+			mode = "delta"
+		}
+		span.SetAttr("mode", mode)
+		span.SetAttr("structural_ops", strconv.Itoa(len(ops)))
+		if err := re.peer.CallTimeout(ctlproto.OpEnclaveTxBegin, nil, nil, opTimeout); err != nil {
+			return fail(err)
+		}
+		if !isDelta {
+			// A full replay swaps the whole pipeline: the staged reset makes
+			// it correct whatever the enclave currently runs (a dirty
+			// pipeline after a truncated op-log, a half-synced retry), where
+			// replaying onto existing state would trip duplicate errors.
+			if err := re.peer.CallTimeout(ctlproto.OpEnclaveTxReset, nil, nil, opTimeout); err != nil {
+				_ = re.peer.CallTimeout(ctlproto.OpEnclaveTxAbort, nil, nil, opTimeout)
+				return fail(err)
+			}
+		}
+		var bytes int64
+		for _, op := range ops {
+			if err := re.peer.CallTimeout(op.Op, op.Params, nil, opTimeout); err != nil {
+				_ = re.peer.CallTimeout(ctlproto.OpEnclaveTxAbort, nil, nil, opTimeout)
+				return fail(err)
+			}
+			bytes += int64(len(op.Params))
+		}
+		// The commit is guarded by the generation the replay was computed
+		// against: if the pipeline moved underneath (a concurrent
+		// transaction on a fresh connection), the agent rejects it and the
+		// retry recomputes from the new generation.
+		var res ctlproto.TxResult
+		commitParams := ctlproto.TxCommitParams{Base: agentGen, Check: true}
+		if err := re.peer.CallTimeout(ctlproto.OpEnclaveTxCommit, commitParams, &res, opTimeout); err != nil {
+			return fail(err)
+		}
+		// Record the committed generation immediately: whatever happens to
+		// the globals replay below, the pipeline IS at res.Generation now,
+		// and forgetting that is how an agent gets wedged re-replaying a
+		// transaction it already has.
+		c.mu.Lock()
+		st.generation = res.Generation
+		if isDelta {
+			st.deltaResyncs++
+		} else {
+			st.fullResyncs++
+		}
+		c.mu.Unlock()
+		c.mResyncOps.Add(int64(len(ops)))
+		c.mResyncBytes.Add(bytes)
+		if isDelta {
+			c.mResyncsDelta.Inc()
+		} else {
+			c.mResyncsFull.Inc()
+		}
+		span.SetAttr("generation", strconv.FormatUint(res.Generation, 10))
+		// Conditional on the generation observed when the policy was
+		// snapshotted: a concurrent commit moving the store past it means
+		// this replay is already stale — keep the newer intent and go
+		// around again rather than overwrite it (the lost-update hole).
+		if !c.policies.completeResync(name, pol.Generation, res.Generation, agentEpoch) {
+			err := fmt.Errorf("controller: resync of %s superseded by a concurrent commit", name)
+			c.mu.Lock()
+			st.resyncErr = err.Error()
+			c.mu.Unlock()
+			span.End(err)
+			return false, err
 		}
 	}
-	var res ctlproto.TxResult
-	if err := re.peer.CallTimeout(ctlproto.OpEnclaveTxCommit, nil, &res, opTimeout); err != nil {
-		fail(err)
-		return
-	}
+
 	for _, op := range pol.Globals {
 		if err := re.peer.CallTimeout(op.Op, op.Params, nil, opTimeout); err != nil {
-			fail(err)
-			return
+			return fail(err)
 		}
 	}
-	c.policies.setGeneration(re.Name, res.Generation)
+
 	c.mu.Lock()
-	st.generation = res.Generation
+	gen := st.generation
 	st.resyncs++
 	st.resyncErr = ""
 	c.mu.Unlock()
 	c.mResyncs.Inc()
-	span.SetAttr("generation", strconv.FormatUint(res.Generation, 10))
 	span.End(nil)
 	c.log().Info("policy resync complete",
-		"component", "controller", "agent", re.Name, "generation", res.Generation)
+		"component", "controller", "agent", name, "generation", gen)
+	return c.converged(name), nil
+}
+
+// converged reports whether the named enclave's generation matches the
+// intended one (more deltas may have landed while a pass ran).
+func (c *Controller) converged(name string) bool {
+	c.mu.Lock()
+	st := c.status[statusKey("enclave", name)]
+	var gen uint64
+	if st != nil {
+		gen = st.generation
+	}
+	c.mu.Unlock()
+	pol, ok := c.policies.get(name)
+	return !ok || st == nil || pol.Generation == gen
 }
 
 // Enclave returns the registered enclave with the given name.
@@ -503,14 +776,17 @@ func (l Liveness) String() string {
 // outlives individual connections: reconnects update it, disconnects mark
 // it gone but keep the history.
 type agentState struct {
-	kind, name string
-	peer       *ctlproto.Peer // nil while disconnected
-	connects   int
-	resyncs    int
-	resyncErr  string
-	generation uint64
-	lastHello  time.Time
-	lastSeen   time.Time // last activity on the final connection, once gone
+	kind, name   string
+	peer         *ctlproto.Peer // nil while disconnected
+	connects     int
+	resyncs      int
+	deltaResyncs int
+	fullResyncs  int
+	resyncErr    string
+	generation   uint64
+	epoch        uint64 // enclave boot id; generations comparable only within one epoch
+	lastHello    time.Time
+	lastSeen     time.Time // last activity on the final connection, once gone
 }
 
 // AgentStatus is a snapshot of one agent's liveness.
@@ -521,10 +797,14 @@ type AgentStatus struct {
 	LastSeen time.Time
 	// Connects counts completed hellos; >1 means the agent reconnected.
 	Connects int
-	// Resyncs counts policy replays after stale re-hellos; ResyncErr holds
-	// the error of the last failed replay ("" when healthy).
-	Resyncs   int
-	ResyncErr string
+	// Resyncs counts policy replays after stale re-hellos; DeltaResyncs and
+	// FullResyncs split the structural transactions those replays ran by
+	// mode (an op-log delta vs a full policy replay). ResyncErr holds the
+	// error of the last failed replay ("" when healthy).
+	Resyncs      int
+	DeltaResyncs int
+	FullResyncs  int
+	ResyncErr    string
 	// Generation is the agent's last known pipeline generation;
 	// IntendedGeneration is the generation of the controller's last
 	// committed policy for it (0 if none).
@@ -535,7 +815,9 @@ type AgentStatus struct {
 func (c *Controller) statusLocked(st *agentState) AgentStatus {
 	s := AgentStatus{
 		Kind: st.kind, Name: st.name,
-		Connects: st.connects, Resyncs: st.resyncs, ResyncErr: st.resyncErr,
+		Connects: st.connects, Resyncs: st.resyncs,
+		DeltaResyncs: st.deltaResyncs, FullResyncs: st.fullResyncs,
+		ResyncErr:  st.resyncErr,
 		Generation: st.generation,
 	}
 	if pol, ok := c.policies.get(st.name); ok && st.kind == "enclave" {
@@ -580,6 +862,17 @@ func (c *Controller) noteGeneration(kind, name string, gen uint64) {
 	if st, ok := c.status[statusKey(kind, name)]; ok {
 		st.generation = gen
 	}
+}
+
+// epochOf returns the boot epoch the named enclave reported in its latest
+// hello (0 if unknown).
+func (c *Controller) epochOf(name string) uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if st, ok := c.status[statusKey("enclave", name)]; ok {
+		return st.epoch
+	}
+	return 0
 }
 
 // AgentStatuses snapshots every known agent's liveness.
@@ -636,7 +929,7 @@ func (e *RemoteEnclave) callGlobal(op string, p ctlproto.GlobalParams) error {
 	}
 	if e.ctl != nil {
 		if raw, err := json.Marshal(p); err == nil {
-			e.ctl.policies.recordGlobal(e.Name, op+"/"+p.Func+"/"+p.Name, PolicyOp{Op: op, Params: raw})
+			e.ctl.policies.recordGlobal(e.Name, op+"/"+p.Func+"/"+p.Name, p.Func, PolicyOp{Op: op, Params: raw})
 		}
 	}
 	return nil
@@ -764,7 +1057,7 @@ func (e *RemoteEnclave) TxCommit() (uint64, error) {
 		return 0, err
 	}
 	if e.ctl != nil && wasOpen {
-		e.ctl.policies.commit(e.Name, out.Generation, log)
+		e.ctl.policies.commit(e.Name, out.Generation, e.ctl.epochOf(e.Name), log)
 		e.ctl.noteGeneration("enclave", e.Name, out.Generation)
 	}
 	return out.Generation, nil

@@ -1,0 +1,511 @@
+package controller
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"eden/internal/ctlproto"
+	"eden/internal/enclave"
+	"eden/internal/funcs"
+	"eden/internal/packet"
+)
+
+// interceptAgent connects enc to the controller like ServeEnclave, but
+// routes every incoming op through intercept first; a non-nil error fails
+// the op without touching the enclave. Tests use it to inject agent-side
+// faults (failed global pushes, stalled commits) into the resync path.
+func interceptAgent(t *testing.T, addr string, enc *enclave.Enclave, intercept func(op string) error) *Agent {
+	t.Helper()
+	inner := enclaveHandler(enc)
+	h := func(op string, params json.RawMessage, trace uint64) (any, error) {
+		if err := intercept(op); err != nil {
+			return nil, err
+		}
+		return inner(op, params, trace)
+	}
+	a, err := dialAndServe(addr, ctlproto.Hello{
+		Kind: "enclave", Name: enc.Name(), Host: "h", Platform: enc.Platform(),
+		Generation: enc.Generation(), Epoch: enc.BootID(),
+	}, h, enc.Spans(), "agent."+enc.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func policyOp(t *testing.T, op string, params any) PolicyOp {
+	t.Helper()
+	raw, err := json.Marshal(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return PolicyOp{Op: op, Params: raw}
+}
+
+// waitConverged polls until the named agent reports the intended
+// generation with no outstanding resync error.
+func waitConverged(t *testing.T, ctl *Controller, name string) AgentStatus {
+	t.Helper()
+	var st AgentStatus
+	waitFor(t, name+" to converge", func() bool {
+		s, ok := ctl.AgentStatus(name)
+		if !ok {
+			return false
+		}
+		st = s
+		return s.ResyncErr == "" && s.Resyncs > 0 && s.Generation == s.IntendedGeneration
+	})
+	return st
+}
+
+// TestResyncRetriesPartialGlobals is the stuck-degraded regression: a
+// globals push failing after the structural transaction committed must
+// not strand the agent. The committed generation is recorded, the failed
+// globals are retried with backoff, and the structural transaction is not
+// re-run (exactly one tx_commit despite two injected failures).
+func TestResyncRetriesPartialGlobals(t *testing.T) {
+	ctl, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctl.Close()
+	ctl.SetResyncRetry(5*time.Millisecond, 10)
+
+	enc1 := newTestEnclave("e1")
+	a1, err := ServeEnclave(ctl.Addr(), "h1", enc1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ctl.WaitForAgents(1, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	re, _ := ctl.Enclave("e1")
+	pushPIAS(t, re)
+	a1.Close()
+	waitFor(t, "old agent to unregister", func() bool {
+		_, ok := ctl.Enclave("e1")
+		return !ok
+	})
+
+	// A fresh enclave re-hellos at generation 0; its agent fails the first
+	// two global-array pushes, so the first two resync passes die after
+	// the structural commit.
+	enc2 := newTestEnclave("e1")
+	var failures atomic.Int32
+	failures.Store(2)
+	var txCommits atomic.Int32
+	a2 := interceptAgent(t, ctl.Addr(), enc2, func(op string) error {
+		switch op {
+		case ctlproto.OpEnclaveUpdateArray:
+			if failures.Load() > 0 {
+				failures.Add(-1)
+				return fmt.Errorf("injected globals failure")
+			}
+		case ctlproto.OpEnclaveTxCommit:
+			txCommits.Add(1)
+		}
+		return nil
+	})
+	defer a2.Close()
+
+	st := waitConverged(t, ctl, "e1")
+	if got := piasPriority(enc2, 1); got != 7 {
+		t.Fatalf("priority after recovered resync = %d, want 7", got)
+	}
+	if n := txCommits.Load(); n != 1 {
+		t.Fatalf("structural tx committed %d times, want 1 (retries must resume from the recorded generation)", n)
+	}
+	if st.Generation != 1 {
+		t.Fatalf("agent generation = %d, want 1", st.Generation)
+	}
+	if n := ctl.Metrics().Counter("resync_retries").Load(); n < 2 {
+		t.Fatalf("resync_retries = %d, want >= 2", n)
+	}
+}
+
+// TestCommitPrunesStaleGlobals is the wedged-resync regression: a global
+// recorded for a function a later transaction uninstalled must be pruned
+// at commit, or every future replay fails on it permanently.
+func TestCommitPrunesStaleGlobals(t *testing.T) {
+	ctl, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctl.Close()
+
+	enc1 := newTestEnclave("e1")
+	a1, err := ServeEnclave(ctl.Addr(), "h1", enc1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ctl.WaitForAgents(1, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	re, _ := ctl.Enclave("e1")
+
+	pias, err := funcs.Compile("pias")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixed, err := funcs.Compile("fixed_priority")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := re.TxBegin(); err != nil {
+		t.Fatal(err)
+	}
+	if err := re.Install(pias); err != nil {
+		t.Fatal(err)
+	}
+	if err := re.Install(fixed); err != nil {
+		t.Fatal(err)
+	}
+	if err := re.CreateTable(enclave.Egress, "sched"); err != nil {
+		t.Fatal(err)
+	}
+	if err := re.AddRule(enclave.Egress, "sched", "*", "pias"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := re.TxCommit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := re.UpdateGlobalArray("pias", "priorities", []int64{10240, 1048576}); err != nil {
+		t.Fatal(err)
+	}
+	if err := re.UpdateGlobalArray("pias", "priovals", []int64{7, 5}); err != nil {
+		t.Fatal(err)
+	}
+	if err := re.UpdateGlobal("fixed_priority", "prio", 3); err != nil {
+		t.Fatal(err)
+	}
+
+	// A second transaction removes fixed_priority; its recorded global
+	// must leave the intended policy with it.
+	if err := re.TxBegin(); err != nil {
+		t.Fatal(err)
+	}
+	if err := re.Uninstall("fixed_priority"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := re.TxCommit(); err != nil {
+		t.Fatal(err)
+	}
+	pol, ok := ctl.Policies().Intended("e1")
+	if !ok {
+		t.Fatal("no intended policy")
+	}
+	for _, g := range pol.Globals {
+		var p ctlproto.GlobalParams
+		if err := json.Unmarshal(g.Params, &p); err != nil {
+			t.Fatal(err)
+		}
+		if p.Func == "fixed_priority" {
+			t.Fatalf("global for uninstalled func survived commit: %s %s", g.Op, g.Params)
+		}
+	}
+
+	// A fresh enclave must be able to replay the pruned policy in full.
+	a1.Close()
+	waitFor(t, "old agent to unregister", func() bool {
+		_, ok := ctl.Enclave("e1")
+		return !ok
+	})
+	enc2 := newTestEnclave("e1")
+	a2, err := ServeEnclave(ctl.Addr(), "h1", enc2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a2.Close()
+	waitConverged(t, ctl, "e1")
+	if got := piasPriority(enc2, 1); got != 7 {
+		t.Fatalf("priority after replay = %d, want 7", got)
+	}
+}
+
+// TestResyncGenerationCAS is the lost-update regression: a delta pushed
+// while a replay is in flight must not be overwritten when the replay
+// lands. The store update is conditional on the generation the replay
+// observed; the racing delta ships in a follow-up pass.
+func TestResyncGenerationCAS(t *testing.T) {
+	ctl, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctl.Close()
+	ctl.SetResyncRetry(5*time.Millisecond, 10)
+
+	enc1 := newTestEnclave("e1")
+	a1, err := ServeEnclave(ctl.Addr(), "h1", enc1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ctl.WaitForAgents(1, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	re1, _ := ctl.Enclave("e1")
+	pushPIAS(t, re1)
+	a1.Close()
+	waitFor(t, "old agent to unregister", func() bool {
+		_, ok := ctl.Enclave("e1")
+		return !ok
+	})
+
+	// The fresh enclave's replay stalls inside tx_commit; while it is
+	// stalled, a delta lands in the store.
+	enc2 := newTestEnclave("e1")
+	var stallOnce sync.Once
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	a2 := interceptAgent(t, ctl.Addr(), enc2, func(op string) error {
+		if op == ctlproto.OpEnclaveTxCommit {
+			stallOnce.Do(func() {
+				close(entered)
+				<-release
+			})
+		}
+		return nil
+	})
+	defer a2.Close()
+
+	<-entered
+	fixed, err := funcs.Compile("fixed_priority")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctl.PushDelta("e1", []PolicyOp{
+		policyOp(t, ctlproto.OpEnclaveInstall, ctlproto.ToSpec(fixed)),
+		policyOp(t, ctlproto.OpEnclaveCreateTable, ctlproto.TableParams{Dir: int(enclave.Egress), Table: "qos"}),
+		policyOp(t, ctlproto.OpEnclaveAddRule, ctlproto.RuleParams{Dir: int(enclave.Egress), Table: "qos", Pattern: "*", Func: "fixed_priority"}),
+	})
+	close(release)
+
+	waitConverged(t, ctl, "e1")
+	re2, ok := ctl.Enclave("e1")
+	if !ok {
+		t.Fatal("agent not registered")
+	}
+	if err := re2.UpdateGlobal("fixed_priority", "prio", 3); err != nil {
+		t.Fatalf("racing delta was lost: %v", err)
+	}
+	if got := piasPriority(enc2, 1); got != 3 {
+		t.Fatalf("priority after delta = %d, want 3 (qos table from the racing delta)", got)
+	}
+}
+
+// TestDeltaResyncUsesOpLog checks the tentpole path: an agent behind by a
+// few pushed deltas catches up from the op-log — counted as delta, not
+// full, resyncs — whether the push finds it connected or it re-hellos
+// later over the same enclave instance.
+func TestDeltaResyncUsesOpLog(t *testing.T) {
+	ctl, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctl.Close()
+
+	enc := newTestEnclave("e1")
+	agent := ServeEnclavePersistent(ctl.Addr(), "h1", enc, ReconnectConfig{
+		BackoffMin: 5 * time.Millisecond, BackoffMax: 50 * time.Millisecond,
+		Heartbeat: 10 * time.Millisecond, CallTimeout: 2 * time.Second,
+	})
+	defer agent.Close()
+	if err := ctl.WaitForAgents(1, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	re, _ := ctl.Enclave("e1")
+	pushPIAS(t, re)
+
+	// Delta 1: pushed while the agent is connected (live fan-out).
+	gen := ctl.PushDelta("e1", []PolicyOp{
+		policyOp(t, ctlproto.OpEnclaveAddRule, ctlproto.RuleParams{Dir: int(enclave.Egress), Table: "sched", Pattern: "aux.*", Func: "pias"}),
+	})
+	waitFor(t, "live delta push", func() bool {
+		s, ok := ctl.AgentStatus("e1")
+		return ok && s.ResyncErr == "" && s.Generation == gen
+	})
+
+	// Delta 2: pushed while the agent is away; it catches up on re-hello.
+	agent.DropConnection()
+	waitFor(t, "agent to disconnect", func() bool { return !agent.Connected() })
+	ctl.PushDelta("e1", []PolicyOp{
+		policyOp(t, ctlproto.OpEnclaveAddRule, ctlproto.RuleParams{Dir: int(enclave.Egress), Table: "sched", Pattern: "aux2.*", Func: "pias"}),
+	})
+	st := waitConverged(t, ctl, "e1")
+
+	if st.DeltaResyncs < 2 {
+		t.Fatalf("DeltaResyncs = %d, want >= 2", st.DeltaResyncs)
+	}
+	if st.FullResyncs != 0 {
+		t.Fatalf("FullResyncs = %d, want 0 (op-log covered every gap)", st.FullResyncs)
+	}
+	if n := ctl.Metrics().Counter("resyncs_full").Load(); n != 0 {
+		t.Fatalf("resyncs_full = %d, want 0", n)
+	}
+	// Each delta resync carried one op; a full replay of the PIAS policy
+	// would carry at least three per pass.
+	ops := ctl.Metrics().Counter("resync_ops").Load()
+	if d := ctl.Metrics().Counter("resyncs_delta").Load(); d < 2 || ops > 2*d {
+		t.Fatalf("resync_ops = %d over %d delta resyncs, want ~1 op each", ops, d)
+	}
+	if got := piasPriority(enc, 1); got != 7 {
+		t.Fatalf("priority after deltas = %d, want 7", got)
+	}
+}
+
+// TestFullReplayAfterLogTruncation: when pushed deltas outrun the bounded
+// op-log, the agent falls back to a full replay — which must succeed even
+// though its pipeline is non-empty (the replay swaps the pipeline, it
+// does not extend it).
+func TestFullReplayAfterLogTruncation(t *testing.T) {
+	store := NewPolicyStore()
+	store.SetOpLogCap(2)
+	ctl, err := ListenWithPolicies("127.0.0.1:0", store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctl.Close()
+
+	enc := newTestEnclave("e1")
+	agent := ServeEnclavePersistent(ctl.Addr(), "h1", enc, ReconnectConfig{
+		BackoffMin: 5 * time.Millisecond, BackoffMax: 50 * time.Millisecond,
+		Heartbeat: 10 * time.Millisecond, CallTimeout: 2 * time.Second,
+	})
+	if err := ctl.WaitForAgents(1, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	re, _ := ctl.Enclave("e1")
+	pushPIAS(t, re)
+	agent.Close()
+	waitFor(t, "agent to unregister", func() bool {
+		_, ok := ctl.Enclave("e1")
+		return !ok
+	})
+
+	// Four deltas against a log bounded at two: the agent's gap falls off
+	// the log.
+	for i := 0; i < 4; i++ {
+		ctl.PushDelta("e1", []PolicyOp{
+			policyOp(t, ctlproto.OpEnclaveAddRule, ctlproto.RuleParams{
+				Dir: int(enclave.Egress), Table: "sched",
+				Pattern: fmt.Sprintf("p%d.*", i), Func: "pias",
+			}),
+		})
+	}
+	if n := store.logLen("e1"); n != 2 {
+		t.Fatalf("op-log length = %d, want 2 (bounded)", n)
+	}
+
+	agent2 := ServeEnclavePersistent(ctl.Addr(), "h1", enc, ReconnectConfig{
+		BackoffMin: 5 * time.Millisecond, BackoffMax: 50 * time.Millisecond,
+		Heartbeat: 10 * time.Millisecond, CallTimeout: 2 * time.Second,
+	})
+	defer agent2.Close()
+	st := waitConverged(t, ctl, "e1")
+	if st.FullResyncs < 1 {
+		t.Fatalf("FullResyncs = %d, want >= 1 (log truncated past the agent)", st.FullResyncs)
+	}
+	if got := piasPriority(enc, 1); got != 7 {
+		t.Fatalf("priority after full replay = %d, want 7", got)
+	}
+}
+
+// TestTxResetSwapsPipeline: a transaction staged after Reset publishes a
+// pipeline built from empty, atomically replacing whatever was installed.
+func TestTxResetSwapsPipeline(t *testing.T) {
+	enc := newTestEnclave("e1")
+	pias, err := funcs.Compile("pias")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx := enc.Begin()
+	tx.InstallFunc(pias)
+	tx.CreateTable(enclave.Egress, "sched")
+	tx.AddRule(enclave.Egress, "sched", enclave.Rule{Pattern: "*", Func: "pias"})
+	if _, err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Re-staging the same policy without Reset trips duplicates...
+	tx = enc.Begin()
+	tx.InstallFunc(pias)
+	tx.CreateTable(enclave.Egress, "sched")
+	if _, err := tx.Commit(); err == nil {
+		t.Fatal("re-staging onto a non-empty pipeline should fail")
+	}
+
+	// ...and with Reset it swaps cleanly.
+	tx = enc.Begin()
+	tx.Reset()
+	tx.InstallFunc(pias)
+	tx.CreateTable(enclave.Egress, "sched")
+	tx.AddRule(enclave.Egress, "sched", enclave.Rule{Pattern: "*", Func: "pias"})
+	if _, err := tx.Commit(); err != nil {
+		t.Fatalf("reset replay failed: %v", err)
+	}
+	if err := enc.UpdateGlobalArray("pias", "priorities", []int64{10240, 1048576}); err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.UpdateGlobalArray("pias", "priovals", []int64{7, 5}); err != nil {
+		t.Fatal(err)
+	}
+	if got := piasPriority(enc, 1); got != 7 {
+		t.Fatalf("priority after reset replay = %d, want 7", got)
+	}
+	p := packet.New(1, 2, 3, 4, 1000)
+	p.Meta.Class = "a.b.c"
+	p.Meta.MsgID = 2
+	enc.Process(enclave.Egress, p, 0)
+}
+
+// TestPolicyStoreDeltaEdges pins the op-log bookkeeping: epoch and
+// coverage checks on deltaSince, and the rebase completeResync performs
+// when a concurrent delta won the CAS.
+func TestPolicyStoreDeltaEdges(t *testing.T) {
+	ps := NewPolicyStore()
+	ps.SetOpLogCap(3)
+	op := PolicyOp{Op: "x", Params: json.RawMessage(`{}`)}
+	ps.commit("a", 1, 7, []PolicyOp{op})
+	for i := 0; i < 4; i++ {
+		ps.appendDelta("a", []PolicyOp{op})
+	}
+	if n := ps.logLen("a"); n != 3 {
+		t.Fatalf("logLen = %d, want 3", n)
+	}
+	if _, ok := ps.deltaSince("a", 4, 7); !ok {
+		t.Fatal("delta for covered gap should be available")
+	}
+	if _, ok := ps.deltaSince("a", 1, 7); ok {
+		t.Fatal("delta across truncated log should not be available")
+	}
+	if _, ok := ps.deltaSince("a", 4, 8); ok {
+		t.Fatal("delta across epochs should not be available")
+	}
+	if _, ok := ps.deltaSince("a", 5, 7); ok {
+		t.Fatal("delta for an up-to-date agent should not be available")
+	}
+
+	// CAS + rebase: a replay computed at gen 5 commits at agent gen 9
+	// while a delta moved the store to 6. The store rebases onto the
+	// agent's numbering and serves the racing delta as a follow-up.
+	ps2 := NewPolicyStore()
+	ps2.commit("b", 1, 7, []PolicyOp{op})
+	if !ps2.completeResync("b", 1, 1, 9) {
+		t.Fatal("uncontended completeResync should succeed")
+	}
+	ps2.appendDelta("b", []PolicyOp{op}) // gen 2
+	if ps2.completeResync("b", 1, 9, 9) {
+		t.Fatal("contended completeResync should fail")
+	}
+	pol, _ := ps2.get("b")
+	if pol.Generation != 10 {
+		t.Fatalf("rebased generation = %d, want 10", pol.Generation)
+	}
+	ops, ok := ps2.deltaSince("b", 9, 9)
+	if !ok || len(ops) != 1 {
+		t.Fatalf("rebased delta = %v ok=%v, want the one racing op", ops, ok)
+	}
+}

@@ -3,6 +3,8 @@ package controller
 import (
 	"encoding/json"
 	"sync"
+
+	"eden/internal/ctlproto"
 )
 
 // PolicyOp is one recorded control-plane call: the op name plus its
@@ -13,12 +15,15 @@ type PolicyOp struct {
 }
 
 // AgentPolicy is the controller's intended policy for one enclave: the
-// structural ops of the last committed transaction (replayed inside a
-// fresh transaction, so they land as one atomic pipeline swap), the
-// latest global-state pushes (replayed after commit, newest value per
-// func/name), and the pipeline generation the commit produced.
+// cumulative structural op sequence of every committed transaction and
+// pushed delta (replayed inside a fresh transaction, so a full replay
+// lands as one atomic pipeline swap), the latest global-state pushes
+// (replayed after commit, newest value per func/name), the pipeline
+// generation the newest commit produced, and the boot epoch of the
+// enclave instance that generation belongs to.
 type AgentPolicy struct {
 	Generation uint64
+	Epoch      uint64
 	Structural []PolicyOp
 	Globals    []PolicyOp
 }
@@ -28,21 +33,61 @@ type AgentPolicy struct {
 // re-sync protocol: hand the same store to a restarted controller
 // (ListenWithPolicies) and reconnecting agents whose hello generation
 // does not match are brought back to the intended policy.
+//
+// Beyond the full policy, the store keeps a bounded per-agent op-log
+// keyed by generation: entry G holds the structural ops that moved the
+// policy from generation G-1 to G. An agent that re-hellos at generation
+// N (same epoch) receives only ops N+1..M inside one transaction — the
+// Merlin-style per-device delta — with full replay as the fallback when
+// the log has been truncated past N or the epochs diverge.
 type PolicyStore struct {
 	mu     sync.Mutex
 	byName map[string]*policyRecord
+	logCap int
+}
+
+// DefaultOpLogCap is the default bound on the per-agent delta op-log:
+// entries beyond it are truncated oldest-first, after which agents that
+// far behind fall back to a full replay.
+const DefaultOpLogCap = 64
+
+type logEntry struct {
+	gen uint64
+	ops []PolicyOp
+}
+
+// globalEntry is one recorded global push plus the function it targets,
+// so commits can prune pushes whose function left the policy.
+type globalEntry struct {
+	key string
+	fn  string
+	op  PolicyOp
 }
 
 type policyRecord struct {
 	generation uint64
+	epoch      uint64
 	structural []PolicyOp
-	globals    []PolicyOp
+	globals    []globalEntry
 	globalIdx  map[string]int // dedup key -> index into globals
+	log        []logEntry     // contiguous, ascending, ends at generation
 }
 
-// NewPolicyStore returns an empty store.
+// NewPolicyStore returns an empty store with the default op-log bound.
 func NewPolicyStore() *PolicyStore {
-	return &PolicyStore{byName: map[string]*policyRecord{}}
+	return &PolicyStore{byName: map[string]*policyRecord{}, logCap: DefaultOpLogCap}
+}
+
+// SetOpLogCap bounds the per-agent delta op-log to n entries (n <= 0
+// restores the default). A smaller cap trades delta coverage for memory:
+// agents further behind than the log reaches get a full replay.
+func (ps *PolicyStore) SetOpLogCap(n int) {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	if n <= 0 {
+		n = DefaultOpLogCap
+	}
+	ps.logCap = n
 }
 
 func (ps *PolicyStore) record(name string) *policyRecord {
@@ -54,36 +99,185 @@ func (ps *PolicyStore) record(name string) *policyRecord {
 	return r
 }
 
-// commit replaces the structural policy for name with the ops of a
-// successfully committed transaction and the generation it produced.
-func (ps *PolicyStore) commit(name string, gen uint64, structural []PolicyOp) {
+// appendLogLocked appends one delta entry, keeping the log a contiguous
+// generation chain ending at the newest entry and bounded at cap.
+func (r *policyRecord) appendLogLocked(gen uint64, ops []PolicyOp, cap int) {
+	if n := len(r.log); n > 0 && gen != r.log[n-1].gen+1 {
+		// The chain broke (generation rebased after a resync onto a fresh
+		// enclave, or an out-of-band jump): old entries are keyed in a
+		// numbering the agent no longer shares, so they cannot seed deltas.
+		r.log = nil
+	}
+	r.log = append(r.log, logEntry{gen: gen, ops: ops})
+	if len(r.log) > cap {
+		r.log = append([]logEntry(nil), r.log[len(r.log)-cap:]...)
+	}
+}
+
+// pruneGlobalsLocked drops recorded global pushes whose target function
+// is no longer installed by the cumulative structural policy. Without
+// this, a global recorded for a function a later transaction removed
+// fails every subsequent replay and wedges resync permanently.
+func (r *policyRecord) pruneGlobalsLocked() {
+	installed := map[string]bool{}
+	for _, op := range r.structural {
+		switch op.Op {
+		case ctlproto.OpEnclaveInstall:
+			var spec struct {
+				Name string `json:"name"`
+			}
+			if json.Unmarshal(op.Params, &spec) == nil && spec.Name != "" {
+				installed[spec.Name] = true
+			}
+		case ctlproto.OpEnclaveUninstall:
+			var p ctlproto.GlobalParams
+			if json.Unmarshal(op.Params, &p) == nil {
+				delete(installed, p.Func)
+			}
+		}
+	}
+	kept := r.globals[:0]
+	for _, g := range r.globals {
+		if installed[g.fn] {
+			kept = append(kept, g)
+		}
+	}
+	if len(kept) == len(r.globals) {
+		return
+	}
+	r.globals = kept
+	r.globalIdx = make(map[string]int, len(kept))
+	for i, g := range kept {
+		r.globalIdx[g.key] = i
+	}
+}
+
+// commit records a transaction the controller successfully committed on a
+// live agent: the ops extend the cumulative structural policy, land in
+// the delta op-log under the generation the commit produced, and the
+// intended generation/epoch move to the agent's.
+func (ps *PolicyStore) commit(name string, gen, epoch uint64, structural []PolicyOp) {
 	ps.mu.Lock()
 	defer ps.mu.Unlock()
 	r := ps.record(name)
 	r.generation = gen
-	r.structural = structural
+	if epoch != 0 {
+		r.epoch = epoch
+	}
+	r.structural = append(r.structural, structural...)
+	r.appendLogLocked(gen, structural, ps.logCap)
+	r.pruneGlobalsLocked()
+}
+
+// appendDelta records a policy slice computed controller-side — without a
+// live agent round-trip — bumping the intended generation by one. The
+// caller distributes it: connected agents get a coalesced push, agents
+// that are away catch up on re-hello via the op-log.
+func (ps *PolicyStore) appendDelta(name string, ops []PolicyOp) uint64 {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	r := ps.record(name)
+	r.generation++
+	r.structural = append(r.structural, ops...)
+	r.appendLogLocked(r.generation, ops, ps.logCap)
+	r.pruneGlobalsLocked()
+	return r.generation
 }
 
 // recordGlobal upserts a global-state push; key dedupes so replay applies
 // only the newest value per (op, func, name), in first-push order.
-func (ps *PolicyStore) recordGlobal(name, key string, op PolicyOp) {
+func (ps *PolicyStore) recordGlobal(name, key, fn string, op PolicyOp) {
 	ps.mu.Lock()
 	defer ps.mu.Unlock()
 	r := ps.record(name)
 	if i, ok := r.globalIdx[key]; ok {
-		r.globals[i] = op
+		r.globals[i].op = op
 		return
 	}
 	r.globalIdx[key] = len(r.globals)
-	r.globals = append(r.globals, op)
+	r.globals = append(r.globals, globalEntry{key: key, fn: fn, op: op})
 }
 
-// setGeneration moves the intended generation (after a replay commits on
-// a fresh enclave, whose generation counter restarted).
-func (ps *PolicyStore) setGeneration(name string, gen uint64) {
+// deltaSince returns the op-log suffix that brings an agent from fromGen
+// (in epoch) to the intended generation, or ok=false when only a full
+// replay is sound: the epochs diverge (different enclave instance), the
+// agent is ahead of the store, or the log no longer reaches back to
+// fromGen+1.
+func (ps *PolicyStore) deltaSince(name string, fromGen, epoch uint64) ([]PolicyOp, bool) {
 	ps.mu.Lock()
 	defer ps.mu.Unlock()
-	ps.record(name).generation = gen
+	r, ok := ps.byName[name]
+	if !ok {
+		return nil, false
+	}
+	if epoch == 0 || r.epoch == 0 || epoch != r.epoch {
+		return nil, false
+	}
+	if fromGen >= r.generation {
+		return nil, false
+	}
+	if len(r.log) == 0 || r.log[0].gen > fromGen+1 || r.log[len(r.log)-1].gen != r.generation {
+		return nil, false
+	}
+	var ops []PolicyOp
+	for _, e := range r.log {
+		if e.gen > fromGen {
+			ops = append(ops, e.ops...)
+		}
+	}
+	return ops, true
+}
+
+// completeResync moves the intended generation after a replay committed
+// on the agent at newGen. The update is a compare-and-swap on the
+// generation the resync observed when it snapshotted the policy: a
+// concurrent delta moving the store past observed means the replay's
+// result is stale and must not overwrite the newer intent — the caller
+// runs another pass. On success the store adopts the agent's epoch, and
+// if the generation was rebased (a full replay collapses many
+// generations into one commit) the op-log is cleared: its keys no longer
+// match the agent's counter.
+//
+// On a CAS miss the store is rebased rather than left alone: the agent
+// now holds the policy prefix through observed at pipeline generation
+// newGen, so the moved suffix is renumbered onto the agent's counter.
+// The follow-up pass then ships exactly the racing ops as a delta (or a
+// full replay if the suffix fell out of the log).
+func (ps *PolicyStore) completeResync(name string, observed, newGen, epoch uint64) bool {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	r, ok := ps.byName[name]
+	if !ok || r.generation < observed {
+		return false
+	}
+	if r.generation == observed {
+		if newGen != r.generation {
+			r.generation = newGen
+			r.log = nil
+		}
+		r.epoch = epoch
+		return true
+	}
+	moved := r.generation - observed
+	idx := -1
+	for i, e := range r.log {
+		if e.gen == observed+1 {
+			idx = i
+			break
+		}
+	}
+	if idx >= 0 {
+		suffix := append([]logEntry(nil), r.log[idx:]...)
+		for i := range suffix {
+			suffix[i].gen = newGen + 1 + uint64(i)
+		}
+		r.log = suffix
+	} else {
+		r.log = nil
+	}
+	r.generation = newGen + moved
+	r.epoch = epoch
+	return false
 }
 
 // get snapshots the intended policy for name.
@@ -94,11 +288,27 @@ func (ps *PolicyStore) get(name string) (AgentPolicy, bool) {
 	if !ok {
 		return AgentPolicy{}, false
 	}
+	globals := make([]PolicyOp, len(r.globals))
+	for i, g := range r.globals {
+		globals[i] = g.op
+	}
 	return AgentPolicy{
 		Generation: r.generation,
+		Epoch:      r.epoch,
 		Structural: append([]PolicyOp(nil), r.structural...),
-		Globals:    append([]PolicyOp(nil), r.globals...),
+		Globals:    globals,
 	}, true
+}
+
+// logLen reports the delta op-log depth for name (tests).
+func (ps *PolicyStore) logLen(name string) int {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	r, ok := ps.byName[name]
+	if !ok {
+		return 0
+	}
+	return len(r.log)
 }
 
 // Intended exposes the stored policy for inspection and tests.

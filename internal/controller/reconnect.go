@@ -104,6 +104,7 @@ func ServeEnclavePersistent(addr, host string, e *enclave.Enclave, cfg Reconnect
 		return ctlproto.Hello{
 			Kind: "enclave", Name: e.Name(), Host: host,
 			Platform: e.Platform(), Generation: e.Generation(),
+			Epoch: e.BootID(),
 		}
 	}, enclaveHandler(e), cfg, e.Spans(), "agent."+e.Name())
 }
@@ -153,6 +154,19 @@ func (a *PersistentAgent) WaitConnected(timeout time.Duration) error {
 		}
 	}
 	return nil
+}
+
+// DropConnection severs the current control connection without stopping
+// the agent: the session ends and the dial loop reconnects with backoff.
+// It simulates a connection flap (link blip, controller-side reset) for
+// churn tests and benchmarks; it is a no-op while disconnected.
+func (a *PersistentAgent) DropConnection() {
+	a.mu.Lock()
+	peer := a.peer
+	a.mu.Unlock()
+	if peer != nil {
+		peer.Close()
+	}
 }
 
 // Close stops reconnecting and drops the current connection, if any.

@@ -172,6 +172,9 @@ func printStatus(out io.Writer, st AgentStatus) {
 	fmt.Fprintf(out, "%s %s: %s gen=%d intended=%d connects=%d resyncs=%d",
 		st.Kind, st.Name, st.Liveness, st.Generation, st.IntendedGeneration,
 		st.Connects, st.Resyncs)
+	if st.DeltaResyncs > 0 || st.FullResyncs > 0 {
+		fmt.Fprintf(out, " (delta=%d full=%d)", st.DeltaResyncs, st.FullResyncs)
+	}
 	if st.ResyncErr != "" {
 		fmt.Fprintf(out, " resync-error=%q", st.ResyncErr)
 	}

@@ -58,6 +58,7 @@ const (
 	// with the new pipeline generation.
 	OpEnclaveTxBegin    = "enclave.tx_begin"
 	OpEnclaveTxCommit   = "enclave.tx_commit"
+	OpEnclaveTxReset    = "enclave.tx_reset"
 	OpEnclaveTxAbort    = "enclave.tx_abort"
 	OpEnclaveGeneration = "enclave.generation"
 
@@ -93,7 +94,31 @@ type Hello struct {
 	// controller detect stale policy (the enclave restarted, or missed
 	// updates) and replay the last committed transaction.
 	Generation uint64 `json:"generation,omitempty"`
+	// Epoch identifies the enclave *instance* behind this agent (a random
+	// boot id drawn when the enclave was created). Generations are only
+	// comparable within one epoch: a re-hello with a matching epoch and a
+	// stale generation can be caught up with the per-generation delta
+	// op-log, while an epoch change means the pipeline was rebuilt from
+	// scratch and only a full policy replay is sound.
+	Epoch uint64 `json:"epoch,omitempty"`
 }
+
+// TxCommitParams optionally guards a tx_commit with the pipeline
+// generation the staged transaction was computed against. With Check set,
+// the agent rejects the commit unless the currently published generation
+// still equals Base — the compare-and-swap that makes delta policy
+// replays safe against the pipeline moving between hello and commit.
+// Absent params (or Check false) commit unconditionally, as before.
+type TxCommitParams struct {
+	Base  uint64 `json:"base,omitempty"`
+	Check bool   `json:"check,omitempty"`
+}
+
+// ErrBaseMismatch is the error-text marker an agent embeds when a checked
+// tx_commit finds the pipeline generation moved past TxCommitParams.Base.
+// It crosses the wire as a string, so the controller matches substrings
+// to fall back from delta to full replay.
+const ErrBaseMismatch = "base generation mismatch"
 
 // StageRuleParams carries createStageRule/removeStageRule arguments. Rule
 // text uses the paper's syntax (Figure 6).

@@ -22,6 +22,7 @@ package enclave
 
 import (
 	"fmt"
+	"math/rand"
 	"strconv"
 	"strings"
 	"sync"
@@ -173,6 +174,12 @@ type Enclave struct {
 	// Always on: control operations are rare, and the ring is bounded.
 	spans     *telemetry.Recorder
 	component string
+
+	// bootID is a random identifier for this enclave instance. Pipeline
+	// generations restart from zero with every instance, so agents report
+	// the boot id alongside the generation and the controller treats
+	// generations from different epochs as incomparable.
+	bootID uint64
 }
 
 // New creates an enclave.
@@ -207,6 +214,9 @@ func New(cfg Config) *Enclave {
 	if cfg.WallClock != nil {
 		e.interpNs = reg.Histogram("interp_ns", metrics.LatencyBucketsNs)
 	}
+	for e.bootID == 0 {
+		e.bootID = rand.Uint64()
+	}
 	e.spans = telemetry.NewRecorder(0)
 	e.component = regName
 	e.pipe.Store(emptyPipeline())
@@ -217,6 +227,11 @@ func New(cfg Config) *Enclave {
 
 // Name returns the enclave's name.
 func (e *Enclave) Name() string { return e.cfg.Name }
+
+// BootID returns the random identifier of this enclave instance. Agents
+// report it in their hello as the generation epoch: two generations are
+// comparable only if they came from the same boot.
+func (e *Enclave) BootID() uint64 { return e.bootID }
 
 // Platform returns the enclave's platform label.
 func (e *Enclave) Platform() string { return e.cfg.Platform }

@@ -113,6 +113,19 @@ func (b *build) ownFuncs() {
 	b.funcsOwned = true
 }
 
+// reset clears the build: all tables in both directions and the whole
+// function set (function runtime state dies with the install). Later
+// staged operations rebuild the pipeline from empty.
+func (b *build) reset() error {
+	for d := range b.tables {
+		b.tables[d] = nil
+		b.ownedDir[d] = true
+	}
+	b.funcs = map[string]*installedFunc{}
+	b.funcsOwned = true
+	return nil
+}
+
 // publishLocked freezes the build into the next snapshot and makes it
 // visible to the data path. Caller holds e.mu.
 func (e *Enclave) publishLocked(b *build) uint64 {

@@ -59,6 +59,16 @@ func (tx *Tx) stage(desc string, apply func(*build) error) {
 	tx.ops = append(tx.ops, txOp{desc: desc, apply: apply})
 }
 
+// Reset stages a wipe of the whole pipeline — every table in both
+// directions and every installed function — so the transaction's
+// remaining operations rebuild it from scratch and Commit publishes the
+// result as one atomic swap. A full policy replay staged after Reset is
+// correct whatever the enclave currently runs; staged onto a non-empty
+// pipeline it would trip duplicate-table/function errors instead.
+func (tx *Tx) Reset() {
+	tx.stage("reset", func(b *build) error { return b.reset() })
+}
+
 // CreateTable stages a table creation.
 func (tx *Tx) CreateTable(dir Direction, name string) {
 	tx.stage("create-table "+name, func(b *build) error { return b.createTable(dir, name) })

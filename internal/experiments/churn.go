@@ -1,0 +1,447 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"eden/internal/controller"
+	"eden/internal/ctlproto"
+	"eden/internal/enclave"
+	"eden/internal/funcs"
+	"eden/internal/metrics"
+	"eden/internal/netsim"
+	"eden/internal/telemetry"
+)
+
+// ChurnConfig parameterizes the control-plane churn benchmark: a real
+// controller fanning policy out to a fleet of persistent agents over TCP
+// while a fault plan flaps their connections. It measures the claim the
+// delta-distribution protocol makes — resync cost scales with the size of
+// the change, not the size of the installed policy.
+type ChurnConfig struct {
+	// Agents is the fleet size (the paper's target is thousands of end
+	// hosts per controller; the default benchmark drives 1000).
+	Agents int
+	// Rounds is the number of churn rounds after the base-policy install.
+	// Each round flaps a subset of agents per the fault plan and pushes a
+	// per-agent delta of DeltaOps structural ops to every agent.
+	Rounds int
+	// PolicyOps is the structural size of the base policy per agent
+	// (function install + table + padding rules). Resync cost under churn
+	// must NOT scale with this number.
+	PolicyOps int
+	// DeltaOps is the structural size of each per-round delta. Resync cost
+	// under churn SHOULD scale with this number.
+	DeltaOps int
+	// Seed drives the deterministic churn plan (rotating flap window plus
+	// seeded extra flaps from the fault plan's loss rate).
+	Seed int64
+	// Faults is the churn schedule, reusing netsim's fault-plan vocabulary
+	// (see netsim.ParseFaultPlan): FlapDown/FlapPeriod is the fraction of
+	// the fleet flapped each round (a rotating window), LossRate adds
+	// independent seeded flaps per agent-round, and Links naming agents
+	// (e.g. "host0003") force those agents to flap every round. Nil means
+	// a flap=4:1 duty cycle — a quarter of the fleet per round.
+	Faults *netsim.FaultPlan
+	// ResyncLimit overrides the controller's resync fan-out width
+	// (0 = controller default).
+	ResyncLimit int
+	// Timeout bounds each phase's wait for fleet convergence (default 60s
+	// real time).
+	Timeout time.Duration
+	// Metrics, when set, receives the controller's registry for the run.
+	Metrics *metrics.Set
+	// Flight, when set alongside Metrics, samples the registry once after
+	// the base install and once per churn round (ticks use synthetic
+	// round-boundary timestamps at the recorder's interval).
+	Flight *telemetry.FlightRecorder
+}
+
+// DefaultChurnConfig returns the 1k-agent benchmark configuration.
+func DefaultChurnConfig() ChurnConfig {
+	return ChurnConfig{
+		Agents:    1000,
+		Rounds:    3,
+		PolicyOps: 48,
+		DeltaOps:  2,
+		Seed:      1,
+	}
+}
+
+func (cfg *ChurnConfig) withDefaults() {
+	if cfg.Agents <= 0 {
+		cfg.Agents = 1000
+	}
+	if cfg.Rounds < 0 {
+		cfg.Rounds = 0
+	}
+	if cfg.PolicyOps < 3 {
+		cfg.PolicyOps = 3
+	}
+	if cfg.DeltaOps <= 0 {
+		cfg.DeltaOps = 1
+	}
+	if cfg.Faults == nil {
+		cfg.Faults = &netsim.FaultPlan{FlapPeriod: 4, FlapDown: 1}
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 60 * time.Second
+	}
+}
+
+// ChurnResult reports one churn run. The plan (who flaps when, which ops
+// ship) is deterministic in the config — Digest pins it across runs and
+// -parallel settings; the resync counters are measured from the live
+// controller and may vary with timing (coalescing folds racing triggers).
+type ChurnResult struct {
+	Config ChurnConfig
+
+	// Deterministic plan summary.
+	Digest        uint64
+	FlapsPerRound []int
+	Converged     int
+
+	// Measured, from the controller's registry.
+	BaseFull, BaseOps          int64
+	ChurnDelta, ChurnFull      int64
+	ChurnOps, ChurnBytes       int64
+	Coalesced, Retries, Errors int64
+	OpsPerChurnResync          float64
+	Wall                       time.Duration
+}
+
+// churnSnapshot captures the resync counters that separate the base
+// install from the churn phase.
+type churnSnapshot struct {
+	delta, full, ops, bytes, coalesced, retries, errors int64
+}
+
+func snapshotChurn(reg *metrics.Registry) churnSnapshot {
+	return churnSnapshot{
+		delta:     reg.Counter("resyncs_delta").Load(),
+		full:      reg.Counter("resyncs_full").Load(),
+		ops:       reg.Counter("resync_ops").Load(),
+		bytes:     reg.Counter("resync_bytes").Load(),
+		coalesced: reg.Counter("resyncs_coalesced").Load(),
+		retries:   reg.Counter("resync_retries").Load(),
+		errors:    reg.Counter("resync_errors").Load(),
+	}
+}
+
+// churnAgentName names fleet member i; fault-plan Links entries matching
+// these names force flaps.
+func churnAgentName(i int) string { return fmt.Sprintf("host%04d", i) }
+
+// churnPlan derives the per-round flap sets from the fault plan:
+// a rotating window of FlapDown/FlapPeriod of the fleet, plus seeded
+// independent flaps at LossRate, plus every agent the plan names.
+func churnPlan(cfg ChurnConfig) [][]int {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	forced := map[int]bool{}
+	if cfg.Faults != nil {
+		for _, l := range cfg.Faults.Links {
+			for i := 0; i < cfg.Agents; i++ {
+				if churnAgentName(i) == l {
+					forced[i] = true
+				}
+			}
+		}
+	}
+	frac := 0.0
+	loss := 0.0
+	if cfg.Faults != nil {
+		if cfg.Faults.FlapPeriod > 0 {
+			frac = float64(cfg.Faults.FlapDown) / float64(cfg.Faults.FlapPeriod)
+		}
+		loss = cfg.Faults.LossRate
+	}
+	window := int(frac * float64(cfg.Agents))
+	plan := make([][]int, cfg.Rounds)
+	for r := range plan {
+		set := map[int]bool{}
+		for i := range forced {
+			set[i] = true
+		}
+		start := 0
+		if window > 0 {
+			start = (r * window) % cfg.Agents
+		}
+		for k := 0; k < window; k++ {
+			set[(start+k)%cfg.Agents] = true
+		}
+		for i := 0; i < cfg.Agents; i++ {
+			if loss > 0 && rng.Float64() < loss {
+				set[i] = true
+			}
+		}
+		flapped := make([]int, 0, len(set))
+		for i := range set {
+			flapped = append(flapped, i)
+		}
+		sort.Ints(flapped)
+		plan[r] = flapped
+	}
+	return plan
+}
+
+// churnDeltaOps builds round r's delta for agent i: DeltaOps uniquely
+// patterned rules on the base table, valid as an extension of whatever the
+// agent already holds.
+func churnDeltaOps(cfg ChurnConfig, r, i int) []controller.PolicyOp {
+	ops := make([]controller.PolicyOp, 0, cfg.DeltaOps)
+	for k := 0; k < cfg.DeltaOps; k++ {
+		raw, _ := json.Marshal(ctlproto.RuleParams{
+			Dir: int(enclave.Egress), Table: "sched",
+			Pattern: fmt.Sprintf("r%d.a%d.k%d.*", r, i, k), Func: "pias",
+		})
+		ops = append(ops, controller.PolicyOp{Op: ctlproto.OpEnclaveAddRule, Params: raw})
+	}
+	return ops
+}
+
+// RunChurn drives the churn benchmark: install a PolicyOps-sized base
+// policy on every agent, then Rounds rounds of fault-plan flaps plus
+// per-agent DeltaOps deltas, waiting for fleet convergence each round.
+// It returns an error if the fleet fails to converge; Check judges the
+// measured scaling.
+func RunChurn(cfg ChurnConfig) (*ChurnResult, error) {
+	cfg.withDefaults()
+	t0 := time.Now()
+
+	store := controller.NewPolicyStore()
+	ctl, err := controller.ListenWithPolicies("127.0.0.1:0", store)
+	if err != nil {
+		return nil, err
+	}
+	defer ctl.Close()
+	if cfg.ResyncLimit > 0 {
+		ctl.SetResyncLimit(cfg.ResyncLimit)
+	}
+	ctl.SetResyncRetry(10*time.Millisecond, 8)
+	if cfg.Metrics != nil {
+		cfg.Metrics.Add(ctl.Metrics())
+	}
+
+	// The fleet: one enclave + persistent agent per host, brought up on
+	// the trial worker pool (construction is index-keyed, so the fleet is
+	// identical at any parallelism).
+	encs := make([]*enclave.Enclave, cfg.Agents)
+	agents := make([]*controller.PersistentAgent, cfg.Agents)
+	forEachTrial(cfg.Agents, func(i int) {
+		var tick atomic.Int64
+		encs[i] = enclave.New(enclave.Config{
+			Name: churnAgentName(i), Platform: "os",
+			Clock: func() int64 { return tick.Add(1) },
+		})
+		agents[i] = controller.ServeEnclavePersistent(ctl.Addr(), churnAgentName(i), encs[i], controller.ReconnectConfig{
+			BackoffMin:  5 * time.Millisecond,
+			BackoffMax:  250 * time.Millisecond,
+			Heartbeat:   -1, // churn is driven explicitly; pings just add load
+			CallTimeout: 10 * time.Second,
+		})
+	})
+	defer func() {
+		forEachTrial(cfg.Agents, func(i int) { agents[i].Close() })
+	}()
+	if err := ctl.WaitForAgents(cfg.Agents, cfg.Timeout); err != nil {
+		return nil, err
+	}
+
+	// Base policy: pias + its table + padding rules, PolicyOps structural
+	// ops total, identical for every agent.
+	pias, err := funcs.Compile("pias")
+	if err != nil {
+		return nil, err
+	}
+	specRaw, err := json.Marshal(ctlproto.ToSpec(pias))
+	if err != nil {
+		return nil, err
+	}
+	tableRaw, _ := json.Marshal(ctlproto.TableParams{Dir: int(enclave.Egress), Table: "sched"})
+	baseOps := []controller.PolicyOp{
+		{Op: ctlproto.OpEnclaveInstall, Params: specRaw},
+		{Op: ctlproto.OpEnclaveCreateTable, Params: tableRaw},
+	}
+	for len(baseOps) < cfg.PolicyOps {
+		raw, _ := json.Marshal(ctlproto.RuleParams{
+			Dir: int(enclave.Egress), Table: "sched",
+			Pattern: fmt.Sprintf("b%d.*", len(baseOps)), Func: "pias",
+		})
+		baseOps = append(baseOps, controller.PolicyOp{Op: ctlproto.OpEnclaveAddRule, Params: raw})
+	}
+	for i := 0; i < cfg.Agents; i++ {
+		ctl.PushDelta(churnAgentName(i), baseOps)
+	}
+	if err := churnWaitConverged(ctl, cfg, "base install"); err != nil {
+		return nil, err
+	}
+	base := snapshotChurn(ctl.Metrics())
+	tickFlight(cfg, 1)
+
+	// The deterministic plan, digested so tests can pin it across
+	// -parallel settings and reruns.
+	plan := churnPlan(cfg)
+	h := fnv.New64a()
+	fmt.Fprintf(h, "agents=%d rounds=%d policy=%d delta=%d seed=%d\n",
+		cfg.Agents, cfg.Rounds, cfg.PolicyOps, cfg.DeltaOps, cfg.Seed)
+	flapsPerRound := make([]int, len(plan))
+	for r, set := range plan {
+		flapsPerRound[r] = len(set)
+		fmt.Fprintf(h, "r%d:%v\n", r, set)
+	}
+	for r := 0; r < cfg.Rounds; r++ {
+		for i := 0; i < cfg.Agents; i++ {
+			for _, op := range churnDeltaOps(cfg, r, i) {
+				h.Write(op.Params)
+			}
+		}
+	}
+
+	// Churn rounds: flap the round's set, push every agent its delta,
+	// wait for the fleet to converge again.
+	for r := 0; r < cfg.Rounds; r++ {
+		for _, i := range plan[r] {
+			agents[i].DropConnection()
+		}
+		for i := 0; i < cfg.Agents; i++ {
+			ctl.PushDelta(churnAgentName(i), churnDeltaOps(cfg, r, i))
+		}
+		if err := churnWaitConverged(ctl, cfg, fmt.Sprintf("round %d", r)); err != nil {
+			return nil, err
+		}
+		tickFlight(cfg, int64(r)+2)
+	}
+
+	final := snapshotChurn(ctl.Metrics())
+	converged := 0
+	for i := 0; i < cfg.Agents; i++ {
+		if st, ok := ctl.AgentStatus(churnAgentName(i)); ok &&
+			st.ResyncErr == "" && st.Generation == st.IntendedGeneration {
+			converged++
+		}
+	}
+	// Freeze the fleet before the terminal flight sample so late
+	// reconnects cannot move counters between the sample and the caller's
+	// snapshot.
+	forEachTrial(cfg.Agents, func(i int) { agents[i].Close() })
+	ctl.Close()
+	if cfg.Flight != nil {
+		cfg.Flight.Finish((int64(cfg.Rounds) + 2) * cfg.Flight.Interval())
+	}
+
+	res := &ChurnResult{
+		Config:        cfg,
+		Digest:        h.Sum64(),
+		FlapsPerRound: flapsPerRound,
+		Converged:     converged,
+		BaseFull:      base.full,
+		BaseOps:       base.ops,
+		ChurnDelta:    final.delta - base.delta,
+		ChurnFull:     final.full - base.full,
+		ChurnOps:      final.ops - base.ops,
+		ChurnBytes:    final.bytes - base.bytes,
+		Coalesced:     final.coalesced,
+		Retries:       final.retries,
+		Errors:        final.errors,
+		Wall:          time.Since(t0),
+	}
+	if n := res.ChurnDelta + res.ChurnFull; n > 0 {
+		res.OpsPerChurnResync = float64(res.ChurnOps) / float64(n)
+	}
+	return res, nil
+}
+
+// tickFlight samples the flight recorder at a synthetic round boundary.
+func tickFlight(cfg ChurnConfig, boundary int64) {
+	if cfg.Flight != nil {
+		cfg.Flight.Tick(boundary * cfg.Flight.Interval())
+	}
+}
+
+// churnWaitConverged polls until every agent reports the intended
+// generation with no resync error.
+func churnWaitConverged(ctl *controller.Controller, cfg ChurnConfig, phase string) error {
+	deadline := time.Now().Add(cfg.Timeout)
+	for {
+		behind := 0
+		for i := 0; i < cfg.Agents; i++ {
+			st, ok := ctl.AgentStatus(churnAgentName(i))
+			if !ok || st.ResyncErr != "" || st.Generation != st.IntendedGeneration {
+				behind++
+			}
+		}
+		if behind == 0 {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("churn: %s: %d/%d agents not converged after %v",
+				phase, behind, cfg.Agents, cfg.Timeout)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// Deterministic returns the parallelism- and timing-independent summary:
+// the plan digest, flap schedule and convergence verdict. Two runs with
+// the same config must agree on this string at any -parallel setting.
+func (r *ChurnResult) Deterministic() string {
+	return fmt.Sprintf("agents=%d rounds=%d policy=%d delta=%d digest=%016x flaps=%v converged=%d",
+		r.Config.Agents, r.Config.Rounds, r.Config.PolicyOps, r.Config.DeltaOps,
+		r.Digest, r.FlapsPerRound, r.Converged)
+}
+
+// Check judges the run against the delta-distribution claim: the fleet
+// converged, churn was served by deltas, and the average churn resync
+// carried close to DeltaOps ops — well under the PolicyOps a full replay
+// costs.
+func (r *ChurnResult) Check() error {
+	if r.Converged != r.Config.Agents {
+		return fmt.Errorf("churn: %d/%d agents converged", r.Converged, r.Config.Agents)
+	}
+	if r.Config.Rounds == 0 {
+		return nil
+	}
+	if r.ChurnDelta == 0 {
+		return fmt.Errorf("churn: no delta resyncs — the op-log path never ran")
+	}
+	if r.ChurnDelta < r.ChurnFull {
+		return fmt.Errorf("churn: full resyncs (%d) outnumber delta resyncs (%d)",
+			r.ChurnFull, r.ChurnDelta)
+	}
+	// The scaling claim. Coalescing can batch a couple of rounds into one
+	// pass and the odd full replay is tolerated, so the bound is "half the
+	// policy", not "exactly DeltaOps" — but with PolicyOps >> DeltaOps it
+	// only holds when resyncs actually ship deltas.
+	if r.Config.PolicyOps >= 4*r.Config.DeltaOps &&
+		r.OpsPerChurnResync*2 >= float64(r.Config.PolicyOps) {
+		return fmt.Errorf("churn: %.1f ops per churn resync vs %d-op policy — cost is scaling with policy size",
+			r.OpsPerChurnResync, r.Config.PolicyOps)
+	}
+	return nil
+}
+
+// String renders the run summary.
+func (r *ChurnResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Control-plane churn: %d agents, %d rounds, %d-op policy, %d-op deltas\n",
+		r.Config.Agents, r.Config.Rounds, r.Config.PolicyOps, r.Config.DeltaOps)
+	fmt.Fprintf(&b, "  plan: digest %016x, flaps/round %v, converged %d/%d\n",
+		r.Digest, r.FlapsPerRound, r.Converged, r.Config.Agents)
+	fmt.Fprintf(&b, "  base install: %d full resyncs, %d ops\n", r.BaseFull, r.BaseOps)
+	fmt.Fprintf(&b, "  churn phase:  %d delta + %d full resyncs, %d ops (%.1f ops/resync), %d bytes\n",
+		r.ChurnDelta, r.ChurnFull, r.ChurnOps, r.OpsPerChurnResync, r.ChurnBytes)
+	fmt.Fprintf(&b, "  coalesced %d, retries %d, errors %d, wall %.1fs\n",
+		r.Coalesced, r.Retries, r.Errors, r.Wall.Seconds())
+	verdict := "ok: resync cost tracks delta size, not policy size"
+	if err := r.Check(); err != nil {
+		verdict = err.Error()
+	}
+	fmt.Fprintf(&b, "  %s\n", verdict)
+	return b.String()
+}

@@ -1,0 +1,150 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"eden/internal/metrics"
+	"eden/internal/netsim"
+	"eden/internal/telemetry"
+)
+
+// smallChurn keeps test runs fast: a few dozen real TCP agents.
+func smallChurn() ChurnConfig {
+	cfg := DefaultChurnConfig()
+	cfg.Agents = 32
+	cfg.Rounds = 2
+	cfg.PolicyOps = 16
+	cfg.Timeout = 30 * time.Second
+	return cfg
+}
+
+// TestChurnConvergesAndScalesWithDelta is the end-to-end check of the
+// tentpole claim at test scale: the fleet converges through flaps and the
+// churn-phase resync cost tracks the delta size, not the policy size.
+func TestChurnConvergesAndScalesWithDelta(t *testing.T) {
+	res, err := RunChurn(smallChurn())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Check(); err != nil {
+		t.Fatalf("%v\n%s", err, res)
+	}
+	if res.ChurnDelta < int64(res.Config.Agents) {
+		t.Fatalf("ChurnDelta = %d, want >= one per agent\n%s", res.ChurnDelta, res)
+	}
+	// The headline number: each churn resync carried ~DeltaOps ops where a
+	// full replay would carry PolicyOps.
+	if res.OpsPerChurnResync >= float64(res.Config.PolicyOps)/2 {
+		t.Fatalf("ops per churn resync = %.1f vs %d-op policy\n%s",
+			res.OpsPerChurnResync, res.Config.PolicyOps, res)
+	}
+}
+
+// TestChurnDeterministicAcrossParallelism pins the benchmark's plan and
+// verdict at several trial-pool widths: the flap schedule, delta streams
+// and convergence are identical whether the fleet is built serially or in
+// parallel.
+func TestChurnDeterministicAcrossParallelism(t *testing.T) {
+	defer SetParallelism(0)
+	cfg := smallChurn()
+	cfg.Agents = 16
+	cfg.Rounds = 1
+	var want string
+	for _, par := range []int{1, 4, 8} {
+		SetParallelism(par)
+		res, err := RunChurn(cfg)
+		if err != nil {
+			t.Fatalf("parallelism %d: %v", par, err)
+		}
+		if err := res.Check(); err != nil {
+			t.Fatalf("parallelism %d: %v\n%s", par, err, res)
+		}
+		got := res.Deterministic()
+		if want == "" {
+			want = got
+			continue
+		}
+		if got != want {
+			t.Fatalf("parallelism %d diverged:\n got %s\nwant %s", par, got, want)
+		}
+	}
+}
+
+// TestChurnPlanFaultMapping pins the fault-plan-to-flap-schedule mapping:
+// duty cycle window, forced links, and seeded loss flaps.
+func TestChurnPlanFaultMapping(t *testing.T) {
+	cfg := ChurnConfig{Agents: 8, Rounds: 2, Seed: 1,
+		Faults: &netsim.FaultPlan{FlapPeriod: 4, FlapDown: 1}}
+	plan := churnPlan(cfg)
+	if len(plan) != 2 || len(plan[0]) != 2 || len(plan[1]) != 2 {
+		t.Fatalf("duty-cycle plan = %v, want 2 flaps per round", plan)
+	}
+	if plan[0][0] == plan[1][0] {
+		t.Fatalf("flap window did not rotate: %v", plan)
+	}
+
+	cfg.Faults = &netsim.FaultPlan{Links: []string{churnAgentName(5)}}
+	plan = churnPlan(cfg)
+	for r, set := range plan {
+		if len(set) != 1 || set[0] != 5 {
+			t.Fatalf("round %d forced set = %v, want [5]", r, set)
+		}
+	}
+
+	cfg.Faults = &netsim.FaultPlan{LossRate: 1.0}
+	plan = churnPlan(cfg)
+	if len(plan[0]) != cfg.Agents {
+		t.Fatalf("loss=1.0 flapped %d/%d agents", len(plan[0]), cfg.Agents)
+	}
+
+	// Same seed, same plan.
+	cfg.Faults = &netsim.FaultPlan{FlapPeriod: 2, FlapDown: 1, LossRate: 0.3}
+	a := churnPlan(cfg)
+	b := churnPlan(cfg)
+	for r := range a {
+		if len(a[r]) != len(b[r]) {
+			t.Fatalf("seeded plan not reproducible: %v vs %v", a, b)
+		}
+		for k := range a[r] {
+			if a[r][k] != b[r][k] {
+				t.Fatalf("seeded plan not reproducible: %v vs %v", a, b)
+			}
+		}
+	}
+}
+
+// TestChurnFlightRecorder wires the benchmark's metrics into a flight
+// recorder and checks the series passes the recorder's own validation
+// (non-empty, monotonic, counter deltas summing to the terminal
+// snapshot) — the same gate `edenbench -exp churn -record-check` applies.
+func TestChurnFlightRecorder(t *testing.T) {
+	cfg := smallChurn()
+	cfg.Agents = 12
+	cfg.Rounds = 1
+	set := metrics.NewSet()
+	cfg.Metrics = set
+	cfg.Flight = telemetry.NewFlightRecorder(set, int64(time.Millisecond))
+	res, err := RunChurn(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Check(); err != nil {
+		t.Fatalf("%v\n%s", err, res)
+	}
+	if err := cfg.Flight.Check(); err != nil {
+		t.Fatalf("flight check: %v", err)
+	}
+	sums := cfg.Flight.SumCounters()
+	for _, reg := range set.Snapshot() {
+		for name, v := range reg.Counters {
+			if got := sums[reg.Name+"/"+name]; got != v {
+				t.Fatalf("counter %s/%s: summed deltas %d != terminal %d", reg.Name, name, got, v)
+			}
+		}
+	}
+	if !strings.Contains(res.String(), "ok: resync cost tracks delta size") {
+		t.Fatalf("result did not self-report ok:\n%s", res)
+	}
+}

@@ -349,6 +349,12 @@ func (c *Controller) register(h ctlproto.Hello, peer *ctlproto.Peer) error {
 	st.peer = peer
 	st.connects++
 	st.generation = h.Generation
+	if st.epoch != h.Epoch {
+		// A different boot epoch is a fresh enclave instance: whatever
+		// globals the previous instance confirmed died with it, so the
+		// replay cursor restarts from the beginning.
+		st.globalsSeq = 0
+	}
 	st.epoch = h.Epoch
 	st.lastHello = time.Now()
 	needResync := false
@@ -356,7 +362,8 @@ func (c *Controller) register(h ctlproto.Hello, peer *ctlproto.Peer) error {
 		// A generation mismatch means the enclave is stale (or ahead);
 		// a leftover resync error means the last replay did not finish
 		// (e.g. globals landed partially) — both re-queue the agent.
-		if pol, ok := c.policies.get(h.Name); ok && len(pol.Structural) > 0 &&
+		if pol, ok := c.policies.get(h.Name); ok &&
+			(pol.Generation != 0 || len(pol.Structural) > 0) &&
 			(pol.Generation != h.Generation || st.resyncErr != "") {
 			needResync = true
 		}
@@ -537,10 +544,11 @@ func (c *Controller) resyncOnce(name string) (done bool, err error) {
 	}
 	c.mu.Lock()
 	agentGen, agentEpoch := st.generation, st.epoch
+	gseq := st.globalsSeq
 	hadErr := st.resyncErr != ""
 	c.mu.Unlock()
 	pol, ok := c.policies.get(name)
-	if !ok || len(pol.Structural) == 0 {
+	if !ok || (pol.Generation == 0 && len(pol.Structural) == 0) {
 		return true, nil
 	}
 	if pol.Generation == agentGen && !hadErr {
@@ -578,7 +586,12 @@ func (c *Controller) resyncOnce(name string) (done bool, err error) {
 	}
 
 	if pol.Generation != agentGen {
-		ops, isDelta := c.policies.deltaSince(name, agentGen, agentEpoch)
+		// The delta is bounded at the snapshot's generation: ops a
+		// concurrent PushDelta appended after the get above must not ride
+		// along, or completeResync's CAS-miss rebase would re-ship ops the
+		// agent already executed (duplicating rules, or wedging resync on
+		// a duplicate install).
+		ops, isDelta := c.policies.deltaSince(name, agentGen, pol.Generation, agentEpoch)
 		if !isDelta {
 			ops = pol.Structural
 		}
@@ -622,12 +635,30 @@ func (c *Controller) resyncOnce(name string) (done bool, err error) {
 		// the globals replay below, the pipeline IS at res.Generation now,
 		// and forgetting that is how an agent gets wedged re-replaying a
 		// transaction it already has.
+		//
+		// A full replay reset the pipeline (every function restarted at
+		// its defaults), and a delta that installed or uninstalled
+		// functions reset at least the touched ones — either way the
+		// agent's confirmed-globals cursor no longer holds, so rewind it
+		// and replay every recorded global below. Rule-only deltas (the
+		// churn steady state) keep the cursor and replay nothing.
+		resetGlobals := !isDelta
+		for _, op := range ops {
+			if op.Op == ctlproto.OpEnclaveInstall || op.Op == ctlproto.OpEnclaveUninstall {
+				resetGlobals = true
+				break
+			}
+		}
 		c.mu.Lock()
 		st.generation = res.Generation
 		if isDelta {
 			st.deltaResyncs++
 		} else {
 			st.fullResyncs++
+		}
+		if resetGlobals {
+			st.globalsSeq = 0
+			gseq = 0
 		}
 		c.mu.Unlock()
 		c.mResyncOps.Add(int64(len(ops)))
@@ -652,11 +683,30 @@ func (c *Controller) resyncOnce(name string) (done bool, err error) {
 		}
 	}
 
-	for _, op := range pol.Globals {
+	// Replay only the globals the agent has not confirmed (seq > cursor):
+	// a rule-only delta pass ships zero globals instead of the whole
+	// recorded set, so churn-phase resync cost stays proportional to the
+	// delta. The cursor advances per landed op, so a pass that dies
+	// mid-replay resumes where it stopped; replayed globals count into
+	// resync_ops/resync_bytes like structural ops.
+	gops, gseqs := c.policies.globalsSince(name, gseq)
+	span.SetAttr("global_ops", strconv.Itoa(len(gops)))
+	var gbytes int64
+	for i, op := range gops {
 		if err := re.peer.CallTimeout(op.Op, op.Params, nil, opTimeout); err != nil {
+			c.mResyncOps.Add(int64(i))
+			c.mResyncBytes.Add(gbytes)
 			return fail(err)
 		}
+		gbytes += int64(len(op.Params))
+		c.mu.Lock()
+		if gseqs[i] > st.globalsSeq {
+			st.globalsSeq = gseqs[i]
+		}
+		c.mu.Unlock()
 	}
+	c.mResyncOps.Add(int64(len(gops)))
+	c.mResyncBytes.Add(gbytes)
 
 	c.mu.Lock()
 	gen := st.generation
@@ -785,8 +835,13 @@ type agentState struct {
 	resyncErr    string
 	generation   uint64
 	epoch        uint64 // enclave boot id; generations comparable only within one epoch
-	lastHello    time.Time
-	lastSeen     time.Time // last activity on the final connection, once gone
+	// globalsSeq is the highest recorded-global sequence number the agent
+	// is known to hold (live pushes and resync replays advance it; a new
+	// epoch or a pipeline-resetting replay rewinds it to 0). Resync
+	// passes replay only globals past this cursor.
+	globalsSeq uint64
+	lastHello  time.Time
+	lastSeen   time.Time // last activity on the final connection, once gone
 }
 
 // AgentStatus is a snapshot of one agent's liveness.
@@ -864,6 +919,18 @@ func (c *Controller) noteGeneration(kind, name string, gen uint64) {
 	}
 }
 
+// noteGlobalSeq advances the named enclave's confirmed-globals cursor
+// after a global push landed on the live agent (cursors only move
+// forward; a concurrent resync replaying an older snapshot must not
+// rewind it).
+func (c *Controller) noteGlobalSeq(name string, seq uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if st, ok := c.status[statusKey("enclave", name)]; ok && seq > st.globalsSeq {
+		st.globalsSeq = seq
+	}
+}
+
 // epochOf returns the boot epoch the named enclave reported in its latest
 // hello (0 if unknown).
 func (c *Controller) epochOf(name string) uint64 {
@@ -929,7 +996,8 @@ func (e *RemoteEnclave) callGlobal(op string, p ctlproto.GlobalParams) error {
 	}
 	if e.ctl != nil {
 		if raw, err := json.Marshal(p); err == nil {
-			e.ctl.policies.recordGlobal(e.Name, op+"/"+p.Func+"/"+p.Name, p.Func, PolicyOp{Op: op, Params: raw})
+			seq := e.ctl.policies.recordGlobal(e.Name, op+"/"+p.Func+"/"+p.Name, p.Func, PolicyOp{Op: op, Params: raw})
+			e.ctl.noteGlobalSeq(e.Name, seq)
 		}
 	}
 	return nil

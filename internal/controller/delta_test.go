@@ -413,6 +413,222 @@ func TestFullReplayAfterLogTruncation(t *testing.T) {
 	}
 }
 
+// TestStructuralCompaction pins the store-level history bound: add/remove
+// and install/uninstall churn must not grow the structural history (and
+// with it memory plus full-replay cost) with lifetime ops — once the
+// history is well past the effective pipeline size it is compacted to an
+// equivalent effective sequence.
+func TestStructuralCompaction(t *testing.T) {
+	ps := NewPolicyStore()
+	install := PolicyOp{Op: ctlproto.OpEnclaveInstall, Params: json.RawMessage(`{"name":"f"}`)}
+	uninstall := policyOp(t, ctlproto.OpEnclaveUninstall, ctlproto.GlobalParams{Func: "f"})
+	create := policyOp(t, ctlproto.OpEnclaveCreateTable, ctlproto.TableParams{Dir: int(enclave.Egress), Table: "tbl"})
+	keep := policyOp(t, ctlproto.OpEnclaveAddRule, ctlproto.RuleParams{Dir: int(enclave.Egress), Table: "tbl", Pattern: "keep", Func: "f"})
+	ps.commit("a", 1, 7, []PolicyOp{install, create, keep})
+
+	for i := 0; i < 150; i++ {
+		p := fmt.Sprintf("p%d", i)
+		ps.appendDelta("a", []PolicyOp{policyOp(t, ctlproto.OpEnclaveAddRule,
+			ctlproto.RuleParams{Dir: int(enclave.Egress), Table: "tbl", Pattern: p, Func: "f"})})
+		ps.appendDelta("a", []PolicyOp{policyOp(t, ctlproto.OpEnclaveRemoveRule,
+			ctlproto.RuleParams{Dir: int(enclave.Egress), Table: "tbl", Pattern: p})})
+	}
+	pol, _ := ps.get("a")
+	if len(pol.Structural) > structuralCompactMin+1 {
+		t.Fatalf("structural history = %d ops after 300 delta ops, want <= %d (compacted)",
+			len(pol.Structural), structuralCompactMin+1)
+	}
+	// The history must still produce the effective pipeline: f installed,
+	// tbl created, exactly the one surviving rule.
+	s := newEffState()
+	for _, op := range pol.Structural {
+		s.apply(op)
+	}
+	if s.opaque || !s.installed("f") || len(s.tables) != 1 ||
+		len(s.rules) != 1 || s.rules[0].pattern != "keep" {
+		t.Fatalf("compacted history does not reproduce the effective pipeline: %+v", s)
+	}
+
+	// Uninstall/delete churn compacts all the way to an empty policy.
+	for i := 0; i < 40; i++ {
+		ps.appendDelta("a", []PolicyOp{install})
+		ps.appendDelta("a", []PolicyOp{uninstall})
+	}
+	ps.appendDelta("a", []PolicyOp{policyOp(t, ctlproto.OpEnclaveDeleteTable,
+		ctlproto.TableParams{Dir: int(enclave.Egress), Table: "tbl"})})
+	for i := 0; i < 40; i++ {
+		ps.appendDelta("a", []PolicyOp{install})
+		ps.appendDelta("a", []PolicyOp{uninstall})
+	}
+	pol, _ = ps.get("a")
+	if len(pol.Structural) > structuralCompactMin+1 {
+		t.Fatalf("structural history = %d ops after uninstalling everything, want <= %d",
+			len(pol.Structural), structuralCompactMin+1)
+	}
+	empty := newEffState()
+	for _, op := range pol.Structural {
+		empty.apply(op)
+	}
+	if empty.size() != 0 {
+		t.Fatalf("history after uninstalling everything still produces %d pipeline pieces, want 0", empty.size())
+	}
+	if pol.Generation == 0 {
+		t.Fatal("generation lost by compaction")
+	}
+
+	// An op the compactor cannot interpret disables compaction for the
+	// record instead of corrupting it.
+	before := len(pol.Structural)
+	ps.appendDelta("a", []PolicyOp{{Op: "custom.op", Params: json.RawMessage(`{}`)}})
+	for i := 0; i < 100; i++ {
+		ps.appendDelta("a", []PolicyOp{install})
+		ps.appendDelta("a", []PolicyOp{uninstall})
+	}
+	pol, _ = ps.get("a")
+	if n := len(pol.Structural); n != before+201 {
+		t.Fatalf("opaque history = %d ops, want %d (append-only once uninterpretable)", n, before+201)
+	}
+}
+
+// TestCompactionEndToEnd drives add/remove churn through a live agent,
+// then checks both that the intended policy stayed bounded and that a
+// fresh enclave can replay the compacted form in full — rules, function
+// and globals all land.
+func TestCompactionEndToEnd(t *testing.T) {
+	ctl, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctl.Close()
+
+	enc := newTestEnclave("e1")
+	agent := ServeEnclavePersistent(ctl.Addr(), "h1", enc, ReconnectConfig{
+		BackoffMin: 5 * time.Millisecond, BackoffMax: 50 * time.Millisecond,
+		Heartbeat: 10 * time.Millisecond, CallTimeout: 2 * time.Second,
+	})
+	if err := ctl.WaitForAgents(1, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	re, _ := ctl.Enclave("e1")
+	pushPIAS(t, re)
+
+	for i := 0; i < 80; i++ {
+		p := fmt.Sprintf("p%d.*", i)
+		ctl.PushDelta("e1", []PolicyOp{policyOp(t, ctlproto.OpEnclaveAddRule,
+			ctlproto.RuleParams{Dir: int(enclave.Egress), Table: "sched", Pattern: p, Func: "pias"})})
+		ctl.PushDelta("e1", []PolicyOp{policyOp(t, ctlproto.OpEnclaveRemoveRule,
+			ctlproto.RuleParams{Dir: int(enclave.Egress), Table: "sched", Pattern: p})})
+	}
+	waitConverged(t, ctl, "e1")
+	pol, ok := ctl.Policies().Intended("e1")
+	if !ok {
+		t.Fatal("no intended policy")
+	}
+	if len(pol.Structural) > structuralCompactMin+1 {
+		t.Fatalf("structural history = %d ops after 160 delta ops, want <= %d",
+			len(pol.Structural), structuralCompactMin+1)
+	}
+	if tab, ok := enc.Table(enclave.Egress, "sched"); !ok || len(tab.Rules()) != 1 {
+		t.Fatalf("live agent table after churn = %+v, want the single base rule", tab)
+	}
+
+	agent.Close()
+	waitFor(t, "agent to unregister", func() bool {
+		_, ok := ctl.Enclave("e1")
+		return !ok
+	})
+	enc2 := newTestEnclave("e1")
+	a2, err := ServeEnclave(ctl.Addr(), "h1", enc2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a2.Close()
+	waitConverged(t, ctl, "e1")
+	if got := piasPriority(enc2, 1); got != 7 {
+		t.Fatalf("priority after compacted replay = %d, want 7", got)
+	}
+	if tab, ok := enc2.Table(enclave.Egress, "sched"); !ok || len(tab.Rules()) != 1 {
+		t.Fatalf("replayed table = %+v, want the single base rule", tab)
+	}
+}
+
+// TestGlobalsDeltaReplay pins the globals cursor: a rule-only delta
+// resync must not re-push globals the agent already holds (churn-phase
+// resync cost has to track the delta, not the recorded-globals set),
+// while a full replay onto a fresh enclave instance re-pushes them all —
+// and replayed globals count into resync_ops.
+func TestGlobalsDeltaReplay(t *testing.T) {
+	ctl, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctl.Close()
+
+	enc := newTestEnclave("e1")
+	var arrayPushes atomic.Int32
+	count := func(op string) error {
+		if op == ctlproto.OpEnclaveUpdateArray {
+			arrayPushes.Add(1)
+		}
+		return nil
+	}
+	a1 := interceptAgent(t, ctl.Addr(), enc, count)
+	if err := ctl.WaitForAgents(1, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	re, _ := ctl.Enclave("e1")
+	pushPIAS(t, re)
+	if n := arrayPushes.Load(); n != 2 {
+		t.Fatalf("live global pushes = %d, want 2", n)
+	}
+
+	// The agent drops, a rule-only delta lands, the same enclave instance
+	// re-hellos: the delta resync must ship the rule and zero globals.
+	a1.Close()
+	waitFor(t, "agent to unregister", func() bool {
+		_, ok := ctl.Enclave("e1")
+		return !ok
+	})
+	ctl.PushDelta("e1", []PolicyOp{policyOp(t, ctlproto.OpEnclaveAddRule,
+		ctlproto.RuleParams{Dir: int(enclave.Egress), Table: "sched", Pattern: "aux.*", Func: "pias"})})
+	a2 := interceptAgent(t, ctl.Addr(), enc, count)
+	st := waitConverged(t, ctl, "e1")
+	if st.DeltaResyncs < 1 {
+		t.Fatalf("DeltaResyncs = %d, want >= 1", st.DeltaResyncs)
+	}
+	if n := arrayPushes.Load(); n != 2 {
+		t.Fatalf("array pushes after rule-only delta resync = %d, want 2 (globals must not be re-replayed)", n)
+	}
+	a2.Close()
+	waitFor(t, "agent to unregister", func() bool {
+		_, ok := ctl.Enclave("e1")
+		return !ok
+	})
+
+	// A fresh enclave instance (new epoch) lost everything: the full
+	// replay re-pushes both globals, and they count as resync ops.
+	opsBefore := ctl.Metrics().Counter("resync_ops").Load()
+	enc2 := newTestEnclave("e1")
+	var arrayPushes2 atomic.Int32
+	a3 := interceptAgent(t, ctl.Addr(), enc2, func(op string) error {
+		if op == ctlproto.OpEnclaveUpdateArray {
+			arrayPushes2.Add(1)
+		}
+		return nil
+	})
+	defer a3.Close()
+	waitConverged(t, ctl, "e1")
+	if n := arrayPushes2.Load(); n != 2 {
+		t.Fatalf("array pushes after full replay = %d, want 2", n)
+	}
+	if got := piasPriority(enc2, 1); got != 7 {
+		t.Fatalf("priority after full replay = %d, want 7", got)
+	}
+	if d := ctl.Metrics().Counter("resync_ops").Load() - opsBefore; d < 6 {
+		t.Fatalf("resync_ops grew by %d over the full replay, want >= 6 (4 structural + 2 globals)", d)
+	}
+}
+
 // TestTxResetSwapsPipeline: a transaction staged after Reset publishes a
 // pipeline built from empty, atomically replacing whatever was installed.
 func TestTxResetSwapsPipeline(t *testing.T) {
@@ -475,17 +691,20 @@ func TestPolicyStoreDeltaEdges(t *testing.T) {
 	if n := ps.logLen("a"); n != 3 {
 		t.Fatalf("logLen = %d, want 3", n)
 	}
-	if _, ok := ps.deltaSince("a", 4, 7); !ok {
+	if _, ok := ps.deltaSince("a", 4, 5, 7); !ok {
 		t.Fatal("delta for covered gap should be available")
 	}
-	if _, ok := ps.deltaSince("a", 1, 7); ok {
+	if _, ok := ps.deltaSince("a", 1, 5, 7); ok {
 		t.Fatal("delta across truncated log should not be available")
 	}
-	if _, ok := ps.deltaSince("a", 4, 8); ok {
+	if _, ok := ps.deltaSince("a", 4, 5, 8); ok {
 		t.Fatal("delta across epochs should not be available")
 	}
-	if _, ok := ps.deltaSince("a", 5, 7); ok {
+	if _, ok := ps.deltaSince("a", 5, 5, 7); ok {
 		t.Fatal("delta for an up-to-date agent should not be available")
+	}
+	if _, ok := ps.deltaSince("a", 3, 6, 7); ok {
+		t.Fatal("delta bounded past the store generation should not be available")
 	}
 
 	// CAS + rebase: a replay computed at gen 5 commits at agent gen 9
@@ -504,8 +723,45 @@ func TestPolicyStoreDeltaEdges(t *testing.T) {
 	if pol.Generation != 10 {
 		t.Fatalf("rebased generation = %d, want 10", pol.Generation)
 	}
-	ops, ok := ps2.deltaSince("b", 9, 9)
+	ops, ok := ps2.deltaSince("b", 9, 10, 9)
 	if !ok || len(ops) != 1 {
 		t.Fatalf("rebased delta = %v ok=%v, want the one racing op", ops, ok)
+	}
+}
+
+// TestDeltaBoundedAtSnapshot is the snapshot/delta race regression: a
+// delta landing between a resync pass's policy snapshot (get) and its
+// op-log read (deltaSince) must not leak into the pass. The delta is
+// bounded at the snapshot generation, so the pass ships exactly the
+// snapshot's ops; the completeResync CAS miss then rebases the racing
+// suffix and the follow-up pass ships exactly the racing op — before the
+// fix, the racing op shipped in BOTH passes (a silently duplicated
+// AddRule, or a permanently failing duplicated Install).
+func TestDeltaBoundedAtSnapshot(t *testing.T) {
+	ps := NewPolicyStore()
+	mk := func(tag string) PolicyOp {
+		return PolicyOp{Op: "x", Params: json.RawMessage(`{"tag":"` + tag + `"}`)}
+	}
+	ps.commit("a", 1, 7, []PolicyOp{mk("base")})
+	ps.appendDelta("a", []PolicyOp{mk("d2")}) // gen 2
+	pol, _ := ps.get("a")                     // the pass snapshots at gen 2
+	ps.appendDelta("a", []PolicyOp{mk("d3")}) // racing delta, gen 3
+
+	ops, ok := ps.deltaSince("a", 1, pol.Generation, 7)
+	if !ok || len(ops) != 1 || string(ops[0].Params) != `{"tag":"d2"}` {
+		t.Fatalf("bounded delta = %v ok=%v, want exactly the snapshot op d2", ops, ok)
+	}
+	// The agent commits the bounded delta, reaching its generation 2; the
+	// CAS fails against the racing gen 3 and rebases the suffix.
+	if ps.completeResync("a", pol.Generation, 2, 7) {
+		t.Fatal("contended completeResync should fail")
+	}
+	pol2, _ := ps.get("a")
+	if pol2.Generation != 3 {
+		t.Fatalf("rebased generation = %d, want 3", pol2.Generation)
+	}
+	ops, ok = ps.deltaSince("a", 2, pol2.Generation, 7)
+	if !ok || len(ops) != 1 || string(ops[0].Params) != `{"tag":"d3"}` {
+		t.Fatalf("follow-up delta = %v ok=%v, want exactly the racing op d3", ops, ok)
 	}
 }

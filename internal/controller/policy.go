@@ -15,12 +15,14 @@ type PolicyOp struct {
 }
 
 // AgentPolicy is the controller's intended policy for one enclave: the
-// cumulative structural op sequence of every committed transaction and
-// pushed delta (replayed inside a fresh transaction, so a full replay
-// lands as one atomic pipeline swap), the latest global-state pushes
-// (replayed after commit, newest value per func/name), the pipeline
-// generation the newest commit produced, and the boot epoch of the
-// enclave instance that generation belongs to.
+// structural op sequence that produces the intended pipeline (replayed
+// inside a fresh transaction, so a full replay lands as one atomic
+// pipeline swap), the latest global-state pushes (replayed after commit,
+// newest value per func/name), the pipeline generation the newest commit
+// produced, and the boot epoch of the enclave instance that generation
+// belongs to. Structural is the literal committed history until it grows
+// well past the pipeline it describes, at which point the store compacts
+// it to an equivalent effective sequence (see effState).
 type AgentPolicy struct {
 	Generation uint64
 	Epoch      uint64
@@ -51,16 +53,27 @@ type PolicyStore struct {
 // far behind fall back to a full replay.
 const DefaultOpLogCap = 64
 
+// structuralCompactMin is the structural-history length below which
+// compaction is never attempted; beyond it, the history is rebuilt from
+// the effective pipeline state whenever it exceeds twice that state's
+// size. The threshold keeps small policies byte-for-byte equal to their
+// commit history (cheap, and friendlier to inspection) while bounding
+// memory and full-replay cost to O(current policy), not O(lifetime ops).
+const structuralCompactMin = 64
+
 type logEntry struct {
 	gen uint64
 	ops []PolicyOp
 }
 
-// globalEntry is one recorded global push plus the function it targets,
-// so commits can prune pushes whose function left the policy.
+// globalEntry is one recorded global push plus the function it targets
+// (so commits can prune pushes whose function left the policy) and the
+// record-wide sequence number of its newest value (so resync passes can
+// replay only the globals an agent has not yet confirmed).
 type globalEntry struct {
 	key string
 	fn  string
+	seq uint64
 	op  PolicyOp
 }
 
@@ -70,7 +83,177 @@ type policyRecord struct {
 	structural []PolicyOp
 	globals    []globalEntry
 	globalIdx  map[string]int // dedup key -> index into globals
+	globalSeq  uint64         // bumped on every recorded global push
+	eff        effState       // effective pipeline the structural history produces
 	log        []logEntry     // contiguous, ascending, ends at generation
+}
+
+// tableKey identifies a match-action table within one policy.
+type tableKey struct {
+	dir   int
+	table string
+}
+
+// effRule is one surviving AddRule, in append order.
+type effRule struct {
+	key     tableKey
+	pattern string
+	fn      string
+	op      PolicyOp
+}
+
+// effState incrementally tracks the effective pipeline the cumulative
+// structural history produces: which functions and tables survive, and
+// the rules each table ends up with, in the same order the enclave would
+// hold them (tables in creation order, rules in append order, RemoveRule
+// dropping the first pattern match, Uninstall/DeleteTable cascading to
+// dependent rules — mirroring internal/enclave's build semantics). It
+// lets the store compact an append-only history into an equivalent
+// replayable sequence once uninstalls and removals make the history much
+// larger than the pipeline it describes, and answer "is this function
+// installed?" for global pruning without rescanning the history. An op
+// the tracker cannot interpret flips it opaque: compaction is disabled
+// for the record and pruning falls back to scanning the history.
+type effState struct {
+	opaque   bool
+	funcs    []string // install order
+	funcOps  map[string]PolicyOp
+	tables   []tableKey // creation order
+	tableOps map[tableKey]PolicyOp
+	rules    []effRule // append order
+}
+
+func newEffState() effState {
+	return effState{funcOps: map[string]PolicyOp{}, tableOps: map[tableKey]PolicyOp{}}
+}
+
+func (s *effState) apply(op PolicyOp) {
+	if s.opaque {
+		return
+	}
+	switch op.Op {
+	case ctlproto.OpEnclaveInstall:
+		var spec struct {
+			Name string `json:"name"`
+		}
+		if json.Unmarshal(op.Params, &spec) != nil || spec.Name == "" {
+			s.opaque = true
+			return
+		}
+		if _, ok := s.funcOps[spec.Name]; !ok {
+			s.funcs = append(s.funcs, spec.Name)
+		}
+		s.funcOps[spec.Name] = op
+	case ctlproto.OpEnclaveUninstall:
+		var p ctlproto.GlobalParams
+		if json.Unmarshal(op.Params, &p) != nil || p.Func == "" {
+			s.opaque = true
+			return
+		}
+		if _, ok := s.funcOps[p.Func]; !ok {
+			return
+		}
+		delete(s.funcOps, p.Func)
+		for i, n := range s.funcs {
+			if n == p.Func {
+				s.funcs = append(s.funcs[:i], s.funcs[i+1:]...)
+				break
+			}
+		}
+		kept := s.rules[:0]
+		for _, r := range s.rules {
+			if r.fn != p.Func {
+				kept = append(kept, r)
+			}
+		}
+		s.rules = kept
+	case ctlproto.OpEnclaveCreateTable:
+		var p ctlproto.TableParams
+		if json.Unmarshal(op.Params, &p) != nil || p.Table == "" {
+			s.opaque = true
+			return
+		}
+		k := tableKey{dir: p.Dir, table: p.Table}
+		if _, ok := s.tableOps[k]; !ok {
+			s.tables = append(s.tables, k)
+		}
+		s.tableOps[k] = op
+	case ctlproto.OpEnclaveDeleteTable:
+		var p ctlproto.TableParams
+		if json.Unmarshal(op.Params, &p) != nil || p.Table == "" {
+			s.opaque = true
+			return
+		}
+		k := tableKey{dir: p.Dir, table: p.Table}
+		if _, ok := s.tableOps[k]; !ok {
+			return
+		}
+		delete(s.tableOps, k)
+		for i, tk := range s.tables {
+			if tk == k {
+				s.tables = append(s.tables[:i], s.tables[i+1:]...)
+				break
+			}
+		}
+		kept := s.rules[:0]
+		for _, r := range s.rules {
+			if r.key != k {
+				kept = append(kept, r)
+			}
+		}
+		s.rules = kept
+	case ctlproto.OpEnclaveAddRule:
+		var p ctlproto.RuleParams
+		if json.Unmarshal(op.Params, &p) != nil || p.Table == "" {
+			s.opaque = true
+			return
+		}
+		s.rules = append(s.rules, effRule{
+			key: tableKey{dir: p.Dir, table: p.Table}, pattern: p.Pattern, fn: p.Func, op: op,
+		})
+	case ctlproto.OpEnclaveRemoveRule:
+		var p ctlproto.RuleParams
+		if json.Unmarshal(op.Params, &p) != nil || p.Table == "" {
+			s.opaque = true
+			return
+		}
+		k := tableKey{dir: p.Dir, table: p.Table}
+		for i, r := range s.rules {
+			if r.key == k && r.pattern == p.Pattern {
+				s.rules = append(s.rules[:i], s.rules[i+1:]...)
+				break
+			}
+		}
+	default:
+		s.opaque = true
+	}
+}
+
+func (s *effState) size() int { return len(s.funcs) + len(s.tables) + len(s.rules) }
+
+func (s *effState) installed(fn string) bool {
+	_, ok := s.funcOps[fn]
+	return ok
+}
+
+// ops materializes the effective policy as a replayable sequence:
+// installs, then table creates, then rules. That order satisfies the
+// enclave's dependency checks (a rule needs its function and table to
+// exist) while preserving table order per direction and rule order per
+// table, so replaying it into a reset pipeline reproduces exactly the
+// state the full history would.
+func (s *effState) ops() []PolicyOp {
+	out := make([]PolicyOp, 0, s.size())
+	for _, fn := range s.funcs {
+		out = append(out, s.funcOps[fn])
+	}
+	for _, k := range s.tables {
+		out = append(out, s.tableOps[k])
+	}
+	for _, r := range s.rules {
+		out = append(out, r.op)
+	}
+	return out
 }
 
 // NewPolicyStore returns an empty store with the default op-log bound.
@@ -93,7 +276,7 @@ func (ps *PolicyStore) SetOpLogCap(n int) {
 func (ps *PolicyStore) record(name string) *policyRecord {
 	r := ps.byName[name]
 	if r == nil {
-		r = &policyRecord{globalIdx: map[string]int{}}
+		r = &policyRecord{globalIdx: map[string]int{}, eff: newEffState()}
 		ps.byName[name] = r
 	}
 	return r
@@ -114,31 +297,51 @@ func (r *policyRecord) appendLogLocked(gen uint64, ops []PolicyOp, cap int) {
 	}
 }
 
+// applyStructuralLocked extends the structural history and the effective
+// state, then compacts the history once it has grown well past the
+// pipeline it produces. Without compaction, memory and full-replay cost
+// scale with lifetime ops (every install/uninstall pair ever committed)
+// rather than with the current policy size.
+func (r *policyRecord) applyStructuralLocked(ops []PolicyOp) {
+	r.structural = append(r.structural, ops...)
+	for _, op := range ops {
+		r.eff.apply(op)
+	}
+	if !r.eff.opaque && len(r.structural) > structuralCompactMin &&
+		len(r.structural) > 2*r.eff.size() {
+		r.structural = r.eff.ops()
+	}
+}
+
 // pruneGlobalsLocked drops recorded global pushes whose target function
 // is no longer installed by the cumulative structural policy. Without
 // this, a global recorded for a function a later transaction removed
 // fails every subsequent replay and wedges resync permanently.
 func (r *policyRecord) pruneGlobalsLocked() {
-	installed := map[string]bool{}
-	for _, op := range r.structural {
-		switch op.Op {
-		case ctlproto.OpEnclaveInstall:
-			var spec struct {
-				Name string `json:"name"`
-			}
-			if json.Unmarshal(op.Params, &spec) == nil && spec.Name != "" {
-				installed[spec.Name] = true
-			}
-		case ctlproto.OpEnclaveUninstall:
-			var p ctlproto.GlobalParams
-			if json.Unmarshal(op.Params, &p) == nil {
-				delete(installed, p.Func)
+	installed := r.eff.installed
+	if r.eff.opaque {
+		set := map[string]bool{}
+		for _, op := range r.structural {
+			switch op.Op {
+			case ctlproto.OpEnclaveInstall:
+				var spec struct {
+					Name string `json:"name"`
+				}
+				if json.Unmarshal(op.Params, &spec) == nil && spec.Name != "" {
+					set[spec.Name] = true
+				}
+			case ctlproto.OpEnclaveUninstall:
+				var p ctlproto.GlobalParams
+				if json.Unmarshal(op.Params, &p) == nil {
+					delete(set, p.Func)
+				}
 			}
 		}
+		installed = func(fn string) bool { return set[fn] }
 	}
 	kept := r.globals[:0]
 	for _, g := range r.globals {
-		if installed[g.fn] {
+		if installed(g.fn) {
 			kept = append(kept, g)
 		}
 	}
@@ -164,7 +367,7 @@ func (ps *PolicyStore) commit(name string, gen, epoch uint64, structural []Polic
 	if epoch != 0 {
 		r.epoch = epoch
 	}
-	r.structural = append(r.structural, structural...)
+	r.applyStructuralLocked(structural)
 	r.appendLogLocked(gen, structural, ps.logCap)
 	r.pruneGlobalsLocked()
 }
@@ -178,32 +381,63 @@ func (ps *PolicyStore) appendDelta(name string, ops []PolicyOp) uint64 {
 	defer ps.mu.Unlock()
 	r := ps.record(name)
 	r.generation++
-	r.structural = append(r.structural, ops...)
+	r.applyStructuralLocked(ops)
 	r.appendLogLocked(r.generation, ops, ps.logCap)
 	r.pruneGlobalsLocked()
 	return r.generation
 }
 
 // recordGlobal upserts a global-state push; key dedupes so replay applies
-// only the newest value per (op, func, name), in first-push order.
-func (ps *PolicyStore) recordGlobal(name, key, fn string, op PolicyOp) {
+// only the newest value per (op, func, name), in first-push order. It
+// returns the push's sequence number, the cursor value a live push lets
+// the controller advance the receiving agent to.
+func (ps *PolicyStore) recordGlobal(name, key, fn string, op PolicyOp) uint64 {
 	ps.mu.Lock()
 	defer ps.mu.Unlock()
 	r := ps.record(name)
+	r.globalSeq++
 	if i, ok := r.globalIdx[key]; ok {
 		r.globals[i].op = op
-		return
+		r.globals[i].seq = r.globalSeq
+		return r.globalSeq
 	}
 	r.globalIdx[key] = len(r.globals)
-	r.globals = append(r.globals, globalEntry{key: key, fn: fn, op: op})
+	r.globals = append(r.globals, globalEntry{key: key, fn: fn, seq: r.globalSeq, op: op})
+	return r.globalSeq
 }
 
-// deltaSince returns the op-log suffix that brings an agent from fromGen
-// (in epoch) to the intended generation, or ok=false when only a full
-// replay is sound: the epochs diverge (different enclave instance), the
-// agent is ahead of the store, or the log no longer reaches back to
-// fromGen+1.
-func (ps *PolicyStore) deltaSince(name string, fromGen, epoch uint64) ([]PolicyOp, bool) {
+// globalsSince snapshots the recorded global pushes newer than after (in
+// first-push order) together with their sequence numbers, so a resync
+// pass replays only the globals the agent has not confirmed and advances
+// the agent's cursor as each one lands. after=0 returns everything.
+func (ps *PolicyStore) globalsSince(name string, after uint64) ([]PolicyOp, []uint64) {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	r, ok := ps.byName[name]
+	if !ok {
+		return nil, nil
+	}
+	var ops []PolicyOp
+	var seqs []uint64
+	for _, g := range r.globals {
+		if g.seq > after {
+			ops = append(ops, g.op)
+			seqs = append(seqs, g.seq)
+		}
+	}
+	return ops, seqs
+}
+
+// deltaSince returns the op-log slice that brings an agent from fromGen
+// (in epoch) to upTo, or ok=false when only a full replay is sound: the
+// epochs diverge (different enclave instance), the agent is not behind
+// upTo, or the log no longer covers fromGen+1..upTo. upTo is the
+// generation the caller snapshotted the policy at — bounding the slice
+// there keeps the replayed ops and the snapshot consistent even when a
+// concurrent delta moves the store past the snapshot mid-pass (the extra
+// ops would otherwise be applied now AND re-shipped by the follow-up
+// pass after the completeResync CAS miss rebases them).
+func (ps *PolicyStore) deltaSince(name string, fromGen, upTo, epoch uint64) ([]PolicyOp, bool) {
 	ps.mu.Lock()
 	defer ps.mu.Unlock()
 	r, ok := ps.byName[name]
@@ -213,15 +447,15 @@ func (ps *PolicyStore) deltaSince(name string, fromGen, epoch uint64) ([]PolicyO
 	if epoch == 0 || r.epoch == 0 || epoch != r.epoch {
 		return nil, false
 	}
-	if fromGen >= r.generation {
+	if fromGen >= upTo || upTo > r.generation {
 		return nil, false
 	}
-	if len(r.log) == 0 || r.log[0].gen > fromGen+1 || r.log[len(r.log)-1].gen != r.generation {
+	if len(r.log) == 0 || r.log[0].gen > fromGen+1 || r.log[len(r.log)-1].gen < upTo {
 		return nil, false
 	}
 	var ops []PolicyOp
 	for _, e := range r.log {
-		if e.gen > fromGen {
+		if e.gen > fromGen && e.gen <= upTo {
 			ops = append(ops, e.ops...)
 		}
 	}

@@ -107,7 +107,10 @@ type ChurnResult struct {
 	FlapsPerRound []int
 	Converged     int
 
-	// Measured, from the controller's registry.
+	// Measured, from the controller's registry. BaseFull/BaseOps cover
+	// the base-install phase; every other counter is churn-phase only
+	// (the base-install snapshot is subtracted), so retries or coalesced
+	// passes during the install cannot inflate the churn claims.
 	BaseFull, BaseOps          int64
 	ChurnDelta, ChurnFull      int64
 	ChurnOps, ChurnBytes       int64
@@ -346,9 +349,9 @@ func RunChurn(cfg ChurnConfig) (*ChurnResult, error) {
 		ChurnFull:     final.full - base.full,
 		ChurnOps:      final.ops - base.ops,
 		ChurnBytes:    final.bytes - base.bytes,
-		Coalesced:     final.coalesced,
-		Retries:       final.retries,
-		Errors:        final.errors,
+		Coalesced:     final.coalesced - base.coalesced,
+		Retries:       final.retries - base.retries,
+		Errors:        final.errors - base.errors,
 		Wall:          time.Since(t0),
 	}
 	if n := res.ChurnDelta + res.ChurnFull; n > 0 {

@@ -16,10 +16,13 @@ test:
 # single-iteration bench smoke so benchmark code cannot rot, a flight-
 # recorder smoke: one recorded fig9 iteration that fails if the series is
 # empty, non-monotonic, or disagrees with the terminal counter snapshot,
-# and a churn smoke: one small delta-distribution round over a real TCP
+# a churn smoke: one small delta-distribution round over a real TCP
 # agent fleet, under -race, with the same flight-series validation —
 # exiting nonzero unless every agent converges and the churn-phase resync
-# cost tracked the delta size rather than the policy size.
+# cost tracked the delta size rather than the policy size — and a flows
+# smoke: a 2k -> 20k flow-state ramp that fails unless p99 Process
+# latency stays flat and idle reclamation is exact (final live count is
+# the hot set, zero capacity evictions).
 verify: build
 	@fmt_out=$$(gofmt -l .); if [ -n "$$fmt_out" ]; then \
 		echo "gofmt needed on:"; echo "$$fmt_out"; exit 1; fi
@@ -29,6 +32,7 @@ verify: build
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
 	$(GO) run ./cmd/edenbench -exp fig9 -runs 1 -ms 30 -parallel 1 -record 5ms -record-check > /dev/null
 	$(GO) run -race ./cmd/edenbench -exp churn -churn-agents 64 -churn-rounds 1 -record 5ms -record-check > /dev/null
+	$(GO) run ./cmd/edenbench -exp flows -flows-start 2000 -flows-peak 20000 -record 5ms -record-check > /dev/null
 
 bench:
 	$(GO) test -bench=. -benchtime=1x ./...

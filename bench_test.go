@@ -261,3 +261,30 @@ func BenchmarkTable1(b *testing.B) {
 	}
 	b.ReportMetric(ok, "functions-demonstrated")
 }
+
+// BenchmarkFlowStateRamp runs a reduced flow-state ramp (1k -> 16k live
+// flows) per iteration and reports the flat-latency claim's inputs: p99
+// Process latency at the first and the peak step, plus the reclamation
+// accounting. The full 10k -> 1M ramp is `edenbench -exp flows`.
+func BenchmarkFlowStateRamp(b *testing.B) {
+	cfg := experiments.DefaultFlowsConfig()
+	cfg.StartFlows = 1000
+	cfg.PeakFlows = 16000
+	cfg.Steps = 4
+	cfg.HotFlows = 100
+	var res *experiments.FlowsResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.RunFlows(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := res.Check(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.StepP99Ns[0], "p99-first-ns")
+	b.ReportMetric(res.StepP99Ns[len(res.StepP99Ns)-1], "p99-peak-ns")
+	b.ReportMetric(float64(res.IdleReclaims), "idle-reclaims")
+	b.ReportMetric(float64(res.Sweeps), "sweeps")
+}

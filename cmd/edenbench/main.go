@@ -14,6 +14,9 @@
 //	edenbench -exp ablation     design ablations (LB granularity, attach point)
 //	edenbench -exp churn        control-plane churn (delta vs full resync cost;
 //	                            real TCP agents, so not part of -exp all)
+//	edenbench -exp flows        flow-state ramp (10k -> 1M live flows with
+//	                            epoch-based idle reclamation; wall-clock
+//	                            latency assertions, so not part of -exp all)
 //
 // Flags -runs and -ms scale the simulated experiments (0 = paper-scale
 // defaults). -parallel N fans independent trials across N worker
@@ -50,6 +53,15 @@
 //	                    rotating P/D fraction of the fleet per round,
 //	                    loss=R adds seeded random flaps, link=NAME
 //	                    forces that agent down every round
+//
+// The flow-state ramp (-metrics/-record/-record-check apply; ticks are
+// sim-time step boundaries) is shaped by:
+//
+//	-flows-start N      live flows at the first ramp step (default 10000)
+//	-flows-peak N       live flows at the last ramp step (default 1000000)
+//	-flows-steps N      log-spaced ramp steps (default 7)
+//	-flows-idle DUR     idle-reclamation timeout in simulated time
+//	                    (default 1s)
 package main
 
 import (
@@ -152,7 +164,7 @@ func checkFlightSums(f *telemetry.FlightRecorder, set *metrics.Set) error {
 
 func main() {
 	var (
-		exp       = flag.String("exp", "all", "experiment: fig9, fig10, fig11, fig12, table1, ablation, churn, all (all = the paper figures; churn must be named explicitly)")
+		exp       = flag.String("exp", "all", "experiment: fig9, fig10, fig11, fig12, table1, ablation, churn, flows, all (all = the paper figures; churn and flows must be named explicitly)")
 		runs      = flag.Int("runs", 0, "override number of runs (0 = default)")
 		ms        = flag.Int("ms", 0, "override simulated milliseconds per run (0 = default)")
 		dumpMet   = flag.Bool("metrics", false, "dump a JSON metrics snapshot per simulated experiment")
@@ -168,6 +180,11 @@ func main() {
 		churnRounds    = flag.Int("churn-rounds", 0, "churn: flap rounds after the base install (0 = default)")
 		churnPolicyOps = flag.Int("churn-policy-ops", 0, "churn: structural ops in the base policy (0 = default)")
 		churnDeltaOps  = flag.Int("churn-delta-ops", 0, "churn: ops per per-round delta push (0 = default)")
+
+		flowsStart = flag.Int("flows-start", 0, "flows: live flows at the first ramp step (0 = default 10000)")
+		flowsPeak  = flag.Int("flows-peak", 0, "flows: live flows at the last ramp step (0 = default 1000000)")
+		flowsSteps = flag.Int("flows-steps", 0, "flows: log-spaced ramp steps (0 = default 7)")
+		flowsIdle  = flag.Duration("flows-idle", 0, "flows: idle-reclamation timeout in simulated time (0 = default 1s)")
 	)
 	flag.Parse()
 	experiments.SetParallelism(*par)
@@ -311,6 +328,38 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("  [churn completed in %.1fs]\n\n", time.Since(t0).Seconds())
+	}
+	// The flow-state ramp asserts wall-clock latency flatness at up to a
+	// million live flows, so like churn it only runs when named explicitly.
+	if *exp == "flows" {
+		t0 := time.Now()
+		cfg := experiments.DefaultFlowsConfig()
+		if *flowsStart > 0 {
+			cfg.StartFlows = *flowsStart
+		}
+		if *flowsPeak > 0 {
+			cfg.PeakFlows = *flowsPeak
+		}
+		if *flowsSteps > 0 {
+			cfg.Steps = *flowsSteps
+		}
+		if *flowsIdle > 0 {
+			cfg.IdleTimeout = flowsIdle.Nanoseconds()
+		}
+		ins := mkInstruments()
+		cfg.Metrics, cfg.Flight = ins.set, ins.flight
+		res, err := experiments.RunFlows(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "edenbench: flows: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(res)
+		report("flows", ins)
+		if err := res.Check(); err != nil {
+			fmt.Fprintf(os.Stderr, "edenbench: flows: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("  [flows completed in %.1fs]\n\n", time.Since(t0).Seconds())
 	}
 }
 

@@ -54,6 +54,19 @@ type Func struct {
 // Concurrency returns the enclave scheduling class for the function.
 func (f *Func) Concurrency() edenvm.Concurrency { return f.Prog.State.Concurrency() }
 
+// MsgLifetime reports whether the function declared per-message state —
+// the §3.4.2 lifetime annotation (Figure 8's Granularity) threaded from
+// lang.StateMsg declarations through the slot layout. The enclave uses it
+// to scope the function's state to message lifetime: entries are created
+// on first packet of a message and reclaimed when the message ends or its
+// flow goes idle.
+func (f *Func) MsgLifetime() bool { return len(f.MsgFields) > 0 }
+
+// GlobalLifetime reports whether the function declared global-lifetime
+// state (lang.StateGlobal): scalars or arrays that outlive any one
+// message and are only released when the function is uninstalled.
+func (f *Func) GlobalLifetime() bool { return len(f.GlobalScalars)+len(f.GlobalArrays) > 0 }
+
 // CompileError is a compilation failure with source position.
 type CompileError struct {
 	Pos lang.Pos

@@ -865,6 +865,13 @@ type AgentStatus struct {
 	// committed policy for it (0 if none).
 	Generation         uint64
 	IntendedGeneration uint64
+	// GlobalsSeq is the highest recorded-global sequence the agent is
+	// known to hold; IntendedGlobalsSeq is the store's current high-water
+	// mark. Generation alone converges when the structural transaction
+	// commits, which is before the globals replay — an agent holds the
+	// full intended policy only once both pairs match.
+	GlobalsSeq         uint64
+	IntendedGlobalsSeq uint64
 }
 
 func (c *Controller) statusLocked(st *agentState) AgentStatus {
@@ -874,9 +881,11 @@ func (c *Controller) statusLocked(st *agentState) AgentStatus {
 		DeltaResyncs: st.deltaResyncs, FullResyncs: st.fullResyncs,
 		ResyncErr:  st.resyncErr,
 		Generation: st.generation,
+		GlobalsSeq: st.globalsSeq,
 	}
 	if pol, ok := c.policies.get(st.name); ok && st.kind == "enclave" {
 		s.IntendedGeneration = pol.Generation
+		s.IntendedGlobalsSeq = c.policies.globalSeqOf(st.name)
 	}
 	if st.peer == nil {
 		s.Liveness = Gone

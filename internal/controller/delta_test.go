@@ -46,8 +46,12 @@ func policyOp(t *testing.T, op string, params any) PolicyOp {
 	return PolicyOp{Op: op, Params: raw}
 }
 
-// waitConverged polls until the named agent reports the intended
-// generation with no outstanding resync error.
+// waitConverged polls until the named agent reports the full intended
+// policy with no outstanding resync error. Generation alone is not
+// enough: it converges when the structural transaction commits, before
+// the globals replay, and the resync counter survives reconnects — so a
+// fresh enclave instance can briefly report the intended generation with
+// its global arrays still unset. The globals cursor closes that window.
 func waitConverged(t *testing.T, ctl *Controller, name string) AgentStatus {
 	t.Helper()
 	var st AgentStatus
@@ -57,7 +61,11 @@ func waitConverged(t *testing.T, ctl *Controller, name string) AgentStatus {
 			return false
 		}
 		st = s
-		return s.ResyncErr == "" && s.Resyncs > 0 && s.Generation == s.IntendedGeneration
+		// >= on the cursor: pruning can drop a global the agent already
+		// confirmed, leaving its cursor past the surviving high-water mark.
+		return s.ResyncErr == "" && s.Resyncs > 0 &&
+			s.Generation == s.IntendedGeneration &&
+			s.GlobalsSeq >= s.IntendedGlobalsSeq
 	})
 	return st
 }

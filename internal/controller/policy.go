@@ -534,6 +534,26 @@ func (ps *PolicyStore) get(name string) (AgentPolicy, bool) {
 	}, true
 }
 
+// globalSeqOf reports the highest sequence number among the surviving
+// recorded globals for name — the cursor value an agent holding every
+// recorded global has. The raw globalSeq counter is not it: pruning can
+// drop the newest entry, and replay only ships what survived.
+func (ps *PolicyStore) globalSeqOf(name string) uint64 {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	r, ok := ps.byName[name]
+	if !ok {
+		return 0
+	}
+	var max uint64
+	for _, g := range r.globals {
+		if g.seq > max {
+			max = g.seq
+		}
+	}
+	return max
+}
+
 // logLen reports the delta op-log depth for name (tests).
 func (ps *PolicyStore) logLen(name string) int {
 	ps.mu.Lock()

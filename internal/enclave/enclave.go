@@ -86,9 +86,18 @@ type Config struct {
 	// Fuel bounds instructions per invocation; 0 means the interpreter
 	// default.
 	Fuel int
-	// MaxMessages caps tracked per-message state entries per function
-	// (oldest-insertion eviction). 0 means 65536.
+	// MaxMessages is the target live-flow count the flow-state engine
+	// sizes for (shard count) and the backstop capacity beyond which the
+	// idlest sampled entry is evicted; it also caps tracked per-message
+	// state entries per function (idle-ordered eviction). With IdleTimeout
+	// set, reclamation normally keeps occupancy below this and the
+	// backstop never fires. 0 means 65536.
 	MaxMessages int
+	// IdleTimeout enables epoch-based idle reclamation: flow→message-ID
+	// entries and per-function message state untouched for at least this
+	// many nanoseconds (on the clock Process is driven with) are reclaimed
+	// by SweepIdle. 0 disables reclamation (capacity eviction only).
+	IdleTimeout int64
 	// Tracer, when non-nil, records data-path events for sampled packets
 	// (classification, rule matches, invocations, queueing).
 	Tracer *trace.Tracer
@@ -122,6 +131,14 @@ type counters struct {
 	queueMisconfig *metrics.Counter
 	instructions   *metrics.Counter
 	flowEvictions  *metrics.Counter
+	// Flow-state engine metrics: live tracked flows, idle reclamation by
+	// the sweeper (flow entries and per-function message entries),
+	// capacity evictions of per-function message state, and sweep passes.
+	flowLive         *metrics.Gauge
+	flowIdleReclaims *metrics.Counter
+	msgIdleReclaims  *metrics.Counter
+	funcMsgEvictions *metrics.Counter
+	sweeps           *metrics.Counter
 }
 
 // queueMeter caches per-queue registry metrics.
@@ -164,11 +181,23 @@ type Enclave struct {
 	queueMeters []queueMeter
 
 	flows    *FlowClassifier
-	flowIDs  flowIDMap
+	flowIDs  flowEngine
 	reg      *metrics.Registry
 	stats    counters
 	interpNs *metrics.Histogram // nil unless Config.WallClock is set
 	vmPool   sync.Pool
+
+	// epochs is the engine's idle clock (from Config.IdleTimeout);
+	// zero-valued (disabled) when reclamation is off.
+	epochs qos.EpochSweep
+	// sweepMu serializes SweepIdle passes; lastSweepEpoch/sweptEpoch gate
+	// to at most one pass per epoch (guarded by sweepMu). sweepScratch is
+	// the reusable reclaimed-id buffer.
+	sweepMu        sync.Mutex
+	lastSweepEpoch int64
+	sweptEpoch     bool
+	sweepScratch   []uint64
+	sweepNs        *metrics.Histogram // nil unless Config.WallClock is set
 
 	// spans records control-plane spans (tx commit/abort, publishes).
 	// Always on: control operations are rare, and the ring is bounded.
@@ -209,10 +238,19 @@ func New(cfg Config) *Enclave {
 			queueMisconfig: reg.Counter("queue_misconfig"),
 			instructions:   reg.Counter("instructions"),
 			flowEvictions:  reg.Counter("flow_evictions"),
+			// flowLive tracks engine occupancy; the reclaim counters split
+			// sweeper reclamation (flows vs per-function message entries)
+			// from capacity eviction (flow_evictions, func_msg_evictions).
+			flowLive:         reg.Gauge("flow_live"),
+			flowIdleReclaims: reg.Counter("flow_idle_reclaims"),
+			msgIdleReclaims:  reg.Counter("msg_idle_reclaims"),
+			funcMsgEvictions: reg.Counter("func_msg_evictions"),
+			sweeps:           reg.Counter("sweeps"),
 		},
 	}
 	if cfg.WallClock != nil {
 		e.interpNs = reg.Histogram("interp_ns", metrics.LatencyBucketsNs)
+		e.sweepNs = reg.Histogram("sweep_ns", sweepBucketsNs)
 	}
 	for e.bootID == 0 {
 		e.bootID = rand.Uint64()
@@ -220,10 +258,16 @@ func New(cfg Config) *Enclave {
 	e.spans = telemetry.NewRecorder(0)
 	e.component = regName
 	e.pipe.Store(emptyPipeline())
-	e.flowIDs.init()
+	e.epochs = qos.NewEpochSweep(cfg.IdleTimeout)
+	e.flowIDs.init(cfg.MaxMessages)
 	e.vmPool.New = func() any { return e.newVM() }
 	return e
 }
+
+// sweepBucketsNs buckets SweepIdle wall durations: a sweep over a
+// million-flow table takes milliseconds-to-tens-of-milliseconds, far
+// outside metrics.LatencyBucketsNs' per-packet range.
+var sweepBucketsNs = []int64{1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9, 1e10}
 
 // Name returns the enclave's name.
 func (e *Enclave) Name() string { return e.cfg.Name }
@@ -456,7 +500,7 @@ func (e *Enclave) processWith(p *pipeline, dir Direction, pkt *packet.Packet, no
 		}
 	}
 	if pkt.Meta.MsgID == 0 {
-		pkt.Meta.MsgID = e.flowMessageID(p, pkt)
+		pkt.Meta.MsgID = e.flowMessageID(pkt, now)
 	}
 
 	// Walk the snapshot's tables in order; within each table the first
@@ -571,25 +615,25 @@ func (e *Enclave) processWith(p *pipeline, dir Direction, pkt *packet.Packet, no
 	return v
 }
 
-// EndMessage releases per-message state for the given message across all
-// installed functions (stages call this through the host stack when a
-// message completes; the enclave also calls it on flow termination).
+// EndMessage releases per-message state for the given message (stages
+// call this through the host stack when a message completes; the enclave
+// also calls it on flow termination). The cascade covers exactly the
+// published pipeline's message-lifetime functions — §3.4.2's annotation
+// decides which functions have state scoped to the message at all.
 func (e *Enclave) EndMessage(msgID uint64) {
-	for _, f := range e.pipe.Load().funcs {
-		f.endMessage(msgID)
-	}
+	e.endMessageAll(msgID)
 }
 
 // EndFlow releases the enclave-assigned message id and state for a flow.
 func (e *Enclave) EndFlow(key packet.FlowKey) {
-	sh := &e.flowIDs.shards[flowShardIndex(key)]
+	sh := e.flowIDs.shard(key)
 	sh.mu.Lock()
-	id, ok := sh.ids[key]
+	ent, ok := sh.ids[key]
 	delete(sh.ids, key)
 	sh.mu.Unlock()
 	if ok {
-		e.flowIDs.count.Add(-1)
-		e.EndMessage(id)
+		e.stats.flowLive.Set(e.flowIDs.count.Add(-1))
+		e.endMessageAll(ent.id)
 	}
 }
 

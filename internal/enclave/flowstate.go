@@ -7,39 +7,93 @@ import (
 	"eden/internal/packet"
 )
 
-// flowShards is the number of independently locked flow-ID shards. A
-// power of two, sized so that GOMAXPROCS-many Process callers on
-// distinct flows essentially never contend.
-const flowShards = 64
+// The flow-state engine assigns stable message identifiers to flows the
+// stages did not classify — each transport connection is one message
+// (§3.3) — and manages the lifetime of the per-message state those
+// identifiers scope (§3.4.2). Three mechanisms bound its footprint:
+//
+//   - epoch-based idle reclamation: every entry carries a last-touch epoch
+//     stamp (qos.EpochSweep over the caller's clock, sim or wall), and
+//     Enclave.SweepIdle reclaims flows idle past Config.IdleTimeout,
+//     cascading exactly into every installed function's message-lifetime
+//     state;
+//   - idle-aged eviction: when the table outgrows the Config.MaxMessages
+//     sizing hint (reclamation normally keeps it well below), the victim is
+//     the oldest-stamped entry of a sample taken from a rotating shard
+//     cursor — never biased toward the inserting key's own shard;
+//   - sizing: the shard count is derived from the MaxMessages hint, so a
+//     target of a million flows gets hundreds of independently locked
+//     shards and the per-shard maps stay at a few thousand entries.
+
+// flowShardTarget is the intended number of entries per shard at the
+// configured flow target; the shard count grows (in powers of two) until
+// the target fits.
+const flowShardTarget = 2048
+
+// Shard-count bounds: at least the pre-engine 64 (so GOMAXPROCS-many
+// Process callers on distinct flows essentially never contend), at most
+// 4096 (beyond which the fixed footprint outweighs contention wins).
+const (
+	minFlowShards = 64
+	maxFlowShards = 4096
+)
+
+// Victim sampling for over-capacity eviction: examine up to
+// evictSampleEntries entries across up to evictSampleShards shards
+// (continuing past empty shards), then evict the oldest-stamped candidate.
+const (
+	evictSampleEntries = 16
+	evictSampleShards  = 8
+)
+
+// flowEntry is one tracked flow. The id is immutable; touched is the
+// qos.EpochSweep stamp of the last packet, written on the hit path with
+// only the shard read lock held (hence atomic).
+type flowEntry struct {
+	id      uint64
+	touched atomic.Int64
+}
 
 // flowShard holds one slice of the flow→message-ID table. The common hit
-// path takes only this shard's read lock.
+// path takes only this shard's read lock. The pad keeps each shard's lock
+// word on its own cache line so shard locks never false-share.
 type flowShard struct {
 	mu  sync.RWMutex
-	ids map[packet.FlowKey]uint64
+	ids map[packet.FlowKey]*flowEntry
+	_   [32]byte
 }
 
-// flowIDMap assigns stable message identifiers to flows the stages did
-// not classify: each transport connection is one message (§3.3). It is
-// sharded by flow-key hash so the per-packet path never touches an
-// enclave-wide lock; the total entry count is tracked with an atomic so
-// the MaxMessages cap stays global, matching the unsharded semantics.
-type flowIDMap struct {
+// flowEngine is the sharded flow→message-ID table. The per-packet path
+// never touches an enclave-wide lock; the total entry count is tracked
+// with an atomic so the MaxMessages backstop stays global.
+type flowEngine struct {
 	nextMsg atomic.Uint64
 	count   atomic.Int64
-	shards  [flowShards]flowShard
+	// hand is the rotating shard cursor over-capacity eviction samples
+	// from, deliberately independent of the inserting key's shard.
+	hand   atomic.Uint32
+	mask   uint32
+	shards []flowShard
 }
 
-func (m *flowIDMap) init() {
+// init sizes the engine for the given target flow count (the MaxMessages
+// hint) and allocates the shards.
+func (m *flowEngine) init(targetFlows int) {
+	n := minFlowShards
+	for n < maxFlowShards && targetFlows > n*flowShardTarget {
+		n <<= 1
+	}
+	m.mask = uint32(n - 1)
+	m.shards = make([]flowShard, n)
 	for i := range m.shards {
-		m.shards[i].ids = map[packet.FlowKey]uint64{}
+		m.shards[i].ids = map[packet.FlowKey]*flowEntry{}
 	}
 }
 
-// flowShardIndex mixes the five-tuple into a shard index. This runs once
-// per packet, so it is a couple of integer multiplies (a splitmix64-style
+// flowKeyHash mixes the five-tuple into a 64-bit hash. This runs once per
+// packet, so it is a couple of integer multiplies (a splitmix64-style
 // finalizer) rather than a byte-at-a-time hash.
-func flowShardIndex(k packet.FlowKey) uint32 {
+func flowKeyHash(k packet.FlowKey) uint64 {
 	h := uint64(k.Src)<<32 | uint64(k.Dst)
 	h ^= uint64(k.SrcPort)<<40 | uint64(k.DstPort)<<16 | uint64(k.Proto)
 	h ^= h >> 33
@@ -47,66 +101,203 @@ func flowShardIndex(k packet.FlowKey) uint32 {
 	h ^= h >> 33
 	h *= 0xc4ceb9fe1a85ec53
 	h ^= h >> 33
-	return uint32(h) & (flowShards - 1)
+	return h
+}
+
+func (m *flowEngine) shard(k packet.FlowKey) *flowShard {
+	return &m.shards[uint32(flowKeyHash(k))&m.mask]
 }
 
 // flowMessageID returns the flow's enclave-assigned message id, creating
-// one on first sight. The hit path is a shard read lock; a miss upgrades
-// to the shard write lock. When the table overflows the global cap, an
-// arbitrary entry other than the one just inserted is evicted and its
-// per-function message state is released immediately. p is the pipeline
-// snapshot the caller is processing under, used to reach the installed
-// functions without locking.
-func (e *Enclave) flowMessageID(p *pipeline, pkt *packet.Packet) uint64 {
+// one on first sight. The hit path is a shard read lock plus an atomic
+// touch-stamp refresh; a miss upgrades to the shard write lock. When the
+// table overflows the MaxMessages backstop, the idlest sampled entry other
+// than the one just inserted is evicted and its per-function message state
+// released immediately.
+func (e *Enclave) flowMessageID(pkt *packet.Packet, now int64) uint64 {
 	key := pkt.Flow()
-	sh := &e.flowIDs.shards[flowShardIndex(key)]
+	stamp := e.epochs.Epoch(now)
+	sh := e.flowIDs.shard(key)
 	sh.mu.RLock()
-	id, ok := sh.ids[key]
+	ent, ok := sh.ids[key]
 	sh.mu.RUnlock()
 	if ok {
-		return id
+		if ent.touched.Load() != stamp {
+			ent.touched.Store(stamp)
+		}
+		return ent.id
 	}
 	sh.mu.Lock()
-	if id, ok = sh.ids[key]; ok {
+	if ent, ok = sh.ids[key]; ok {
 		sh.mu.Unlock()
-		return id
+		if ent.touched.Load() != stamp {
+			ent.touched.Store(stamp)
+		}
+		return ent.id
 	}
-	id = e.flowIDs.nextMsg.Add(1) | 1<<63 // distinguish enclave-assigned ids
-	sh.ids[key] = id
+	ent = &flowEntry{id: e.flowIDs.nextMsg.Add(1) | 1<<63} // distinguish enclave-assigned ids
+	ent.touched.Store(stamp)
+	sh.ids[key] = ent
 	total := e.flowIDs.count.Add(1)
 	sh.mu.Unlock()
+	e.stats.flowLive.Set(total)
 	if total > int64(e.cfg.MaxMessages) {
-		e.evictFlow(p, key)
+		e.evictIdleFlow(key)
 	}
-	return id
+	return ent.id
 }
 
-// evictFlow removes one tracked flow other than keep, scanning shards
-// starting from keep's own, and releases the evicted message's
-// per-function state. Only one shard lock is held at a time.
-func (e *Enclave) evictFlow(p *pipeline, keep packet.FlowKey) {
-	start := flowShardIndex(keep)
-	for i := uint32(0); i < flowShards; i++ {
-		sh := &e.flowIDs.shards[(start+i)%flowShards]
-		var evicted uint64
-		found := false
-		sh.mu.Lock()
-		for k, v := range sh.ids {
+// evictIdleFlow removes the tracked flow with the oldest touch stamp among
+// a bounded sample, skipping keep (the key just inserted), and releases
+// the evicted message's per-function state. Shards are sampled from the
+// rotating cursor — not from keep's own shard — so eviction pressure
+// spreads over the whole table and victims are chosen by idle age rather
+// than by hash adjacency to hot keys. Only one shard lock is held at a
+// time.
+func (e *Enclave) evictIdleFlow(keep packet.FlowKey) {
+	m := &e.flowIDs
+	var (
+		victimKey   packet.FlowKey
+		victimShard *flowShard
+		victimStamp int64
+		found       bool
+		examined    int
+		sampled     int
+	)
+	for i := 0; i < len(m.shards); i++ {
+		sh := &m.shards[m.hand.Add(1)&m.mask]
+		sh.mu.RLock()
+		n := 0
+		for k, ent := range sh.ids {
 			if k == keep {
-				continue // never evict the key just inserted
+				continue
 			}
-			delete(sh.ids, k)
-			evicted, found = v, true
+			st := ent.touched.Load()
+			if !found || st < victimStamp {
+				victimKey, victimShard, victimStamp, found = k, sh, st, true
+			}
+			examined++
+			n++
+			if n >= evictSampleEntries/2 || examined >= evictSampleEntries {
+				break
+			}
+		}
+		sh.mu.RUnlock()
+		sampled++
+		if found && (sampled >= evictSampleShards || examined >= evictSampleEntries) {
 			break
 		}
-		sh.mu.Unlock()
-		if found {
-			e.flowIDs.count.Add(-1)
-			for _, f := range p.funcs {
-				f.endMessage(evicted)
-			}
-			e.stats.flowEvictions.Add(1)
-			return
-		}
+	}
+	if !found {
+		return // nothing evictable (the table holds only keep)
+	}
+	victimShard.mu.Lock()
+	ent, ok := victimShard.ids[victimKey]
+	if ok {
+		delete(victimShard.ids, victimKey)
+	}
+	victimShard.mu.Unlock()
+	if !ok {
+		return // lost a race with EndFlow or the sweeper; pressure is gone
+	}
+	e.stats.flowLive.Set(m.count.Add(-1))
+	e.endMessageAll(ent.id)
+	e.stats.flowEvictions.Add(1)
+}
+
+// endMessageAll releases one message's state across every installed
+// function that declared message-lifetime state, per the currently
+// published pipeline — not whatever snapshot a processing caller happens
+// to hold — so cascades are exact with respect to the live function set.
+func (e *Enclave) endMessageAll(msgID uint64) {
+	for _, f := range e.pipe.Load().msgFuncs {
+		f.endMessage(msgID)
 	}
 }
+
+// SweepStats reports one SweepIdle pass.
+type SweepStats struct {
+	// Skipped reports that no sweep ran: reclamation is disabled
+	// (Config.IdleTimeout zero) or this epoch was already swept.
+	Skipped bool
+	// Epoch is the sweep epoch (now / epoch interval).
+	Epoch int64
+	// FlowsScanned/FlowsReclaimed count flow→message-ID entries visited
+	// and reclaimed as idle.
+	FlowsScanned, FlowsReclaimed int
+	// MsgsScanned/MsgsReclaimed count per-function message-state entries
+	// visited and reclaimed as idle (beyond the cascade from reclaimed
+	// flows, which is exact and not counted here).
+	MsgsScanned, MsgsReclaimed int
+}
+
+// SweepIdle reclaims flow and message state idle past Config.IdleTimeout,
+// judged at time now on the same clock Process is driven with (simulated
+// or wall). One sweeper pass covers both tables: the flow→message-ID map
+// (with an exact endMessage cascade into every message-lifetime function
+// for each reclaimed flow) and each function's own message-state map
+// (stage-assigned message ids the flow table never sees). Sweeps are
+// cheap to request — at most one pass runs per epoch, so callers may
+// invoke it on every timer tick or batch boundary.
+func (e *Enclave) SweepIdle(now int64) SweepStats {
+	if !e.epochs.Enabled() {
+		return SweepStats{Skipped: true}
+	}
+	e.sweepMu.Lock()
+	defer e.sweepMu.Unlock()
+	epoch := e.epochs.Epoch(now)
+	if e.sweptEpoch && epoch == e.lastSweepEpoch {
+		return SweepStats{Skipped: true, Epoch: epoch}
+	}
+	e.lastSweepEpoch, e.sweptEpoch = epoch, true
+
+	var t0 int64
+	if e.sweepNs != nil {
+		t0 = e.cfg.WallClock()
+	}
+	stats := SweepStats{Epoch: epoch}
+	m := &e.flowIDs
+	reclaimed := e.sweepScratch[:0]
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.Lock()
+		for k, ent := range sh.ids {
+			stats.FlowsScanned++
+			if e.epochs.Idle(ent.touched.Load(), now) {
+				delete(sh.ids, k)
+				reclaimed = append(reclaimed, ent.id)
+			}
+		}
+		sh.mu.Unlock()
+	}
+	e.sweepScratch = reclaimed[:0] // keep the buffer for the next pass
+	stats.FlowsReclaimed = len(reclaimed)
+	if len(reclaimed) > 0 {
+		e.stats.flowLive.Set(m.count.Add(int64(-len(reclaimed))))
+		e.stats.flowIdleReclaims.Add(int64(len(reclaimed)))
+	}
+
+	// One cascade pass per function: reclaimed flows' message state dies
+	// exactly here; then the function's own sweep catches stage-assigned
+	// message ids that went idle without a flow-table entry.
+	for _, f := range e.pipe.Load().msgFuncs {
+		f.endMessages(reclaimed)
+		scanned, swept := f.sweepMsgState(e.epochs, now)
+		stats.MsgsScanned += scanned
+		stats.MsgsReclaimed += swept
+	}
+	if stats.MsgsReclaimed > 0 {
+		e.stats.msgIdleReclaims.Add(int64(stats.MsgsReclaimed))
+	}
+	e.stats.sweeps.Add(1)
+	if e.sweepNs != nil {
+		e.sweepNs.Observe(e.cfg.WallClock() - t0)
+	}
+	return stats
+}
+
+// LiveFlows returns the number of flows currently tracked by the engine.
+func (e *Enclave) LiveFlows() int64 { return e.flowIDs.count.Load() }
+
+// FlowShards returns the engine's shard count (sized from MaxMessages).
+func (e *Enclave) FlowShards() int { return len(e.flowIDs.shards) }

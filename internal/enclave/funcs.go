@@ -9,6 +9,7 @@ import (
 	"eden/internal/edenvm"
 	"eden/internal/metrics"
 	"eden/internal/packet"
+	"eden/internal/qos"
 	"eden/internal/trace"
 )
 
@@ -44,8 +45,20 @@ type installedFunc struct {
 	// lock; creation and eviction upgrade to the write lock.
 	msgMu    sync.RWMutex
 	msgState map[uint64]*msgEntry
-	msgOrder []uint64 // insertion order for eviction
+	// msgOrder is the idle-ordered eviction queue: entries are queued at
+	// creation with their touch stamp and evicted front-first, but an
+	// entry touched since it was queued is requeued instead (a CLOCK-style
+	// second chance), so cap pressure lands on idle messages, oldest
+	// first. Entries already released (endMessage, the idle sweeper) are
+	// skipped when popped and compacted away by sweepMsgState.
+	msgOrder []msgOrderEntry
 	maxMsgs  int
+
+	// msgLifetime reports that the function declared per-message state it
+	// can actually reach (§3.4.2's lifetime annotation threaded through
+	// the compiler metadata): only these functions join the pipeline's
+	// msgFuncs set, receive endMessage cascades, and are swept.
+	msgLifetime bool
 
 	concurrency edenvm.Concurrency
 	exclMu      sync.Mutex // serializes ConcurrencyExclusive invocations
@@ -54,11 +67,26 @@ type installedFunc struct {
 	invocations  *metrics.Counter
 	traps        *metrics.Counter
 	instructions *metrics.Counter
+	// msgEvictions mirrors cap evictions to fn.<name>.msg_evictions;
+	// allMsgEvictions is the enclave-wide func_msg_evictions counter.
+	msgEvictions    *metrics.Counter
+	allMsgEvictions *metrics.Counter
 }
 
 type msgEntry struct {
 	mu    sync.Mutex
 	slots []int64
+	// touched is the qos.EpochSweep stamp of the last packet; written on
+	// the lock-free lookup path, read by the idle sweeper and eviction.
+	touched atomic.Int64
+}
+
+// msgOrderEntry is one eviction-queue slot: a message id and the entry's
+// touch stamp when it was (re)queued. A live entry whose stamp moved past
+// the queued one was touched since and earns a second chance.
+type msgOrderEntry struct {
+	id    uint64
+	stamp int64
 }
 
 // newInstalledFunc builds the runtime representation of a freshly
@@ -66,15 +94,18 @@ type msgEntry struct {
 // arrays and message state, and the per-function registry counters.
 func (e *Enclave) newInstalledFunc(fn *compiler.Func) *installedFunc {
 	inst := &installedFunc{
-		fn:           fn,
-		globals:      make([]int64, len(fn.GlobalScalars)),
-		arrays:       make([][]int64, len(fn.GlobalArrays)),
-		msgState:     map[uint64]*msgEntry{},
-		maxMsgs:      e.cfg.MaxMessages,
-		concurrency:  fn.Concurrency(),
-		invocations:  e.reg.Counter("fn." + fn.Name + ".invocations"),
-		traps:        e.reg.Counter("fn." + fn.Name + ".traps"),
-		instructions: e.reg.Counter("fn." + fn.Name + ".instructions"),
+		fn:              fn,
+		globals:         make([]int64, len(fn.GlobalScalars)),
+		arrays:          make([][]int64, len(fn.GlobalArrays)),
+		msgState:        map[uint64]*msgEntry{},
+		maxMsgs:         e.cfg.MaxMessages,
+		msgLifetime:     fn.MsgLifetime() && fn.Prog.State.MsgAccess != edenvm.AccessNone,
+		concurrency:     fn.Concurrency(),
+		invocations:     e.reg.Counter("fn." + fn.Name + ".invocations"),
+		traps:           e.reg.Counter("fn." + fn.Name + ".traps"),
+		instructions:    e.reg.Counter("fn." + fn.Name + ".instructions"),
+		msgEvictions:    e.reg.Counter("fn." + fn.Name + ".msg_evictions"),
+		allMsgEvictions: e.stats.funcMsgEvictions,
 	}
 	copy(inst.globals, fn.GlobalDefaults)
 	return inst
@@ -197,11 +228,14 @@ func (e *Enclave) MsgState(fn string, msgID uint64) ([]int64, bool) {
 	return append([]int64(nil), ent.slots...), true
 }
 
-func (f *installedFunc) entry(msgID uint64) *msgEntry {
+func (f *installedFunc) entry(msgID uint64, stamp int64) *msgEntry {
 	f.msgMu.RLock()
 	ent, ok := f.msgState[msgID]
 	f.msgMu.RUnlock()
 	if ok {
+		if ent.touched.Load() != stamp {
+			ent.touched.Store(stamp)
+		}
 		return ent
 	}
 	f.msgMu.Lock()
@@ -211,22 +245,89 @@ func (f *installedFunc) entry(msgID uint64) *msgEntry {
 		slots := make([]int64, len(f.fn.MsgFields))
 		copy(slots, f.fn.MsgDefaults)
 		ent = &msgEntry{slots: slots}
+		ent.touched.Store(stamp)
 		f.msgState[msgID] = ent
-		f.msgOrder = append(f.msgOrder, msgID)
+		f.msgOrder = append(f.msgOrder, msgOrderEntry{id: msgID, stamp: stamp})
 		if len(f.msgState) > f.maxMsgs {
-			// Evict the oldest tracked message.
-			old := f.msgOrder[0]
-			f.msgOrder = f.msgOrder[1:]
-			delete(f.msgState, old)
+			f.evictMsgLocked(msgID)
 		}
+	} else if ent.touched.Load() != stamp {
+		ent.touched.Store(stamp)
 	}
 	return ent
+}
+
+// evictMsgLocked removes one tracked message other than keep, preferring
+// idle entries in queue order: candidates pop from the front of msgOrder;
+// stale ids (already released) are dropped, and a candidate touched since
+// it was queued is requeued with its fresh stamp instead of dying. Two
+// full passes guarantee an eviction — after the first, every survivor's
+// queued stamp is current, so the second pass's front candidate loses its
+// second chance. Caller holds msgMu.
+func (f *installedFunc) evictMsgLocked(keep uint64) {
+	for pops := 2*len(f.msgOrder) + 2; pops > 0 && len(f.msgOrder) > 0; pops-- {
+		oe := f.msgOrder[0]
+		f.msgOrder = f.msgOrder[1:]
+		ent, ok := f.msgState[oe.id]
+		if !ok {
+			continue // already ended or idle-swept
+		}
+		if t := ent.touched.Load(); oe.id == keep || t > oe.stamp {
+			f.msgOrder = append(f.msgOrder, msgOrderEntry{id: oe.id, stamp: t})
+			continue
+		}
+		delete(f.msgState, oe.id)
+		f.msgEvictions.Add(1)
+		if f.allMsgEvictions != nil {
+			f.allMsgEvictions.Add(1)
+		}
+		return
+	}
 }
 
 func (f *installedFunc) endMessage(msgID uint64) {
 	f.msgMu.Lock()
 	delete(f.msgState, msgID)
 	f.msgMu.Unlock()
+}
+
+// endMessages releases a batch of messages under one write lock (the
+// sweeper's cascade from reclaimed flows).
+func (f *installedFunc) endMessages(msgIDs []uint64) {
+	if len(msgIDs) == 0 {
+		return
+	}
+	f.msgMu.Lock()
+	for _, id := range msgIDs {
+		delete(f.msgState, id)
+	}
+	f.msgMu.Unlock()
+}
+
+// sweepMsgState reclaims message entries idle past the epoch clock's
+// timeout — state for stage-assigned message ids the flow table never
+// sees — and compacts the eviction queue's released slots. Returns
+// entries scanned and reclaimed.
+func (f *installedFunc) sweepMsgState(epochs qos.EpochSweep, now int64) (scanned, reclaimed int) {
+	f.msgMu.Lock()
+	defer f.msgMu.Unlock()
+	for id, ent := range f.msgState {
+		scanned++
+		if epochs.Idle(ent.touched.Load(), now) {
+			delete(f.msgState, id)
+			reclaimed++
+		}
+	}
+	// Drop queue slots whose entry is gone (ended, swept, or requeued
+	// after an end/recreate cycle) so the queue tracks the live map.
+	kept := f.msgOrder[:0]
+	for _, oe := range f.msgOrder {
+		if _, ok := f.msgState[oe.id]; ok {
+			kept = append(kept, oe)
+		}
+	}
+	f.msgOrder = kept
+	return scanned, reclaimed
 }
 
 // vmState is the pooled interpreter plus its scratch environment.
@@ -268,9 +369,8 @@ func (e *Enclave) invokeWith(f *installedFunc, pkt *packet.Packet, now int64, mo
 	}
 
 	var ent *msgEntry
-	needMsg := len(f.fn.MsgFields) > 0 && f.fn.Prog.State.MsgAccess != edenvm.AccessNone
-	if needMsg {
-		ent = f.entry(pkt.Meta.MsgID)
+	if f.msgLifetime {
+		ent = f.entry(pkt.Meta.MsgID, e.epochs.Epoch(now))
 	}
 
 	if mode == ModeNative {

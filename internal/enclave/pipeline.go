@@ -25,6 +25,11 @@ type pipeline struct {
 	gen    uint64
 	tables [numDirections][]*pipeTable
 	funcs  map[string]*installedFunc
+	// msgFuncs is the subset of funcs with message-lifetime state
+	// (§3.4.2), precomputed at publish so endMessage cascades and idle
+	// sweeps touch exactly the live message-scoped functions — no map
+	// iteration, no global-only functions.
+	msgFuncs []*installedFunc
 }
 
 // pipeTable is a table inside a snapshot. Rules carry resolved function
@@ -133,6 +138,11 @@ func (e *Enclave) publishLocked(b *build) uint64 {
 		gen:    e.pipe.Load().gen + 1,
 		tables: b.tables,
 		funcs:  b.funcs,
+	}
+	for _, f := range b.funcs {
+		if f.msgLifetime {
+			next.msgFuncs = append(next.msgFuncs, f)
+		}
 	}
 	e.pipe.Store(next)
 	return next.gen

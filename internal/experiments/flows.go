@@ -1,0 +1,360 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"time"
+
+	"eden/internal/enclave"
+	"eden/internal/funcs"
+	"eden/internal/metrics"
+	"eden/internal/packet"
+	"eden/internal/telemetry"
+	"eden/internal/workload"
+)
+
+// FlowsConfig parameterizes the flow-state ramp: one enclave driven from
+// StartFlows to PeakFlows live flows under a heavy-tailed workload, then
+// drained through epoch-based idle reclamation. It measures the
+// flow-state engine's claim — per-packet Process latency stays flat while
+// the live-flow population grows two orders of magnitude, and idle state
+// is reclaimed rather than evicted.
+type FlowsConfig struct {
+	// StartFlows and PeakFlows bound the ramp (defaults 10k → 1M). The
+	// enclave is sized for PeakFlows via the MaxMessages hint.
+	StartFlows, PeakFlows int
+	// Steps is the number of log-spaced ramp steps, inclusive of both
+	// endpoints (default 7).
+	Steps int
+	// TouchesPerFlow scales per-step traffic: after growing to the step's
+	// target, target*TouchesPerFlow heavy-tailed touches run (default 2).
+	TouchesPerFlow int
+	// HotFlows is the still-active set during the drain phase; exactly
+	// these survive reclamation (default 1000).
+	HotFlows int
+	// IdleTimeout is the enclave's idle-reclamation timeout in simulated
+	// nanoseconds (default 1s — long enough that no live flow goes idle
+	// mid-ramp at the default PacketNs).
+	IdleTimeout int64
+	// PacketNs is how far the simulated clock advances per packet
+	// (default 100ns).
+	PacketNs int64
+	// FlatFactor bounds the p99 Process latency at the peak step relative
+	// to the first step (default 4; the floor of the comparison is 1µs so
+	// sub-microsecond jitter cannot fail the check).
+	FlatFactor float64
+	// Seed drives the deterministic workload (default 1).
+	Seed int64
+	// Metrics, when set, receives the enclave's and the experiment's
+	// registries.
+	Metrics *metrics.Set
+	// Flight, when set alongside Metrics, samples the registries at every
+	// ramp-step and drain-chunk boundary (simulated time).
+	Flight *telemetry.FlightRecorder
+}
+
+// DefaultFlowsConfig returns the paper-scale 10k → 1M ramp.
+func DefaultFlowsConfig() FlowsConfig {
+	return FlowsConfig{
+		StartFlows:     10_000,
+		PeakFlows:      1_000_000,
+		Steps:          7,
+		TouchesPerFlow: 2,
+		HotFlows:       1000,
+		IdleTimeout:    1_000_000_000,
+		PacketNs:       100,
+		FlatFactor:     4,
+		Seed:           1,
+	}
+}
+
+func (cfg *FlowsConfig) withDefaults() {
+	def := DefaultFlowsConfig()
+	if cfg.StartFlows <= 0 {
+		cfg.StartFlows = def.StartFlows
+	}
+	if cfg.PeakFlows < cfg.StartFlows {
+		cfg.PeakFlows = maxInt(def.PeakFlows, cfg.StartFlows)
+	}
+	if cfg.Steps <= 0 {
+		cfg.Steps = def.Steps
+	}
+	if cfg.TouchesPerFlow <= 0 {
+		cfg.TouchesPerFlow = def.TouchesPerFlow
+	}
+	if cfg.HotFlows <= 0 || cfg.HotFlows > cfg.StartFlows {
+		cfg.HotFlows = minInt(def.HotFlows, cfg.StartFlows)
+	}
+	if cfg.IdleTimeout <= 0 {
+		cfg.IdleTimeout = def.IdleTimeout
+	}
+	if cfg.PacketNs <= 0 {
+		cfg.PacketNs = def.PacketNs
+	}
+	if cfg.FlatFactor <= 0 {
+		cfg.FlatFactor = def.FlatFactor
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = def.Seed
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// flowsProcBuckets resolves per-packet Process wall latency from 64ns up
+// to milliseconds (power-of-two edges keep the p99 interpolation tight
+// where the flat-latency check reads it).
+var flowsProcBuckets = []int64{
+	64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384, 32768,
+	65536, 131072, 262144, 1 << 20, 1 << 23, 1 << 26,
+}
+
+// flowsFlatFloorNs is the floor of the flat-p99 comparison: if the first
+// step's p99 lands under 1µs, the peak bound is FlatFactor×1µs.
+const flowsFlatFloorNs = 1000
+
+// FlowsResult reports one flow-state ramp.
+type FlowsResult struct {
+	Config FlowsConfig
+
+	// StepFlows and StepP99Ns are the ramp schedule and the measured
+	// wall-clock p99 Process latency at each step.
+	StepFlows []int
+	StepP99Ns []float64
+
+	// Engine accounting, from the enclave's registry.
+	Created      int64 // flows created over the ramp
+	PeakLive     int64 // live flows after the last ramp step
+	FinalLive    int64 // live flows after the drain
+	IdleReclaims int64 // flow entries reclaimed by the idle sweeper
+	MsgReclaims  int64 // per-function message entries reclaimed beyond the flow cascade
+	Evictions    int64 // capacity evictions of flow entries (should be 0)
+	MsgEvictions int64 // capacity evictions of per-function message state (should be 0)
+	Sweeps       int64 // sweep passes that ran
+	Shards       int   // flow-table shards the engine sized itself to
+
+	Wall time.Duration
+}
+
+// flowsTargets returns the log-spaced live-flow targets of the ramp,
+// strictly increasing, from start to peak inclusive.
+func flowsTargets(start, peak, steps int) []int {
+	if steps < 2 || start >= peak {
+		return []int{peak}
+	}
+	out := make([]int, 0, steps)
+	ratio := math.Log(float64(peak) / float64(start))
+	prev := 0
+	for i := 0; i < steps; i++ {
+		t := int(math.Round(float64(start) * math.Exp(ratio*float64(i)/float64(steps-1))))
+		if t <= prev {
+			t = prev + 1
+		}
+		if t > peak {
+			t = peak
+		}
+		out = append(out, t)
+		prev = t
+	}
+	out[len(out)-1] = peak
+	return out
+}
+
+// RunFlows drives the flow-state ramp on one enclave: install the PIAS
+// policy (per-message byte counters — exactly the state whose lifetime
+// §3.4.2 scopes to the message), grow the flow population step by step
+// under heavy-tailed traffic, then stop touching all but HotFlows flows
+// and advance simulated time past the idle timeout so the epoch sweeper
+// reclaims the cold tail. Process latency is measured against the wall
+// clock; everything else is simulated time.
+func RunFlows(cfg FlowsConfig) (*FlowsResult, error) {
+	cfg.withDefaults()
+	t0 := time.Now()
+
+	var now int64 // simulated ns; single driver goroutine
+	e := enclave.New(enclave.Config{
+		Name:        "flows",
+		Platform:    "os",
+		Clock:       func() int64 { return now },
+		MaxMessages: cfg.PeakFlows + cfg.PeakFlows/8,
+		IdleTimeout: cfg.IdleTimeout,
+		WallClock:   func() int64 { return time.Now().UnixNano() },
+	})
+	pias, err := funcs.Compile("pias")
+	if err != nil {
+		return nil, err
+	}
+	if err := e.InstallFunc(pias); err != nil {
+		return nil, err
+	}
+	e.UpdateGlobalArray("pias", "priorities", []int64{10 * 1024, 1024 * 1024})
+	e.UpdateGlobalArray("pias", "priovals", []int64{7, 5})
+	if _, err := e.CreateTable(enclave.Egress, "sched"); err != nil {
+		return nil, err
+	}
+	if err := e.AddRule(enclave.Egress, "sched", enclave.Rule{Pattern: "*", Func: "pias"}); err != nil {
+		return nil, err
+	}
+
+	expReg := metrics.NewRegistry("flows")
+	if cfg.Metrics != nil {
+		cfg.Metrics.Add(e.Metrics())
+		cfg.Metrics.Add(expReg)
+	}
+
+	ramp := workload.NewFlowRamp(cfg.Seed, cfg.PeakFlows)
+	targets := flowsTargets(cfg.StartFlows, cfg.PeakFlows, cfg.Steps)
+
+	// One reusable packet; the tuple is rewritten per send so the hit path
+	// stays allocation-free end to end.
+	p := packet.New(0, 0, 0, 0, 1400)
+	p.Meta.Class = "flows.ramp"
+	send := func(flow uint64, h *metrics.Histogram) {
+		src, dst, sp, dp := workload.FlowTuple(flow)
+		p.IP.Src, p.IP.Dst = src, dst
+		p.TCPHdr.SrcPort, p.TCPHdr.DstPort = sp, dp
+		p.Meta.MsgID = 0 // fresh arrival: the enclave assigns the id
+		now += cfg.PacketNs
+		w0 := time.Now()
+		e.Process(enclave.Egress, p, now)
+		h.Observe(time.Since(w0).Nanoseconds())
+	}
+
+	// Warm up off the books (interpreter pool, branch predictors, CPU
+	// clocks) so the first step's p99 — the flat-latency baseline — is not
+	// dominated by cold-start cost. The warm-up flows are the ramp's first
+	// flows, just measured into a histogram the check ignores.
+	warmH := expReg.Histogram("proc_ns.warmup", flowsProcBuckets)
+	for ramp.Created() < uint64(minInt(cfg.StartFlows/2, 4096)) {
+		send(ramp.Grow(), warmH)
+	}
+
+	res := &FlowsResult{Config: cfg, StepFlows: targets}
+	for si, target := range targets {
+		h := expReg.Histogram(fmt.Sprintf("proc_ns.step%02d", si), flowsProcBuckets)
+		for ramp.Created() < uint64(target) {
+			send(ramp.Grow(), h)
+		}
+		for k := 0; k < target*cfg.TouchesPerFlow; k++ {
+			send(ramp.Touch(), h)
+		}
+		e.SweepIdle(now)
+		res.StepP99Ns = append(res.StepP99Ns, h.Snapshot().Quantile(0.99))
+		if cfg.Flight != nil {
+			cfg.Flight.Tick(now)
+		}
+	}
+	res.PeakLive = e.LiveFlows()
+
+	// Drain: only the hot set keeps sending while simulated time advances
+	// past the idle timeout in quarter-timeout chunks; each chunk re-stamps
+	// the hot flows and offers the sweeper a pass (it self-gates to one per
+	// epoch), so the cold tail is reclaimed and the hot set survives.
+	drainH := expReg.Histogram("proc_ns.drain", flowsProcBuckets)
+	hotBase := ramp.Created() - uint64(cfg.HotFlows)
+	for drainEnd := now + 4*cfg.IdleTimeout; now < drainEnd; {
+		for i := 0; i < cfg.HotFlows; i++ {
+			send(hotBase+uint64(i), drainH)
+		}
+		now += cfg.IdleTimeout / 4
+		e.SweepIdle(now)
+		if cfg.Flight != nil {
+			cfg.Flight.Tick(now)
+		}
+	}
+
+	res.Created = int64(ramp.Created())
+	res.FinalLive = e.LiveFlows()
+	res.Shards = e.FlowShards()
+	reg := e.Metrics()
+	res.IdleReclaims = reg.Counter("flow_idle_reclaims").Load()
+	res.MsgReclaims = reg.Counter("msg_idle_reclaims").Load()
+	res.Evictions = reg.Counter("flow_evictions").Load()
+	res.MsgEvictions = reg.Counter("func_msg_evictions").Load()
+	res.Sweeps = reg.Counter("sweeps").Load()
+	if cfg.Flight != nil {
+		cfg.Flight.Finish(now + 1)
+	}
+	res.Wall = time.Since(t0)
+	return res, nil
+}
+
+// Deterministic returns the timing-independent summary: the ramp
+// schedule and the engine's structural accounting. Two runs with the same
+// config must agree on this string (latencies are excluded).
+func (r *FlowsResult) Deterministic() string {
+	return fmt.Sprintf("start=%d peak=%d steps=%v created=%d peaklive=%d final=%d reclaims=%d evictions=%d shards=%d",
+		r.Config.StartFlows, r.Config.PeakFlows, r.StepFlows,
+		r.Created, r.PeakLive, r.FinalLive, r.IdleReclaims, r.Evictions, r.Shards)
+}
+
+// Check judges the run against the flow-state engine's claims: the ramp
+// reached the peak with every flow live (no capacity eviction fired), the
+// drain reclaimed exactly the cold tail, and p99 Process latency at the
+// peak stayed within FlatFactor of the first step.
+func (r *FlowsResult) Check() error {
+	cfg := r.Config
+	if r.Created != int64(cfg.PeakFlows) {
+		return fmt.Errorf("flows: created %d flows, want %d", r.Created, cfg.PeakFlows)
+	}
+	if r.PeakLive != int64(cfg.PeakFlows) {
+		return fmt.Errorf("flows: %d live at peak, want %d — flows were lost during the ramp", r.PeakLive, cfg.PeakFlows)
+	}
+	if r.Evictions != 0 || r.MsgEvictions != 0 {
+		return fmt.Errorf("flows: capacity eviction fired (%d flow, %d msg) — the sizing hint did not hold the ramp", r.Evictions, r.MsgEvictions)
+	}
+	if r.FinalLive != int64(cfg.HotFlows) {
+		return fmt.Errorf("flows: %d live after drain, want the %d-flow hot set", r.FinalLive, cfg.HotFlows)
+	}
+	if want := int64(cfg.PeakFlows - cfg.HotFlows); r.IdleReclaims != want {
+		return fmt.Errorf("flows: %d idle reclaims, want %d (peak minus hot set)", r.IdleReclaims, want)
+	}
+	if r.Sweeps == 0 {
+		return fmt.Errorf("flows: no sweep passes ran")
+	}
+	if n := len(r.StepP99Ns); n > 1 {
+		first, peak := r.StepP99Ns[0], r.StepP99Ns[n-1]
+		limit := cfg.FlatFactor * math.Max(first, flowsFlatFloorNs)
+		if peak > limit {
+			return fmt.Errorf("flows: p99 Process latency not flat: %.0fns at %d flows vs %.0fns at %d flows (limit %.0fns)",
+				peak, r.StepFlows[n-1], first, r.StepFlows[0], limit)
+		}
+	}
+	return nil
+}
+
+// String renders the ramp table and the reclamation summary.
+func (r *FlowsResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Flow-state ramp: %d -> %d live flows over %d steps (%d shards)\n",
+		r.Config.StartFlows, r.Config.PeakFlows, len(r.StepFlows), r.Shards)
+	fmt.Fprintf(&b, "  %12s  %12s\n", "live flows", "p99 Process")
+	for i, target := range r.StepFlows {
+		p99 := 0.0
+		if i < len(r.StepP99Ns) {
+			p99 = r.StepP99Ns[i]
+		}
+		fmt.Fprintf(&b, "  %12d  %9.2fus\n", target, p99/1000)
+	}
+	fmt.Fprintf(&b, "  drain: %d idle reclaims + %d msg reclaims in %d sweeps, %d -> %d live (%d evictions)\n",
+		r.IdleReclaims, r.MsgReclaims, r.Sweeps, r.PeakLive, r.FinalLive, r.Evictions+r.MsgEvictions)
+	verdict := "ok: p99 flat across the ramp, idle state reclaimed exactly"
+	if err := r.Check(); err != nil {
+		verdict = err.Error()
+	}
+	fmt.Fprintf(&b, "  %s (wall %.1fs)\n", verdict, r.Wall.Seconds())
+	return b.String()
+}

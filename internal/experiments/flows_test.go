@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"eden/internal/metrics"
+	"eden/internal/telemetry"
+)
+
+// smallFlows keeps test runs fast: a 200 → 2000 ramp instead of 10k → 1M.
+func smallFlows() FlowsConfig {
+	cfg := DefaultFlowsConfig()
+	cfg.StartFlows = 200
+	cfg.PeakFlows = 2000
+	cfg.Steps = 3
+	cfg.HotFlows = 50
+	// A generous flat-factor: at this tiny scale the per-step histograms
+	// hold few samples and wall-clock jitter dominates, so only gross
+	// regressions (lock contention, per-packet allocation) should fail.
+	cfg.FlatFactor = 64
+	return cfg
+}
+
+// TestFlowsRampReclaimsExactly is the end-to-end check of the tentpole
+// claim at test scale: the ramp reaches the peak with zero capacity
+// evictions and the drain reclaims exactly the cold tail.
+func TestFlowsRampReclaimsExactly(t *testing.T) {
+	res, err := RunFlows(smallFlows())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Check(); err != nil {
+		t.Fatalf("%v\n%s", err, res)
+	}
+	// Every message id in this experiment is enclave-assigned, so the flow
+	// cascade reclaims all per-function state exactly; the functions' own
+	// sweeps (which catch stage-assigned ids only) must find no leftovers.
+	if res.MsgReclaims != 0 {
+		t.Fatalf("MsgReclaims = %d, want 0 — the flow cascade left orphaned state\n%s", res.MsgReclaims, res)
+	}
+	if res.Shards < 64 {
+		t.Fatalf("Shards = %d, want the engine sharded\n%s", res.Shards, res)
+	}
+}
+
+// TestFlowsDeterministic pins the structural half of the result: two runs
+// of the same config agree on the ramp schedule and all reclamation
+// accounting (latencies are timing and excluded).
+func TestFlowsDeterministic(t *testing.T) {
+	cfg := smallFlows()
+	a, err := RunFlows(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunFlows(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := a.Deterministic(), b.Deterministic(); got != want {
+		t.Fatalf("runs diverged:\n got %s\nwant %s", got, want)
+	}
+}
+
+// TestFlowsTargets pins the ramp schedule: log-spaced, strictly
+// increasing, endpoints exact.
+func TestFlowsTargets(t *testing.T) {
+	got := flowsTargets(10_000, 1_000_000, 7)
+	if len(got) != 7 || got[0] != 10_000 || got[6] != 1_000_000 {
+		t.Fatalf("targets = %v", got)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] <= got[i-1] {
+			t.Fatalf("targets not strictly increasing: %v", got)
+		}
+		ratio := float64(got[i]) / float64(got[i-1])
+		if ratio < 1.5 || ratio > 3.0 {
+			t.Fatalf("step %d ratio %.2f not log-spaced: %v", i, ratio, got)
+		}
+	}
+	// Degenerate shapes collapse to the peak.
+	if got := flowsTargets(100, 100, 5); len(got) != 1 || got[0] != 100 {
+		t.Fatalf("flat ramp = %v, want [100]", got)
+	}
+}
+
+// TestFlowsFlightRecorder wires the ramp into a flight recorder and
+// checks the series passes the recorder's own validation — the same gate
+// `edenbench -exp flows -record-check` applies.
+func TestFlowsFlightRecorder(t *testing.T) {
+	cfg := smallFlows()
+	set := metrics.NewSet()
+	cfg.Metrics = set
+	cfg.Flight = telemetry.NewFlightRecorder(set, int64(time.Millisecond))
+	res, err := RunFlows(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Check(); err != nil {
+		t.Fatalf("%v\n%s", err, res)
+	}
+	if err := cfg.Flight.Check(); err != nil {
+		t.Fatalf("flight check: %v", err)
+	}
+	sums := cfg.Flight.SumCounters()
+	for _, reg := range set.Snapshot() {
+		for name, v := range reg.Counters {
+			if got := sums[reg.Name+"/"+name]; got != v {
+				t.Fatalf("counter %s/%s: summed deltas %d != terminal %d", reg.Name, name, got, v)
+			}
+		}
+	}
+	if !strings.Contains(res.String(), "ok: p99 flat across the ramp") {
+		t.Fatalf("result did not self-report ok:\n%s", res)
+	}
+}

@@ -1,0 +1,68 @@
+package qos
+
+// EpochSweep generalizes Queue.Expire's head-drop pattern — "retire
+// whatever time has already passed by" — into a reusable idle-reclamation
+// clock for keyed state. Instead of exact per-item release times it keeps
+// a coarse epoch counter derived from the caller's clock: entries are
+// stamped with the epoch of their last touch, and an entry whose stamp has
+// fallen Depth epochs behind is guaranteed to have been idle for at least
+// the configured timeout, so a sweeper may reclaim it. The same instance
+// can drive any number of tables (the enclave uses one for the flow→
+// message-id map and for every function's per-message state), and because
+// epochs are pure arithmetic on the caller-supplied time, the same code
+// runs against the wall clock or the discrete-event simulator.
+//
+// An EpochSweep is an immutable value; all methods are safe for concurrent
+// use. The zero value (and any non-positive idle timeout) is a disabled
+// sweep: Epoch always returns 0 and Idle always reports false.
+type EpochSweep struct {
+	interval int64 // epoch length, ns
+	depth    int64 // epochs a stamp must lag before an entry counts idle
+}
+
+// sweepDepth is the stamp lag (in epochs) that proves an entry idle. An
+// entry stamped in epoch s was touched at some time in [s·I, (s+1)·I); at
+// now ≥ (s+depth)·I it has therefore been idle for at least (depth-1)·I.
+// With I = idleAfter/2 and depth 3 that lower bound is the configured
+// timeout, and an idle entry is reclaimable at most 1.5× the timeout after
+// its last touch (plus the caller's sweep cadence).
+const sweepDepth = 3
+
+// NewEpochSweep returns a sweep clock whose Idle test proves at least
+// idleAfter nanoseconds without a touch. Non-positive idleAfter disables
+// sweeping.
+func NewEpochSweep(idleAfter int64) EpochSweep {
+	if idleAfter <= 0 {
+		return EpochSweep{}
+	}
+	interval := idleAfter / (sweepDepth - 1)
+	if interval < 1 {
+		interval = 1
+	}
+	return EpochSweep{interval: interval, depth: sweepDepth}
+}
+
+// Enabled reports whether the sweep clock is active.
+func (s EpochSweep) Enabled() bool { return s.interval > 0 }
+
+// Interval returns the epoch length in nanoseconds (0 when disabled).
+func (s EpochSweep) Interval() int64 { return s.interval }
+
+// Epoch returns the epoch containing time now; entries touch-stamp with
+// it. Disabled sweeps pin every stamp to 0 so stamping stays branch-free
+// for callers.
+func (s EpochSweep) Epoch(now int64) int64 {
+	if s.interval <= 0 {
+		return 0
+	}
+	return now / s.interval
+}
+
+// Idle reports whether an entry whose last touch stamped the given epoch
+// has provably been idle for the configured timeout at time now.
+func (s EpochSweep) Idle(stamp, now int64) bool {
+	if s.interval <= 0 {
+		return false
+	}
+	return s.Epoch(now)-stamp >= s.depth
+}

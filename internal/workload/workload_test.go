@@ -124,3 +124,73 @@ func TestRateForLoad(t *testing.T) {
 		t.Errorf("rate = %f", rate)
 	}
 }
+
+func TestFlowRampDeterministic(t *testing.T) {
+	a := NewFlowRamp(7, 1000)
+	b := NewFlowRamp(7, 1000)
+	for i := 0; i < 500; i++ {
+		if a.Grow() != b.Grow() {
+			t.Fatal("Grow diverged between same-seed ramps")
+		}
+	}
+	for i := 0; i < 2000; i++ {
+		if x, y := a.Touch(), b.Touch(); x != y {
+			t.Fatalf("Touch %d diverged: %d vs %d", i, x, y)
+		}
+	}
+}
+
+func TestFlowRampTouchInRange(t *testing.T) {
+	r := NewFlowRamp(1, 1<<20)
+	for n := 1; n <= 64; n++ {
+		r.Grow()
+		for i := 0; i < 100; i++ {
+			got := r.Touch()
+			if got >= uint64(n) {
+				t.Fatalf("Touch = %d with %d flows created", got, n)
+			}
+		}
+	}
+	if r.Created() != 64 {
+		t.Fatalf("Created = %d, want 64", r.Created())
+	}
+}
+
+// The heavy tail must be recency-weighted: with many flows live, the
+// newest slice absorbs the bulk of the touches.
+func TestFlowRampRecencyWeighted(t *testing.T) {
+	const flows = 100000
+	r := NewFlowRamp(2, flows)
+	for i := 0; i < flows; i++ {
+		r.Grow()
+	}
+	const n = 50000
+	var newest int
+	for i := 0; i < n; i++ {
+		if r.Touch() >= flows-flows/100 { // newest 1%
+			newest++
+		}
+	}
+	if f := float64(newest) / n; f < 0.5 {
+		t.Errorf("newest 1%% of flows got %.0f%% of touches, want a hot majority", f*100)
+	}
+}
+
+func TestFlowTupleUnique(t *testing.T) {
+	type key struct {
+		src  uint32
+		port uint16
+	}
+	seen := make(map[key]uint64)
+	for i := uint64(0); i < 200000; i++ {
+		src, dst, sp, dp := FlowTuple(i)
+		if dst != 0x0a800001 || dp != 80 {
+			t.Fatalf("flow %d: dst %x:%d, want fixed service", i, dst, dp)
+		}
+		k := key{src, sp}
+		if prev, dup := seen[k]; dup {
+			t.Fatalf("flows %d and %d collide on %x:%d", prev, i, src, sp)
+		}
+		seen[k] = i
+	}
+}

@@ -9,27 +9,30 @@ test:
 	$(GO) test ./...
 
 # verify is the extended check: tier-1 build+test plus gofmt, vet, a race
-# pass over the concurrent packages — the data path (enclave, transport),
-# the control plane (controller, ctlproto), the trial-parallel experiment
-# harness, and the observability layer (telemetry, metrics, trace) whose
-# snapshot/span paths are read concurrently by the ops endpoint — a
-# single-iteration bench smoke so benchmark code cannot rot, a flight-
-# recorder smoke: one recorded fig9 iteration that fails if the series is
-# empty, non-monotonic, or disagrees with the terminal counter snapshot,
-# a churn smoke: one small delta-distribution round over a real TCP
-# agent fleet, under -race, with the same flight-series validation —
+# pass over the concurrent packages — the data path (enclave, edenvm,
+# transport), the control plane (controller, ctlproto), the trial-parallel
+# experiment harness, and the observability layer (telemetry, metrics,
+# trace) whose snapshot/span paths are read concurrently by the ops
+# endpoint — a single-iteration bench smoke so benchmark code cannot rot,
+# a flight-recorder smoke: one recorded fig9 iteration that fails if the
+# series is empty, non-monotonic, or disagrees with the terminal counter
+# snapshot, a churn smoke: one small delta-distribution round over a real
+# TCP agent fleet, under -race, with the same flight-series validation —
 # exiting nonzero unless every agent converges and the churn-phase resync
-# cost tracked the delta size rather than the policy size — and a flows
+# cost tracked the delta size rather than the policy size — a flows
 # smoke: a 2k -> 20k flow-state ramp that fails unless p99 Process
 # latency stays flat and idle reclamation is exact (final live count is
-# the hot set, zero capacity evictions).
+# the hot set, zero capacity evictions) — and a differential-fuzz smoke:
+# a few seconds of FuzzDifferential cross-checking the closure-compiled
+# VM backend against the interpreter on generated programs.
 verify: build
 	@fmt_out=$$(gofmt -l .); if [ -n "$$fmt_out" ]; then \
 		echo "gofmt needed on:"; echo "$$fmt_out"; exit 1; fi
 	$(GO) vet ./...
 	$(GO) test ./...
-	$(GO) test -race ./internal/enclave/ ./internal/transport/ ./internal/controller/ ./internal/ctlproto/ ./internal/experiments/ ./internal/netsim/ ./internal/telemetry/ ./internal/metrics/ ./internal/trace/
+	$(GO) test -race ./internal/enclave/ ./internal/edenvm/ ./internal/transport/ ./internal/controller/ ./internal/ctlproto/ ./internal/experiments/ ./internal/netsim/ ./internal/telemetry/ ./internal/metrics/ ./internal/trace/
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
+	$(GO) test -run=NONE -fuzz=FuzzDifferential -fuzztime=5s ./internal/edenvm/
 	$(GO) run ./cmd/edenbench -exp fig9 -runs 1 -ms 30 -parallel 1 -record 5ms -record-check > /dev/null
 	$(GO) run -race ./cmd/edenbench -exp churn -churn-agents 64 -churn-rounds 1 -record 5ms -record-check > /dev/null
 	$(GO) run ./cmd/edenbench -exp flows -flows-start 2000 -flows-peak 20000 -record 5ms -record-check > /dev/null

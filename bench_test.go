@@ -8,6 +8,7 @@
 package eden_test
 
 import (
+	"runtime"
 	"sync/atomic"
 	"testing"
 
@@ -116,10 +117,10 @@ func BenchmarkFigure12(b *testing.B) {
 
 // benchEnclave builds an enclave with the PIAS policy installed on a
 // catch-all egress table, ready for contended-throughput measurements.
-func benchEnclave(b *testing.B) *enclave.Enclave {
+func benchEnclave(b *testing.B, vm enclave.VMBackend) *enclave.Enclave {
 	b.Helper()
 	var now atomic.Int64
-	e := enclave.New(enclave.Config{Name: "bench", Clock: func() int64 { return now.Add(1) }})
+	e := enclave.New(enclave.Config{Name: "bench", Clock: func() int64 { return now.Add(1) }, VM: vm})
 	pias, err := compiler.Compile("pias", `
 msg size : int
 msg priority : int = 1
@@ -180,15 +181,15 @@ func churnRules(e *enclave.Enclave, stop <-chan struct{}, churns *atomic.Int64) 
 	}
 }
 
-// BenchmarkProcessParallel drives Process from GOMAXPROCS goroutines
+// benchProcessParallel drives Process from GOMAXPROCS goroutines
 // while a background goroutine churns rules, measuring the contended
 // per-packet cost of the enclave data path. Packets arrive without a
 // stage-assigned message id (the common unclassified case), so every
 // packet also exercises the enclave's flow→message-id lookup — the path
 // that serialized all callers on the enclave lock before the
 // copy-on-write refactor.
-func BenchmarkProcessParallel(b *testing.B) {
-	e := benchEnclave(b)
+func benchProcessParallel(b *testing.B, vm enclave.VMBackend) {
+	e := benchEnclave(b, vm)
 	stop := make(chan struct{})
 	var churns atomic.Int64
 	go churnRules(e, stop, &churns)
@@ -211,11 +212,20 @@ func BenchmarkProcessParallel(b *testing.B) {
 	b.ReportMetric(float64(churns.Load()), "rule-churns")
 }
 
+// BenchmarkProcessParallel is the shipped configuration: PIAS bytecode
+// in the closure-compiled backend. Compare with the Interp variant to
+// see the compiled backend's effect on the same build.
+func BenchmarkProcessParallel(b *testing.B) { benchProcessParallel(b, enclave.VMCompiled) }
+
+// BenchmarkProcessParallelInterp forces the switch-loop interpreter —
+// the pre-compiled-backend baseline.
+func BenchmarkProcessParallelInterp(b *testing.B) { benchProcessParallel(b, enclave.VMInterp) }
+
 // BenchmarkProcessBatchParallel is the batched variant: each goroutine
 // submits 64-packet batches, amortizing the per-packet pipeline and
 // interpreter checkout, again racing background rule churn.
 func BenchmarkProcessBatchParallel(b *testing.B) {
-	e := benchEnclave(b)
+	e := benchEnclave(b, enclave.VMDefault)
 	stop := make(chan struct{})
 	var churns atomic.Int64
 	go churnRules(e, stop, &churns)
@@ -287,4 +297,48 @@ func BenchmarkFlowStateRamp(b *testing.B) {
 	b.ReportMetric(res.StepP99Ns[len(res.StepP99Ns)-1], "p99-peak-ns")
 	b.ReportMetric(float64(res.IdleReclaims), "idle-reclaims")
 	b.ReportMetric(float64(res.Sweeps), "sweeps")
+	b.ReportMetric(flowChurnAllocsPerInsert(b), "allocs-per-insert")
+}
+
+// flowChurnAllocsPerInsert measures the flow engine's steady-state churn
+// cost: distinct flows inserted and reclaimed by the idle sweeper, over
+// and over. With the per-shard entry freelists this must be allocation
+// free after a warm-up round — each insert reuses an entry the sweeper
+// recycled — so the metric doubles as a regression gate.
+func flowChurnAllocsPerInsert(b *testing.B) float64 {
+	b.Helper()
+	var now atomic.Int64
+	e := enclave.New(enclave.Config{
+		Name:        "churn",
+		Clock:       func() int64 { return now.Load() },
+		IdleTimeout: 1000,
+	})
+	const perRound = 4096
+	p := packet.New(0, 0x0a800001, 0, 80, 100)
+	p.Meta.Class = "a.b.c"
+	round := func(r int) {
+		for i := 0; i < perRound; i++ {
+			p.IP.Src = 0x0a000000 + uint32(i>>8)
+			p.TCPHdr.SrcPort = uint16(20000 + i&0xff)
+			p.Meta.MsgID = 0 // enclave-assigned: hits the flow engine
+			e.Process(enclave.Egress, p, now.Load())
+		}
+		// Advance past the idle timeout and sweep: every flow inserted
+		// this round is reclaimed, its entry recycled for the next round.
+		e.SweepIdle(now.Add(10_000))
+	}
+	round(0) // warm-up: allocates the entries the freelists then recycle
+	var before, after runtime.MemStats
+	const rounds = 8
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	for r := 1; r <= rounds; r++ {
+		round(r)
+	}
+	runtime.ReadMemStats(&after)
+	perInsert := float64(after.Mallocs-before.Mallocs) / float64(rounds*perRound)
+	if perInsert > 0.5 {
+		b.Errorf("steady-state flow churn allocates %.2f allocs/insert, want ~0 (freelist regression)", perInsert)
+	}
+	return perInsert
 }

@@ -22,7 +22,10 @@
 // defaults). -parallel N fans independent trials across N worker
 // goroutines (default: the number of CPUs; results are byte-identical to
 // -parallel 1 at the same seed because each trial owns its simulator and
-// results merge in trial order).
+// results merge in trial order). -vm compiled|interp selects the bytecode
+// backend every enclave runs (closure-threaded compiled form vs the
+// switch-loop interpreter) — run fig12 under both to measure the
+// compiled backend's effect on the interpreter-overhead share.
 //
 // Observability flags (apply to fig9, fig10 and fig11; fig12, table1 and
 // the ablations do not run the simulated data path end to end):
@@ -71,6 +74,7 @@ import (
 	"runtime"
 	"time"
 
+	"eden/internal/enclave"
 	"eden/internal/experiments"
 	"eden/internal/metrics"
 	"eden/internal/netsim"
@@ -175,6 +179,7 @@ func main() {
 		opsAddr   = flag.String("ops-addr", "", "serve a live ops endpoint (/metrics, /metricz, pprof) on this address while experiments run")
 		faults    = flag.String("faults", "", `inject link faults into the simulated experiments, e.g. "flap=5ms:500us,loss=0.001" (see netsim.ParseFaultPlan); per-link flap/loss counters appear in the -metrics snapshot`)
 		par       = flag.Int("parallel", runtime.NumCPU(), "worker goroutines for experiment trials (1 = serial; results are identical either way)")
+		vmBackend = flag.String("vm", "compiled", "bytecode backend for every enclave: compiled (closure-threaded) or interp (switch-loop interpreter)")
 
 		churnAgents    = flag.Int("churn-agents", 0, "churn: fleet size (0 = default 1000)")
 		churnRounds    = flag.Int("churn-rounds", 0, "churn: flap rounds after the base install (0 = default)")
@@ -188,6 +193,15 @@ func main() {
 	)
 	flag.Parse()
 	experiments.SetParallelism(*par)
+	switch *vmBackend {
+	case "compiled":
+		enclave.SetDefaultVM(enclave.VMCompiled)
+	case "interp":
+		enclave.SetDefaultVM(enclave.VMInterp)
+	default:
+		fmt.Fprintf(os.Stderr, "edenbench: -vm: want compiled or interp, got %q\n", *vmBackend)
+		os.Exit(2)
+	}
 	if *recordFmt != "csv" && *recordFmt != "json" {
 		fmt.Fprintf(os.Stderr, "edenbench: -record-format: want csv or json, got %q\n", *recordFmt)
 		os.Exit(2)

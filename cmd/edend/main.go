@@ -8,6 +8,10 @@
 // statistics every few seconds — a quick way to watch a controller-pushed
 // function operate.
 //
+// A background sweeper reclaims flow and per-message state idle past
+// -idle-timeout (default 1m; 0 disables reclamation, leaving capacity
+// eviction as the only bound on enclave state).
+//
 // With -ops-addr, the daemon serves a live ops endpoint: Prometheus
 // metrics (including the enclave's counters and interpreter-latency
 // histogram with quantiles) at /metrics, a JSON snapshot at /metricz,
@@ -24,6 +28,7 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"sync"
 	"time"
 
 	"eden/internal/controller"
@@ -43,6 +48,7 @@ func main() {
 		rate      = flag.Int("rate", 10000, "selftest packets per second")
 		reconnect = flag.Bool("reconnect", true, "reconnect with backoff when the control connection drops")
 		heartbeat = flag.Duration("heartbeat", time.Second, "liveness ping interval while connected")
+		idle      = flag.Duration("idle-timeout", time.Minute, "reclaim flow and per-message state untouched for this long (0 disables the idle sweeper)")
 		opsAddr   = flag.String("ops-addr", "", "serve a live ops endpoint (/metrics, /metricz, /spanz, pprof) on this address")
 		logLevel  = flag.String("log-level", "info", "structured log level: debug, info, warn, error")
 	)
@@ -62,10 +68,17 @@ func main() {
 		Platform: *platform,
 		Clock:    wall,
 		Rand:     rng.Uint64,
+		// IdleTimeout arms epoch-based reclamation; the sweeper goroutine
+		// below actually drives it (SweepIdle self-gates to one pass per
+		// epoch, so the ticker can be coarse).
+		IdleTimeout: idle.Nanoseconds(),
 		// WallClock enables the interpreter-latency histogram, so the ops
 		// endpoint's /metrics has a histogram (with quantiles) to export.
 		WallClock: wall,
 	})
+
+	stopSweeper := startIdleSweeper(enc, *idle, wall)
+	defer stopSweeper()
 
 	if *opsAddr != "" {
 		set := metrics.NewSet()
@@ -112,6 +125,43 @@ func main() {
 		fmt.Fprintf(os.Stderr, "edend: control connection: %v\n", err)
 	}
 	fmt.Println("edend: controller disconnected, exiting")
+}
+
+// startIdleSweeper drives Enclave.SweepIdle on a coarse ticker — the
+// production wiring for Config.IdleTimeout, which tests and experiments
+// drive by hand. SweepIdle self-gates to at most one pass per epoch
+// (epoch = timeout/2), so ticking at a quarter of the timeout keeps the
+// reclamation latency bound (~1.5x the timeout) without redundant
+// passes. The returned stop function halts the sweeper and waits for it
+// to exit; it is safe to call more than once.
+func startIdleSweeper(enc *enclave.Enclave, idle time.Duration, now func() int64) (stop func()) {
+	if idle <= 0 {
+		return func() {}
+	}
+	tick := idle / 4
+	if tick < 10*time.Millisecond {
+		tick = 10 * time.Millisecond
+	}
+	done := make(chan struct{})
+	exited := make(chan struct{})
+	go func() {
+		defer close(exited)
+		t := time.NewTicker(tick)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				enc.SweepIdle(now())
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() { close(done) })
+		<-exited
+	}
 }
 
 // driveTraffic pushes synthetic classified packets through the egress

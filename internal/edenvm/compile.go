@@ -1,0 +1,736 @@
+package edenvm
+
+// Closure-threading backend: a verified Program compiles once into a chain
+// of Go closures — one per instruction slot, each returning the next
+// program counter — so the per-packet path pays an indirect call per
+// (possibly fused) instruction instead of the interpreter's decode +
+// switch dispatch, and no per-op operand-stack checks at all.
+//
+// The verifier's frame-based analysis proves the exact operand-stack
+// high-water mark (Program.MaxStack) and that no reachable path under- or
+// overflows it, so compiled frames use a fixed-size stack indexed by a
+// plain int cursor with no bounds checks beyond Go's own. Only genuinely
+// dynamic properties keep their runtime guards: fuel, call-stack depth
+// (recursion is legal as long as it is operand-neutral), state-slot
+// bounds against the invocation's actual vectors, array handles/indices,
+// division by zero, and randrange bounds — exactly the set the
+// interpreter enforces, with identical trap reasons.
+//
+// On top of the per-op closures, a fusion pass recognizes the dominant
+// match-action idioms the compiler emits and replaces the first slot of
+// each occurrence with one superinstruction closure:
+//
+//	load-compare-branch  [ld][const][eq..ge][jz|jnz]   guard tests
+//	load-alu-store       [ld][ld][add..shr][st]        counter updates
+//	load-store           [ld][st]                      slot shuffles
+//
+// where [ld] is any of const/load/ldpkt/ldmsg/ldglb and [st] any of
+// store/stpkt/stmsg/stglb. Branches into the middle of a fused sequence
+// stay correct because the constituent slots keep their original
+// single-op closures — fusion only rewrites the entry slot.
+//
+// Fuel accounting is exact: a superinstruction charges one step per
+// constituent, pre-checks that the whole sequence fits the remaining
+// budget, and — because every fused pattern mutates state only in its
+// final constituent — a mid-sequence fuel or dynamic trap leaves the
+// same observable state (packet/msg/global/arrays), the same step count,
+// and the same trap PC the interpreter would have produced. The
+// differential fuzzer (FuzzDifferential) holds the two backends to that
+// equivalence.
+
+// cop is one compiled instruction slot: it executes and returns the next
+// pc, cpHalt on normal termination, or cpTrap after recording f.trap.
+type cop func(f *cframe) int
+
+// Dispatch sentinels returned by cops.
+const (
+	cpHalt = -1
+	cpTrap = -2
+)
+
+// Trap reasons shared with the interpreter (the differential fuzzer
+// asserts reason equality between backends).
+const (
+	reasonFuel      = "fuel exhausted"
+	reasonSlot      = "state slot out of range for this invocation"
+	reasonDivZero   = "division by zero"
+	reasonModZero   = "modulo by zero"
+	reasonBadHandle = "invalid array handle"
+	reasonArrRange  = "array index out of range"
+	reasonRandBound = "randrange bound must be positive"
+	reasonCallOver  = "call stack overflow"
+	reasonRetEmpty  = "return with empty call stack"
+)
+
+// Compiled is the closure-threaded form of one verified Program. A
+// Compiled is immutable and safe to share: all mutable execution state
+// lives in the VM's frame. Build one per Program at install time
+// (enclaves compile at transaction commit, never on the data path).
+type Compiled struct {
+	prog *Program
+	ops  []cop
+	// fused counts the superinstructions the fusion pass installed.
+	fused int
+}
+
+// Program returns the program this Compiled executes.
+func (c *Compiled) Program() *Program { return c.prog }
+
+// Fused returns the number of superinstructions fused into the chain.
+func (c *Compiled) Fused() int { return c.fused }
+
+// cframe is the execution state of one compiled invocation. It lives in
+// the VM and is reused across runs; slices grow to the largest program's
+// verified requirement and never shrink.
+type cframe struct {
+	stack  []int64
+	sp     int
+	calls  []int // len == the running program's MaxCallDepth, exactly
+	csp    int
+	locals []int64
+	env    *Env
+	vm     *VM
+	fuel   int
+	steps  int
+	trap   Trap
+}
+
+// trapAt records a trap and returns the dispatch sentinel.
+func (f *cframe) trapAt(pc int, op Opcode, reason string) int {
+	f.trap = Trap{PC: pc, Op: op, Reason: reason}
+	return cpTrap
+}
+
+// Compile builds the closure-threaded form of p, verifying it first if
+// needed. It fails only for programs that do not verify or that use an
+// opcode the backend does not support — callers fall back to the
+// interpreter in that case.
+func Compile(p *Program) (*Compiled, error) {
+	if err := Verify(p); err != nil {
+		return nil, err
+	}
+	c := &Compiled{prog: p, ops: make([]cop, len(p.Code))}
+	for i, in := range p.Code {
+		op, err := compileOp(p, i, in)
+		if err != nil {
+			return nil, err
+		}
+		c.ops[i] = op
+	}
+	for i := range p.Code {
+		if fop := fuseAt(p, i, c.ops[i]); fop != nil {
+			c.ops[i] = fop
+			c.fused++
+		}
+	}
+	return c, nil
+}
+
+// RunCompiled executes a compiled program against env, reusing the VM's
+// frame buffers (a VM is single-threaded; the enclave pools them). It
+// returns the number of interpreter-equivalent steps executed, or a
+// *Trap identical to the one the interpreter would produce.
+func (vm *VM) RunCompiled(c *Compiled, env *Env) (int, error) {
+	p := c.prog
+	f := &vm.cf
+	if cap(f.stack) < p.MaxStack {
+		f.stack = make([]int64, p.MaxStack)
+	}
+	f.stack = f.stack[:cap(f.stack)]
+	// The call stack's length is the program's own verified limit: the
+	// overflow check below is len(f.calls), so a pooled frame grown by a
+	// deeper program can never grant this one extra call depth.
+	if cap(f.calls) < p.MaxCallDepth {
+		f.calls = make([]int, p.MaxCallDepth)
+	}
+	f.calls = f.calls[:p.MaxCallDepth]
+	if len(f.locals) < p.NumLocals {
+		f.locals = make([]int64, p.NumLocals)
+	}
+	locals := f.locals[:p.NumLocals]
+	for i := range locals {
+		locals[i] = 0
+	}
+	f.sp, f.csp = 0, 0
+	f.env = env
+	f.vm = vm
+	f.fuel = vm.Fuel
+	if f.fuel <= 0 {
+		f.fuel = DefaultFuel
+	}
+	f.steps = 0
+
+	ops := c.ops
+	pc := 0
+	for pc >= 0 {
+		pc = ops[pc](f)
+	}
+	f.env = nil // no dangling reference to caller state between runs
+	if pc == cpTrap {
+		t := f.trap
+		return f.steps, &t
+	}
+	return f.steps, nil
+}
+
+// compileOp builds the single-instruction closure for slot pc. Every
+// closure starts with the fuel check and step charge, exactly like one
+// turn of the interpreter loop.
+func compileOp(p *Program, pc int, in Instr) (cop, error) {
+	next := pc + 1
+	switch in.Op {
+	case OpNop:
+		return func(f *cframe) int {
+			if f.steps >= f.fuel {
+				return f.trapAt(pc, OpNop, reasonFuel)
+			}
+			f.steps++
+			return next
+		}, nil
+
+	case OpConst:
+		k := in.A
+		return func(f *cframe) int {
+			if f.steps >= f.fuel {
+				return f.trapAt(pc, OpConst, reasonFuel)
+			}
+			f.steps++
+			f.stack[f.sp] = k
+			f.sp++
+			return next
+		}, nil
+
+	case OpLoad:
+		slot := int(in.A)
+		return func(f *cframe) int {
+			if f.steps >= f.fuel {
+				return f.trapAt(pc, OpLoad, reasonFuel)
+			}
+			f.steps++
+			f.stack[f.sp] = f.locals[slot]
+			f.sp++
+			return next
+		}, nil
+
+	case OpStore:
+		slot := int(in.A)
+		return func(f *cframe) int {
+			if f.steps >= f.fuel {
+				return f.trapAt(pc, OpStore, reasonFuel)
+			}
+			f.steps++
+			f.sp--
+			f.locals[slot] = f.stack[f.sp]
+			return next
+		}, nil
+
+	case OpAdd:
+		return func(f *cframe) int {
+			if f.steps >= f.fuel {
+				return f.trapAt(pc, OpAdd, reasonFuel)
+			}
+			f.steps++
+			f.sp--
+			f.stack[f.sp-1] += f.stack[f.sp]
+			return next
+		}, nil
+
+	case OpSub:
+		return func(f *cframe) int {
+			if f.steps >= f.fuel {
+				return f.trapAt(pc, OpSub, reasonFuel)
+			}
+			f.steps++
+			f.sp--
+			f.stack[f.sp-1] -= f.stack[f.sp]
+			return next
+		}, nil
+
+	case OpMul:
+		return func(f *cframe) int {
+			if f.steps >= f.fuel {
+				return f.trapAt(pc, OpMul, reasonFuel)
+			}
+			f.steps++
+			f.sp--
+			f.stack[f.sp-1] *= f.stack[f.sp]
+			return next
+		}, nil
+
+	case OpDiv:
+		return func(f *cframe) int {
+			if f.steps >= f.fuel {
+				return f.trapAt(pc, OpDiv, reasonFuel)
+			}
+			f.steps++
+			f.sp--
+			b := f.stack[f.sp]
+			if b == 0 {
+				return f.trapAt(pc, OpDiv, reasonDivZero)
+			}
+			f.stack[f.sp-1] /= b
+			return next
+		}, nil
+
+	case OpMod:
+		return func(f *cframe) int {
+			if f.steps >= f.fuel {
+				return f.trapAt(pc, OpMod, reasonFuel)
+			}
+			f.steps++
+			f.sp--
+			b := f.stack[f.sp]
+			if b == 0 {
+				return f.trapAt(pc, OpMod, reasonModZero)
+			}
+			f.stack[f.sp-1] %= b
+			return next
+		}, nil
+
+	case OpNeg:
+		return func(f *cframe) int {
+			if f.steps >= f.fuel {
+				return f.trapAt(pc, OpNeg, reasonFuel)
+			}
+			f.steps++
+			f.stack[f.sp-1] = -f.stack[f.sp-1]
+			return next
+		}, nil
+
+	case OpAnd:
+		return func(f *cframe) int {
+			if f.steps >= f.fuel {
+				return f.trapAt(pc, OpAnd, reasonFuel)
+			}
+			f.steps++
+			f.sp--
+			f.stack[f.sp-1] &= f.stack[f.sp]
+			return next
+		}, nil
+
+	case OpOr:
+		return func(f *cframe) int {
+			if f.steps >= f.fuel {
+				return f.trapAt(pc, OpOr, reasonFuel)
+			}
+			f.steps++
+			f.sp--
+			f.stack[f.sp-1] |= f.stack[f.sp]
+			return next
+		}, nil
+
+	case OpXor:
+		return func(f *cframe) int {
+			if f.steps >= f.fuel {
+				return f.trapAt(pc, OpXor, reasonFuel)
+			}
+			f.steps++
+			f.sp--
+			f.stack[f.sp-1] ^= f.stack[f.sp]
+			return next
+		}, nil
+
+	case OpShl:
+		return func(f *cframe) int {
+			if f.steps >= f.fuel {
+				return f.trapAt(pc, OpShl, reasonFuel)
+			}
+			f.steps++
+			f.sp--
+			f.stack[f.sp-1] <<= uint64(f.stack[f.sp]) & 63
+			return next
+		}, nil
+
+	case OpShr:
+		return func(f *cframe) int {
+			if f.steps >= f.fuel {
+				return f.trapAt(pc, OpShr, reasonFuel)
+			}
+			f.steps++
+			f.sp--
+			f.stack[f.sp-1] >>= uint64(f.stack[f.sp]) & 63
+			return next
+		}, nil
+
+	case OpNot:
+		return func(f *cframe) int {
+			if f.steps >= f.fuel {
+				return f.trapAt(pc, OpNot, reasonFuel)
+			}
+			f.steps++
+			f.stack[f.sp-1] = ^f.stack[f.sp-1]
+			return next
+		}, nil
+
+	case OpEq:
+		return func(f *cframe) int {
+			if f.steps >= f.fuel {
+				return f.trapAt(pc, OpEq, reasonFuel)
+			}
+			f.steps++
+			f.sp--
+			f.stack[f.sp-1] = b2i(f.stack[f.sp-1] == f.stack[f.sp])
+			return next
+		}, nil
+
+	case OpNe:
+		return func(f *cframe) int {
+			if f.steps >= f.fuel {
+				return f.trapAt(pc, OpNe, reasonFuel)
+			}
+			f.steps++
+			f.sp--
+			f.stack[f.sp-1] = b2i(f.stack[f.sp-1] != f.stack[f.sp])
+			return next
+		}, nil
+
+	case OpLt:
+		return func(f *cframe) int {
+			if f.steps >= f.fuel {
+				return f.trapAt(pc, OpLt, reasonFuel)
+			}
+			f.steps++
+			f.sp--
+			f.stack[f.sp-1] = b2i(f.stack[f.sp-1] < f.stack[f.sp])
+			return next
+		}, nil
+
+	case OpLe:
+		return func(f *cframe) int {
+			if f.steps >= f.fuel {
+				return f.trapAt(pc, OpLe, reasonFuel)
+			}
+			f.steps++
+			f.sp--
+			f.stack[f.sp-1] = b2i(f.stack[f.sp-1] <= f.stack[f.sp])
+			return next
+		}, nil
+
+	case OpGt:
+		return func(f *cframe) int {
+			if f.steps >= f.fuel {
+				return f.trapAt(pc, OpGt, reasonFuel)
+			}
+			f.steps++
+			f.sp--
+			f.stack[f.sp-1] = b2i(f.stack[f.sp-1] > f.stack[f.sp])
+			return next
+		}, nil
+
+	case OpGe:
+		return func(f *cframe) int {
+			if f.steps >= f.fuel {
+				return f.trapAt(pc, OpGe, reasonFuel)
+			}
+			f.steps++
+			f.sp--
+			f.stack[f.sp-1] = b2i(f.stack[f.sp-1] >= f.stack[f.sp])
+			return next
+		}, nil
+
+	case OpHash:
+		return func(f *cframe) int {
+			if f.steps >= f.fuel {
+				return f.trapAt(pc, OpHash, reasonFuel)
+			}
+			f.steps++
+			f.sp--
+			f.stack[f.sp-1] = mix64(f.stack[f.sp-1], f.stack[f.sp])
+			return next
+		}, nil
+
+	case OpJmp:
+		target := int(in.A)
+		return func(f *cframe) int {
+			if f.steps >= f.fuel {
+				return f.trapAt(pc, OpJmp, reasonFuel)
+			}
+			f.steps++
+			return target
+		}, nil
+
+	case OpJz:
+		target := int(in.A)
+		return func(f *cframe) int {
+			if f.steps >= f.fuel {
+				return f.trapAt(pc, OpJz, reasonFuel)
+			}
+			f.steps++
+			f.sp--
+			if f.stack[f.sp] == 0 {
+				return target
+			}
+			return next
+		}, nil
+
+	case OpJnz:
+		target := int(in.A)
+		return func(f *cframe) int {
+			if f.steps >= f.fuel {
+				return f.trapAt(pc, OpJnz, reasonFuel)
+			}
+			f.steps++
+			f.sp--
+			if f.stack[f.sp] != 0 {
+				return target
+			}
+			return next
+		}, nil
+
+	case OpCall:
+		target := int(in.A)
+		return func(f *cframe) int {
+			if f.steps >= f.fuel {
+				return f.trapAt(pc, OpCall, reasonFuel)
+			}
+			f.steps++
+			if f.csp >= len(f.calls) {
+				return f.trapAt(pc, OpCall, reasonCallOver)
+			}
+			f.calls[f.csp] = next
+			f.csp++
+			return target
+		}, nil
+
+	case OpRet:
+		return func(f *cframe) int {
+			if f.steps >= f.fuel {
+				return f.trapAt(pc, OpRet, reasonFuel)
+			}
+			f.steps++
+			if f.csp == 0 {
+				return f.trapAt(pc, OpRet, reasonRetEmpty)
+			}
+			f.csp--
+			return f.calls[f.csp]
+		}, nil
+
+	case OpHalt:
+		return func(f *cframe) int {
+			if f.steps >= f.fuel {
+				return f.trapAt(pc, OpHalt, reasonFuel)
+			}
+			f.steps++
+			return cpHalt
+		}, nil
+
+	case OpPop:
+		return func(f *cframe) int {
+			if f.steps >= f.fuel {
+				return f.trapAt(pc, OpPop, reasonFuel)
+			}
+			f.steps++
+			f.sp--
+			return next
+		}, nil
+
+	case OpDup:
+		return func(f *cframe) int {
+			if f.steps >= f.fuel {
+				return f.trapAt(pc, OpDup, reasonFuel)
+			}
+			f.steps++
+			f.stack[f.sp] = f.stack[f.sp-1]
+			f.sp++
+			return next
+		}, nil
+
+	case OpSwap:
+		return func(f *cframe) int {
+			if f.steps >= f.fuel {
+				return f.trapAt(pc, OpSwap, reasonFuel)
+			}
+			f.steps++
+			f.stack[f.sp-1], f.stack[f.sp-2] = f.stack[f.sp-2], f.stack[f.sp-1]
+			return next
+		}, nil
+
+	case OpLdPkt:
+		slot := int(in.A)
+		return func(f *cframe) int {
+			if f.steps >= f.fuel {
+				return f.trapAt(pc, OpLdPkt, reasonFuel)
+			}
+			f.steps++
+			src := f.env.Packet
+			if slot >= len(src) {
+				return f.trapAt(pc, OpLdPkt, reasonSlot)
+			}
+			f.stack[f.sp] = src[slot]
+			f.sp++
+			return next
+		}, nil
+
+	case OpLdMsg:
+		slot := int(in.A)
+		return func(f *cframe) int {
+			if f.steps >= f.fuel {
+				return f.trapAt(pc, OpLdMsg, reasonFuel)
+			}
+			f.steps++
+			src := f.env.Msg
+			if slot >= len(src) {
+				return f.trapAt(pc, OpLdMsg, reasonSlot)
+			}
+			f.stack[f.sp] = src[slot]
+			f.sp++
+			return next
+		}, nil
+
+	case OpLdGlb:
+		slot := int(in.A)
+		return func(f *cframe) int {
+			if f.steps >= f.fuel {
+				return f.trapAt(pc, OpLdGlb, reasonFuel)
+			}
+			f.steps++
+			src := f.env.Global
+			if slot >= len(src) {
+				return f.trapAt(pc, OpLdGlb, reasonSlot)
+			}
+			f.stack[f.sp] = src[slot]
+			f.sp++
+			return next
+		}, nil
+
+	case OpStPkt:
+		slot := int(in.A)
+		return func(f *cframe) int {
+			if f.steps >= f.fuel {
+				return f.trapAt(pc, OpStPkt, reasonFuel)
+			}
+			f.steps++
+			dst := f.env.Packet
+			if slot >= len(dst) {
+				return f.trapAt(pc, OpStPkt, reasonSlot)
+			}
+			f.sp--
+			dst[slot] = f.stack[f.sp]
+			return next
+		}, nil
+
+	case OpStMsg:
+		slot := int(in.A)
+		return func(f *cframe) int {
+			if f.steps >= f.fuel {
+				return f.trapAt(pc, OpStMsg, reasonFuel)
+			}
+			f.steps++
+			dst := f.env.Msg
+			if slot >= len(dst) {
+				return f.trapAt(pc, OpStMsg, reasonSlot)
+			}
+			f.sp--
+			dst[slot] = f.stack[f.sp]
+			return next
+		}, nil
+
+	case OpStGlb:
+		slot := int(in.A)
+		return func(f *cframe) int {
+			if f.steps >= f.fuel {
+				return f.trapAt(pc, OpStGlb, reasonFuel)
+			}
+			f.steps++
+			dst := f.env.Global
+			if slot >= len(dst) {
+				return f.trapAt(pc, OpStGlb, reasonSlot)
+			}
+			f.sp--
+			dst[slot] = f.stack[f.sp]
+			return next
+		}, nil
+
+	case OpALoad:
+		return func(f *cframe) int {
+			if f.steps >= f.fuel {
+				return f.trapAt(pc, OpALoad, reasonFuel)
+			}
+			f.steps++
+			f.sp--
+			idx := f.stack[f.sp]
+			h := f.stack[f.sp-1]
+			arr, reason := f.env.array(h)
+			if reason != "" {
+				return f.trapAt(pc, OpALoad, reason)
+			}
+			if idx < 0 || idx >= int64(len(arr)) {
+				return f.trapAt(pc, OpALoad, reasonArrRange)
+			}
+			f.stack[f.sp-1] = arr[idx]
+			return next
+		}, nil
+
+	case OpAStore:
+		return func(f *cframe) int {
+			if f.steps >= f.fuel {
+				return f.trapAt(pc, OpAStore, reasonFuel)
+			}
+			f.steps++
+			f.sp -= 3
+			v := f.stack[f.sp+2]
+			idx := f.stack[f.sp+1]
+			h := f.stack[f.sp]
+			arr, reason := f.env.array(h)
+			if reason != "" {
+				return f.trapAt(pc, OpAStore, reason)
+			}
+			if idx < 0 || idx >= int64(len(arr)) {
+				return f.trapAt(pc, OpAStore, reasonArrRange)
+			}
+			arr[idx] = v
+			return next
+		}, nil
+
+	case OpALen:
+		return func(f *cframe) int {
+			if f.steps >= f.fuel {
+				return f.trapAt(pc, OpALen, reasonFuel)
+			}
+			f.steps++
+			arr, reason := f.env.array(f.stack[f.sp-1])
+			if reason != "" {
+				return f.trapAt(pc, OpALen, reason)
+			}
+			f.stack[f.sp-1] = int64(len(arr))
+			return next
+		}, nil
+
+	case OpRand:
+		return func(f *cframe) int {
+			if f.steps >= f.fuel {
+				return f.trapAt(pc, OpRand, reasonFuel)
+			}
+			f.steps++
+			f.stack[f.sp] = int64(f.vm.rand(f.env) >> 1)
+			f.sp++
+			return next
+		}, nil
+
+	case OpRandRange:
+		return func(f *cframe) int {
+			if f.steps >= f.fuel {
+				return f.trapAt(pc, OpRandRange, reasonFuel)
+			}
+			f.steps++
+			bound := f.stack[f.sp-1]
+			if bound <= 0 {
+				return f.trapAt(pc, OpRandRange, reasonRandBound)
+			}
+			f.stack[f.sp-1] = int64(f.vm.rand(f.env) % uint64(bound))
+			return next
+		}, nil
+
+	case OpClock:
+		return func(f *cframe) int {
+			if f.steps >= f.fuel {
+				return f.trapAt(pc, OpClock, reasonFuel)
+			}
+			f.steps++
+			f.stack[f.sp] = f.vm.clock(f.env)
+			f.sp++
+			return next
+		}, nil
+	}
+	return nil, verifyErrf(pc, "closure backend does not support opcode %s", in.Op)
+}

@@ -1,0 +1,510 @@
+package edenvm
+
+import (
+	"errors"
+	"testing"
+)
+
+// mustAssemble compiles source or fails the test.
+func mustAssemble(t testing.TB, src string) *Program {
+	t.Helper()
+	p, err := Assemble(src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	return p
+}
+
+// envPair builds two structurally identical Envs so the interpreter and
+// the compiled backend each mutate their own copy.
+func envPair(pkt, msg, glb []int64, arrays [][]int64) (*Env, *Env) {
+	mk := func() *Env {
+		e := &Env{
+			Packet: append([]int64(nil), pkt...),
+			Msg:    append([]int64(nil), msg...),
+			Global: append([]int64(nil), glb...),
+		}
+		for _, a := range arrays {
+			e.Arrays = append(e.Arrays, append([]int64(nil), a...))
+		}
+		return e
+	}
+	return mk(), mk()
+}
+
+func sameSlices(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// runBoth executes p through the interpreter and the compiled backend
+// from identical fresh VMs (same RNG seed, same monotonic clock) and
+// asserts identical step counts, outcomes (including trap pc/op/reason)
+// and state mutations. Step equality is intentionally strict here: the
+// fused closures charge one step per constituent, so the backends agree
+// exactly — the fuzzer relaxes this, unit tests pin it.
+func runBoth(t *testing.T, p *Program, fuel int, pkt, msg, glb []int64, arrays [][]int64) (*Env, error) {
+	t.Helper()
+	c, err := Compile(p)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	ei, ec := envPair(pkt, msg, glb, arrays)
+
+	ivm, cvm := NewVM(), NewVM()
+	ivm.Fuel, cvm.Fuel = fuel, fuel
+	isteps, ierr := ivm.Run(p, ei)
+	csteps, cerr := cvm.RunCompiled(c, ec)
+
+	if isteps != csteps {
+		t.Fatalf("step divergence: interp %d, compiled %d (interp err %v, compiled err %v)", isteps, csteps, ierr, cerr)
+	}
+	var it, ct *Trap
+	if ierr != nil && !errors.As(ierr, &it) {
+		t.Fatalf("interp returned non-trap error %v", ierr)
+	}
+	if cerr != nil && !errors.As(cerr, &ct) {
+		t.Fatalf("compiled returned non-trap error %v", cerr)
+	}
+	if (it == nil) != (ct == nil) {
+		t.Fatalf("outcome divergence: interp trap %v, compiled trap %v", ierr, cerr)
+	}
+	if it != nil && *it != *ct {
+		t.Fatalf("trap divergence: interp %v, compiled %v", it, ct)
+	}
+	if !sameSlices(ei.Packet, ec.Packet) {
+		t.Fatalf("packet divergence: interp %v, compiled %v", ei.Packet, ec.Packet)
+	}
+	if !sameSlices(ei.Msg, ec.Msg) {
+		t.Fatalf("msg divergence: interp %v, compiled %v", ei.Msg, ec.Msg)
+	}
+	if !sameSlices(ei.Global, ec.Global) {
+		t.Fatalf("global divergence: interp %v, compiled %v", ei.Global, ec.Global)
+	}
+	for i := range ei.Arrays {
+		if !sameSlices(ei.Arrays[i], ec.Arrays[i]) {
+			t.Fatalf("array %d divergence: interp %v, compiled %v", i, ei.Arrays[i], ec.Arrays[i])
+		}
+	}
+	return ec, cerr
+}
+
+// piasLike is a representative match-action program: per-message byte
+// counter, threshold compare, priority store — it exercises all three
+// fused idioms (counter ALU4, guard LCB, shuffle MOVE2).
+const piasLike = `
+	.name piaslike
+	.locals 3
+	.state pkt=2 msg=2 glb=1 msgacc=rw glbacc=rw
+	ldmsg 0
+	ldpkt 0
+	add
+	stmsg 0
+	ldmsg 0
+	store 0
+	load 0
+	const 1000
+	lt
+	jz big
+	const 1
+	stpkt 1
+	halt
+big:
+	const 7
+	stpkt 1
+	ldglb 0
+	const 1
+	add
+	stglb 0
+	halt`
+
+func TestCompiledMatchesInterp(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		pkt  []int64
+		msg  []int64
+		glb  []int64
+		arr  [][]int64
+	}{
+		{name: "pias-small", src: piasLike, pkt: []int64{100, 0}, msg: []int64{0, 0}, glb: []int64{0}},
+		{name: "pias-big", src: piasLike, pkt: []int64{100, 0}, msg: []int64{950, 0}, glb: []int64{3}},
+		{name: "arith", src: `
+			.locals 2
+			.state pkt=1 msgacc=none glbacc=none
+			const 12
+			const 5
+			mod
+			const 3
+			mul
+			const 1
+			shl
+			const -1
+			xor
+			neg
+			stpkt 0
+			halt`, pkt: []int64{0}},
+		{name: "arrays", src: `
+			.locals 1
+			.state pkt=1 msgacc=none glbacc=rw glb=1
+			const 0
+			alen
+			store 0
+			const 0
+			const 1
+			ldpkt 0
+			astore
+			const 0
+			const 1
+			aload
+			stglb 0
+			halt`, pkt: []int64{42}, glb: []int64{0}, arr: [][]int64{{9, 9, 9}}},
+		{name: "rand-clock", src: `
+			.state pkt=2 msgacc=none glbacc=none
+			rand
+			stpkt 0
+			const 10
+			randrange
+			clock
+			add
+			stpkt 1
+			halt`, pkt: []int64{0, 0}},
+		{name: "calls", src: `
+			.locals 1
+			.calldepth 4
+			.state pkt=1 msgacc=none glbacc=none
+			ldpkt 0
+			store 0
+			call sub
+			call sub
+			load 0
+			stpkt 0
+			halt
+		sub:
+			load 0
+			const 2
+			mul
+			store 0
+			ret`, pkt: []int64{5}},
+		{name: "stack-ops", src: `
+			.state pkt=2 msgacc=none glbacc=none
+			const 3
+			const 4
+			swap
+			dup
+			sub
+			stpkt 0
+			pop
+			const 1
+			stpkt 1
+			halt`, pkt: []int64{0, 0}},
+		{name: "hash-guard", src: `
+			.state pkt=2 msgacc=none glbacc=none
+			ldpkt 0
+			ldpkt 1
+			hash
+			const 2
+			mod
+			jnz odd
+			const 0
+			stpkt 1
+			halt
+		odd:
+			const 1
+			stpkt 1
+			halt`, pkt: []int64{12345, 443}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := mustAssemble(t, tc.src)
+			runBoth(t, p, 0, tc.pkt, tc.msg, tc.glb, tc.arr)
+		})
+	}
+}
+
+func TestCompiledFusesIdioms(t *testing.T) {
+	p := mustAssemble(t, piasLike)
+	c, err := Compile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The program opens with ldmsg/ldpkt/add/stmsg (ALU4), guards with
+	// load/const/lt/jz (LCB) and shuffles const/stpkt (MOVE2); at least
+	// one of each must fuse.
+	if c.Fused() < 3 {
+		t.Fatalf("expected >=3 superinstructions in pias-like program, fused %d", c.Fused())
+	}
+	if c.Program() != p {
+		t.Fatalf("Program() does not round-trip")
+	}
+}
+
+// TestBranchIntoFusedSequence pins the fusion rule that only sequence
+// entry slots are rewritten: a branch target in the middle of a fused
+// run must execute the original single-op closures.
+func TestBranchIntoFusedSequence(t *testing.T) {
+	src := `
+	.state pkt=3 msgacc=none glbacc=none
+	ldpkt 1
+	jz direct
+	ldpkt 0
+	jmp mid
+direct:
+	ldpkt 0
+mid:
+	const 5
+	lt
+	jz big
+	const 1
+	stpkt 2
+	halt
+big:
+	const 2
+	stpkt 2
+	halt`
+	p := mustAssemble(t, src)
+	c, err := Compile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Fused() == 0 {
+		t.Fatalf("expected the direct-path LCB to fuse")
+	}
+	for _, pkt0 := range []int64{3, 7} {
+		for _, sel := range []int64{0, 1} {
+			env, _ := runBoth(t, p, 0, []int64{pkt0, sel, 0}, nil, nil, nil)
+			want := int64(1)
+			if pkt0 >= 5 {
+				want = 2
+			}
+			if env.Packet[2] != want {
+				t.Fatalf("pkt0=%d sel=%d: got class %d, want %d", pkt0, sel, env.Packet[2], want)
+			}
+		}
+	}
+}
+
+// TestCompiledFuelBoundary sweeps the fuel budget across every possible
+// mid-sequence cut of a heavily fused program and asserts the two
+// backends agree on steps, trap pc and trap reason at each one.
+func TestCompiledFuelBoundary(t *testing.T) {
+	p := mustAssemble(t, piasLike)
+	// Full run needs ~16 steps; sweep well past it.
+	for fuel := 1; fuel <= 24; fuel++ {
+		runBoth(t, p, fuel, []int64{100, 0}, []int64{950, 0}, []int64{3}, nil)
+	}
+}
+
+// TestCompiledDynamicTraps drives traps out of the middle of fused
+// sequences: division by zero in an ALU4, and a state vector shorter
+// than the program's declaration (legal per-invocation) in loads and
+// stores. Both backends must trap identically with no state mutation.
+func TestCompiledDynamicTraps(t *testing.T) {
+	t.Run("div-zero-in-alu4", func(t *testing.T) {
+		p := mustAssemble(t, `
+			.state pkt=2 msgacc=none glbacc=rw glb=1
+			ldglb 0
+			ldpkt 0
+			div
+			stglb 0
+			halt`)
+		env, err := runBoth(t, p, 0, []int64{0, 0}, nil, []int64{100}, nil)
+		var trap *Trap
+		if !errors.As(err, &trap) || trap.Reason != "division by zero" || trap.PC != 2 {
+			t.Fatalf("want division-by-zero trap at pc 2, got %v", err)
+		}
+		if env.Global[0] != 100 {
+			t.Fatalf("trapped invocation mutated global state: %v", env.Global)
+		}
+	})
+	t.Run("short-state-vector", func(t *testing.T) {
+		p := mustAssemble(t, `
+			.state pkt=1 msgacc=none glbacc=rw glb=4
+			ldglb 3
+			stglb 2
+			halt`)
+		// Declared glb=4, but this invocation only provides 1 slot.
+		_, err := runBoth(t, p, 0, []int64{0}, nil, []int64{5}, nil)
+		var trap *Trap
+		if !errors.As(err, &trap) || trap.Reason != "state slot out of range for this invocation" || trap.PC != 0 {
+			t.Fatalf("want slot trap at pc 0, got %v", err)
+		}
+	})
+	t.Run("call-depth", func(t *testing.T) {
+		p := mustAssemble(t, `
+			.calldepth 2
+			.state pkt=1 msgacc=none glbacc=none
+		rec:
+			call rec
+			halt`)
+		_, err := runBoth(t, p, 0, []int64{0}, nil, nil, nil)
+		var trap *Trap
+		if !errors.As(err, &trap) || trap.Reason != "call stack overflow" {
+			t.Fatalf("want call stack overflow, got %v", err)
+		}
+	})
+}
+
+// TestRunTrapsUseProgramLimits is the regression test for the pooled-VM
+// determinism fix: overflow traps must be bounded by the running
+// program's own verified limits, not by slice capacity left behind by a
+// larger program that previously ran on the same VM.
+func TestRunTrapsUseProgramLimits(t *testing.T) {
+	big := mustAssemble(t, `
+		.calldepth 8
+		.state pkt=1 msgacc=none glbacc=none
+		const 1
+		const 2
+		const 3
+		const 4
+		const 5
+		const 6
+		add
+		add
+		add
+		add
+		add
+		stpkt 0
+		call noop
+		halt
+	noop:
+		ret`)
+
+	// Unverified on purpose: Run is the backstop for bytecode that dodged
+	// verification, and its traps must key off the declared limits.
+	overStack := &Program{
+		Name:     "overstack",
+		Code:     []Instr{{Op: OpConst, A: 1}, {Op: OpConst, A: 2}, {Op: OpHalt}},
+		MaxStack: 1,
+	}
+	overCalls := &Program{
+		Name:         "overcalls",
+		Code:         []Instr{{Op: OpCall, A: 0}, {Op: OpHalt}},
+		MaxStack:     1,
+		MaxCallDepth: 1,
+	}
+
+	check := func(t *testing.T, vm *VM) {
+		t.Helper()
+		env := &Env{Packet: make([]int64, 1)}
+		steps, err := vm.Run(overStack, env)
+		var trap *Trap
+		if !errors.As(err, &trap) || trap.Reason != "operand stack overflow" || trap.PC != 1 || steps != 2 {
+			t.Fatalf("overstack: want overflow trap at pc 1 steps 2, got steps=%d err=%v", steps, err)
+		}
+		steps, err = vm.Run(overCalls, env)
+		if !errors.As(err, &trap) || trap.Reason != "call stack overflow" || trap.PC != 0 || steps != 2 {
+			t.Fatalf("overcalls: want overflow trap at pc 0 steps 2, got steps=%d err=%v", steps, err)
+		}
+	}
+
+	t.Run("fresh-vm", func(t *testing.T) { check(t, NewVM()) })
+	t.Run("pre-grown-vm", func(t *testing.T) {
+		vm := NewVM()
+		if _, err := vm.Run(big, &Env{Packet: make([]int64, 1)}); err != nil {
+			t.Fatalf("big program: %v", err)
+		}
+		// Same traps, same pcs, same step counts as on a fresh VM — the
+		// capacity the big program left behind must not leak in.
+		check(t, vm)
+	})
+}
+
+// TestCompiledCallDepthIsPerProgram is the compiled-backend analogue: a
+// frame grown to depth 8 by one program must still bound the next
+// program at its own verified depth.
+func TestCompiledCallDepthIsPerProgram(t *testing.T) {
+	deep := mustAssemble(t, `
+		.calldepth 8
+		.state pkt=1 msgacc=none glbacc=none
+		call a
+		halt
+	a:
+		call b
+		ret
+	b:
+		ret`)
+	shallow := mustAssemble(t, `
+		.calldepth 2
+		.state pkt=1 msgacc=none glbacc=none
+	rec:
+		call rec
+		halt`)
+	cd, err := Compile(deep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, err := Compile(shallow)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fresh := NewVM()
+	wantSteps, wantErr := fresh.RunCompiled(cs, &Env{Packet: make([]int64, 1)})
+
+	vm := NewVM()
+	if _, err := vm.RunCompiled(cd, &Env{Packet: make([]int64, 1)}); err != nil {
+		t.Fatalf("deep program: %v", err)
+	}
+	steps, err := vm.RunCompiled(cs, &Env{Packet: make([]int64, 1)})
+	if steps != wantSteps {
+		t.Fatalf("pre-grown frame changed step count: %d vs %d", steps, wantSteps)
+	}
+	var a, b *Trap
+	if !errors.As(err, &a) || !errors.As(wantErr, &b) || *a != *b {
+		t.Fatalf("pre-grown frame changed trap: %v vs %v", err, wantErr)
+	}
+}
+
+func TestCompileRejectsUnverifiable(t *testing.T) {
+	bad := &Program{Name: "bad", Code: []Instr{{Op: OpPop}, {Op: OpHalt}}}
+	if _, err := Compile(bad); err == nil {
+		t.Fatalf("compile accepted a program that pops an empty stack")
+	}
+	if _, err := Compile(nil); err == nil {
+		t.Fatalf("compile accepted a nil program")
+	}
+}
+
+func benchProgram(b *testing.B) *Program {
+	return mustAssemble(b, piasLike)
+}
+
+func BenchmarkVMInterp(b *testing.B) {
+	p := benchProgram(b)
+	vm := NewVM()
+	env := &Env{Packet: []int64{1460, 0}, Msg: []int64{0, 0}, Global: []int64{0}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		env.Msg[0] = 0
+		if _, err := vm.Run(p, env); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkVMCompiled(b *testing.B) {
+	p := benchProgram(b)
+	c, err := Compile(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	vm := NewVM()
+	env := &Env{Packet: []int64{1460, 0}, Msg: []int64{0, 0}, Global: []int64{0}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		env.Msg[0] = 0
+		if _, err := vm.RunCompiled(c, env); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

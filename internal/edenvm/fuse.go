@@ -1,0 +1,323 @@
+package edenvm
+
+// Superinstruction fusion for the closure-threading backend. The Eden
+// compiler's output is dominated by three match-action idioms, each a
+// straight-line run of loads feeding one consumer:
+//
+//	LCB   [ld][ld][eq|ne|lt|le|gt|ge][jz|jnz]   guard / classify
+//	ALU4  [ld][ld][alu][st]                     counter update
+//	MOVE2 [ld][st]                              slot shuffle
+//
+// where [ld] is const/load/ldpkt/ldmsg/ldglb and [st] is
+// store/stpkt/stmsg/stglb. A fused closure executes the whole run with
+// one dispatch and — because every pattern is operand-stack-neutral and
+// nothing observes the stack mid-sequence — without touching the operand
+// stack at all: the intermediate values live in registers.
+//
+// Correctness invariants, matched against the interpreter instruction by
+// instruction (and enforced by FuzzDifferential):
+//
+//   - Fusion replaces only the sequence's entry slot; the constituent
+//     slots keep their single-op closures, so a branch into the middle
+//     of a fused run executes exactly the original instructions.
+//   - Fuel is charged one step per constituent. If the remaining budget
+//     cannot cover the whole run, the fused closure defers to the entry
+//     slot's original single-op closure and lets dispatch single-step
+//     through the untouched constituent slots — the fuel trap then falls
+//     out of the ordinary per-op checks with the interpreter's exact
+//     step count and trap pc.
+//   - A dynamic trap at constituent j (state slot out of range, division
+//     by zero) charges j+1 steps and reports pc entry+j with the
+//     constituent's own opcode. No pattern mutates observable state
+//     before its final constituent, so an aborted run leaves packet,
+//     message, global and array state exactly as the interpreter would.
+
+// Load/store descriptor kinds. A descriptor freezes one constituent's
+// operand source or sink at compile time.
+const (
+	lkConst = iota
+	lkLocal
+	lkPkt
+	lkMsg
+	lkGlb
+)
+
+const (
+	skLocal = iota
+	skPkt
+	skMsg
+	skGlb
+)
+
+// ldesc describes one fused load constituent.
+type ldesc struct {
+	op   Opcode // original opcode, for trap attribution
+	kind uint8
+	slot int
+	k    int64 // immediate for lkConst
+}
+
+// sdesc describes one fused store constituent.
+type sdesc struct {
+	op   Opcode
+	kind uint8
+	slot int
+}
+
+func loadDesc(in Instr) (ldesc, bool) {
+	switch in.Op {
+	case OpConst:
+		return ldesc{op: in.Op, kind: lkConst, k: in.A}, true
+	case OpLoad:
+		return ldesc{op: in.Op, kind: lkLocal, slot: int(in.A)}, true
+	case OpLdPkt:
+		return ldesc{op: in.Op, kind: lkPkt, slot: int(in.A)}, true
+	case OpLdMsg:
+		return ldesc{op: in.Op, kind: lkMsg, slot: int(in.A)}, true
+	case OpLdGlb:
+		return ldesc{op: in.Op, kind: lkGlb, slot: int(in.A)}, true
+	}
+	return ldesc{}, false
+}
+
+func storeDesc(in Instr) (sdesc, bool) {
+	switch in.Op {
+	case OpStore:
+		return sdesc{op: in.Op, kind: skLocal, slot: int(in.A)}, true
+	case OpStPkt:
+		return sdesc{op: in.Op, kind: skPkt, slot: int(in.A)}, true
+	case OpStMsg:
+		return sdesc{op: in.Op, kind: skMsg, slot: int(in.A)}, true
+	case OpStGlb:
+		return sdesc{op: in.Op, kind: skGlb, slot: int(in.A)}, true
+	}
+	return sdesc{}, false
+}
+
+func isCmp(op Opcode) bool {
+	switch op {
+	case OpEq, OpNe, OpLt, OpLe, OpGt, OpGe:
+		return true
+	}
+	return false
+}
+
+func isALU(op Opcode) bool {
+	switch op {
+	case OpAdd, OpSub, OpMul, OpDiv, OpMod, OpAnd, OpOr, OpXor, OpShl, OpShr, OpHash:
+		return true
+	}
+	return false
+}
+
+// fusedLoad evaluates a load descriptor. A non-empty reason is the trap
+// the equivalent single instruction would raise.
+func fusedLoad(f *cframe, d *ldesc) (int64, string) {
+	switch d.kind {
+	case lkConst:
+		return d.k, ""
+	case lkLocal:
+		return f.locals[d.slot], ""
+	case lkPkt:
+		if d.slot >= len(f.env.Packet) {
+			return 0, reasonSlot
+		}
+		return f.env.Packet[d.slot], ""
+	case lkMsg:
+		if d.slot >= len(f.env.Msg) {
+			return 0, reasonSlot
+		}
+		return f.env.Msg[d.slot], ""
+	default: // lkGlb
+		if d.slot >= len(f.env.Global) {
+			return 0, reasonSlot
+		}
+		return f.env.Global[d.slot], ""
+	}
+}
+
+// fusedStore evaluates a store descriptor; a non-empty reason traps.
+func fusedStore(f *cframe, d *sdesc, v int64) string {
+	switch d.kind {
+	case skLocal:
+		f.locals[d.slot] = v
+		return ""
+	case skPkt:
+		if d.slot >= len(f.env.Packet) {
+			return reasonSlot
+		}
+		f.env.Packet[d.slot] = v
+		return ""
+	case skMsg:
+		if d.slot >= len(f.env.Msg) {
+			return reasonSlot
+		}
+		f.env.Msg[d.slot] = v
+		return ""
+	default: // skGlb
+		if d.slot >= len(f.env.Global) {
+			return reasonSlot
+		}
+		f.env.Global[d.slot] = v
+		return ""
+	}
+}
+
+func cmpEval(op Opcode, a, b int64) bool {
+	switch op {
+	case OpEq:
+		return a == b
+	case OpNe:
+		return a != b
+	case OpLt:
+		return a < b
+	case OpLe:
+		return a <= b
+	case OpGt:
+		return a > b
+	default: // OpGe
+		return a >= b
+	}
+}
+
+func aluEval(op Opcode, a, b int64) (int64, string) {
+	switch op {
+	case OpAdd:
+		return a + b, ""
+	case OpSub:
+		return a - b, ""
+	case OpMul:
+		return a * b, ""
+	case OpDiv:
+		if b == 0 {
+			return 0, reasonDivZero
+		}
+		return a / b, ""
+	case OpMod:
+		if b == 0 {
+			return 0, reasonModZero
+		}
+		return a % b, ""
+	case OpAnd:
+		return a & b, ""
+	case OpOr:
+		return a | b, ""
+	case OpXor:
+		return a ^ b, ""
+	case OpShl:
+		return a << (uint64(b) & 63), ""
+	case OpShr:
+		return a >> (uint64(b) & 63), ""
+	default: // OpHash
+		return mix64(a, b), ""
+	}
+}
+
+// fuseAt tries the patterns at pc, longest first, and returns the fused
+// closure for the entry slot or nil. orig is the entry slot's single-op
+// closure, kept as the exact-fuel fallback path.
+func fuseAt(p *Program, pc int, orig cop) cop {
+	code := p.Code
+	l1, ok := loadDesc(code[pc])
+	if !ok {
+		return nil
+	}
+	if pc+3 < len(code) {
+		if l2, ok2 := loadDesc(code[pc+1]); ok2 {
+			op3 := code[pc+2].Op
+			if isCmp(op3) {
+				if br := code[pc+3]; br.Op == OpJz || br.Op == OpJnz {
+					return fuseLCB(pc, orig, l1, l2, op3, br.Op == OpJnz, int(br.A))
+				}
+			}
+			if isALU(op3) {
+				if st, okst := storeDesc(code[pc+3]); okst {
+					return fuseALU4(pc, orig, l1, l2, op3, st)
+				}
+			}
+		}
+	}
+	if pc+1 < len(code) {
+		if st, ok2 := storeDesc(code[pc+1]); ok2 {
+			return fuseMOVE2(pc, orig, l1, st)
+		}
+	}
+	return nil
+}
+
+// fuseLCB fuses load-load-compare-branch: the classifier/guard idiom.
+func fuseLCB(entry int, orig cop, l1, l2 ldesc, cmp Opcode, jnz bool, target int) cop {
+	next := entry + 4
+	return func(f *cframe) int {
+		if f.steps+4 > f.fuel {
+			return orig(f) // single-step the run; exact fuel trap falls out
+		}
+		a, r := fusedLoad(f, &l1)
+		if r != "" {
+			f.steps++
+			return f.trapAt(entry, l1.op, r)
+		}
+		b, r2 := fusedLoad(f, &l2)
+		if r2 != "" {
+			f.steps += 2
+			return f.trapAt(entry+1, l2.op, r2)
+		}
+		f.steps += 4
+		if cmpEval(cmp, a, b) == jnz {
+			return target
+		}
+		return next
+	}
+}
+
+// fuseALU4 fuses load-load-alu-store: the counter-update idiom.
+func fuseALU4(entry int, orig cop, l1, l2 ldesc, alu Opcode, st sdesc) cop {
+	next := entry + 4
+	return func(f *cframe) int {
+		if f.steps+4 > f.fuel {
+			return orig(f)
+		}
+		a, r := fusedLoad(f, &l1)
+		if r != "" {
+			f.steps++
+			return f.trapAt(entry, l1.op, r)
+		}
+		b, r2 := fusedLoad(f, &l2)
+		if r2 != "" {
+			f.steps += 2
+			return f.trapAt(entry+1, l2.op, r2)
+		}
+		v, r3 := aluEval(alu, a, b)
+		if r3 != "" {
+			f.steps += 3
+			return f.trapAt(entry+2, alu, r3)
+		}
+		if r4 := fusedStore(f, &st, v); r4 != "" {
+			f.steps += 4
+			return f.trapAt(entry+3, st.op, r4)
+		}
+		f.steps += 4
+		return next
+	}
+}
+
+// fuseMOVE2 fuses load-store: the slot-shuffle idiom.
+func fuseMOVE2(entry int, orig cop, l1 ldesc, st sdesc) cop {
+	next := entry + 2
+	return func(f *cframe) int {
+		if f.steps+2 > f.fuel {
+			return orig(f)
+		}
+		v, r := fusedLoad(f, &l1)
+		if r != "" {
+			f.steps++
+			return f.trapAt(entry, l1.op, r)
+		}
+		if r2 := fusedStore(f, &st, v); r2 != "" {
+			f.steps += 2
+			return f.trapAt(entry+1, st.op, r2)
+		}
+		f.steps += 2
+		return next
+	}
+}

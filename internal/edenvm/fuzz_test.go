@@ -1,6 +1,10 @@
 package edenvm
 
-import "testing"
+import (
+	"errors"
+	"reflect"
+	"testing"
+)
 
 // FuzzLoad drives the wire decoder, verifier and interpreter with
 // arbitrary bytes: nothing the controller could ship — malicious or
@@ -49,5 +53,161 @@ func FuzzLoad(f *testing.F) {
 			Arrays: [][]int64{{1, 2, 3}, {}},
 		}
 		_, _ = vm.Run(p, env)
+	})
+}
+
+// fuzzEnv builds one backend's environment for FuzzDifferential: state
+// vectors sized for the program, seeded deterministically so both
+// backends start identical, and a private copy of the array pool.
+func fuzzEnv(p *Program) *Env {
+	env := &Env{
+		Packet: make([]int64, p.State.PacketFields),
+		Msg:    make([]int64, p.State.MsgFields),
+		Global: make([]int64, p.State.GlobalFields),
+		Arrays: [][]int64{{1, 2, 3, 4}, {}, {9}},
+	}
+	for i := range env.Packet {
+		env.Packet[i] = int64(i + 1)
+	}
+	for i := range env.Msg {
+		env.Msg[i] = int64(-i)
+	}
+	for i := range env.Global {
+		env.Global[i] = int64(i * 3)
+	}
+	return env
+}
+
+// FuzzDifferential cross-checks the two execution backends: any program
+// the controller could ship runs through both the interpreter and the
+// closure-compiled form from identical environments, and the observable
+// results must agree — halt-vs-trap outcome, the trap itself when both
+// trap, and every state mutation (packet, message, global and array
+// pool). Fresh NewVM pairs share the default RNG seed and clock counter,
+// so rand/clock-using programs stay comparable. The fused fast path
+// charges one fuel step per constituent op, so step counts (and hence
+// fuel-trap boundaries) also match exactly; the fuel sweep in
+// TestCompiledFuelBoundary pins that per-pattern, and asserting the trap
+// here keeps the fuzzer sensitive to fuel-accounting drift.
+func FuzzDifferential(f *testing.F) {
+	for _, src := range []string{
+		`
+		.name pias
+		.locals 1
+		.state pkt=3 msg=2 glb=4 msgacc=rw glbacc=rw
+		ldpkt 0
+		ldmsg 0
+		add
+		stmsg 0
+		ldmsg 0
+		const 1000
+		lt
+		jnz small
+		ldglb 1
+		const 1
+		add
+		stglb 1
+		const 7
+		stpkt 1
+		halt
+	small:
+		const 3
+		stpkt 1
+		halt`,
+		`
+		.name loops
+		.locals 2
+		.state pkt=2 msg=2 glb=2 msgacc=rw glbacc=rw
+		ldpkt 0
+		store 0
+	loop:
+		load 0
+		jz done
+		load 0
+		const 1
+		sub
+		store 0
+		jmp loop
+	done:
+		const 3
+		randrange
+		stmsg 0
+		clock
+		stglb 0
+		halt`,
+		`
+		.name arrays
+		.locals 1
+		.state pkt=2 msg=1 glb=2 msgacc=rw glbacc=rw
+		const 0
+		const 2
+		aload
+		stglb 0
+		const 0
+		const 1
+		ldpkt 1
+		astore
+		ldglb 1
+		const 0
+		div
+		stglb 1
+		halt`,
+	} {
+		p, err := Assemble(src)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(p.Encode())
+	}
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, wire []byte) {
+		p, err := Load(wire)
+		if err != nil {
+			return
+		}
+		c, err := Compile(p)
+		if err != nil {
+			// Load verified the program, so the closure backend must
+			// accept it too — a compile failure here is a backend gap the
+			// enclave would silently paper over with its fallback.
+			t.Fatalf("verified program failed to compile: %v", err)
+		}
+
+		const fuel = 4096
+		ivm, cvm := NewVM(), NewVM() // identical RNG seed and clock counter
+		ivm.Fuel, cvm.Fuel = fuel, fuel
+		ienv, cenv := fuzzEnv(p), fuzzEnv(p)
+
+		_, ierr := ivm.Run(p, ienv)
+		_, cerr := cvm.RunCompiled(c, cenv)
+
+		if (ierr == nil) != (cerr == nil) {
+			t.Fatalf("outcome diverged: interp err=%v, compiled err=%v", ierr, cerr)
+		}
+		if ierr != nil {
+			var it, ct *Trap
+			if !errors.As(ierr, &it) || !errors.As(cerr, &ct) {
+				t.Fatalf("non-trap errors: interp %v, compiled %v", ierr, cerr)
+			}
+			if *it != *ct {
+				t.Fatalf("traps diverged: interp %+v, compiled %+v", *it, *ct)
+			}
+		}
+		for _, s := range []struct {
+			name       string
+			ivec, cvec []int64
+		}{
+			{"packet", ienv.Packet, cenv.Packet},
+			{"msg", ienv.Msg, cenv.Msg},
+			{"global", ienv.Global, cenv.Global},
+		} {
+			if !reflect.DeepEqual(s.ivec, s.cvec) {
+				t.Fatalf("%s state diverged: interp %v, compiled %v", s.name, s.ivec, s.cvec)
+			}
+		}
+		if !reflect.DeepEqual(ienv.Arrays, cenv.Arrays) {
+			t.Fatalf("array pool diverged: interp %v, compiled %v", ienv.Arrays, cenv.Arrays)
+		}
 	})
 }

@@ -53,6 +53,9 @@ type VM struct {
 	stack  []int64
 	calls  []int
 	locals []int64
+	// cf is the frame the closure-threading backend (RunCompiled) executes
+	// in; kept here so both backends share the VM-per-worker reuse model.
+	cf cframe
 	// rngState backs the default RNG when Env.Rand is nil.
 	rngState uint64
 	// clockState backs the default clock when Env.Clock is nil.
@@ -89,11 +92,18 @@ func (vm *VM) Seed(seed uint64) {
 // Run interprets the program against env. It returns the number of
 // instructions executed, or a *Trap error if execution was terminated.
 func (vm *VM) Run(p *Program, env *Env) (int, error) {
-	if need := p.MaxStack + 2; cap(vm.stack) < need {
-		vm.stack = make([]int64, 0, need)
+	// Overflow traps are bounded by the *program's own* verified limits,
+	// never by the backing slices' capacity: VMs are pooled and reused, so
+	// capacity is a high-water mark of whichever larger program ran before
+	// — trapping against it would make an over-limit program's fate depend
+	// on pool history instead of on its own declaration.
+	maxStack := p.MaxStack
+	maxCalls := p.MaxCallDepth
+	if cap(vm.stack) < maxStack {
+		vm.stack = make([]int64, 0, maxStack)
 	}
-	if need := p.MaxCallDepth; cap(vm.calls) < need {
-		vm.calls = make([]int, 0, need)
+	if cap(vm.calls) < maxCalls {
+		vm.calls = make([]int, 0, maxCalls)
 	}
 	if len(vm.locals) < p.NumLocals {
 		vm.locals = make([]int64, p.NumLocals)
@@ -137,13 +147,13 @@ func (vm *VM) Run(p *Program, env *Env) (int, error) {
 			// nothing
 
 		case OpConst:
-			if len(stack) >= cap(stack) {
+			if len(stack) >= maxStack {
 				return trap("operand stack overflow")
 			}
 			stack = append(stack, in.A)
 
 		case OpLoad:
-			if len(stack) >= cap(stack) {
+			if len(stack) >= maxStack {
 				return trap("operand stack overflow")
 			}
 			stack = append(stack, locals[in.A])
@@ -247,7 +257,7 @@ func (vm *VM) Run(p *Program, env *Env) (int, error) {
 			}
 
 		case OpCall:
-			if len(calls) >= cap(calls) {
+			if len(calls) >= maxCalls {
 				return trap("call stack overflow")
 			}
 			calls = append(calls, pc+1)
@@ -277,7 +287,7 @@ func (vm *VM) Run(p *Program, env *Env) (int, error) {
 			if len(stack) == 0 {
 				return trap("operand stack underflow")
 			}
-			if len(stack) >= cap(stack) {
+			if len(stack) >= maxStack {
 				return trap("operand stack overflow")
 			}
 			stack = append(stack, stack[len(stack)-1])
@@ -302,7 +312,7 @@ func (vm *VM) Run(p *Program, env *Env) (int, error) {
 			if int(in.A) >= len(src) {
 				return trap("state slot out of range for this invocation")
 			}
-			if len(stack) >= cap(stack) {
+			if len(stack) >= maxStack {
 				return trap("operand stack overflow")
 			}
 			stack = append(stack, src[in.A])
@@ -370,7 +380,7 @@ func (vm *VM) Run(p *Program, env *Env) (int, error) {
 			stack[len(stack)-1] = int64(len(arr))
 
 		case OpRand:
-			if len(stack) >= cap(stack) {
+			if len(stack) >= maxStack {
 				return trap("operand stack overflow")
 			}
 			stack = append(stack, int64(vm.rand(env)>>1))
@@ -386,7 +396,7 @@ func (vm *VM) Run(p *Program, env *Env) (int, error) {
 			stack[len(stack)-1] = int64(vm.rand(env) % uint64(bound))
 
 		case OpClock:
-			if len(stack) >= cap(stack) {
+			if len(stack) >= maxStack {
 				return trap("operand stack overflow")
 			}
 			stack = append(stack, vm.clock(env))

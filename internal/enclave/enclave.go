@@ -86,6 +86,10 @@ type Config struct {
 	// Fuel bounds instructions per invocation; 0 means the interpreter
 	// default.
 	Fuel int
+	// VM selects the bytecode execution backend (closure-compiled vs
+	// interpreted). VMDefault defers to the package default, which is
+	// VMCompiled unless overridden with SetDefaultVM.
+	VM VMBackend
 	// MaxMessages is the target live-flow count the flow-state engine
 	// sizes for (shard count) and the backstop capacity beyond which the
 	// idlest sampled entry is evicted; it also caps tracked per-message
@@ -131,6 +135,12 @@ type counters struct {
 	queueMisconfig *metrics.Counter
 	instructions   *metrics.Counter
 	flowEvictions  *metrics.Counter
+	// VM backend split: which backend ran each invocation, and how many
+	// installed functions fell back to the interpreter because their
+	// bytecode did not compile.
+	compiledInvocations *metrics.Counter
+	interpInvocations   *metrics.Counter
+	compileFallbacks    *metrics.Counter
 	// Flow-state engine metrics: live tracked flows, idle reclamation by
 	// the sweeper (flow entries and per-function message entries),
 	// capacity evictions of per-function message state, and sweep passes.
@@ -179,6 +189,11 @@ type Enclave struct {
 	queueMu     sync.Mutex
 	queues      []*qos.Queue
 	queueMeters []queueMeter
+
+	// vmCompiled is the backend resolved from Config.VM at creation:
+	// true runs closure-compiled programs (with per-function interpreter
+	// fallback), false forces the interpreter. Immutable after New.
+	vmCompiled bool
 
 	flows    *FlowClassifier
 	flowIDs  flowEngine
@@ -229,15 +244,18 @@ func New(cfg Config) *Enclave {
 		flows: NewFlowClassifier(),
 		reg:   reg,
 		stats: counters{
-			packets:        reg.Counter("packets"),
-			matched:        reg.Counter("matched"),
-			invocations:    reg.Counter("invocations"),
-			traps:          reg.Counter("traps"),
-			drops:          reg.Counter("drops"),
-			queueDrops:     reg.Counter("queue_drops"),
-			queueMisconfig: reg.Counter("queue_misconfig"),
-			instructions:   reg.Counter("instructions"),
-			flowEvictions:  reg.Counter("flow_evictions"),
+			packets:             reg.Counter("packets"),
+			matched:             reg.Counter("matched"),
+			invocations:         reg.Counter("invocations"),
+			traps:               reg.Counter("traps"),
+			drops:               reg.Counter("drops"),
+			queueDrops:          reg.Counter("queue_drops"),
+			queueMisconfig:      reg.Counter("queue_misconfig"),
+			instructions:        reg.Counter("instructions"),
+			flowEvictions:       reg.Counter("flow_evictions"),
+			compiledInvocations: reg.Counter("compiled_invocations"),
+			interpInvocations:   reg.Counter("interp_invocations"),
+			compileFallbacks:    reg.Counter("compile_fallbacks"),
 			// flowLive tracks engine occupancy; the reclaim counters split
 			// sweeper reclamation (flows vs per-function message entries)
 			// from capacity eviction (flow_evictions, func_msg_evictions).
@@ -257,6 +275,7 @@ func New(cfg Config) *Enclave {
 	}
 	e.spans = telemetry.NewRecorder(0)
 	e.component = regName
+	e.vmCompiled = resolveVM(cfg.VM) == VMCompiled
 	e.pipe.Store(emptyPipeline())
 	e.epochs = qos.NewEpochSweep(cfg.IdleTimeout)
 	e.flowIDs.init(cfg.MaxMessages)
@@ -285,6 +304,14 @@ func (e *Enclave) Platform() string { return e.cfg.Platform }
 // always run interpreted.
 func (e *Enclave) SetMode(m Mode) {
 	e.mode.Store(int32(m))
+}
+
+// VM returns the bytecode backend this enclave resolved at creation.
+func (e *Enclave) VM() VMBackend {
+	if e.vmCompiled {
+		return VMCompiled
+	}
+	return VMInterp
 }
 
 // Generation returns the generation number of the currently published
@@ -629,11 +656,16 @@ func (e *Enclave) EndFlow(key packet.FlowKey) {
 	sh := e.flowIDs.shard(key)
 	sh.mu.Lock()
 	ent, ok := sh.ids[key]
-	delete(sh.ids, key)
+	var id uint64
+	if ok {
+		delete(sh.ids, key)
+		id = ent.id
+		sh.put(ent)
+	}
 	sh.mu.Unlock()
 	if ok {
 		e.stats.flowLive.Set(e.flowIDs.count.Add(-1))
-		e.endMessageAll(ent.id)
+		e.endMessageAll(id)
 	}
 }
 

@@ -24,6 +24,14 @@ import (
 //   - sizing: the shard count is derived from the MaxMessages hint, so a
 //     target of a million flows gets hundreds of independently locked
 //     shards and the per-shard maps stay at a few thousand entries.
+//
+// Removed entries are recycled through a bounded per-shard freelist, so
+// steady-state churn (insert/reclaim cycling at the flow target) stops
+// allocating a fresh entry per insert. Recycling is safe because every
+// dereference of a *flowEntry happens under its shard's lock: a remover
+// holding the write lock knows no reader still holds the pointer, and an
+// entry can only be found again — possibly rewritten for a new flow —
+// through the map, under the lock.
 
 // flowShardTarget is the intended number of entries per shard at the
 // configured flow target; the shard count grows (in powers of two) until
@@ -46,9 +54,11 @@ const (
 	evictSampleShards  = 8
 )
 
-// flowEntry is one tracked flow. The id is immutable; touched is the
-// qos.EpochSweep stamp of the last packet, written on the hit path with
-// only the shard read lock held (hence atomic).
+// flowEntry is one tracked flow. The id only changes when a recycled
+// entry is rewritten for a new flow, under the shard write lock while
+// the entry is out of the map; touched is the qos.EpochSweep stamp of
+// the last packet, written on the hit path with only the shard read lock
+// held (hence atomic).
 type flowEntry struct {
 	id      uint64
 	touched atomic.Int64
@@ -60,7 +70,32 @@ type flowEntry struct {
 type flowShard struct {
 	mu  sync.RWMutex
 	ids map[packet.FlowKey]*flowEntry
-	_   [32]byte
+	// free recycles removed entries (bounded at flowShardTarget, the
+	// shard's intended steady-state size). Guarded by mu (write lock).
+	free []*flowEntry
+	_    [32]byte
+}
+
+// put recycles an entry just removed from the map. The caller must hold
+// the shard write lock and must have captured ent.id first: a later get
+// rewrites the entry for a different flow.
+func (sh *flowShard) put(ent *flowEntry) {
+	if len(sh.free) < flowShardTarget {
+		sh.free = append(sh.free, ent)
+	}
+}
+
+// get pops a recycled entry, or allocates one. The caller must hold the
+// shard write lock and must overwrite both fields before publishing the
+// entry in the map.
+func (sh *flowShard) get() *flowEntry {
+	if n := len(sh.free); n > 0 {
+		ent := sh.free[n-1]
+		sh.free[n-1] = nil
+		sh.free = sh.free[:n-1]
+		return ent
+	}
+	return &flowEntry{}
 }
 
 // flowEngine is the sharded flow→message-ID table. The per-packet path
@@ -114,28 +149,36 @@ func (m *flowEngine) shard(k packet.FlowKey) *flowShard {
 // table overflows the MaxMessages backstop, the idlest sampled entry other
 // than the one just inserted is evicted and its per-function message state
 // released immediately.
+//
+// The stamp refresh and the id read stay inside the locked sections:
+// once the lock is dropped a concurrent remover may recycle the entry
+// for another flow.
 func (e *Enclave) flowMessageID(pkt *packet.Packet, now int64) uint64 {
 	key := pkt.Flow()
 	stamp := e.epochs.Epoch(now)
 	sh := e.flowIDs.shard(key)
 	sh.mu.RLock()
-	ent, ok := sh.ids[key]
+	if ent, ok := sh.ids[key]; ok {
+		if ent.touched.Load() != stamp {
+			ent.touched.Store(stamp)
+		}
+		id := ent.id
+		sh.mu.RUnlock()
+		return id
+	}
 	sh.mu.RUnlock()
-	if ok {
-		if ent.touched.Load() != stamp {
-			ent.touched.Store(stamp)
-		}
-		return ent.id
-	}
 	sh.mu.Lock()
-	if ent, ok = sh.ids[key]; ok {
-		sh.mu.Unlock()
+	if ent, ok := sh.ids[key]; ok {
 		if ent.touched.Load() != stamp {
 			ent.touched.Store(stamp)
 		}
-		return ent.id
+		id := ent.id
+		sh.mu.Unlock()
+		return id
 	}
-	ent = &flowEntry{id: e.flowIDs.nextMsg.Add(1) | 1<<63} // distinguish enclave-assigned ids
+	ent := sh.get()
+	id := e.flowIDs.nextMsg.Add(1) | 1<<63 // distinguish enclave-assigned ids
+	ent.id = id
 	ent.touched.Store(stamp)
 	sh.ids[key] = ent
 	total := e.flowIDs.count.Add(1)
@@ -144,7 +187,7 @@ func (e *Enclave) flowMessageID(pkt *packet.Packet, now int64) uint64 {
 	if total > int64(e.cfg.MaxMessages) {
 		e.evictIdleFlow(key)
 	}
-	return ent.id
+	return id
 }
 
 // evictIdleFlow removes the tracked flow with the oldest touch stamp among
@@ -193,15 +236,18 @@ func (e *Enclave) evictIdleFlow(keep packet.FlowKey) {
 	}
 	victimShard.mu.Lock()
 	ent, ok := victimShard.ids[victimKey]
+	var victimID uint64
 	if ok {
 		delete(victimShard.ids, victimKey)
+		victimID = ent.id
+		victimShard.put(ent)
 	}
 	victimShard.mu.Unlock()
 	if !ok {
 		return // lost a race with EndFlow or the sweeper; pressure is gone
 	}
 	e.stats.flowLive.Set(m.count.Add(-1))
-	e.endMessageAll(ent.id)
+	e.endMessageAll(victimID)
 	e.stats.flowEvictions.Add(1)
 }
 
@@ -266,6 +312,7 @@ func (e *Enclave) SweepIdle(now int64) SweepStats {
 			if e.epochs.Idle(ent.touched.Load(), now) {
 				delete(sh.ids, k)
 				reclaimed = append(reclaimed, ent.id)
+				sh.put(ent)
 			}
 		}
 		sh.mu.Unlock()

@@ -243,6 +243,31 @@ func TestFlowHitPathZeroAllocs(t *testing.T) {
 	}
 }
 
+// Steady-state churn — a flow is tracked, ends, and a fresh flow takes
+// its place — must recycle entries through the shard freelists instead
+// of allocating one per insert. The first cycle per shard allocates (the
+// entry and the map cell); after priming, inserts must be alloc-free.
+func TestFlowChurnRecyclesEntries(t *testing.T) {
+	var now int64
+	e := New(Config{Name: "x", Clock: func() int64 { return now }, IdleTimeout: 1000})
+
+	p := flowPkt(0)
+	i := 0
+	churn := func() {
+		i++
+		p.IP.Src = 0x0a000000 + uint32(i%512)
+		p.TCPHdr.SrcPort = uint16(30000 + i%512)
+		e.flowMessageID(p, now)
+		e.EndFlow(p.Flow())
+	}
+	for j := 0; j < 1024; j++ {
+		churn() // prime the freelists and map cells
+	}
+	if allocs := testing.AllocsPerRun(2000, churn); allocs > 0 {
+		t.Errorf("steady-state churn allocates %.2f allocs/insert, want 0", allocs)
+	}
+}
+
 // Concurrent create/evict/expire against control-plane pipeline swaps:
 // run under -race. Workers hammer Process with a mix of fresh and hot
 // flows while one goroutine ends flows, one sweeps with advancing time,

@@ -30,6 +30,12 @@ type NativeFunc func(pkt *packet.Packet, msg []int64, globals []int64, arrays []
 // atomics because the data path reads it without any enclave-wide lock.
 type installedFunc struct {
 	fn *compiler.Func
+	// compiled is the closure-threaded form of fn.Prog, built once at
+	// install time (commit path, under Enclave.mu) so the data path never
+	// compiles. nil when the program uses something the closure backend
+	// does not support — those invocations fall back to the interpreter.
+	// Immutable after install.
+	compiled *edenvm.Compiled
 	// native is atomic because AttachNative may race the lock-free data
 	// path.
 	native atomic.Pointer[NativeFunc]
@@ -108,6 +114,15 @@ func (e *Enclave) newInstalledFunc(fn *compiler.Func) *installedFunc {
 		allMsgEvictions: e.stats.funcMsgEvictions,
 	}
 	copy(inst.globals, fn.GlobalDefaults)
+	// Compile regardless of the enclave's selected backend: the cost is
+	// control-plane time (install already verifies the bytecode), and the
+	// fallback counter then reflects program compilability, not backend
+	// selection.
+	if c, err := edenvm.Compile(fn.Prog); err == nil {
+		inst.compiled = c
+	} else {
+		e.stats.compileFallbacks.Add(1)
+	}
 	return inst
 }
 
@@ -402,7 +417,15 @@ func (e *Enclave) invokeWith(f *installedFunc, pkt *packet.Packet, now int64, mo
 		if e.interpNs != nil {
 			t0 = e.cfg.WallClock()
 		}
-		steps, err := vs.vm.Run(f.fn.Prog, env)
+		var steps int
+		var err error
+		if c := f.compiled; c != nil && e.vmCompiled {
+			steps, err = vs.vm.RunCompiled(c, env)
+			e.stats.compiledInvocations.Add(1)
+		} else {
+			steps, err = vs.vm.Run(f.fn.Prog, env)
+			e.stats.interpInvocations.Add(1)
+		}
 		if e.interpNs != nil {
 			e.interpNs.Observe(e.cfg.WallClock() - t0)
 		}

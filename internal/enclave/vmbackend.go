@@ -1,0 +1,40 @@
+package enclave
+
+import "sync/atomic"
+
+// VMBackend selects how verified bytecode executes on the data path.
+// Either way the program semantics are identical — the closure-threaded
+// backend is differentially fuzzed against the interpreter (edenvm's
+// FuzzDifferential) — so the choice is purely a performance knob.
+type VMBackend int
+
+// Backends.
+const (
+	// VMDefault defers to the package-wide default (SetDefaultVM).
+	VMDefault VMBackend = iota
+	// VMCompiled runs the closure-threaded form built once at install
+	// time (edenvm.Compile), falling back per function to the
+	// interpreter for any program the backend cannot compile.
+	VMCompiled
+	// VMInterp forces the switch-loop interpreter for every function.
+	VMInterp
+)
+
+// defaultVM backs VMDefault. Compiled is the shipped default: install
+// cost is control-plane time, and the data path only gets cheaper.
+var defaultVM atomic.Int32
+
+func init() { defaultVM.Store(int32(VMCompiled)) }
+
+// SetDefaultVM sets the backend enclaves with Config.VM == VMDefault
+// use. It applies to enclaves created after the call (benchmarks and
+// edenbench's -vm flag set it once at startup).
+func SetDefaultVM(b VMBackend) { defaultVM.Store(int32(b)) }
+
+// resolveVM maps VMDefault to the package-wide default.
+func resolveVM(b VMBackend) VMBackend {
+	if b == VMDefault {
+		return VMBackend(defaultVM.Load())
+	}
+	return b
+}

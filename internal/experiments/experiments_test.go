@@ -169,7 +169,9 @@ func TestFigure12Shape(t *testing.T) {
 		if avg < 0 || p95 < 0 {
 			t.Errorf("%s: negative overhead (%f, %f)", k, avg, p95)
 		}
-		if avg > 400 {
+		// The absolute cap only holds uninstrumented: the race detector
+		// slows the measured code 5-20x, and unevenly across components.
+		if !raceEnabled && avg > 400 {
 			t.Errorf("%s: overhead %.0f%% of line-rate budget is implausible", k, avg)
 		}
 	}

@@ -22,6 +22,10 @@ type Fig12Config struct {
 	// overheads are normalized against (the paper saturates 10 Gbps).
 	LineRateBps int64
 	PacketBytes int64
+	// VM selects the bytecode backend the "interpreter" component runs
+	// (the enclave/native baseline is backend-independent). VMDefault
+	// follows the package default, i.e. edenbench's -vm flag.
+	VM enclave.VMBackend
 }
 
 // DefaultFig12Config mirrors §5.4: overheads while saturating a 10 Gbps
@@ -85,16 +89,16 @@ func RunFig12(cfg Fig12Config) *Fig12Result {
 		},
 		// --- enclave component: full pipeline with a no-op native action.
 		func() {
-			encNative := fig12Enclave()
+			encNative := fig12Enclave(cfg.VM)
 			encNative.AttachNative("sff", func(*packet.Packet, []int64, []int64, [][]int64) {})
 			encNative.SetMode(enclave.ModeNative)
 			encSample = timePerPacket(cfg, func(pkt *packet.Packet) {
 				encNative.Process(enclave.Egress, pkt, 0)
 			})
 		},
-		// --- interpreter component: interpreted minus native no-op.
+		// --- interpreter component: bytecode execution minus native no-op.
 		func() {
-			encInterp := fig12Enclave()
+			encInterp := fig12Enclave(cfg.VM)
 			interpTotal = timePerPacket(cfg, func(pkt *packet.Packet) {
 				encInterp.Process(enclave.Egress, pkt, 0)
 			})
@@ -133,9 +137,9 @@ func apps0SearchStage() *stage.Stage {
 	return s
 }
 
-func fig12Enclave() *enclave.Enclave {
+func fig12Enclave(vm enclave.VMBackend) *enclave.Enclave {
 	var now int64
-	e := enclave.New(enclave.Config{Name: "fig12", Clock: func() int64 { now++; return now }})
+	e := enclave.New(enclave.Config{Name: "fig12", Clock: func() int64 { now++; return now }, VM: vm})
 	if err := funcs.InstallSFF(e, "sched", "*", []int64{10 * 1024, 1024 * 1024}, []int64{7, 5}); err != nil {
 		panic(err)
 	}

@@ -1,0 +1,10 @@
+//go:build race
+
+package experiments
+
+// raceEnabled reports whether the race detector is compiled in. The
+// wall-clock plausibility bounds in the timing tests only hold for
+// uninstrumented builds: race instrumentation slows the measured code
+// 5-20x (and unevenly — closure dispatch pays more than the switch
+// interpreter), so absolute-overhead caps are meaningless under -race.
+const raceEnabled = true

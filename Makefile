@@ -22,20 +22,27 @@ test:
 # cost tracked the delta size rather than the policy size — a flows
 # smoke: a 2k -> 20k flow-state ramp that fails unless p99 Process
 # latency stays flat and idle reclamation is exact (final live count is
-# the hot set, zero capacity evictions) — and a differential-fuzz smoke:
+# the hot set, zero capacity evictions) — a differential-fuzz smoke:
 # a few seconds of FuzzDifferential cross-checking the closure-compiled
-# VM backend against the interpreter on generated programs.
+# VM backend against the interpreter on generated programs, plus a few
+# seconds of FuzzCodec hammering the udpnet wire decoder with malformed
+# datagrams — and a loopback smoke: the examples/udp quickstart running
+# three OS processes (controller + two edend) exchanging live UDP
+# traffic under controller-pushed policy, checked via their ops
+# endpoints.
 verify: build
 	@fmt_out=$$(gofmt -l .); if [ -n "$$fmt_out" ]; then \
 		echo "gofmt needed on:"; echo "$$fmt_out"; exit 1; fi
 	$(GO) vet ./...
 	$(GO) test ./...
-	$(GO) test -race ./internal/enclave/ ./internal/edenvm/ ./internal/transport/ ./internal/controller/ ./internal/ctlproto/ ./internal/experiments/ ./internal/netsim/ ./internal/telemetry/ ./internal/metrics/ ./internal/trace/
+	$(GO) test -race ./internal/enclave/ ./internal/edenvm/ ./internal/transport/ ./internal/controller/ ./internal/ctlproto/ ./internal/experiments/ ./internal/netsim/ ./internal/telemetry/ ./internal/metrics/ ./internal/trace/ ./internal/udpnet/
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
 	$(GO) test -run=NONE -fuzz=FuzzDifferential -fuzztime=5s ./internal/edenvm/
+	$(GO) test -run=NONE -fuzz=FuzzCodec -fuzztime=5s ./internal/udpnet/
 	$(GO) run ./cmd/edenbench -exp fig9 -runs 1 -ms 30 -parallel 1 -record 5ms -record-check > /dev/null
 	$(GO) run -race ./cmd/edenbench -exp churn -churn-agents 64 -churn-rounds 1 -record 5ms -record-check > /dev/null
 	$(GO) run ./cmd/edenbench -exp flows -flows-start 2000 -flows-peak 20000 -record 5ms -record-check > /dev/null
+	sh examples/udp/quickstart.sh
 
 bench:
 	$(GO) test -bench=. -benchtime=1x ./...

@@ -17,10 +17,19 @@
 // histogram with quantiles) at /metrics, a JSON snapshot at /metricz,
 // span dumps at /spanz, and pprof under /debug/pprof/.
 //
+// With -listen, the daemon runs the real-socket substrate: its enclave
+// attaches to a udpnet node and processes live UDP traffic exchanged
+// with peer edend processes (-peer routes model IPs to their sockets),
+// while the controller programs it over the usual control channel. -echo
+// bounces received raw packets back; -traffic generates a fixed-rate
+// raw flow toward a peer. See examples/udp for a 3-process quickstart.
+//
 // Usage:
 //
 //	edend -controller 127.0.0.1:6633 -name host1-os -platform os [-selftest]
 //	edend -ops-addr 127.0.0.1:9090 -log-level debug
+//	edend -listen 127.0.0.1:9001 -ip 10.0.0.1 -peer 10.0.0.2=127.0.0.1:9002 \
+//	      -traffic 10.0.0.2:1000:256
 package main
 
 import (
@@ -28,7 +37,10 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"strconv"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"eden/internal/controller"
@@ -36,6 +48,7 @@ import (
 	"eden/internal/metrics"
 	"eden/internal/packet"
 	"eden/internal/telemetry"
+	"eden/internal/udpnet"
 )
 
 func main() {
@@ -51,7 +64,24 @@ func main() {
 		idle      = flag.Duration("idle-timeout", time.Minute, "reclaim flow and per-message state untouched for this long (0 disables the idle sweeper)")
 		opsAddr   = flag.String("ops-addr", "", "serve a live ops endpoint (/metrics, /metricz, /spanz, pprof) on this address")
 		logLevel  = flag.String("log-level", "info", "structured log level: debug, info, warn, error")
+		listenUDP = flag.String("listen", "", "bind the real-socket UDP substrate on this address (the enclave then processes live traffic)")
+		modelIP   = flag.String("ip", "", "model IPv4 address of this host on the substrate (required with -listen)")
+		echo      = flag.Bool("echo", false, "echo raw substrate packets back to their sender")
+		traffic   = flag.String("traffic", "", "generate raw substrate traffic: dstIP:pps:bytes")
 	)
+	peers := map[uint32]string{}
+	flag.Func("peer", "substrate route modelIP=udpAddr (repeatable)", func(s string) error {
+		model, addr, ok := strings.Cut(s, "=")
+		if !ok {
+			return fmt.Errorf("want modelIP=udpAddr, got %q", s)
+		}
+		ip, err := packet.ParseIP(model)
+		if err != nil {
+			return err
+		}
+		peers[ip] = addr
+		return nil
+	})
 	flag.Parse()
 
 	logger, err := telemetry.NewLogger(os.Stderr, *logLevel)
@@ -80,9 +110,65 @@ func main() {
 	stopSweeper := startIdleSweeper(enc, *idle, wall)
 	defer stopSweeper()
 
+	var node *udpnet.Node
+	if *listenUDP != "" {
+		ip, err := packet.ParseIP(*modelIP)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "edend: -listen requires -ip (model IPv4): %v\n", err)
+			os.Exit(2)
+		}
+		cfg := udpnet.Config{Listen: *listenUDP, IP: ip, Peers: peers}
+		if *platform == "nic" {
+			cfg.NIC = enc
+		} else {
+			cfg.OS = enc
+		}
+		// The echo handler runs on the node's event loop but is built
+		// before the node exists; it resolves the node through an atomic
+		// pointer stored right after Start.
+		var nodeP atomic.Pointer[udpnet.Node]
+		if *echo {
+			cfg.OnRaw = func(pk *packet.Packet) {
+				n := nodeP.Load()
+				if n == nil {
+					return
+				}
+				reply := packet.NewUDP(pk.IP.Dst, pk.IP.Src, pk.UDPHdr.DstPort, pk.UDPHdr.SrcPort, len(pk.Payload))
+				reply.Payload = append([]byte(nil), pk.Payload...)
+				reply.Meta.Class = "app.echo"
+				reply.Meta.MsgID = pk.Meta.MsgID
+				n.Output(reply) // OnRaw runs on the loop, so egress directly
+			}
+		}
+		node, err = udpnet.Start(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "edend: -listen: %v\n", err)
+			os.Exit(2)
+		}
+		nodeP.Store(node)
+		defer node.Close()
+		logger.Info("udp substrate listening", "addr", node.Addr().String(), "ip", *modelIP)
+
+		if *traffic != "" {
+			dst, pps, size, err := parseTraffic(*traffic)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "edend: -traffic: %v\n", err)
+				os.Exit(2)
+			}
+			go driveSubstrate(node, dst, pps, size)
+		}
+	} else if *traffic != "" || *echo || len(peers) > 0 {
+		fmt.Fprintln(os.Stderr, "edend: -traffic/-echo/-peer require -listen")
+		os.Exit(2)
+	}
+
 	if *opsAddr != "" {
 		set := metrics.NewSet()
 		set.Add(enc.Metrics())
+		if node != nil {
+			set.Add(node.Metrics())
+			set.AddSource(node.TransportMetrics)
+		}
 		srv, err := telemetry.StartOps(*opsAddr, telemetry.OpsConfig{
 			Metrics: set,
 			Spans:   enc.Spans(),
@@ -187,6 +273,43 @@ func reportStats(enc *enclave.Enclave) {
 		st := enc.Stats()
 		fmt.Printf("edend: packets=%d matched=%d invocations=%d traps=%d drops=%d instructions=%d\n",
 			st.Packets, st.Matched, st.Invocations, st.Traps, st.Drops, st.Instructions)
+	}
+}
+
+// parseTraffic parses "dstIP:pps:bytes".
+func parseTraffic(s string) (dst uint32, pps, size int, err error) {
+	parts := strings.Split(s, ":")
+	if len(parts) != 3 {
+		return 0, 0, 0, fmt.Errorf("want dstIP:pps:bytes, got %q", s)
+	}
+	if dst, err = packet.ParseIP(parts[0]); err != nil {
+		return 0, 0, 0, err
+	}
+	if pps, err = strconv.Atoi(parts[1]); err != nil || pps <= 0 {
+		return 0, 0, 0, fmt.Errorf("bad pps %q", parts[1])
+	}
+	if size, err = strconv.Atoi(parts[2]); err != nil || size < 0 {
+		return 0, 0, 0, fmt.Errorf("bad bytes %q", parts[2])
+	}
+	return dst, pps, size, nil
+}
+
+// driveSubstrate injects a fixed-rate raw UDP flow toward dst, one
+// message per packet, until the node closes.
+func driveSubstrate(node *udpnet.Node, dst uint32, pps, size int) {
+	payload := make([]byte, size) // read-only after this; shared across packets
+	interval := time.Second / time.Duration(pps)
+	for msg := uint64(1); ; msg++ {
+		pkt := packet.NewUDP(node.IP(), dst, 7000, 7001, size)
+		pkt.Payload = payload
+		pkt.Meta.Class = "app.udp"
+		pkt.Meta.MsgID = msg
+		pkt.Meta.MsgSize = int64(size)
+		pkt.Meta.NewMsg = 1
+		if !node.Inject(pkt) {
+			return
+		}
+		time.Sleep(interval)
 	}
 }
 

@@ -1,0 +1,72 @@
+#!/bin/sh
+# Three OS processes, real UDP traffic, one controller — the paper's
+# deployment shape on a single machine:
+#
+#   edenctl            controller: serves the control channel, pushes
+#                      policy.eden to both enclaves, keeps serving
+#   edend (sender)     enclave on the UDP substrate at model IP 10.0.0.1,
+#                      generates a 500 pkt/s raw flow to the receiver
+#   edend (receiver)   enclave at model IP 10.0.0.2, echoes raw traffic
+#                      back to the sender
+#
+# All three serve live ops endpoints; the check program polls them until
+# traffic, applied policy and control-plane spans are all visible. Exits
+# nonzero if the deployment never converges.
+#
+# Usage: sh examples/udp/quickstart.sh
+set -eu
+
+cd "$(dirname "$0")/../.."
+GO=${GO:-go}
+
+CTL_PORT=16633
+CTL_OPS=127.0.0.1:19090
+SND_OPS=127.0.0.1:19091
+RCV_OPS=127.0.0.1:19092
+SND_UDP=127.0.0.1:19001
+RCV_UDP=127.0.0.1:19002
+
+BIN=$(mktemp -d)
+LOGS=$(mktemp -d)
+PIDS=""
+cleanup() {
+    for pid in $PIDS; do kill "$pid" 2>/dev/null || true; done
+    wait 2>/dev/null || true
+    rm -rf "$BIN"
+    echo "quickstart: logs in $LOGS"
+}
+trap cleanup EXIT INT TERM
+
+echo "quickstart: building binaries"
+$GO build -o "$BIN/edenctl" ./cmd/edenctl
+$GO build -o "$BIN/edend" ./cmd/edend
+$GO build -o "$BIN/check" ./examples/udp/check
+
+echo "quickstart: starting controller"
+"$BIN/edenctl" -listen 127.0.0.1:$CTL_PORT -stay -ops-addr $CTL_OPS \
+    -policy examples/udp/policy.eden >"$LOGS/edenctl.log" 2>&1 &
+PIDS="$PIDS $!"
+
+echo "quickstart: starting receiver edend (10.0.0.2, echo)"
+"$BIN/edend" -controller 127.0.0.1:$CTL_PORT -name receiver-os -host receiver \
+    -listen $RCV_UDP -ip 10.0.0.2 -peer 10.0.0.1=$SND_UDP \
+    -echo -ops-addr $RCV_OPS >"$LOGS/receiver.log" 2>&1 &
+PIDS="$PIDS $!"
+
+echo "quickstart: starting sender edend (10.0.0.1, 500 pkt/s)"
+"$BIN/edend" -controller 127.0.0.1:$CTL_PORT -name sender-os -host sender \
+    -listen $SND_UDP -ip 10.0.0.1 -peer 10.0.0.2=$RCV_UDP \
+    -traffic 10.0.0.2:500:256 -ops-addr $SND_OPS >"$LOGS/sender.log" 2>&1 &
+PIDS="$PIDS $!"
+
+echo "quickstart: waiting for live traffic + policy (check polls ops endpoints)"
+if "$BIN/check" -sender $SND_OPS -receiver $RCV_OPS -controller $CTL_OPS; then
+    echo "quickstart: PASS"
+else
+    echo "quickstart: FAIL — dumping process logs"
+    for f in "$LOGS"/*.log; do
+        echo "--- $f"
+        cat "$f"
+    done
+    exit 1
+fi

@@ -1,0 +1,100 @@
+package enclave
+
+import "eden/internal/packet"
+
+// ChainEnv is a host's side of its enclave attach points: the clock and
+// timer the chain uses to honor deferred-send verdicts from rate queues,
+// the egress transmit and ingress deliver continuations, and the drop
+// notification. The simulated host (netsim.Host) and the real-socket
+// node (udpnet.Node) both implement it, so one traversal of the attach
+// points serves every packet substrate.
+type ChainEnv interface {
+	// Now returns the current time in nanoseconds on the clock the
+	// chain's enclaves are driven with.
+	Now() int64
+	// Schedule runs fn at the given absolute time. The chain uses it to
+	// resume a packet deferred by a rate-queue verdict (Verdict.SendAt).
+	Schedule(at int64, fn func())
+	// Transmit puts an egress packet on the wire after the attach points
+	// have passed it.
+	Transmit(pkt *packet.Packet)
+	// Deliver hands an ingress packet to the host's upper layers
+	// (transport stack, raw receiver) after the attach points passed it.
+	Deliver(pkt *packet.Packet)
+	// DropVerdict reports a packet discarded by an enclave verdict at
+	// the named attach point ("os-egress", "nic-egress", "nic-ingress",
+	// "os-ingress").
+	DropVerdict(point string, pkt *packet.Packet)
+}
+
+// Chain runs packets through a host's enclave attach points in the
+// paper's order (§4.3): packets leaving the transport stack traverse
+// OS-enclave egress, then NIC-enclave egress, then the wire; arriving
+// packets traverse NIC-enclave ingress, then OS-enclave ingress, then
+// the transport stack. Either attach point may be nil.
+//
+// Chain is not safe for concurrent use; like the enclaves' clocks, it
+// belongs to whatever single-threaded event loop drives the host (the
+// simulator's, or a udpnet node's).
+type Chain struct {
+	OS, NIC *Enclave
+	Env     ChainEnv
+}
+
+// Egress runs an outbound packet through OS-enclave egress then
+// NIC-enclave egress. Drop verdicts discard the packet via
+// Env.DropVerdict; deferred-send verdicts (rate queues) re-schedule the
+// rest of the traversal at Verdict.SendAt; otherwise the packet reaches
+// Env.Transmit.
+func (ch *Chain) Egress(pkt *packet.Packet) {
+	now := ch.Env.Now()
+	if e := ch.OS; e != nil {
+		v := e.Process(Egress, pkt, now)
+		if v.Drop {
+			ch.Env.DropVerdict("os-egress", pkt)
+			return
+		}
+		if v.SendAt > now {
+			ch.Env.Schedule(v.SendAt, func() { ch.nicEgress(pkt) })
+			return
+		}
+	}
+	ch.nicEgress(pkt)
+}
+
+func (ch *Chain) nicEgress(pkt *packet.Packet) {
+	now := ch.Env.Now()
+	if e := ch.NIC; e != nil {
+		v := e.Process(Egress, pkt, now)
+		if v.Drop {
+			ch.Env.DropVerdict("nic-egress", pkt)
+			return
+		}
+		if v.SendAt > now {
+			ch.Env.Schedule(v.SendAt, func() { ch.Env.Transmit(pkt) })
+			return
+		}
+	}
+	ch.Env.Transmit(pkt)
+}
+
+// Ingress runs an inbound packet through NIC-enclave ingress then
+// OS-enclave ingress, then Env.Deliver. Ingress verdicts cannot defer
+// delivery: rate queues shape only the egress path, so SendAt is
+// ignored here (as the simulated host always has).
+func (ch *Chain) Ingress(pkt *packet.Packet) {
+	now := ch.Env.Now()
+	if e := ch.NIC; e != nil {
+		if e.Process(Ingress, pkt, now).Drop {
+			ch.Env.DropVerdict("nic-ingress", pkt)
+			return
+		}
+	}
+	if e := ch.OS; e != nil {
+		if e.Process(Ingress, pkt, now).Drop {
+			ch.Env.DropVerdict("os-ingress", pkt)
+			return
+		}
+	}
+	ch.Env.Deliver(pkt)
+}

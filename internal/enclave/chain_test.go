@@ -1,0 +1,179 @@
+package enclave
+
+import (
+	"testing"
+
+	"eden/internal/compiler"
+	"eden/internal/packet"
+)
+
+// chainWorld is a minimal ChainEnv: a manual clock, an ordered event
+// queue, and capture buffers for the chain's outcomes.
+type chainWorld struct {
+	now       int64
+	events    []chainEvent
+	transmits []*packet.Packet
+	delivers  []*packet.Packet
+	drops     []string
+}
+
+type chainEvent struct {
+	at int64
+	fn func()
+}
+
+func (w *chainWorld) Now() int64 { return w.now }
+func (w *chainWorld) Schedule(at int64, fn func()) {
+	w.events = append(w.events, chainEvent{at, fn})
+}
+func (w *chainWorld) Transmit(pkt *packet.Packet)            { w.transmits = append(w.transmits, pkt) }
+func (w *chainWorld) Deliver(pkt *packet.Packet)             { w.delivers = append(w.delivers, pkt) }
+func (w *chainWorld) DropVerdict(p string, _ *packet.Packet) { w.drops = append(w.drops, p) }
+
+// run fires queued events in schedule order, advancing the clock.
+func (w *chainWorld) run() {
+	for len(w.events) > 0 {
+		e := w.events[0]
+		w.events = w.events[1:]
+		if e.at > w.now {
+			w.now = e.at
+		}
+		e.fn()
+	}
+}
+
+func chainEnclave(t *testing.T, name string) *Enclave {
+	t.Helper()
+	var now int64
+	return New(Config{
+		Name:     name,
+		Platform: "os",
+		Clock:    func() int64 { now++; return now },
+	})
+}
+
+// installDropper installs a function dropping dst port 23 on dir.
+func installDropper(t *testing.T, e *Enclave, dir Direction) {
+	t.Helper()
+	f := compiler.MustCompile("dropper", "fun (p, m, g) ->\n if p.dst_port = 23 then p.drop <- 1")
+	if err := e.InstallFunc(f); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.CreateTable(dir, "fw"); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.AddRule(dir, "fw", Rule{Pattern: "*", Func: "dropper"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func chainPkt(dstPort uint16) *packet.Packet {
+	p := packet.New(1, 2, 999, dstPort, 100)
+	p.Meta.Class = "x.y.z"
+	p.Meta.MsgID = 1
+	return p
+}
+
+func TestChainNilEnclavesPassThrough(t *testing.T) {
+	w := &chainWorld{}
+	ch := &Chain{Env: w}
+	ch.Egress(chainPkt(80))
+	ch.Ingress(chainPkt(80))
+	if len(w.transmits) != 1 || len(w.delivers) != 1 || len(w.drops) != 0 {
+		t.Fatalf("transmits=%d delivers=%d drops=%v", len(w.transmits), len(w.delivers), w.drops)
+	}
+}
+
+func TestChainEgressDropPoints(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		setup func(ch *Chain, t *testing.T)
+		want  string
+	}{
+		{"os", func(ch *Chain, t *testing.T) {
+			ch.OS = chainEnclave(t, "os")
+			installDropper(t, ch.OS, Egress)
+			ch.NIC = chainEnclave(t, "nic")
+		}, "os-egress"},
+		{"nic", func(ch *Chain, t *testing.T) {
+			ch.OS = chainEnclave(t, "os")
+			ch.NIC = chainEnclave(t, "nic")
+			installDropper(t, ch.NIC, Egress)
+		}, "nic-egress"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			w := &chainWorld{}
+			ch := &Chain{Env: w}
+			tc.setup(ch, t)
+			ch.Egress(chainPkt(23))
+			ch.Egress(chainPkt(80))
+			w.run()
+			if len(w.drops) != 1 || w.drops[0] != tc.want {
+				t.Errorf("drops = %v, want [%s]", w.drops, tc.want)
+			}
+			if len(w.transmits) != 1 {
+				t.Errorf("transmits = %d, want 1 (the port-80 packet)", len(w.transmits))
+			}
+		})
+	}
+}
+
+func TestChainIngressDropPoints(t *testing.T) {
+	w := &chainWorld{}
+	ch := &Chain{Env: w}
+	ch.NIC = chainEnclave(t, "nic")
+	installDropper(t, ch.NIC, Ingress)
+	ch.OS = chainEnclave(t, "os")
+	ch.Ingress(chainPkt(23))
+	ch.Ingress(chainPkt(80))
+	if len(w.drops) != 1 || w.drops[0] != "nic-ingress" {
+		t.Errorf("drops = %v, want [nic-ingress]", w.drops)
+	}
+	if len(w.delivers) != 1 {
+		t.Errorf("delivers = %d, want 1", len(w.delivers))
+	}
+
+	w2 := &chainWorld{}
+	ch2 := &Chain{Env: w2, OS: chainEnclave(t, "os2")}
+	installDropper(t, ch2.OS, Ingress)
+	ch2.Ingress(chainPkt(23))
+	if len(w2.drops) != 1 || w2.drops[0] != "os-ingress" {
+		t.Errorf("drops = %v, want [os-ingress]", w2.drops)
+	}
+}
+
+// TestChainEgressDeferredSend steers a packet into a rate queue at the OS
+// attach point and asserts the chain resumes the traversal (through the
+// NIC enclave to Transmit) at the queue's release time rather than
+// transmitting inline.
+func TestChainEgressDeferredSend(t *testing.T) {
+	w := &chainWorld{}
+	ch := &Chain{Env: w}
+	ch.OS = chainEnclave(t, "os")
+	ch.OS.AddQueue(8*1000, 0) // 1 KB/ns is irrelevant; any rate queues the packet
+	f := compiler.MustCompile("q", "fun (p,m,g) ->\n p.queue <- 0")
+	if err := ch.OS.InstallFunc(f); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ch.OS.CreateTable(Egress, "qos"); err != nil {
+		t.Fatal(err)
+	}
+	if err := ch.OS.AddRule(Egress, "qos", Rule{Pattern: "*", Func: "q"}); err != nil {
+		t.Fatal(err)
+	}
+
+	ch.Egress(chainPkt(80))
+	if len(w.transmits) != 0 {
+		t.Fatal("queued packet transmitted inline")
+	}
+	if len(w.events) != 1 {
+		t.Fatalf("scheduled events = %d, want 1", len(w.events))
+	}
+	if w.events[0].at <= w.now {
+		t.Errorf("release time %d not in the future (now %d)", w.events[0].at, w.now)
+	}
+	w.run()
+	if len(w.transmits) != 1 {
+		t.Fatalf("transmits after release = %d, want 1", len(w.transmits))
+	}
+}

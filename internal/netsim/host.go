@@ -16,9 +16,10 @@ import (
 // packets traverse NIC-enclave ingress, then OS-enclave ingress, then the
 // transport stack.
 type Host struct {
-	sim  *Sim
-	name string
-	ip   uint32
+	sim   *Sim
+	name  string
+	ip    uint32
+	chain enclave.Chain
 
 	// OS and NIC are the enclave attach points; either may be nil.
 	OS  *enclave.Enclave
@@ -48,6 +49,7 @@ type Host struct {
 // NewHost creates a host with a transport stack.
 func NewHost(sim *Sim, name string, ip uint32, opts transport.Options) *Host {
 	h := &Host{sim: sim, name: name, ip: ip}
+	h.chain.Env = h
 	h.Stack = transport.NewStack(h, opts)
 	if sim.metrics != nil {
 		sim.metrics.AddSource(h.Stack.MetricsSnapshot)
@@ -85,43 +87,17 @@ func (h *Host) SetLabelUplink(vid uint16, l *Link) {
 // Sim returns the simulation the host belongs to.
 func (h *Host) Sim() *Sim { return h.sim }
 
-// Output implements transport.Env: the host egress path.
+// Output implements transport.Env: the host egress path, traversing the
+// enclave attach points via the shared enclave.Chain.
 func (h *Host) Output(pkt *packet.Packet) {
-	now := h.sim.Now()
 	h.sim.tracer.Sample(pkt)
-	if h.OS != nil {
-		v := h.OS.Process(enclave.Egress, pkt, now)
-		if v.Drop {
-			h.Dropped++
-			h.sim.tracer.Record(pkt, now, trace.KindDrop, h.name, "os-egress verdict")
-			return
-		}
-		if v.SendAt > now {
-			h.sim.At(v.SendAt, func() { h.nicEgress(pkt) })
-			return
-		}
-	}
-	h.nicEgress(pkt)
+	h.chain.OS, h.chain.NIC = h.OS, h.NIC
+	h.chain.Egress(pkt)
 }
 
-func (h *Host) nicEgress(pkt *packet.Packet) {
-	now := h.sim.Now()
-	if h.NIC != nil {
-		v := h.NIC.Process(enclave.Egress, pkt, now)
-		if v.Drop {
-			h.Dropped++
-			h.sim.tracer.Record(pkt, now, trace.KindDrop, h.name, "nic-egress verdict")
-			return
-		}
-		if v.SendAt > now {
-			h.sim.At(v.SendAt, func() { h.transmit(pkt) })
-			return
-		}
-	}
-	h.transmit(pkt)
-}
-
-func (h *Host) transmit(pkt *packet.Packet) {
+// Transmit implements enclave.ChainEnv: the packet passed every egress
+// attach point and goes on the uplink.
+func (h *Host) Transmit(pkt *packet.Packet) {
 	if h.StripPCP && pkt.HasVLAN {
 		pkt.VLAN.PCP = 0
 	}
@@ -139,24 +115,14 @@ func (h *Host) transmit(pkt *packet.Packet) {
 
 // Receive implements Node: the host ingress path.
 func (h *Host) Receive(pkt *packet.Packet) {
-	now := h.sim.Now()
-	if h.NIC != nil {
-		v := h.NIC.Process(enclave.Ingress, pkt, now)
-		if v.Drop {
-			h.Dropped++
-			h.sim.tracer.Record(pkt, now, trace.KindDrop, h.name, "nic-ingress verdict")
-			return
-		}
-	}
-	if h.OS != nil {
-		v := h.OS.Process(enclave.Ingress, pkt, now)
-		if v.Drop {
-			h.Dropped++
-			h.sim.tracer.Record(pkt, now, trace.KindDrop, h.name, "os-ingress verdict")
-			return
-		}
-	}
-	h.sim.tracer.Record(pkt, now, trace.KindDeliver, h.name, "")
+	h.chain.OS, h.chain.NIC = h.OS, h.NIC
+	h.chain.Ingress(pkt)
+}
+
+// Deliver implements enclave.ChainEnv: the packet passed every ingress
+// attach point and reaches the host's upper layers.
+func (h *Host) Deliver(pkt *packet.Packet) {
+	h.sim.tracer.Record(pkt, h.sim.Now(), trace.KindDeliver, h.name, "")
 	if pkt.IP.Proto == packet.ProtoTCP {
 		h.Stack.Deliver(pkt)
 		return
@@ -164,6 +130,13 @@ func (h *Host) Receive(pkt *packet.Packet) {
 	if h.OnRaw != nil {
 		h.OnRaw(pkt)
 	}
+}
+
+// DropVerdict implements enclave.ChainEnv: an enclave verdict discarded
+// the packet at the named attach point.
+func (h *Host) DropVerdict(point string, pkt *packet.Packet) {
+	h.Dropped++
+	h.sim.tracer.Record(pkt, h.sim.Now(), trace.KindDrop, h.name, point+" verdict")
 }
 
 // NewOSEnclave creates, attaches and returns an OS enclave for the host.

@@ -179,6 +179,23 @@ func New(src, dst uint32, srcPort, dstPort uint16, payloadLen int) *Packet {
 	return p
 }
 
+// NewUDP returns a UDP packet with the same defaults as New. Raw
+// (non-TCP) app traffic on both the simulated and real-socket backends
+// is built with this.
+func NewUDP(src, dst uint32, srcPort, dstPort uint16, payloadLen int) *Packet {
+	p := &Packet{
+		Eth: Ethernet{EtherType: EtherTypeIPv4},
+		IP: IPv4{
+			Src: src, Dst: dst, Proto: ProtoUDP, TTL: 64,
+			TotalLength: uint16(ipv4HeaderLen + udpHeaderLen + payloadLen),
+		},
+		UDPHdr:     UDP{SrcPort: srcPort, DstPort: dstPort, Length: uint16(udpHeaderLen + payloadLen)},
+		PayloadLen: payloadLen,
+	}
+	p.Meta.Control.reset()
+	return p
+}
+
 // ResetControl clears the action-function output fields before an enclave
 // invocation.
 func (p *Packet) ResetControl() { p.Meta.Control.reset() }

@@ -389,9 +389,9 @@ func (c *Conn) sendAck() {
 	pkt.TCPHdr.Ack = uint32(c.rcvNxt)
 	pkt.TCPHdr.Flags = packet.FlagACK
 	pkt.ResetControl()
-	if ap := c.stack.opts.AckPriority; ap >= 0 {
+	if ap := c.stack.opts.AckPriority; ap != nil {
 		pkt.HasVLAN = true
-		pkt.VLAN.PCP = uint8(ap & 7)
+		pkt.VLAN.PCP = uint8(*ap & 7)
 	} else if c.lastRcvPCP != 0 {
 		pkt.HasVLAN = true
 		pkt.VLAN.PCP = c.lastRcvPCP

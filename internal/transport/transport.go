@@ -48,11 +48,19 @@ type Options struct {
 	// default MSS, comfortably above the bandwidth-delay product of a
 	// 10G datacenter path).
 	MaxCwnd float64
-	// AckPriority, when >= 0, forces pure ACK packets to this 802.1q
-	// priority (default -1: ACKs inherit the connection's last data
-	// priority so they are not starved behind bulk traffic).
-	AckPriority int
+	// AckPriority, when non-nil, forces pure ACK packets to this 802.1q
+	// priority (0..7 — 0 is a valid, lowest priority). The default, nil,
+	// means ACKs inherit the connection's last received data priority so
+	// they are not starved behind bulk traffic. Use FixedAckPriority for
+	// a literal value.
+	AckPriority *int
 }
+
+// FixedAckPriority returns an Options.AckPriority forcing pure ACKs to
+// the given 802.1q priority. Unlike the old int-sentinel scheme, 0 is
+// expressible: FixedAckPriority(0) pins ACKs to the lowest priority
+// instead of silently falling back to inheritance.
+func FixedAckPriority(p int) *int { return &p }
 
 func (o *Options) defaults() {
 	if o.MSS == 0 {
@@ -66,9 +74,6 @@ func (o *Options) defaults() {
 	}
 	if o.MaxCwnd == 0 {
 		o.MaxCwnd = 128
-	}
-	if o.AckPriority == 0 {
-		o.AckPriority = -1
 	}
 }
 
@@ -103,7 +108,7 @@ func NewStack(env Env, opts Options) *Stack {
 		opts:      opts,
 		conns:     map[packet.FlowKey]*Conn{},
 		listeners: map[uint16]func(*Conn){},
-		nextPort:  10000,
+		nextPort:  ephemeralLo,
 	}
 }
 
@@ -112,20 +117,46 @@ func (s *Stack) Listen(port uint16, accept func(*Conn)) {
 	s.listeners[port] = accept
 }
 
+// Ephemeral source-port range for Dial. The low bound keeps clear of
+// well-known service ports; the high bound is the top of the port space,
+// past which the allocator wraps back to ephemeralLo.
+const (
+	ephemeralLo uint16 = 10000
+	ephemeralHi uint16 = 65535
+)
+
 // Dial opens a connection to dst:dstPort and begins the handshake. The
 // returned connection may be written to immediately; data flows once the
 // handshake completes.
+//
+// Source ports come from the ephemeral range [10000, 65535], wrapping at
+// the top. Ports whose flow key is already in use toward dst:dstPort, and
+// ports with a local listener, are skipped — a wrapped allocator must not
+// silently overwrite a live connection or shadow an accept callback. If
+// every ephemeral port toward dst:dstPort is in use, Dial returns nil.
 func (s *Stack) Dial(dst uint32, dstPort uint16) *Conn {
-	s.nextPort++
-	key := packet.FlowKey{
-		Src: s.env.IP(), Dst: dst,
-		SrcPort: s.nextPort, DstPort: dstPort,
-		Proto: packet.ProtoTCP,
+	for range int(ephemeralHi-ephemeralLo) + 1 {
+		s.nextPort++
+		if s.nextPort < ephemeralLo { // includes uint16 wrap through 0
+			s.nextPort = ephemeralLo
+		}
+		if _, listening := s.listeners[s.nextPort]; listening {
+			continue
+		}
+		key := packet.FlowKey{
+			Src: s.env.IP(), Dst: dst,
+			SrcPort: s.nextPort, DstPort: dstPort,
+			Proto: packet.ProtoTCP,
+		}
+		if _, inUse := s.conns[key]; inUse {
+			continue
+		}
+		c := newConn(s, key, true)
+		s.conns[key] = c
+		c.sendSYN()
+		return c
 	}
-	c := newConn(s, key, true)
-	s.conns[key] = c
-	c.sendSYN()
-	return c
+	return nil // ephemeral range exhausted toward dst:dstPort
 }
 
 // Deliver feeds an inbound packet into the stack (the host calls this for

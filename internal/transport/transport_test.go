@@ -313,3 +313,174 @@ func TestDialToDeafPortTimesOutQuietly(t *testing.T) {
 		t.Error("established against deaf port")
 	}
 }
+
+// --- Regression tests: ephemeral-port allocation (wrap + collision) ---
+
+// discardEnv is a transport.Env that drops all output; for tests that
+// only exercise the stack's bookkeeping, not delivery.
+type discardEnv struct{ now int64 }
+
+func (e *discardEnv) Now() int64             { return e.now }
+func (e *discardEnv) Schedule(int64, func()) {}
+func (e *discardEnv) Output(*packet.Packet)  {}
+func (e *discardEnv) IP() uint32             { return 1 }
+
+// TestDialWrapsEphemeralRange pins the allocator near the top of the
+// port space and checks it wraps back to the bottom of the ephemeral
+// range instead of marching through 0 and the well-known ports.
+func TestDialWrapsEphemeralRange(t *testing.T) {
+	s := NewStack(&discardEnv{}, Options{})
+	s.nextPort = 65534
+	ports := []uint16{}
+	for i := 0; i < 3; i++ {
+		c := s.Dial(2, 80)
+		if c == nil {
+			t.Fatal("Dial returned nil")
+		}
+		ports = append(ports, c.Key().SrcPort)
+	}
+	want := []uint16{65535, ephemeralLo, ephemeralLo + 1}
+	for i := range want {
+		if ports[i] != want[i] {
+			t.Fatalf("dial ports = %v, want %v", ports, want)
+		}
+	}
+}
+
+// TestDialSkipsLiveConn wraps the allocator onto a port whose flow key
+// toward the same destination is still live; before the fix the second
+// connection silently overwrote the first in s.conns.
+func TestDialSkipsLiveConn(t *testing.T) {
+	s := NewStack(&discardEnv{}, Options{})
+	first := s.Dial(2, 80)   // port 10001
+	s.nextPort = ephemeralLo // next allocation would collide with 10001
+	second := s.Dial(2, 80)
+	if second == nil {
+		t.Fatal("Dial returned nil")
+	}
+	if second.Key().SrcPort == first.Key().SrcPort {
+		t.Fatalf("allocator reused live port %d", first.Key().SrcPort)
+	}
+	if got := s.conns[first.Key()]; got != first {
+		t.Fatal("first connection evicted from the stack's conn table")
+	}
+	// A connection to a different destination may share the port: the
+	// flow key, not the bare port, is the unit of collision.
+	s.nextPort = ephemeralLo
+	other := s.Dial(3, 80)
+	if other == nil || other.Key().SrcPort != first.Key().SrcPort {
+		t.Errorf("distinct destination should reuse port %d, got %+v", first.Key().SrcPort, other)
+	}
+}
+
+// TestDialSkipsListenerPorts keeps the allocator off ports with local
+// listeners, so a wrapped allocator cannot shadow an accept callback.
+func TestDialSkipsListenerPorts(t *testing.T) {
+	s := NewStack(&discardEnv{}, Options{})
+	s.Listen(ephemeralLo+1, func(*Conn) {})
+	s.Listen(ephemeralLo+2, func(*Conn) {})
+	c := s.Dial(2, 80)
+	if c == nil {
+		t.Fatal("Dial returned nil")
+	}
+	if p := c.Key().SrcPort; p == ephemeralLo+1 || p == ephemeralLo+2 {
+		t.Fatalf("allocated listener port %d", p)
+	}
+}
+
+// TestDialExhaustionReturnsNil dials until every ephemeral port toward
+// one destination is in use and checks the allocator reports exhaustion
+// instead of clobbering a live connection.
+func TestDialExhaustionReturnsNil(t *testing.T) {
+	s := NewStack(&discardEnv{}, Options{})
+	n := int(ephemeralHi-ephemeralLo) + 1
+	for i := 0; i < n; i++ {
+		if c := s.Dial(2, 80); c == nil {
+			t.Fatalf("Dial %d returned nil with free ports remaining", i)
+		}
+	}
+	if c := s.Dial(2, 80); c != nil {
+		t.Fatalf("Dial past exhaustion returned %v; a live conn was overwritten", c.Key())
+	}
+	if len(s.conns) != n {
+		t.Fatalf("conns = %d, want %d", len(s.conns), n)
+	}
+}
+
+// --- Regression test: explicit AckPriority 0 ---
+
+// TestAckPriorityZeroIsRespected configures the valid 802.1q priority 0
+// for pure ACKs; the old int-sentinel defaulting clobbered it into -1
+// "inherit", so ACKs picked up the data packets' high priority instead.
+func TestAckPriorityZeroIsRespected(t *testing.T) {
+	w := &world{}
+	a, b := &endpoint{w: w, ip: 1}, &endpoint{w: w, ip: 2}
+	sa := NewStack(a, Options{})
+	sb := NewStack(b, Options{AckPriority: FixedAckPriority(0)})
+	var acks []uint8
+	var sawAckVLAN bool
+	a.out = func(pkt *packet.Packet) {
+		// Data path a->b: tag data segments with a high priority, like an
+		// enclave scheduling function would.
+		if pkt.PayloadLen > 0 {
+			pkt.HasVLAN = true
+			pkt.VLAN.PCP = 6
+		}
+		w.at(w.now+10_000, func() { sb.Deliver(pkt) })
+	}
+	b.out = func(pkt *packet.Packet) {
+		if pkt.PayloadLen == 0 && pkt.TCPHdr.Flags&packet.FlagACK != 0 && pkt.TCPHdr.Flags&packet.FlagSYN == 0 {
+			if pkt.HasVLAN {
+				sawAckVLAN = true
+				acks = append(acks, pkt.VLAN.PCP)
+			}
+		}
+		w.at(w.now+10_000, func() { sa.Deliver(pkt) })
+	}
+	sb.Listen(80, func(c *Conn) {})
+	c := sa.Dial(2, 80)
+	c.Send(100_000)
+	w.run(1e9)
+	if !sawAckVLAN {
+		t.Fatal("no VLAN-tagged pure ACKs observed")
+	}
+	for _, pcp := range acks {
+		if pcp != 0 {
+			t.Fatalf("ACK PCP = %d, want forced 0 (inheritance leaked through)", pcp)
+		}
+	}
+}
+
+// TestAckPriorityNilInherits pins the default behaviour: with no forced
+// ACK priority, pure ACKs inherit the last received data priority.
+func TestAckPriorityNilInherits(t *testing.T) {
+	w := &world{}
+	a, b := &endpoint{w: w, ip: 1}, &endpoint{w: w, ip: 2}
+	sa := NewStack(a, Options{})
+	sb := NewStack(b, Options{})
+	var acks []uint8
+	a.out = func(pkt *packet.Packet) {
+		if pkt.PayloadLen > 0 {
+			pkt.HasVLAN = true
+			pkt.VLAN.PCP = 6
+		}
+		w.at(w.now+10_000, func() { sb.Deliver(pkt) })
+	}
+	b.out = func(pkt *packet.Packet) {
+		if pkt.PayloadLen == 0 && pkt.HasVLAN && pkt.TCPHdr.Flags&packet.FlagSYN == 0 {
+			acks = append(acks, pkt.VLAN.PCP)
+		}
+		w.at(w.now+10_000, func() { sa.Deliver(pkt) })
+	}
+	sb.Listen(80, func(c *Conn) {})
+	sa.Dial(2, 80).Send(100_000)
+	w.run(1e9)
+	if len(acks) == 0 {
+		t.Fatal("no inherited-priority ACKs observed")
+	}
+	for _, pcp := range acks {
+		if pcp != 6 {
+			t.Fatalf("inherited ACK PCP = %d, want 6", pcp)
+		}
+	}
+}

@@ -1,0 +1,439 @@
+// Package udpnet is Eden's real-socket packet substrate: it runs the
+// same enclaves, transport stack and policy machinery that the simulator
+// drives, but over UDP datagrams between OS processes. Each edend
+// process owns one Node — a UDP socket, a single-threaded event loop,
+// and the host-side plumbing (transport.Stack above, enclave.Chain
+// attach points in between) — so one set of enclave bytecode serves
+// simulated and real traffic unchanged (§2, §6 of the paper).
+//
+// Model packets are carried inside UDP datagrams with a compact binary
+// encapsulation. The encapsulation is an intra-deployment framing, not a
+// claim that Eden metadata goes on a production wire: between
+// cooperating edend processes the metadata block (class, message id,
+// message metadata) rides in the encap header exactly as it rides across
+// simulated links, playing the role of the paper's in-host sequence-
+// number tagging (§4.2) stretched across process boundaries.
+//
+// The package keeps the simulator event loop's allocation discipline:
+// datagram buffers and decoded packets come from bounded free lists, the
+// decoder interns class names, and the steady-state receive path —
+// socket read, decode, enclave ingress, delivery — allocates nothing.
+package udpnet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"eden/internal/packet"
+)
+
+// Frame layout (all multi-byte fields big-endian, varints per
+// encoding/binary):
+//
+//	magic     u8   0xED
+//	version   u8   1
+//	flags     u8   bit0 VLAN tag present
+//	               bit1 payload bytes present (else synthetic length only)
+//	               bit2 multi-class metadata present
+//	eth       dst[6] src[6] ethertype u16
+//	vlan      pcp u8, vid u16                      (if flagVLAN)
+//	ip        src u32, dst u32, proto u8, ttl u8, dscp u8, totlen u16, id u16
+//	l4        TCP: sport u16, dport u16, seq u32, ack u32, flags u8, wnd u16
+//	          UDP: sport u16, dport u16, length u16
+//	          other: none
+//	payload   declared length uvarint;
+//	          carried length uvarint + bytes       (if flagPayload)
+//	meta      class (uvarint len + bytes)
+//	          classes (uvarint count, then strings) (if flagClasses)
+//	          msg_id uvarint, msg_type varint, msg_size varint,
+//	          wire_size varint, tenant varint, key varint, new_msg varint,
+//	          trace_id uvarint
+//
+// The declared payload length is separate from the carried bytes because
+// the simulator's transport emits segments with PayloadLen set but no
+// payload bytes (the sim carries lengths, not data); the codec preserves
+// that so a segment's frame costs ~70 bytes regardless of MSS. Control
+// outputs are never encoded: they are per-host action-function results,
+// reset on decode like packet.Unmarshal does.
+const (
+	frameMagic   = 0xED
+	frameVersion = 1
+
+	flagVLAN    = 1 << 0
+	flagPayload = 1 << 1
+	flagClasses = 1 << 2
+
+	// maxClassLen bounds one class-name string on the wire; longer
+	// declared lengths are rejected before any allocation.
+	maxClassLen = 1024
+	// maxClasses bounds the multi-class list.
+	maxClasses = 64
+	// maxInterned bounds the decoder's class-name intern table; past it
+	// the table is reset so adversarial datagrams cannot grow it without
+	// bound.
+	maxInterned = 4096
+)
+
+// Codec errors. ErrFrame covers every malformed-frame condition;
+// errors.Is(err, ErrFrame) holds for all decode failures.
+var (
+	ErrFrame    = errors.New("udpnet: malformed frame")
+	errShort    = fmt.Errorf("%w: truncated", ErrFrame)
+	errMagic    = fmt.Errorf("%w: bad magic", ErrFrame)
+	errVersion  = fmt.Errorf("%w: unsupported version", ErrFrame)
+	errTrailing = fmt.Errorf("%w: trailing bytes", ErrFrame)
+	errLimit    = fmt.Errorf("%w: length limit exceeded", ErrFrame)
+)
+
+// AppendPacket appends the wire encoding of p to dst and returns the
+// extended slice. It never fails: every packet.Packet value has an
+// encoding. Like append, it may grow dst's backing array; callers
+// reusing pooled buffers should size them for the deployment's largest
+// frame (MaxDatagram) to stay allocation-free.
+func AppendPacket(dst []byte, p *packet.Packet) []byte {
+	var flags byte
+	if p.HasVLAN {
+		flags |= flagVLAN
+	}
+	if p.Payload != nil {
+		flags |= flagPayload
+	}
+	if len(p.Meta.Classes) > 0 {
+		flags |= flagClasses
+	}
+	dst = append(dst, frameMagic, frameVersion, flags)
+
+	dst = append(dst, p.Eth.Dst[:]...)
+	dst = append(dst, p.Eth.Src[:]...)
+	dst = binary.BigEndian.AppendUint16(dst, p.Eth.EtherType)
+	if p.HasVLAN {
+		dst = append(dst, p.VLAN.PCP)
+		dst = binary.BigEndian.AppendUint16(dst, p.VLAN.VID)
+	}
+
+	dst = binary.BigEndian.AppendUint32(dst, p.IP.Src)
+	dst = binary.BigEndian.AppendUint32(dst, p.IP.Dst)
+	dst = append(dst, p.IP.Proto, p.IP.TTL, p.IP.DSCP)
+	dst = binary.BigEndian.AppendUint16(dst, p.IP.TotalLength)
+	dst = binary.BigEndian.AppendUint16(dst, p.IP.ID)
+
+	switch p.IP.Proto {
+	case packet.ProtoTCP:
+		dst = binary.BigEndian.AppendUint16(dst, p.TCPHdr.SrcPort)
+		dst = binary.BigEndian.AppendUint16(dst, p.TCPHdr.DstPort)
+		dst = binary.BigEndian.AppendUint32(dst, p.TCPHdr.Seq)
+		dst = binary.BigEndian.AppendUint32(dst, p.TCPHdr.Ack)
+		dst = append(dst, p.TCPHdr.Flags)
+		dst = binary.BigEndian.AppendUint16(dst, p.TCPHdr.Window)
+	case packet.ProtoUDP:
+		dst = binary.BigEndian.AppendUint16(dst, p.UDPHdr.SrcPort)
+		dst = binary.BigEndian.AppendUint16(dst, p.UDPHdr.DstPort)
+		dst = binary.BigEndian.AppendUint16(dst, p.UDPHdr.Length)
+	}
+
+	dst = binary.AppendUvarint(dst, uint64(p.PayloadLen))
+	if p.Payload != nil {
+		dst = binary.AppendUvarint(dst, uint64(len(p.Payload)))
+		dst = append(dst, p.Payload...)
+	}
+
+	m := &p.Meta
+	dst = binary.AppendUvarint(dst, uint64(len(m.Class)))
+	dst = append(dst, m.Class...)
+	if len(m.Classes) > 0 {
+		dst = binary.AppendUvarint(dst, uint64(len(m.Classes)))
+		for _, c := range m.Classes {
+			dst = binary.AppendUvarint(dst, uint64(len(c)))
+			dst = append(dst, c...)
+		}
+	}
+	dst = binary.AppendUvarint(dst, m.MsgID)
+	dst = binary.AppendVarint(dst, m.MsgType)
+	dst = binary.AppendVarint(dst, m.MsgSize)
+	dst = binary.AppendVarint(dst, m.WireSize)
+	dst = binary.AppendVarint(dst, m.Tenant)
+	dst = binary.AppendVarint(dst, m.Key)
+	dst = binary.AppendVarint(dst, m.NewMsg)
+	dst = binary.AppendUvarint(dst, m.TraceID)
+	return dst
+}
+
+// Decoder decodes udpnet frames into caller-provided packets. It interns
+// class-name strings, so the steady-state decode of a known class
+// allocates nothing. A Decoder is not safe for concurrent use; each
+// node's event loop owns one.
+type Decoder struct {
+	names map[string]string
+}
+
+// reader is a bounds-checked cursor over one frame.
+type reader struct {
+	buf []byte
+	off int
+}
+
+func (r *reader) u8() (byte, error) {
+	if r.off >= len(r.buf) {
+		return 0, errShort
+	}
+	b := r.buf[r.off]
+	r.off++
+	return b, nil
+}
+
+func (r *reader) bytes(n int) ([]byte, error) {
+	// n > remaining is computed subtraction-side so a huge declared
+	// length (from a hostile varint) cannot overflow the comparison.
+	if n < 0 || n > len(r.buf)-r.off {
+		return nil, errShort
+	}
+	b := r.buf[r.off : r.off+n]
+	r.off += n
+	return b, nil
+}
+
+func (r *reader) u16() (uint16, error) {
+	b, err := r.bytes(2)
+	if err != nil {
+		return 0, err
+	}
+	return binary.BigEndian.Uint16(b), nil
+}
+
+func (r *reader) u32() (uint32, error) {
+	b, err := r.bytes(4)
+	if err != nil {
+		return 0, err
+	}
+	return binary.BigEndian.Uint32(b), nil
+}
+
+func (r *reader) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(r.buf[r.off:])
+	if n <= 0 {
+		return 0, errShort
+	}
+	r.off += n
+	return v, nil
+}
+
+func (r *reader) varint() (int64, error) {
+	v, n := binary.Varint(r.buf[r.off:])
+	if n <= 0 {
+		return 0, errShort
+	}
+	r.off += n
+	return v, nil
+}
+
+// intern returns a string equal to b, reusing a previously decoded
+// instance when possible (the map lookup on string(b) does not allocate).
+func (d *Decoder) intern(b []byte) string {
+	if len(b) == 0 {
+		return ""
+	}
+	if s, ok := d.names[string(b)]; ok {
+		return s
+	}
+	if d.names == nil {
+		d.names = make(map[string]string)
+	} else if len(d.names) >= maxInterned {
+		clear(d.names)
+	}
+	s := string(b)
+	d.names[s] = s
+	return s
+}
+
+func (d *Decoder) class(r *reader) (string, error) {
+	n, err := r.uvarint()
+	if err != nil {
+		return "", err
+	}
+	if n > maxClassLen {
+		return "", errLimit
+	}
+	b, err := r.bytes(int(n))
+	if err != nil {
+		return "", err
+	}
+	return d.intern(b), nil
+}
+
+// DecodePacket decodes one frame into p, overwriting every field. On
+// success p.Payload aliases buf (valid only as long as buf is) when the
+// frame carried payload bytes, and is nil otherwise; p.Meta.Control is
+// reset like packet.Unmarshal does. On error p is left in an
+// unspecified state and must not be used; the buffer is never retained
+// either way, so pooled buffers cannot leak through failed decodes.
+func (d *Decoder) DecodePacket(buf []byte, p *packet.Packet) error {
+	r := reader{buf: buf}
+	magic, err := r.u8()
+	if err != nil {
+		return err
+	}
+	if magic != frameMagic {
+		return errMagic
+	}
+	version, err := r.u8()
+	if err != nil {
+		return err
+	}
+	if version != frameVersion {
+		return errVersion
+	}
+	flags, err := r.u8()
+	if err != nil {
+		return err
+	}
+
+	eth, err := r.bytes(12)
+	if err != nil {
+		return err
+	}
+	copy(p.Eth.Dst[:], eth[0:6])
+	copy(p.Eth.Src[:], eth[6:12])
+	if p.Eth.EtherType, err = r.u16(); err != nil {
+		return err
+	}
+	p.HasVLAN = flags&flagVLAN != 0
+	p.VLAN = packet.Dot1Q{}
+	if p.HasVLAN {
+		if p.VLAN.PCP, err = r.u8(); err != nil {
+			return err
+		}
+		if p.VLAN.VID, err = r.u16(); err != nil {
+			return err
+		}
+	}
+
+	if p.IP.Src, err = r.u32(); err != nil {
+		return err
+	}
+	if p.IP.Dst, err = r.u32(); err != nil {
+		return err
+	}
+	hdr, err := r.bytes(3)
+	if err != nil {
+		return err
+	}
+	p.IP.Proto, p.IP.TTL, p.IP.DSCP = hdr[0], hdr[1], hdr[2]
+	if p.IP.TotalLength, err = r.u16(); err != nil {
+		return err
+	}
+	if p.IP.ID, err = r.u16(); err != nil {
+		return err
+	}
+
+	p.TCPHdr = packet.TCP{}
+	p.UDPHdr = packet.UDP{}
+	switch p.IP.Proto {
+	case packet.ProtoTCP:
+		if p.TCPHdr.SrcPort, err = r.u16(); err != nil {
+			return err
+		}
+		if p.TCPHdr.DstPort, err = r.u16(); err != nil {
+			return err
+		}
+		if p.TCPHdr.Seq, err = r.u32(); err != nil {
+			return err
+		}
+		if p.TCPHdr.Ack, err = r.u32(); err != nil {
+			return err
+		}
+		if p.TCPHdr.Flags, err = r.u8(); err != nil {
+			return err
+		}
+		if p.TCPHdr.Window, err = r.u16(); err != nil {
+			return err
+		}
+	case packet.ProtoUDP:
+		if p.UDPHdr.SrcPort, err = r.u16(); err != nil {
+			return err
+		}
+		if p.UDPHdr.DstPort, err = r.u16(); err != nil {
+			return err
+		}
+		if p.UDPHdr.Length, err = r.u16(); err != nil {
+			return err
+		}
+	}
+
+	plen, err := r.uvarint()
+	if err != nil {
+		return err
+	}
+	if plen > 1<<16 {
+		return errLimit
+	}
+	p.PayloadLen = int(plen)
+	p.Payload = nil
+	if flags&flagPayload != 0 {
+		n, err := r.uvarint()
+		if err != nil {
+			return err
+		}
+		if p.Payload, err = r.bytes(int(n)); err != nil {
+			return err
+		}
+	}
+
+	m := &p.Meta
+	if m.Class, err = d.class(&r); err != nil {
+		return err
+	}
+	// Classes gets a fresh slice rather than reusing the packet's old
+	// backing array: receivers (the transport's out-of-order buffer, app
+	// callbacks) retain Metadata copies by value, and a shared backing
+	// array would let the next decode rewrite a retained segment's class
+	// list. Multi-class frames are rare, so only they pay the allocation;
+	// the dominant single-class decode stays allocation-free.
+	m.Classes = nil
+	if flags&flagClasses != 0 {
+		n, err := r.uvarint()
+		if err != nil {
+			return err
+		}
+		if n == 0 || n > maxClasses {
+			return errLimit
+		}
+		m.Classes = make([]string, 0, n)
+		for i := uint64(0); i < n; i++ {
+			c, err := d.class(&r)
+			if err != nil {
+				return err
+			}
+			m.Classes = append(m.Classes, c)
+		}
+	}
+	if m.MsgID, err = r.uvarint(); err != nil {
+		return err
+	}
+	if m.MsgType, err = r.varint(); err != nil {
+		return err
+	}
+	if m.MsgSize, err = r.varint(); err != nil {
+		return err
+	}
+	if m.WireSize, err = r.varint(); err != nil {
+		return err
+	}
+	if m.Tenant, err = r.varint(); err != nil {
+		return err
+	}
+	if m.Key, err = r.varint(); err != nil {
+		return err
+	}
+	if m.NewMsg, err = r.varint(); err != nil {
+		return err
+	}
+	if m.TraceID, err = r.uvarint(); err != nil {
+		return err
+	}
+	if r.off != len(buf) {
+		return errTrailing
+	}
+	p.ResetControl()
+	return nil
+}

@@ -1,0 +1,252 @@
+package udpnet
+
+import (
+	"encoding/binary"
+	"errors"
+	"reflect"
+	"testing"
+
+	"eden/internal/packet"
+)
+
+// fullPacket builds a packet exercising every encodable field.
+func fullPacket() *packet.Packet {
+	p := packet.New(packet.MustParseIP("10.0.0.1"), packet.MustParseIP("10.0.0.2"), 10001, 80, 1460)
+	p.Eth.Src = [6]byte{0x02, 0, 0, 0, 0, 1}
+	p.Eth.Dst = [6]byte{0x02, 0, 0, 0, 0, 2}
+	p.HasVLAN = true
+	p.VLAN = packet.Dot1Q{PCP: 6, VID: 42}
+	p.IP.TTL = 61
+	p.IP.DSCP = 8
+	p.IP.ID = 7001
+	p.TCPHdr.Seq = 123456
+	p.TCPHdr.Ack = 654321
+	p.TCPHdr.Flags = packet.FlagACK | packet.FlagPSH
+	p.TCPHdr.Window = 65000
+	p.Payload = []byte("hello eden")
+	p.Meta.Class = "stage.rules.web"
+	p.Meta.Classes = []string{"stage.rules.web", "stage.rules.bulk"}
+	p.Meta.MsgID = 991
+	p.Meta.MsgType = 2
+	p.Meta.MsgSize = 1 << 20
+	p.Meta.WireSize = 1462
+	p.Meta.Tenant = 7
+	p.Meta.Key = -12345
+	p.Meta.NewMsg = 1
+	p.Meta.TraceID = 55
+	return p
+}
+
+// normalize copies aliased slices and canonicalizes empties so packets
+// decoded from different buffers compare with DeepEqual.
+func normalize(p *packet.Packet) {
+	if len(p.Payload) == 0 {
+		p.Payload = nil
+	} else {
+		p.Payload = append([]byte(nil), p.Payload...)
+	}
+	if len(p.Meta.Classes) == 0 {
+		p.Meta.Classes = nil
+	}
+}
+
+func roundTrip(t *testing.T, p *packet.Packet) *packet.Packet {
+	t.Helper()
+	enc := AppendPacket(nil, p)
+	var d Decoder
+	got := &packet.Packet{}
+	if err := d.DecodePacket(enc, got); err != nil {
+		t.Fatalf("DecodePacket: %v", err)
+	}
+	return got
+}
+
+func TestCodecRoundTripTCP(t *testing.T) {
+	p := fullPacket()
+	got := roundTrip(t, p)
+	want := fullPacket()
+	want.ResetControl() // decode resets control outputs
+	normalize(got)
+	normalize(want)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestCodecRoundTripUDP(t *testing.T) {
+	p := packet.NewUDP(packet.MustParseIP("10.0.0.1"), packet.MustParseIP("10.0.0.2"), 5000, 5001, 4)
+	p.Payload = []byte{1, 2, 3, 4}
+	p.Meta.Class = "app.raw"
+	got := roundTrip(t, p)
+	if got.IP.Proto != packet.ProtoUDP || got.UDPHdr.SrcPort != 5000 || got.UDPHdr.DstPort != 5001 {
+		t.Fatalf("UDP header mismatch: %+v", got.UDPHdr)
+	}
+	if string(got.Payload) != "\x01\x02\x03\x04" || got.Meta.Class != "app.raw" {
+		t.Fatalf("payload/class mismatch: %q %q", got.Payload, got.Meta.Class)
+	}
+}
+
+// The simulator's transport sends segments with a declared payload
+// length but no payload bytes; the frame must stay small and the
+// distinction must survive the trip.
+func TestCodecSyntheticPayload(t *testing.T) {
+	p := packet.New(1, 2, 10001, 80, 1460)
+	p.Meta.Class = "x"
+	enc := AppendPacket(nil, p)
+	if len(enc) > 100 {
+		t.Fatalf("synthetic-payload frame is %d bytes, want <100", len(enc))
+	}
+	got := roundTrip(t, p)
+	if got.PayloadLen != 1460 || got.Payload != nil {
+		t.Fatalf("PayloadLen=%d Payload=%v, want 1460/nil", got.PayloadLen, got.Payload)
+	}
+}
+
+// Decoding overwrites every field of a recycled packet: leftovers from a
+// previous decode (VLAN, classes, payload, control writes) must not
+// survive into the next one.
+func TestCodecDecodeOverwritesRecycledPacket(t *testing.T) {
+	var d Decoder
+	pk := &packet.Packet{}
+	if err := d.DecodePacket(AppendPacket(nil, fullPacket()), pk); err != nil {
+		t.Fatal(err)
+	}
+	pk.Meta.Control.Drop = 1 // simulate an enclave verdict on the old packet
+	plain := packet.New(3, 4, 10002, 81, 0)
+	plain.Meta.Class = "y"
+	if err := d.DecodePacket(AppendPacket(nil, plain), pk); err != nil {
+		t.Fatal(err)
+	}
+	if pk.HasVLAN || pk.Payload != nil || len(pk.Meta.Classes) != 0 {
+		t.Fatalf("stale fields survived recycle: %+v", pk)
+	}
+	if pk.Meta.Control.Drop != 0 || pk.Meta.Control.Queue != -1 {
+		t.Fatalf("control not reset: %+v", pk.Meta.Control)
+	}
+}
+
+// The steady-state decode of a known class must not allocate — the
+// receive path's zero-alloc claim rests on it.
+func TestCodecDecodeZeroAllocs(t *testing.T) {
+	p := packet.New(1, 2, 10001, 80, 1460)
+	p.Meta.Class = "stage.rules.web"
+	p.Payload = []byte("0123456789abcdef")
+	enc := AppendPacket(nil, p)
+	var d Decoder
+	var out packet.Packet
+	if err := d.DecodePacket(enc, &out); err != nil { // warm the intern table
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if err := d.DecodePacket(enc, &out); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("decode allocates %.1f per run, want 0", allocs)
+	}
+}
+
+func TestCodecDecodeErrors(t *testing.T) {
+	valid := AppendPacket(nil, fullPacket())
+	cases := []struct {
+		name string
+		buf  []byte
+	}{
+		{"empty", nil},
+		{"bad magic", append([]byte{0x00}, valid[1:]...)},
+		{"bad version", append([]byte{frameMagic, 99}, valid[2:]...)},
+		{"trailing bytes", append(append([]byte(nil), valid...), 0)},
+	}
+	// Every truncation of a valid frame must fail cleanly (the last
+	// field is a varint, so a few truncations of it still parse — skip
+	// lengths that happen to form a complete shorter frame).
+	for i := 0; i < len(valid); i++ {
+		cases = append(cases, struct {
+			name string
+			buf  []byte
+		}{"truncated", valid[:i]})
+	}
+	var d Decoder
+	for _, tc := range cases {
+		var p packet.Packet
+		err := d.DecodePacket(tc.buf, &p)
+		if err == nil {
+			t.Fatalf("%s (%d bytes): decode succeeded, want error", tc.name, len(tc.buf))
+		}
+		if !errors.Is(err, ErrFrame) {
+			t.Fatalf("%s: error %v is not ErrFrame", tc.name, err)
+		}
+	}
+}
+
+// Hostile declared lengths must be rejected before allocation and must
+// not overflow the bounds arithmetic.
+func TestCodecDecodeHostileLengths(t *testing.T) {
+	// Offset of the payload declared-length varint in a no-VLAN TCP
+	// frame: 3 header bytes + 14 eth + 15 ipv4 + 15 tcp.
+	const payloadOff = 3 + 14 + 15 + 15
+	a := AppendPacket(nil, packet.New(1, 2, 3, 4, 0))
+	if a[payloadOff] != 0 {
+		t.Fatalf("frame layout changed; update payloadOff")
+	}
+	prefix := a[:payloadOff:payloadOff]
+	huge := binary.AppendUvarint(nil, 1<<62)
+
+	cases := map[string][]byte{
+		"huge declared payload": append(append([]byte(nil), prefix...), huge...),
+		"oversized class": append(append(append([]byte(nil), prefix...), 0),
+			binary.AppendUvarint(nil, maxClassLen+1)...),
+	}
+	withPayload := append([]byte(nil), prefix...)
+	withPayload[2] |= flagPayload
+	withPayload = append(withPayload, 0) // declared len 0
+	cases["huge carried payload"] = append(withPayload, huge...)
+
+	withClasses := append([]byte(nil), prefix...)
+	withClasses[2] |= flagClasses
+	withClasses = append(withClasses, 0, 0) // declared payload 0, class len 0
+	cases["zero classes count"] = append(append([]byte(nil), withClasses...), 0)
+	cases["huge classes count"] = append(append([]byte(nil), withClasses...),
+		binary.AppendUvarint(nil, maxClasses+1)...)
+
+	var d Decoder
+	for name, buf := range cases {
+		var p packet.Packet
+		if err := d.DecodePacket(buf, &p); !errors.Is(err, ErrFrame) {
+			t.Fatalf("%s: err=%v, want ErrFrame", name, err)
+		}
+	}
+}
+
+func FuzzCodec(f *testing.F) {
+	f.Add(AppendPacket(nil, fullPacket()))
+	f.Add(AppendPacket(nil, packet.New(1, 2, 10001, 80, 1460)))
+	udp := packet.NewUDP(3, 4, 53, 53, 8)
+	udp.Payload = []byte("payload!")
+	f.Add(AppendPacket(nil, udp))
+	f.Add([]byte{frameMagic, frameVersion})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var d Decoder
+		var p packet.Packet
+		if err := d.DecodePacket(data, &p); err != nil {
+			if !errors.Is(err, ErrFrame) {
+				t.Fatalf("decode error %v does not wrap ErrFrame", err)
+			}
+			return
+		}
+		// Accepted frames must re-encode to something that decodes to
+		// the same packet (the codec is semantically stable even for
+		// non-canonical varint inputs).
+		enc := AppendPacket(nil, &p)
+		var p2 packet.Packet
+		if err := d.DecodePacket(enc, &p2); err != nil {
+			t.Fatalf("re-decode of re-encoded frame: %v", err)
+		}
+		normalize(&p)
+		normalize(&p2)
+		if !reflect.DeepEqual(&p, &p2) {
+			t.Fatalf("re-encode not stable:\n  p  %+v\n  p2 %+v", &p, &p2)
+		}
+	})
+}

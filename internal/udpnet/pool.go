@@ -1,0 +1,95 @@
+package udpnet
+
+import (
+	"eden/internal/metrics"
+	"eden/internal/packet"
+)
+
+// buf is one pooled datagram buffer. The backing array is fixed-size
+// (the node's MaxDatagram); b is resliced per use.
+type buf struct {
+	b []byte
+}
+
+// bufPool is a bounded free list of datagram buffers. Unlike sync.Pool
+// it is deterministic — buffers survive GC, so a steady-state node
+// allocates exactly zero buffers per packet — and instrumented: allocs
+// counts buffers created because the free list ran dry, and outstanding
+// tracks Get minus Put, which a leak (a lost buffer on an error path)
+// would push upward without bound. Both metrics may be nil.
+type bufPool struct {
+	size        int
+	free        chan *buf
+	allocs      *metrics.Counter
+	outstanding *metrics.Gauge
+}
+
+func newBufPool(size, capacity int, allocs *metrics.Counter, outstanding *metrics.Gauge) *bufPool {
+	return &bufPool{
+		size:        size,
+		free:        make(chan *buf, capacity),
+		allocs:      allocs,
+		outstanding: outstanding,
+	}
+}
+
+// Get returns a buffer with len == size.
+func (p *bufPool) Get() *buf {
+	p.outstanding.Add(1)
+	select {
+	case b := <-p.free:
+		return b
+	default:
+		p.allocs.Inc()
+		return &buf{b: make([]byte, p.size)}
+	}
+}
+
+// Put returns a buffer to the free list; when the list is full the
+// buffer is dropped for the GC (the pool is bounded, not an unbounded
+// cache).
+func (p *bufPool) Put(b *buf) {
+	p.outstanding.Add(-1)
+	b.b = b.b[:cap(b.b)]
+	select {
+	case p.free <- b:
+	default:
+	}
+}
+
+// pktPool is the same free-list discipline for decoded packets. The
+// Payload alias is cleared on Put so a pooled packet never pins a
+// datagram buffer.
+type pktPool struct {
+	free        chan *packet.Packet
+	allocs      *metrics.Counter
+	outstanding *metrics.Gauge
+}
+
+func newPktPool(capacity int, allocs *metrics.Counter, outstanding *metrics.Gauge) *pktPool {
+	return &pktPool{
+		free:        make(chan *packet.Packet, capacity),
+		allocs:      allocs,
+		outstanding: outstanding,
+	}
+}
+
+func (p *pktPool) Get() *packet.Packet {
+	p.outstanding.Add(1)
+	select {
+	case pk := <-p.free:
+		return pk
+	default:
+		p.allocs.Inc()
+		return &packet.Packet{}
+	}
+}
+
+func (p *pktPool) Put(pk *packet.Packet) {
+	p.outstanding.Add(-1)
+	pk.Payload = nil
+	select {
+	case p.free <- pk:
+	default:
+	}
+}

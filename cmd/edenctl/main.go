@@ -15,17 +15,37 @@
 //	enclave host1-os set-array pias priovals 7,5
 //	enclave host1-os create-table egress sched
 //	enclave host1-os add-rule egress sched * pias
+//
+// With -ops-addr, the controller's own ops endpoint additionally serves
+// the fleet view: per-agent rollups of the metric snapshots agents push
+// on their heartbeat cadence, plus fleet-level aggregates, all on
+// /metrics with per-agent labels. The "fleet" script verb prints the
+// same view.
+//
+// With -trace-from, edenctl runs as a trace stitcher instead of a
+// controller: it fetches the packet-trace rings of several edend ops
+// endpoints and merges one packet's hop events into a single ordered
+// timeline (-trace picks the id; "auto" selects one seen by the most
+// processes):
+//
+//	edenctl -trace auto -trace-from 127.0.0.1:9091,127.0.0.1:9092
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
+	"sort"
+	"strconv"
+	"strings"
 
 	"eden/internal/controller"
 	"eden/internal/metrics"
 	"eden/internal/telemetry"
+	"eden/internal/trace"
 )
 
 func main() {
@@ -36,8 +56,17 @@ func main() {
 		opsAddr  = flag.String("ops-addr", "", "serve a live ops endpoint (/metrics, /agentz, /spanz, pprof) on this address")
 		logLevel = flag.String("log-level", "info", "structured log level: debug, info, warn, error")
 		spans    = flag.Bool("spans", false, "dump the collected control-plane spans after the script finishes")
+		traceID  = flag.String("trace", "auto", "trace id to stitch (with -trace-from): a number, or auto to pick one seen by the most processes")
+		traceSrc = flag.String("trace-from", "", "stitch mode: comma-separated ops endpoints to fetch /trace rings from")
 	)
 	flag.Parse()
+
+	if *traceSrc != "" {
+		if err := stitchTrace(*traceID, strings.Split(*traceSrc, ","), os.Stdout); err != nil {
+			fatalf("%v", err)
+		}
+		return
+	}
 
 	logger, err := telemetry.NewLogger(os.Stderr, *logLevel)
 	if err != nil {
@@ -55,6 +84,10 @@ func main() {
 	if *opsAddr != "" {
 		set := metrics.NewSet()
 		set.Add(ctl.Metrics())
+		// The fleet view rides on the controller's own endpoint: every
+		// agent's pushed rollups (labelled agent="...") plus the
+		// fleet.<subsystem> aggregates.
+		set.AddMultiSource(ctl.FleetSnapshot)
 		srv, err := telemetry.StartOps(*opsAddr, telemetry.OpsConfig{
 			Metrics: set,
 			Spans:   ctl.Spans(),
@@ -90,6 +123,123 @@ func main() {
 	if *stay {
 		select {}
 	}
+}
+
+// stitchTrace fetches the packet-trace rings of several ops endpoints
+// and prints one packet's journey as a single time-ordered timeline.
+// Event times are wall-clock nanoseconds from each process's monotonic
+// clock, so cross-process ordering is good to within clock sync error —
+// fine on one machine, indicative across NTP-synced hosts.
+func stitchTrace(idSpec string, endpoints []string, w io.Writer) error {
+	rings := make([][]trace.Event, 0, len(endpoints))
+	eps := make([]string, 0, len(endpoints))
+	for _, ep := range endpoints {
+		ep = strings.TrimSpace(ep)
+		if ep == "" {
+			continue
+		}
+		var events []trace.Event
+		if err := fetchJSON("http://"+ep+"/trace", &events); err != nil {
+			return fmt.Errorf("fetch %s: %w", ep, err)
+		}
+		rings = append(rings, events)
+		eps = append(eps, ep)
+	}
+	if len(rings) == 0 {
+		return fmt.Errorf("no endpoints given")
+	}
+
+	var id uint64
+	if idSpec == "" || idSpec == "auto" {
+		id = pickTraceID(rings)
+		if id == 0 {
+			return fmt.Errorf("no traced packets found on %s", strings.Join(eps, ", "))
+		}
+	} else {
+		n, err := strconv.ParseUint(idSpec, 0, 64)
+		if err != nil {
+			return fmt.Errorf("bad trace id %q: %v", idSpec, err)
+		}
+		id = n
+	}
+
+	// Merge only the rings that saw this packet, so the endpoint count
+	// reflects how many processes the journey actually crossed.
+	var parts [][]trace.Event
+	for _, ring := range rings {
+		var part []trace.Event
+		for _, ev := range ring {
+			if ev.Pkt == id {
+				part = append(part, ev)
+			}
+		}
+		if len(part) > 0 {
+			parts = append(parts, part)
+		}
+	}
+	merged := trace.MergeTimelines(parts...)
+	if len(merged) == 0 {
+		return fmt.Errorf("trace %#x has no events on %s", id, strings.Join(eps, ", "))
+	}
+
+	fmt.Fprintf(w, "trace %#x: %d events from %d endpoints\n", id, len(merged), len(parts))
+	base := merged[0].Time
+	for _, ev := range merged {
+		fmt.Fprintf(w, "  +%10.3fus  %-8s %-20s %s\n",
+			float64(ev.Time-base)/1e3, ev.Kind.String(), ev.Node, ev.Detail)
+	}
+	return nil
+}
+
+// pickTraceID selects the id seen by the most rings (ties broken toward
+// the one with the most events) — with cross-process tracing on, that is
+// a packet whose journey spans processes.
+func pickTraceID(rings [][]trace.Event) uint64 {
+	ringsSeen := map[uint64]int{}
+	events := map[uint64]int{}
+	for _, ring := range rings {
+		per := map[uint64]bool{}
+		for _, ev := range ring {
+			events[ev.Pkt]++
+			if !per[ev.Pkt] {
+				per[ev.Pkt] = true
+				ringsSeen[ev.Pkt]++
+			}
+		}
+	}
+	ids := make([]uint64, 0, len(ringsSeen))
+	for id := range ringsSeen {
+		ids = append(ids, id)
+	}
+	// Deterministic tie-break so repeated runs pick the same packet.
+	sort.Slice(ids, func(i, j int) bool {
+		a, b := ids[i], ids[j]
+		if ringsSeen[a] != ringsSeen[b] {
+			return ringsSeen[a] > ringsSeen[b]
+		}
+		if events[a] != events[b] {
+			return events[a] > events[b]
+		}
+		return a < b
+	})
+	if len(ids) == 0 {
+		return 0
+	}
+	return ids[0]
+}
+
+func fetchJSON(url string, v any) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		return fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+	dec := json.NewDecoder(resp.Body)
+	return dec.Decode(v)
 }
 
 func fatalf(format string, args ...any) {

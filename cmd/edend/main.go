@@ -15,7 +15,13 @@
 // With -ops-addr, the daemon serves a live ops endpoint: Prometheus
 // metrics (including the enclave's counters and interpreter-latency
 // histogram with quantiles) at /metrics, a JSON snapshot at /metricz,
-// span dumps at /spanz, and pprof under /debug/pprof/.
+// span dumps at /spanz, and pprof under /debug/pprof/. With -trace, the
+// daemon samples packets into a hop-event ring served at /trace —
+// edenctl -trace stitches rings from several daemons into one timeline.
+// With -record, a wall-clock flight recorder keeps per-interval metric
+// deltas at /flightz. When reconnect is on (the default), the daemon
+// also pushes metric snapshots to the controller on the heartbeat
+// cadence, feeding its fleet-wide rollups.
 //
 // With -listen, the daemon runs the real-socket substrate: its enclave
 // attaches to a udpnet node and processes live UDP traffic exchanged
@@ -48,6 +54,7 @@ import (
 	"eden/internal/metrics"
 	"eden/internal/packet"
 	"eden/internal/telemetry"
+	"eden/internal/trace"
 	"eden/internal/udpnet"
 )
 
@@ -68,6 +75,8 @@ func main() {
 		modelIP   = flag.String("ip", "", "model IPv4 address of this host on the substrate (required with -listen)")
 		echo      = flag.Bool("echo", false, "echo raw substrate packets back to their sender")
 		traffic   = flag.String("traffic", "", "generate raw substrate traffic: dstIP:pps:bytes")
+		traceSpec = flag.String("trace", "", "sample packets for hop tracing (first:N, every:K or flow:N); rings served at /trace on the ops endpoint")
+		record    = flag.Duration("record", 0, "flight-record per-interval metric deltas at this wall-clock cadence (served at /flightz)")
 	)
 	peers := map[uint32]string{}
 	flag.Func("peer", "substrate route modelIP=udpAddr (repeatable)", func(s string) error {
@@ -93,6 +102,21 @@ func main() {
 
 	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
 	wall := func() int64 { return time.Now().UnixNano() }
+
+	// The tracer is shared by the enclave (classify/verdict events) and
+	// the udpnet node (tx/rx/deliver/drop hops). Each process seeds its
+	// id space with a random 63-bit base so edenctl can stitch rings
+	// fetched from several processes without id collisions.
+	var tracer *trace.Tracer
+	if *traceSpec != "" {
+		tracer, err = trace.NewTracerSpec(4096, *traceSpec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "edend: -trace: %v\n", err)
+			os.Exit(2)
+		}
+		tracer.SeedIDs(rng.Uint64() >> 1)
+	}
+
 	enc := enclave.New(enclave.Config{
 		Name:     *name,
 		Platform: *platform,
@@ -105,6 +129,7 @@ func main() {
 		// WallClock enables the interpreter-latency histogram, so the ops
 		// endpoint's /metrics has a histogram (with quantiles) to export.
 		WallClock: wall,
+		Tracer:    tracer,
 	})
 
 	stopSweeper := startIdleSweeper(enc, *idle, wall)
@@ -117,7 +142,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "edend: -listen requires -ip (model IPv4): %v\n", err)
 			os.Exit(2)
 		}
-		cfg := udpnet.Config{Listen: *listenUDP, IP: ip, Peers: peers}
+		cfg := udpnet.Config{Listen: *listenUDP, IP: ip, Peers: peers, Tracer: tracer}
 		if *platform == "nic" {
 			cfg.NIC = enc
 		} else {
@@ -137,6 +162,9 @@ func main() {
 				reply.Payload = append([]byte(nil), pk.Payload...)
 				reply.Meta.Class = "app.echo"
 				reply.Meta.MsgID = pk.Meta.MsgID
+				// The reply inherits the request's trace id so one
+				// stitched timeline covers the full round trip.
+				reply.Meta.TraceID = pk.Meta.TraceID
 				n.Output(reply) // OnRaw runs on the loop, so egress directly
 			}
 		}
@@ -162,16 +190,29 @@ func main() {
 		os.Exit(2)
 	}
 
+	// One metrics set backs everything downstream: the ops endpoint, the
+	// flight recorder, and the fleet push loop toward the controller.
+	set := metrics.NewSet()
+	set.Add(enc.Metrics())
+	if node != nil {
+		set.Add(node.Metrics())
+		set.AddSource(node.TransportMetrics)
+	}
+
+	var flight *telemetry.FlightRecorder
+	if *record > 0 {
+		flight = telemetry.NewFlightRecorder(set, record.Nanoseconds())
+		stopFlight := flight.StartWall()
+		defer stopFlight()
+		logger.Info("flight recorder started", "interval", record.String())
+	}
+
 	if *opsAddr != "" {
-		set := metrics.NewSet()
-		set.Add(enc.Metrics())
-		if node != nil {
-			set.Add(node.Metrics())
-			set.AddSource(node.TransportMetrics)
-		}
 		srv, err := telemetry.StartOps(*opsAddr, telemetry.OpsConfig{
 			Metrics: set,
 			Spans:   enc.Spans(),
+			Trace:   tracer,
+			Flight:  flight,
 			Logger:  logger,
 		})
 		if err != nil {
@@ -194,7 +235,10 @@ func main() {
 		// lifecycle is reported on the structured log.
 		agent := controller.ServeEnclavePersistent(*ctlAddr, *host, enc, controller.ReconnectConfig{
 			Heartbeat: *heartbeat,
-			Logger:    logger.With("enclave", *name, "platform", *platform),
+			// Push metrics snapshots on the heartbeat cadence so the
+			// controller's fleet rollups track this daemon.
+			Metrics: set,
+			Logger:  logger.With("enclave", *name, "platform", *platform),
 		})
 		defer agent.Close()
 		select {} // serve until killed

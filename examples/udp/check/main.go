@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"eden/internal/metrics"
+	"eden/internal/trace"
 )
 
 func main() {
@@ -63,8 +64,18 @@ func main() {
 		// Prometheus exposition is alive and includes the substrate.
 		requirePrometheus(*sender, &missing)
 
+		// Cross-process tracing: at least one trace id sampled on the
+		// sender's egress must also appear in the receiver's ring — the
+		// id travelled inside the frame codec and both ends stamped hops.
+		requireStitchedTrace(*sender, *receiver, &missing)
+
+		// Fleet aggregation: both daemons push their metric snapshots to
+		// the controller, whose own /metrics must serve per-agent series
+		// and nonzero fleet.udpnet aggregates.
+		requireFleet(*controller, &missing)
+
 		if len(missing) == 0 {
-			fmt.Println("check: ok — live UDP traffic, applied policy, spans and /metrics all present")
+			fmt.Println("check: ok — live UDP traffic, applied policy, spans, stitched trace and fleet /metrics all present")
 			return
 		}
 		if time.Now().After(deadline) {
@@ -125,6 +136,82 @@ func requireSpans(addr string, missing *[]string, what string) {
 	var spans []json.RawMessage
 	if err := json.Unmarshal(body, &spans); err != nil || len(spans) == 0 {
 		*missing = append(*missing, fmt.Sprintf("%s: empty or invalid /spanz", what))
+	}
+}
+
+// requireStitchedTrace asserts one packet's trace id appears in both
+// processes' /trace rings, with a tx hop on one side and an rx on the
+// other — the property edenctl -trace-from stitches into a timeline.
+func requireStitchedTrace(sender, receiver string, missing *[]string) {
+	fetch := func(addr string) map[uint64][]trace.Event {
+		body, err := get(addr, "/trace")
+		if err != nil {
+			*missing = append(*missing, fmt.Sprintf("trace %s: %v", addr, err))
+			return nil
+		}
+		var events []trace.Event
+		if err := json.Unmarshal(body, &events); err != nil {
+			*missing = append(*missing, fmt.Sprintf("trace %s: bad JSON: %v", addr, err))
+			return nil
+		}
+		byID := map[uint64][]trace.Event{}
+		for _, ev := range events {
+			byID[ev.Pkt] = append(byID[ev.Pkt], ev)
+		}
+		return byID
+	}
+	s, r := fetch(sender), fetch(receiver)
+	if s == nil || r == nil {
+		return
+	}
+	for id, sEvents := range s {
+		rEvents, ok := r[id]
+		if !ok {
+			continue
+		}
+		if hasKind(sEvents, trace.KindTx) && hasKind(rEvents, trace.KindRx) {
+			return
+		}
+	}
+	*missing = append(*missing, fmt.Sprintf(
+		"stitched trace (no id with tx on sender and rx on receiver; sender ids %d, receiver ids %d)", len(s), len(r)))
+}
+
+func hasKind(events []trace.Event, k trace.Kind) bool {
+	for _, ev := range events {
+		if ev.Kind == k {
+			return true
+		}
+	}
+	return false
+}
+
+// requireFleet asserts the controller's Prometheus exposition carries the
+// pushed fleet view: series labelled with an agent, and a nonzero
+// fleet.udpnet aggregate counter.
+func requireFleet(addr string, missing *[]string) {
+	body, err := get(addr, "/metrics")
+	if err != nil {
+		*missing = append(*missing, fmt.Sprintf("fleet prometheus %s: %v", addr, err))
+		return
+	}
+	text := string(body)
+	if !strings.Contains(text, `agent="`) {
+		*missing = append(*missing, "fleet per-agent series (agent=\"...\" label on controller /metrics)")
+	}
+	nonzero := false
+	for _, line := range strings.Split(text, "\n") {
+		if !strings.Contains(line, `registry="fleet.udpnet"`) {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 2 && fields[1] != "0" && fields[1] != "0.000000" {
+			nonzero = true
+			break
+		}
+	}
+	if !nonzero {
+		*missing = append(*missing, "nonzero fleet.udpnet aggregate on controller /metrics")
 	}
 }
 

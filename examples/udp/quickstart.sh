@@ -10,8 +10,10 @@
 #                      back to the sender
 #
 # All three serve live ops endpoints; the check program polls them until
-# traffic, applied policy and control-plane spans are all visible. Exits
-# nonzero if the deployment never converges.
+# traffic, applied policy, control-plane spans, a cross-process packet
+# trace and the controller's fleet-aggregated metrics are all visible.
+# Finally edenctl's stitch mode merges both daemons' trace rings into one
+# packet timeline. Exits nonzero if the deployment never converges.
 #
 # Usage: sh examples/udp/quickstart.sh
 set -eu
@@ -50,17 +52,28 @@ PIDS="$PIDS $!"
 echo "quickstart: starting receiver edend (10.0.0.2, echo)"
 "$BIN/edend" -controller 127.0.0.1:$CTL_PORT -name receiver-os -host receiver \
     -listen $RCV_UDP -ip 10.0.0.2 -peer 10.0.0.1=$SND_UDP \
-    -echo -ops-addr $RCV_OPS >"$LOGS/receiver.log" 2>&1 &
+    -echo -trace first:8 -ops-addr $RCV_OPS >"$LOGS/receiver.log" 2>&1 &
 PIDS="$PIDS $!"
 
 echo "quickstart: starting sender edend (10.0.0.1, 500 pkt/s)"
 "$BIN/edend" -controller 127.0.0.1:$CTL_PORT -name sender-os -host sender \
     -listen $SND_UDP -ip 10.0.0.1 -peer 10.0.0.2=$RCV_UDP \
-    -traffic 10.0.0.2:500:256 -ops-addr $SND_OPS >"$LOGS/sender.log" 2>&1 &
+    -traffic 10.0.0.2:500:256 -trace first:8 -record 250ms \
+    -ops-addr $SND_OPS >"$LOGS/sender.log" 2>&1 &
 PIDS="$PIDS $!"
 
 echo "quickstart: waiting for live traffic + policy (check polls ops endpoints)"
 if "$BIN/check" -sender $SND_OPS -receiver $RCV_OPS -controller $CTL_OPS; then
+    echo "quickstart: stitching one packet's trace across both processes"
+    STITCH=$("$BIN/edenctl" -trace auto -trace-from $SND_OPS,$RCV_OPS)
+    echo "$STITCH"
+    case "$STITCH" in
+    *"from 2 endpoints"*) ;;
+    *)
+        echo "quickstart: FAIL — stitched trace does not span both processes"
+        exit 1
+        ;;
+    esac
     echo "quickstart: PASS"
 else
     echo "quickstart: FAIL — dumping process logs"

@@ -62,6 +62,12 @@ type Controller struct {
 	// disconnects, resync outcomes). Defaults to discard; see SetLogger.
 	logger *slog.Logger
 
+	// Fleet metrics rollups (see fleet.go): per-agent cumulative
+	// snapshots built from OpMetricsPush, under their own lock so push
+	// application never contends with registration or resync.
+	fleetMu sync.Mutex
+	fleet   map[string]*agentRollup
+
 	// reg is the controller's own metrics registry ("controller").
 	reg               *metrics.Registry
 	mHellos           *metrics.Counter
@@ -73,6 +79,7 @@ type Controller struct {
 	mResyncsCoalesced *metrics.Counter
 	mResyncRetries    *metrics.Counter
 	mResyncErrors     *metrics.Counter
+	mMetricsPushes    *metrics.Counter
 	mAgentsConnects   *metrics.Gauge
 
 	wg sync.WaitGroup
@@ -139,6 +146,7 @@ func ListenWithPolicies(addr string, store *PolicyStore) (*Controller, error) {
 		mResyncsCoalesced: reg.Counter("resyncs_coalesced"),
 		mResyncRetries:    reg.Counter("resync_retries"),
 		mResyncErrors:     reg.Counter("resync_errors"),
+		mMetricsPushes:    reg.Counter("metrics_pushes"),
 		mAgentsConnects:   reg.Gauge("agents_connected"),
 	}
 	c.wg.Add(1)
@@ -266,9 +274,19 @@ func (c *Controller) handleConn(conn net.Conn) {
 		gate       sync.Mutex
 		ended      bool
 		registered bool
+		agentName  string
 	)
 	var peer *ctlproto.Peer
 	peer = ctlproto.NewPeer(conn, func(op string, params json.RawMessage, trace uint64) (any, error) {
+		if op == ctlproto.OpMetricsPush {
+			gate.Lock()
+			name, ok := agentName, registered && !ended
+			gate.Unlock()
+			if !ok {
+				return nil, fmt.Errorf("controller: metrics push before hello")
+			}
+			return nil, c.applyMetricsPush(name, params)
+		}
 		if op != ctlproto.OpHello {
 			return nil, fmt.Errorf("controller: unexpected op %q before hello", op)
 		}
@@ -291,6 +309,7 @@ func (c *Controller) handleConn(conn net.Conn) {
 			return nil, err
 		}
 		registered = true
+		agentName = h.Name
 		return nil, nil
 	})
 	peer.Instrument(c.spans, "controller")

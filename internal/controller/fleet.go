@@ -1,0 +1,170 @@
+// Fleet metrics aggregation: agents push compact diff-encoded snapshots
+// of their metrics.Set over ctlproto (OpMetricsPush), and the controller
+// folds them into per-agent rollups plus fleet-level aggregates — the
+// one-place view of a many-process deployment's health. The rollups are
+// cumulative: a push with Reset replaces the agent's state (session
+// start, self-healing after lost pushes), later pushes apply as diffs
+// (counters add, gauges replace, histograms merge bucket-wise).
+
+package controller
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+
+	"eden/internal/ctlproto"
+	"eden/internal/metrics"
+)
+
+// agentRollup is one agent's cumulative pushed metrics.
+type agentRollup struct {
+	lastSeq uint64
+	regs    map[string]metrics.RegistrySnapshot // by registry name
+}
+
+// applyMetricsPush folds one OpMetricsPush from a registered agent into
+// the fleet state. The decoded snapshots are owned by the controller
+// after unmarshalling, so they are stored and mutated without copying.
+func (c *Controller) applyMetricsPush(agent string, params json.RawMessage) error {
+	var push ctlproto.MetricsPush
+	if err := json.Unmarshal(params, &push); err != nil {
+		return fmt.Errorf("controller: bad metrics push from %q: %w", agent, err)
+	}
+	c.fleetMu.Lock()
+	r := c.fleet[agent]
+	if r == nil || push.Reset {
+		r = &agentRollup{regs: map[string]metrics.RegistrySnapshot{}}
+		if c.fleet == nil {
+			c.fleet = map[string]*agentRollup{}
+		}
+		c.fleet[agent] = r
+	}
+	r.lastSeq = push.Seq
+	for _, s := range push.Snaps {
+		s.Agent = agent
+		acc, ok := r.regs[s.Name]
+		if !ok || push.Reset {
+			r.regs[s.Name] = s
+			continue
+		}
+		applyMetricsDiff(&acc, s)
+		r.regs[s.Name] = acc
+	}
+	c.fleetMu.Unlock()
+	c.mMetricsPushes.Inc()
+	return nil
+}
+
+// applyMetricsDiff folds a diff push into a cumulative rollup snapshot:
+// counters add, gauges take the pushed value, histograms merge bucket
+// counts (a bounds change replaces the accumulated histogram — the newer
+// layout wins).
+func applyMetricsDiff(acc *metrics.RegistrySnapshot, d metrics.RegistrySnapshot) {
+	if len(d.Counters) > 0 && acc.Counters == nil {
+		acc.Counters = make(map[string]int64, len(d.Counters))
+	}
+	for n, v := range d.Counters {
+		acc.Counters[n] += v
+	}
+	if len(d.Gauges) > 0 && acc.Gauges == nil {
+		acc.Gauges = make(map[string]int64, len(d.Gauges))
+	}
+	for n, v := range d.Gauges {
+		acc.Gauges[n] = v
+	}
+	if len(d.Histograms) > 0 && acc.Histograms == nil {
+		acc.Histograms = make(map[string]metrics.HistogramSnapshot, len(d.Histograms))
+	}
+	for n, h := range d.Histograms {
+		a := acc.Histograms[n]
+		if !a.Merge(h) {
+			a = h
+		}
+		acc.Histograms[n] = a
+	}
+}
+
+// FleetAgents returns the names of agents that have pushed metrics,
+// sorted.
+func (c *Controller) FleetAgents() []string {
+	c.fleetMu.Lock()
+	defer c.fleetMu.Unlock()
+	names := make([]string, 0, len(c.fleet))
+	for n := range c.fleet {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// AgentMetrics returns one agent's rolled-up registry snapshots (deep
+// copies, sorted by registry name), or nil if the agent never pushed.
+func (c *Controller) AgentMetrics(name string) []metrics.RegistrySnapshot {
+	c.fleetMu.Lock()
+	defer c.fleetMu.Unlock()
+	r := c.fleet[name]
+	if r == nil {
+		return nil
+	}
+	out := make([]metrics.RegistrySnapshot, 0, len(r.regs))
+	for _, s := range r.regs {
+		out = append(out, copySnapshot(s))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// FleetSnapshot returns the whole fleet view: every agent's registries
+// (labelled with the agent's name) followed by fleet-level aggregates —
+// one synthetic "fleet.<subsystem>" registry per registry-name prefix
+// (the segment before the first dot), with counters and gauges summed
+// and histograms merged across agents. Register it on a metrics.Set with
+// AddMultiSource to serve the fleet over the controller's ops endpoint.
+func (c *Controller) FleetSnapshot() []metrics.RegistrySnapshot {
+	c.fleetMu.Lock()
+	defer c.fleetMu.Unlock()
+	var out []metrics.RegistrySnapshot
+	aggs := map[string]*metrics.RegistrySnapshot{}
+	for _, r := range c.fleet {
+		for _, s := range r.regs {
+			out = append(out, copySnapshot(s))
+			name := "fleet." + subsystemOf(s.Name)
+			agg := aggs[name]
+			if agg == nil {
+				agg = &metrics.RegistrySnapshot{Name: name}
+				aggs[name] = agg
+			}
+			agg.Merge(s)
+		}
+	}
+	for _, agg := range aggs {
+		out = append(out, *agg)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Name != out[j].Name {
+			return out[i].Name < out[j].Name
+		}
+		return out[i].Agent < out[j].Agent
+	})
+	return out
+}
+
+// subsystemOf maps a registry name onto its aggregation group: the
+// segment before the first dot ("udpnet.10.0.0.2" → "udpnet"), or the
+// whole name when it has none ("controller").
+func subsystemOf(name string) string {
+	if i := strings.IndexByte(name, '.'); i > 0 {
+		return name[:i]
+	}
+	return name
+}
+
+// copySnapshot deep-copies a registry snapshot so callers can hold it
+// outside the fleet lock while pushes keep mutating the rollup.
+func copySnapshot(s metrics.RegistrySnapshot) metrics.RegistrySnapshot {
+	cp := metrics.RegistrySnapshot{Name: s.Name, Agent: s.Agent}
+	cp.Merge(s)
+	return cp
+}

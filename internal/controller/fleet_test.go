@@ -1,0 +1,215 @@
+package controller
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"eden/internal/metrics"
+)
+
+// TestApplyMetricsDiff covers the controller-side fold semantics:
+// counters add, gauges replace, histograms merge bucket-wise, and a
+// bounds change replaces the accumulated histogram.
+func TestApplyMetricsDiff(t *testing.T) {
+	acc := metrics.RegistrySnapshot{
+		Name:     "r",
+		Counters: map[string]int64{"tx": 10},
+		Gauges:   map[string]int64{"depth": 5},
+		Histograms: map[string]metrics.HistogramSnapshot{
+			"lat": {Bounds: []int64{10, 100}, Counts: []int64{1, 0, 0}, Count: 1, Sum: 5},
+		},
+	}
+	applyMetricsDiff(&acc, metrics.RegistrySnapshot{
+		Name:     "r",
+		Counters: map[string]int64{"tx": 3, "rx": 2},
+		Gauges:   map[string]int64{"depth": 1},
+		Histograms: map[string]metrics.HistogramSnapshot{
+			"lat": {Bounds: []int64{10, 100}, Counts: []int64{0, 2, 0}, Count: 2, Sum: 80},
+		},
+	})
+	if acc.Counters["tx"] != 13 || acc.Counters["rx"] != 2 {
+		t.Errorf("counters = %v, want tx 13 rx 2", acc.Counters)
+	}
+	if acc.Gauges["depth"] != 1 {
+		t.Errorf("gauge = %d, want 1 (replace, not add)", acc.Gauges["depth"])
+	}
+	if h := acc.Histograms["lat"]; h.Count != 3 || h.Sum != 85 || h.Counts[1] != 2 {
+		t.Errorf("hist = %+v, want count 3 sum 85", h)
+	}
+	// Bounds change: the pushed layout wins.
+	applyMetricsDiff(&acc, metrics.RegistrySnapshot{
+		Name: "r",
+		Histograms: map[string]metrics.HistogramSnapshot{
+			"lat": {Bounds: []int64{50}, Counts: []int64{4, 0}, Count: 4, Sum: 40},
+		},
+	})
+	if h := acc.Histograms["lat"]; h.Count != 4 || len(h.Bounds) != 1 {
+		t.Errorf("hist after bounds change = %+v, want replaced", h)
+	}
+}
+
+func TestCompactDiff(t *testing.T) {
+	prev := metrics.RegistrySnapshot{Name: "r", Counters: map[string]int64{"a": 5, "b": 2}}
+	cur := metrics.RegistrySnapshot{Name: "r", Counters: map[string]int64{"a": 8, "b": 2}}
+	d := compactDiff(cur, prev)
+	if d == nil || d.Counters["a"] != 3 {
+		t.Fatalf("diff = %+v, want a=3", d)
+	}
+	if _, ok := d.Counters["b"]; ok {
+		t.Error("idle counter b survived compaction")
+	}
+	// Fully idle registry without gauges compacts away entirely.
+	if d := compactDiff(cur, cur); d != nil {
+		t.Errorf("idle diff = %+v, want nil", d)
+	}
+	// Gauges always ride along.
+	g := metrics.RegistrySnapshot{Name: "r", Gauges: map[string]int64{"depth": 4}}
+	if d := compactDiff(g, g); d == nil || d.Gauges["depth"] != 4 {
+		t.Errorf("gauge-only diff = %+v, want depth=4", d)
+	}
+}
+
+// TestFleetMetricsPush runs the full loop: an agent with a metrics set
+// pushes snapshots on its cadence; the controller folds them into
+// per-agent rollups and fleet aggregates, and the fleet script verb
+// renders them.
+func TestFleetMetricsPush(t *testing.T) {
+	ctl, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctl.Close()
+
+	enc := newTestEnclave("e1")
+	set := metrics.NewSet()
+	reg := metrics.NewRegistry("udpnet.10.0.0.1")
+	set.Add(reg)
+	tx := reg.Counter("tx_packets")
+	depth := reg.Gauge("queue_depth")
+	lat := reg.Histogram("lat_ns", []int64{100, 1000})
+	tx.Add(7)
+	depth.Set(3)
+	lat.Observe(50)
+
+	agent := ServeEnclavePersistent(ctl.Addr(), "h1", enc, ReconnectConfig{
+		BackoffMin: 5 * time.Millisecond, BackoffMax: 50 * time.Millisecond,
+		Heartbeat: 10 * time.Millisecond, CallTimeout: 2 * time.Second,
+		Metrics: set, MetricsInterval: 10 * time.Millisecond,
+	})
+	defer agent.Close()
+	if err := ctl.WaitForAgents(1, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	// The initial full push lands right after hello.
+	waitFor(t, "initial metrics push", func() bool {
+		return len(ctl.FleetAgents()) == 1
+	})
+	if agents := ctl.FleetAgents(); len(agents) != 1 || agents[0] != "e1" {
+		t.Fatalf("FleetAgents = %v", agents)
+	}
+
+	// Diff pushes accumulate on the rollup.
+	tx.Add(5)
+	depth.Set(9)
+	lat.Observe(500)
+	waitFor(t, "diff push applied", func() bool {
+		for _, s := range ctl.AgentMetrics("e1") {
+			if s.Name == "udpnet.10.0.0.1" && s.Counters["tx_packets"] == 12 {
+				return true
+			}
+		}
+		return false
+	})
+	var snap metrics.RegistrySnapshot
+	for _, s := range ctl.AgentMetrics("e1") {
+		if s.Name == "udpnet.10.0.0.1" {
+			snap = s
+		}
+	}
+	if snap.Agent != "e1" {
+		t.Errorf("rollup agent label = %q, want e1", snap.Agent)
+	}
+	if snap.Gauges["queue_depth"] != 9 {
+		t.Errorf("rollup gauge = %d, want 9", snap.Gauges["queue_depth"])
+	}
+	waitFor(t, "histogram rollup", func() bool {
+		for _, s := range ctl.AgentMetrics("e1") {
+			if s.Name == "udpnet.10.0.0.1" && s.Histograms["lat_ns"].Count == 2 {
+				return true
+			}
+		}
+		return false
+	})
+
+	// Fleet aggregates: one synthetic registry per subsystem prefix.
+	var agg metrics.RegistrySnapshot
+	for _, s := range ctl.FleetSnapshot() {
+		if s.Name == "fleet.udpnet" && s.Agent == "" {
+			agg = s
+		}
+	}
+	if agg.Name == "" {
+		t.Fatalf("FleetSnapshot missing fleet.udpnet aggregate: %+v", ctl.FleetSnapshot())
+	}
+	if agg.Counters["tx_packets"] != 12 || agg.Histograms["lat_ns"].Count != 2 {
+		t.Errorf("aggregate = %+v, want tx 12 hist count 2", agg)
+	}
+
+	// The fleet script verb renders agents and aggregates.
+	var out strings.Builder
+	if err := ctl.RunScript("fleet\nfleet e1", &out); err != nil {
+		t.Fatalf("fleet verb: %v\n%s", err, out.String())
+	}
+	for _, want := range []string{"1 agents pushing metrics", "fleet.udpnet tx_packets 12", "agent e1:", "e1 udpnet.10.0.0.1 tx_packets 12"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("fleet output missing %q:\n%s", want, out.String())
+		}
+	}
+	if err := ctl.RunScript("fleet nobody", &out); err == nil {
+		t.Error("fleet verb accepted an unknown agent")
+	}
+}
+
+// TestFleetPushSelfHeals: counters bumped while the agent is away arrive
+// with the next session's full Reset push — the rollup converges to the
+// true cumulative values without any replay protocol.
+func TestFleetPushSelfHeals(t *testing.T) {
+	ctl, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctl.Close()
+
+	enc := newTestEnclave("e1")
+	set := metrics.NewSet()
+	reg := metrics.NewRegistry("app")
+	set.Add(reg)
+	c := reg.Counter("ops")
+	c.Add(1)
+
+	agent := ServeEnclavePersistent(ctl.Addr(), "h1", enc, ReconnectConfig{
+		BackoffMin: 5 * time.Millisecond, BackoffMax: 50 * time.Millisecond,
+		Heartbeat: 10 * time.Millisecond, CallTimeout: 2 * time.Second,
+		Metrics: set, MetricsInterval: 10 * time.Millisecond,
+	})
+	defer agent.Close()
+	waitFor(t, "first push", func() bool { return len(ctl.FleetAgents()) == 1 })
+
+	connects := agent.Connects()
+	agent.DropConnection()
+	c.Add(41) // missed by any in-flight diff push
+	waitFor(t, "reconnect", func() bool { return agent.Connects() > connects })
+	waitFor(t, "rollup self-healed", func() bool {
+		for _, s := range ctl.AgentMetrics("e1") {
+			if s.Name == "app" && s.Counters["ops"] == 42 {
+				return true
+			}
+		}
+		return false
+	})
+	if got := ctl.Metrics().Counter("metrics_pushes").Load(); got < 2 {
+		t.Errorf("metrics_pushes = %d, want >= 2", got)
+	}
+}

@@ -11,6 +11,7 @@ import (
 
 	"eden/internal/ctlproto"
 	"eden/internal/enclave"
+	"eden/internal/metrics"
 	"eden/internal/stage"
 	"eden/internal/telemetry"
 )
@@ -35,6 +36,15 @@ type ReconnectConfig struct {
 	// nothing for that long. Leave 0 unless the controller also
 	// heartbeats; replies to our pings already refresh the read side.
 	IdleTimeout time.Duration
+	// Metrics, when set, is pushed to the controller: once in full right
+	// after every hello (so a rollup survives reconnects), then as
+	// compact diffs every MetricsInterval. See ctlproto.MetricsPush.
+	Metrics *metrics.Set
+	// MetricsInterval is the diff-push cadence (default: the heartbeat
+	// interval). When both it and Heartbeat are disabled (< 0 / unset),
+	// only the initial full push per session is sent — cheap enough for
+	// thousand-agent fleets while still populating the controller view.
+	MetricsInterval time.Duration
 	// OnConnect/OnDisconnect observe connection lifecycle (may be nil).
 	OnConnect    func(attempt int)
 	OnDisconnect func(err error)
@@ -58,6 +68,9 @@ func (c ReconnectConfig) withDefaults() ReconnectConfig {
 	}
 	if c.CallTimeout <= 0 {
 		c.CallTimeout = 5 * time.Second
+	}
+	if c.MetricsInterval == 0 && c.Heartbeat > 0 {
+		c.MetricsInterval = c.Heartbeat
 	}
 	if c.Logger == nil {
 		c.Logger = telemetry.DiscardLogger()
@@ -282,6 +295,23 @@ func (a *PersistentAgent) session(attempt int) error {
 		a.cfg.OnConnect(attempt)
 	}
 
+	// Metrics pushes are per-session: the first carries every registry in
+	// full with Reset set (replacing the controller's rollup, so pushes
+	// lost to the dead connection self-heal), later ones compact diffs.
+	var pusher *metricsPusher
+	var metricsTick <-chan time.Time
+	if a.cfg.Metrics != nil {
+		pusher = &metricsPusher{set: a.cfg.Metrics, peer: peer, timeout: a.cfg.CallTimeout}
+		if err := pusher.push(true); err != nil {
+			return nil // connection already dying; session was registered
+		}
+		if a.cfg.MetricsInterval > 0 {
+			mt := time.NewTicker(a.cfg.MetricsInterval)
+			defer mt.Stop()
+			metricsTick = mt.C
+		}
+	}
+
 	var heartbeat <-chan time.Time
 	if a.cfg.Heartbeat > 0 {
 		t := time.NewTicker(a.cfg.Heartbeat)
@@ -298,6 +328,70 @@ func (a *PersistentAgent) session(attempt int) error {
 			if err := peer.Ping(a.cfg.CallTimeout); err != nil {
 				return nil // session was registered; backoff stays reset
 			}
+		case <-metricsTick:
+			if err := pusher.push(false); err != nil {
+				return nil
+			}
 		}
 	}
+}
+
+// metricsPusher is one session's push state: the per-push sequence
+// number and the previous cumulative snapshot of each registry, diffed
+// against to keep pushes compact.
+type metricsPusher struct {
+	set     *metrics.Set
+	peer    *ctlproto.Peer
+	timeout time.Duration
+	seq     uint64
+	prev    map[string]metrics.RegistrySnapshot
+}
+
+// push sends one metrics report. With reset, every registry goes out at
+// its full cumulative value; otherwise idle registries and metrics are
+// stripped (see compactDiff) and only activity crosses the wire.
+func (m *metricsPusher) push(reset bool) error {
+	snaps := m.set.Snapshot()
+	prev := m.prev
+	m.prev = make(map[string]metrics.RegistrySnapshot, len(snaps))
+	out := make([]metrics.RegistrySnapshot, 0, len(snaps))
+	for _, cur := range snaps {
+		key := cur.Name
+		if cur.Agent != "" {
+			key = cur.Agent + "|" + cur.Name
+		}
+		m.prev[key] = cur
+		if reset {
+			out = append(out, cur)
+			continue
+		}
+		if d := compactDiff(cur, prev[key]); d != nil {
+			out = append(out, *d)
+		}
+	}
+	m.seq++
+	return m.peer.CallTimeout(ctlproto.OpMetricsPush,
+		ctlproto.MetricsPush{Seq: m.seq, Reset: reset, Snaps: out}, nil, m.timeout)
+}
+
+// compactDiff returns cur minus prev with idle metrics stripped —
+// zero-delta counters and histograms without interval activity are
+// dropped; gauges always carry their current value. Returns nil when the
+// whole registry was idle and carries no gauges.
+func compactDiff(cur, prev metrics.RegistrySnapshot) *metrics.RegistrySnapshot {
+	d := cur.Diff(prev)
+	for n, v := range d.Counters {
+		if v == 0 {
+			delete(d.Counters, n)
+		}
+	}
+	for n, h := range d.Histograms {
+		if h.Count == 0 {
+			delete(d.Histograms, n)
+		}
+	}
+	if len(d.Counters) == 0 && len(d.Gauges) == 0 && len(d.Histograms) == 0 {
+		return nil
+	}
+	return &d
 }

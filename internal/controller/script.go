@@ -12,6 +12,7 @@ import (
 	"eden/internal/compiler"
 	"eden/internal/enclave"
 	"eden/internal/funcs"
+	"eden/internal/metrics"
 	"eden/internal/telemetry"
 )
 
@@ -51,6 +52,9 @@ import (
 //	enclave E generation                print the published pipeline generation
 //	spans [TRACE]                       dump control-plane span chains (controller
 //	                                    + agents), optionally one trace (0x... id)
+//	fleet [AGENT]                       fleet-wide metric aggregates and per-agent
+//	                                    push summaries; with AGENT, that agent's
+//	                                    rolled-up registries in full
 //
 // Between tx-begin and tx-commit, structural commands (create-table,
 // delete-table, add-rule, remove-rule, install, install-builtin,
@@ -141,6 +145,40 @@ func (c *Controller) runCommand(line string, out io.Writer) error {
 		fmt.Fprintln(out, strings.Join(names, " "))
 		return nil
 
+	case "fleet":
+		if len(fields) > 2 {
+			return fmt.Errorf("fleet [AGENT]")
+		}
+		if len(fields) == 2 {
+			snaps := c.AgentMetrics(fields[1])
+			if snaps == nil {
+				return fmt.Errorf("no metrics pushed by agent %q", fields[1])
+			}
+			for _, s := range snaps {
+				printFleetRegistry(out, fields[1], s)
+			}
+			return nil
+		}
+		agents := c.FleetAgents()
+		fmt.Fprintf(out, "fleet: %d agents pushing metrics\n", len(agents))
+		for _, s := range c.FleetSnapshot() {
+			if s.Agent != "" {
+				continue // per-agent detail via "fleet AGENT"
+			}
+			printFleetRegistry(out, "-", s)
+		}
+		for _, a := range agents {
+			var regs, counters int64
+			for _, s := range c.AgentMetrics(a) {
+				regs++
+				for _, v := range s.Counters {
+					counters += v
+				}
+			}
+			fmt.Fprintf(out, "agent %s: %d registries, counter total %d\n", a, regs, counters)
+		}
+		return nil
+
 	case "spans":
 		if len(fields) > 2 {
 			return fmt.Errorf("spans [TRACE]")
@@ -164,6 +202,36 @@ func (c *Controller) runCommand(line string, out io.Writer) error {
 
 	default:
 		return fmt.Errorf("unknown command %q", fields[0])
+	}
+}
+
+// printFleetRegistry renders one rolled-up registry as sorted
+// "agent registry metric value" lines, histograms as count/sum/p99.
+func printFleetRegistry(out io.Writer, agent string, s metrics.RegistrySnapshot) {
+	names := make([]string, 0, len(s.Counters))
+	for n := range s.Counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(out, "%s %s %s %d\n", agent, s.Name, n, s.Counters[n])
+	}
+	names = names[:0]
+	for n := range s.Gauges {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(out, "%s %s %s %d\n", agent, s.Name, n, s.Gauges[n])
+	}
+	names = names[:0]
+	for n := range s.Histograms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		h := s.Histograms[n]
+		fmt.Fprintf(out, "%s %s %s count=%d sum=%d p99=%g\n", agent, s.Name, n, h.Count, h.Sum, h.P99)
 	}
 }
 

@@ -20,6 +20,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"eden/internal/metrics"
 	"eden/internal/telemetry"
 )
 
@@ -66,6 +67,11 @@ const (
 	// (optionally filtered to one trace), so the controller can merge the
 	// agent side of a policy's span chain into its own dump.
 	OpTelemetrySpans = "telemetry.spans"
+
+	// OpMetricsPush carries an agent's metrics snapshot to the controller
+	// (agent → controller, on the heartbeat cadence). The controller folds
+	// the pushes into its per-agent rollups and fleet aggregates.
+	OpMetricsPush = "metrics.push"
 )
 
 // Message is one protocol frame. Trace propagates a telemetry trace id
@@ -194,6 +200,21 @@ type TxResult struct {
 // all buffered spans.
 type SpanParams struct {
 	Trace uint64 `json:"trace,omitempty"`
+}
+
+// MetricsPush is one agent-to-controller metrics report. The first push
+// of a session sets Reset and carries every registry at its full
+// cumulative value; the controller replaces its rollup for the agent.
+// Later pushes are compact diffs against the agent's previous push —
+// zero-delta counters and idle histograms are omitted, gauges always
+// carry their current value — which the controller folds in (counters
+// add, gauges replace, histograms merge bucket-wise). A lost push
+// self-heals on the next session's Reset push. Seq increments per push
+// within a session so the controller can spot reordering or loss.
+type MetricsPush struct {
+	Seq   uint64                     `json:"seq"`
+	Reset bool                       `json:"reset,omitempty"`
+	Snaps []metrics.RegistrySnapshot `json:"snaps,omitempty"`
 }
 
 // Handler processes one inbound request and returns a result value (to be

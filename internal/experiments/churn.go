@@ -116,7 +116,12 @@ type ChurnResult struct {
 	ChurnOps, ChurnBytes       int64
 	Coalesced, Retries, Errors int64
 	OpsPerChurnResync          float64
-	Wall                       time.Duration
+	// MetricsPushes counts OpMetricsPush calls the controller folded;
+	// FleetAgents is how many agents appear in its fleet rollups. Every
+	// agent pushes a full snapshot per session, so flaps only add pushes.
+	MetricsPushes int64
+	FleetAgents   int
+	Wall          time.Duration
 }
 
 // churnSnapshot captures the resync counters that separate the base
@@ -242,11 +247,17 @@ func RunChurn(cfg ChurnConfig) (*ChurnResult, error) {
 			Name: churnAgentName(i), Platform: "os",
 			Clock: func() int64 { return tick.Add(1) },
 		})
+		// Each agent pushes its enclave metrics to the controller's fleet
+		// rollups. With heartbeats off and no MetricsInterval, that is one
+		// full push per session — churn load stays dominated by resyncs.
+		aset := metrics.NewSet()
+		aset.Add(encs[i].Metrics())
 		agents[i] = controller.ServeEnclavePersistent(ctl.Addr(), churnAgentName(i), encs[i], controller.ReconnectConfig{
 			BackoffMin:  5 * time.Millisecond,
 			BackoffMax:  250 * time.Millisecond,
 			Heartbeat:   -1, // churn is driven explicitly; pings just add load
 			CallTimeout: 10 * time.Second,
+			Metrics:     aset,
 		})
 	})
 	defer func() {
@@ -322,6 +333,12 @@ func RunChurn(cfg ChurnConfig) (*ChurnResult, error) {
 	}
 
 	final := snapshotChurn(ctl.Metrics())
+	// The initial full pushes ride right behind each session's hello;
+	// give stragglers until the phase timeout to land in the rollups.
+	fleetDeadline := time.Now().Add(cfg.Timeout)
+	for len(ctl.FleetAgents()) < cfg.Agents && time.Now().Before(fleetDeadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
 	converged := 0
 	for i := 0; i < cfg.Agents; i++ {
 		if st, ok := ctl.AgentStatus(churnAgentName(i)); ok &&
@@ -352,6 +369,8 @@ func RunChurn(cfg ChurnConfig) (*ChurnResult, error) {
 		Coalesced:     final.coalesced - base.coalesced,
 		Retries:       final.retries - base.retries,
 		Errors:        final.errors - base.errors,
+		MetricsPushes: ctl.Metrics().Counter("metrics_pushes").Load(),
+		FleetAgents:   len(ctl.FleetAgents()),
 		Wall:          time.Since(t0),
 	}
 	if n := res.ChurnDelta + res.ChurnFull; n > 0 {
@@ -407,6 +426,13 @@ func (r *ChurnResult) Check() error {
 	if r.Converged != r.Config.Agents {
 		return fmt.Errorf("churn: %d/%d agents converged", r.Converged, r.Config.Agents)
 	}
+	if r.FleetAgents != r.Config.Agents {
+		return fmt.Errorf("churn: %d/%d agents in the fleet metric rollups", r.FleetAgents, r.Config.Agents)
+	}
+	if r.MetricsPushes < int64(r.Config.Agents) {
+		return fmt.Errorf("churn: %d metrics pushes from %d agents — the snapshot push path never ran",
+			r.MetricsPushes, r.Config.Agents)
+	}
 	if r.Config.Rounds == 0 {
 		return nil
 	}
@@ -441,6 +467,8 @@ func (r *ChurnResult) String() string {
 		r.ChurnDelta, r.ChurnFull, r.ChurnOps, r.OpsPerChurnResync, r.ChurnBytes)
 	fmt.Fprintf(&b, "  coalesced %d, retries %d, errors %d, wall %.1fs\n",
 		r.Coalesced, r.Retries, r.Errors, r.Wall.Seconds())
+	fmt.Fprintf(&b, "  fleet metrics: %d pushes, %d/%d agents in rollups\n",
+		r.MetricsPushes, r.FleetAgents, r.Config.Agents)
 	verdict := "ok: resync cost tracks delta size, not policy size"
 	if err := r.Check(); err != nil {
 		verdict = err.Error()

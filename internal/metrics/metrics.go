@@ -289,9 +289,13 @@ func (r *Registry) Snapshot() RegistrySnapshot {
 	return s
 }
 
-// RegistrySnapshot is one registry's metrics at a point in time.
+// RegistrySnapshot is one registry's metrics at a point in time. Agent,
+// when set, names the process the snapshot came from — the controller's
+// fleet rollups label each agent's registries with it, and Prometheus
+// exposition emits it as an agent="..." label.
 type RegistrySnapshot struct {
 	Name       string                       `json:"name"`
+	Agent      string                       `json:"agent,omitempty"`
 	Counters   map[string]int64             `json:"counters,omitempty"`
 	Gauges     map[string]int64             `json:"gauges,omitempty"`
 	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
@@ -304,7 +308,7 @@ type RegistrySnapshot struct {
 // late-created queue or registry still shows up in interval series. The
 // result shares no maps with either input.
 func (s RegistrySnapshot) Diff(prev RegistrySnapshot) RegistrySnapshot {
-	out := RegistrySnapshot{Name: s.Name}
+	out := RegistrySnapshot{Name: s.Name, Agent: s.Agent}
 	if len(s.Counters) > 0 {
 		out.Counters = make(map[string]int64, len(s.Counters))
 		for n, v := range s.Counters {
@@ -341,6 +345,71 @@ func (s RegistrySnapshot) Diff(prev RegistrySnapshot) RegistrySnapshot {
 	return out
 }
 
+// Merge folds another histogram's observations into s: bucket counts,
+// count and sum are added and the quantile estimates recomputed. An empty
+// s adopts o's shape (deep-copied, so the inputs stay unshared). It
+// reports false — leaving s unchanged — when both histograms are
+// populated but their bucket bounds disagree: summing counts across
+// different bucket layouts would fabricate a distribution.
+func (s *HistogramSnapshot) Merge(o HistogramSnapshot) bool {
+	if o.Count == 0 && len(o.Counts) == 0 {
+		return true
+	}
+	if len(s.Counts) == 0 {
+		s.Bounds = append([]int64(nil), o.Bounds...)
+		s.Counts = append([]int64(nil), o.Counts...)
+		s.Count, s.Sum = o.Count, o.Sum
+		s.fillQuantiles()
+		return true
+	}
+	if len(s.Counts) != len(o.Counts) || !boundsEqual(s.Bounds, o.Bounds) {
+		return false
+	}
+	for i := range s.Counts {
+		s.Counts[i] += o.Counts[i]
+	}
+	s.Count += o.Count
+	s.Sum += o.Sum
+	s.fillQuantiles()
+	return true
+}
+
+// Merge folds another registry snapshot into s, keyed by metric name:
+// counters and gauges are summed, histograms merged bucket-wise (see
+// HistogramSnapshot.Merge). A histogram whose bounds disagree with the
+// accumulated one replaces it — the newer layout wins over a stale mix —
+// so a fleet rollup degrades to last-writer rather than corrupting
+// counts. s's maps are created on demand; o is never mutated.
+func (s *RegistrySnapshot) Merge(o RegistrySnapshot) {
+	if len(o.Counters) > 0 && s.Counters == nil {
+		s.Counters = make(map[string]int64, len(o.Counters))
+	}
+	for n, v := range o.Counters {
+		s.Counters[n] += v
+	}
+	if len(o.Gauges) > 0 && s.Gauges == nil {
+		s.Gauges = make(map[string]int64, len(o.Gauges))
+	}
+	for n, v := range o.Gauges {
+		s.Gauges[n] += v
+	}
+	if len(o.Histograms) > 0 && s.Histograms == nil {
+		s.Histograms = make(map[string]HistogramSnapshot, len(o.Histograms))
+	}
+	for n, h := range o.Histograms {
+		acc := s.Histograms[n]
+		if !acc.Merge(h) {
+			acc = HistogramSnapshot{
+				Bounds: append([]int64(nil), h.Bounds...),
+				Counts: append([]int64(nil), h.Counts...),
+				Count:  h.Count, Sum: h.Sum,
+			}
+			acc.fillQuantiles()
+		}
+		s.Histograms[n] = acc
+	}
+}
+
 func boundsEqual(a, b []int64) bool {
 	if len(a) != len(b) {
 		return false
@@ -359,6 +428,7 @@ func boundsEqual(a, b []int64) bool {
 type Set struct {
 	mu      sync.Mutex
 	sources []func() RegistrySnapshot
+	multi   []func() []RegistrySnapshot
 }
 
 // NewSet returns an empty set.
@@ -379,6 +449,18 @@ func (s *Set) AddSource(fn func() RegistrySnapshot) {
 	s.mu.Unlock()
 }
 
+// AddMultiSource registers a provider contributing a variable number of
+// snapshots per call — the shape of a fleet rollup, where one controller
+// holds many agents' registries.
+func (s *Set) AddMultiSource(fn func() []RegistrySnapshot) {
+	if s == nil || fn == nil {
+		return
+	}
+	s.mu.Lock()
+	s.multi = append(s.multi, fn)
+	s.mu.Unlock()
+}
+
 // Reset drops every registered source. A long-lived set (one backing a
 // live ops endpoint across several experiment runs) calls this between
 // runs so stale registries don't accumulate.
@@ -388,19 +470,30 @@ func (s *Set) Reset() {
 	}
 	s.mu.Lock()
 	s.sources = nil
+	s.multi = nil
 	s.mu.Unlock()
 }
 
-// Snapshot freezes every source, sorted by registry name.
+// Snapshot freezes every source, sorted by registry name (then by agent
+// for fleet rollups, where many agents expose same-named registries).
 func (s *Set) Snapshot() []RegistrySnapshot {
 	s.mu.Lock()
 	sources := append([]func() RegistrySnapshot(nil), s.sources...)
+	multi := append([]func() []RegistrySnapshot(nil), s.multi...)
 	s.mu.Unlock()
 	out := make([]RegistrySnapshot, 0, len(sources))
 	for _, fn := range sources {
 		out = append(out, fn())
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	for _, fn := range multi {
+		out = append(out, fn()...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Name != out[j].Name {
+			return out[i].Name < out[j].Name
+		}
+		return out[i].Agent < out[j].Agent
+	})
 	return out
 }
 

@@ -288,3 +288,124 @@ func TestSetReset(t *testing.T) {
 	var nilSet *Set
 	nilSet.Reset() // nil-safe
 }
+
+func TestHistogramSnapshotMerge(t *testing.T) {
+	a := NewRegistry("a").Histogram("h", []int64{10, 100})
+	b := NewRegistry("b").Histogram("h", []int64{10, 100})
+	a.Observe(5)
+	a.Observe(50)
+	b.Observe(50)
+	b.Observe(500)
+	s := a.Snapshot()
+	if !s.Merge(b.Snapshot()) {
+		t.Fatal("merge of same-bounds histograms failed")
+	}
+	if s.Count != 4 || s.Sum != 605 {
+		t.Errorf("merged count=%d sum=%d, want 4/605", s.Count, s.Sum)
+	}
+	want := []int64{1, 2, 1}
+	for i, c := range s.Counts {
+		if c != want[i] {
+			t.Errorf("bucket %d = %d, want %d", i, c, want[i])
+		}
+	}
+	if s.P50 <= 0 {
+		t.Errorf("merged quantiles not recomputed: p50=%v", s.P50)
+	}
+}
+
+func TestHistogramSnapshotMergeEmptyAndMismatch(t *testing.T) {
+	src := NewRegistry("a").Histogram("h", []int64{10, 100})
+	src.Observe(5)
+	// Merging into an empty accumulator adopts a deep copy.
+	var acc HistogramSnapshot
+	snap := src.Snapshot()
+	if !acc.Merge(snap) {
+		t.Fatal("merge into empty accumulator failed")
+	}
+	acc.Counts[0] = 99
+	if snap.Counts[0] == 99 {
+		t.Error("merge into empty accumulator aliases the source counts")
+	}
+	// Merging an empty snapshot is a no-op that succeeds.
+	before := acc.Count
+	if !acc.Merge(HistogramSnapshot{}) || acc.Count != before {
+		t.Error("merging an empty snapshot changed the accumulator")
+	}
+	// Disagreeing bounds refuse to merge and leave the accumulator alone.
+	other := NewRegistry("b").Histogram("h", []int64{1, 2, 3})
+	other.Observe(2)
+	if acc.Merge(other.Snapshot()) {
+		t.Error("merge across different bucket bounds succeeded")
+	}
+	if acc.Counts[0] != 99 {
+		t.Error("failed merge mutated the accumulator")
+	}
+}
+
+func TestRegistrySnapshotMerge(t *testing.T) {
+	r1 := NewRegistry("udpnet")
+	r1.Counter("rx").Add(3)
+	r1.Gauge("depth").Set(2)
+	r1.Histogram("lat", []int64{10, 100}).Observe(5)
+	r2 := NewRegistry("udpnet")
+	r2.Counter("rx").Add(4)
+	r2.Counter("tx").Add(1)
+	r2.Gauge("depth").Set(5)
+	r2.Histogram("lat", []int64{10, 100}).Observe(50)
+
+	var fleet RegistrySnapshot
+	fleet.Name = "fleet.udpnet"
+	fleet.Merge(r1.Snapshot())
+	fleet.Merge(r2.Snapshot())
+	if fleet.Counters["rx"] != 7 || fleet.Counters["tx"] != 1 {
+		t.Errorf("merged counters = %v", fleet.Counters)
+	}
+	if fleet.Gauges["depth"] != 7 {
+		t.Errorf("merged gauge = %d, want 7 (summed)", fleet.Gauges["depth"])
+	}
+	if h := fleet.Histograms["lat"]; h.Count != 2 || h.Sum != 55 {
+		t.Errorf("merged histogram = %+v", h)
+	}
+
+	// A histogram with different bounds replaces the accumulated one
+	// rather than corrupting its counts.
+	r3 := NewRegistry("udpnet")
+	r3.Histogram("lat", []int64{1}).Observe(1)
+	fleet.Merge(r3.Snapshot())
+	if h := fleet.Histograms["lat"]; h.Count != 1 || len(h.Bounds) != 1 {
+		t.Errorf("bounds-mismatched merge did not replace: %+v", h)
+	}
+}
+
+func TestSetMultiSource(t *testing.T) {
+	set := NewSet()
+	r := NewRegistry("controller")
+	set.Add(r)
+	set.AddMultiSource(func() []RegistrySnapshot {
+		return []RegistrySnapshot{
+			{Name: "enclave.h", Agent: "b"},
+			{Name: "enclave.h", Agent: "a"},
+			{Name: "aaa"},
+		}
+	})
+	snaps := set.Snapshot()
+	if len(snaps) != 4 {
+		t.Fatalf("snapshots = %d, want 4", len(snaps))
+	}
+	order := make([]string, len(snaps))
+	for i, s := range snaps {
+		order[i] = s.Name + "/" + s.Agent
+	}
+	want := []string{"aaa/", "controller/", "enclave.h/a", "enclave.h/b"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("sort order = %v, want %v", order, want)
+		}
+	}
+	set.Reset()
+	if got := len(set.Snapshot()); got != 0 {
+		t.Errorf("snapshots after Reset = %d, want 0", got)
+	}
+	set.AddMultiSource(nil) // nil-safe
+}

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"eden/internal/metrics"
+	"eden/internal/trace"
 )
 
 // OpsConfig wires the live ops endpoint's data sources. Any field may be
@@ -27,6 +28,12 @@ type OpsConfig struct {
 	// Agents backs /agentz: a function returning a JSON-marshalable agent
 	// liveness report (the controller passes AgentStatuses).
 	Agents func() any
+	// Trace backs /trace: this process's packet-trace ring (?id=N filters
+	// one trace id). edenctl stitches several processes' rings into one
+	// cross-host timeline from this route.
+	Trace *trace.Tracer
+	// Flight backs /flightz: the wall-clock flight-recorder series.
+	Flight *FlightRecorder
 	// Logger receives serve errors; nil discards them.
 	Logger *slog.Logger
 }
@@ -106,6 +113,25 @@ func NewOpsHandler(cfg OpsConfig) http.Handler {
 		SortSpans(spans)
 		writeJSON(w, spans)
 	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
+		if id := r.URL.Query().Get("id"); id != "" {
+			n, err := strconv.ParseUint(id, 0, 64)
+			if err != nil {
+				http.Error(w, "bad trace id: "+err.Error(), http.StatusBadRequest)
+				return
+			}
+			writeJSON(w, cfg.Trace.PacketEvents(n))
+			return
+		}
+		writeJSON(w, cfg.Trace.Events())
+	})
+	mux.HandleFunc("/flightz", func(w http.ResponseWriter, r *http.Request) {
+		var samples []FlightSample
+		if cfg.Flight != nil {
+			samples = cfg.Flight.Samples()
+		}
+		writeJSON(w, samples)
+	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		io.WriteString(w, "ok\n")
 	})
@@ -139,27 +165,37 @@ func writeJSON(w http.ResponseWriter, v any) {
 // _sum, _count) and as a summary family (<name>_summary) carrying the
 // interpolated p50/p90/p99, so dashboards get quantiles without PromQL
 // bucket math.
+//
+// A snapshot with a nonzero Agent (a fleet rollup held by the controller)
+// additionally carries an agent="..." label, so per-agent series of the
+// same registry stay distinct:
+//
+//	eden_packets_total{registry="enclave.h1",agent="sender"} 5123
 func WritePrometheus(w io.Writer, snaps []metrics.RegistrySnapshot) {
 	type cell struct {
-		registry string
-		value    int64
+		labels string // rendered label set: registry="..."[,agent="..."]
+		value  int64
 	}
 	type histCell struct {
-		registry string
-		h        metrics.HistogramSnapshot
+		labels string
+		h      metrics.HistogramSnapshot
 	}
 	counters := map[string][]cell{}
 	gauges := map[string][]cell{}
 	hists := map[string][]histCell{}
 	for _, s := range snaps {
+		lbl := fmt.Sprintf("registry=%q", escapeLabel(s.Name))
+		if s.Agent != "" {
+			lbl += fmt.Sprintf(",agent=%q", escapeLabel(s.Agent))
+		}
 		for n, v := range s.Counters {
-			counters[n] = append(counters[n], cell{s.Name, v})
+			counters[n] = append(counters[n], cell{lbl, v})
 		}
 		for n, v := range s.Gauges {
-			gauges[n] = append(gauges[n], cell{s.Name, v})
+			gauges[n] = append(gauges[n], cell{lbl, v})
 		}
 		for n, h := range s.Histograms {
-			hists[n] = append(hists[n], histCell{s.Name, h})
+			hists[n] = append(hists[n], histCell{lbl, h})
 		}
 	}
 	sortedKeys := func(m map[string][]cell) []string {
@@ -175,18 +211,18 @@ func WritePrometheus(w io.Writer, snaps []metrics.RegistrySnapshot) {
 		fam := "eden_" + sanitizeMetricName(name) + "_total"
 		fmt.Fprintf(w, "# TYPE %s counter\n", fam)
 		cells := counters[name]
-		sort.Slice(cells, func(i, j int) bool { return cells[i].registry < cells[j].registry })
+		sort.Slice(cells, func(i, j int) bool { return cells[i].labels < cells[j].labels })
 		for _, c := range cells {
-			fmt.Fprintf(w, "%s{registry=%q} %d\n", fam, escapeLabel(c.registry), c.value)
+			fmt.Fprintf(w, "%s{%s} %d\n", fam, c.labels, c.value)
 		}
 	}
 	for _, name := range sortedKeys(gauges) {
 		fam := "eden_" + sanitizeMetricName(name)
 		fmt.Fprintf(w, "# TYPE %s gauge\n", fam)
 		cells := gauges[name]
-		sort.Slice(cells, func(i, j int) bool { return cells[i].registry < cells[j].registry })
+		sort.Slice(cells, func(i, j int) bool { return cells[i].labels < cells[j].labels })
 		for _, c := range cells {
-			fmt.Fprintf(w, "%s{registry=%q} %d\n", fam, escapeLabel(c.registry), c.value)
+			fmt.Fprintf(w, "%s{%s} %d\n", fam, c.labels, c.value)
 		}
 	}
 
@@ -198,33 +234,31 @@ func WritePrometheus(w io.Writer, snaps []metrics.RegistrySnapshot) {
 	for _, name := range histKeys {
 		fam := "eden_" + sanitizeMetricName(name)
 		cells := hists[name]
-		sort.Slice(cells, func(i, j int) bool { return cells[i].registry < cells[j].registry })
+		sort.Slice(cells, func(i, j int) bool { return cells[i].labels < cells[j].labels })
 		fmt.Fprintf(w, "# TYPE %s histogram\n", fam)
 		for _, c := range cells {
-			reg := escapeLabel(c.registry)
 			var cum int64
 			for i, bound := range c.h.Bounds {
 				if i < len(c.h.Counts) {
 					cum += c.h.Counts[i]
 				}
-				fmt.Fprintf(w, "%s_bucket{registry=%q,le=%q} %d\n", fam, reg, strconv.FormatInt(bound, 10), cum)
+				fmt.Fprintf(w, "%s_bucket{%s,le=%q} %d\n", fam, c.labels, strconv.FormatInt(bound, 10), cum)
 			}
-			fmt.Fprintf(w, "%s_bucket{registry=%q,le=\"+Inf\"} %d\n", fam, reg, c.h.Count)
-			fmt.Fprintf(w, "%s_sum{registry=%q} %d\n", fam, reg, c.h.Sum)
-			fmt.Fprintf(w, "%s_count{registry=%q} %d\n", fam, reg, c.h.Count)
+			fmt.Fprintf(w, "%s_bucket{%s,le=\"+Inf\"} %d\n", fam, c.labels, c.h.Count)
+			fmt.Fprintf(w, "%s_sum{%s} %d\n", fam, c.labels, c.h.Sum)
+			fmt.Fprintf(w, "%s_count{%s} %d\n", fam, c.labels, c.h.Count)
 		}
 		fmt.Fprintf(w, "# TYPE %s_summary summary\n", fam)
 		for _, c := range cells {
-			reg := escapeLabel(c.registry)
 			for _, q := range []struct {
 				label string
 				value float64
 			}{{"0.5", c.h.P50}, {"0.9", c.h.P90}, {"0.99", c.h.P99}} {
-				fmt.Fprintf(w, "%s_summary{registry=%q,quantile=%q} %s\n",
-					fam, reg, q.label, strconv.FormatFloat(q.value, 'g', -1, 64))
+				fmt.Fprintf(w, "%s_summary{%s,quantile=%q} %s\n",
+					fam, c.labels, q.label, strconv.FormatFloat(q.value, 'g', -1, 64))
 			}
-			fmt.Fprintf(w, "%s_summary_sum{registry=%q} %d\n", fam, reg, c.h.Sum)
-			fmt.Fprintf(w, "%s_summary_count{registry=%q} %d\n", fam, reg, c.h.Count)
+			fmt.Fprintf(w, "%s_summary_sum{%s} %d\n", fam, c.labels, c.h.Sum)
+			fmt.Fprintf(w, "%s_summary_count{%s} %d\n", fam, c.labels, c.h.Count)
 		}
 	}
 }

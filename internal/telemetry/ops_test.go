@@ -2,13 +2,18 @@ package telemetry
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 
 	"eden/internal/metrics"
+	"eden/internal/packet"
+	"eden/internal/trace"
 )
 
 func opsFixture() OpsConfig {
@@ -142,11 +147,165 @@ func TestOpsSpanz(t *testing.T) {
 // sources wired.
 func TestOpsEmptyConfig(t *testing.T) {
 	h := NewOpsHandler(OpsConfig{})
-	for _, path := range []string{"/metrics", "/metricz", "/agentz", "/spanz", "/healthz"} {
+	for _, path := range []string{"/metrics", "/metricz", "/agentz", "/spanz", "/trace", "/flightz", "/healthz"} {
 		if code, _ := get(t, h, path); code != http.StatusOK {
 			t.Errorf("%s = %d with empty config", path, code)
 		}
 	}
+}
+
+func TestOpsTraceRoute(t *testing.T) {
+	tr := trace.NewTracer(64, 4)
+	p1, p2 := packet.New(1, 2, 1000, 80, 100), packet.New(3, 4, 2000, 80, 100)
+	tr.Sample(p1)
+	tr.Sample(p2)
+	tr.Record(p1, 10, trace.KindTx, "udpnet.10.0.0.1", "")
+	tr.Record(p2, 11, trace.KindTx, "udpnet.10.0.0.1", "")
+	tr.Record(p1, 20, trace.KindDeliver, "udpnet.10.0.0.2", "")
+	h := NewOpsHandler(OpsConfig{Trace: tr})
+
+	code, body := get(t, h, "/trace")
+	if code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	var all []trace.Event
+	if err := json.Unmarshal([]byte(body), &all); err != nil {
+		t.Fatalf("/trace not JSON: %v\n%s", err, body)
+	}
+	if len(all) != 3 {
+		t.Fatalf("/trace events = %d, want 3", len(all))
+	}
+
+	_, filtered := get(t, h, fmt.Sprintf("/trace?id=%d", p1.Meta.TraceID))
+	var one []trace.Event
+	if err := json.Unmarshal([]byte(filtered), &one); err != nil {
+		t.Fatal(err)
+	}
+	if len(one) != 2 || one[0].Kind != trace.KindTx || one[1].Kind != trace.KindDeliver {
+		t.Errorf("filtered events = %+v", one)
+	}
+	if code, _ := get(t, h, "/trace?id=junk"); code != http.StatusBadRequest {
+		t.Errorf("bad trace id accepted: %d", code)
+	}
+}
+
+func TestOpsFlightz(t *testing.T) {
+	set := metrics.NewSet()
+	reg := metrics.NewRegistry("r")
+	set.Add(reg)
+	reg.Counter("ops").Add(3)
+	f := NewFlightRecorder(set, 10)
+	f.Tick(10)
+	h := NewOpsHandler(OpsConfig{Flight: f})
+	code, body := get(t, h, "/flightz")
+	if code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	var samples []FlightSample
+	if err := json.Unmarshal([]byte(body), &samples); err != nil {
+		t.Fatalf("/flightz not JSON: %v\n%s", err, body)
+	}
+	if len(samples) != 1 || samples[0].Counters["r/ops"] != 3 {
+		t.Errorf("flightz samples = %+v", samples)
+	}
+}
+
+// TestOpsAgentLabel: snapshots carrying an Agent (the controller's fleet
+// rollups) expose it as a Prometheus label next to the registry.
+func TestOpsAgentLabel(t *testing.T) {
+	h := metrics.HistogramSnapshot{Bounds: []int64{100}, Counts: []int64{2, 1}, Count: 3, Sum: 250}
+	snaps := []metrics.RegistrySnapshot{
+		{Name: "udpnet.10.0.0.1", Agent: "sender",
+			Counters:   map[string]int64{"tx_packets": 9},
+			Histograms: map[string]metrics.HistogramSnapshot{"lat_ns": h}},
+		{Name: "udpnet.10.0.0.2", Agent: "receiver",
+			Counters: map[string]int64{"tx_packets": 4}},
+		{Name: "controller", Counters: map[string]int64{"hellos": 1}},
+	}
+	var b strings.Builder
+	WritePrometheus(&b, snaps)
+	body := b.String()
+	for _, want := range []string{
+		`eden_tx_packets_total{registry="udpnet.10.0.0.1",agent="sender"} 9`,
+		`eden_tx_packets_total{registry="udpnet.10.0.0.2",agent="receiver"} 4`,
+		`eden_hellos_total{registry="controller"} 1`,
+		`eden_lat_ns_bucket{registry="udpnet.10.0.0.1",agent="sender",le="100"} 2`,
+		`eden_lat_ns_count{registry="udpnet.10.0.0.1",agent="sender"} 3`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("exposition missing %q:\n%s", want, body)
+		}
+	}
+}
+
+// TestOpsConcurrentChurn scrapes /metrics and /trace while registries
+// are registered and trace events recorded concurrently — the shape a
+// live edend has when Prometheus scrapes it mid-run. Run under -race
+// (make verify covers this package).
+func TestOpsConcurrentChurn(t *testing.T) {
+	set := metrics.NewSet()
+	tr := trace.NewTracer(256, 1<<30)
+	h := NewOpsHandler(OpsConfig{Metrics: set, Trace: tr})
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	// Writer 1: register new registries and bump counters.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			reg := metrics.NewRegistry(fmt.Sprintf("churn.%d", i%8))
+			reg.Counter("ops").Add(int64(i))
+			reg.Histogram("lat", []int64{10, 100}).Observe(int64(i))
+			set.Add(reg)
+			if i%8 == 7 {
+				set.Reset()
+			}
+		}
+	}()
+	// Writer 2: sample and record trace events.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			p := packet.New(uint32(i), 2, uint16(i), 80, 100)
+			if tr.Sample(p) {
+				tr.Record(p, int64(i), trace.KindTx, "n", "")
+				tr.Record(p, int64(i)+1, trace.KindDeliver, "n", "")
+			}
+		}
+	}()
+	// Readers: scrape both routes repeatedly.
+	for _, path := range []string{"/metrics", "/trace", "/metricz"} {
+		wg.Add(1)
+		go func(path string) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				resp, err := http.Get(srv.URL + path)
+				if err != nil {
+					t.Errorf("%s: %v", path, err)
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}(path)
+	}
+	time.Sleep(50 * time.Millisecond)
+	close(stop)
+	wg.Wait()
 }
 
 func TestStartOps(t *testing.T) {

@@ -18,6 +18,7 @@
 package trace
 
 import (
+	"encoding/json"
 	"fmt"
 	"sort"
 	"strconv"
@@ -44,6 +45,7 @@ const (
 	KindLinkDrop                   // tail-dropped at a full link queue
 	KindHop                        // forwarded by a switch
 	KindDeliver                    // handed to the destination host's stack
+	KindRx                         // datagram received off the wire (real-socket substrate)
 )
 
 // String returns the kind's short label.
@@ -73,18 +75,54 @@ func (k Kind) String() string {
 		return "hop"
 	case KindDeliver:
 		return "deliver"
+	case KindRx:
+		return "rx"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
 }
 
-// Event is one step in a sampled packet's life.
+// kindNames maps the string form back to the kind for UnmarshalJSON.
+var kindNames = func() map[string]Kind {
+	m := make(map[string]Kind)
+	for k := KindClassify; k <= KindRx; k++ {
+		m[k.String()] = k
+	}
+	return m
+}()
+
+// MarshalJSON encodes the kind as its string label, so trace rings served
+// over the ops endpoint are readable and stable across binary versions.
+func (k Kind) MarshalJSON() ([]byte, error) {
+	return json.Marshal(k.String())
+}
+
+// UnmarshalJSON accepts either the string label or the numeric form.
+func (k *Kind) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err == nil {
+		if v, ok := kindNames[s]; ok {
+			*k = v
+			return nil
+		}
+		return fmt.Errorf("trace: unknown event kind %q", s)
+	}
+	var n uint8
+	if err := json.Unmarshal(data, &n); err != nil {
+		return fmt.Errorf("trace: bad event kind %s", data)
+	}
+	*k = Kind(n)
+	return nil
+}
+
+// Event is one step in a sampled packet's life. The JSON form is what
+// the ops endpoint's /trace route serves and what edenctl stitches.
 type Event struct {
-	Pkt    uint64 // trace id assigned by Sample
-	Time   int64  // ns
-	Kind   Kind
-	Node   string // enclave/link/switch/host that observed the step
-	Detail string // kind-specific: class, rule, function, queue index...
+	Pkt    uint64 `json:"pkt"`  // trace id assigned by Sample
+	Time   int64  `json:"t_ns"` // ns (wall clock for real nodes, sim time otherwise)
+	Kind   Kind   `json:"kind"`
+	Node   string `json:"node"`             // enclave/link/switch/host that observed the step
+	Detail string `json:"detail,omitempty"` // kind-specific: class, rule, function, queue index...
 }
 
 // Mode selects how Sample decides which packets to trace.
@@ -230,6 +268,19 @@ func (t *Tracer) Sample(pkt *packet.Packet) bool {
 	return true
 }
 
+// SeedIDs offsets the tracer's id space so ids assigned by different
+// processes don't collide: each process seeds with a distinct base (for
+// example a random 63-bit value) and its trace ids count up from there.
+// Call before the first Sample; a no-op on nil tracers.
+func (t *Tracer) SeedIDs(base uint64) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.nextID = base
+	t.mu.Unlock()
+}
+
 // Traces reports whether events for this packet would be recorded. Use it
 // to skip building detail strings for untraced packets.
 func (t *Tracer) Traces(pkt *packet.Packet) bool {
@@ -294,6 +345,25 @@ func (t *Tracer) Packets() []uint64 {
 	}
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	return ids
+}
+
+// MergeTimelines stitches event lists gathered from several processes'
+// trace rings into one timeline ordered by timestamp. The sort is
+// stable, so events with equal timestamps keep their per-ring recording
+// order. Timestamps from different processes are wall clocks — ordering
+// across processes is only as good as their clock agreement (see
+// DESIGN.md on clock caveats); within one process it is exact.
+func MergeTimelines(lists ...[]Event) []Event {
+	n := 0
+	for _, l := range lists {
+		n += len(l)
+	}
+	out := make([]Event, 0, n)
+	for _, l := range lists {
+		out = append(out, l...)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Time < out[j].Time })
+	return out
 }
 
 // String renders every sampled packet's life, one event per line.

@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 
@@ -99,7 +100,7 @@ func TestKindStrings(t *testing.T) {
 	kinds := []Kind{
 		KindClassify, KindMatch, KindInvoke, KindTrap, KindEnqueue,
 		KindQueueDrop, KindQueueMisconfig, KindDrop, KindTx, KindLinkDrop,
-		KindHop, KindDeliver,
+		KindHop, KindDeliver, KindRx,
 	}
 	seen := map[string]bool{}
 	for _, k := range kinds {
@@ -114,6 +115,101 @@ func TestKindStrings(t *testing.T) {
 	}
 	if !strings.HasPrefix(Kind(200).String(), "kind(") {
 		t.Error("unknown kind label")
+	}
+}
+
+func TestKindJSONRoundTrip(t *testing.T) {
+	for k := KindClassify; k <= KindRx; k++ {
+		data, err := json.Marshal(k)
+		if err != nil {
+			t.Fatalf("marshal %v: %v", k, err)
+		}
+		if want := `"` + k.String() + `"`; string(data) != want {
+			t.Errorf("marshal %v = %s, want %s", k, data, want)
+		}
+		var back Kind
+		if err := json.Unmarshal(data, &back); err != nil || back != k {
+			t.Errorf("unmarshal %s = %v, %v; want %v", data, back, err, k)
+		}
+	}
+	// Numeric form also accepted (older rings / hand-written queries).
+	var k Kind
+	if err := json.Unmarshal([]byte("3"), &k); err != nil || k != KindTrap {
+		t.Errorf("numeric unmarshal = %v, %v", k, err)
+	}
+	if err := json.Unmarshal([]byte(`"no-such-kind"`), &k); err == nil {
+		t.Error("unknown kind label accepted")
+	}
+}
+
+func TestEventJSONRoundTrip(t *testing.T) {
+	ev := Event{Pkt: 42, Time: 123, Kind: KindRx, Node: "udpnet.10.0.0.2", Detail: "len=64"}
+	data, err := json.Marshal(ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"pkt":42`, `"t_ns":123`, `"kind":"rx"`, `"node":"udpnet.10.0.0.2"`} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("event JSON %s missing %s", data, want)
+		}
+	}
+	var back Event
+	if err := json.Unmarshal(data, &back); err != nil || back != ev {
+		t.Errorf("round trip = %+v, %v", back, err)
+	}
+}
+
+func TestSeedIDs(t *testing.T) {
+	a, b := NewTracer(16, 4), NewTracer(16, 4)
+	a.SeedIDs(1 << 40)
+	b.SeedIDs(2 << 40)
+	pa, pb := mkPkt(), mkPkt()
+	a.Sample(pa)
+	b.Sample(pb)
+	if pa.Meta.TraceID != 1<<40+1 {
+		t.Errorf("seeded id = %d, want %d", pa.Meta.TraceID, uint64(1<<40+1))
+	}
+	if pa.Meta.TraceID == pb.Meta.TraceID {
+		t.Error("distinct seeds produced colliding ids")
+	}
+	var nilTr *Tracer
+	nilTr.SeedIDs(7) // must not panic
+}
+
+func TestMergeTimelines(t *testing.T) {
+	sender := []Event{
+		{Pkt: 9, Time: 100, Kind: KindTx, Node: "udpnet.10.0.0.1"},
+		{Pkt: 9, Time: 400, Kind: KindRx, Node: "udpnet.10.0.0.1"},
+		{Pkt: 9, Time: 401, Kind: KindDeliver, Node: "udpnet.10.0.0.1"},
+	}
+	receiver := []Event{
+		{Pkt: 9, Time: 200, Kind: KindRx, Node: "udpnet.10.0.0.2"},
+		{Pkt: 9, Time: 201, Kind: KindDeliver, Node: "udpnet.10.0.0.2"},
+		{Pkt: 9, Time: 300, Kind: KindTx, Node: "udpnet.10.0.0.2"},
+	}
+	merged := MergeTimelines(sender, receiver)
+	if len(merged) != 6 {
+		t.Fatalf("merged %d events, want 6", len(merged))
+	}
+	wantKinds := []Kind{KindTx, KindRx, KindDeliver, KindTx, KindRx, KindDeliver}
+	for i, ev := range merged {
+		if i > 0 && merged[i-1].Time > ev.Time {
+			t.Errorf("merged[%d] out of order: %d after %d", i, ev.Time, merged[i-1].Time)
+		}
+		if ev.Kind != wantKinds[i] {
+			t.Errorf("merged[%d].Kind = %v, want %v", i, ev.Kind, wantKinds[i])
+		}
+	}
+	// Equal timestamps keep per-list order (stable sort).
+	tied := MergeTimelines(
+		[]Event{{Pkt: 1, Time: 5, Detail: "a"}, {Pkt: 1, Time: 5, Detail: "b"}},
+		[]Event{{Pkt: 1, Time: 5, Detail: "c"}},
+	)
+	if tied[0].Detail != "a" || tied[1].Detail != "b" || tied[2].Detail != "c" {
+		t.Errorf("stable merge order broken: %+v", tied)
+	}
+	if got := MergeTimelines(); len(got) != 0 {
+		t.Errorf("empty merge = %v", got)
 	}
 }
 

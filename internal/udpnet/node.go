@@ -11,6 +11,7 @@ import (
 	"eden/internal/enclave"
 	"eden/internal/metrics"
 	"eden/internal/packet"
+	"eden/internal/trace"
 	"eden/internal/transport"
 )
 
@@ -34,6 +35,13 @@ type Config struct {
 	// on the event loop; the packet and its payload are pooled and only
 	// valid during the call — retain copies, never the pointers.
 	OnRaw func(pkt *packet.Packet)
+	// Tracer, when set, samples egress packets and stamps hop events
+	// (tx, rx, deliver, drop) into its ring with the node's wall clock.
+	// Trace ids travel in the frame codec, so a packet sampled here is
+	// recorded by the receiving node's tracer too — seed the id spaces
+	// apart with SeedIDs when tracing across processes. Nil disables
+	// tracing at the cost of one pointer check per hop.
+	Tracer *trace.Tracer
 
 	// Batch bounds how many inbound datagrams (and pending ops) the event
 	// loop drains per wakeup, and how many tx frames queue before an
@@ -110,6 +118,10 @@ type Node struct {
 
 	reg *metrics.Registry
 	ctr counters
+
+	// name labels this node in metrics and trace events
+	// ("udpnet.<ip>"), computed once at Start.
+	name string
 }
 
 // frame is one received datagram in flight from the reader to the loop.
@@ -162,8 +174,10 @@ func Start(cfg Config) (*Node, error) {
 	_ = conn.SetReadBuffer(cfg.ReadBuffer)
 	_ = conn.SetWriteBuffer(cfg.ReadBuffer)
 
+	name := "udpnet." + packet.IPString(cfg.IP)
 	n := &Node{
 		cfg:      cfg,
+		name:     name,
 		conn:     conn,
 		addr:     conn.LocalAddr().(*net.UDPAddr).AddrPort(),
 		peers:    map[uint32]netip.AddrPort{},
@@ -175,7 +189,7 @@ func Start(cfg Config) (*Node, error) {
 		quit:     make(chan struct{}),
 		loopDone: make(chan struct{}),
 		readDone: make(chan struct{}),
-		reg:      metrics.NewRegistry("udpnet." + packet.IPString(cfg.IP)),
+		reg:      metrics.NewRegistry(name),
 	}
 	for ip, addr := range cfg.Peers {
 		ap, err := resolvePeer(addr)
@@ -353,8 +367,10 @@ func (n *Node) Close() error {
 // --- loop side -----------------------------------------------------
 
 // Output implements transport.Env: egress packets enter the enclave
-// chain. Loop goroutine only.
+// chain. Loop goroutine only. Packets are offered to the tracer here —
+// before the chain — so drops inside the chain are recorded too.
 func (n *Node) Output(pk *packet.Packet) {
+	n.cfg.Tracer.Sample(pk)
 	n.chain.Egress(pk)
 }
 
@@ -365,7 +381,13 @@ func (n *Node) Transmit(pk *packet.Packet) {
 	to, ok := n.peers[pk.IP.Dst]
 	if !ok {
 		n.ctr.txNoRoute.Inc()
+		if n.cfg.Tracer.Traces(pk) {
+			n.cfg.Tracer.Record(pk, n.Now(), trace.KindDrop, n.name, "no-route")
+		}
 		return
+	}
+	if n.cfg.Tracer.Traces(pk) {
+		n.cfg.Tracer.Record(pk, n.Now(), trace.KindTx, n.name, "")
 	}
 	b := n.bufs.Get()
 	enc := AppendPacket(b.b[:0], pk)
@@ -378,6 +400,9 @@ func (n *Node) Transmit(pk *packet.Packet) {
 // Deliver implements enclave.ChainEnv: TCP goes to the transport stack,
 // everything else to OnRaw.
 func (n *Node) Deliver(pk *packet.Packet) {
+	if n.cfg.Tracer.Traces(pk) {
+		n.cfg.Tracer.Record(pk, n.Now(), trace.KindDeliver, n.name, "")
+	}
 	if pk.IP.Proto == packet.ProtoTCP {
 		n.stack.Deliver(pk)
 		return
@@ -391,6 +416,9 @@ func (n *Node) Deliver(pk *packet.Packet) {
 // DropVerdict implements enclave.ChainEnv.
 func (n *Node) DropVerdict(point string, pk *packet.Packet) {
 	n.ctr.verdictDrops.Inc()
+	if n.cfg.Tracer.Traces(pk) {
+		n.cfg.Tracer.Record(pk, n.Now(), trace.KindDrop, n.name, point)
+	}
 }
 
 // Schedule implements transport.Env and enclave.ChainEnv: fn runs on
@@ -439,6 +467,9 @@ func (n *Node) handleFrame(fr frame) {
 	if err := n.dec.DecodePacket(fr.b.b[:fr.n], pk); err != nil {
 		n.ctr.rxDecodeErr.Inc()
 	} else {
+		if n.cfg.Tracer.Traces(pk) {
+			n.cfg.Tracer.Record(pk, n.Now(), trace.KindRx, n.name, "")
+		}
 		n.chain.Ingress(pk)
 	}
 	n.pkts.Put(pk)

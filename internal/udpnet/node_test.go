@@ -9,6 +9,7 @@ import (
 	"eden/internal/enclave"
 	"eden/internal/metrics"
 	"eden/internal/packet"
+	"eden/internal/trace"
 	"eden/internal/transport"
 )
 
@@ -250,4 +251,107 @@ func TestNodeCloseIdempotent(t *testing.T) {
 	// Metrics sources must stay callable after Close (ops servers
 	// outlive nodes during shutdown).
 	_ = n.TransportMetrics()
+}
+
+// TestNodeTracing covers the hop-stamping hooks: a packet sampled on the
+// sender's egress carries its trace id over the wire, the receiver
+// records rx and deliver hops, and the merged timelines reconstruct the
+// whole journey in order. A routeless packet records a drop.
+func TestNodeTracing(t *testing.T) {
+	aTr := trace.NewTracer(256, 64)
+	aTr.SeedIDs(1 << 40)
+	bTr := trace.NewTracer(256, 64)
+	bTr.SeedIDs(2 << 40)
+	got := make(chan struct{}, 16)
+	a, _ := startPair(t,
+		Config{Tracer: aTr},
+		Config{Tracer: bTr, OnRaw: func(pk *packet.Packet) {
+			select {
+			case got <- struct{}{}:
+			default:
+			}
+		}})
+
+	deadline := time.Now().Add(5 * time.Second)
+	delivered := false
+	for !delivered {
+		if time.Now().After(deadline) {
+			t.Fatal("traced packet never arrived")
+		}
+		a.Inject(packet.NewUDP(ipA, ipB, 5000, 5001, 0))
+		select {
+		case <-got:
+			delivered = true
+		case <-time.After(50 * time.Millisecond):
+		}
+	}
+
+	// Sender recorded tx, receiver recorded rx and deliver, all under
+	// ids from the sender's seeded space.
+	ids := aTr.Packets()
+	if len(ids) == 0 {
+		t.Fatal("sender tracer sampled nothing")
+	}
+	var id uint64
+	deadline = time.Now().Add(5 * time.Second)
+	for id == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("no trace id seen by both nodes: a=%v b=%v", aTr.Packets(), bTr.Packets())
+		}
+		for _, cand := range bTr.Packets() {
+			if len(aTr.PacketEvents(cand)) > 0 {
+				id = cand
+			}
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if id>>40 != 1 {
+		t.Errorf("trace id %#x not from the sender's seeded space", id)
+	}
+
+	merged := trace.MergeTimelines(aTr.PacketEvents(id), bTr.PacketEvents(id))
+	var kinds []trace.Kind
+	for _, ev := range merged {
+		kinds = append(kinds, ev.Kind)
+	}
+	wantOrder := []trace.Kind{trace.KindTx, trace.KindRx, trace.KindDeliver}
+	wi := 0
+	for _, k := range kinds {
+		if wi < len(wantOrder) && k == wantOrder[wi] {
+			wi++
+		}
+	}
+	if wi != len(wantOrder) {
+		t.Errorf("merged timeline %v missing tx->rx->deliver order", kinds)
+	}
+	for _, ev := range merged {
+		switch ev.Kind {
+		case trace.KindTx:
+			if ev.Node != "udpnet.10.0.0.1" {
+				t.Errorf("tx event on node %q", ev.Node)
+			}
+		case trace.KindRx, trace.KindDeliver:
+			if ev.Node != "udpnet.10.0.0.2" {
+				t.Errorf("%v event on node %q", ev.Kind, ev.Node)
+			}
+		}
+	}
+
+	// A routeless destination records a drop hop with a detail.
+	ipC := packet.MustParseIP("10.0.0.3")
+	a.Inject(packet.NewUDP(ipA, ipC, 5000, 5001, 0))
+	waitCounter(t, a.Metrics().Counter("tx_no_route"), 1, "tx_no_route")
+	found := false
+	deadline = time.Now().Add(5 * time.Second)
+	for !found {
+		if time.Now().After(deadline) {
+			t.Fatal("no-route drop never recorded")
+		}
+		for _, ev := range aTr.Events() {
+			if ev.Kind == trace.KindDrop && ev.Detail == "no-route" {
+				found = true
+			}
+		}
+		time.Sleep(time.Millisecond)
+	}
 }
